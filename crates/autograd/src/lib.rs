@@ -1,0 +1,64 @@
+//! A miniature forward/backward operator framework.
+//!
+//! The DREAMPlace insight (paper §II-B, Fig. 1) is that analytical placement
+//! *is* neural-network training: cell locations are the trainable weights,
+//! each net is a data instance whose "prediction error" is its wirelength,
+//! and the density penalty is the regularizer. A deep-learning toolkit then
+//! only needs two custom operators — wirelength and density — each with a
+//! forward (cost) and backward (gradient) function.
+//!
+//! This crate is the Rust analogue of that toolkit layer:
+//!
+//! * [`Operator`] — a differentiable cost over cell positions with explicit
+//!   `forward`, `backward`, and an optionally fused `forward_backward` (the
+//!   paper's merged kernel, Algorithm 2, overrides the default);
+//! * [`Gradient`] — the `(d/dx, d/dy)` arrays operators accumulate into;
+//! * [`Objective`] — a weighted sum of operators, e.g.
+//!   `WL(x, y) + lambda * D(x, y)` (paper Eq. (2));
+//! * [`check_gradient`] — finite-difference validation used by every
+//!   operator's test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_autograd::{Gradient, Operator};
+//! use dp_netlist::{Netlist, NetlistBuilder, Placement};
+//!
+//! /// A toy quadratic attraction to the origin.
+//! struct Quadratic;
+//!
+//! impl Operator<f64> for Quadratic {
+//!     fn name(&self) -> &'static str { "quadratic" }
+//!     fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>) -> f64 {
+//!         (0..nl.num_movable()).map(|i| p.x[i] * p.x[i] + p.y[i] * p.y[i]).sum()
+//!     }
+//!     fn backward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>, g: &mut Gradient<f64>) {
+//!         for i in 0..nl.num_movable() {
+//!             g.x[i] += 2.0 * p.x[i];
+//!             g.y[i] += 2.0 * p.y[i];
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), dp_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+//! let a = b.add_movable_cell(1.0, 1.0);
+//! let c = b.add_movable_cell(1.0, 1.0);
+//! b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])?;
+//! let nl = b.build()?;
+//! let mut p = Placement::zeros(nl.num_cells());
+//! p.x[0] = 3.0;
+//! let mut op = Quadratic;
+//! let mut g = Gradient::zeros(nl.num_cells());
+//! let cost = op.forward_backward(&nl, &p, &mut g);
+//! assert_eq!(cost, 9.0);
+//! assert_eq!(g.x[0], 6.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod numcheck;
+pub mod operator;
+
+pub use numcheck::{check_gradient, GradientReport};
+pub use operator::{Gradient, Objective, Operator};

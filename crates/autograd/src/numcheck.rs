@@ -1,0 +1,181 @@
+//! Finite-difference gradient validation.
+//!
+//! Every custom operator in a deep-learning toolkit is validated against
+//! numerical differentiation; the wirelength and density operators' test
+//! suites do the same through [`check_gradient`].
+
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+
+use crate::operator::{Gradient, Operator};
+
+/// Result of a finite-difference check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientReport {
+    /// Largest absolute difference between analytic and numeric entries.
+    pub max_abs_err: f64,
+    /// Largest relative difference (absolute error over
+    /// `max(|analytic|, |numeric|, 1e-12)`).
+    pub max_rel_err: f64,
+    /// Number of coordinates compared.
+    pub checked: usize,
+}
+
+impl GradientReport {
+    /// `true` when both error measures are at most `tol`.
+    pub fn within(&self, tol: f64) -> bool {
+        self.max_abs_err <= tol || self.max_rel_err <= tol
+    }
+}
+
+/// Compares an operator's analytic gradient against central finite
+/// differences on the movable coordinates listed in `cells` (all movable
+/// cells when empty).
+///
+/// `eps` is the half-step; `1e-5` to `1e-6` works well in `f64`.
+///
+/// # Examples
+///
+/// See the wirelength operator tests, which assert
+/// `check_gradient(..).within(1e-5)`.
+pub fn check_gradient<T: Float>(
+    op: &mut dyn Operator<T>,
+    netlist: &Netlist<T>,
+    placement: &Placement<T>,
+    cells: &[usize],
+    eps: f64,
+) -> GradientReport {
+    let n = netlist.num_cells();
+    let mut grad = Gradient::zeros(n);
+    // Forward first so backward may use cached buffers.
+    let _ = op.forward(netlist, placement);
+    op.backward(netlist, placement, &mut grad);
+
+    let all: Vec<usize>;
+    let cells = if cells.is_empty() {
+        all = (0..netlist.num_movable()).collect();
+        &all
+    } else {
+        cells
+    };
+
+    let mut work = placement.clone();
+    let h = T::from_f64(eps);
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut checked = 0usize;
+
+    let mut compare = |analytic: T, numeric: f64| {
+        let a = analytic.to_f64();
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1e-12);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+        checked += 1;
+    };
+
+    for &i in cells {
+        // x component
+        let orig = work.x[i];
+        work.x[i] = orig + h;
+        let fp = op.forward(netlist, &work).to_f64();
+        work.x[i] = orig - h;
+        let fm = op.forward(netlist, &work).to_f64();
+        work.x[i] = orig;
+        compare(grad.x[i], (fp - fm) / (2.0 * eps));
+
+        // y component
+        let orig = work.y[i];
+        work.y[i] = orig + h;
+        let fp = op.forward(netlist, &work).to_f64();
+        work.y[i] = orig - h;
+        let fm = op.forward(netlist, &work).to_f64();
+        work.y[i] = orig;
+        compare(grad.y[i], (fp - fm) / (2.0 * eps));
+    }
+
+    // Restore operator caches to the unperturbed placement.
+    let _ = op.forward(netlist, placement);
+
+    GradientReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::NetlistBuilder;
+
+    struct Quadratic;
+
+    impl Operator<f64> for Quadratic {
+        fn name(&self) -> &'static str {
+            "quadratic"
+        }
+        fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>) -> f64 {
+            (0..nl.num_movable())
+                .map(|i| p.x[i] * p.x[i] + 0.5 * p.y[i] * p.y[i] * p.y[i])
+                .sum()
+        }
+        fn backward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>, g: &mut Gradient<f64>) {
+            for i in 0..nl.num_movable() {
+                g.x[i] += 2.0 * p.x[i];
+                g.y[i] += 1.5 * p.y[i] * p.y[i];
+            }
+        }
+    }
+
+    struct WrongGradient;
+
+    impl Operator<f64> for WrongGradient {
+        fn name(&self) -> &'static str {
+            "wrong"
+        }
+        fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>) -> f64 {
+            (0..nl.num_movable()).map(|i| p.x[i] * p.x[i]).sum()
+        }
+        fn backward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>, g: &mut Gradient<f64>) {
+            for i in 0..nl.num_movable() {
+                g.x[i] += 3.0 * p.x[i]; // deliberately wrong factor
+            }
+        }
+    }
+
+    fn netlist() -> (Netlist<f64>, Placement<f64>) {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+        let a = b.add_movable_cell(1.0, 1.0);
+        let c = b.add_movable_cell(1.0, 1.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![1.25, -0.5];
+        p.y = vec![2.0, 0.75];
+        (nl, p)
+    }
+
+    #[test]
+    fn accepts_correct_gradient() {
+        let (nl, p) = netlist();
+        let report = check_gradient(&mut Quadratic, &nl, &p, &[], 1e-5);
+        assert_eq!(report.checked, 4);
+        assert!(report.within(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn rejects_wrong_gradient() {
+        let (nl, p) = netlist();
+        let report = check_gradient(&mut WrongGradient, &nl, &p, &[], 1e-5);
+        assert!(!report.within(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn subset_of_cells_is_respected() {
+        let (nl, p) = netlist();
+        let report = check_gradient(&mut Quadratic, &nl, &p, &[1], 1e-5);
+        assert_eq!(report.checked, 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! The operator trait, gradient buffers, and weighted objectives.
+
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+
+/// Gradient of a scalar cost with respect to every cell's `(x, y)`.
+///
+/// Operators *accumulate* into these arrays, so several terms can share one
+/// buffer; call [`Gradient::reset`] between optimizer iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradient<T> {
+    /// d cost / d x, indexed by cell id.
+    pub x: Vec<T>,
+    /// d cost / d y, indexed by cell id.
+    pub y: Vec<T>,
+}
+
+impl<T: Float> Gradient<T> {
+    /// All-zero gradient for `n` cells.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            x: vec![T::ZERO; n],
+            y: vec![T::ZERO; n],
+        }
+    }
+
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when the buffer covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Zeroes both component arrays.
+    pub fn reset(&mut self) {
+        self.x.iter_mut().for_each(|v| *v = T::ZERO);
+        self.y.iter_mut().for_each(|v| *v = T::ZERO);
+    }
+
+    /// Adds `scale * other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have different lengths.
+    pub fn axpy(&mut self, scale: T, other: &Gradient<T>) {
+        assert_eq!(self.len(), other.len(), "gradient length mismatch");
+        for i in 0..self.x.len() {
+            self.x[i] += scale * other.x[i];
+            self.y[i] += scale * other.y[i];
+        }
+    }
+
+    /// Scales both components in place.
+    pub fn scale(&mut self, s: T) {
+        self.x.iter_mut().for_each(|v| *v *= s);
+        self.y.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// Sum of `|g|` over the first `n` cells — the norm ePlace uses to
+    /// initialize the density weight (paper §III-C context).
+    pub fn l1_norm(&self, n: usize) -> T {
+        self.x[..n]
+            .iter()
+            .map(|v| v.abs())
+            .chain(self.y[..n].iter().map(|v| v.abs()))
+            .sum()
+    }
+}
+
+/// A differentiable cost term over cell positions.
+///
+/// This is the Rust analogue of a custom toolkit op with forward and
+/// backward functions (paper §II-B). The provided
+/// [`Operator::forward_backward`] simply chains the two; fused
+/// implementations (the paper's merged kernel, Algorithm 2) override it.
+pub trait Operator<T: Float> {
+    /// Short human-readable name used in timing breakdowns.
+    fn name(&self) -> &'static str;
+
+    /// Computes the cost at `placement`.
+    fn forward(&mut self, netlist: &Netlist<T>, placement: &Placement<T>) -> T;
+
+    /// Accumulates the gradient at `placement` into `grad`.
+    ///
+    /// May rely on buffers computed by the immediately preceding `forward`
+    /// at the same placement, mirroring toolkit autograd semantics.
+    fn backward(&mut self, netlist: &Netlist<T>, placement: &Placement<T>, grad: &mut Gradient<T>);
+
+    /// Computes cost and gradient in one pass. Default: `forward` then
+    /// `backward`.
+    fn forward_backward(
+        &mut self,
+        netlist: &Netlist<T>,
+        placement: &Placement<T>,
+        grad: &mut Gradient<T>,
+    ) -> T {
+        let cost = self.forward(netlist, placement);
+        self.backward(netlist, placement, grad);
+        cost
+    }
+}
+
+/// A weighted sum of operators: the relaxed objective
+/// `sum_e WL(e; x, y) + lambda * D(x, y)` of paper Eq. (2).
+///
+/// # Examples
+///
+/// See the crate-level example for defining an operator; an `Objective`
+/// combines several with per-term weights that schedulers update between
+/// iterations.
+pub struct Objective<'a, T> {
+    terms: Vec<(T, &'a mut dyn Operator<T>)>,
+}
+
+impl<'a, T: Float> Objective<'a, T> {
+    /// Creates an empty objective.
+    pub fn new() -> Self {
+        Self { terms: Vec::new() }
+    }
+
+    /// Adds a term with the given weight; returns its index.
+    pub fn push(&mut self, weight: T, op: &'a mut dyn Operator<T>) -> usize {
+        self.terms.push((weight, op));
+        self.terms.len() - 1
+    }
+
+    /// Updates the weight of term `index` (e.g. the density weight lambda).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_weight(&mut self, index: usize, weight: T) {
+        self.terms[index].0 = weight;
+    }
+
+    /// The weight of term `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn weight(&self, index: usize) -> T {
+        self.terms[index].0
+    }
+
+    /// Weighted total cost.
+    pub fn forward(&mut self, netlist: &Netlist<T>, placement: &Placement<T>) -> T {
+        self.terms
+            .iter_mut()
+            .map(|(w, op)| *w * op.forward(netlist, placement))
+            .sum()
+    }
+
+    /// Weighted cost plus gradient accumulation (gradient is *added* to
+    /// `grad`; reset it first if a fresh gradient is wanted).
+    pub fn forward_backward(
+        &mut self,
+        netlist: &Netlist<T>,
+        placement: &Placement<T>,
+        grad: &mut Gradient<T>,
+    ) -> T {
+        let n = grad.len();
+        let mut scratch = Gradient::zeros(n);
+        let mut total = T::ZERO;
+        for (w, op) in self.terms.iter_mut() {
+            scratch.reset();
+            total += *w * op.forward_backward(netlist, placement, &mut scratch);
+            grad.axpy(*w, &scratch);
+        }
+        total
+    }
+}
+
+impl<'a, T: Float> Default for Objective<'a, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::NetlistBuilder;
+
+    struct Linear {
+        slope: f64,
+    }
+
+    impl Operator<f64> for Linear {
+        fn name(&self) -> &'static str {
+            "linear"
+        }
+        fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>) -> f64 {
+            (0..nl.num_movable())
+                .map(|i| self.slope * (p.x[i] + p.y[i]))
+                .sum()
+        }
+        fn backward(&mut self, nl: &Netlist<f64>, _p: &Placement<f64>, g: &mut Gradient<f64>) {
+            for i in 0..nl.num_movable() {
+                g.x[i] += self.slope;
+                g.y[i] += self.slope;
+            }
+        }
+    }
+
+    fn tiny_netlist() -> Netlist<f64> {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+        let a = b.add_movable_cell(1.0, 1.0);
+        let c = b.add_movable_cell(1.0, 1.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn gradient_axpy_and_reset() {
+        let mut g = Gradient::zeros(2);
+        let mut h = Gradient::zeros(2);
+        h.x[0] = 2.0;
+        h.y[1] = -4.0;
+        g.axpy(0.5, &h);
+        assert_eq!(g.x[0], 1.0);
+        assert_eq!(g.y[1], -2.0);
+        assert_eq!(g.l1_norm(2), 3.0);
+        g.reset();
+        assert_eq!(g.l1_norm(2), 0.0);
+    }
+
+    #[test]
+    fn objective_weights_compose() {
+        let nl = tiny_netlist();
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![1.0, 2.0];
+        p.y = vec![0.0, 0.0];
+
+        let mut op1 = Linear { slope: 1.0 };
+        let mut op2 = Linear { slope: 2.0 };
+        let mut obj = Objective::new();
+        obj.push(1.0, &mut op1);
+        let density_idx = obj.push(0.5, &mut op2);
+
+        let mut g = Gradient::zeros(nl.num_cells());
+        let cost = obj.forward_backward(&nl, &p, &mut g);
+        // term1 = 1*(1+2) = 3; term2 = 0.5 * 2*(1+2) = 3
+        assert_eq!(cost, 6.0);
+        // grad x per movable = 1*1 + 0.5*2 = 2
+        assert_eq!(g.x[0], 2.0);
+
+        obj.set_weight(density_idx, 2.0);
+        assert_eq!(obj.weight(density_idx), 2.0);
+        let cost2 = obj.forward(&nl, &p);
+        assert_eq!(cost2, 3.0 + 2.0 * 6.0);
+    }
+
+    #[test]
+    fn default_forward_backward_chains() {
+        let nl = tiny_netlist();
+        let p = Placement::zeros(nl.num_cells());
+        let mut op = Linear { slope: 3.0 };
+        let mut g = Gradient::zeros(nl.num_cells());
+        let c = op.forward_backward(&nl, &p, &mut g);
+        assert_eq!(c, 0.0);
+        assert_eq!(g.x, vec![3.0, 3.0]);
+    }
+}

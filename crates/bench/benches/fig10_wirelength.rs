@@ -1,0 +1,36 @@
+//! Criterion bench for paper Fig. 10: the three WA wirelength kernel
+//! strategies (net-by-net, atomic / Algorithm 1, merged / Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_autograd::{Gradient, Operator};
+use dp_gen::GeneratorConfig;
+use dp_gp::initial_placement;
+use dp_wirelength::{WaStrategy, WaWirelength};
+
+fn bench_wa_strategies(c: &mut Criterion) {
+    let design = GeneratorConfig::new("fig10", 20_000, 21_000)
+        .with_seed(5)
+        .generate::<f32>()
+        .expect("generates");
+    let pos = initial_placement(&design.netlist, &design.fixed_positions, 0.25, 3);
+    let mut grad = Gradient::zeros(design.netlist.num_cells());
+
+    let mut group = c.benchmark_group("fig10_wa_fwd_bwd");
+    for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+        let mut op = WaWirelength::new(strategy, 10.0f32);
+        group.bench_with_input(BenchmarkId::from_parameter(strategy), &pos, |b, pos| {
+            b.iter(|| {
+                grad.reset();
+                op.forward_backward(&design.netlist, pos, &mut grad)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_wa_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for paper Fig. 11: the three DCT/IDCT implementation
+//! tiers (2N-point, N-point / Algorithm 3, direct 2-D / Algorithm 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_dct::dct2d::{Dct1dTier, RowColumnDct2d};
+use dp_dct::Dct2dPlan;
+
+fn map(n: usize) -> Vec<f32> {
+    (0..n * n)
+        .map(|k| ((k * 2654435761usize) % 1000) as f32 / 1000.0)
+        .collect()
+}
+
+fn bench_dct_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_dct2");
+    for m in [128usize, 256] {
+        let x = map(m);
+        let rc2n = RowColumnDct2d::<f32>::new(m, m, Dct1dTier::TwoN).expect("plan");
+        let rcn = RowColumnDct2d::<f32>::new(m, m, Dct1dTier::NPoint).expect("plan");
+        let d2d = Dct2dPlan::<f32>::new(m, m).expect("plan");
+        group.bench_with_input(BenchmarkId::new("dct-2n", m), &x, |b, x| {
+            b.iter(|| rc2n.dct2(x))
+        });
+        group.bench_with_input(BenchmarkId::new("dct-n", m), &x, |b, x| {
+            b.iter(|| rcn.dct2(x))
+        });
+        group.bench_with_input(BenchmarkId::new("dct-2d-n", m), &x, |b, x| {
+            b.iter(|| d2d.dct2(x))
+        });
+        group.bench_with_input(BenchmarkId::new("idct-2n", m), &x, |b, x| {
+            b.iter(|| rc2n.idct2(x))
+        });
+        group.bench_with_input(BenchmarkId::new("idct-n", m), &x, |b, x| {
+            b.iter(|| rcn.idct2(x))
+        });
+        group.bench_with_input(BenchmarkId::new("idct-2d-n", m), &x, |b, x| {
+            b.iter(|| d2d.idct2(x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dct_tiers
+}
+criterion_main!(benches);

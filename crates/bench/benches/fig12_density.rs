@@ -1,0 +1,50 @@
+//! Criterion bench for paper Fig. 12: the DAC'19 density kernels (naive
+//! scatter, row-column DCT) versus the TCAD extension (sorted scatter, 2x2
+//! workers, direct 2-D DCT).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_autograd::{Gradient, Operator};
+use dp_density::{BinGrid, DctBackendKind, DensityOp, DensityStrategy};
+use dp_gen::GeneratorConfig;
+use dp_gp::initial_placement;
+
+fn bench_density_generations(c: &mut Criterion) {
+    let design = GeneratorConfig::new("fig12", 20_000, 21_000)
+        .with_seed(5)
+        .generate::<f32>()
+        .expect("generates");
+    let nl = &design.netlist;
+    let pos = initial_placement(nl, &design.fixed_positions, 0.25, 3);
+    let m = dp_gp::GpConfig::<f32>::auto_bins(nl.num_movable());
+    let mut grad = Gradient::zeros(nl.num_cells());
+
+    let configs: [(&str, DensityStrategy, DctBackendKind); 2] = [
+        ("dac19", DensityStrategy::Naive, DctBackendKind::RowColumnN),
+        (
+            "tcad",
+            DensityStrategy::SortedSubthreads { tx: 2, ty: 2 },
+            DctBackendKind::Direct2d,
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fig12_density_generations");
+    for (label, strategy, backend) in configs {
+        let grid = BinGrid::new(nl.region(), m, m).expect("bins");
+        let mut op = DensityOp::with_backend(grid, strategy, 1.0f32, backend).expect("density op");
+        op.bake_fixed(nl, &pos);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &pos, |b, pos| {
+            b.iter(|| {
+                grad.reset();
+                op.forward_backward(nl, pos, &mut grad)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_density_generations
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for paper Fig. 6: density forward+backward with 1x1 to
+//! 4x4 workers updating each cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_autograd::{Gradient, Operator};
+use dp_density::{BinGrid, DensityOp, DensityStrategy};
+use dp_gen::GeneratorConfig;
+use dp_gp::initial_placement;
+
+fn bench_density_workers(c: &mut Criterion) {
+    let design = GeneratorConfig::new("fig6", 20_000, 21_000)
+        .with_seed(5)
+        .generate::<f32>()
+        .expect("generates");
+    let nl = &design.netlist;
+    let pos = initial_placement(nl, &design.fixed_positions, 0.25, 3);
+    let m = dp_gp::GpConfig::<f32>::auto_bins(nl.num_movable());
+    let mut grad = Gradient::zeros(nl.num_cells());
+
+    let configs: [(&str, DensityStrategy); 4] = [
+        ("1x1", DensityStrategy::Sorted),
+        ("1x2", DensityStrategy::SortedSubthreads { tx: 1, ty: 2 }),
+        ("2x2", DensityStrategy::SortedSubthreads { tx: 2, ty: 2 }),
+        ("4x4", DensityStrategy::SortedSubthreads { tx: 4, ty: 4 }),
+    ];
+
+    let mut group = c.benchmark_group("fig6_density_workers");
+    for (label, strategy) in configs {
+        let grid = BinGrid::new(nl.region(), m, m).expect("bins");
+        let mut op = DensityOp::new(grid, strategy, 1.0f32).expect("density op");
+        op.bake_fixed(nl, &pos);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &pos, |b, pos| {
+            b.iter(|| {
+                grad.reset();
+                op.forward_backward(nl, pos, &mut grad)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_density_workers
+}
+criterion_main!(benches);

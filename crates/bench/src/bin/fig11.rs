@@ -1,0 +1,68 @@
+//! Regenerates paper Fig. 11: 2-D DCT and IDCT runtime for the three
+//! implementation tiers — 2N-point FFT, N-point FFT (Algorithm 3), and the
+//! direct 2-D N-point FFT (Algorithm 4) — across map sizes, float32.
+//!
+//! Paper sizes are 512^2 .. 4096^2; scaled here to 128^2 .. 1024^2.
+//!
+//! ```text
+//! cargo run -p dp-bench --release --bin fig11
+//! ```
+
+use dp_bench::{best_of, hr};
+use dp_dct::dct2d::{Dct1dTier, RowColumnDct2d};
+use dp_dct::Dct2dPlan;
+
+fn map(n: usize) -> Vec<f32> {
+    (0..n * n)
+        .map(|k| ((k * 2654435761usize) % 1000) as f32 / 1000.0)
+        .collect()
+}
+
+fn main() {
+    println!("Fig. 11 (2-D DCT/IDCT tiers, float32, ms)");
+    hr(86);
+    println!(
+        "{:<8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "size", "DCT-2N", "DCT-N", "DCT-2D-N", "IDCT-2N", "IDCT-N", "IDCT-2D-N"
+    );
+    hr(86);
+    let mut speedup_n = Vec::new();
+    let mut speedup_2d = Vec::new();
+    for m in [128usize, 256, 512, 1024] {
+        let x = map(m);
+        let rc2n = RowColumnDct2d::<f32>::new(m, m, Dct1dTier::TwoN).expect("plan");
+        let rcn = RowColumnDct2d::<f32>::new(m, m, Dct1dTier::NPoint).expect("plan");
+        let d2d = Dct2dPlan::<f32>::new(m, m).expect("plan");
+        let reps = if m >= 1024 { 2 } else { 3 };
+
+        let t_dct_2n = best_of(reps, || rc2n.dct2(&x));
+        let t_dct_n = best_of(reps, || rcn.dct2(&x));
+        let t_dct_2d = best_of(reps, || d2d.dct2(&x));
+        let t_idct_2n = best_of(reps, || rc2n.idct2(&x));
+        let t_idct_n = best_of(reps, || rcn.idct2(&x));
+        let t_idct_2d = best_of(reps, || d2d.idct2(&x));
+
+        println!(
+            "{:<8} | {:>9.2} {:>9.2} {:>9.2} | {:>9.2} {:>9.2} {:>9.2}",
+            format!("{m}x{m}"),
+            t_dct_2n * 1e3,
+            t_dct_n * 1e3,
+            t_dct_2d * 1e3,
+            t_idct_2n * 1e3,
+            t_idct_n * 1e3,
+            t_idct_2d * 1e3
+        );
+        speedup_n.push(t_dct_2n / t_dct_n);
+        speedup_2d.push(t_dct_2n / t_dct_2d);
+    }
+    hr(86);
+    println!(
+        "average DCT speedup over the 2N tier: N-point {:.2}x, direct 2-D {:.2}x",
+        dp_num::stats::geomean(&speedup_n),
+        dp_num::stats::geomean(&speedup_2d)
+    );
+    println!(
+        "\npaper shape: DCT-N ~2.1x and DCT-2D-N ~5.0x faster than DCT-2N;\n\
+         IDCT-N ~1.3x and IDCT-2D-N ~4.1x — the same ordering must hold here"
+    );
+}

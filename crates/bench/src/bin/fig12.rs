@@ -1,0 +1,99 @@
+//! Regenerates paper Fig. 12: density forward+backward for the DAC'19
+//! kernel configuration (naive scatter + row-column N-point DCT) versus
+//! the TCAD extension (sorted scatter + 2x2 workers + direct 2-D DCT),
+//! plus single- vs multi-thread CPU scaling, float32.
+//!
+//! ```text
+//! DP_SCALE=64 cargo run -p dp-bench --release --bin fig12
+//! ```
+
+use dp_autograd::{Gradient, Operator};
+use dp_bench::{best_of, hr, scale};
+use dp_density::{BinGrid, DctBackendKind, DensityOp, DensityStrategy};
+use dp_gp::initial_placement;
+
+fn measure(
+    design: &dp_gen::GeneratedDesign<f32>,
+    strategy: DensityStrategy,
+    backend: DctBackendKind,
+    threads: usize,
+) -> f64 {
+    let nl = &design.netlist;
+    let pos = initial_placement(nl, &design.fixed_positions, 0.25, 3);
+    let m = dp_gp::GpConfig::<f32>::auto_bins(nl.num_movable());
+    let grid = BinGrid::new(nl.region(), m, m).expect("bins");
+    let mut op = DensityOp::with_backend(grid, strategy, 1.0, backend)
+        .expect("density op")
+        .with_threads(threads);
+    op.bake_fixed(nl, &pos);
+    let mut g = Gradient::zeros(nl.num_cells());
+    best_of(5, || {
+        g.reset();
+        op.forward_backward(nl, &pos, &mut g)
+    })
+}
+
+fn main() {
+    println!(
+        "Fig. 12 (density fwd+bwd: DAC'19 vs TCAD kernels, float32, ms) at 1/{} scale",
+        scale()
+    );
+    hr(76);
+    println!(
+        "{:<10} | {:>10} {:>10} {:>8} | {:>10} {:>10}",
+        "design", "DAC'19", "TCAD-gpu", "speedup", "TCAD-cpu", "cpu 2t"
+    );
+    hr(76);
+    let mut speedups = Vec::new();
+    for preset in dp_gen::ispd2005_suite() {
+        let design = preset
+            .scaled_down(scale())
+            .config
+            .generate::<f32>()
+            .expect("ok");
+        let dac = measure(
+            &design,
+            DensityStrategy::Naive,
+            DctBackendKind::RowColumnN,
+            1,
+        );
+        let tcad = measure(
+            &design,
+            DensityStrategy::SortedSubthreads { tx: 2, ty: 2 },
+            DctBackendKind::Direct2d,
+            1,
+        );
+        let t1 = measure(
+            &design,
+            DensityStrategy::Sorted,
+            DctBackendKind::Direct2d,
+            1,
+        );
+        let t2 = measure(
+            &design,
+            DensityStrategy::Sorted,
+            DctBackendKind::Direct2d,
+            2,
+        );
+        println!(
+            "{:<10} | {:>10.2} {:>10.2} {:>8.2} | {:>10.2} {:>10.2}",
+            design.name,
+            dac * 1e3,
+            tcad * 1e3,
+            dac / tcad,
+            t1 * 1e3,
+            t2 * 1e3
+        );
+        speedups.push(dac / tcad);
+    }
+    hr(76);
+    println!(
+        "average TCAD-over-DAC speedup: {:.2}x",
+        dp_num::stats::geomean(&speedups)
+    );
+    println!(
+        "\npaper shape: the TCAD kernels are 1.5-2.1x faster than the DAC'19\n\
+         version (GPU); 40 CPU threads give ~3.1x over one.\n\
+         note: 1-core machine, so the 2-thread column shows overhead."
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates paper Fig. 7: global placement runtime per ISPD 2005 design
+//! for the baseline and DREAMPlace configurations, in float64 and float32.
+//!
+//! ```text
+//! DP_SCALE=64 cargo run -p dp-bench --release --bin fig7
+//! ```
+
+use dp_bench::{hr, scale};
+use dp_num::Float;
+use dreamplace_core::{DreamPlacer, FlowConfig, ToolMode};
+
+fn gp_seconds<T: Float>(mode: ToolMode, design: &dp_gen::GeneratedDesign<T>) -> f64 {
+    let mut config = FlowConfig::for_mode(mode, &design.netlist);
+    config.run_dp = false; // Fig. 7 compares GP only
+    DreamPlacer::new(config)
+        .place(design)
+        .expect("flow")
+        .timing
+        .gp
+}
+
+fn main() {
+    println!("Fig. 7 (GP runtime, seconds) at 1/{} scale", scale());
+    hr(100);
+    println!(
+        "{:<10} | {:>14} {:>14} {:>14} | {:>14} {:>14} {:>14}",
+        "design",
+        "RePlAce f64",
+        "DP-CPU f64",
+        "DP-GPUsim f64",
+        "RePlAce f32",
+        "DP-CPU f32",
+        "DP-GPUsim f32"
+    );
+    hr(100);
+    for preset in dp_gen::ispd2005_suite() {
+        let preset = preset.scaled_down(scale());
+        let d64 = preset.config.generate::<f64>().expect("generates");
+        let d32 = preset.config.generate::<f32>().expect("generates");
+        let row64: Vec<f64> = [
+            ToolMode::ReplaceBaseline { threads: 1 },
+            ToolMode::DreamplaceCpu { threads: 1 },
+            ToolMode::DreamplaceGpuSim,
+        ]
+        .iter()
+        .map(|m| gp_seconds(*m, &d64))
+        .collect();
+        let row32: Vec<f64> = [
+            ToolMode::ReplaceBaseline { threads: 1 },
+            ToolMode::DreamplaceCpu { threads: 1 },
+            ToolMode::DreamplaceGpuSim,
+        ]
+        .iter()
+        .map(|m| gp_seconds(*m, &d32))
+        .collect();
+        println!(
+            "{:<10} | {:>14.2} {:>14.2} {:>14.2} | {:>14.2} {:>14.2} {:>14.2}",
+            preset.config.name, row64[0], row64[1], row64[2], row32[0], row32[1], row32[2]
+        );
+    }
+    hr(100);
+    println!(
+        "paper shape: DREAMPlace consistently faster than the baseline on every\n\
+         design; float32 faster than float64 (paper: ~1.3-1.4x)"
+    );
+}

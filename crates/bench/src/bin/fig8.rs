@@ -1,0 +1,106 @@
+//! Regenerates paper Fig. 8: average GP runtime ratio over the ISPD 2005
+//! suite versus thread count, for both tools and both precisions,
+//! normalized to DREAMPlace GPU-sim float64.
+//!
+//! ```text
+//! DP_SCALE=128 cargo run -p dp-bench --release --bin fig8
+//! ```
+
+use dp_bench::{hr, ratio_row, scale};
+use dp_num::Float;
+use dreamplace_core::{DreamPlacer, FlowConfig, ToolMode};
+
+fn gp_seconds<T: Float>(mode: ToolMode, design: &dp_gen::GeneratedDesign<T>) -> f64 {
+    let mut config = FlowConfig::for_mode(mode, &design.netlist);
+    config.run_dp = false;
+    DreamPlacer::new(config)
+        .place(design)
+        .expect("flow")
+        .timing
+        .gp
+}
+
+fn main() {
+    // Fig. 8 sweeps threads; use a subset of the suite to keep the sweep
+    // affordable (the ratios are averaged anyway).
+    println!("Fig. 8 (average GP runtime ratios) at 1/{} scale", scale());
+    let suite: Vec<_> = dp_gen::ispd2005_suite().into_iter().take(4).collect();
+    let d64: Vec<_> = suite
+        .iter()
+        .map(|p| {
+            p.clone()
+                .scaled_down(scale())
+                .config
+                .generate::<f64>()
+                .expect("ok")
+        })
+        .collect();
+    let d32: Vec<_> = suite
+        .iter()
+        .map(|p| {
+            p.clone()
+                .scaled_down(scale())
+                .config
+                .generate::<f32>()
+                .expect("ok")
+        })
+        .collect();
+
+    // Reference: GPU-sim float64.
+    let reference: Vec<f64> = d64
+        .iter()
+        .map(|d| gp_seconds(ToolMode::DreamplaceGpuSim, d))
+        .collect();
+
+    hr(74);
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}",
+        "configuration", "1 thread", "2 threads", "4 threads", "precision"
+    );
+    hr(74);
+    for (label, is_baseline) in [("RePlAce", true), ("DREAMPlace-CPU", false)] {
+        for precision in ["float64", "float32"] {
+            let mut cells = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let mode = if is_baseline {
+                    ToolMode::ReplaceBaseline { threads }
+                } else {
+                    ToolMode::DreamplaceCpu { threads }
+                };
+                let times: Vec<f64> = if precision == "float64" {
+                    d64.iter().map(|d| gp_seconds(mode, d)).collect()
+                } else {
+                    d32.iter().map(|d| gp_seconds(mode, d)).collect()
+                };
+                cells.push(ratio_row(&times, &reference));
+            }
+            println!(
+                "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>10}",
+                label, cells[0], cells[1], cells[2], precision
+            );
+        }
+    }
+    let gpusim32: Vec<f64> = d32
+        .iter()
+        .map(|d| gp_seconds(ToolMode::DreamplaceGpuSim, d))
+        .collect();
+    println!(
+        "{:<26} {:>10.2} {:>10} {:>10} {:>10}",
+        "DREAMPlace-GPUsim", 1.00, "-", "-", "float64"
+    );
+    println!(
+        "{:<26} {:>10.2} {:>10} {:>10} {:>10}",
+        "DREAMPlace-GPUsim",
+        ratio_row(&gpusim32, &reference),
+        "-",
+        "-",
+        "float32"
+    );
+    hr(74);
+    println!(
+        "paper shape: baseline slowest at every thread count; float32 < float64.\n\
+         note: this machine has 1 physical core, so multi-thread columns show\n\
+         scheduling overhead instead of the paper's ~3-5x CPU scaling\n\
+         (see EXPERIMENTS.md)."
+    );
+}

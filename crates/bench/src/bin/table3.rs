@@ -1,0 +1,69 @@
+//! Regenerates paper Table III: the industrial suite (1.3M-10.5M cells at
+//! paper scale), HPWL and per-phase runtime for the three tool modes.
+//!
+//! The industrial designs are an extra 2x smaller than `DP_SCALE` because
+//! design6 is 10.5M cells at paper scale.
+//!
+//! ```text
+//! DP_SCALE=64 cargo run -p dp-bench --release --bin table3
+//! ```
+
+use dp_bench::{generate, hr, ratio_row, run_flow, scale};
+use dreamplace_core::ToolMode;
+
+fn main() {
+    let modes = [
+        ToolMode::ReplaceBaseline { threads: 1 },
+        ToolMode::DreamplaceCpu { threads: 1 },
+        ToolMode::DreamplaceGpuSim,
+    ];
+    println!(
+        "Table III (industrial, float64) at 1/{} scale — HPWL and runtime per phase",
+        scale() * 2
+    );
+    hr(118);
+    print!("{:<10} {:>8} {:>8}", "design", "#cells", "#nets");
+    for m in &modes {
+        print!(" | {:^34}", m.label());
+    }
+    println!();
+    hr(118);
+
+    let mut hpwl_cols: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
+    let mut gp_cols: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
+    let mut total_cols: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
+
+    for preset in dp_gen::industrial_suite() {
+        let design = generate(preset, 2);
+        let stats = design.netlist.stats();
+        print!(
+            "{:<10} {:>8} {:>8}",
+            design.name, stats.num_cells, stats.num_nets
+        );
+        for (k, mode) in modes.iter().enumerate() {
+            let io = !matches!(mode, ToolMode::ReplaceBaseline { .. });
+            let row = run_flow(*mode, &design, io);
+            print!(
+                " | {:>10.4e} {:>6.1} {:>5.2} {:>5.2} {:>4.1}",
+                row.hpwl, row.gp, row.lg, row.dp, row.io
+            );
+            hpwl_cols[k].push(row.hpwl);
+            gp_cols[k].push(row.gp);
+            total_cols[k].push(row.total);
+        }
+        println!();
+    }
+    hr(118);
+    let last = modes.len() - 1;
+    print!("{:<28}", "ratio (vs GPU-sim)");
+    for k in 0..modes.len() {
+        print!(
+            " | HPWL {:>5.3}  GP {:>5.1}x  total {:>4.1}x",
+            ratio_row(&hpwl_cols[k], &hpwl_cols[last]),
+            ratio_row(&gp_cols[k], &gp_cols[last]),
+            ratio_row(&total_cols[k], &total_cols[last]),
+        );
+    }
+    println!();
+    println!("\npaper shape: same quality, large GP speedup, near-linear scaling with size");
+}

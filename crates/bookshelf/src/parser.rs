@@ -1,0 +1,559 @@
+//! Bookshelf parser: loads a design from its `.aux` file.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use dp_gen::RoutingHints;
+use dp_netlist::{BuilderCell, Netlist, NetlistBuilder, Placement, Row, RowGrid};
+use dp_num::Float;
+
+/// A parsed Bookshelf design.
+#[derive(Debug, Clone)]
+pub struct BookshelfDesign<T> {
+    /// Design name (the `.aux` stem).
+    pub name: String,
+    /// The hypergraph (with rows attached when `.scl` is present).
+    pub netlist: Netlist<T>,
+    /// Coordinates from `.pl` (cell centers; fixed and movable).
+    pub positions: Placement<T>,
+    /// Routing resources from `.route` (DAC 2012 suites), when present.
+    pub routing: Option<RoutingHints>,
+}
+
+/// Error raised while parsing Bookshelf files.
+#[derive(Debug)]
+pub enum ParseBookshelfError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A syntactic or semantic problem, with file and line context.
+    Malformed {
+        /// The file in which the problem occurred.
+        file: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseBookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBookshelfError::Io(e) => write!(f, "bookshelf io error: {e}"),
+            ParseBookshelfError::Malformed {
+                file,
+                line,
+                message,
+            } => {
+                write!(
+                    f,
+                    "malformed bookshelf file {}:{line}: {message}",
+                    file.display()
+                )
+            }
+        }
+    }
+}
+
+impl Error for ParseBookshelfError {}
+
+impl From<std::io::Error> for ParseBookshelfError {
+    fn from(e: std::io::Error) -> Self {
+        ParseBookshelfError::Io(e)
+    }
+}
+
+fn malformed(file: &Path, line: usize, message: impl Into<String>) -> ParseBookshelfError {
+    ParseBookshelfError::Malformed {
+        file: file.to_path_buf(),
+        line,
+        message: message.into(),
+    }
+}
+
+/// Lines of a Bookshelf file with comments and headers stripped.
+fn content_lines(path: &Path) -> Result<Vec<(usize, String)>, ParseBookshelfError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim().to_string()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with("UCLA"))
+        .collect())
+}
+
+/// Extracts `Key : value` integer headers like `NumNodes : 123`.
+fn header_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.strip_prefix(key)?.trim_start();
+    let rest = rest.strip_prefix(':')?.trim();
+    Some(rest.split_whitespace().next().unwrap_or("").to_string())
+}
+
+/// Reads a design from its `.aux` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError`] on I/O failures or malformed content.
+pub fn read_design<T: Float>(aux_path: &Path) -> Result<BookshelfDesign<T>, ParseBookshelfError> {
+    let aux_dir = aux_path.parent().unwrap_or(Path::new("."));
+    let name = aux_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "design".to_string());
+    let aux = std::fs::read_to_string(aux_path)?;
+    let mut files: HashMap<&str, PathBuf> = HashMap::new();
+    for token in aux.split_whitespace() {
+        if let Some(ext) = Path::new(token).extension() {
+            files.insert(
+                match ext.to_string_lossy().as_ref() {
+                    "nodes" => "nodes",
+                    "nets" => "nets",
+                    "pl" => "pl",
+                    "scl" => "scl",
+                    "wts" => "wts",
+                    "route" => "route",
+                    _ => continue,
+                },
+                aux_dir.join(token),
+            );
+        }
+    }
+    let get = |k: &str| -> Result<PathBuf, ParseBookshelfError> {
+        files
+            .get(k)
+            .cloned()
+            .ok_or_else(|| malformed(aux_path, 1, format!("aux lists no .{k} file")))
+    };
+
+    // --- .nodes ------------------------------------------------------
+    let nodes_path = get("nodes")?;
+    let mut node_names: Vec<String> = Vec::new();
+    let mut node_dims: Vec<(f64, f64, bool)> = Vec::new();
+    for (ln, line) in content_lines(&nodes_path)? {
+        if line.starts_with("NumNodes") || line.starts_with("NumTerminals") {
+            continue;
+        }
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        if tok.len() < 3 {
+            return Err(malformed(
+                &nodes_path,
+                ln,
+                "expected: name width height [terminal]",
+            ));
+        }
+        let w: f64 = tok[1]
+            .parse()
+            .map_err(|_| malformed(&nodes_path, ln, "bad width"))?;
+        let h: f64 = tok[2]
+            .parse()
+            .map_err(|_| malformed(&nodes_path, ln, "bad height"))?;
+        let fixed = tok.get(3).is_some_and(|t| t.starts_with("terminal"));
+        node_names.push(tok[0].to_string());
+        node_dims.push((w, h, fixed));
+    }
+
+    // --- .scl --------------------------------------------------------
+    let rows = match files.get("scl") {
+        Some(scl_path) => parse_scl::<T>(scl_path)?,
+        None => None,
+    };
+
+    // --- .pl ---------------------------------------------------------
+    let pl_path = get("pl")?;
+    let mut pl: HashMap<String, (f64, f64, bool)> = HashMap::new();
+    for (ln, line) in content_lines(&pl_path)? {
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        if tok.len() < 3 {
+            return Err(malformed(&pl_path, ln, "expected: name x y : orient"));
+        }
+        let x: f64 = tok[1]
+            .parse()
+            .map_err(|_| malformed(&pl_path, ln, "bad x"))?;
+        let y: f64 = tok[2]
+            .parse()
+            .map_err(|_| malformed(&pl_path, ln, "bad y"))?;
+        let fixed = line.contains("/FIXED");
+        pl.insert(tok[0].to_string(), (x, y, fixed));
+    }
+
+    // Region: prefer row extent, fall back to the pl/node bounding box.
+    let (xl, yl, xh, yh) = match &rows {
+        Some(grid) => {
+            let rs = grid.rows();
+            let xl = rs
+                .iter()
+                .map(|r| r.xl.to_f64())
+                .fold(f64::INFINITY, f64::min);
+            let xh = rs
+                .iter()
+                .map(|r| r.xh.to_f64())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let yl = rs.first().map(|r| r.y.to_f64()).unwrap_or(0.0);
+            let yh = rs.last().map(|r| (r.y + r.height).to_f64()).unwrap_or(0.0);
+            (xl, yl, xh, yh)
+        }
+        None => {
+            let mut xl = f64::INFINITY;
+            let mut yl = f64::INFINITY;
+            let mut xh = f64::NEG_INFINITY;
+            let mut yh = f64::NEG_INFINITY;
+            for (i, name) in node_names.iter().enumerate() {
+                if let Some(&(x, y, _)) = pl.get(name) {
+                    xl = xl.min(x);
+                    yl = yl.min(y);
+                    xh = xh.max(x + node_dims[i].0);
+                    yh = yh.max(y + node_dims[i].1);
+                }
+            }
+            (xl, yl, xh, yh)
+        }
+    };
+
+    // --- build netlist -------------------------------------------------
+    let mut builder = NetlistBuilder::<T>::new(
+        T::from_f64(xl),
+        T::from_f64(yl),
+        T::from_f64(xh.max(xl + 1.0)),
+        T::from_f64(yh.max(yl + 1.0)),
+    )
+    .allow_degenerate_nets(true);
+    if let Some(grid) = rows {
+        builder = builder.with_rows(grid);
+    }
+    let mut handles: HashMap<&str, BuilderCell> = HashMap::new();
+    for (i, name) in node_names.iter().enumerate() {
+        let (w, h, fixed) = node_dims[i];
+        let handle = if fixed {
+            builder.add_fixed_cell(T::from_f64(w), T::from_f64(h))
+        } else {
+            builder.add_movable_cell(T::from_f64(w), T::from_f64(h))
+        };
+        handles.insert(name.as_str(), handle);
+    }
+
+    // --- .wts (optional net weights) -----------------------------------
+    let mut weights: HashMap<String, f64> = HashMap::new();
+    if let Some(wts_path) = files.get("wts") {
+        if wts_path.exists() {
+            for (_, line) in content_lines(wts_path)? {
+                let tok: Vec<&str> = line.split_whitespace().collect();
+                if tok.len() == 2 {
+                    if let Ok(w) = tok[1].parse::<f64>() {
+                        weights.insert(tok[0].to_string(), w);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- .nets ---------------------------------------------------------
+    let nets_path = get("nets")?;
+    let lines = content_lines(&nets_path)?;
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let (ln, line) = &lines[idx];
+        idx += 1;
+        if line.starts_with("NumNets") || line.starts_with("NumPins") {
+            continue;
+        }
+        let Some(deg_str) = header_value(line, "NetDegree") else {
+            return Err(malformed(
+                &nets_path,
+                *ln,
+                format!("expected NetDegree, got: {line}"),
+            ));
+        };
+        let degree: usize = deg_str
+            .parse()
+            .map_err(|_| malformed(&nets_path, *ln, "bad NetDegree"))?;
+        let net_name = line.split_whitespace().last().unwrap_or("").to_string();
+        let mut pins = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            let (pln, pline) = lines
+                .get(idx)
+                .ok_or_else(|| malformed(&nets_path, *ln, "net truncated"))?;
+            idx += 1;
+            let tok: Vec<&str> = pline.split_whitespace().collect();
+            if tok.is_empty() {
+                return Err(malformed(&nets_path, *pln, "empty pin line"));
+            }
+            let cell = handles
+                .get(tok[0])
+                .copied()
+                .ok_or_else(|| malformed(&nets_path, *pln, format!("unknown node {}", tok[0])))?;
+            // Format: name dir : dx dy  (offsets optional)
+            let nums: Vec<f64> = tok
+                .iter()
+                .skip(1)
+                .filter_map(|t| t.parse::<f64>().ok())
+                .collect();
+            let (dx, dy) = match nums.as_slice() {
+                [dx, dy, ..] => (*dx, *dy),
+                _ => (0.0, 0.0),
+            };
+            pins.push((cell, T::from_f64(dx), T::from_f64(dy)));
+        }
+        let weight = weights.get(&net_name).copied().unwrap_or(1.0);
+        builder
+            .add_net(T::from_f64(weight), pins)
+            .expect("degenerate nets are allowed");
+    }
+
+    let netlist = builder
+        .build()
+        .map_err(|e| malformed(&nodes_path, 0, e.to_string()))?;
+
+    // Positions: movable cells keep pl coordinates too (useful for warm
+    // starts); convert lower-left to centers. The builder renumbers fixed
+    // cells after movable ones, preserving relative order in each class.
+    let mut positions = Placement::zeros(netlist.num_cells());
+    let mut mov_idx = 0usize;
+    let mut fix_idx = netlist.num_movable();
+    for (i, name2) in node_names.iter().enumerate() {
+        let (w, h, fixed) = node_dims[i];
+        let id = if fixed {
+            let id = fix_idx;
+            fix_idx += 1;
+            id
+        } else {
+            let id = mov_idx;
+            mov_idx += 1;
+            id
+        };
+        if let Some(&(x, y, _)) = pl.get(name2.as_str()) {
+            positions.x[id] = T::from_f64(x + w / 2.0);
+            positions.y[id] = T::from_f64(y + h / 2.0);
+        }
+    }
+
+    // --- .route (optional) -----------------------------------------------
+    let routing = match files.get("route") {
+        Some(route_path) if route_path.exists() => parse_route(route_path)?,
+        _ => None,
+    };
+
+    Ok(BookshelfDesign {
+        name,
+        netlist,
+        positions,
+        routing,
+    })
+}
+
+/// Parses a DAC 2012-style `.route` file into [`RoutingHints`]: layer
+/// count, per-direction capacities (max across layers of each preferred
+/// direction), and tile size.
+fn parse_route(path: &Path) -> Result<Option<RoutingHints>, ParseBookshelfError> {
+    let mut hints = RoutingHints::default();
+    let mut saw_layers = false;
+    for (ln, line) in content_lines(path)? {
+        let nums = |l: &str| -> Vec<usize> {
+            l.split(':')
+                .nth(1)
+                .unwrap_or("")
+                .split_whitespace()
+                .filter_map(|t| t.parse().ok())
+                .collect()
+        };
+        if line.starts_with("NumLayers") {
+            let v = nums(&line);
+            hints.num_layers = *v
+                .first()
+                .ok_or_else(|| malformed(path, ln, "bad NumLayers"))?;
+            saw_layers = true;
+        } else if line.starts_with("HorizontalCapacity") {
+            hints.capacity_h = nums(&line).into_iter().max().unwrap_or(0);
+        } else if line.starts_with("VerticalCapacity") {
+            hints.capacity_v = nums(&line).into_iter().max().unwrap_or(0);
+        } else if line.starts_with("TileSize") {
+            if let Some(&t) = nums(&line).first() {
+                hints.tile_sites = t;
+            }
+        }
+    }
+    Ok(saw_layers.then_some(hints))
+}
+
+/// Parses `.scl` rows; `None` when the file declares zero rows.
+fn parse_scl<T: Float>(path: &Path) -> Result<Option<RowGrid<T>>, ParseBookshelfError> {
+    let lines = content_lines(path)?;
+    let mut rows: Vec<Row<T>> = Vec::new();
+    let mut cur_y: Option<f64> = None;
+    let mut cur_h = 0.0f64;
+    let mut cur_site = 1.0f64;
+    let mut cur_origin = 0.0f64;
+    let mut cur_sites = 0usize;
+    for (ln, line) in lines {
+        if let Some(v) = header_value(&line, "Coordinate") {
+            cur_y = Some(
+                v.parse()
+                    .map_err(|_| malformed(path, ln, "bad Coordinate"))?,
+            );
+        } else if let Some(v) = header_value(&line, "Height") {
+            cur_h = v.parse().map_err(|_| malformed(path, ln, "bad Height"))?;
+        } else if let Some(v) = header_value(&line, "Sitewidth") {
+            cur_site = v
+                .parse()
+                .map_err(|_| malformed(path, ln, "bad Sitewidth"))?;
+        } else if line.starts_with("SubrowOrigin") {
+            // "SubrowOrigin : x NumSites : n"
+            let nums: Vec<f64> = line
+                .split_whitespace()
+                .filter_map(|t| t.parse::<f64>().ok())
+                .collect();
+            if nums.len() >= 2 {
+                cur_origin = nums[0];
+                cur_sites = nums[1] as usize;
+            }
+        } else if line == "End" {
+            if let Some(y) = cur_y.take() {
+                rows.push(Row {
+                    y: T::from_f64(y),
+                    height: T::from_f64(cur_h),
+                    xl: T::from_f64(cur_origin),
+                    xh: T::from_f64(cur_origin + cur_sites as f64 * cur_site),
+                    site_width: T::from_f64(cur_site),
+                });
+            }
+        }
+    }
+    Ok(if rows.is_empty() {
+        None
+    } else {
+        Some(RowGrid::from_rows(rows))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_design;
+    use dp_gen::GeneratorConfig;
+    use dp_netlist::hpwl;
+
+    fn round_trip(
+        tag: &str,
+        macros: usize,
+    ) -> (BookshelfDesign<f64>, dp_gen::GeneratedDesign<f64>) {
+        let d = GeneratorConfig::new(tag, 48, 55)
+            .with_macros(macros, 0.15)
+            .with_seed(21)
+            .generate::<f64>()
+            .expect("ok");
+        let dir = std::env::temp_dir().join(format!("dp-bookshelf-{tag}"));
+        write_design(&dir, tag, &d.netlist, &d.fixed_positions).expect("writes");
+        let parsed = read_design::<f64>(&dir.join(format!("{tag}.aux"))).expect("parses");
+        (parsed, d)
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let (parsed, original) = round_trip("rt1", 0);
+        assert_eq!(parsed.netlist.num_cells(), original.netlist.num_cells());
+        assert_eq!(parsed.netlist.num_movable(), original.netlist.num_movable());
+        assert_eq!(parsed.netlist.num_nets(), original.netlist.num_nets());
+        assert_eq!(parsed.netlist.num_pins(), original.netlist.num_pins());
+        let rows = parsed.netlist.rows().expect("scl parsed");
+        assert_eq!(
+            rows.rows().len(),
+            original.netlist.rows().expect("rows").rows().len()
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_hpwl() {
+        let (parsed, original) = round_trip("rt2", 2);
+        // Evaluate HPWL at the same coordinates on both sides.
+        let mut p = original.fixed_positions.clone();
+        for i in 0..original.netlist.num_movable() {
+            p.x[i] = 10.0 + (i % 13) as f64;
+            p.y[i] = 12.0 + (i % 7) as f64;
+        }
+        let a = hpwl(&original.netlist, &p);
+        let b = hpwl(&parsed.netlist, &p);
+        assert!((a - b).abs() < 1e-6 * a.max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn fixed_positions_survive() {
+        let (parsed, original) = round_trip("rt3", 3);
+        let n_mov = original.netlist.num_movable();
+        for i in n_mov..original.netlist.num_cells() {
+            assert!(
+                (parsed.positions.x[i] - original.fixed_positions.x[i]).abs() < 1e-9,
+                "fixed x {i}"
+            );
+            assert!(
+                (parsed.positions.y[i] - original.fixed_positions.y[i]).abs() < 1e-9,
+                "fixed y {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = read_design::<f64>(Path::new("/nonexistent/x.aux")).unwrap_err();
+        assert!(matches!(err, ParseBookshelfError::Io(_)));
+    }
+
+    #[test]
+    fn malformed_nodes_line_is_reported_with_location() {
+        let dir = std::env::temp_dir().join("dp-bookshelf-bad");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join("bad.aux"),
+            "RowBasedPlacement : bad.nodes bad.nets bad.pl",
+        )
+        .expect("write");
+        std::fs::write(dir.join("bad.nodes"), "UCLA nodes 1.0\nNumNodes : 1\no0\n").expect("write");
+        std::fs::write(dir.join("bad.nets"), "UCLA nets 1.0\n").expect("write");
+        std::fs::write(dir.join("bad.pl"), "UCLA pl 1.0\n").expect("write");
+        let err = read_design::<f64>(&dir.join("bad.aux")).unwrap_err();
+        match err {
+            ParseBookshelfError::Malformed { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod route_tests {
+    use super::*;
+    use crate::writer::{write_design, write_route_file};
+    use dp_gen::GeneratorConfig;
+
+    #[test]
+    fn route_file_round_trips() {
+        let d = GeneratorConfig::new("rt-route", 32, 40)
+            .generate::<f64>()
+            .expect("ok");
+        let dir = std::env::temp_dir().join("dp-bookshelf-route");
+        write_design(&dir, "rt-route", &d.netlist, &d.fixed_positions).expect("writes");
+        let hints = RoutingHints {
+            num_layers: 8,
+            capacity_h: 24,
+            capacity_v: 20,
+            tile_sites: 40,
+        };
+        write_route_file(&dir, "rt-route", &hints).expect("writes route");
+        let parsed = read_design::<f64>(&dir.join("rt-route.aux")).expect("parses");
+        let got = parsed.routing.expect("route file parsed");
+        assert_eq!(got.num_layers, 8);
+        assert_eq!(got.capacity_h, 24);
+        assert_eq!(got.capacity_v, 20);
+        assert_eq!(got.tile_sites, 40);
+    }
+
+    #[test]
+    fn missing_route_file_yields_none() {
+        let d = GeneratorConfig::new("rt-nr", 16, 20)
+            .generate::<f64>()
+            .expect("ok");
+        let dir = std::env::temp_dir().join("dp-bookshelf-noroute");
+        write_design(&dir, "rt-nr", &d.netlist, &d.fixed_positions).expect("writes");
+        let parsed = read_design::<f64>(&dir.join("rt-nr.aux")).expect("parses");
+        assert!(parsed.routing.is_none());
+    }
+}

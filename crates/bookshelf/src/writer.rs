@@ -1,0 +1,202 @@
+//! Bookshelf writer: emits `.aux/.nodes/.nets/.pl/.scl/.wts`.
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use dp_gen::RoutingHints;
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+
+/// Writes `<name>.{aux,nodes,nets,pl,scl,wts}` into `dir`.
+///
+/// Cell names are synthesized as `o<i>` and nets as `n<i>` (matching the
+/// contest suites' style); `positions` supplies fixed-cell coordinates and
+/// any current movable coordinates (cell centers; converted to the
+/// Bookshelf lower-left convention on output).
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_design<T: Float>(
+    dir: &Path,
+    name: &str,
+    nl: &Netlist<T>,
+    positions: &Placement<T>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = |ext: &str| dir.join(format!("{name}.{ext}"));
+
+    // .aux
+    let mut aux = BufWriter::new(std::fs::File::create(path("aux"))?);
+    writeln!(
+        aux,
+        "RowBasedPlacement : {name}.nodes {name}.nets {name}.wts {name}.pl {name}.scl"
+    )?;
+    aux.flush()?;
+
+    // .nodes
+    let mut nodes = BufWriter::new(std::fs::File::create(path("nodes"))?);
+    writeln!(nodes, "UCLA nodes 1.0")?;
+    writeln!(nodes, "NumNodes : {}", nl.num_cells())?;
+    writeln!(
+        nodes,
+        "NumTerminals : {}",
+        nl.num_cells() - nl.num_movable()
+    )?;
+    for c in 0..nl.num_cells() {
+        let w = nl.cell_widths()[c].to_f64();
+        let h = nl.cell_heights()[c].to_f64();
+        if c < nl.num_movable() {
+            writeln!(nodes, "  o{c} {w} {h}")?;
+        } else {
+            writeln!(nodes, "  o{c} {w} {h} terminal")?;
+        }
+    }
+    nodes.flush()?;
+
+    // .nets
+    let mut nets = BufWriter::new(std::fs::File::create(path("nets"))?);
+    writeln!(nets, "UCLA nets 1.0")?;
+    writeln!(nets, "NumNets : {}", nl.num_nets())?;
+    writeln!(nets, "NumPins : {}", nl.num_pins())?;
+    for net in nl.nets() {
+        let pins = nl.net_pins(net);
+        writeln!(nets, "NetDegree : {} n{}", pins.len(), net.index())?;
+        for &pin in pins {
+            let cell = nl.pin_cell(pin).index();
+            let (dx, dy) = nl.pin_offset(pin);
+            writeln!(nets, "  o{cell} B : {} {}", dx.to_f64(), dy.to_f64())?;
+        }
+    }
+    nets.flush()?;
+
+    // .wts (net weights)
+    let mut wts = BufWriter::new(std::fs::File::create(path("wts"))?);
+    writeln!(wts, "UCLA wts 1.0")?;
+    for net in nl.nets() {
+        writeln!(wts, "  n{} {}", net.index(), nl.net_weight(net).to_f64())?;
+    }
+    wts.flush()?;
+
+    // .pl (lower-left corners)
+    let mut pl = BufWriter::new(std::fs::File::create(path("pl"))?);
+    writeln!(pl, "UCLA pl 1.0")?;
+    for c in 0..nl.num_cells() {
+        let x = positions.x[c] - nl.cell_widths()[c] * T::HALF;
+        let y = positions.y[c] - nl.cell_heights()[c] * T::HALF;
+        let suffix = if c < nl.num_movable() { "" } else { " /FIXED" };
+        writeln!(pl, "o{c} {} {} : N{suffix}", x.to_f64(), y.to_f64())?;
+    }
+    pl.flush()?;
+
+    // .scl
+    let mut scl = BufWriter::new(std::fs::File::create(path("scl"))?);
+    writeln!(scl, "UCLA scl 1.0")?;
+    if let Some(rows) = nl.rows() {
+        writeln!(scl, "NumRows : {}", rows.rows().len())?;
+        for row in rows.rows() {
+            let num_sites = row.num_sites();
+            writeln!(scl, "CoreRow Horizontal")?;
+            writeln!(scl, "  Coordinate    : {}", row.y.to_f64())?;
+            writeln!(scl, "  Height        : {}", row.height.to_f64())?;
+            writeln!(scl, "  Sitewidth     : {}", row.site_width.to_f64())?;
+            writeln!(scl, "  Sitespacing   : {}", row.site_width.to_f64())?;
+            writeln!(scl, "  Siteorient    : 1")?;
+            writeln!(scl, "  Sitesymmetry  : 1")?;
+            writeln!(
+                scl,
+                "  SubrowOrigin  : {}  NumSites : {}",
+                row.xl.to_f64(),
+                num_sites
+            )?;
+            writeln!(scl, "End")?;
+        }
+    } else {
+        writeln!(scl, "NumRows : 0")?;
+    }
+    scl.flush()?;
+    Ok(())
+}
+
+/// Writes the DAC 2012-style `<name>.route` routing-resource file and
+/// appends it to the design's `.aux` line.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_route_file(dir: &Path, name: &str, hints: &RoutingHints) -> std::io::Result<()> {
+    let path = dir.join(format!("{name}.route"));
+    let mut out = BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "route 1.0")?;
+    writeln!(out, "NumLayers          : {}", hints.num_layers)?;
+    // Alternating preferred directions starting horizontal: vertical layers
+    // get 0 horizontal capacity and vice versa (contest convention).
+    let h: Vec<String> = (0..hints.num_layers)
+        .map(|l| {
+            if l % 2 == 0 {
+                hints.capacity_h.to_string()
+            } else {
+                "0".into()
+            }
+        })
+        .collect();
+    let v: Vec<String> = (0..hints.num_layers)
+        .map(|l| {
+            if l % 2 == 1 {
+                hints.capacity_v.to_string()
+            } else {
+                "0".into()
+            }
+        })
+        .collect();
+    writeln!(out, "HorizontalCapacity : {}", h.join(" "))?;
+    writeln!(out, "VerticalCapacity   : {}", v.join(" "))?;
+    writeln!(
+        out,
+        "TileSize           : {} {}",
+        hints.tile_sites, hints.tile_sites
+    )?;
+    out.flush()?;
+    // Append to the aux line.
+    let aux_path = dir.join(format!("{name}.aux"));
+    let mut aux = std::fs::read_to_string(&aux_path)?;
+    if !aux.contains(&format!("{name}.route")) {
+        aux = format!("{} {name}.route\n", aux.trim_end());
+        std::fs::write(&aux_path, aux)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_gen::GeneratorConfig;
+
+    #[test]
+    fn writes_all_five_files() {
+        let d = GeneratorConfig::new("w", 32, 40)
+            .generate::<f64>()
+            .expect("ok");
+        let dir = std::env::temp_dir().join("dp-bookshelf-writer-test");
+        write_design(&dir, "w", &d.netlist, &d.fixed_positions).expect("writes");
+        for ext in ["aux", "nodes", "nets", "pl", "scl", "wts"] {
+            let p = dir.join(format!("w.{ext}"));
+            assert!(p.exists(), "{p:?} missing");
+            assert!(std::fs::metadata(&p).expect("stat").len() > 0);
+        }
+    }
+
+    #[test]
+    fn nodes_header_counts_match() {
+        let d = GeneratorConfig::new("w2", 20, 25)
+            .with_macros(2, 0.2)
+            .generate::<f64>()
+            .expect("ok");
+        let dir = std::env::temp_dir().join("dp-bookshelf-writer-test2");
+        write_design(&dir, "w2", &d.netlist, &d.fixed_positions).expect("writes");
+        let nodes = std::fs::read_to_string(dir.join("w2.nodes")).expect("read");
+        assert!(nodes.contains(&format!("NumNodes : {}", d.netlist.num_cells())));
+        assert!(nodes.contains("NumTerminals : 2"));
+        assert_eq!(nodes.matches("terminal").count(), 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! The full placement flow: (IO) -> GP -> LG -> DP.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use dp_dplace::{DetailedPlacer, DpStats};
+use dp_gen::GeneratedDesign;
+use dp_gp::{GlobalPlacer, GpConfig, GpError, GpStats};
+use dp_lg::{check_legal, Legalizer, LgError, LgStats};
+use dp_netlist::{hpwl, Placement};
+use dp_num::Float;
+
+use crate::modes::ToolMode;
+
+/// Error raised by the full flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Global placement failed.
+    Gp(GpError),
+    /// Legalization failed.
+    Lg(LgError),
+    /// The legalized placement failed the legality audit.
+    IllegalResult {
+        /// Number of overlapping pairs found.
+        overlaps: usize,
+    },
+    /// Bookshelf IO round-trip failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Gp(e) => write!(f, "global placement failed: {e}"),
+            FlowError::Lg(e) => write!(f, "legalization failed: {e}"),
+            FlowError::IllegalResult { overlaps } => {
+                write!(f, "legalized placement has {overlaps} overlapping pairs")
+            }
+            FlowError::Io(e) => write!(f, "bookshelf io failed: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<GpError> for FlowError {
+    fn from(e: GpError) -> Self {
+        FlowError::Gp(e)
+    }
+}
+
+impl From<LgError> for FlowError {
+    fn from(e: LgError) -> Self {
+        FlowError::Lg(e)
+    }
+}
+
+impl From<std::io::Error> for FlowError {
+    fn from(e: std::io::Error) -> Self {
+        FlowError::Io(e)
+    }
+}
+
+/// Wall-clock seconds per flow phase (the columns of Tables II/III).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowTiming {
+    /// Bookshelf write+read round-trip (0 when disabled).
+    pub io: f64,
+    /// Global placement.
+    pub gp: f64,
+    /// Legalization.
+    pub lg: f64,
+    /// Detailed placement.
+    pub dp: f64,
+    /// End to end.
+    pub total: f64,
+}
+
+/// Result of the full flow.
+#[derive(Debug, Clone)]
+pub struct FlowResult<T> {
+    /// Final (legal) placement.
+    pub placement: Placement<T>,
+    /// HPWL right after global placement.
+    pub hpwl_gp: f64,
+    /// HPWL after legalization.
+    pub hpwl_legal: f64,
+    /// HPWL after detailed placement (the tables' HPWL column).
+    pub hpwl_final: f64,
+    /// Global placement statistics.
+    pub gp: GpStats,
+    /// Legalization statistics.
+    pub lg: LgStats,
+    /// Detailed placement statistics (`None` when DP is disabled).
+    pub dp: Option<DpStats>,
+    /// Phase timing.
+    pub timing: FlowTiming,
+}
+
+/// Flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig<T> {
+    /// Global placement configuration (see [`ToolMode::gp_config`]).
+    pub gp: GpConfig<T>,
+    /// Run the detailed placement stage.
+    pub run_dp: bool,
+    /// Detailed placement knobs.
+    pub dp: DetailedPlacer,
+    /// Run detailed placement through the batched (ABCDPlace-style)
+    /// driver with this many proposal workers instead of the sequential
+    /// one (the paper's GPU-DP direction).
+    pub batched_dp_threads: Option<usize>,
+    /// Round-trip the design through Bookshelf files to measure IO (the
+    /// paper's IO column). Uses a per-design temp directory.
+    pub io_roundtrip: bool,
+}
+
+impl<T: Float> FlowConfig<T> {
+    /// Builds the configuration for a tool mode with flow defaults
+    /// (DP enabled, IO disabled).
+    pub fn for_mode(mode: ToolMode, netlist: &dp_netlist::Netlist<T>) -> Self {
+        Self {
+            gp: mode.gp_config(netlist),
+            run_dp: true,
+            dp: DetailedPlacer::new(),
+            batched_dp_threads: None,
+            io_roundtrip: false,
+        }
+    }
+}
+
+/// The flow driver; see the [crate example](crate).
+pub struct DreamPlacer<T> {
+    config: FlowConfig<T>,
+}
+
+impl<T: Float> DreamPlacer<T> {
+    /// Creates the driver.
+    pub fn new(config: FlowConfig<T>) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FlowConfig<T> {
+        &self.config
+    }
+
+    /// Runs the full flow on a design.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn place(&self, design: &GeneratedDesign<T>) -> Result<FlowResult<T>, FlowError> {
+        let t_total = Instant::now();
+        let mut timing = FlowTiming::default();
+
+        // --- IO (optional Bookshelf round-trip) -------------------------
+        let t_io = Instant::now();
+        let io_design;
+        let (nl, fixed) = if self.config.io_roundtrip {
+            let dir = std::env::temp_dir().join(format!("dreamplace-io-{}", design.name));
+            dp_bookshelf::write_design(
+                &dir,
+                &design.name,
+                &design.netlist,
+                &design.fixed_positions,
+            )?;
+            let parsed = dp_bookshelf::read_design::<T>(&dir.join(format!("{}.aux", design.name)))
+                .map_err(|e| {
+                    FlowError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                })?;
+            io_design = parsed;
+            (&io_design.netlist, &io_design.positions)
+        } else {
+            (&design.netlist, &design.fixed_positions)
+        };
+        timing.io = t_io.elapsed().as_secs_f64();
+
+        // --- global placement -------------------------------------------
+        let t_gp = Instant::now();
+        let gp_result = GlobalPlacer::new(self.config.gp.clone()).place(nl, fixed)?;
+        timing.gp = t_gp.elapsed().as_secs_f64();
+        let mut placement = gp_result.placement;
+        let hpwl_gp = hpwl(nl, &placement).to_f64();
+
+        // --- legalization -------------------------------------------------
+        let t_lg = Instant::now();
+        let lg_stats = Legalizer::new().legalize(nl, &mut placement)?;
+        timing.lg = t_lg.elapsed().as_secs_f64();
+        let hpwl_legal = hpwl(nl, &placement).to_f64();
+        let report = check_legal(nl, &placement);
+        if !report.is_legal() {
+            return Err(FlowError::IllegalResult {
+                overlaps: report.overlaps,
+            });
+        }
+
+        // --- detailed placement -------------------------------------------
+        let t_dp = Instant::now();
+        let dp_stats = if self.config.run_dp {
+            Some(match self.config.batched_dp_threads {
+                Some(threads) => {
+                    dp_dplace::BatchedDetailedPlacer::new(threads).run(nl, &mut placement)
+                }
+                None => self.config.dp.run(nl, &mut placement),
+            })
+        } else {
+            None
+        };
+        timing.dp = t_dp.elapsed().as_secs_f64();
+        let hpwl_final = hpwl(nl, &placement).to_f64();
+
+        // Write the final placement back when IO is being measured.
+        if self.config.io_roundtrip {
+            let t_io2 = Instant::now();
+            let dir = std::env::temp_dir().join(format!("dreamplace-io-{}", design.name));
+            dp_bookshelf::write_design(&dir, &format!("{}-final", design.name), nl, &placement)?;
+            timing.io += t_io2.elapsed().as_secs_f64();
+        }
+
+        timing.total = t_total.elapsed().as_secs_f64();
+        Ok(FlowResult {
+            placement,
+            hpwl_gp,
+            hpwl_legal,
+            hpwl_final,
+            gp: gp_result.stats,
+            lg: lg_stats,
+            dp: dp_stats,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_gen::GeneratorConfig;
+
+    fn design() -> GeneratedDesign<f64> {
+        GeneratorConfig::new("flow-test", 300, 330)
+            .with_seed(12)
+            .with_utilization(0.6)
+            .generate::<f64>()
+            .expect("ok")
+    }
+
+    fn quick(mode: ToolMode, d: &GeneratedDesign<f64>) -> FlowConfig<f64> {
+        let mut cfg = FlowConfig::for_mode(mode, &d.netlist);
+        cfg.gp.max_iters = 300;
+        cfg.gp.target_overflow = 0.15;
+        if let dp_gp::InitKind::WirelengthOnly { iters } = cfg.gp.init {
+            cfg.gp.init = dp_gp::InitKind::WirelengthOnly {
+                iters: iters.min(50),
+            };
+        }
+        cfg
+    }
+
+    #[test]
+    fn full_flow_produces_legal_improving_placement() {
+        let d = design();
+        let cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        let r = DreamPlacer::new(cfg).place(&d).expect("flow runs");
+        assert!(r.hpwl_final <= r.hpwl_legal, "DP must not hurt");
+        assert!(r.hpwl_final > 0.0);
+        assert!(r.timing.gp > 0.0 && r.timing.lg > 0.0);
+        let report = check_legal(&d.netlist, &r.placement);
+        assert!(report.is_legal(), "{report:?}");
+    }
+
+    #[test]
+    fn baseline_and_dreamplace_reach_similar_quality() {
+        let d = design();
+        let fast = DreamPlacer::new(quick(ToolMode::DreamplaceGpuSim, &d))
+            .place(&d)
+            .expect("fast flow");
+        let base = DreamPlacer::new(quick(ToolMode::ReplaceBaseline { threads: 1 }, &d))
+            .place(&d)
+            .expect("baseline flow");
+        let gap = (fast.hpwl_final - base.hpwl_final).abs() / base.hpwl_final;
+        assert!(
+            gap < 0.12,
+            "quality gap {gap} too large: {} vs {}",
+            fast.hpwl_final,
+            base.hpwl_final
+        );
+        // Baseline spends extra time in its initial placement stage.
+        assert!(base.gp.timing.init > fast.gp.timing.init);
+    }
+
+    #[test]
+    fn io_roundtrip_is_timed_and_preserves_result_quality() {
+        let d = design();
+        let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        cfg.io_roundtrip = true;
+        let r = DreamPlacer::new(cfg).place(&d).expect("flow with io");
+        assert!(r.timing.io > 0.0);
+        assert!(r.hpwl_final.is_finite());
+    }
+}

@@ -1,0 +1,204 @@
+//! Placement visualization: SVG snapshots and density heatmaps.
+//!
+//! Small but invaluable for an open-source placer: a picture of the
+//! placement (cells, macros, optional fence regions) and a PPM heatmap of
+//! the bin density map.
+
+use std::io::Write;
+use std::path::Path;
+
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+
+/// Options for [`write_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Output image width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Fence rectangles to outline, if any.
+    pub fences: Vec<(f64, f64, f64, f64)>,
+    /// Optional per-movable-cell group index for coloring (e.g. fence
+    /// region); cells without a group render in the default color.
+    pub groups: Option<Vec<Option<u16>>>,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width_px: 800.0,
+            fences: Vec::new(),
+            groups: None,
+        }
+    }
+}
+
+const GROUP_COLORS: [&str; 6] = [
+    "#4878cf", "#d65f5f", "#6acc65", "#b47cc7", "#c4ad66", "#77bedb",
+];
+
+/// Writes an SVG snapshot of the placement.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dreamplace_core::viz::{write_svg, SvgOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let design = dp_gen::GeneratorConfig::new("v", 100, 110).generate::<f64>()?;
+/// # let p = dp_gp::initial_placement(&design.netlist, &design.fixed_positions, 0.2, 1);
+/// write_svg("placement.svg".as_ref(), &design.netlist, &p, &SvgOptions::default())?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_svg<T: Float>(
+    path: &Path,
+    nl: &Netlist<T>,
+    p: &Placement<T>,
+    options: &SvgOptions,
+) -> std::io::Result<()> {
+    let region = nl.region();
+    let (rx, ry, rw, rh) = (
+        region.xl.to_f64(),
+        region.yl.to_f64(),
+        region.width().to_f64(),
+        region.height().to_f64(),
+    );
+    let scale = options.width_px / rw;
+    let height_px = rh * scale;
+    // SVG y grows downward; flip so the layout's y grows upward.
+    let tx = |x: f64| (x - rx) * scale;
+    let ty = |y: f64| height_px - (y - ry) * scale;
+
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        options.width_px, height_px, options.width_px, height_px
+    )?;
+    writeln!(
+        out,
+        r##"<rect x="0" y="0" width="{:.0}" height="{:.0}" fill="#fafafa" stroke="#333"/>"##,
+        options.width_px, height_px
+    )?;
+
+    // Fixed macros first (dark), then movable cells.
+    for c in 0..nl.num_cells() {
+        let w = nl.cell_widths()[c].to_f64() * scale;
+        let h = nl.cell_heights()[c].to_f64() * scale;
+        let x = tx(p.x[c].to_f64()) - w / 2.0;
+        let y = ty(p.y[c].to_f64()) - h / 2.0;
+        let fill = if c >= nl.num_movable() {
+            "#444444"
+        } else {
+            match &options.groups {
+                Some(groups) => match groups.get(c).copied().flatten() {
+                    Some(g) => GROUP_COLORS[g as usize % GROUP_COLORS.len()],
+                    None => "#9fb4d0",
+                },
+                None => "#9fb4d0",
+            }
+        };
+        writeln!(
+            out,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" fill-opacity="0.8" stroke="none"/>"#
+        )?;
+    }
+
+    for &(fx, fy, fxh, fyh) in &options.fences {
+        let x = tx(fx);
+        let y = ty(fyh);
+        let w = (fxh - fx) * scale;
+        let h = (fyh - fy) * scale;
+        writeln!(
+            out,
+            r##"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="none" stroke="#d62728" stroke-width="2" stroke-dasharray="6,4"/>"##
+        )?;
+    }
+    writeln!(out, "</svg>")?;
+    out.flush()
+}
+
+/// Writes a grayscale PPM heatmap of a density map (row-major `mx x my`,
+/// x-major as produced by the density builder). White = empty, black =
+/// at/above `saturate` (area units).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Panics
+///
+/// Panics if `map.len() != mx * my` or `saturate <= 0`.
+pub fn write_density_ppm(
+    path: &Path,
+    map: &[f64],
+    mx: usize,
+    my: usize,
+    saturate: f64,
+) -> std::io::Result<()> {
+    assert_eq!(map.len(), mx * my, "map shape mismatch");
+    assert!(saturate > 0.0, "saturation level must be positive");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "P5\n{mx} {my}\n255")?;
+    let mut row = Vec::with_capacity(mx);
+    // PPM rows top-to-bottom: flip y.
+    for j in (0..my).rev() {
+        row.clear();
+        for i in 0..mx {
+            let v = (map[i * my + j] / saturate).clamp(0.0, 1.0);
+            row.push(255 - (v * 255.0) as u8);
+        }
+        out.write_all(&row)?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_gen::GeneratorConfig;
+    use dp_gp::initial_placement;
+
+    #[test]
+    fn svg_contains_all_cells() {
+        let d = GeneratorConfig::new("viz", 40, 44)
+            .with_macros(2, 0.2)
+            .generate::<f64>()
+            .expect("ok");
+        let p = initial_placement(&d.netlist, &d.fixed_positions, 0.2, 1);
+        let path = std::env::temp_dir().join("dp-viz-test.svg");
+        let options = SvgOptions {
+            fences: vec![(0.0, 0.0, 10.0, 10.0)],
+            groups: Some((0..40).map(|c| (c % 2 == 0).then_some(0u16)).collect()),
+            ..SvgOptions::default()
+        };
+        write_svg(&path, &d.netlist, &p, &options).expect("writes");
+        let svg = std::fs::read_to_string(&path).expect("reads");
+        // background + cells + fence
+        assert_eq!(svg.matches("<rect").count(), 1 + d.netlist.num_cells() + 1);
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn ppm_has_correct_header_and_size() {
+        let path = std::env::temp_dir().join("dp-viz-test.ppm");
+        let map = vec![0.5; 8 * 4];
+        write_density_ppm(&path, &map, 8, 4, 1.0).expect("writes");
+        let bytes = std::fs::read(&path).expect("reads");
+        let header = b"P5\n8 4\n255\n";
+        assert!(bytes.starts_with(header));
+        assert_eq!(bytes.len(), header.len() + 32);
+        // 0.5 of saturation maps to mid-gray.
+        assert_eq!(bytes[header.len()], 255 - 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "map shape")]
+    fn ppm_rejects_bad_shape() {
+        let _ = write_density_ppm(Path::new("/dev/null"), &[0.0; 10], 4, 4, 1.0);
+    }
+}

@@ -1,0 +1,559 @@
+//! 2-D DCT/IDCT and the mixed IDCT·IDXST / IDXST·IDCT transforms.
+//!
+//! Two implementations are provided, mirroring the paper's Fig. 11
+//! comparison:
+//!
+//! * [`RowColumnDct2d`] — the conventional row-column decomposition using a
+//!   1-D tier ([`Dct1dTier::TwoN`] or [`Dct1dTier::NPoint`]) along each axis;
+//! * [`Dct2dPlan`] — the direct 2-D algorithm of paper Algorithm 4
+//!   (Eqs. (10)-(17)): one 2-D real FFT plus fully parallel linear-time
+//!   pre/post-processing kernels.
+//!
+//! Matrices are row-major with shape `(n1, n2)`; element `(i, j)` lives at
+//! `i * n2 + j`. "Dimension 1" indexes rows (`n1`), "dimension 2" indexes
+//! columns (`n2`), matching the paper's `x(n1, n2)` notation.
+
+use dp_num::{Complex, Float};
+
+use crate::dct1d::{Dct2nPlan, DctNPlan};
+use crate::fft::FftPlan;
+use crate::rfft::RfftPlan;
+use crate::TransformError;
+
+/// Which 1-D algorithm a [`RowColumnDct2d`] uses along each axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dct1dTier {
+    /// DCT via a 2N-point FFT ("DCT-2N" in Fig. 11).
+    TwoN,
+    /// Makhoul's N-point real-FFT algorithm, paper Algorithm 3 ("DCT-N").
+    NPoint,
+}
+
+enum TierPlan<T> {
+    TwoN(Dct2nPlan<T>),
+    NPoint(DctNPlan<T>),
+}
+
+impl<T: Float> TierPlan<T> {
+    fn new(tier: Dct1dTier, n: usize) -> Result<Self, TransformError> {
+        Ok(match tier {
+            Dct1dTier::TwoN => TierPlan::TwoN(Dct2nPlan::new(n)?),
+            Dct1dTier::NPoint => TierPlan::NPoint(DctNPlan::new(n)?),
+        })
+    }
+
+    fn dct(&self, x: &[T]) -> Vec<T> {
+        match self {
+            TierPlan::TwoN(p) => p.dct(x),
+            TierPlan::NPoint(p) => p.dct(x),
+        }
+    }
+
+    fn idct(&self, x: &[T]) -> Vec<T> {
+        match self {
+            TierPlan::TwoN(p) => p.idct(x),
+            TierPlan::NPoint(p) => p.idct(x),
+        }
+    }
+
+    fn idxst(&self, x: &[T]) -> Vec<T> {
+        match self {
+            TierPlan::TwoN(p) => p.idxst(x),
+            TierPlan::NPoint(p) => p.idxst(x),
+        }
+    }
+}
+
+/// Row-column 2-D transforms with a selectable 1-D tier.
+///
+/// # Examples
+///
+/// ```
+/// use dp_dct::dct2d::{Dct1dTier, RowColumnDct2d};
+///
+/// # fn main() -> Result<(), dp_dct::TransformError> {
+/// let plan: RowColumnDct2d<f64> = RowColumnDct2d::new(4, 8, Dct1dTier::NPoint)?;
+/// let x = vec![2.0f64; 32];
+/// let back = plan.idct2(&plan.dct2(&x));
+/// assert!(back.iter().all(|v| (v - 2.0).abs() < 1e-10));
+/// # Ok(())
+/// # }
+/// ```
+pub struct RowColumnDct2d<T> {
+    n1: usize,
+    n2: usize,
+    row_plan: TierPlan<T>,
+    col_plan: TierPlan<T>,
+}
+
+impl<T: Float> RowColumnDct2d<T> {
+    /// Creates a plan for `n1 x n2` matrices using `tier` along both axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NonPowerOfTwo`] if either dimension is
+    /// unsupported by the chosen tier.
+    pub fn new(n1: usize, n2: usize, tier: Dct1dTier) -> Result<Self, TransformError> {
+        Ok(Self {
+            n1,
+            n2,
+            row_plan: TierPlan::new(tier, n2)?,
+            col_plan: TierPlan::new(tier, n1)?,
+        })
+    }
+
+    /// Matrix shape `(n1, n2)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// 2-D forward DCT (rows then columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn dct2(&self, x: &[T]) -> Vec<T> {
+        let rows = self.apply_rows(x, |p, r| p.dct(r));
+        self.apply_cols(&rows, |p, c| p.dct(c))
+    }
+
+    /// 2-D inverse DCT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idct2(&self, x: &[T]) -> Vec<T> {
+        let rows = self.apply_rows(x, |p, r| p.idct(r));
+        self.apply_cols(&rows, |p, c| p.idct(c))
+    }
+
+    /// IDCT along dimension 1, IDXST along dimension 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idct_idxst(&self, x: &[T]) -> Vec<T> {
+        let rows = self.apply_rows(x, |p, r| p.idxst(r));
+        self.apply_cols(&rows, |p, c| p.idct(c))
+    }
+
+    /// IDXST along dimension 1, IDCT along dimension 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idxst_idct(&self, x: &[T]) -> Vec<T> {
+        let rows = self.apply_rows(x, |p, r| p.idct(r));
+        self.apply_cols(&rows, |p, c| p.idxst(c))
+    }
+
+    fn apply_rows(&self, x: &[T], f: impl Fn(&TierPlan<T>, &[T]) -> Vec<T>) -> Vec<T> {
+        assert_eq!(x.len(), self.n1 * self.n2, "matrix shape mismatch");
+        let mut out = Vec::with_capacity(x.len());
+        for r in 0..self.n1 {
+            out.extend(f(&self.row_plan, &x[r * self.n2..(r + 1) * self.n2]));
+        }
+        out
+    }
+
+    fn apply_cols(&self, x: &[T], f: impl Fn(&TierPlan<T>, &[T]) -> Vec<T>) -> Vec<T> {
+        let mut out = vec![T::ZERO; x.len()];
+        let mut col = vec![T::ZERO; self.n1];
+        for c in 0..self.n2 {
+            for r in 0..self.n1 {
+                col[r] = x[r * self.n2 + c];
+            }
+            let t = f(&self.col_plan, &col);
+            for r in 0..self.n1 {
+                out[r * self.n2 + c] = t[r];
+            }
+        }
+        out
+    }
+}
+
+/// The direct 2-D plan of paper Algorithm 4: each transform is one 2-D real
+/// FFT call wrapped in linear-time pre/post-processing.
+///
+/// This is the tier labelled "DCT-2D-N" in Fig. 11 and the one the density
+/// operator uses in the optimized configuration.
+///
+/// # Examples
+///
+/// ```
+/// use dp_dct::Dct2dPlan;
+///
+/// # fn main() -> Result<(), dp_dct::TransformError> {
+/// let plan: Dct2dPlan<f64> = Dct2dPlan::new(8, 16)?;
+/// let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.05).sin()).collect();
+/// let back = plan.idct2(&plan.dct2(&x));
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-10);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct Dct2dPlan<T> {
+    n1: usize,
+    n2: usize,
+    row_rfft: RfftPlan<T>,
+    col_fft: FftPlan<T>,
+    /// `e^{-i pi k / (2 n1)}` for `k = 0..n1`.
+    w1: Vec<Complex<T>>,
+    /// `e^{-i pi k / (2 n2)}` for `k = 0..n2`.
+    w2: Vec<Complex<T>>,
+}
+
+impl<T: Float> Dct2dPlan<T> {
+    /// Creates a direct 2-D plan for `n1 x n2` matrices (both powers of two,
+    /// `n2 >= 4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NonPowerOfTwo`] for unsupported shapes.
+    pub fn new(n1: usize, n2: usize) -> Result<Self, TransformError> {
+        crate::check_pow2(n1)?;
+        crate::check_pow2(n2)?;
+        let row_rfft = RfftPlan::new(n2)?;
+        let col_fft = FftPlan::new(n1)?;
+        let phase = |k: usize, n: usize| {
+            Complex::cis(T::from_f64(
+                -std::f64::consts::PI * k as f64 / (2.0 * n as f64),
+            ))
+        };
+        Ok(Self {
+            n1,
+            n2,
+            row_rfft,
+            col_fft,
+            w1: (0..n1).map(|k| phase(k, n1)).collect(),
+            w2: (0..n2).map(|k| phase(k, n2)).collect(),
+        })
+    }
+
+    /// Matrix shape `(n1, n2)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// 2-D real FFT: `n1 x n2` reals to `n1 x (n2/2 + 1)` complex bins
+    /// (unnormalized), rows first then columns.
+    fn rfft2(&self, x: &[T]) -> Vec<Complex<T>> {
+        let (n1, n2) = (self.n1, self.n2);
+        let n2h = n2 / 2 + 1;
+        let mut spec = vec![Complex::zero(); n1 * n2h];
+        for r in 0..n1 {
+            let row = self.row_rfft.forward(&x[r * n2..(r + 1) * n2]);
+            spec[r * n2h..(r + 1) * n2h].copy_from_slice(&row);
+        }
+        let mut col = vec![Complex::zero(); n1];
+        for c in 0..n2h {
+            for r in 0..n1 {
+                col[r] = spec[r * n2h + c];
+            }
+            self.col_fft.forward(&mut col);
+            for r in 0..n1 {
+                spec[r * n2h + c] = col[r];
+            }
+        }
+        spec
+    }
+
+    /// Inverse of [`Dct2dPlan::rfft2`] with full `1/(n1 n2)` normalization.
+    fn irfft2(&self, spec: &[Complex<T>]) -> Vec<T> {
+        let (n1, n2) = (self.n1, self.n2);
+        let n2h = n2 / 2 + 1;
+        let mut work = spec.to_vec();
+        let mut col = vec![Complex::zero(); n1];
+        for c in 0..n2h {
+            for r in 0..n1 {
+                col[r] = work[r * n2h + c];
+            }
+            self.col_fft.inverse(&mut col);
+            for r in 0..n1 {
+                work[r * n2h + c] = col[r];
+            }
+        }
+        let mut out = vec![T::ZERO; n1 * n2];
+        for r in 0..n1 {
+            let row = self.row_rfft.inverse(&work[r * n2h..(r + 1) * n2h]);
+            out[r * n2..(r + 1) * n2].copy_from_slice(&row);
+        }
+        out
+    }
+
+    /// Reads the full (wrapped) 2-D spectrum from one-sided storage using
+    /// Hermitian symmetry `V(k1, k2) = conj(V((n1-k1)%n1, n2-k2))`.
+    #[inline]
+    fn spec_at(&self, spec: &[Complex<T>], k1: usize, k2: usize) -> Complex<T> {
+        let n2h = self.n2 / 2 + 1;
+        if k2 < n2h {
+            spec[k1 * n2h + k2]
+        } else {
+            let r1 = (self.n1 - k1) % self.n1;
+            let r2 = self.n2 - k2;
+            spec[r1 * n2h + r2].conj()
+        }
+    }
+
+    /// Forward 2-D DCT (paper Algorithm 4, `2D_DCT`).
+    ///
+    /// Matches `RowColumnDct2d::dct2` exactly (library normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn dct2(&self, x: &[T]) -> Vec<T> {
+        let (n1, n2) = (self.n1, self.n2);
+        assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
+        // Preprocess (Eq. 10): the 1-D even/odd reorder applied to both axes.
+        let r1: Vec<usize> = reorder_index(n1);
+        let r2: Vec<usize> = reorder_index(n2);
+        let mut perm = vec![T::ZERO; n1 * n2];
+        for (i, &src_i) in r1.iter().enumerate() {
+            for (j, &src_j) in r2.iter().enumerate() {
+                perm[i * n2 + j] = x[src_i * n2 + src_j];
+            }
+        }
+        let spec = self.rfft2(&perm);
+        // Postprocess (Eq. 11 with Hermitian wrap):
+        // y = (1/(N1 N2)) * 2 Re{ W1(k1) [W2(k2) V(k1,k2)
+        //                                 + conj(W2(k2)) V(k1,(N2-k2)%N2)] }.
+        let scale = T::TWO / T::from_usize(n1 * n2);
+        let mut out = vec![T::ZERO; n1 * n2];
+        for k1 in 0..n1 {
+            for k2 in 0..n2 {
+                let v = self.spec_at(&spec, k1, k2);
+                let vr = self.spec_at(&spec, k1, (n2 - k2) % n2);
+                let inner = self.w2[k2] * v + self.w2[k2].conj() * vr;
+                out[k1 * n2 + k2] = (self.w1[k1] * inner).re * scale;
+            }
+        }
+        out
+    }
+
+    /// Inverse 2-D DCT (paper Algorithm 4, `2D_IDCT`), the exact inverse of
+    /// [`Dct2dPlan::dct2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != n1 * n2`.
+    pub fn idct2(&self, c: &[T]) -> Vec<T> {
+        let (n1, n2) = (self.n1, self.n2);
+        assert_eq!(c.len(), n1 * n2, "matrix shape mismatch");
+        // Preprocess (Eq. 12):
+        // V(k1,k2) = (N1 N2 / 4) conj(W1) conj(W2)
+        //            [c(k1,k2) - c(N1-k1, N2-k2) - i(c(N1-k1,k2) + c(k1,N2-k2))]
+        // with c(N1,.) = c(.,N2) = 0 (zero padding, not wraparound: c is data).
+        let n2h = n2 / 2 + 1;
+        let quarter = T::from_usize(n1 * n2) * T::from_f64(0.25);
+        let at = |k1: usize, k2: usize| -> T {
+            if k1 >= n1 || k2 >= n2 {
+                T::ZERO
+            } else {
+                c[k1 * n2 + k2]
+            }
+        };
+        let mut spec = vec![Complex::zero(); n1 * n2h];
+        for k1 in 0..n1 {
+            for k2 in 0..n2h {
+                let a = at(k1, k2);
+                let b = at(n1 - k1, n2 - k2);
+                let p = at(n1 - k1, k2);
+                let q = at(k1, n2 - k2);
+                let bracket = Complex::new(a - b, -(p + q));
+                let w = self.w1[k1].conj() * self.w2[k2].conj();
+                spec[k1 * n2h + k2] = (w * bracket).scale(quarter);
+            }
+        }
+        let v = self.irfft2(&spec);
+        // Postprocess (Eq. 13): inverse of the Eq. 10 permutation.
+        let r1 = reorder_index(n1);
+        let r2 = reorder_index(n2);
+        let mut out = vec![T::ZERO; n1 * n2];
+        for (i, &dst_i) in r1.iter().enumerate() {
+            for (j, &dst_j) in r2.iter().enumerate() {
+                out[dst_i * n2 + dst_j] = v[i * n2 + j];
+            }
+        }
+        out
+    }
+
+    /// IDCT along dimension 1, IDXST along dimension 2 (paper Algorithm 4,
+    /// `IDCT_IDXST`; used for the Y electric field, Eq. (9d)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idct_idxst(&self, x: &[T]) -> Vec<T> {
+        let (n1, n2) = (self.n1, self.n2);
+        assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
+        // Preprocess (Eq. 14): flip dimension 2 with x(n1, 0) -> 0.
+        let mut flipped = vec![T::ZERO; n1 * n2];
+        for i in 0..n1 {
+            for j in 1..n2 {
+                flipped[i * n2 + j] = x[i * n2 + (n2 - j)];
+            }
+        }
+        let mut y = self.idct2(&flipped);
+        // Postprocess (Eq. 15): alternate signs along dimension 2.
+        for i in 0..n1 {
+            for j in (1..n2).step_by(2) {
+                y[i * n2 + j] = -y[i * n2 + j];
+            }
+        }
+        y
+    }
+
+    /// IDXST along dimension 1, IDCT along dimension 2 (paper Algorithm 4,
+    /// `IDXST_IDCT`; used for the X electric field, Eq. (9c)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idxst_idct(&self, x: &[T]) -> Vec<T> {
+        let (n1, n2) = (self.n1, self.n2);
+        assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
+        // Preprocess (Eq. 16): flip dimension 1 with x(0, n2) -> 0.
+        let mut flipped = vec![T::ZERO; n1 * n2];
+        for i in 1..n1 {
+            flipped[i * n2..(i + 1) * n2].copy_from_slice(&x[(n1 - i) * n2..(n1 - i + 1) * n2]);
+        }
+        let mut y = self.idct2(&flipped);
+        // Postprocess (Eq. 17): alternate signs along dimension 1.
+        for i in (1..n1).step_by(2) {
+            for j in 0..n2 {
+                y[i * n2 + j] = -y[i * n2 + j];
+            }
+        }
+        y
+    }
+}
+
+/// The 1-D even/odd reorder of Algorithm 3 as an index map:
+/// `out[t] = 2t` for `t < n/2`, else `2(n - t) - 1`.
+fn reorder_index(n: usize) -> Vec<usize> {
+    (0..n)
+        .map(|t| if t < n / 2 { 2 * t } else { 2 * (n - t) - 1 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{naive_dct2, naive_idct2, naive_idct_idxst, naive_idxst_idct};
+
+    fn matrix(n1: usize, n2: usize) -> Vec<f64> {
+        (0..n1 * n2)
+            .map(|i| (i as f64 * 0.13).sin() + 0.01 * i as f64)
+            .collect()
+    }
+
+    #[test]
+    fn row_column_matches_naive_both_tiers() {
+        for tier in [Dct1dTier::TwoN, Dct1dTier::NPoint] {
+            let (n1, n2) = (8, 4);
+            let x = matrix(n1, n2);
+            let plan = RowColumnDct2d::new(n1, n2, tier).expect("pow2");
+            let want = naive_dct2(&x, n1, n2);
+            let got = plan.dct2(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "tier {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_2d_dct_matches_naive() {
+        for (n1, n2) in [(4, 4), (8, 4), (4, 8), (16, 16)] {
+            let x = matrix(n1, n2);
+            let plan = Dct2dPlan::new(n1, n2).expect("pow2");
+            let want = naive_dct2(&x, n1, n2);
+            let got = plan.dct2(&x);
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() < 1e-9,
+                    "shape ({n1},{n2}) idx {k}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_2d_idct_matches_naive() {
+        for (n1, n2) in [(4, 4), (8, 16)] {
+            let c = matrix(n1, n2);
+            let plan = Dct2dPlan::new(n1, n2).expect("pow2");
+            let want = naive_idct2(&c, n1, n2);
+            let got = plan.idct2(&c);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "shape ({n1},{n2})");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_2d_round_trips() {
+        let (n1, n2) = (32, 16);
+        let x = matrix(n1, n2);
+        let plan = Dct2dPlan::new(n1, n2).expect("pow2");
+        let back = plan.idct2(&plan.dct2(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixed_transforms_match_naive() {
+        let (n1, n2) = (8, 8);
+        let x = matrix(n1, n2);
+        let plan = Dct2dPlan::new(n1, n2).expect("pow2");
+
+        let got = plan.idct_idxst(&x);
+        let want = naive_idct_idxst(&x, n1, n2);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "idct_idxst");
+        }
+
+        let got = plan.idxst_idct(&x);
+        let want = naive_idxst_idct(&x, n1, n2);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "idxst_idct");
+        }
+    }
+
+    #[test]
+    fn mixed_transforms_match_row_column() {
+        let (n1, n2) = (16, 8);
+        let x = matrix(n1, n2);
+        let direct = Dct2dPlan::new(n1, n2).expect("pow2");
+        let rc = RowColumnDct2d::new(n1, n2, Dct1dTier::NPoint).expect("pow2");
+        let a = direct.idct_idxst(&x);
+        let b = rc.idct_idxst(&x);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-9);
+        }
+        let a = direct.idxst_idct(&x);
+        let b = rc.idxst_idct(&x);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_three_tiers_agree_on_dct2() {
+        let (n1, n2) = (16, 16);
+        let x = matrix(n1, n2);
+        let t2n = RowColumnDct2d::new(n1, n2, Dct1dTier::TwoN)
+            .expect("pow2")
+            .dct2(&x);
+        let tn = RowColumnDct2d::new(n1, n2, Dct1dTier::NPoint)
+            .expect("pow2")
+            .dct2(&x);
+        let t2d = Dct2dPlan::new(n1, n2).expect("pow2").dct2(&x);
+        for ((a, b), c) in t2n.iter().zip(&tn).zip(&t2d) {
+            assert!((a - b).abs() < 1e-9);
+            assert!((a - c).abs() < 1e-9);
+        }
+    }
+}

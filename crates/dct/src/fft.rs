@@ -1,0 +1,246 @@
+//! Iterative radix-2 complex FFT with precomputed twiddle factors.
+
+use dp_num::{Complex, Float};
+
+use crate::{check_pow2, TransformError};
+
+/// A reusable FFT plan for a fixed power-of-two length.
+///
+/// The plan precomputes the bit-reversal permutation and the twiddle factors
+/// `e^{-2 pi i k / n}` for `k < n/2`, which are shared by the forward and
+/// inverse transforms. The density operator runs several transforms of the
+/// same size every placement iteration, so plan reuse matters.
+///
+/// # Examples
+///
+/// ```
+/// use dp_num::Complex;
+/// use dp_dct::FftPlan;
+///
+/// # fn main() -> Result<(), dp_dct::TransformError> {
+/// let plan: FftPlan<f64> = FftPlan::new(4)?;
+/// let mut data = vec![
+///     Complex::new(1.0, 0.0),
+///     Complex::new(0.0, 0.0),
+///     Complex::new(0.0, 0.0),
+///     Complex::new(0.0, 0.0),
+/// ];
+/// plan.forward(&mut data);
+/// // The DFT of a unit impulse is flat.
+/// assert!(data.iter().all(|z| (z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan<T> {
+    n: usize,
+    bit_rev: Vec<u32>,
+    /// Twiddles `e^{-2 pi i k / n}` for `k = 0..n/2`.
+    twiddles: Vec<Complex<T>>,
+}
+
+impl<T: Float> FftPlan<T> {
+    /// Creates a plan for length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NonPowerOfTwo`] unless `n` is a power of two
+    /// and at least 2.
+    pub fn new(n: usize) -> Result<Self, TransformError> {
+        check_pow2(n)?;
+        let bits = n.trailing_zeros();
+        let bit_rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                Complex::cis(T::from_f64(
+                    -2.0 * std::f64::consts::PI * k as f64 / n as f64,
+                ))
+            })
+            .collect();
+        Ok(Self {
+            n,
+            bit_rev,
+            twiddles,
+        })
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place unnormalized forward DFT:
+    /// `X[k] = sum_n x[n] e^{-2 pi i n k / N}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward(&self, data: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan length");
+        self.permute(data);
+        self.butterflies(data, false);
+    }
+
+    /// In-place normalized inverse DFT:
+    /// `x[n] = (1/N) sum_k X[k] e^{+2 pi i n k / N}`.
+    ///
+    /// `inverse(forward(x)) == x` up to rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse(&self, data: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan length");
+        self.permute(data);
+        self.butterflies(data, true);
+        let scale = T::ONE / T::from_usize(self.n);
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    /// In-place unnormalized inverse DFT (no `1/N` factor). Useful when the
+    /// caller folds normalization into surrounding kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse_unnormalized(&self, data: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan length");
+        self.permute(data);
+        self.butterflies(data, true);
+    }
+
+    fn permute(&self, data: &mut [Complex<T>]) {
+        for i in 0..self.n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex<T>], invert: bool) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * stride];
+                    let tw = if invert { tw.conj() } else { tw };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_dft;
+
+    fn ramp(n: usize) -> Vec<Complex<f64>> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 + 0.5, (i as f64 * 0.3).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(
+            FftPlan::<f64>::new(3).unwrap_err(),
+            TransformError::NonPowerOfTwo { n: 3 }
+        );
+        assert_eq!(
+            FftPlan::<f64>::new(0).unwrap_err(),
+            TransformError::NonPowerOfTwo { n: 0 }
+        );
+        assert_eq!(
+            FftPlan::<f64>::new(1).unwrap_err(),
+            TransformError::NonPowerOfTwo { n: 1 }
+        );
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let x = ramp(n);
+            let want = naive_dft(&x);
+            let mut got = x.clone();
+            let plan = FftPlan::new(n).expect("power of two");
+            plan.forward(&mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-9 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [2usize, 8, 32, 128] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            let plan = FftPlan::new(n).expect("power of two");
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-10 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_under_f32() {
+        let n = 16;
+        let plan = FftPlan::<f32>::new(n).expect("power of two");
+        let a: Vec<Complex<f32>> = (0..n).map(|i| Complex::new(i as f32, 0.0)).collect();
+        let b: Vec<Complex<f32>> = (0..n)
+            .map(|i| Complex::new(0.0, (i as f32).cos()))
+            .collect();
+        let sum: Vec<Complex<f32>> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        plan.forward(&mut fs);
+        for i in 0..n {
+            assert!((fs[i] - (fa[i] + fb[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 64;
+        let x = ramp(n);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x;
+        let plan = FftPlan::new(n).expect("power of two");
+        plan.forward(&mut y);
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn forward_rejects_wrong_length() {
+        let plan = FftPlan::<f64>::new(8).expect("power of two");
+        let mut data = vec![Complex::zero(); 4];
+        plan.forward(&mut data);
+    }
+}

@@ -1,0 +1,198 @@
+//! Naive `O(N^2)` reference transforms evaluating the paper's definitions.
+//!
+//! These are the ground truth for unit and property tests of the fast
+//! transform tiers, and remain usable for arbitrary (non-power-of-two)
+//! lengths.
+
+use dp_num::{Complex, Float};
+
+/// Unnormalized naive DFT: `X[k] = sum_n x[n] e^{-2 pi i n k / N}`.
+///
+/// # Examples
+///
+/// ```
+/// use dp_num::Complex;
+/// let x = vec![Complex::new(1.0f64, 0.0); 4];
+/// let spec = dp_dct::naive::naive_dft(&x);
+/// assert!((spec[0].re - 4.0).abs() < 1e-12);
+/// assert!(spec[1].abs() < 1e-12);
+/// ```
+pub fn naive_dft<T: Float>(x: &[Complex<T>]) -> Vec<Complex<T>> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::zero();
+            for (i, &xi) in x.iter().enumerate() {
+                let theta = T::from_f64(-2.0 * std::f64::consts::PI * (i * k) as f64 / n as f64);
+                acc += xi * Complex::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// DCT per paper Eq. (7a), scaled by `2/N` (the library-wide convention):
+/// `y[k] = (2/N) sum_n x[n] cos(pi (n + 1/2) k / N)`.
+pub fn naive_dct<T: Float>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    let scale = T::TWO / T::from_usize(n);
+    (0..n)
+        .map(|k| {
+            let mut acc = T::ZERO;
+            for (i, &xi) in x.iter().enumerate() {
+                let theta = std::f64::consts::PI / n as f64 * (i as f64 + 0.5) * k as f64;
+                acc += xi * T::from_f64(theta).cos();
+            }
+            acc * scale
+        })
+        .collect()
+}
+
+/// IDCT per paper Eq. (7b), verbatim:
+/// `y[k] = x[0]/2 + sum_{n>=1} x[n] cos(pi n (k + 1/2) / N)`.
+///
+/// With the `2/N`-scaled [`naive_dct`], `naive_idct(naive_dct(x)) == x`.
+pub fn naive_idct<T: Float>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = x[0] * T::HALF;
+            for (i, &xi) in x.iter().enumerate().skip(1) {
+                let theta = std::f64::consts::PI / n as f64 * i as f64 * (k as f64 + 0.5);
+                acc += xi * T::from_f64(theta).cos();
+            }
+            acc
+        })
+        .collect()
+}
+
+/// IDXST per paper Eq. (8a):
+/// `y[k] = sum_n x[n] sin(pi n (k + 1/2) / N)`.
+pub fn naive_idxst<T: Float>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = T::ZERO;
+            for (i, &xi) in x.iter().enumerate() {
+                let theta = std::f64::consts::PI / n as f64 * i as f64 * (k as f64 + 0.5);
+                acc += xi * T::from_f64(theta).sin();
+            }
+            acc
+        })
+        .collect()
+}
+
+/// 2-D DCT: [`naive_dct`] applied along rows then columns of a row-major
+/// `n1 x n2` matrix (paper Eq. (9a)).
+pub fn naive_dct2<T: Float>(x: &[T], n1: usize, n2: usize) -> Vec<T> {
+    apply_rows_then_cols(x, n1, n2, naive_dct)
+}
+
+/// 2-D IDCT (paper Eq. (9b) composition).
+pub fn naive_idct2<T: Float>(x: &[T], n1: usize, n2: usize) -> Vec<T> {
+    apply_rows_then_cols(x, n1, n2, naive_idct)
+}
+
+/// Mixed transform: IDCT along dimension 1 (rows index `n1`), IDXST along
+/// dimension 2 — the `IDCT_IDXST` routine of paper Algorithm 4.
+pub fn naive_idct_idxst<T: Float>(x: &[T], n1: usize, n2: usize) -> Vec<T> {
+    let rows = apply_rows(x, n1, n2, naive_idxst);
+    apply_cols(&rows, n1, n2, naive_idct)
+}
+
+/// Mixed transform: IDXST along dimension 1, IDCT along dimension 2 — the
+/// `IDXST_IDCT` routine of paper Algorithm 4.
+pub fn naive_idxst_idct<T: Float>(x: &[T], n1: usize, n2: usize) -> Vec<T> {
+    let rows = apply_rows(x, n1, n2, naive_idct);
+    apply_cols(&rows, n1, n2, naive_idxst)
+}
+
+fn apply_rows<T: Float>(x: &[T], n1: usize, n2: usize, f: impl Fn(&[T]) -> Vec<T>) -> Vec<T> {
+    assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
+    let mut out = Vec::with_capacity(n1 * n2);
+    for r in 0..n1 {
+        out.extend(f(&x[r * n2..(r + 1) * n2]));
+    }
+    out
+}
+
+fn apply_cols<T: Float>(x: &[T], n1: usize, n2: usize, f: impl Fn(&[T]) -> Vec<T>) -> Vec<T> {
+    assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
+    let mut out = vec![T::ZERO; n1 * n2];
+    let mut col = vec![T::ZERO; n1];
+    for c in 0..n2 {
+        for r in 0..n1 {
+            col[r] = x[r * n2 + c];
+        }
+        let t = f(&col);
+        for r in 0..n1 {
+            out[r * n2 + c] = t[r];
+        }
+    }
+    out
+}
+
+fn apply_rows_then_cols<T: Float>(
+    x: &[T],
+    n1: usize,
+    n2: usize,
+    f: impl Fn(&[T]) -> Vec<T> + Copy,
+) -> Vec<T> {
+    let rows = apply_rows(x, n1, n2, f);
+    apply_cols(&rows, n1, n2, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_idct_round_trip() {
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).sin() + 0.2).collect();
+        let back = naive_idct(&naive_dct(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_is_dc_only() {
+        let x = vec![3.0f64; 8];
+        let c = naive_dct(&x);
+        assert!((c[0] - 6.0).abs() < 1e-12, "DC = (2/N)*N*3 = 6");
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn idxst_of_zero_frequency_component_is_zero() {
+        // sin(pi*0*(k+1/2)/N) = 0, so x[0] never contributes.
+        let mut x = vec![0.0f64; 8];
+        x[0] = 5.0;
+        let y = naive_idxst(&x);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn dct2_round_trip() {
+        let n1 = 4;
+        let n2 = 6;
+        let x: Vec<f64> = (0..n1 * n2).map(|i| (i as f64).cos()).collect();
+        let back = naive_idct2(&naive_dct2(&x, n1, n2), n1, n2);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mixed_transforms_differ_from_pure_idct2() {
+        let n = 4;
+        let x: Vec<f64> = (0..n * n).map(|i| i as f64 + 1.0).collect();
+        let a = naive_idct_idxst(&x, n, n);
+        let b = naive_idxst_idct(&x, n, n);
+        let c = naive_idct2(&x, n, n);
+        assert!(a.iter().zip(&c).any(|(p, q)| (p - q).abs() > 1e-9));
+        assert!(a.iter().zip(&b).any(|(p, q)| (p - q).abs() > 1e-9));
+    }
+}

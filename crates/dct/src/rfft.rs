@@ -1,0 +1,211 @@
+//! One-sided real FFT built on a half-length complex FFT.
+//!
+//! The paper's Algorithm 3 stresses that "due to the symmetric property of
+//! FFT for real input sequences, we utilize one-sided real FFT/IFFT to save
+//! almost half of the sequence". This module implements exactly that: an
+//! `N`-point real transform computed with an `N/2`-point complex FFT plus a
+//! linear-time untangling pass.
+
+use dp_num::{Complex, Float};
+
+use crate::fft::FftPlan;
+use crate::{check_pow2, TransformError};
+
+/// A reusable real-FFT plan for a fixed power-of-two length `n >= 4`.
+///
+/// [`RfftPlan::forward`] maps `n` reals to the `n/2 + 1` non-redundant
+/// spectrum bins of the unnormalized DFT; [`RfftPlan::inverse`] maps back
+/// (including the `1/n` normalization), so the pair round-trips.
+///
+/// # Examples
+///
+/// ```
+/// use dp_dct::RfftPlan;
+///
+/// # fn main() -> Result<(), dp_dct::TransformError> {
+/// let plan: RfftPlan<f64> = RfftPlan::new(8)?;
+/// let x: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+/// let spec = plan.forward(&x);
+/// assert_eq!(spec.len(), 5);
+/// let back = plan.inverse(&spec);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RfftPlan<T> {
+    n: usize,
+    half: FftPlan<T>,
+    /// `e^{-pi i k / (n/2) / ... }` untangling phases `e^{-2 pi i k / n}`.
+    phases: Vec<Complex<T>>,
+}
+
+impl<T: Float> RfftPlan<T> {
+    /// Creates a plan for real transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NonPowerOfTwo`] unless `n` is a power of two
+    /// and at least 4 (the packing trick needs `n/2 >= 2`).
+    pub fn new(n: usize) -> Result<Self, TransformError> {
+        check_pow2(n)?;
+        if n < 4 {
+            return Err(TransformError::NonPowerOfTwo { n });
+        }
+        let half = FftPlan::new(n / 2)?;
+        let phases = (0..n / 2 + 1)
+            .map(|k| {
+                Complex::cis(T::from_f64(
+                    -2.0 * std::f64::consts::PI * k as f64 / n as f64,
+                ))
+            })
+            .collect();
+        Ok(Self { n, half, phases })
+    }
+
+    /// The real transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward one-sided real DFT (unnormalized): returns `n/2 + 1` bins
+    /// `X[k] = sum_n x[n] e^{-2 pi i n k / N}` for `k = 0..=n/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan length.
+    pub fn forward(&self, x: &[T]) -> Vec<Complex<T>> {
+        assert_eq!(x.len(), self.n, "buffer length must match plan length");
+        let m = self.n / 2;
+        // Pack adjacent pairs into complex numbers: z[k] = x[2k] + i x[2k+1].
+        let mut z: Vec<Complex<T>> = (0..m)
+            .map(|k| Complex::new(x[2 * k], x[2 * k + 1]))
+            .collect();
+        self.half.forward(&mut z);
+        // Untangle: with E/O the DFTs of even/odd subsequences,
+        //   Z[k] = E[k] + i O[k],  conj(Z[m-k]) = E[k] - i O[k]
+        // and X[k] = E[k] + e^{-2 pi i k / N} O[k].
+        let mut out = Vec::with_capacity(m + 1);
+        for k in 0..=m {
+            let zk = if k == m { z[0] } else { z[k] };
+            let zmk = z[(m - k) % m];
+            let e = (zk + zmk.conj()).scale(T::HALF);
+            let o = (zk - zmk.conj()).scale(T::HALF).mul_i().scale(-T::ONE); // -i*(..)/1 => O[k]
+            out.push(e + self.phases[k] * o);
+        }
+        out
+    }
+
+    /// Inverse one-sided real DFT with `1/n` normalization: consumes the
+    /// `n/2 + 1` non-redundant bins and returns `n` reals, such that
+    /// `inverse(forward(x)) == x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.len() != n/2 + 1`.
+    pub fn inverse(&self, spec: &[Complex<T>]) -> Vec<T> {
+        assert_eq!(
+            spec.len(),
+            self.n / 2 + 1,
+            "spectrum length must be n/2 + 1"
+        );
+        let m = self.n / 2;
+        // Repack: E[k] = (X[k] + conj(X[m-k]))/2,
+        //         O[k] = (X[k] - conj(X[m-k]))/2 * e^{+2 pi i k / N},
+        //         Z[k] = E[k] + i O[k].
+        let mut z: Vec<Complex<T>> = (0..m)
+            .map(|k| {
+                let xk = spec[k];
+                let xmk = spec[m - k].conj();
+                let e = (xk + xmk).scale(T::HALF);
+                let o = (xk - xmk).scale(T::HALF) * self.phases[k].conj();
+                e + o.mul_i()
+            })
+            .collect();
+        self.half.inverse(&mut z);
+        let mut out = Vec::with_capacity(self.n);
+        for zk in z {
+            out.push(zk.re);
+            out.push(zk.im);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_dft;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.1 * i as f64)
+            .collect()
+    }
+
+    #[test]
+    fn matches_full_complex_dft() {
+        for n in [4usize, 8, 16, 64, 256] {
+            let x = signal(n);
+            let xc: Vec<Complex<f64>> = x.iter().map(|&v| Complex::from(v)).collect();
+            let want = naive_dft(&xc);
+            let plan = RfftPlan::new(n).expect("power of two");
+            let got = plan.forward(&x);
+            assert_eq!(got.len(), n / 2 + 1);
+            for k in 0..=n / 2 {
+                assert!(
+                    (got[k] - want[k]).abs() < 1e-9 * n as f64,
+                    "n={n} k={k} got={:?} want={:?}",
+                    got[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for n in [4usize, 32, 128] {
+            let x = signal(n);
+            let plan = RfftPlan::new(n).expect("power of two");
+            let back = plan.inverse(&plan.forward(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let n = 16;
+        let x = signal(n);
+        let plan = RfftPlan::new(n).expect("power of two");
+        let spec = plan.forward(&x);
+        assert!(spec[0].im.abs() < 1e-12);
+        assert!(spec[n / 2].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_too_short_lengths() {
+        assert!(RfftPlan::<f64>::new(2).is_err());
+        assert!(RfftPlan::<f64>::new(6).is_err());
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let n = 32;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.2).cos()).collect();
+        let plan = RfftPlan::<f32>::new(n).expect("power of two");
+        let back = plan.inverse(&plan.forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The bin grid discretizing the placement region.
+
+use dp_dct::TransformError;
+use dp_netlist::Rect;
+use dp_num::Float;
+
+/// An `mx x my` grid of bins over the placement region.
+///
+/// Bin `(i, j)` covers `[xl + i*bw, xl + (i+1)*bw] x [yl + j*bh, ...]` and is
+/// stored row-major with `i` (the x index) as dimension 1, matching the
+/// layout the DCT plans expect.
+///
+/// # Examples
+///
+/// ```
+/// use dp_netlist::Rect;
+///
+/// # fn main() -> Result<(), dp_dct::TransformError> {
+/// let grid = dp_density::BinGrid::new(Rect::new(0.0f64, 0.0, 64.0, 32.0), 8, 4)?;
+/// assert_eq!(grid.bin_width(), 8.0);
+/// assert_eq!(grid.bin_height(), 8.0);
+/// assert_eq!(grid.num_bins(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinGrid<T> {
+    region: Rect<T>,
+    mx: usize,
+    my: usize,
+    bin_w: T,
+    bin_h: T,
+}
+
+impl<T: Float> BinGrid<T> {
+    /// Creates a grid with `mx x my` bins (both powers of two, `my >= 4`,
+    /// to satisfy the fast-transform plans downstream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NonPowerOfTwo`] for unsupported dimensions.
+    pub fn new(region: Rect<T>, mx: usize, my: usize) -> Result<Self, TransformError> {
+        if !(mx >= 2 && mx.is_power_of_two()) {
+            return Err(TransformError::NonPowerOfTwo { n: mx });
+        }
+        if !(my >= 4 && my.is_power_of_two()) {
+            return Err(TransformError::NonPowerOfTwo { n: my });
+        }
+        let bin_w = region.width() / T::from_usize(mx);
+        let bin_h = region.height() / T::from_usize(my);
+        Ok(Self {
+            region,
+            mx,
+            my,
+            bin_w,
+            bin_h,
+        })
+    }
+
+    /// The covered region.
+    pub fn region(&self) -> Rect<T> {
+        self.region
+    }
+
+    /// Bin count along x.
+    pub fn mx(&self) -> usize {
+        self.mx
+    }
+
+    /// Bin count along y.
+    pub fn my(&self) -> usize {
+        self.my
+    }
+
+    /// Total number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.mx * self.my
+    }
+
+    /// Bin width in layout units.
+    pub fn bin_width(&self) -> T {
+        self.bin_w
+    }
+
+    /// Bin height in layout units.
+    pub fn bin_height(&self) -> T {
+        self.bin_h
+    }
+
+    /// Bin area in layout units.
+    pub fn bin_area(&self) -> T {
+        self.bin_w * self.bin_h
+    }
+
+    /// Flat index of bin `(i, j)`.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.mx && j < self.my);
+        i * self.my + j
+    }
+
+    /// The rectangle of bin `(i, j)` in layout units.
+    pub fn bin_rect(&self, i: usize, j: usize) -> Rect<T> {
+        let xl = self.region.xl + self.bin_w * T::from_usize(i);
+        let yl = self.region.yl + self.bin_h * T::from_usize(j);
+        Rect::new(xl, yl, xl + self.bin_w, yl + self.bin_h)
+    }
+
+    /// Inclusive-exclusive bin index ranges `(i0..i1, j0..j1)` overlapped by
+    /// `rect`, clamped to the grid; empty ranges when fully outside.
+    pub fn overlapped_bins(
+        &self,
+        rect: &Rect<T>,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        let to_ix = |x: T| ((x - self.region.xl) / self.bin_w).floor().to_f64();
+        let to_jy = |y: T| ((y - self.region.yl) / self.bin_h).floor().to_f64();
+        let i0 = to_ix(rect.xl).max(0.0) as usize;
+        let j0 = to_jy(rect.yl).max(0.0) as usize;
+        // ceil for the exclusive upper bound
+        let i1 = (((rect.xh - self.region.xl) / self.bin_w)
+            .ceil()
+            .to_f64()
+            .max(0.0) as usize)
+            .min(self.mx);
+        let j1 = (((rect.yh - self.region.yl) / self.bin_h)
+            .ceil()
+            .to_f64()
+            .max(0.0) as usize)
+            .min(self.my);
+        (i0.min(self.mx)..i1, j0.min(self.my)..j1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> BinGrid<f64> {
+        BinGrid::new(Rect::new(0.0, 0.0, 64.0, 64.0), 8, 8).expect("pow2")
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        let r = Rect::new(0.0f64, 0.0, 10.0, 10.0);
+        assert!(BinGrid::new(r, 3, 8).is_err());
+        assert!(BinGrid::new(r, 8, 2).is_err());
+    }
+
+    #[test]
+    fn bin_rect_tiles_region() {
+        let g = grid();
+        let mut total = 0.0;
+        for i in 0..g.mx() {
+            for j in 0..g.my() {
+                total += g.bin_rect(i, j).area();
+            }
+        }
+        assert!((total - g.region().area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapped_bins_cover_rect() {
+        let g = grid();
+        let r = Rect::new(10.0, 20.0, 30.0, 25.0);
+        let (is, js) = g.overlapped_bins(&r);
+        assert_eq!(is, 1..4); // bins [8,16),[16,24),[24,32)
+        assert_eq!(js, 2..4); // bins [16,24),[24,32)
+                              // sum of overlaps equals the rect area
+        let mut sum = 0.0;
+        for i in is.clone() {
+            for j in js.clone() {
+                sum += g.bin_rect(i, j).overlap_area(&r);
+            }
+        }
+        assert!((sum - r.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_region_rect_yields_empty_ranges() {
+        let g = grid();
+        let r = Rect::new(100.0, 100.0, 110.0, 110.0);
+        let (is, js) = g.overlapped_bins(&r);
+        assert!(is.is_empty() && js.is_empty());
+        let r = Rect::new(-20.0, -20.0, -10.0, -10.0);
+        let (is, js) = g.overlapped_bins(&r);
+        assert!(is.is_empty() || js.is_empty());
+    }
+
+    #[test]
+    fn boundary_alignment() {
+        let g = grid();
+        // A rect exactly on bin boundaries overlaps exactly those bins.
+        let r = Rect::new(8.0, 8.0, 16.0, 24.0);
+        let (is, js) = g.overlapped_bins(&r);
+        assert_eq!(is, 1..2);
+        assert_eq!(js, 1..3);
+    }
+}

@@ -1,0 +1,444 @@
+//! The density penalty operator `D(x, y)` of paper Eq. (2).
+//!
+//! Forward: density map -> DCT -> potential -> energy (paper Fig. 4b).
+//! Backward: field gather per cell, the "dynamic bipartite graph backward"
+//! of §III-B2 — each cell collects the force from its overlapped bins,
+//! weighted by overlap area.
+
+use dp_autograd::{Gradient, Operator};
+use dp_dct::TransformError;
+use dp_netlist::{Netlist, Placement};
+use dp_num::parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
+use dp_num::Float;
+
+use crate::bins::BinGrid;
+use crate::electro::{DctBackendKind, ElectroField, FieldSolution};
+use crate::map::{smoothed_footprint, DensityMapBuilder, DensityStrategy};
+
+/// The electrostatic density operator.
+///
+/// The returned cost is the system energy `0.5 * sum_b rho_b * psi_b` (in
+/// bin units); its gradient with respect to a cell position is the negative
+/// electric force on the cell's charge. Use [`DensityOp::bake_fixed`] once
+/// before placement so fixed macros repel movable cells, and
+/// [`DensityOp::overflow`] for the stopping criterion.
+///
+/// See the crate-level example.
+pub struct DensityOp<T: Float> {
+    builder: DensityMapBuilder<T>,
+    solver: ElectroField<T>,
+    target_density: T,
+    threads: usize,
+    fixed_map: Option<Vec<T>>,
+    /// Optional movable-cell mask (fence regions): only masked cells carry
+    /// charge and receive force.
+    mask: Option<Vec<bool>>,
+    /// Last movable-only density map (area units), kept for overflow.
+    last_movable_map: Option<Vec<T>>,
+    /// Last field solution, reused by `backward` after a `forward`.
+    cache: Option<FieldSolution<T>>,
+}
+
+impl<T: Float> DensityOp<T> {
+    /// Creates the operator with the default DCT tier (direct 2-D).
+    ///
+    /// `target_density` is the `d_t` of paper Eq. (1b), in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError`] if the grid shape is unsupported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_density` is not in `(0, 1]`.
+    pub fn new(
+        grid: BinGrid<T>,
+        strategy: DensityStrategy,
+        target_density: T,
+    ) -> Result<Self, TransformError> {
+        Self::with_backend(grid, strategy, target_density, DctBackendKind::Direct2d)
+    }
+
+    /// Creates the operator with an explicit DCT tier (Fig. 11/12 benches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError`] if the grid shape is unsupported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_density` is not in `(0, 1]`.
+    pub fn with_backend(
+        grid: BinGrid<T>,
+        strategy: DensityStrategy,
+        target_density: T,
+        backend: DctBackendKind,
+    ) -> Result<Self, TransformError> {
+        assert!(
+            target_density > T::ZERO && target_density <= T::ONE,
+            "target density must be in (0, 1]"
+        );
+        let solver = ElectroField::new(&grid, backend)?;
+        Ok(Self {
+            builder: DensityMapBuilder::new(grid, strategy),
+            solver,
+            target_density,
+            threads: 1,
+            fixed_map: None,
+            mask: None,
+            last_movable_map: None,
+            cache: None,
+        })
+    }
+
+    /// Sets the worker thread count (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.builder.set_threads(threads);
+        self
+    }
+
+    /// Enables deterministic fixed-point density accumulation (bitwise
+    /// run-to-run reproducible scatters; paper §V future work).
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.builder.set_deterministic(deterministic);
+        self
+    }
+
+    /// Restricts the operator to cells with `mask[c] == true`: only those
+    /// scatter charge and receive force (fence-region support, §III-G).
+    pub fn with_mask(mut self, mask: Vec<bool>) -> Self {
+        self.builder.set_mask(Some(mask.clone()));
+        self.mask = Some(mask);
+        self
+    }
+
+    /// The bin grid.
+    pub fn grid(&self) -> &BinGrid<T> {
+        self.builder.grid()
+    }
+
+    /// The target density `d_t`.
+    pub fn target_density(&self) -> T {
+        self.target_density
+    }
+
+    /// Precomputes the fixed-cell density map from the (immutable) fixed
+    /// cell positions. Call once before the placement loop.
+    pub fn bake_fixed(&mut self, nl: &Netlist<T>, p: &Placement<T>) {
+        self.fixed_map = Some(self.builder.build_fixed(nl, p));
+    }
+
+    /// Adds extra fixed density (area units per bin) on top of the baked
+    /// fixed-cell map — used by fence regions to block the area outside a
+    /// fence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra` does not match the bin count.
+    pub fn add_fixed_density(&mut self, extra: &[T]) {
+        assert_eq!(extra.len(), self.grid().num_bins(), "bin count mismatch");
+        match &mut self.fixed_map {
+            Some(map) => {
+                for (m, e) in map.iter_mut().zip(extra) {
+                    *m += *e;
+                }
+            }
+            None => self.fixed_map = Some(extra.to_vec()),
+        }
+    }
+
+    /// The total density map (movable + fixed) of the last forward pass,
+    /// in area units, or `None` before the first forward.
+    pub fn last_density_map(&self) -> Option<Vec<T>> {
+        let movable = self.last_movable_map.as_ref()?;
+        let mut map = movable.clone();
+        if let Some(fixed) = &self.fixed_map {
+            for (m, f) in map.iter_mut().zip(fixed) {
+                *m += *f;
+            }
+        }
+        Some(map)
+    }
+
+    /// ePlace's density overflow
+    /// `tau = sum_b max(0, rho_b - capacity_b) / total movable area`,
+    /// where a bin's capacity is the target density times the bin area not
+    /// blocked by fixed cells. This is the global placement stopping
+    /// criterion (RePlAce stops near `tau = 0.07..0.10`).
+    pub fn overflow(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
+        let movable = self.builder.build_movable(nl, p);
+        let overflow = self.overflow_of_map(nl, &movable);
+        self.last_movable_map = Some(movable);
+        overflow
+    }
+
+    fn overflow_of_map(&self, nl: &Netlist<T>, movable: &[T]) -> T {
+        let bin_area = self.grid().bin_area();
+        let zero_fixed;
+        let fixed = match &self.fixed_map {
+            Some(f) => f.as_slice(),
+            None => {
+                zero_fixed = vec![T::ZERO; movable.len()];
+                &zero_fixed
+            }
+        };
+        let mut over = T::ZERO;
+        for (m, f) in movable.iter().zip(fixed) {
+            let capacity = (self.target_density * (bin_area - *f)).max(T::ZERO);
+            over += (*m - capacity).max(T::ZERO);
+        }
+        let area = match &self.mask {
+            Some(mask) => (0..nl.num_movable())
+                .filter(|&c| mask[c])
+                .map(|c| nl.cell_widths()[c] * nl.cell_heights()[c])
+                .sum(),
+            None => nl.total_movable_area(),
+        };
+        over / area
+    }
+
+    /// Builds the charge map used for the field solve: movable (smoothed)
+    /// plus fixed contributions, in density units (area / bin area).
+    fn charge_map(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> Vec<T> {
+        let movable = self.builder.build_movable(nl, p);
+        let inv_bin = T::ONE / self.grid().bin_area();
+        let mut rho: Vec<T> = movable.iter().map(|&m| m * inv_bin).collect();
+        if let Some(fixed) = &self.fixed_map {
+            for (r, f) in rho.iter_mut().zip(fixed) {
+                *r += *f * inv_bin;
+            }
+        }
+        self.last_movable_map = Some(movable);
+        rho
+    }
+}
+
+impl<T: Float> Operator<T> for DensityOp<T> {
+    fn name(&self) -> &'static str {
+        "density"
+    }
+
+    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
+        let rho = self.charge_map(nl, p);
+        let sol = self.solver.solve(&rho);
+        let energy = sol.energy;
+        self.cache = Some(sol);
+        energy
+    }
+
+    fn backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) {
+        if self.cache.is_none() {
+            let _ = self.forward(nl, p);
+        }
+        let sol = self.cache.take().expect("cache populated by forward");
+        let grid = self.grid().clone();
+        let threads = self.threads;
+        let n_mov = nl.num_movable();
+        let chunk = paper_chunk_size(n_mov, threads);
+        let inv_bin = T::ONE / grid.bin_area();
+        let (bw, bh) = (grid.bin_width(), grid.bin_height());
+        {
+            let gx = DisjointSlice::new(&mut grad.x);
+            let gy = DisjointSlice::new(&mut grad.y);
+            let field_x = &sol.field_x;
+            let field_y = &sol.field_y;
+            let mask = self.mask.as_deref();
+            parallel_for_chunks(n_mov, threads, chunk, |range| {
+                for c in range {
+                    if let Some(mask) = mask {
+                        if !mask[c] {
+                            continue;
+                        }
+                    }
+                    let fp = smoothed_footprint(
+                        p.x[c],
+                        p.y[c],
+                        nl.cell_widths()[c],
+                        nl.cell_heights()[c],
+                        &grid,
+                    );
+                    let (is, js) = grid.overlapped_bins(&fp.rect);
+                    let mut fx = T::ZERO;
+                    let mut fy = T::ZERO;
+                    for i in is {
+                        for j in js.clone() {
+                            let a = grid.bin_rect(i, j).overlap_area(&fp.rect);
+                            if a > T::ZERO {
+                                let q = a * fp.scale * inv_bin;
+                                let idx = grid.index(i, j);
+                                fx += q * field_x[idx];
+                                fy += q * field_y[idx];
+                            }
+                        }
+                    }
+                    // Gradient = -force; convert from bin units to layout
+                    // units (one bin along x spans bin_width layout units).
+                    // SAFETY: cell index `c` is unique to this chunk.
+                    unsafe {
+                        gx.write(c, gx.read(c) - fx / bw);
+                        gy.write(c, gy.read(c) - fy / bh);
+                    }
+                }
+            });
+        }
+        self.cache = Some(sol);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::{NetlistBuilder, Rect};
+
+    fn grid(m: usize) -> BinGrid<f64> {
+        BinGrid::new(Rect::new(0.0, 0.0, 64.0, 64.0), m, m).expect("pow2")
+    }
+
+    fn two_cell_design() -> (Netlist<f64>, Placement<f64>) {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
+        let a = b.add_movable_cell(8.0, 8.0);
+        let c = b.add_movable_cell(8.0, 8.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        (nl, Placement::zeros(2))
+    }
+
+    #[test]
+    fn overlapping_cells_repel() {
+        let (nl, mut p) = two_cell_design();
+        // Slightly offset overlapping cells near the center.
+        p.x = vec![30.0, 34.0];
+        p.y = vec![32.0, 32.0];
+        let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
+        let mut g = Gradient::zeros(2);
+        let energy = op.forward_backward(&nl, &p, &mut g);
+        assert!(energy > 0.0);
+        // Gradient descent moves cells opposite the gradient: the left cell
+        // must be pushed left (positive gradient) and the right cell right.
+        assert!(g.x[0] > 0.0, "left cell gradient {:?}", g.x);
+        assert!(g.x[1] < 0.0, "right cell gradient {:?}", g.x);
+    }
+
+    #[test]
+    fn spread_cells_have_lower_energy() {
+        let (nl, mut p) = two_cell_design();
+        let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
+        p.x = vec![32.0, 32.0];
+        p.y = vec![32.0, 32.0];
+        let stacked = op.forward(&nl, &p);
+        p.x = vec![16.0, 48.0];
+        let spread = op.forward(&nl, &p);
+        assert!(spread < stacked, "spread {spread} vs stacked {stacked}");
+    }
+
+    #[test]
+    fn gradient_direction_matches_finite_differences() {
+        // The gathered force approximates the discrete cost's gradient; we
+        // check directional agreement rather than exact equality.
+        let (nl, mut p) = two_cell_design();
+        p.x = vec![28.0, 36.0];
+        p.y = vec![30.0, 34.0];
+        let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
+        let mut g = Gradient::zeros(2);
+        let _ = op.forward_backward(&nl, &p, &mut g);
+
+        let eps = 0.5; // half a bin is a robust probe for the smoothed map
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for i in 0..2 {
+            for axis in 0..2 {
+                let coord = if axis == 0 { &mut p.x } else { &mut p.y };
+                let orig = coord[i];
+                coord[i] = orig + eps;
+                let fp = op.forward(&nl, &p);
+                let coord = if axis == 0 { &mut p.x } else { &mut p.y };
+                coord[i] = orig - eps;
+                let fm = op.forward(&nl, &p);
+                let coord = if axis == 0 { &mut p.x } else { &mut p.y };
+                coord[i] = orig;
+                let fd = (fp - fm) / (2.0 * eps);
+                let an = if axis == 0 { g.x[i] } else { g.y[i] };
+                dot += fd * an;
+                na += an * an;
+                nb += fd * fd;
+            }
+        }
+        let cosine = dot / (na.sqrt() * nb.sqrt());
+        assert!(cosine > 0.95, "cosine similarity {cosine}");
+    }
+
+    #[test]
+    fn overflow_decreases_when_spreading() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
+        let cells: Vec<_> = (0..16).map(|_| b.add_movable_cell(8.0, 8.0)).collect();
+        b.add_net(1.0, vec![(cells[0], 0.0, 0.0), (cells[1], 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
+
+        let mut p = Placement::zeros(nl.num_cells());
+        for i in 0..16 {
+            p.x[i] = 32.0;
+            p.y[i] = 32.0;
+        }
+        let stacked = op.overflow(&nl, &p);
+        for i in 0..16 {
+            p.x[i] = 8.0 + 16.0 * (i % 4) as f64;
+            p.y[i] = 8.0 + 16.0 * (i / 4) as f64;
+        }
+        let spread = op.overflow(&nl, &p);
+        assert!(stacked > 0.5, "stacked overflow {stacked}");
+        assert!(spread < stacked * 0.2, "spread overflow {spread}");
+    }
+
+    #[test]
+    fn fixed_macro_repels_movable_cell() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
+        let a = b.add_movable_cell(4.0, 4.0);
+        let c = b.add_movable_cell(4.0, 4.0);
+        let f = b.add_fixed_cell(24.0, 24.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0), (f, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![20.0, 44.0, 32.0];
+        p.y = vec![32.0, 32.0, 32.0]; // macro at center, cells at its flanks
+        let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
+        op.bake_fixed(&nl, &p);
+        let mut g = Gradient::zeros(nl.num_cells());
+        let _ = op.forward_backward(&nl, &p, &mut g);
+        // The macro pushes the left cell further left, the right cell right.
+        assert!(g.x[0] > 0.0);
+        assert!(g.x[1] < 0.0);
+    }
+
+    #[test]
+    fn overflow_respects_fixed_capacity() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
+        let a = b.add_movable_cell(8.0, 8.0);
+        let c = b.add_movable_cell(8.0, 8.0);
+        let f = b.add_fixed_cell(16.0, 16.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0), (f, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![32.0, 32.0, 32.0];
+        p.y = vec![32.0, 32.0, 32.0]; // movable cells sit on the macro
+        let mut with_fixed = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
+        with_fixed.bake_fixed(&nl, &p);
+        let mut without_fixed =
+            DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
+        let tau_with = with_fixed.overflow(&nl, &p);
+        let tau_without = without_fixed.overflow(&nl, &p);
+        assert!(tau_with > tau_without, "{tau_with} vs {tau_without}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target density")]
+    fn rejects_bad_target_density() {
+        let _ = DensityOp::<f64>::new(grid(8), DensityStrategy::Naive, 0.0);
+    }
+}

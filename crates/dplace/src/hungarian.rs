@@ -1,0 +1,173 @@
+//! A small O(n^3) Hungarian (Kuhn-Munkres) assignment solver.
+//!
+//! Used by independent-set matching on batches of up to 16 cells, where the
+//! exact assignment is cheap and worthwhile.
+
+/// Solves the square assignment problem: returns `assign` with
+/// `assign[row] = column` minimizing the total cost.
+///
+/// # Panics
+///
+/// Panics if `cost` is not an `n x n` matrix (`cost.len() == n` and every
+/// row of length `n`) or if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let cost = vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ];
+/// let assign = dp_dplace::hungarian(&cost);
+/// assert_eq!(assign, vec![1, 0, 2]); // total 1 + 2 + 2 = 5
+/// ```
+pub fn hungarian(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "empty cost matrix");
+    assert!(
+        cost.iter().all(|r| r.len() == n),
+        "cost matrix must be square"
+    );
+
+    // Potentials + augmenting path implementation (1-indexed internally).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assign = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assign[p[j] - 1] = j - 1;
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn total(cost: &[Vec<f64>], assign: &[usize]) -> f64 {
+        assign.iter().enumerate().map(|(i, &j)| cost[i][j]).sum()
+    }
+
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let mut cols: Vec<usize> = (0..n).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols, 0, &mut |perm| {
+            let t: f64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            if t < best {
+                best = t;
+            }
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn identity_matrix_prefers_diagonal_zeroes() {
+        let n = 4;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
+            .collect();
+        let assign = hungarian(&cost);
+        assert_eq!(assign, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [2usize, 3, 5, 6] {
+            for _ in 0..20 {
+                let cost: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect();
+                let assign = hungarian(&cost);
+                // valid permutation
+                let mut seen = vec![false; n];
+                for &j in &assign {
+                    assert!(!seen[j]);
+                    seen[j] = true;
+                }
+                let got = total(&cost, &assign);
+                let want = brute_force(&cost);
+                assert!((got - want).abs() < 1e-9, "n={n} got {got} want {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let cost = vec![vec![-5.0, 0.0], vec![0.0, -5.0]];
+        let assign = hungarian(&cost);
+        assert_eq!(assign, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_ragged_matrix() {
+        let _ = hungarian(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Global swap: exchange equal-size cell pairs toward their optimal
+//! regions.
+
+use dp_netlist::{CellId, Netlist, Placement};
+use dp_num::Float;
+
+use crate::incremental::IncrementalHpwl;
+
+/// For each movable cell, computes its preferred location (the median of
+/// its nets' bounding-box centers, the classic "optimal region" proxy) and
+/// tries swapping with equal-size cells near that location; commits
+/// HPWL-improving swaps. Returns the number of committed swaps.
+pub fn global_swap<T: Float>(nl: &Netlist<T>, p: &mut Placement<T>) -> usize {
+    let n = nl.num_movable();
+    let mut inc = IncrementalHpwl::new(nl, p);
+    let eps = T::from_f64(1e-9);
+
+    // Spatial hash of movable cells for candidate lookup.
+    let region = nl.region();
+    let bucket = (region.width().to_f64() / 16.0).max(1e-9);
+    let key = |x: T, y: T| -> (i64, i64) {
+        (
+            (x.to_f64() / bucket).floor() as i64,
+            (y.to_f64() / bucket).floor() as i64,
+        )
+    };
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for c in 0..n {
+        grid.entry(key(p.x[c], p.y[c])).or_default().push(c);
+    }
+
+    let mut swaps = 0usize;
+    for c in 0..n {
+        let target = optimal_position(nl, p, c);
+        let (tx, ty) = match target {
+            Some(t) => t,
+            None => continue,
+        };
+        // Already close to the target: skip.
+        if (p.x[c] - tx).abs().to_f64() < bucket && (p.y[c] - ty).abs().to_f64() < bucket {
+            continue;
+        }
+        let (bx, by) = key(tx, ty);
+        let mut best: Option<(T, usize)> = None;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(cands) = grid.get(&(bx + dx, by + dy)) else {
+                    continue;
+                };
+                for &other in cands {
+                    if other == c
+                        || nl.cell_widths()[other] != nl.cell_widths()[c]
+                        || nl.cell_heights()[other] != nl.cell_heights()[c]
+                    {
+                        continue;
+                    }
+                    let ids = [CellId::new(c), CellId::new(other)];
+                    let before = inc.cost_of_cells(nl, &ids);
+                    swap_positions(p, c, other);
+                    let after = inc.eval_cells(nl, p, &ids);
+                    swap_positions(p, c, other); // restore
+                    let gain = before - after;
+                    if gain > eps && best.is_none_or(|(g, _)| gain > g) {
+                        best = Some((gain, other));
+                    }
+                }
+            }
+        }
+        if let Some((_, other)) = best {
+            let (kc, ko) = (key(p.x[c], p.y[c]), key(p.x[other], p.y[other]));
+            swap_positions(p, c, other);
+            inc.update_cells(nl, p, &[CellId::new(c), CellId::new(other)]);
+            // Keep the spatial hash in sync.
+            if kc != ko {
+                if let Some(v) = grid.get_mut(&kc) {
+                    v.retain(|&x| x != c);
+                    v.push(other);
+                }
+                if let Some(v) = grid.get_mut(&ko) {
+                    v.retain(|&x| x != other);
+                    v.push(c);
+                }
+            }
+            swaps += 1;
+        }
+    }
+    swaps
+}
+
+/// The median of the incident nets' bounding-box centers, computed with the
+/// cell's own pins excluded; `None` for cells with no external connections.
+pub(crate) fn optimal_position<T: Float>(
+    nl: &Netlist<T>,
+    p: &Placement<T>,
+    cell: usize,
+) -> Option<(T, T)> {
+    let cid = CellId::new(cell);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &pin in nl.cell_pins(cid) {
+        let net = nl.pin_net(pin);
+        let mut x_lo = T::INFINITY;
+        let mut x_hi = T::NEG_INFINITY;
+        let mut y_lo = T::INFINITY;
+        let mut y_hi = T::NEG_INFINITY;
+        let mut external = false;
+        for &q in nl.net_pins(net) {
+            let oc = nl.pin_cell(q);
+            if oc == cid {
+                continue;
+            }
+            external = true;
+            let (dx, dy) = nl.pin_offset(q);
+            let px = p.x[oc.index()] + dx;
+            let py = p.y[oc.index()] + dy;
+            x_lo = x_lo.min(px);
+            x_hi = x_hi.max(px);
+            y_lo = y_lo.min(py);
+            y_hi = y_hi.max(py);
+        }
+        if external {
+            xs.push((x_lo + x_hi) * T::HALF);
+            ys.push((y_lo + y_hi) * T::HALF);
+        }
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    Some((median(&mut xs), median(&mut ys)))
+}
+
+fn median<T: Float>(v: &mut [T]) -> T {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    v[v.len() / 2]
+}
+
+fn swap_positions<T: Float>(p: &mut Placement<T>, a: usize, b: usize) {
+    p.x.swap(a, b);
+    p.y.swap(a, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_lg::check_legal;
+    use dp_netlist::{hpwl, NetlistBuilder, RowGrid};
+
+    /// Two cells placed at each other's ideal location must swap.
+    #[test]
+    fn swaps_mutually_misplaced_cells() {
+        let rows = RowGrid::uniform(0.0, 0.0, 100.0, 8.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 8.0).with_rows(rows);
+        let a = b.add_movable_cell(2.0, 8.0);
+        let c = b.add_movable_cell(2.0, 8.0);
+        let l = b.add_fixed_cell(2.0, 8.0);
+        let r = b.add_fixed_cell(2.0, 8.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (r, 0.0, 0.0)])
+            .expect("valid");
+        b.add_net(1.0, vec![(c, 0.0, 0.0), (l, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![5.0, 95.0, 1.0, 99.0]; // a left (wants right), c right (wants left)
+        p.y = vec![4.0; 4];
+        let before = hpwl(&nl, &p);
+        let swaps = global_swap(&nl, &mut p);
+        assert_eq!(swaps, 1);
+        assert!(hpwl(&nl, &p) < before * 0.2, "big win expected");
+        assert!(p.x[0] > p.x[1]);
+        assert!(check_legal(&nl, &p).is_legal());
+    }
+
+    #[test]
+    fn ignores_cells_of_different_width() {
+        let rows = RowGrid::uniform(0.0, 0.0, 100.0, 8.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 8.0).with_rows(rows);
+        let a = b.add_movable_cell(2.0, 8.0);
+        let c = b.add_movable_cell(4.0, 8.0); // different width
+        let l = b.add_fixed_cell(2.0, 8.0);
+        let r = b.add_fixed_cell(2.0, 8.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (r, 0.0, 0.0)])
+            .expect("valid");
+        b.add_net(1.0, vec![(c, 0.0, 0.0), (l, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![5.0, 95.0, 1.0, 99.0];
+        p.y = vec![4.0; 4];
+        assert_eq!(global_swap(&nl, &mut p), 0);
+    }
+}

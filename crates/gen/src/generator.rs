@@ -1,0 +1,361 @@
+//! The core netlist generator.
+
+use dp_netlist::{Netlist, NetlistBuilder, NetlistError, Placement, RowGrid};
+use dp_num::Float;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated design: the netlist plus a placement holding the fixed
+/// macro positions (movable coordinates are zero; global placement
+/// initializes them).
+#[derive(Debug, Clone)]
+pub struct GeneratedDesign<T> {
+    /// Human-readable design name (preset name or user label).
+    pub name: String,
+    /// The hypergraph with rows attached.
+    pub netlist: Netlist<T>,
+    /// Fixed-cell coordinates; movable entries are zero.
+    pub fixed_positions: Placement<T>,
+}
+
+/// Configuration for the synthetic generator; see the
+/// [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Design label.
+    pub name: String,
+    /// Number of movable standard cells.
+    pub num_cells: usize,
+    /// Number of nets.
+    pub num_nets: usize,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+    /// Mean net degree; degrees are `2 + Geometric`, clamped to
+    /// `max_net_degree`.
+    pub avg_net_degree: f64,
+    /// Hard cap on net degree (clock-like large nets hurt nothing but
+    /// dominate runtime; contest suites cap similarly).
+    pub max_net_degree: usize,
+    /// Fraction of core area occupied by movable cells (0..1).
+    pub utilization: f64,
+    /// Standard row height in layout units.
+    pub row_height: f64,
+    /// Placement site width.
+    pub site_width: f64,
+    /// Cell widths drawn uniformly from this range (snapped to sites).
+    pub cell_width_sites: (usize, usize),
+    /// Number of fixed macro blockages.
+    pub num_macros: usize,
+    /// Number of movable macros (multi-row-height cells; mixed-size
+    /// placement in the ePlace-MS sense).
+    pub num_movable_macros: usize,
+    /// Movable macro height in rows.
+    pub movable_macro_rows: usize,
+    /// Macro edge length as a fraction of the region edge.
+    pub macro_edge_frac: f64,
+    /// Net locality window as a fraction of the cell count; smaller means
+    /// more local nets (Rent-style clustering).
+    pub locality_frac: f64,
+}
+
+impl GeneratorConfig {
+    /// Creates a configuration with suite-typical defaults.
+    pub fn new(name: impl Into<String>, num_cells: usize, num_nets: usize) -> Self {
+        Self {
+            name: name.into(),
+            num_cells,
+            num_nets,
+            seed: 1,
+            avg_net_degree: 4.1,
+            max_net_degree: 24,
+            utilization: 0.7,
+            row_height: 8.0,
+            site_width: 1.0,
+            cell_width_sites: (2, 12),
+            num_macros: 0,
+            num_movable_macros: 0,
+            movable_macro_rows: 4,
+            macro_edge_frac: 0.12,
+            locality_frac: 0.02,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the utilization target.
+    pub fn with_utilization(mut self, utilization: f64) -> Self {
+        self.utilization = utilization;
+        self
+    }
+
+    /// Adds fixed macro blockages.
+    pub fn with_macros(mut self, count: usize, edge_frac: f64) -> Self {
+        self.num_macros = count;
+        self.macro_edge_frac = edge_frac;
+        self
+    }
+
+    /// Adds movable macros (`rows` rows tall), making the design
+    /// mixed-size.
+    pub fn with_movable_macros(mut self, count: usize, rows: usize) -> Self {
+        self.num_movable_macros = count;
+        self.movable_macro_rows = rows.max(2);
+        self
+    }
+
+    /// Scales the design size by `1/denominator` (cells and nets).
+    pub fn scaled_down(mut self, denominator: usize) -> Self {
+        let d = denominator.max(1);
+        self.num_cells = (self.num_cells / d).max(16);
+        self.num_nets = (self.num_nets / d).max(16);
+        self
+    }
+
+    /// Generates the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] if the configuration produces no valid
+    /// movable cells (e.g. `num_cells == 0`).
+    pub fn generate<T: Float>(&self) -> Result<GeneratedDesign<T>, NetlistError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Cell sizes.
+        let (w_lo, w_hi) = self.cell_width_sites;
+        let widths: Vec<f64> = (0..self.num_cells)
+            .map(|_| rng.gen_range(w_lo..=w_hi.max(w_lo)) as f64 * self.site_width)
+            .collect();
+        let movable_area: f64 = widths.iter().map(|w| w * self.row_height).sum();
+
+        // Region sizing: movable + macro area over utilization, square-ish,
+        // height snapped to whole rows.
+        let movable_macro_area = self.num_movable_macros as f64
+            * (self.movable_macro_rows as f64 * self.row_height).powi(2)
+            * 1.1; // mean aspect 0.8..1.4
+        let mut core_area =
+            (movable_area + movable_macro_area) / self.utilization.clamp(0.05, 0.98);
+        let macro_edge_guess = (core_area.sqrt() * self.macro_edge_frac).max(self.row_height);
+        let macro_area = self.num_macros as f64 * macro_edge_guess * macro_edge_guess;
+        core_area += macro_area / self.utilization.clamp(0.05, 0.98);
+        let edge = core_area.sqrt();
+        let num_rows = ((edge / self.row_height).ceil() as usize).max(4);
+        let height = num_rows as f64 * self.row_height;
+        let width = (core_area / height).ceil();
+
+        let rows = RowGrid::uniform(
+            T::ZERO,
+            T::ZERO,
+            T::from_f64(width),
+            T::from_f64(height),
+            T::from_f64(self.row_height),
+            T::from_f64(self.site_width),
+        );
+        let mut b =
+            NetlistBuilder::<T>::new(T::ZERO, T::ZERO, T::from_f64(width), T::from_f64(height))
+                .with_rows(rows)
+                .allow_degenerate_nets(true);
+
+        let mut cells: Vec<_> = widths
+            .iter()
+            .map(|&w| b.add_movable_cell(T::from_f64(w), T::from_f64(self.row_height)))
+            .collect();
+        // Movable macros: square-ish, several rows tall. They join the net
+        // pool like any cell.
+        for _ in 0..self.num_movable_macros {
+            let h = self.movable_macro_rows as f64 * self.row_height;
+            let w = (h * rng.gen_range(0.8..1.4) / self.site_width).round() * self.site_width;
+            cells.push(b.add_movable_cell(T::from_f64(w), T::from_f64(h)));
+        }
+
+        // Fixed macros on a jittered grid so they never overlap.
+        let mut macro_pos: Vec<(f64, f64, f64)> = Vec::new();
+        if self.num_macros > 0 {
+            let slots = (self.num_macros as f64).sqrt().ceil() as usize;
+            let pitch_x = width / slots as f64;
+            let pitch_y = height / slots as f64;
+            let edge_len = (macro_edge_guess).min(pitch_x * 0.6).min(pitch_y * 0.6);
+            for k in 0..self.num_macros {
+                let (i, j) = (k % slots, k / slots);
+                let jx: f64 = rng.gen_range(-0.15..0.15);
+                let jy: f64 = rng.gen_range(-0.15..0.15);
+                let cx = (i as f64 + 0.5 + jx) * pitch_x;
+                let cy = (j as f64 + 0.5 + jy) * pitch_y;
+                macro_pos.push((cx, cy, edge_len));
+            }
+        }
+        let macro_handles: Vec<_> = macro_pos
+            .iter()
+            .map(|&(_, _, e)| b.add_fixed_cell(T::from_f64(e), T::from_f64(e)))
+            .collect();
+
+        // Nets: anchor + members within a locality window; degree
+        // 2 + geometric(p) with mean avg_net_degree.
+        let window = ((self.num_cells as f64 * self.locality_frac).ceil() as i64).max(4);
+        let extra_mean = (self.avg_net_degree - 2.0).max(0.1);
+        let p_stop = 1.0 / (1.0 + extra_mean);
+        for _ in 0..self.num_nets {
+            let anchor = rng.gen_range(0..self.num_cells) as i64;
+            let mut degree = 2usize;
+            while degree < self.max_net_degree && rng.gen::<f64>() > p_stop {
+                degree += 1;
+            }
+            let mut members = Vec::with_capacity(degree);
+            members.push(anchor as usize);
+            let mut guard = 0;
+            while members.len() < degree && guard < degree * 8 {
+                guard += 1;
+                let off = rng.gen_range(-window..=window);
+                let idx = (anchor + off).rem_euclid(self.num_cells as i64) as usize;
+                if !members.contains(&idx) {
+                    members.push(idx);
+                }
+            }
+            // Occasionally attach a macro pin, as macros have ports too.
+            // Movable macros participate more (they need nets to be placed
+            // meaningfully).
+            let attach_movable_macro = self.num_movable_macros > 0 && rng.gen::<f64>() < 0.05;
+            let attach_macro = !macro_handles.is_empty() && rng.gen::<f64>() < 0.02;
+            let mut pins: Vec<_> = members
+                .iter()
+                .map(|&c| {
+                    let hw = widths[c] / 2.0;
+                    (
+                        cells[c],
+                        T::from_f64(rng.gen_range(-hw..hw)),
+                        T::from_f64(rng.gen_range(-self.row_height / 2.0..self.row_height / 2.0)),
+                    )
+                })
+                .collect();
+            if attach_movable_macro {
+                let m = self.num_cells + rng.gen_range(0..self.num_movable_macros);
+                pins.push((cells[m], T::ZERO, T::ZERO));
+            }
+            if attach_macro {
+                let m = rng.gen_range(0..macro_handles.len());
+                pins.push((macro_handles[m], T::ZERO, T::ZERO));
+            }
+            b.add_net(T::ONE, pins)
+                .expect("degenerate nets are allowed");
+        }
+
+        let netlist = b.build()?;
+        let mut fixed_positions = Placement::zeros(netlist.num_cells());
+        for (k, &(cx, cy, _)) in macro_pos.iter().enumerate() {
+            let id = self.num_cells + k;
+            fixed_positions.x[id] = T::from_f64(cx);
+            fixed_positions.y[id] = T::from_f64(cy);
+        }
+
+        Ok(GeneratedDesign {
+            name: self.name.clone(),
+            netlist,
+            fixed_positions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GeneratorConfig::new("t", 200, 210).with_seed(9);
+        let a = cfg.generate::<f64>().expect("valid");
+        let b = cfg.generate::<f64>().expect("valid");
+        assert_eq!(a.netlist.num_pins(), b.netlist.num_pins());
+        assert_eq!(a.netlist.region(), b.netlist.region());
+        let sa = a.netlist.stats();
+        let sb = b.netlist.stats();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GeneratorConfig::new("t", 200, 210)
+            .with_seed(1)
+            .generate::<f64>()
+            .expect("ok");
+        let b = GeneratorConfig::new("t", 200, 210)
+            .with_seed(2)
+            .generate::<f64>()
+            .expect("ok");
+        assert_ne!(a.netlist.num_pins(), b.netlist.num_pins());
+    }
+
+    #[test]
+    fn statistics_match_configuration() {
+        let cfg = GeneratorConfig::new("t", 2000, 2100).with_seed(3);
+        let d = cfg.generate::<f64>().expect("valid");
+        let s = d.netlist.stats();
+        assert_eq!(s.num_movable, 2000);
+        // Degenerate nets may be dropped, but only a few.
+        assert!(s.num_nets > 2000 && s.num_nets <= 2100);
+        assert!(
+            (s.avg_net_degree - cfg.avg_net_degree).abs() < 0.6,
+            "{}",
+            s.avg_net_degree
+        );
+        assert!((s.utilization - 0.7).abs() < 0.1, "{}", s.utilization);
+    }
+
+    #[test]
+    fn rows_cover_region() {
+        let d = GeneratorConfig::new("t", 300, 310)
+            .generate::<f64>()
+            .expect("valid");
+        let rows = d.netlist.rows().expect("generator attaches rows");
+        let region = d.netlist.region();
+        let top = rows.rows().last().expect("non-empty").y + rows.row_height();
+        assert!(top <= region.yh + 1e-9);
+        assert!(rows.rows().len() >= 4);
+    }
+
+    #[test]
+    fn macros_are_fixed_inside_region_and_disjoint() {
+        let cfg = GeneratorConfig::new("t", 500, 520)
+            .with_macros(6, 0.1)
+            .with_seed(5);
+        let d = cfg.generate::<f64>().expect("valid");
+        let nl = &d.netlist;
+        assert_eq!(nl.num_cells() - nl.num_movable(), 6);
+        let rects: Vec<_> = (nl.num_movable()..nl.num_cells())
+            .map(|i| {
+                dp_netlist::Rect::from_center(
+                    d.fixed_positions.x[i],
+                    d.fixed_positions.y[i],
+                    nl.cell_widths()[i],
+                    nl.cell_heights()[i],
+                )
+            })
+            .collect();
+        for (i, a) in rects.iter().enumerate() {
+            assert!(
+                a.xl >= -1e-9 && a.xh <= nl.region().xh + 1e-9,
+                "macro {i} outside"
+            );
+            for b in &rects[i + 1..] {
+                assert_eq!(a.overlap_area(b), 0.0, "macros overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_down_shrinks() {
+        let cfg = GeneratorConfig::new("t", 160_000, 170_000).scaled_down(16);
+        assert_eq!(cfg.num_cells, 10_000);
+        assert_eq!(cfg.num_nets, 10_625);
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let d = GeneratorConfig::new("t", 100, 110)
+            .generate::<f32>()
+            .expect("valid");
+        assert_eq!(d.netlist.num_movable(), 100);
+    }
+}

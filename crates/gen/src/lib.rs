@@ -1,0 +1,35 @@
+//! Synthetic placement benchmark generator.
+//!
+//! The paper evaluates on the ISPD 2005 contest suite, proprietary
+//! industrial designs, and the DAC 2012 routability suite — none of which
+//! can be redistributed here. This crate generates netlists that reproduce
+//! the statistical features global placement is sensitive to:
+//!
+//! * net-degree distribution (2 + geometric tail, configurable mean);
+//! * spatial locality (nets connect cells that are close in a synthetic
+//!   "logical" ordering, the standard Rent's-rule-style construction);
+//! * cell width variety snapped to placement sites, uniform row height;
+//! * whitespace/utilization and fixed macro blockages;
+//! * per-suite presets ([`ispd2005_suite`], [`industrial_suite`],
+//!   [`dac2012_suite`]) matching each paper design's cell/net counts at a
+//!   configurable scale factor (`1/16` of the paper sizes by default in the
+//!   bench harness, so a laptop-class machine can run every table).
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_gen::GeneratorConfig;
+//!
+//! let design = GeneratorConfig::new("demo", 500, 520)
+//!     .with_seed(42)
+//!     .generate::<f64>()
+//!     .expect("valid generator configuration");
+//! assert_eq!(design.netlist.num_movable(), 500);
+//! assert!(design.netlist.num_nets() > 450);
+//! ```
+
+pub mod generator;
+pub mod presets;
+
+pub use generator::{GeneratedDesign, GeneratorConfig};
+pub use presets::{dac2012_suite, industrial_suite, ispd2005_suite, DesignPreset, RoutingHints};

@@ -1,0 +1,167 @@
+//! Named presets mirroring the paper's benchmark suites.
+//!
+//! Cell and net counts are the paper's Table II / Table III / Table V
+//! figures (in thousands); the bench harness scales them down uniformly so
+//! every experiment runs on laptop-class hardware. DAC 2012 presets carry
+//! [`RoutingHints`] for the routability-driven flow.
+
+use crate::generator::GeneratorConfig;
+
+/// Routing-grid hints for routability-driven placement (DAC 2012 style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingHints {
+    /// Number of metal layers (alternating preferred directions, starting
+    /// horizontal).
+    pub num_layers: usize,
+    /// Track capacity per horizontal-layer tile edge.
+    pub capacity_h: usize,
+    /// Track capacity per vertical-layer tile edge.
+    pub capacity_v: usize,
+    /// Routing tile edge in placement-site units.
+    pub tile_sites: usize,
+}
+
+impl Default for RoutingHints {
+    fn default() -> Self {
+        Self {
+            num_layers: 6,
+            capacity_h: 18,
+            capacity_v: 18,
+            tile_sites: 32,
+        }
+    }
+}
+
+/// A named design preset: generator configuration plus optional routing
+/// hints.
+#[derive(Debug, Clone)]
+pub struct DesignPreset {
+    /// The generator configuration (paper-scale sizes).
+    pub config: GeneratorConfig,
+    /// Routing hints for routability-driven suites.
+    pub routing: Option<RoutingHints>,
+}
+
+impl DesignPreset {
+    /// Returns the preset scaled down by `1/denominator`.
+    pub fn scaled_down(mut self, denominator: usize) -> Self {
+        self.config = self.config.scaled_down(denominator);
+        self
+    }
+}
+
+fn preset(name: &str, kcells: usize, knets: usize, macros: usize, seed: u64) -> DesignPreset {
+    let config = GeneratorConfig::new(name, kcells * 1000, knets * 1000)
+        .with_seed(seed)
+        .with_macros(macros, 0.08)
+        .with_utilization(0.7);
+    DesignPreset {
+        config,
+        routing: None,
+    }
+}
+
+/// The eight ISPD 2005 contest designs of paper Table II (paper-scale cell
+/// and net counts; macros stand in for the suites' fixed blocks).
+///
+/// # Examples
+///
+/// ```
+/// let suite = dp_gen::ispd2005_suite();
+/// assert_eq!(suite.len(), 8);
+/// assert_eq!(suite[0].config.name, "adaptec1");
+/// assert_eq!(suite[7].config.num_cells, 2_177_000);
+/// ```
+pub fn ispd2005_suite() -> Vec<DesignPreset> {
+    vec![
+        preset("adaptec1", 211, 221, 4, 101),
+        preset("adaptec2", 255, 266, 6, 102),
+        preset("adaptec3", 452, 467, 8, 103),
+        preset("adaptec4", 496, 516, 8, 104),
+        preset("bigblue1", 278, 284, 4, 105),
+        preset("bigblue2", 558, 577, 12, 106),
+        preset("bigblue3", 1097, 1123, 12, 107),
+        preset("bigblue4", 2177, 2230, 16, 108),
+    ]
+}
+
+/// The six industrial designs of paper Table III (1.3M to 10.5M cells).
+pub fn industrial_suite() -> Vec<DesignPreset> {
+    vec![
+        preset("design1", 1345, 1389, 10, 201),
+        preset("design2", 1306, 1355, 10, 202),
+        preset("design3", 2265, 2276, 14, 203),
+        preset("design4", 1525, 1528, 10, 204),
+        preset("design5", 1316, 1364, 10, 205),
+        preset("design6", 10504, 10747, 24, 206),
+    ]
+}
+
+/// The ten DAC 2012 routability designs of paper Table V, with routing
+/// hints (denser suites get tighter capacities, mirroring the contest's
+/// congested profiles).
+pub fn dac2012_suite() -> Vec<DesignPreset> {
+    let rows = [
+        ("superblue2", 1014, 991, 14u64, 16usize),
+        ("superblue3", 920, 898, 15, 18),
+        ("superblue6", 1014, 1007, 16, 18),
+        ("superblue7", 1365, 1340, 17, 20),
+        ("superblue9", 847, 834, 18, 18),
+        ("superblue11", 955, 936, 19, 16),
+        ("superblue12", 1293, 1293, 20, 14),
+        ("superblue14", 635, 620, 21, 18),
+        ("superblue16", 699, 697, 22, 16),
+        ("superblue19", 523, 512, 23, 18),
+    ];
+    rows.iter()
+        .map(|&(name, kc, kn, seed, cap)| {
+            let mut p = preset(name, kc, kn, 8, 300 + seed);
+            p.config.utilization = 0.75;
+            p.routing = Some(RoutingHints {
+                num_layers: 6,
+                capacity_h: cap,
+                capacity_v: cap,
+                tile_sites: 32,
+            });
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_counts() {
+        let ispd = ispd2005_suite();
+        assert_eq!(ispd.len(), 8);
+        assert_eq!(ispd[7].config.name, "bigblue4");
+        assert_eq!(ispd[7].config.num_cells, 2_177_000);
+
+        let ind = industrial_suite();
+        assert_eq!(ind.len(), 6);
+        assert_eq!(ind[5].config.num_cells, 10_504_000);
+
+        let dac = dac2012_suite();
+        assert_eq!(dac.len(), 10);
+        assert!(dac.iter().all(|p| p.routing.is_some()));
+    }
+
+    #[test]
+    fn scaled_presets_generate() {
+        let p = ispd2005_suite().remove(0).scaled_down(64);
+        let d = p.config.generate::<f64>().expect("valid");
+        assert!(d.netlist.num_movable() >= 3000);
+        assert!(d.netlist.num_movable() < 4000);
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_suite() {
+        let seeds: Vec<u64> = ispd2005_suite().iter().map(|p| p.config.seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

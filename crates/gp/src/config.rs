@@ -1,0 +1,209 @@
+//! Global placement configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use dp_density::{DctBackendKind, DensityStrategy};
+use dp_netlist::Netlist;
+use dp_num::Float;
+use dp_wirelength::WaStrategy;
+
+/// Which smooth wirelength model drives the optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WirelengthModel {
+    /// Weighted-average (paper Eq. (3)) with the given kernel strategy.
+    Wa(WaStrategy),
+    /// Log-sum-exp (the alternate model of §III-A).
+    Lse,
+}
+
+/// The gradient-descent engine (paper §III-D, Table IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverKind {
+    /// Nesterov with Lipschitz line search (ePlace/RePlAce default).
+    Nesterov,
+    /// Adam with the given learning rate and per-step decay.
+    Adam {
+        /// Initial learning rate (in layout units per unit gradient).
+        lr: f64,
+        /// Multiplicative learning-rate decay per iteration.
+        decay: f64,
+    },
+    /// SGD with momentum, same knobs as Adam.
+    SgdMomentum {
+        /// Initial learning rate.
+        lr: f64,
+        /// Multiplicative learning-rate decay per iteration.
+        decay: f64,
+    },
+    /// Nonlinear conjugate gradient.
+    ConjugateGradient,
+}
+
+/// Initial placement mode (paper Fig. 2(b) and §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitKind {
+    /// DREAMPlace style: all movable cells at the region center plus a
+    /// small Gaussian noise (0.1% of region extent by default).
+    RandomCenter,
+    /// RePlAce-baseline style: additionally run a wirelength-only
+    /// optimization of the given iteration count, emulating the
+    /// bound-to-bound quadratic initial placement stage whose runtime the
+    /// paper measures at 25-30% of GP (§IV-A).
+    WirelengthOnly {
+        /// Number of wirelength-only iterations.
+        iters: usize,
+    },
+}
+
+/// Error raised by global placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// The bin grid shape was rejected by the transform plans.
+    Transform(dp_dct::TransformError),
+    /// The objective became non-finite (diverged).
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::Transform(e) => write!(f, "bin grid rejected: {e}"),
+            GpError::Diverged { iteration } => {
+                write!(f, "objective diverged at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl Error for GpError {}
+
+impl From<dp_dct::TransformError> for GpError {
+    fn from(e: dp_dct::TransformError) -> Self {
+        GpError::Transform(e)
+    }
+}
+
+/// Full configuration of the global placer.
+///
+/// Use [`GpConfig::auto`] for sensible defaults derived from the design
+/// size, then override fields as needed.
+#[derive(Debug, Clone)]
+pub struct GpConfig<T> {
+    /// Bin grid dimensions (powers of two).
+    pub bins: (usize, usize),
+    /// Target density `d_t` of paper Eq. (1b).
+    pub target_density: T,
+    /// Stop when overflow `tau` drops to this value (RePlAce uses ~0.07).
+    pub target_overflow: T,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Minimum iterations before the stop check.
+    pub min_iters: usize,
+    /// Wirelength model and kernel strategy.
+    pub wirelength: WirelengthModel,
+    /// Density scatter strategy.
+    pub density_strategy: DensityStrategy,
+    /// DCT tier for the spectral solver.
+    pub dct_backend: DctBackendKind,
+    /// Solver engine.
+    pub solver: SolverKind,
+    /// Initialization mode.
+    pub init: InitKind,
+    /// RNG seed for the initial noise.
+    pub seed: u64,
+    /// Initial-noise sigma as a fraction of the region extent (paper: 0.1%).
+    pub noise_frac: f64,
+    /// Worker threads for the kernels.
+    pub threads: usize,
+    /// Density-weight scheduler: `mu_min` (paper: 0.95).
+    pub mu_min: f64,
+    /// Density-weight scheduler: `mu_max` (paper: 1.05).
+    pub mu_max: f64,
+    /// Reference `Delta HPWL` of Eq. (18); `None` derives it as 0.5% of the
+    /// initial HPWL (the paper's 3.5e5 is absolute for contest-scale
+    /// designs).
+    pub ref_delta_hpwl: Option<T>,
+    /// Apply the TCAD extension's stabilization
+    /// (`mu <- mu_max * max(0.9999^k, 0.98)` when `p < 0`, §III-C).
+    pub tcad_mu_stabilization: bool,
+    /// Update `lambda` every this many iterations (1 normally; the
+    /// routability flow slows it to 5, §III-F).
+    pub lambda_update_interval: usize,
+    /// Gamma schedule base coefficient, in bins (ePlace uses 8.0).
+    pub gamma_base_bins: f64,
+    /// Optional fence regions (paper §III-G): one electric field per
+    /// region plus a default field.
+    pub fence: Option<crate::fence::FenceSpec<T>>,
+}
+
+impl<T: Float> GpConfig<T> {
+    /// Defaults derived from the design: bin grid near `sqrt(#movable)`
+    /// per dimension (power of two, clamped to `[16, 1024]`).
+    pub fn auto(netlist: &Netlist<T>) -> Self {
+        let m = Self::auto_bins(netlist.num_movable());
+        Self {
+            bins: (m, m),
+            target_density: T::ONE,
+            target_overflow: T::from_f64(0.07),
+            max_iters: 1000,
+            min_iters: 20,
+            wirelength: WirelengthModel::Wa(WaStrategy::Merged),
+            density_strategy: DensityStrategy::SortedSubthreads { tx: 2, ty: 2 },
+            dct_backend: DctBackendKind::Direct2d,
+            solver: SolverKind::Nesterov,
+            init: InitKind::RandomCenter,
+            seed: 1,
+            noise_frac: 0.001,
+            threads: 1,
+            mu_min: 0.95,
+            mu_max: 1.05,
+            ref_delta_hpwl: None,
+            tcad_mu_stabilization: true,
+            lambda_update_interval: 1,
+            gamma_base_bins: 4.0,
+            fence: None,
+        }
+    }
+
+    /// Power-of-two bin count per dimension near `sqrt(n)`, in `[16, 1024]`.
+    pub fn auto_bins(num_movable: usize) -> usize {
+        let target = (num_movable as f64).sqrt();
+        let mut m = 16usize;
+        while (m as f64) < target && m < 1024 {
+            m <<= 1;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::NetlistBuilder;
+
+    #[test]
+    fn auto_bins_scales_with_design() {
+        assert_eq!(GpConfig::<f64>::auto_bins(100), 16);
+        assert_eq!(GpConfig::<f64>::auto_bins(1000), 32);
+        assert_eq!(GpConfig::<f64>::auto_bins(100_000), 512);
+        assert_eq!(GpConfig::<f64>::auto_bins(100_000_000), 1024);
+    }
+
+    #[test]
+    fn auto_config_is_sane() {
+        let mut b = NetlistBuilder::<f64>::new(0.0, 0.0, 100.0, 100.0);
+        let a = b.add_movable_cell(1.0, 1.0);
+        let c = b.add_movable_cell(1.0, 1.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let cfg = GpConfig::auto(&nl);
+        assert_eq!(cfg.bins, (16, 16));
+        assert!(cfg.target_overflow > 0.0);
+        assert_eq!(cfg.lambda_update_interval, 1);
+    }
+}

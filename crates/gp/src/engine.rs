@@ -1,0 +1,598 @@
+//! The global placement main loop.
+
+use std::time::{Duration, Instant};
+
+use dp_autograd::{Gradient, Operator};
+use dp_density::{BinGrid, DensityOp};
+use dp_netlist::{hpwl, Netlist, Placement};
+use dp_num::Float;
+use dp_optim::{Adam, ConjugateGradient, NesterovOptimizer, ObjectiveFn, Optimizer, SgdMomentum};
+use dp_wirelength::{LseWirelength, WaWirelength};
+
+use crate::config::{GpConfig, GpError, InitKind, SolverKind, WirelengthModel};
+use crate::fence::FencedDensityOp;
+use crate::init::initial_placement;
+use crate::scheduler::{DensityWeightScheduler, GammaScheduler};
+
+/// One iteration's diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterRecord {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Exact HPWL at this iterate.
+    pub hpwl: f64,
+    /// Density overflow `tau`.
+    pub overflow: f64,
+    /// Density weight `lambda`.
+    pub lambda: f64,
+    /// WA/LSE smoothing `gamma`.
+    pub gamma: f64,
+}
+
+/// Wall-clock spent per phase, for the paper's breakdown figures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpTiming {
+    /// Initial placement (including the wirelength-only stage in
+    /// RePlAce-baseline mode).
+    pub init: Duration,
+    /// Wirelength forward+backward.
+    pub wirelength: Duration,
+    /// Density forward+backward (including DCT).
+    pub density: Duration,
+    /// Solver arithmetic (everything inside `step` minus operator time).
+    pub solver: Duration,
+    /// HPWL/overflow bookkeeping and schedulers.
+    pub bookkeeping: Duration,
+    /// End-to-end global placement time.
+    pub total: Duration,
+}
+
+/// Summary of a global placement run.
+#[derive(Debug, Clone)]
+pub struct GpStats {
+    /// Number of kernel GP iterations executed.
+    pub iterations: usize,
+    /// Exact HPWL of the final placement.
+    pub final_hpwl: f64,
+    /// Final density overflow.
+    pub final_overflow: f64,
+    /// Whether the overflow target was reached (vs. iteration cap).
+    pub converged: bool,
+    /// Per-iteration history.
+    pub history: Vec<IterRecord>,
+    /// Phase timing.
+    pub timing: GpTiming,
+}
+
+/// Result of global placement: coordinates plus statistics.
+#[derive(Debug, Clone)]
+pub struct GpResult<T> {
+    /// Final cell-center coordinates (movable cells spread, fixed intact).
+    pub placement: Placement<T>,
+    /// Run statistics.
+    pub stats: GpStats,
+}
+
+/// The global placer; construct with a [`GpConfig`] and call
+/// [`GlobalPlacer::place`]. See the [crate example](crate).
+pub struct GlobalPlacer<T> {
+    config: GpConfig<T>,
+}
+
+/// The density model: single electric field, or one per fence region.
+/// One instance exists per placement run; variant size is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum DensityModel<T: Float> {
+    Single(DensityOp<T>),
+    Fenced(FencedDensityOp<T>),
+}
+
+impl<T: Float> DensityModel<T> {
+    fn bake_fixed(&mut self, nl: &Netlist<T>, p: &Placement<T>) {
+        match self {
+            DensityModel::Single(op) => op.bake_fixed(nl, p),
+            DensityModel::Fenced(op) => op.bake_fixed(nl, p),
+        }
+    }
+
+    fn overflow(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
+        match self {
+            DensityModel::Single(op) => op.overflow(nl, p),
+            DensityModel::Fenced(op) => op.overflow(nl, p),
+        }
+    }
+
+    fn forward_backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, g: &mut Gradient<T>) -> T {
+        match self {
+            DensityModel::Single(op) => op.forward_backward(nl, p, g),
+            DensityModel::Fenced(op) => op.forward_backward(nl, p, g),
+        }
+    }
+}
+
+/// The smooth wirelength operator behind the configured model.
+/// One instance exists per placement run; variant size is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum WlOp<T: Float> {
+    Wa(WaWirelength<T>),
+    Lse(LseWirelength<T>),
+}
+
+impl<T: Float> WlOp<T> {
+    fn set_gamma(&mut self, gamma: T) {
+        match self {
+            WlOp::Wa(op) => op.set_gamma(gamma),
+            WlOp::Lse(op) => op.set_gamma(gamma),
+        }
+    }
+
+    fn forward_backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, g: &mut Gradient<T>) -> T {
+        match self {
+            WlOp::Wa(op) => op.forward_backward(nl, p, g),
+            WlOp::Lse(op) => op.forward_backward(nl, p, g),
+        }
+    }
+}
+
+/// Objective adapter: flat params `[x_mov..., y_mov...]` to operators, with
+/// Jacobi preconditioning and per-phase timing.
+struct PlacementObjective<'a, T: Float> {
+    nl: &'a Netlist<T>,
+    wl: &'a mut WlOp<T>,
+    density: &'a mut DensityModel<T>,
+    lambda: T,
+    pos: Placement<T>,
+    grad: Gradient<T>,
+    /// Precomputed `#pins` per movable cell (wirelength preconditioner).
+    pin_counts: Vec<T>,
+    /// Precomputed charge per movable cell (density preconditioner).
+    charges: Vec<T>,
+    t_wl: Duration,
+    t_density: Duration,
+    evals: usize,
+}
+
+impl<'a, T: Float> PlacementObjective<'a, T> {
+    fn unpack(&mut self, params: &[T]) {
+        let n = self.nl.num_movable();
+        self.pos.x[..n].copy_from_slice(&params[..n]);
+        self.pos.y[..n].copy_from_slice(&params[n..]);
+    }
+}
+
+impl<'a, T: Float> ObjectiveFn<T> for PlacementObjective<'a, T> {
+    fn eval(&mut self, params: &[T], grad_out: &mut [T]) -> T {
+        let n = self.nl.num_movable();
+        self.unpack(params);
+        self.grad.reset();
+        self.evals += 1;
+
+        let t0 = Instant::now();
+        let wl_cost = self.wl.forward_backward(self.nl, &self.pos, &mut self.grad);
+        self.t_wl += t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut dgrad = Gradient::zeros(self.pos.len());
+        let d_cost = self
+            .density
+            .forward_backward(self.nl, &self.pos, &mut dgrad);
+        self.grad.axpy(self.lambda, &dgrad);
+        self.t_density += t1.elapsed();
+
+        // Jacobi preconditioning: divide by the diagonal Hessian proxy
+        // (#pins + lambda * charge), the ePlace/DREAMPlace conditioner.
+        for i in 0..n {
+            let precond = (self.pin_counts[i] + self.lambda * self.charges[i]).max(T::ONE);
+            grad_out[i] = self.grad.x[i] / precond;
+            grad_out[n + i] = self.grad.y[i] / precond;
+        }
+        wl_cost + self.lambda * d_cost
+    }
+}
+
+fn make_solver<T: Float>(kind: SolverKind, n: usize, initial_step: T) -> Box<dyn Optimizer<T>> {
+    match kind {
+        SolverKind::Nesterov => Box::new(NesterovOptimizer::new(n, initial_step)),
+        SolverKind::Adam { lr, decay } => {
+            Box::new(Adam::new(n, T::from_f64(lr)).with_decay(T::from_f64(decay)))
+        }
+        SolverKind::SgdMomentum { lr, decay } => {
+            Box::new(SgdMomentum::new(n, T::from_f64(lr)).with_decay(T::from_f64(decay)))
+        }
+        SolverKind::ConjugateGradient => Box::new(ConjugateGradient::new(n, initial_step)),
+    }
+}
+
+impl<T: Float> GlobalPlacer<T> {
+    /// Creates a placer from a configuration.
+    pub fn new(config: GpConfig<T>) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpConfig<T> {
+        &self.config
+    }
+
+    /// Runs global placement from scratch.
+    ///
+    /// `fixed` supplies the coordinates of fixed cells (movable entries are
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::Transform`] for unsupported bin grids and
+    /// [`GpError::Diverged`] if the objective becomes non-finite.
+    pub fn place(&self, nl: &Netlist<T>, fixed: &Placement<T>) -> Result<GpResult<T>, GpError> {
+        let pos = initial_placement(nl, fixed, self.config.noise_frac, self.config.seed);
+        self.place_from(nl, pos, None)
+    }
+
+    /// Runs global placement from an existing placement (used by the
+    /// routability loop to restart after cell inflation). `lambda0`
+    /// overrides the automatic density-weight initialization when given.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlobalPlacer::place`].
+    pub fn place_from(
+        &self,
+        nl: &Netlist<T>,
+        mut pos: Placement<T>,
+        lambda0: Option<T>,
+    ) -> Result<GpResult<T>, GpError> {
+        let cfg = &self.config;
+        let t_start = Instant::now();
+        let mut timing = GpTiming::default();
+
+        // --- operators -------------------------------------------------
+        let grid = BinGrid::new(nl.region(), cfg.bins.0, cfg.bins.1)?;
+        let bin_size = (grid.bin_width() + grid.bin_height()) * T::HALF;
+        let gamma_sched = GammaScheduler::new(bin_size, cfg.gamma_base_bins);
+        let gamma0 = gamma_sched.gamma(T::ONE);
+
+        let mut wl = match cfg.wirelength {
+            WirelengthModel::Wa(strategy) => {
+                WlOp::Wa(WaWirelength::new(strategy, gamma0).with_threads(cfg.threads))
+            }
+            WirelengthModel::Lse => WlOp::Lse(LseWirelength::new(gamma0).with_threads(cfg.threads)),
+        };
+        let mut density = match &cfg.fence {
+            None => DensityModel::Single(
+                DensityOp::with_backend(
+                    grid.clone(),
+                    cfg.density_strategy,
+                    cfg.target_density,
+                    cfg.dct_backend,
+                )?
+                .with_threads(cfg.threads),
+            ),
+            Some(spec) => DensityModel::Fenced(FencedDensityOp::new(
+                nl,
+                grid.clone(),
+                cfg.density_strategy,
+                cfg.target_density,
+                cfg.dct_backend,
+                spec.clone(),
+            )?),
+        };
+        density.bake_fixed(nl, &pos);
+
+        let n = nl.num_movable();
+        let pin_counts: Vec<T> = (0..n)
+            .map(|i| T::from_usize(nl.cell_pins(dp_netlist::CellId::new(i)).len()))
+            .collect();
+        let inv_bin_area = T::ONE / grid.bin_area();
+        let charges: Vec<T> = (0..n)
+            .map(|i| nl.cell_widths()[i] * nl.cell_heights()[i] * inv_bin_area)
+            .collect();
+
+        // --- optional wirelength-only initial stage (RePlAce mode) ------
+        let t_init = Instant::now();
+        if let InitKind::WirelengthOnly { iters } = cfg.init {
+            let mut obj = PlacementObjective {
+                nl,
+                wl: &mut wl,
+                density: &mut density,
+                lambda: T::ZERO,
+                pos: pos.clone(),
+                grad: Gradient::zeros(pos.len()),
+                pin_counts: pin_counts.clone(),
+                charges: charges.clone(),
+                t_wl: Duration::ZERO,
+                t_density: Duration::ZERO,
+                evals: 0,
+            };
+            // Wirelength-only: skip the density term entirely by evaluating
+            // through a thin closure that zeroes lambda (it already is) but
+            // we also avoid the density forward by using the WA op directly.
+            let mut params = pack(&pos, n);
+            let mut solver = ConjugateGradient::new(2 * n, bin_size);
+            let mut wl_only = |p: &[T], g: &mut [T]| -> T {
+                obj.unpack(p);
+                obj.grad.reset();
+                let c = obj.wl.forward_backward(obj.nl, &obj.pos, &mut obj.grad);
+                for i in 0..n {
+                    let pre = obj.pin_counts[i].max(T::ONE);
+                    g[i] = obj.grad.x[i] / pre;
+                    g[n + i] = obj.grad.y[i] / pre;
+                }
+                c
+            };
+            for _ in 0..iters {
+                let _ = solver.step(&mut wl_only, &mut params);
+                clamp_params(&mut params, nl);
+            }
+            unpack_into(&params, &mut pos, n);
+        }
+        timing.init = t_init.elapsed();
+
+        // --- lambda initialization --------------------------------------
+        let mut g_wl = Gradient::zeros(pos.len());
+        let _ = wl.forward_backward(nl, &pos, &mut g_wl);
+        let mut g_d = Gradient::zeros(pos.len());
+        let _ = density.forward_backward(nl, &pos, &mut g_d);
+        let wl_norm = g_wl.l1_norm(n);
+        let d_norm = g_d.l1_norm(n).max(T::MIN_POSITIVE);
+        let lambda_init = lambda0.unwrap_or(wl_norm / d_norm);
+
+        let hpwl0 = hpwl(nl, &pos);
+        let ref_delta = cfg
+            .ref_delta_hpwl
+            .unwrap_or(hpwl0 * T::from_f64(0.005))
+            .max(T::MIN_POSITIVE);
+        let mut lambda_sched = DensityWeightScheduler::new(
+            lambda_init,
+            cfg.mu_min,
+            cfg.mu_max,
+            ref_delta,
+            cfg.tcad_mu_stabilization,
+        );
+
+        // --- main loop ---------------------------------------------------
+        let mut obj = PlacementObjective {
+            nl,
+            wl: &mut wl,
+            density: &mut density,
+            lambda: lambda_sched.lambda(),
+            pos: pos.clone(),
+            grad: Gradient::zeros(pos.len()),
+            pin_counts,
+            charges,
+            t_wl: Duration::ZERO,
+            t_density: Duration::ZERO,
+            evals: 0,
+        };
+        let mut params = pack(&pos, n);
+        let mut solver = make_solver(cfg.solver, 2 * n, bin_size);
+
+        let mut history = Vec::with_capacity(cfg.max_iters.min(1024));
+        let mut prev_hpwl = hpwl0;
+        let mut converged = false;
+        let mut iterations = 0;
+        let mut prev_op_time = Duration::ZERO;
+
+        for k in 0..cfg.max_iters {
+            iterations = k + 1;
+            let t_step = Instant::now();
+            let info = solver.step(&mut obj, &mut params);
+            clamp_params(&mut params, nl);
+            let step_elapsed = t_step.elapsed();
+
+            if !info.cost.is_finite() {
+                return Err(GpError::Diverged { iteration: k });
+            }
+
+            let t_book = Instant::now();
+            obj.unpack(&params);
+            let cur_hpwl = hpwl(nl, &obj.pos);
+            let overflow = obj.density.overflow(nl, &obj.pos);
+            let gamma = gamma_sched.gamma(overflow);
+            obj.wl.set_gamma(gamma);
+
+            if (k + 1) % cfg.lambda_update_interval.max(1) == 0 {
+                obj.lambda = lambda_sched.update(cur_hpwl - prev_hpwl);
+            }
+            prev_hpwl = cur_hpwl;
+
+            history.push(IterRecord {
+                iteration: k,
+                hpwl: cur_hpwl.to_f64(),
+                overflow: overflow.to_f64(),
+                lambda: obj.lambda.to_f64(),
+                gamma: gamma.to_f64(),
+            });
+            timing.bookkeeping += t_book.elapsed();
+
+            // Phase attribution: operator time accumulates inside eval;
+            // whatever remains of the step is solver arithmetic.
+            let op_time = obj.t_wl + obj.t_density;
+            timing.solver += step_elapsed.saturating_sub(op_time.saturating_sub(prev_op_time));
+            prev_op_time = op_time;
+            timing.wirelength = obj.t_wl;
+            timing.density = obj.t_density;
+
+            if overflow <= cfg.target_overflow && k + 1 >= cfg.min_iters {
+                converged = true;
+                break;
+            }
+        }
+
+        unpack_into(&params, &mut pos, n);
+        timing.total = t_start.elapsed();
+
+        let stats = GpStats {
+            iterations,
+            final_hpwl: hpwl(nl, &pos).to_f64(),
+            final_overflow: history.last().map(|r| r.overflow).unwrap_or(f64::NAN),
+            converged,
+            history,
+            timing,
+        };
+        Ok(GpResult {
+            placement: pos,
+            stats,
+        })
+    }
+}
+
+fn pack<T: Float>(pos: &Placement<T>, n: usize) -> Vec<T> {
+    let mut params = Vec::with_capacity(2 * n);
+    params.extend_from_slice(&pos.x[..n]);
+    params.extend_from_slice(&pos.y[..n]);
+    params
+}
+
+fn unpack_into<T: Float>(params: &[T], pos: &mut Placement<T>, n: usize) {
+    pos.x[..n].copy_from_slice(&params[..n]);
+    pos.y[..n].copy_from_slice(&params[n..]);
+}
+
+/// Clamps movable cell centers into the region (half a cell inside).
+fn clamp_params<T: Float>(params: &mut [T], nl: &Netlist<T>) {
+    let n = nl.num_movable();
+    let r = nl.region();
+    for i in 0..n {
+        let hw = nl.cell_widths()[i] * T::HALF;
+        let hh = nl.cell_heights()[i] * T::HALF;
+        params[i] = params[i].clamp(r.xl + hw, (r.xh - hw).max(r.xl + hw));
+        params[n + i] = params[n + i].clamp(r.yl + hh, (r.yh - hh).max(r.yl + hh));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_gen::GeneratorConfig;
+
+    fn small_design() -> dp_gen::GeneratedDesign<f64> {
+        GeneratorConfig::new("gp-test", 300, 330)
+            .with_seed(5)
+            .with_utilization(0.6)
+            .generate::<f64>()
+            .expect("valid")
+    }
+
+    fn quick_config(nl: &Netlist<f64>) -> GpConfig<f64> {
+        let mut cfg = GpConfig::auto(nl);
+        cfg.max_iters = 400;
+        cfg.target_overflow = 0.12;
+        cfg
+    }
+
+    #[test]
+    fn nesterov_spreads_cells_and_reduces_overflow() {
+        let d = small_design();
+        let cfg = quick_config(&d.netlist);
+        let result = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("GP runs");
+        assert!(
+            result.stats.final_overflow < 0.2,
+            "overflow {} after {} iters",
+            result.stats.final_overflow,
+            result.stats.iterations
+        );
+        // Cells actually spread out from the center cluster.
+        let region = d.netlist.region();
+        let n = d.netlist.num_movable();
+        let min_x = result.placement.x[..n]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max_x = result.placement.x[..n]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max_x - min_x > region.width() * 0.5,
+            "spread {}",
+            max_x - min_x
+        );
+        assert!(result.stats.final_hpwl.is_finite());
+        assert!(result.stats.iterations >= 20);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let d = small_design();
+        let cfg = quick_config(&d.netlist);
+        let a = GlobalPlacer::new(cfg.clone())
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        let b = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        assert_eq!(a.stats.iterations, b.stats.iterations);
+        assert_eq!(a.stats.final_hpwl, b.stats.final_hpwl);
+        assert_eq!(a.placement.x, b.placement.x);
+    }
+
+    #[test]
+    fn adam_also_converges() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        let bin = d.netlist.region().width() / cfg.bins.0 as f64;
+        cfg.solver = SolverKind::Adam {
+            lr: bin * 0.5,
+            decay: 0.997,
+        };
+        let result = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        assert!(
+            result.stats.final_overflow < 0.3,
+            "adam overflow {}",
+            result.stats.final_overflow
+        );
+    }
+
+    #[test]
+    fn history_shows_overflow_decreasing() {
+        let d = small_design();
+        let cfg = quick_config(&d.netlist);
+        let result = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        let h = &result.stats.history;
+        assert!(h.len() >= 20);
+        let early: f64 = h[..5].iter().map(|r| r.overflow).sum::<f64>() / 5.0;
+        let late: f64 = h[h.len() - 5..].iter().map(|r| r.overflow).sum::<f64>() / 5.0;
+        assert!(late < early, "early {early} late {late}");
+        // Gamma sharpens as overflow falls.
+        assert!(h.last().expect("non-empty").gamma < h[0].gamma);
+    }
+
+    #[test]
+    fn timing_phases_are_recorded() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.max_iters = 30;
+        cfg.target_overflow = 0.0; // force all 30 iterations
+        cfg.min_iters = 30;
+        let result = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        let t = result.stats.timing;
+        assert!(t.total > Duration::ZERO);
+        assert!(t.wirelength > Duration::ZERO);
+        assert!(t.density > Duration::ZERO);
+        assert!(t.density + t.wirelength <= t.total);
+    }
+
+    #[test]
+    fn wirelength_only_init_lowers_initial_hpwl() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.max_iters = 1;
+        cfg.min_iters = 1;
+        let plain = GlobalPlacer::new(cfg.clone())
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        cfg.init = InitKind::WirelengthOnly { iters: 50 };
+        let warm = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        assert!(warm.stats.timing.init > plain.stats.timing.init);
+    }
+}

@@ -1,0 +1,109 @@
+//! Initial placement: center + Gaussian noise (paper §III).
+
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Places every movable cell at the region center with Gaussian noise of
+/// sigma `noise_frac` times the region extent per axis; fixed cells keep
+/// their coordinates from `fixed`.
+///
+/// The paper sets the noise to 0.1% of the region width/height and reports
+/// quality within 0.04% of bound-to-bound initialization at ~21% less GP
+/// runtime (§III, Fig. 3).
+///
+/// # Examples
+///
+/// ```
+/// use dp_gen::GeneratorConfig;
+/// use dp_gp::initial_placement;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = GeneratorConfig::new("demo", 64, 70).generate::<f64>()?;
+/// let p = initial_placement(&d.netlist, &d.fixed_positions, 0.001, 7);
+/// let c = d.netlist.region().center();
+/// assert!((p.x[0] - c.x).abs() < d.netlist.region().width() * 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn initial_placement<T: Float>(
+    netlist: &Netlist<T>,
+    fixed: &Placement<T>,
+    noise_frac: f64,
+    seed: u64,
+) -> Placement<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let region = netlist.region();
+    let center = region.center();
+    let sx = region.width().to_f64() * noise_frac;
+    let sy = region.height().to_f64() * noise_frac;
+    let mut p = fixed.clone();
+    for i in 0..netlist.num_movable() {
+        p.x[i] = center.x + T::from_f64(gaussian(&mut rng) * sx);
+        p.y[i] = center.y + T::from_f64(gaussian(&mut rng) * sy);
+    }
+    p
+}
+
+/// Standard normal sample via Box-Muller (avoids a distribution dependency).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_gen::GeneratorConfig;
+
+    #[test]
+    fn movable_cells_cluster_at_center() {
+        let d = GeneratorConfig::new("t", 500, 520)
+            .with_seed(3)
+            .generate::<f64>()
+            .expect("ok");
+        let p = initial_placement(&d.netlist, &d.fixed_positions, 0.001, 11);
+        let c = d.netlist.region().center();
+        let w = d.netlist.region().width();
+        let mean_x: f64 = p.x[..500].iter().sum::<f64>() / 500.0;
+        assert!((mean_x - c.x).abs() < w * 0.001);
+        // noise is small but non-zero
+        assert!(p.x[..500].iter().any(|&x| (x - c.x).abs() > 1e-9));
+        let spread = p.x[..500]
+            .iter()
+            .map(|&x| (x - c.x).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            spread < w * 0.01,
+            "sigma 0.1% keeps cells within 1% of center"
+        );
+    }
+
+    #[test]
+    fn fixed_cells_untouched() {
+        let d = GeneratorConfig::new("t", 100, 110)
+            .with_macros(3, 0.1)
+            .with_seed(4)
+            .generate::<f64>()
+            .expect("ok");
+        let p = initial_placement(&d.netlist, &d.fixed_positions, 0.001, 11);
+        for i in d.netlist.num_movable()..d.netlist.num_cells() {
+            assert_eq!(p.x[i], d.fixed_positions.x[i]);
+            assert_eq!(p.y[i], d.fixed_positions.y[i]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = GeneratorConfig::new("t", 50, 60)
+            .generate::<f64>()
+            .expect("ok");
+        let a = initial_placement(&d.netlist, &d.fixed_positions, 0.001, 5);
+        let b = initial_placement(&d.netlist, &d.fixed_positions, 0.001, 5);
+        let c = initial_placement(&d.netlist, &d.fixed_positions, 0.001, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,178 @@
+//! The density-weight (`lambda`) and smoothing (`gamma`) schedulers.
+
+use dp_num::Float;
+
+/// Density weight updater implementing paper Eq. (18) with the TCAD
+/// stabilization of §III-C.
+///
+/// Each iteration:
+///
+/// ```text
+/// p  = Delta HPWL / ref_delta
+/// mu = mu_max                      if p < 0   (paper DAC'19 version)
+///      mu_max * max(0.9999^k, 0.98) if p < 0  (TCAD stabilization)
+///      max(mu_min, mu_max^{1-p})   otherwise
+/// lambda <- lambda * mu
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use dp_gp::DensityWeightScheduler;
+///
+/// let mut s = DensityWeightScheduler::<f64>::new(1.0, 0.95, 1.05, 1000.0, true);
+/// let l1 = s.update(-500.0); // HPWL improved -> raise lambda by ~mu_max
+/// assert!(l1 > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityWeightScheduler<T> {
+    lambda: T,
+    mu_min: T,
+    mu_max: T,
+    ref_delta: T,
+    tcad_stabilization: bool,
+    iteration: usize,
+}
+
+impl<T: Float> DensityWeightScheduler<T> {
+    /// Creates the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ref_delta` is not strictly positive or
+    /// `mu_min > mu_max`.
+    pub fn new(lambda0: T, mu_min: f64, mu_max: f64, ref_delta: T, tcad: bool) -> Self {
+        assert!(ref_delta > T::ZERO, "reference delta must be positive");
+        assert!(mu_min <= mu_max, "mu_min must not exceed mu_max");
+        Self {
+            lambda: lambda0,
+            mu_min: T::from_f64(mu_min),
+            mu_max: T::from_f64(mu_max),
+            ref_delta,
+            tcad_stabilization: tcad,
+            iteration: 0,
+        }
+    }
+
+    /// The current weight.
+    pub fn lambda(&self) -> T {
+        self.lambda
+    }
+
+    /// Overrides the weight (used when restarting after cell inflation).
+    pub fn set_lambda(&mut self, lambda: T) {
+        self.lambda = lambda;
+    }
+
+    /// Applies one update given the HPWL change since the last update, and
+    /// returns the new weight.
+    pub fn update(&mut self, delta_hpwl: T) -> T {
+        let p = delta_hpwl / self.ref_delta;
+        let mu = if p < T::ZERO {
+            if self.tcad_stabilization {
+                // mu_max * max(0.9999^k, 0.98): drops from 1.05 toward 1.03
+                // over the first ~200 iterations and stays there.
+                let decay =
+                    T::from_f64(0.9999f64.powi(self.iteration as i32)).max(T::from_f64(0.98));
+                self.mu_max * decay
+            } else {
+                self.mu_max
+            }
+        } else {
+            self.mu_min.max(self.mu_max.powf(T::ONE - p))
+        };
+        self.lambda *= mu;
+        self.iteration += 1;
+        self.lambda
+    }
+}
+
+/// Exponential `gamma` ramp driven by the density overflow, after ePlace:
+/// `gamma(tau) = base_bins * bin_size * 10^{k * tau + b}` with
+/// `k = 20/9, b = -11/9`, so `gamma` shrinks by two decades as overflow
+/// falls from 1.0 to 0.1 and the WA model sharpens toward HPWL.
+#[derive(Debug, Clone)]
+pub struct GammaScheduler<T> {
+    scale: T,
+}
+
+impl<T: Float> GammaScheduler<T> {
+    /// Creates the schedule for the given bin size (layout units) and base
+    /// coefficient in bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting scale is not strictly positive.
+    pub fn new(bin_size: T, base_bins: f64) -> Self {
+        let scale = bin_size * T::from_f64(base_bins);
+        assert!(scale > T::ZERO, "gamma scale must be positive");
+        Self { scale }
+    }
+
+    /// Gamma for the given overflow `tau` (clamped to `[0, 1]`).
+    pub fn gamma(&self, overflow: T) -> T {
+        let tau = overflow.clamp(T::ZERO, T::ONE);
+        let k = T::from_f64(20.0 / 9.0);
+        let b = T::from_f64(-11.0 / 9.0);
+        self.scale * (k * tau + b).exp10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_grows_on_improvement() {
+        let mut s = DensityWeightScheduler::<f64>::new(1.0, 0.95, 1.05, 100.0, false);
+        let l = s.update(-10.0);
+        assert!((l - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_shrinks_on_large_hpwl_blowup() {
+        let mut s = DensityWeightScheduler::<f64>::new(1.0, 0.95, 1.05, 100.0, false);
+        // p = 5 => mu = max(0.95, 1.05^-4) < 1
+        let l = s.update(500.0);
+        assert!(l < 1.0);
+        assert!(l >= 0.95);
+    }
+
+    #[test]
+    fn tcad_stabilization_caps_mu_at_103_percent_late() {
+        let mut s = DensityWeightScheduler::<f64>::new(1.0, 0.95, 1.05, 100.0, true);
+        // Warm up past iteration 200.
+        for _ in 0..300 {
+            let _ = s.update(-1.0);
+        }
+        let before = s.lambda();
+        let after = s.update(-1.0);
+        let mu = after / before;
+        assert!((mu - 1.05 * 0.98).abs() < 1e-6, "late mu = {mu}");
+    }
+
+    #[test]
+    fn tcad_mu_starts_at_full_mu_max() {
+        let mut s = DensityWeightScheduler::<f64>::new(1.0, 0.95, 1.05, 100.0, true);
+        let l = s.update(-1.0);
+        assert!((l - 1.05).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gamma_ramp_endpoints() {
+        let g = GammaScheduler::<f64>::new(2.0, 4.0); // scale = 8
+        let hi = g.gamma(1.0);
+        let lo = g.gamma(0.1);
+        assert!((hi - 80.0).abs() < 1e-9, "{hi}");
+        assert!((lo - 0.8).abs() < 1e-9, "{lo}");
+        // Monotone in between.
+        assert!(g.gamma(0.5) > lo && g.gamma(0.5) < hi);
+    }
+
+    #[test]
+    fn gamma_clamps_overflow() {
+        let g = GammaScheduler::<f64>::new(1.0, 8.0);
+        assert_eq!(g.gamma(2.0), g.gamma(1.0));
+        assert_eq!(g.gamma(-1.0), g.gamma(0.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Abacus row-based legalization refinement (Spindler et al., ISPD'08).
+//!
+//! Within each row segment, cells keep the left-to-right order chosen by
+//! the greedy pass but are re-placed by the classic cluster-collapse
+//! dynamic program, minimizing total squared displacement from the
+//! global-placement locations subject to no overlap.
+
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+
+use crate::segments::{RowSegments, Segment};
+use crate::tetris::Assignment;
+
+/// One Abacus cluster: a maximal group of touching cells placed optimally
+/// as a block.
+struct Cluster<T> {
+    /// First cell index (into the segment's cell list).
+    first: usize,
+    /// One past the last cell index.
+    last: usize,
+    /// Total weight `e` (cell areas).
+    e: T,
+    /// Weighted optimal-position numerator `q`.
+    q: T,
+    /// Total width.
+    w: T,
+}
+
+impl<T: Float> Cluster<T> {
+    fn position(&self, seg: &Segment<T>) -> T {
+        let hi = (seg.xh - self.w).max(seg.xl);
+        (self.q / self.e).clamp(seg.xl, hi)
+    }
+}
+
+/// Refines `placement` per segment. `original` supplies the target
+/// (global placement) locations; `assignment` maps each movable cell to its
+/// segment from the greedy pass.
+pub fn abacus_refine<T: Float>(
+    nl: &Netlist<T>,
+    original: &Placement<T>,
+    placement: &mut Placement<T>,
+    segments: &RowSegments<T>,
+    assignment: &Assignment,
+) {
+    // Group cells per (row, segment).
+    let mut groups: std::collections::HashMap<(usize, usize), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (cell, &(r, s)) in assignment.iter().enumerate() {
+        if r != usize::MAX {
+            groups.entry((r, s)).or_default().push(cell);
+        }
+    }
+
+    for ((row, si), mut cells) in groups {
+        let seg = segments.row(row)[si];
+        // Keep the greedy pass's order (current x) for stability.
+        cells.sort_by(|&a, &b| {
+            placement.x[a]
+                .partial_cmp(&placement.x[b])
+                .expect("finite coordinates")
+        });
+
+        // Desired lower-left positions from the original GP locations.
+        let desired: Vec<T> = cells
+            .iter()
+            .map(|&c| original.x[c] - nl.cell_widths()[c] * T::HALF)
+            .collect();
+        let widths: Vec<T> = cells.iter().map(|&c| nl.cell_widths()[c]).collect();
+        let weights: Vec<T> = cells
+            .iter()
+            .map(|&c| nl.cell_widths()[c] * nl.cell_heights()[c])
+            .collect();
+
+        // Cluster-collapse DP.
+        let mut clusters: Vec<Cluster<T>> = Vec::new();
+        for i in 0..cells.len() {
+            let mut c = Cluster {
+                first: i,
+                last: i + 1,
+                e: weights[i],
+                q: weights[i] * desired[i],
+                w: widths[i],
+            };
+            // Collapse while overlapping the previous cluster.
+            while let Some(prev) = clusters.last() {
+                if prev.position(&seg) + prev.w > c.position(&seg) + T::from_f64(1e-9) {
+                    let prev = clusters.pop().expect("non-empty");
+                    c = Cluster {
+                        first: prev.first,
+                        last: c.last,
+                        e: prev.e + c.e,
+                        q: prev.q + c.q - c.e * prev.w,
+                        w: prev.w + c.w,
+                    };
+                } else {
+                    break;
+                }
+            }
+            clusters.push(c);
+        }
+
+        // Emit positions in two passes. Snapping can drift cluster starts
+        // rightward past the room the later clusters need, so the greedy
+        // left-to-right pass only enforces non-overlap (allowing a right
+        // overhang), and a right-to-left repair pass pulls everything back
+        // inside the segment; total cluster width fits by construction, so
+        // the repair never pushes below `seg.xl`.
+        let mut starts: Vec<T> = Vec::with_capacity(clusters.len());
+        let mut prev_end = seg.xl;
+        for c in &clusters {
+            let x = seg.snap(c.position(&seg), c.w).max(prev_end);
+            starts.push(x);
+            prev_end = x + c.w;
+        }
+        let mut limit = seg.xh;
+        for (x, c) in starts.iter_mut().zip(&clusters).rev() {
+            if *x + c.w > limit {
+                *x = (limit - c.w).max(seg.xl);
+            }
+            limit = *x;
+        }
+        for (x0, c) in starts.iter().zip(&clusters) {
+            let mut x = *x0;
+            for k in c.first..c.last {
+                let cell = cells[k];
+                placement.x[cell] = x + widths[k] * T::HALF;
+                placement.y[cell] = seg.y + nl.cell_heights()[cell] * T::HALF;
+                x += widths[k];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::check_legal;
+    use crate::tetris::tetris_pass;
+    use dp_gen::GeneratorConfig;
+    use dp_gp::initial_placement;
+    use dp_netlist::{NetlistBuilder, RowGrid};
+
+    /// Hand-checkable case from the Abacus paper style: three cells wanting
+    /// the same spot end up packed around it.
+    #[test]
+    fn clusters_spread_around_common_target() {
+        let rows = RowGrid::uniform(0.0, 0.0, 100.0, 8.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 8.0).with_rows(rows);
+        let cells: Vec<_> = (0..3).map(|_| b.add_movable_cell(10.0, 8.0)).collect();
+        b.add_net(1.0, cells.iter().map(|&c| (c, 0.0, 0.0)).collect())
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        // All three want lower-left x = 45 (center 50).
+        let mut original = Placement::zeros(3);
+        original.x = vec![50.0, 50.0, 50.0];
+        original.y = vec![4.0, 4.0, 4.0];
+        let mut p = original.clone();
+        // Perturb order slightly so the greedy pass has a deterministic sort.
+        p.x = vec![49.9, 50.0, 50.1];
+        let segs = RowSegments::build(&nl, &p, nl.rows().expect("attached"));
+        let assignment = tetris_pass(&nl, &mut p, &segs).expect("fits");
+        abacus_refine(&nl, &original, &mut p, &segs, &assignment);
+        // Optimal cluster start minimizes sum (x + 10k - 45)^2 over k=0..2,
+        // giving x = 45 - 10 = 35 and cells at 35/45/55.
+        let lls: Vec<f64> = (0..3).map(|i| p.x[i] - 5.0).collect();
+        let mut sorted = lls.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!((sorted[0] - 35.0).abs() <= 1.0, "{sorted:?}");
+        assert!((sorted[1] - 45.0).abs() <= 1.0, "{sorted:?}");
+        assert!((sorted[2] - 55.0).abs() <= 1.0, "{sorted:?}");
+        assert!(check_legal(&nl, &p).is_legal());
+    }
+
+    #[test]
+    fn refinement_never_hurts_displacement_much_and_stays_legal() {
+        let d = GeneratorConfig::new("t", 200, 210)
+            .with_seed(8)
+            .with_utilization(0.55)
+            .generate::<f64>()
+            .expect("ok");
+        let rows = d.netlist.rows().expect("attached").clone();
+        let original = initial_placement(&d.netlist, &d.fixed_positions, 0.05, 3);
+        let mut tetris_only = original.clone();
+        let segs = RowSegments::build(&d.netlist, &original, &rows);
+        let assignment = tetris_pass(&d.netlist, &mut tetris_only, &segs).expect("fits");
+
+        let mut refined = tetris_only.clone();
+        abacus_refine(&d.netlist, &original, &mut refined, &segs, &assignment);
+        assert!(check_legal(&d.netlist, &refined).is_legal());
+
+        let disp = |p: &Placement<f64>| -> f64 {
+            (0..d.netlist.num_movable())
+                .map(|i| (p.x[i] - original.x[i]).abs() + (p.y[i] - original.y[i]).abs())
+                .sum()
+        };
+        // Abacus minimizes squared x displacement per segment; allow a
+        // small slack for site snapping but expect no blow-up.
+        assert!(disp(&refined) <= disp(&tetris_only) * 1.05 + 1.0);
+    }
+}

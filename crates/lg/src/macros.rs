@@ -1,0 +1,185 @@
+//! Movable-macro legalization for mixed-size designs (the ePlace-MS
+//! setting the paper's lineage covers).
+//!
+//! Multi-row movable cells are legalized *before* the standard cells:
+//! sorted by area (largest first), each macro snaps to the row/site grid
+//! and, if that spot is taken, searches outward over grid candidates for
+//! the nearest position free of fixed cells, the region boundary, and
+//! already-legalized macros. Legalized macros then become blockages for
+//! the Tetris/Abacus standard-cell passes.
+
+use dp_netlist::{Netlist, Placement, Rect, RowGrid};
+use dp_num::Float;
+
+use crate::LgError;
+
+/// Indices of movable cells taller than one row.
+pub fn movable_macros<T: Float>(nl: &Netlist<T>, rows: &RowGrid<T>) -> Vec<usize> {
+    let row_h = rows.row_height();
+    (0..nl.num_movable())
+        .filter(|&c| nl.cell_heights()[c] > row_h + T::from_f64(1e-9))
+        .collect()
+}
+
+/// Legalizes the movable macros in place and returns their final
+/// rectangles (to be treated as blockages by the standard-cell passes).
+///
+/// # Errors
+///
+/// Returns [`LgError::OutOfCapacity`] if a macro fits nowhere within the
+/// region (it never overlaps fixed cells or other macros on success).
+pub fn legalize_macros<T: Float>(
+    nl: &Netlist<T>,
+    placement: &mut Placement<T>,
+    rows: &RowGrid<T>,
+    macros: &[usize],
+) -> Result<Vec<Rect<T>>, LgError> {
+    let region = nl.region();
+    let row_h = rows.row_height();
+    let site = rows.rows().first().map(|r| r.site_width).unwrap_or(T::ONE);
+    let y0 = rows.rows().first().map(|r| r.y).unwrap_or(region.yl);
+
+    // Obstacles: fixed cells (clipped to region).
+    let mut placed: Vec<Rect<T>> = (nl.num_movable()..nl.num_cells())
+        .map(|i| {
+            Rect::from_center(
+                placement.x[i],
+                placement.y[i],
+                nl.cell_widths()[i],
+                nl.cell_heights()[i],
+            )
+        })
+        .collect();
+
+    // Largest macros first: they have the fewest candidate spots.
+    let mut order = macros.to_vec();
+    order.sort_by(|&a, &b| {
+        let area = |c: usize| nl.cell_widths()[c] * nl.cell_heights()[c];
+        area(b).partial_cmp(&area(a)).expect("finite areas")
+    });
+
+    let mut results = Vec::with_capacity(order.len());
+    for &c in &order {
+        let w = nl.cell_widths()[c];
+        let h = nl.cell_heights()[c];
+        // Desired lower-left, snapped to the row/site grid and clamped.
+        let snap = |x: T, y: T| -> (T, T) {
+            let sx = region.xl + ((x - region.xl) / site).round() * site;
+            let sy = y0 + ((y - y0) / row_h).round() * row_h;
+            (
+                sx.clamp(region.xl, (region.xh - w).max(region.xl)),
+                sy.clamp(region.yl, (region.yh - h).max(region.yl)),
+            )
+        };
+        let (dx, dy) = snap(placement.x[c] - w * T::HALF, placement.y[c] - h * T::HALF);
+
+        // Expanding ring search over the (site*4, row) candidate grid.
+        let step_x = site * T::from_f64(4.0);
+        let step_y = row_h;
+        let max_ring = {
+            let nx = (region.width() / step_x).to_f64() as i64 + 2;
+            let ny = (region.height() / step_y).to_f64() as i64 + 2;
+            nx.max(ny)
+        };
+        let mut found = None;
+        'search: for ring in 0..max_ring {
+            for kx in -ring..=ring {
+                for ky in -ring..=ring {
+                    if kx.abs().max(ky.abs()) != ring {
+                        continue; // ring boundary only
+                    }
+                    let (x, y) = snap(
+                        dx + step_x * T::from_f64(kx as f64),
+                        dy + step_y * T::from_f64(ky as f64),
+                    );
+                    let rect = Rect::new(x, y, x + w, y + h);
+                    if rect.xh > region.xh + T::from_f64(1e-9)
+                        || rect.yh > region.yh + T::from_f64(1e-9)
+                    {
+                        continue;
+                    }
+                    if placed.iter().all(|o| !rect.intersects(o)) {
+                        found = Some(rect);
+                        break 'search;
+                    }
+                }
+            }
+        }
+        let rect = found.ok_or(LgError::OutOfCapacity { cell: c })?;
+        placement.x[c] = (rect.xl + rect.xh) * T::HALF;
+        placement.y[c] = (rect.yl + rect.yh) * T::HALF;
+        placed.push(rect);
+        results.push(rect);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::NetlistBuilder;
+
+    fn mixed_netlist() -> (Netlist<f64>, Placement<f64>) {
+        let rows = RowGrid::uniform(0.0, 0.0, 100.0, 64.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 64.0).with_rows(rows);
+        let m1 = b.add_movable_cell(24.0, 32.0); // 4-row macro
+        let m2 = b.add_movable_cell(24.0, 32.0);
+        let s1 = b.add_movable_cell(4.0, 8.0);
+        let f = b.add_fixed_cell(20.0, 16.0);
+        b.add_net(1.0, vec![(m1, 0.0, 0.0), (s1, 0.0, 0.0)])
+            .expect("valid");
+        b.add_net(1.0, vec![(m2, 0.0, 0.0), (f, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x[3] = 50.0;
+        p.y[3] = 32.0; // fixed macro at center
+        (nl, p)
+    }
+
+    #[test]
+    fn identifies_movable_macros() {
+        let (nl, _) = mixed_netlist();
+        let rows = nl.rows().expect("rows").clone();
+        assert_eq!(movable_macros(&nl, &rows), vec![0, 1]);
+    }
+
+    #[test]
+    fn overlapping_macros_separate_and_snap() {
+        let (nl, mut p) = mixed_netlist();
+        // Both macros dumped at the same spot, overlapping the fixed cell.
+        p.x[0] = 50.0;
+        p.y[0] = 32.0;
+        p.x[1] = 50.0;
+        p.y[1] = 32.0;
+        let rows = nl.rows().expect("rows").clone();
+        let rects = legalize_macros(&nl, &mut p, &rows, &[0, 1]).expect("fits");
+        assert_eq!(rects.len(), 2);
+        // No pairwise overlaps, including with the fixed macro.
+        let fixed = Rect::from_center(p.x[3], p.y[3], 20.0, 16.0);
+        assert!(!rects[0].intersects(&rects[1]));
+        assert!(!rects[0].intersects(&fixed));
+        assert!(!rects[1].intersects(&fixed));
+        // Row-aligned and inside the region.
+        for r in &rects {
+            assert!((r.yl / 8.0).fract().abs() < 1e-9, "{r:?}");
+            assert!(r.xl >= -1e-9 && r.xh <= 100.0 + 1e-9);
+            assert!(r.yl >= -1e-9 && r.yh <= 64.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn impossible_fit_is_reported() {
+        let rows = RowGrid::uniform(0.0, 0.0, 30.0, 32.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 30.0, 32.0).with_rows(rows);
+        let m1 = b.add_movable_cell(25.0, 32.0);
+        let m2 = b.add_movable_cell(25.0, 32.0); // two cannot coexist
+        b.add_net(1.0, vec![(m1, 0.0, 0.0), (m2, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        let rows = nl.rows().expect("rows").clone();
+        let err = legalize_macros(&nl, &mut p, &rows, &[0, 1]).unwrap_err();
+        assert!(matches!(err, LgError::OutOfCapacity { .. }));
+    }
+}

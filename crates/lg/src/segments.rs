@@ -1,0 +1,233 @@
+//! Row segments: the free intervals of each row after subtracting fixed
+//! macros.
+
+use dp_netlist::{Netlist, Placement, Rect, RowGrid};
+use dp_num::Float;
+
+/// A free interval of one row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment<T> {
+    /// Row index in the grid.
+    pub row: usize,
+    /// Bottom y of the row.
+    pub y: T,
+    /// Left edge of the free interval.
+    pub xl: T,
+    /// Right edge of the free interval.
+    pub xh: T,
+    /// Site width for snapping.
+    pub site_width: T,
+}
+
+impl<T: Float> Segment<T> {
+    /// Usable width.
+    pub fn width(&self) -> T {
+        self.xh - self.xl
+    }
+
+    /// Snaps a lower-left x into the segment on the site grid.
+    pub fn snap(&self, x: T, cell_w: T) -> T {
+        let hi = (self.xh - cell_w).max(self.xl);
+        let rel = ((x - self.xl) / self.site_width).round();
+        (self.xl + rel * self.site_width).clamp(self.xl, hi)
+    }
+}
+
+/// All free segments of the design, indexed per row.
+///
+/// # Examples
+///
+/// ```
+/// use dp_gen::GeneratorConfig;
+/// use dp_lg::RowSegments;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let d = GeneratorConfig::new("demo", 64, 70).with_macros(2, 0.2).generate::<f64>()?;
+/// let rows = d.netlist.rows().expect("rows attached").clone();
+/// let segs = RowSegments::build(&d.netlist, &d.fixed_positions, &rows);
+/// assert!(segs.total_capacity() > d.netlist.total_movable_area());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowSegments<T> {
+    per_row: Vec<Vec<Segment<T>>>,
+    row_height: T,
+    yl: T,
+}
+
+impl<T: Float> RowSegments<T> {
+    /// Computes free segments by subtracting fixed-cell rectangles from the
+    /// rows.
+    pub fn build(nl: &Netlist<T>, placement: &Placement<T>, rows: &RowGrid<T>) -> Self {
+        Self::build_with_blockages(nl, placement, rows, &[])
+    }
+
+    /// Like [`RowSegments::build`], additionally subtracting `extra`
+    /// rectangles (legalized movable macros in mixed-size flows).
+    pub fn build_with_blockages(
+        nl: &Netlist<T>,
+        placement: &Placement<T>,
+        rows: &RowGrid<T>,
+        extra: &[Rect<T>],
+    ) -> Self {
+        let mut blockages: Vec<Rect<T>> = (nl.num_movable()..nl.num_cells())
+            .map(|i| {
+                Rect::from_center(
+                    placement.x[i],
+                    placement.y[i],
+                    nl.cell_widths()[i],
+                    nl.cell_heights()[i],
+                )
+            })
+            .collect();
+        blockages.extend_from_slice(extra);
+
+        let per_row = rows
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(ri, row)| {
+                // Collect blocked x-intervals for this row.
+                let mut blocked: Vec<(T, T)> = blockages
+                    .iter()
+                    .filter(|b| b.yl < row.y + row.height && b.yh > row.y)
+                    .map(|b| (b.xl.max(row.xl), b.xh.min(row.xh)))
+                    .filter(|(l, h)| h > l)
+                    .collect();
+                blocked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+                let mut segments = Vec::new();
+                let mut cursor = row.xl;
+                for (l, h) in blocked {
+                    if l > cursor {
+                        segments.push(Segment {
+                            row: ri,
+                            y: row.y,
+                            xl: cursor,
+                            xh: l,
+                            site_width: row.site_width,
+                        });
+                    }
+                    cursor = cursor.max(h);
+                }
+                if cursor < row.xh {
+                    segments.push(Segment {
+                        row: ri,
+                        y: row.y,
+                        xl: cursor,
+                        xh: row.xh,
+                        site_width: row.site_width,
+                    });
+                }
+                segments
+            })
+            .collect();
+        Self {
+            per_row,
+            row_height: rows.row_height(),
+            yl: rows.rows().first().map(|r| r.y).unwrap_or(T::ZERO),
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.per_row.len()
+    }
+
+    /// Common row height.
+    pub fn row_height(&self) -> T {
+        self.row_height
+    }
+
+    /// Segments of row `r`.
+    pub fn row(&self, r: usize) -> &[Segment<T>] {
+        &self.per_row[r]
+    }
+
+    /// Index of the row nearest to a lower-left y.
+    pub fn nearest_row(&self, y: T) -> usize {
+        let idx = ((y - self.yl) / self.row_height).round().to_f64().max(0.0) as usize;
+        idx.min(self.per_row.len().saturating_sub(1))
+    }
+
+    /// Total free width times row height over all segments.
+    pub fn total_capacity(&self) -> T {
+        self.per_row
+            .iter()
+            .flatten()
+            .map(|s| s.width() * self.row_height)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::{NetlistBuilder, RowGrid};
+
+    fn netlist_with_macro() -> (Netlist<f64>, Placement<f64>) {
+        let rows = RowGrid::uniform(0.0, 0.0, 100.0, 40.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 40.0).with_rows(rows);
+        let a = b.add_movable_cell(4.0, 8.0);
+        let c = b.add_movable_cell(4.0, 8.0);
+        let m = b.add_fixed_cell(20.0, 16.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0), (m, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x[2] = 50.0;
+        p.y[2] = 16.0; // macro spans x [40,60], y [8,24]
+        (nl, p)
+    }
+
+    #[test]
+    fn macro_splits_covered_rows() {
+        let (nl, p) = netlist_with_macro();
+        let rows = nl.rows().expect("attached").clone();
+        let segs = RowSegments::build(&nl, &p, &rows);
+        assert_eq!(segs.num_rows(), 5);
+        // Rows 1 and 2 (y=8,16) are split into two segments each.
+        for r in [1usize, 2] {
+            let s = segs.row(r);
+            assert_eq!(s.len(), 2, "row {r}: {s:?}");
+            assert_eq!(s[0].xh, 40.0);
+            assert_eq!(s[1].xl, 60.0);
+        }
+        // Row 0 and rows 3,4 are untouched.
+        assert_eq!(segs.row(0).len(), 1);
+        assert_eq!(segs.row(4).len(), 1);
+    }
+
+    #[test]
+    fn capacity_excludes_blockage() {
+        let (nl, p) = netlist_with_macro();
+        let rows = nl.rows().expect("attached").clone();
+        let segs = RowSegments::build(&nl, &p, &rows);
+        // total = 100*40 - 20*16 = 4000 - 320
+        assert!((segs.total_capacity() - 3680.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapping_stays_inside() {
+        let seg = Segment {
+            row: 0,
+            y: 0.0f64,
+            xl: 10.0,
+            xh: 20.0,
+            site_width: 1.0,
+        };
+        assert_eq!(seg.snap(14.3, 4.0), 14.0);
+        assert_eq!(seg.snap(19.0, 4.0), 16.0);
+        assert_eq!(seg.snap(-5.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn nearest_row_clamps() {
+        let (nl, p) = netlist_with_macro();
+        let rows = nl.rows().expect("attached").clone();
+        let segs = RowSegments::build(&nl, &p, &rows);
+        assert_eq!(segs.nearest_row(-100.0), 0);
+        assert_eq!(segs.nearest_row(100.0), 4);
+        assert_eq!(segs.nearest_row(12.1), 2); // 12.1/8 rounds to 2
+    }
+}

@@ -1,0 +1,313 @@
+//! The Tetris-like greedy legalization pass (first stage, after
+//! NTUplace3's legalizer).
+//!
+//! Movable cells are processed in x order; each is placed into the free gap
+//! (across nearby rows) that minimizes its displacement, and the gap is
+//! split. Unlike a pure left-to-right cursor, gap lists stay robust when
+//! the incoming placement is heavily clustered (e.g. when legalizing an
+//! early, unspread placement).
+
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+
+use crate::segments::RowSegments;
+use crate::LgError;
+
+/// Per-cell segment assignment produced by the greedy pass:
+/// `(row index, segment index within row)` for each movable cell.
+pub type Assignment = Vec<(usize, usize)>;
+
+/// Sorted list of free gaps `[lo, hi)` within one segment.
+#[derive(Debug, Clone)]
+struct GapList<T> {
+    gaps: Vec<(T, T)>,
+}
+
+impl<T: Float> GapList<T> {
+    fn new(lo: T, hi: T) -> Self {
+        Self {
+            gaps: vec![(lo, hi)],
+        }
+    }
+
+    /// Best placement for a cell of width `w` desiring lower-left `x`:
+    /// `(cost_x, x_placed, gap_index)`; `None` when nothing fits.
+    fn best(&self, desired: T, w: T) -> Option<(T, T, usize)> {
+        if self.gaps.is_empty() {
+            return None;
+        }
+        // Binary search for the gap whose start is nearest to desired.
+        let mut idx = self
+            .gaps
+            .partition_point(|&(lo, _)| lo <= desired)
+            .saturating_sub(0);
+        idx = idx.saturating_sub(1);
+        let mut best: Option<(T, T, usize)> = None;
+        let eps = T::from_f64(1e-9);
+        // Expand outward from idx; stop a side once even the gap edge
+        // distance exceeds the best cost.
+        let try_gap = |k: usize, best: &mut Option<(T, T, usize)>| -> T {
+            let (lo, hi) = self.gaps[k];
+            let edge_dist = if desired < lo {
+                lo - desired
+            } else if desired > hi {
+                desired - hi
+            } else {
+                T::ZERO
+            };
+            if hi - lo + eps >= w {
+                let x = desired.clamp(lo, hi - w);
+                let cost = (x - desired).abs();
+                if best.is_none_or(|(c, ..)| cost < c) {
+                    *best = Some((cost, x, k));
+                }
+            }
+            edge_dist
+        };
+        let mut left = idx as isize;
+        let mut right = idx + 1;
+        loop {
+            let mut progressed = false;
+            if left >= 0 {
+                let d = try_gap(left as usize, &mut best);
+                if best.is_none_or(|(c, ..)| d <= c) {
+                    left -= 1;
+                    progressed = true;
+                } else {
+                    left = -1;
+                }
+            }
+            if right < self.gaps.len() {
+                let d = try_gap(right, &mut best);
+                if best.is_none_or(|(c, ..)| d <= c) {
+                    right += 1;
+                    progressed = true;
+                } else {
+                    right = self.gaps.len();
+                }
+            }
+            if !progressed || (left < 0 && right >= self.gaps.len()) {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Occupies `[x, x + w)` inside gap `k`, splitting it.
+    fn occupy(&mut self, k: usize, x: T, w: T) {
+        let (lo, hi) = self.gaps[k];
+        let eps = T::from_f64(1e-9);
+        let left = (x - lo) > eps;
+        let right = (hi - (x + w)) > eps;
+        match (left, right) {
+            (true, true) => {
+                self.gaps[k] = (lo, x);
+                self.gaps.insert(k + 1, (x + w, hi));
+            }
+            (true, false) => self.gaps[k] = (lo, x),
+            (false, true) => self.gaps[k] = (x + w, hi),
+            (false, false) => {
+                self.gaps.remove(k);
+            }
+        }
+    }
+}
+
+/// Runs the greedy pass; `placement` is updated to legalized locations
+/// (cell centers). Returns the per-cell segment assignment for the Abacus
+/// refinement.
+///
+/// # Errors
+///
+/// Returns [`LgError::OutOfCapacity`] if some cell fits in no segment.
+pub fn tetris_pass<T: Float>(
+    nl: &Netlist<T>,
+    placement: &mut Placement<T>,
+    segments: &RowSegments<T>,
+) -> Result<Assignment, LgError> {
+    let n = nl.num_movable();
+    let row_h = segments.row_height();
+
+    let mut gaps: Vec<Vec<GapList<T>>> = (0..segments.num_rows())
+        .map(|r| {
+            segments
+                .row(r)
+                .iter()
+                .map(|s| GapList::new(s.xl, s.xh))
+                .collect()
+        })
+        .collect();
+
+    // Process large cells first within the x sweep: sort by x, tie-break by
+    // descending width so wide cells grab contiguous space early.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        placement.x[a]
+            .partial_cmp(&placement.x[b])
+            .expect("finite coordinates")
+            .then(
+                nl.cell_widths()[b]
+                    .partial_cmp(&nl.cell_widths()[a])
+                    .expect("finite widths"),
+            )
+    });
+
+    let mut assignment = vec![(usize::MAX, usize::MAX); n];
+    for &cell in &order {
+        // Multi-row movable cells (mixed-size macros) are legalized by the
+        // macro pass and already act as blockages here.
+        if nl.cell_heights()[cell] > row_h + T::from_f64(1e-9) {
+            continue;
+        }
+        let w = nl.cell_widths()[cell];
+        let desired_x = placement.x[cell] - w * T::HALF;
+        let desired_y = placement.y[cell] - nl.cell_heights()[cell] * T::HALF;
+        let home = segments.nearest_row(desired_y);
+
+        let mut best: Option<(T, usize, usize, T)> = None; // (cost,row,seg,x)
+        let num_rows = segments.num_rows();
+        for dist in 0..num_rows {
+            let candidates: Vec<usize> = if dist == 0 {
+                vec![home]
+            } else {
+                let mut v = Vec::with_capacity(2);
+                if home >= dist {
+                    v.push(home - dist);
+                }
+                if home + dist < num_rows {
+                    v.push(home + dist);
+                }
+                v
+            };
+            if candidates.is_empty() && home + dist >= num_rows && home < dist {
+                break;
+            }
+            let row_cost = T::from_usize(dist) * row_h;
+            if let Some((best_cost, ..)) = best {
+                if row_cost >= best_cost {
+                    break;
+                }
+            }
+            for row in candidates {
+                for (si, seg) in segments.row(row).iter().enumerate() {
+                    if let Some((cost_x, x, _)) = gaps[row][si].best(desired_x, w) {
+                        let x = seg.snap(x, w);
+                        // Re-validate after snapping against the chosen gap
+                        // via a fresh lookup (snap may cross a gap edge).
+                        if let Some((cost2, x2, _)) = gaps[row][si].best(x, w) {
+                            let x_final = if cost2 <= T::from_f64(1e-9) { x } else { x2 };
+                            let cost =
+                                (x_final - desired_x).abs().max(cost_x) + (seg.y - desired_y).abs();
+                            if best.is_none_or(|(c, ..)| cost < c) {
+                                best = Some((cost, row, si, x_final));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let (_, row, si, x) = best.ok_or(LgError::OutOfCapacity { cell })?;
+        // Find and occupy the gap containing x.
+        let k = gaps[row][si]
+            .gaps
+            .iter()
+            .position(|&(lo, hi)| x >= lo - T::from_f64(1e-9) && x + w <= hi + T::from_f64(1e-9))
+            .expect("chosen position lies in a free gap");
+        gaps[row][si].occupy(k, x, w);
+        let seg = segments.row(row)[si];
+        placement.x[cell] = x + w * T::HALF;
+        placement.y[cell] = seg.y + nl.cell_heights()[cell] * T::HALF;
+        assignment[cell] = (row, si);
+    }
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::check_legal;
+    use dp_gen::GeneratorConfig;
+    use dp_gp::initial_placement;
+
+    #[test]
+    fn packs_without_overlap() {
+        let d = GeneratorConfig::new("t", 150, 160)
+            .with_seed(2)
+            .with_utilization(0.5)
+            .generate::<f64>()
+            .expect("ok");
+        let rows = d.netlist.rows().expect("attached").clone();
+        let mut p = initial_placement(&d.netlist, &d.fixed_positions, 0.05, 3);
+        let segs = RowSegments::build(&d.netlist, &p, &rows);
+        let assignment = tetris_pass(&d.netlist, &mut p, &segs).expect("fits");
+        assert!(assignment.iter().all(|&(r, _)| r != usize::MAX));
+        let report = check_legal(&d.netlist, &p);
+        assert!(report.is_legal(), "{report:?}");
+    }
+
+    #[test]
+    fn handles_center_clustered_input_at_high_utilization() {
+        // All cells start near the center; gap lists must still use the
+        // whole row capacity (a naive cursor would run out).
+        let d = GeneratorConfig::new("t", 400, 420)
+            .with_seed(6)
+            .with_utilization(0.85)
+            .generate::<f64>()
+            .expect("ok");
+        let rows = d.netlist.rows().expect("attached").clone();
+        let mut p = initial_placement(&d.netlist, &d.fixed_positions, 0.001, 3);
+        let segs = RowSegments::build(&d.netlist, &p, &rows);
+        tetris_pass(&d.netlist, &mut p, &segs).expect("fits at 85% utilization");
+        let report = check_legal(&d.netlist, &p);
+        assert!(report.is_legal(), "{report:?}");
+    }
+
+    #[test]
+    fn respects_macro_blockages() {
+        let d = GeneratorConfig::new("t", 100, 110)
+            .with_seed(4)
+            .with_macros(2, 0.25)
+            .with_utilization(0.4)
+            .generate::<f64>()
+            .expect("ok");
+        let rows = d.netlist.rows().expect("attached").clone();
+        let mut p = initial_placement(&d.netlist, &d.fixed_positions, 0.05, 3);
+        let segs = RowSegments::build(&d.netlist, &p, &rows);
+        tetris_pass(&d.netlist, &mut p, &segs).expect("fits");
+        let report = check_legal(&d.netlist, &p);
+        assert!(report.is_legal(), "{report:?}");
+    }
+
+    #[test]
+    fn errors_when_design_cannot_fit() {
+        use dp_netlist::{NetlistBuilder, RowGrid};
+        let rows = RowGrid::uniform(0.0, 0.0, 10.0, 8.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 8.0).with_rows(rows);
+        let a = b.add_movable_cell(7.0, 8.0);
+        let c = b.add_movable_cell(7.0, 8.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(2);
+        p.x = vec![5.0, 5.0];
+        p.y = vec![4.0, 4.0];
+        let segs = RowSegments::build(&nl, &p, nl.rows().expect("attached"));
+        let err = tetris_pass(&nl, &mut p, &segs).unwrap_err();
+        assert!(matches!(err, LgError::OutOfCapacity { .. }));
+    }
+
+    #[test]
+    fn gap_list_split_and_exhaust() {
+        let mut g = GapList::new(0.0f64, 10.0);
+        let (c, x, k) = g.best(4.0, 2.0).expect("fits");
+        assert_eq!((c, x, k), (0.0, 4.0, 0));
+        g.occupy(0, 4.0, 2.0);
+        assert_eq!(g.gaps, vec![(0.0, 4.0), (6.0, 10.0)]);
+        // A 5-wide cell no longer fits anywhere.
+        assert!(g.best(0.0, 5.0).is_none());
+        // Fill the left gap fully.
+        g.occupy(0, 0.0, 4.0);
+        assert_eq!(g.gaps, vec![(6.0, 10.0)]);
+    }
+}

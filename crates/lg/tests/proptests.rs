@@ -1,0 +1,78 @@
+//! Property-based tests of legalization.
+
+use dp_gen::GeneratorConfig;
+use dp_gp::initial_placement;
+use dp_lg::{check_legal, Legalizer, RowSegments};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Full legalization always yields a legal placement, across design
+    /// shapes, utilizations, macro counts, and noise levels.
+    #[test]
+    fn always_legal(
+        seed in 0u64..10_000,
+        cells in 60usize..250,
+        util in 0.35f64..0.8,
+        macros in 0usize..4,
+        noise in 0.002f64..0.25,
+    ) {
+        let d = GeneratorConfig::new("prop", cells, cells + 20)
+            .with_seed(seed)
+            .with_utilization(util)
+            .with_macros(macros, 0.12)
+            .generate::<f64>()
+            .expect("valid");
+        let mut p = initial_placement(&d.netlist, &d.fixed_positions, noise, seed ^ 1);
+        Legalizer::new().legalize(&d.netlist, &mut p).expect("fits");
+        let report = check_legal(&d.netlist, &p);
+        prop_assert!(report.is_legal(), "{report:?}");
+    }
+
+    /// Abacus refinement does not meaningfully increase displacement over
+    /// Tetris alone and both stay legal.
+    #[test]
+    fn abacus_is_no_worse(seed in 0u64..10_000, cells in 60usize..200) {
+        let d = GeneratorConfig::new("prop2", cells, cells + 20)
+            .with_seed(seed)
+            .with_utilization(0.5)
+            .generate::<f64>()
+            .expect("valid");
+        let original = initial_placement(&d.netlist, &d.fixed_positions, 0.1, seed);
+
+        let mut tetris_only = original.clone();
+        let s1 = Legalizer::new().without_abacus().legalize(&d.netlist, &mut tetris_only)
+            .expect("fits");
+        let mut full = original.clone();
+        let s2 = Legalizer::new().legalize(&d.netlist, &mut full).expect("fits");
+
+        prop_assert!(check_legal(&d.netlist, &tetris_only).is_legal());
+        prop_assert!(check_legal(&d.netlist, &full).is_legal());
+        prop_assert!(
+            s2.avg_displacement <= s1.avg_displacement * 1.10 + 1.0,
+            "abacus {} vs tetris {}",
+            s2.avg_displacement,
+            s1.avg_displacement
+        );
+    }
+
+    /// Segment capacity is conserved: total free width never exceeds the
+    /// region minus blockages, and legalized cells fit inside it.
+    #[test]
+    fn segment_capacity_accounting(seed in 0u64..10_000, macros in 0usize..5) {
+        let d = GeneratorConfig::new("prop3", 120, 140)
+            .with_seed(seed)
+            .with_macros(macros, 0.15)
+            .with_utilization(0.45)
+            .generate::<f64>()
+            .expect("valid");
+        let p = initial_placement(&d.netlist, &d.fixed_positions, 0.05, seed);
+        let rows = d.netlist.rows().expect("rows").clone();
+        let segs = RowSegments::build(&d.netlist, &p, &rows);
+        let capacity = segs.total_capacity();
+        let region_area = d.netlist.region().area();
+        prop_assert!(capacity <= region_area + 1e-6);
+        prop_assert!(capacity >= d.netlist.total_movable_area());
+    }
+}

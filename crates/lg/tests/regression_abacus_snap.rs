@@ -1,0 +1,28 @@
+//! Regression test: Abacus cluster snapping once drifted a cluster's end
+//! past the room the segment's last cluster needed, and the right-edge
+//! clamp then produced an overlap (found by the fig7 harness on the
+//! adaptec3 preset at 1/128 scale with off-grid macro edges).
+
+use dp_gp::{GlobalPlacer, GpConfig};
+use dp_lg::{check_legal, Legalizer};
+
+#[test]
+fn abacus_respects_segment_room_with_offgrid_macros() {
+    let preset = dp_gen::ispd2005_suite().remove(2).scaled_down(128);
+    let d = preset.config.generate::<f64>().expect("generates");
+    let mut cfg = GpConfig::auto(&d.netlist);
+    cfg.init = dp_gp::InitKind::WirelengthOnly {
+        iters: cfg.max_iters / 4,
+    };
+    cfg.tcad_mu_stabilization = false;
+    cfg.wirelength = dp_gp::WirelengthModel::Wa(dp_wirelength::WaStrategy::NetByNet);
+    let r = GlobalPlacer::new(cfg)
+        .place(&d.netlist, &d.fixed_positions)
+        .expect("gp converges");
+    let mut p = r.placement;
+    Legalizer::new()
+        .legalize(&d.netlist, &mut p)
+        .expect("legalizes");
+    let report = check_legal(&d.netlist, &p);
+    assert!(report.is_legal(), "{report:?}");
+}

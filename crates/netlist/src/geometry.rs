@@ -1,0 +1,156 @@
+//! Planar geometry primitives shared across the placement flow.
+
+use dp_num::Float;
+
+/// A 2-D point.
+///
+/// # Examples
+///
+/// ```
+/// let p = dp_netlist::Point::new(1.0f64, 2.0);
+/// assert_eq!(p.x, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point<T> {
+    /// Horizontal coordinate.
+    pub x: T,
+    /// Vertical coordinate.
+    pub y: T,
+}
+
+impl<T: Float> Point<T> {
+    /// Creates a point.
+    pub fn new(x: T, y: T) -> Self {
+        Self { x, y }
+    }
+}
+
+/// An axis-aligned rectangle `[xl, xh] x [yl, yh]`.
+///
+/// # Examples
+///
+/// ```
+/// let r = dp_netlist::Rect::new(0.0f64, 0.0, 4.0, 2.0);
+/// assert_eq!(r.width(), 4.0);
+/// assert_eq!(r.area(), 8.0);
+/// assert_eq!(r.center().x, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect<T> {
+    /// Left edge.
+    pub xl: T,
+    /// Bottom edge.
+    pub yl: T,
+    /// Right edge.
+    pub xh: T,
+    /// Top edge.
+    pub yh: T,
+}
+
+impl<T: Float> Rect<T> {
+    /// Creates a rectangle from its edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xh < xl` or `yh < yl`.
+    pub fn new(xl: T, yl: T, xh: T, yh: T) -> Self {
+        assert!(xh >= xl && yh >= yl, "degenerate rectangle");
+        Self { xl, yl, xh, yh }
+    }
+
+    /// Creates the rectangle of a `w x h` cell whose center is `(cx, cy)`.
+    pub fn from_center(cx: T, cy: T, w: T, h: T) -> Self {
+        let hw = w * T::HALF;
+        let hh = h * T::HALF;
+        Self::new(cx - hw, cy - hh, cx + hw, cy + hh)
+    }
+
+    /// Width (`xh - xl`).
+    pub fn width(&self) -> T {
+        self.xh - self.xl
+    }
+
+    /// Height (`yh - yl`).
+    pub fn height(&self) -> T {
+        self.yh - self.yl
+    }
+
+    /// Area.
+    pub fn area(&self) -> T {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point<T> {
+        Point::new((self.xl + self.xh) * T::HALF, (self.yl + self.yh) * T::HALF)
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point<T>) -> bool {
+        p.x >= self.xl && p.x <= self.xh && p.y >= self.yl && p.y <= self.yh
+    }
+
+    /// Overlap area with `other` (zero when disjoint).
+    pub fn overlap_area(&self, other: &Rect<T>) -> T {
+        let w = (self.xh.min(other.xh) - self.xl.max(other.xl)).max(T::ZERO);
+        let h = (self.yh.min(other.yh) - self.yl.max(other.yl)).max(T::ZERO);
+        w * h
+    }
+
+    /// `true` when the interiors intersect (touching edges do not count).
+    pub fn intersects(&self, other: &Rect<T>) -> bool {
+        self.xl < other.xh && other.xl < self.xh && self.yl < other.yh && other.yl < self.yh
+    }
+
+    /// Clamps a point into the rectangle.
+    pub fn clamp_point(&self, p: Point<T>) -> Point<T> {
+        Point::new(p.x.clamp(self.xl, self.xh), p.y.clamp(self.yl, self.yh))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_center_round_trips() {
+        let r = Rect::from_center(5.0f64, 3.0, 4.0, 2.0);
+        assert_eq!(r, Rect::new(3.0, 2.0, 7.0, 4.0));
+        let c = r.center();
+        assert_eq!((c.x, c.y), (5.0, 3.0));
+    }
+
+    #[test]
+    fn overlap_area_cases() {
+        let a = Rect::new(0.0f64, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 2.0, 6.0, 6.0);
+        assert_eq!(a.overlap_area(&b), 4.0);
+        let c = Rect::new(4.0, 0.0, 8.0, 4.0); // touching edge
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert!(!a.intersects(&c));
+        let d = Rect::new(10.0, 10.0, 11.0, 11.0); // disjoint
+        assert_eq!(a.overlap_area(&d), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = Rect::new(0.0f64, 0.0, 3.0, 5.0);
+        let b = Rect::new(1.0, -2.0, 2.5, 1.0);
+        assert_eq!(a.overlap_area(&b), b.overlap_area(&a));
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let r = Rect::new(0.0f64, 0.0, 10.0, 10.0);
+        assert!(r.contains(Point::new(0.0, 10.0)));
+        assert!(!r.contains(Point::new(-1.0, 5.0)));
+        let p = r.clamp_point(Point::new(-3.0, 12.0));
+        assert_eq!((p.x, p.y), (0.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_inverted_rect() {
+        let _ = Rect::new(1.0f64, 0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Placement hypergraph substrate.
+//!
+//! A circuit is a hypergraph `H = (V, E)` of cells and nets (paper §I); pins
+//! attach nets to cells at fixed offsets. This crate owns that data model for
+//! the whole workspace:
+//!
+//! * [`Netlist`] — immutable, CSR-packed hypergraph with cell geometry,
+//!   pin offsets, net weights, the placement region and standard-cell rows;
+//! * [`NetlistBuilder`] — validated construction;
+//! * [`Placement`] — the mutable `(x, y)` cell-center coordinates that the
+//!   optimizer trains (the "weights" in the paper's neural-network analogy);
+//! * [`hpwl`] — exact half-perimeter wirelength, the quality metric of every
+//!   table in the paper.
+//!
+//! # Coordinate convention
+//!
+//! Cell coordinates are **cell centers** everywhere in the analytical engine;
+//! a pin's location is `center + offset`. Legalization converts to and from
+//! the lower-left/site convention internally.
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_netlist::{NetlistBuilder, Placement};
+//!
+//! # fn main() -> Result<(), dp_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::<f64>::new(0.0, 0.0, 100.0, 100.0);
+//! let a = b.add_movable_cell(2.0, 8.0);
+//! let c = b.add_movable_cell(4.0, 8.0);
+//! b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])?;
+//! let netlist = b.build()?;
+//! let mut p = Placement::zeros(netlist.num_cells());
+//! p.x[a.index()] = 10.0;
+//! p.x[c.index()] = 30.0;
+//! assert_eq!(dp_netlist::hpwl(&netlist, &p), 20.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod geometry;
+pub mod netlist;
+pub mod placement;
+pub mod rows;
+
+pub use geometry::{Point, Rect};
+pub use netlist::{
+    BuilderCell, CellId, NetId, Netlist, NetlistBuilder, NetlistError, NetlistStats, PinId,
+};
+pub use placement::{hpwl, net_hpwl, Placement};
+pub use rows::{Row, RowGrid};

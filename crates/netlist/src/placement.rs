@@ -1,0 +1,172 @@
+//! Cell coordinates and the exact HPWL metric.
+
+use dp_num::Float;
+
+use crate::netlist::{NetId, Netlist};
+
+/// Cell-center coordinates for every cell of a [`Netlist`].
+///
+/// In the paper's analogy these are the network weights `w = (x, y)` being
+/// trained. Fixed cells also carry coordinates here; the engine simply never
+/// updates entries at indices `>= num_movable`.
+///
+/// # Examples
+///
+/// ```
+/// let mut p = dp_netlist::Placement::<f64>::zeros(3);
+/// p.x[1] = 4.0;
+/// assert_eq!(p.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement<T> {
+    /// Cell-center x coordinates, indexed by cell id.
+    pub x: Vec<T>,
+    /// Cell-center y coordinates, indexed by cell id.
+    pub y: Vec<T>,
+}
+
+impl<T: Float> Placement<T> {
+    /// All-zero coordinates for `n` cells.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            x: vec![T::ZERO; n],
+            y: vec![T::ZERO; n],
+        }
+    }
+
+    /// Builds a placement from coordinate vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_xy(x: Vec<T>, y: Vec<T>) -> Self {
+        assert_eq!(
+            x.len(),
+            y.len(),
+            "coordinate vectors must have equal length"
+        );
+        Self { x, y }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when the placement holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Exact half-perimeter wirelength of a single net at the given placement.
+///
+/// Returns zero for degenerate nets.
+pub fn net_hpwl<T: Float>(netlist: &Netlist<T>, placement: &Placement<T>, net: NetId) -> T {
+    let pins = netlist.net_pins(net);
+    if pins.len() < 2 {
+        return T::ZERO;
+    }
+    let mut x_min = T::INFINITY;
+    let mut x_max = T::NEG_INFINITY;
+    let mut y_min = T::INFINITY;
+    let mut y_max = T::NEG_INFINITY;
+    for &pin in pins {
+        let cell = netlist.pin_cell(pin).index();
+        let (dx, dy) = netlist.pin_offset(pin);
+        let px = placement.x[cell] + dx;
+        let py = placement.y[cell] + dy;
+        x_min = x_min.min(px);
+        x_max = x_max.max(px);
+        y_min = y_min.min(py);
+        y_max = y_max.max(py);
+    }
+    x_max - x_min + y_max - y_min
+}
+
+/// Exact weighted HPWL over all nets — the paper's quality metric.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub fn hpwl<T: Float>(netlist: &Netlist<T>, placement: &Placement<T>) -> T {
+    netlist
+        .nets()
+        .map(|net| netlist.net_weight(net) * net_hpwl(netlist, placement, net))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn line_netlist() -> (Netlist<f64>, Placement<f64>) {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 100.0);
+        let cells: Vec<_> = (0..4).map(|_| b.add_movable_cell(1.0, 1.0)).collect();
+        b.add_net(1.0, vec![(cells[0], 0.0, 0.0), (cells[1], 0.0, 0.0)])
+            .expect("valid");
+        b.add_net(
+            3.0,
+            vec![
+                (cells[1], 0.0, 0.0),
+                (cells[2], 0.0, 0.0),
+                (cells[3], 0.0, 0.0),
+            ],
+        )
+        .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        for (i, v) in [
+            (0usize, (0.0, 0.0)),
+            (1, (2.0, 1.0)),
+            (2, (5.0, 4.0)),
+            (3, (3.0, 9.0)),
+        ] {
+            p.x[i] = v.0;
+            p.y[i] = v.1;
+        }
+        (nl, p)
+    }
+
+    #[test]
+    fn net_hpwl_matches_hand_computation() {
+        let (nl, p) = line_netlist();
+        assert_eq!(net_hpwl(&nl, &p, NetId::new(0)), 2.0 + 1.0);
+        assert_eq!(net_hpwl(&nl, &p, NetId::new(1)), 3.0 + 8.0);
+    }
+
+    #[test]
+    fn total_hpwl_is_weighted() {
+        let (nl, p) = line_netlist();
+        assert_eq!(hpwl(&nl, &p), 1.0 * 3.0 + 3.0 * 11.0);
+    }
+
+    #[test]
+    fn pin_offsets_shift_bounding_box() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+        let a = b.add_movable_cell(2.0, 2.0);
+        let c = b.add_movable_cell(2.0, 2.0);
+        b.add_net(1.0, vec![(a, 1.0, 0.0), (c, -1.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(2);
+        p.x = vec![0.0, 10.0];
+        // pins at 1.0 and 9.0
+        assert_eq!(hpwl(&nl, &p), 8.0);
+    }
+
+    #[test]
+    fn hpwl_is_translation_invariant() {
+        let (nl, p) = line_netlist();
+        let base = hpwl(&nl, &p);
+        let mut shifted = p.clone();
+        for v in shifted.x.iter_mut() {
+            *v += 7.5;
+        }
+        for v in shifted.y.iter_mut() {
+            *v -= 2.25;
+        }
+        assert!((hpwl(&nl, &shifted) - base).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,200 @@
+//! Standard-cell rows and sites for legalization.
+
+use dp_num::Float;
+
+/// One standard-cell row: a horizontal strip of placement sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row<T> {
+    /// Bottom edge of the row.
+    pub y: T,
+    /// Row height (cell height for single-row-height designs).
+    pub height: T,
+    /// Left edge of the usable span.
+    pub xl: T,
+    /// Right edge of the usable span.
+    pub xh: T,
+    /// Width of one placement site.
+    pub site_width: T,
+}
+
+impl<T: Float> Row<T> {
+    /// Number of whole sites in the row.
+    pub fn num_sites(&self) -> usize {
+        ((self.xh - self.xl) / self.site_width).floor().to_f64() as usize
+    }
+
+    /// Snaps an x coordinate (lower-left convention) to the nearest site
+    /// boundary inside the row.
+    pub fn snap_x(&self, x: T) -> T {
+        let rel = (x - self.xl) / self.site_width;
+        let snapped = self.xl + rel.round() * self.site_width;
+        snapped.clamp(self.xl, self.xh)
+    }
+}
+
+/// A uniform grid of rows covering the placement region, as produced by the
+/// benchmark generator and the Bookshelf `.scl` reader.
+///
+/// # Examples
+///
+/// ```
+/// let grid = dp_netlist::RowGrid::uniform(0.0f64, 0.0, 100.0, 40.0, 8.0, 1.0);
+/// assert_eq!(grid.rows().len(), 5);
+/// assert_eq!(grid.row_of_y(17.0), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowGrid<T> {
+    rows: Vec<Row<T>>,
+    row_height: T,
+    yl: T,
+}
+
+impl<T: Float> RowGrid<T> {
+    /// Builds `floor((yh - yl)/row_height)` uniform rows spanning
+    /// `[xl, xh]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_height` or `site_width` is not positive, or if no row
+    /// fits.
+    pub fn uniform(xl: T, yl: T, xh: T, yh: T, row_height: T, site_width: T) -> Self {
+        assert!(
+            row_height > T::ZERO && site_width > T::ZERO,
+            "non-positive row geometry"
+        );
+        let n = ((yh - yl) / row_height).floor().to_f64() as usize;
+        assert!(n > 0, "region shorter than one row");
+        let rows = (0..n)
+            .map(|i| Row {
+                y: yl + row_height * T::from_usize(i),
+                height: row_height,
+                xl,
+                xh,
+                site_width,
+            })
+            .collect();
+        Self {
+            rows,
+            row_height,
+            yl,
+        }
+    }
+
+    /// Builds a grid from explicit rows (Bookshelf `.scl`).
+    ///
+    /// Rows are sorted by `y`. `row_height` is taken from the first row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn from_rows(mut rows: Vec<Row<T>>) -> Self {
+        assert!(!rows.is_empty(), "row list must be non-empty");
+        rows.sort_by(|a, b| a.y.partial_cmp(&b.y).expect("finite row coordinates"));
+        let row_height = rows[0].height;
+        let yl = rows[0].y;
+        Self {
+            rows,
+            row_height,
+            yl,
+        }
+    }
+
+    /// All rows, ordered bottom to top.
+    pub fn rows(&self) -> &[Row<T>] {
+        &self.rows
+    }
+
+    /// The common row height.
+    pub fn row_height(&self) -> T {
+        self.row_height
+    }
+
+    /// Index of the row containing y (bottom edge convention), when inside
+    /// the grid.
+    pub fn row_of_y(&self, y: T) -> Option<usize> {
+        let idx = ((y - self.yl) / self.row_height).floor().to_f64();
+        if idx < 0.0 {
+            return None;
+        }
+        let idx = idx as usize;
+        (idx < self.rows.len()).then_some(idx)
+    }
+
+    /// Index of the row whose bottom edge is nearest to `y`, always valid.
+    pub fn nearest_row(&self, y: T) -> usize {
+        let idx = ((y - self.yl) / self.row_height).round().to_f64();
+        let idx = idx.max(0.0) as usize;
+        idx.min(self.rows.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_covers_region() {
+        let g = RowGrid::uniform(0.0f64, 0.0, 100.0, 33.0, 8.0, 1.0);
+        assert_eq!(g.rows().len(), 4); // 33/8 floors to 4
+        assert_eq!(g.rows()[3].y, 24.0);
+        assert_eq!(g.row_height(), 8.0);
+    }
+
+    #[test]
+    fn row_lookup() {
+        let g = RowGrid::uniform(0.0f64, 10.0, 100.0, 50.0, 10.0, 2.0);
+        assert_eq!(g.row_of_y(10.0), Some(0));
+        assert_eq!(g.row_of_y(19.9), Some(0));
+        assert_eq!(g.row_of_y(20.0), Some(1));
+        assert_eq!(g.row_of_y(9.0), None);
+        assert_eq!(g.row_of_y(1000.0), None);
+        assert_eq!(g.nearest_row(9.0), 0);
+        assert_eq!(g.nearest_row(1000.0), 3);
+    }
+
+    #[test]
+    fn snapping_respects_sites() {
+        let r = Row {
+            y: 0.0f64,
+            height: 8.0,
+            xl: 4.0,
+            xh: 20.0,
+            site_width: 2.0,
+        };
+        assert_eq!(r.num_sites(), 8);
+        assert_eq!(r.snap_x(5.1), 6.0);
+        assert_eq!(r.snap_x(4.9), 4.0);
+        assert_eq!(r.snap_x(-3.0), 4.0);
+        assert_eq!(r.snap_x(100.0), 20.0);
+    }
+
+    #[test]
+    fn from_rows_sorts() {
+        let rows = vec![
+            Row {
+                y: 16.0f64,
+                height: 8.0,
+                xl: 0.0,
+                xh: 10.0,
+                site_width: 1.0,
+            },
+            Row {
+                y: 0.0,
+                height: 8.0,
+                xl: 0.0,
+                xh: 10.0,
+                site_width: 1.0,
+            },
+            Row {
+                y: 8.0,
+                height: 8.0,
+                xl: 0.0,
+                xh: 10.0,
+                site_width: 1.0,
+            },
+        ];
+        let g = RowGrid::from_rows(rows);
+        assert_eq!(g.rows()[0].y, 0.0);
+        assert_eq!(g.rows()[2].y, 16.0);
+    }
+}

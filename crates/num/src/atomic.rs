@@ -1,0 +1,268 @@
+//! Lock-free atomic floating point cells.
+//!
+//! The DREAMPlace kernels that scatter into shared arrays — the pin-level
+//! "atomic" wirelength strategy (paper Algorithm 1) and the density-map
+//! accumulation (paper §III-B1) — need atomic `max`, `min` and `add` on
+//! floats. CUDA provides these natively; on CPU we emulate them with
+//! compare-and-swap loops over the float's bit pattern, exactly like the
+//! OpenMP implementation the paper describes for its CPU backend.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Atomic cell holding a floating point value.
+///
+/// All operations use [`Ordering::Relaxed`]; the kernels that use these cells
+/// only require that individual updates are not lost, never cross-variable
+/// ordering, and each parallel section ends with a thread join that provides
+/// the necessary synchronization edge.
+///
+/// # Examples
+///
+/// ```
+/// use dp_num::{AtomicF64, AtomicFloat};
+///
+/// let acc = AtomicF64::new(0.0);
+/// acc.fetch_add(1.5);
+/// acc.fetch_add(2.5);
+/// assert_eq!(acc.load(), 4.0);
+/// ```
+pub trait AtomicFloat: Send + Sync {
+    /// The float type stored in the cell.
+    type Value: Copy;
+
+    /// Creates a new cell holding `v`.
+    fn new(v: Self::Value) -> Self;
+    /// Reads the current value.
+    fn load(&self) -> Self::Value;
+    /// Overwrites the current value.
+    fn store(&self, v: Self::Value);
+    /// Atomically adds `v`, returning the previous value.
+    fn fetch_add(&self, v: Self::Value) -> Self::Value;
+    /// Atomically stores the maximum of the current value and `v`.
+    fn fetch_max(&self, v: Self::Value) -> Self::Value;
+    /// Atomically stores the minimum of the current value and `v`.
+    fn fetch_min(&self, v: Self::Value) -> Self::Value;
+}
+
+macro_rules! impl_atomic_float {
+    ($name:ident, $float:ty, $atomic:ty) => {
+        /// Atomic cell for the corresponding float type; see [`AtomicFloat`].
+        #[derive(Debug, Default)]
+        pub struct $name($atomic);
+
+        impl $name {
+            /// Creates a vector of `n` cells all holding `v`.
+            ///
+            /// Convenience used by kernels that reset scratch arrays between
+            /// iterations.
+            pub fn vec_with(n: usize, v: $float) -> Vec<Self> {
+                (0..n).map(|_| <Self as AtomicFloat>::new(v)).collect()
+            }
+        }
+
+        impl AtomicFloat for $name {
+            type Value = $float;
+
+            #[inline]
+            fn new(v: $float) -> Self {
+                Self(<$atomic>::new(v.to_bits()))
+            }
+
+            #[inline]
+            fn load(&self) -> $float {
+                <$float>::from_bits(self.0.load(Ordering::Relaxed))
+            }
+
+            #[inline]
+            fn store(&self, v: $float) {
+                self.0.store(v.to_bits(), Ordering::Relaxed);
+            }
+
+            #[inline]
+            fn fetch_add(&self, v: $float) -> $float {
+                let mut cur = self.0.load(Ordering::Relaxed);
+                loop {
+                    let old = <$float>::from_bits(cur);
+                    let new = (old + v).to_bits();
+                    match self.0.compare_exchange_weak(
+                        cur,
+                        new,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+
+            #[inline]
+            fn fetch_max(&self, v: $float) -> $float {
+                let mut cur = self.0.load(Ordering::Relaxed);
+                loop {
+                    let old = <$float>::from_bits(cur);
+                    if old >= v {
+                        return old;
+                    }
+                    match self.0.compare_exchange_weak(
+                        cur,
+                        v.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+
+            #[inline]
+            fn fetch_min(&self, v: $float) -> $float {
+                let mut cur = self.0.load(Ordering::Relaxed);
+                loop {
+                    let old = <$float>::from_bits(cur);
+                    if old <= v {
+                        return old;
+                    }
+                    match self.0.compare_exchange_weak(
+                        cur,
+                        v.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_atomic_float!(AtomicF32, f32, AtomicU32);
+impl_atomic_float!(AtomicF64, f64, AtomicU64);
+
+/// Deterministic fixed-point accumulator.
+///
+/// Floating-point atomic accumulation is order-dependent, so multithreaded
+/// scatter kernels are not run-to-run reproducible. The DREAMPlace paper
+/// lists fixed-point accumulation as the intended fix ("we plan to
+/// investigate the efficiency of implementations using fixed-point numbers
+/// to guarantee run-to-run determinism", §V). This cell accumulates values
+/// scaled to integers; integer addition is associative, so any thread
+/// interleaving yields the same sum.
+///
+/// # Examples
+///
+/// ```
+/// use dp_num::atomic::FixedPointCell;
+///
+/// let acc = FixedPointCell::new(1 << 20);
+/// acc.add(0.5);
+/// acc.add(0.25);
+/// assert_eq!(acc.load(), 0.75);
+/// ```
+#[derive(Debug)]
+pub struct FixedPointCell {
+    raw: std::sync::atomic::AtomicI64,
+    scale: f64,
+}
+
+impl FixedPointCell {
+    /// Creates a zeroed cell with the given scale (units per 1.0; use a
+    /// power of two such as `1 << 20`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn new(scale: i64) -> Self {
+        assert!(scale != 0, "scale must be non-zero");
+        Self {
+            raw: std::sync::atomic::AtomicI64::new(0),
+            scale: scale as f64,
+        }
+    }
+
+    /// Creates a vector of `n` zeroed cells sharing one scale.
+    pub fn vec_with(n: usize, scale: i64) -> Vec<Self> {
+        (0..n).map(|_| Self::new(scale)).collect()
+    }
+
+    /// Atomically adds `v` (rounded to the fixed-point grid).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        let q = (v * self.scale).round() as i64;
+        self.raw.fetch_add(q, Ordering::Relaxed);
+    }
+
+    /// Reads the accumulated value.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        self.raw.load(Ordering::Relaxed) as f64 / self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_is_exact_for_representable_values() {
+        let a = AtomicF64::new(1.0);
+        assert_eq!(a.fetch_add(2.0), 1.0);
+        assert_eq!(a.load(), 3.0);
+    }
+
+    #[test]
+    fn max_min_semantics() {
+        let a = AtomicF32::new(0.0);
+        a.fetch_max(5.0);
+        assert_eq!(a.load(), 5.0);
+        a.fetch_max(3.0);
+        assert_eq!(a.load(), 5.0);
+        a.fetch_min(-2.0);
+        assert_eq!(a.load(), -2.0);
+        a.fetch_min(0.0);
+        assert_eq!(a.load(), -2.0);
+    }
+
+    #[test]
+    fn max_from_neg_infinity_mirrors_kernel_reset() {
+        // Algorithm 1 resets x+ to -inf and x- to +inf before the atomic pass.
+        let hi = AtomicF64::new(f64::NEG_INFINITY);
+        let lo = AtomicF64::new(f64::INFINITY);
+        for v in [3.0, -1.0, 7.5, 2.0] {
+            hi.fetch_max(v);
+            lo.fetch_min(v);
+        }
+        assert_eq!(hi.load(), 7.5);
+        assert_eq!(lo.load(), -1.0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let acc = Arc::new(AtomicF64::new(0.0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let acc = Arc::clone(&acc);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        acc.fetch_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker thread panicked");
+        }
+        assert_eq!(acc.load(), 4000.0);
+    }
+
+    #[test]
+    fn vec_with_initializes_all_cells() {
+        let v = AtomicF32::vec_with(8, 1.5);
+        assert_eq!(v.len(), 8);
+        assert!(v.iter().all(|c| c.load() == 1.5));
+    }
+}

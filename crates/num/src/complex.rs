@@ -1,0 +1,182 @@
+//! Minimal complex arithmetic for the FFT substrate.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::float::Float;
+
+/// A complex number with precision-generic components.
+///
+/// Only the operations needed by the radix-2 FFT and the DCT pre/post
+/// processing kernels (paper Algorithms 3-4) are provided.
+///
+/// # Examples
+///
+/// ```
+/// use dp_num::Complex;
+///
+/// let i = Complex::new(0.0f64, 1.0);
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+impl<T: Float> Complex<T> {
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::new(T::ZERO, T::ZERO)
+    }
+
+    /// `e^{i theta}` — a unit complex number at angle `theta` (radians).
+    #[inline]
+    pub fn cis(theta: T) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Multiplies both components by a real scalar.
+    #[inline]
+    pub fn scale(self, s: T) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Squared magnitude `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by the imaginary unit (`self * i`), exact and cheaper
+    /// than a general complex multiply.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Self::new(-self.im, self.re)
+    }
+}
+
+impl<T: Float> Add for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Float> Sub for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Float> Mul for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: Float> Neg for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Float> AddAssign for Complex<T> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<T: Float> SubAssign for Complex<T> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<T: Float> MulAssign for Complex<T> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Float> From<T> for Complex<T> {
+    #[inline]
+    fn from(re: T) -> Self {
+        Self::new(re, T::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_check() {
+        let a = Complex::new(1.0f64, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        let c = Complex::new(0.25, -1.0);
+        // distributivity
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        assert!((lhs - rhs).abs() < 1e-12);
+        // conjugate multiplication gives |a|^2
+        let sq = a * a.conj();
+        assert!((sq.re - a.norm_sqr()).abs() < 1e-12);
+        assert!(sq.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let z = Complex::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mul_i_matches_general_multiply() {
+        let a = Complex::new(2.0f32, -3.0);
+        let i = Complex::new(0.0, 1.0);
+        assert_eq!(a.mul_i(), a * i);
+    }
+
+    #[test]
+    fn from_real_embeds() {
+        let z: Complex<f64> = 4.0.into();
+        assert_eq!(z, Complex::new(4.0, 0.0));
+    }
+}

@@ -1,0 +1,271 @@
+//! Precision-generic floating point abstraction.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::atomic::AtomicFloat;
+
+/// Floating-point scalar used throughout the placement engine.
+///
+/// Implemented for [`f32`] and [`f64`]; the engine is instantiated with one or
+/// the other to reproduce the paper's float32/float64 comparisons.
+///
+/// The trait intentionally exposes only the operations the placer needs, so
+/// that both precisions stay drop-in interchangeable.
+///
+/// # Examples
+///
+/// ```
+/// use dp_num::Float;
+///
+/// fn hypot2<T: Float>(x: T, y: T) -> T { (x * x + y * y).sqrt() }
+/// assert_eq!(hypot2(3.0f32, 4.0f32), 5.0f32);
+/// assert_eq!(hypot2(3.0f64, 4.0f64), 5.0f64);
+/// ```
+pub trait Float:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Matching atomic cell type, used for lock-free accumulation kernels.
+    type Atomic: AtomicFloat<Value = Self>;
+
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The constant two.
+    const TWO: Self;
+    /// The constant one half.
+    const HALF: Self;
+    /// Archimedes' constant.
+    const PI: Self;
+    /// Machine epsilon for this precision.
+    const EPSILON: Self;
+    /// Positive infinity.
+    const INFINITY: Self;
+    /// Negative infinity.
+    const NEG_INFINITY: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+    /// Short human-readable precision name (`"float32"` / `"float64"`),
+    /// used by the bench harness to label rows as the paper does.
+    const PRECISION_NAME: &'static str;
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` exactly (`f32` widens losslessly).
+    fn to_f64(self) -> f64;
+    /// Converts from `usize` (may round for very large values in `f32`).
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Base-10 exponential (`10^self`).
+    fn exp10(self) -> Self {
+        (self * Self::from_f64(std::f64::consts::LN_10)).exp()
+    }
+    /// Raises to a floating-point power.
+    fn powf(self, e: Self) -> Self;
+    /// Raises to an integer power.
+    fn powi(self, e: i32) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Largest integer value not greater than `self`.
+    fn floor(self) -> Self;
+    /// Smallest integer value not less than `self`.
+    fn ceil(self) -> Self;
+    /// Nearest integer, ties away from zero.
+    fn round(self) -> Self;
+    /// Fused multiply-add (`self * a + b`).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Maximum of two values (NaN-ignoring, like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// Minimum of two values (NaN-ignoring, like `f64::min`).
+    fn min(self, other: Self) -> Self;
+    /// Clamps into `[lo, hi]`.
+    fn clamp(self, lo: Self, hi: Self) -> Self {
+        self.max(lo).min(hi)
+    }
+    /// `true` when neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+    /// `true` when NaN.
+    fn is_nan(self) -> bool;
+    /// Reciprocal.
+    fn recip(self) -> Self {
+        Self::ONE / self
+    }
+}
+
+macro_rules! impl_float {
+    ($t:ty, $atomic:ty, $name:literal) => {
+        impl Float for $t {
+            type Atomic = $atomic;
+
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const PI: Self = std::f64::consts::PI as $t;
+            const EPSILON: Self = <$t>::EPSILON;
+            const INFINITY: Self = <$t>::INFINITY;
+            const NEG_INFINITY: Self = <$t>::NEG_INFINITY;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+            const PRECISION_NAME: &'static str = $name;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline]
+            fn powf(self, e: Self) -> Self {
+                <$t>::powf(self, e)
+            }
+            #[inline]
+            fn powi(self, e: i32) -> Self {
+                <$t>::powi(self, e)
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline]
+            fn floor(self) -> Self {
+                <$t>::floor(self)
+            }
+            #[inline]
+            fn ceil(self) -> Self {
+                <$t>::ceil(self)
+            }
+            #[inline]
+            fn round(self) -> Self {
+                <$t>::round(self)
+            }
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+        }
+    };
+}
+
+impl_float!(f32, crate::atomic::AtomicF32, "float32");
+impl_float!(f64, crate::atomic::AtomicF64, "float64");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<T: Float>() {
+        assert_eq!(T::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        assert!(T::ZERO < T::ONE);
+        assert_eq!(T::ONE + T::ONE, T::TWO);
+        assert_eq!(T::ONE * T::HALF + T::HALF, T::ONE);
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        generic_roundtrip::<f32>();
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        generic_roundtrip::<f64>();
+    }
+
+    #[test]
+    fn exp10_matches_powf() {
+        for v in [-2.0f64, -0.5, 0.0, 0.3, 1.0, 2.5] {
+            assert!((v.exp10() - 10f64.powf(v)).abs() < 1e-10 * 10f64.powf(v).abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn precision_names() {
+        assert_eq!(<f32 as Float>::PRECISION_NAME, "float32");
+        assert_eq!(<f64 as Float>::PRECISION_NAME, "float64");
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(5.0f64.clamp(0.0, 1.0), 1.0);
+        assert_eq!((-5.0f64).clamp(0.0, 1.0), 0.0);
+        assert_eq!(0.5f64.clamp(0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert!((<f32 as Float>::PI.to_f64() - std::f64::consts::PI).abs() < 1e-6);
+        assert_eq!(<f64 as Float>::PI, std::f64::consts::PI);
+        assert!(<f64 as Float>::MIN_POSITIVE > 0.0);
+    }
+}

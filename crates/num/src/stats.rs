@@ -1,0 +1,113 @@
+//! Small statistics helpers used by the benchmark harness.
+//!
+//! The paper reports per-suite "ratio" rows that are averages of per-design
+//! normalized metrics (Tables II, III, V). These helpers centralize that
+//! arithmetic so every harness binary reports ratios the same way.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dp_num::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(dp_num::stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values; `0.0` for an empty slice.
+///
+/// This is the conventional way to average runtime ratios across designs.
+///
+/// # Panics
+///
+/// Does not panic; non-positive entries make the result `NaN`, which the
+/// caller should treat as an invalid measurement.
+///
+/// # Examples
+///
+/// ```
+/// let g = dp_num::stats::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    }
+}
+
+/// Relative closeness check used in tests: `|a - b| <= atol + rtol * |b|`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(dp_num::stats::close(1.0, 1.0 + 1e-9, 1e-6, 0.0));
+/// assert!(!dp_num::stats::close(1.0, 1.1, 1e-6, 1e-6));
+/// ```
+pub fn close(a: f64, b: f64, rtol: f64, atol: f64) -> bool {
+    (a - b).abs() <= atol + rtol * b.abs()
+}
+
+/// Maximum absolute element-wise difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let d = dp_num::stats::max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]);
+/// assert_eq!(d, 0.5);
+/// ```
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+    }
+
+    #[test]
+    fn geomean_is_scale_equivariant() {
+        let xs = [1.0, 2.0, 8.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 3.0).collect();
+        assert!(close(geomean(&scaled), 3.0 * geomean(&xs), 1e-12, 0.0));
+    }
+
+    #[test]
+    fn geomean_of_ratios_near_one() {
+        // A suite where one design is 2x faster and another 2x slower
+        // averages to exactly 1.0 under geomean (not under arithmetic mean).
+        let g = geomean(&[0.5, 2.0]);
+        assert!(close(g, 1.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_identical() {
+        let v = [1.0, -2.0, 3.5];
+        assert_eq!(max_abs_diff(&v, &v), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn max_abs_diff_rejects_mismatched_lengths() {
+        let _ = max_abs_diff(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Gradient-descent engines for nonlinear placement (paper §III-D).
+//!
+//! ePlace/RePlAce drive global placement with Nesterov's accelerated method
+//! plus a Lipschitz-constant step prediction; DREAMPlace additionally
+//! exposes the toolkit's native solvers (Adam, SGD with momentum) which the
+//! paper compares in Table IV. All four engines here operate on a flat
+//! parameter vector through the [`ObjectiveFn`] callback, so they are
+//! independent of placement specifics and unit-testable on analytic
+//! functions.
+//!
+//! * [`NesterovOptimizer`] — the ePlace scheme: major/reference sequences,
+//!   step size predicted from the local Lipschitz estimate
+//!   `|v_k - v_{k-1}| / |grad(v_k) - grad(v_{k-1})|` with bounded
+//!   backtracking;
+//! * [`Adam`] — Kingma-Ba with optional per-step learning-rate decay
+//!   (the "LR Decay" column of Table IV);
+//! * [`SgdMomentum`] — classical momentum with the same decay hook;
+//! * [`ConjugateGradient`] — Polak-Ribiere+ nonlinear CG with automatic
+//!   restarts, the third solver family the paper lists.
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_optim::{NesterovOptimizer, Optimizer};
+//!
+//! // Minimize f(p) = sum (p_i - i)^2.
+//! let mut f = |p: &[f64], g: &mut [f64]| -> f64 {
+//!     let mut cost = 0.0;
+//!     for (i, (pi, gi)) in p.iter().zip(g.iter_mut()).enumerate() {
+//!         let d = pi - i as f64;
+//!         cost += d * d;
+//!         *gi = 2.0 * d;
+//!     }
+//!     cost
+//! };
+//! let mut params = vec![5.0, 5.0, 5.0];
+//! let mut opt = NesterovOptimizer::new(3, 0.1);
+//! for _ in 0..60 {
+//!     opt.step(&mut f, &mut params);
+//! }
+//! assert!((params[0] - 0.0).abs() < 1e-3);
+//! assert!((params[2] - 2.0).abs() < 1e-3);
+//! ```
+
+pub mod adam;
+pub mod cg;
+pub mod nesterov;
+pub mod sgd;
+
+pub use adam::Adam;
+pub use cg::ConjugateGradient;
+pub use nesterov::NesterovOptimizer;
+pub use sgd::SgdMomentum;
+
+use dp_num::Float;
+
+/// A differentiable objective over a flat parameter vector.
+///
+/// `eval` writes the gradient into `grad` (overwriting, not accumulating)
+/// and returns the cost. Implemented for any
+/// `FnMut(&[T], &mut [T]) -> T` closure.
+pub trait ObjectiveFn<T: Float> {
+    /// Evaluates cost and gradient at `params`.
+    fn eval(&mut self, params: &[T], grad: &mut [T]) -> T;
+}
+
+impl<T: Float, F: FnMut(&[T], &mut [T]) -> T> ObjectiveFn<T> for F {
+    fn eval(&mut self, params: &[T], grad: &mut [T]) -> T {
+        self(params, grad)
+    }
+}
+
+/// Diagnostics returned by one optimizer step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepInfo<T> {
+    /// Objective value at the evaluation point of this step.
+    pub cost: T,
+    /// Infinity norm of the gradient at that point.
+    pub grad_norm: T,
+    /// The step size actually applied.
+    pub step_size: T,
+    /// Number of backtracking retries (Nesterov only; 0 otherwise).
+    pub backtracks: usize,
+}
+
+/// A first-order optimizer advancing a parameter vector in place.
+pub trait Optimizer<T: Float> {
+    /// Performs one iteration, mutating `params`.
+    fn step(&mut self, f: &mut dyn ObjectiveFn<T>, params: &mut [T]) -> StepInfo<T>;
+
+    /// Clears internal state (momenta, step history). The next `step`
+    /// behaves like the first. Used when the placement engine restarts the
+    /// solver after cell inflation (paper §III-F).
+    fn reset(&mut self);
+
+    /// Short engine name for reports ("nesterov", "adam", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Infinity norm helper shared by the engines.
+pub(crate) fn inf_norm<T: Float>(v: &[T]) -> T {
+    v.iter().fold(T::ZERO, |m, &x| m.max(x.abs()))
+}
+
+/// Euclidean norm helper shared by the engines.
+pub(crate) fn l2_norm<T: Float>(v: &[T]) -> T {
+    v.iter().map(|&x| x * x).sum::<T>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shifted quadratic bowl with per-axis curvature, plus its optimum.
+    pub(crate) fn quadratic_bowl() -> (impl FnMut(&[f64], &mut [f64]) -> f64, Vec<f64>) {
+        let target = vec![1.0, -2.0, 3.0, 0.5];
+        let curv = [1.0, 4.0, 0.5, 2.0];
+        let t = target.clone();
+        let f = move |p: &[f64], g: &mut [f64]| -> f64 {
+            let mut cost = 0.0;
+            for i in 0..p.len() {
+                let d = p[i] - t[i];
+                cost += curv[i] * d * d;
+                g[i] = 2.0 * curv[i] * d;
+            }
+            cost
+        };
+        (f, target)
+    }
+
+    /// Rosenbrock in 2-D: a classic non-convex stress test.
+    pub(crate) fn rosenbrock(p: &[f64], g: &mut [f64]) -> f64 {
+        let (x, y) = (p[0], p[1]);
+        g[0] = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+        g[1] = 200.0 * (y - x * x);
+        (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+    }
+
+    fn run_to_convergence<O: Optimizer<f64>>(mut opt: O, iters: usize) -> Vec<f64> {
+        let (mut f, _) = quadratic_bowl();
+        let mut p = vec![0.0; 4];
+        for _ in 0..iters {
+            opt.step(&mut f, &mut p);
+        }
+        p
+    }
+
+    #[test]
+    fn all_engines_solve_the_bowl() {
+        let tol = 1e-2;
+        let target = [1.0, -2.0, 3.0, 0.5];
+        for (name, got) in [
+            (
+                "nesterov",
+                run_to_convergence(NesterovOptimizer::new(4, 0.05), 200),
+            ),
+            ("adam", run_to_convergence(Adam::new(4, 0.2), 600)),
+            ("sgd", run_to_convergence(SgdMomentum::new(4, 0.05), 400)),
+            (
+                "cg",
+                run_to_convergence(ConjugateGradient::new(4, 0.05), 300),
+            ),
+        ] {
+            for (a, b) in got.iter().zip(&target) {
+                assert!((a - b).abs() < tol, "{name}: {got:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(inf_norm(&[1.0, -3.0, 2.0]), 3.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the optimizers on random convex quadratics.
+
+use dp_optim::{Adam, ConjugateGradient, NesterovOptimizer, Optimizer, SgdMomentum};
+use proptest::prelude::*;
+
+/// A random diagonal quadratic `f(p) = sum c_i (p_i - t_i)^2` with bounded
+/// condition number, plus its optimum.
+fn quad(curvatures: Vec<f64>, targets: Vec<f64>) -> impl FnMut(&[f64], &mut [f64]) -> f64 {
+    move |p: &[f64], g: &mut [f64]| {
+        let mut cost = 0.0;
+        for i in 0..p.len() {
+            let d = p[i] - targets[i];
+            cost += curvatures[i] * d * d;
+            g[i] = 2.0 * curvatures[i] * d;
+        }
+        cost
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every engine strictly decreases a convex quadratic from any start
+    /// (comparing cost after a burst of iterations to the initial cost).
+    #[test]
+    fn engines_descend(
+        curvatures in proptest::collection::vec(0.5f64..4.0, 3..6),
+        targets in proptest::collection::vec(-5.0f64..5.0, 6),
+        start in proptest::collection::vec(-10.0f64..10.0, 6),
+    ) {
+        let n = curvatures.len();
+        let targets = targets[..n].to_vec();
+        let start = start[..n].to_vec();
+
+        let engines: Vec<Box<dyn Optimizer<f64>>> = vec![
+            Box::new(NesterovOptimizer::new(n, 0.05)),
+            Box::new(Adam::new(n, 0.1)),
+            Box::new(SgdMomentum::new(n, 0.02)),
+            Box::new(ConjugateGradient::new(n, 0.05)),
+        ];
+        for mut engine in engines {
+            let mut f = quad(curvatures.clone(), targets.clone());
+            let mut p = start.clone();
+            let mut g = vec![0.0; n];
+            let initial = f(&p, &mut g);
+            prop_assume!(initial > 1e-6);
+            for _ in 0..150 {
+                engine.step(&mut f, &mut p);
+            }
+            let final_cost = f(&p, &mut g);
+            prop_assert!(
+                final_cost < initial * 0.5,
+                "{} stalled: {initial} -> {final_cost}",
+                engine.name()
+            );
+        }
+    }
+
+    /// Nesterov's Lipschitz backtracking keeps steps bounded by the true
+    /// inverse curvature scale, whatever the initial step.
+    #[test]
+    fn nesterov_step_is_tamed(initial_step in 0.001f64..100.0, curv in 1.0f64..100.0) {
+        let mut f = move |p: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * curv * p[0];
+            curv * p[0] * p[0]
+        };
+        let mut opt = NesterovOptimizer::new(1, initial_step);
+        let mut p = vec![1.0];
+        for _ in 0..5 {
+            let info = opt.step(&mut f, &mut p);
+            // Inverse Lipschitz constant of the gradient is 1/(2 curv).
+            prop_assert!(info.step_size <= 2.0 / curv, "step {} curv {curv}", info.step_size);
+        }
+    }
+
+    /// Reset makes runs reproducible: two identical runs after reset give
+    /// identical trajectories.
+    #[test]
+    fn reset_reproducibility(curv in 0.5f64..5.0) {
+        let mut f = move |p: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * curv * (p[0] - 3.0);
+            curv * (p[0] - 3.0) * (p[0] - 3.0)
+        };
+        let mut opt = NesterovOptimizer::new(1, 0.1);
+        let mut p1 = vec![0.0];
+        for _ in 0..10 { opt.step(&mut f, &mut p1); }
+        opt.reset();
+        let mut p2 = vec![0.0];
+        for _ in 0..10 { opt.step(&mut f, &mut p2); }
+        prop_assert!((p1[0] - p2[0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Net decomposition: multi-pin nets to 2-pin segments via a Manhattan MST.
+
+/// A 2-pin routing segment between two tiles.
+pub type TileSegment = ((usize, usize), (usize, usize));
+
+/// Computes a minimum spanning tree (Prim) over tile coordinates and
+/// returns its edges as 2-pin segments. Duplicate points should be removed
+/// by the caller; a single point yields no segments.
+///
+/// # Examples
+///
+/// ```
+/// let pts = [(0usize, 0usize), (4, 0), (4, 3)];
+/// let segs = dp_route::mst_segments(&pts);
+/// assert_eq!(segs.len(), 2);
+/// ```
+pub fn mst_segments(points: &[(usize, usize)]) -> Vec<TileSegment> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let dist = |a: (usize, usize), b: (usize, usize)| -> u64 {
+        (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u64
+    };
+    let mut in_tree = vec![false; n];
+    let mut best = vec![(u64::MAX, 0usize); n]; // (distance to tree, parent)
+    in_tree[0] = true;
+    for (k, &p) in points.iter().enumerate().skip(1) {
+        best[k] = (dist(points[0], p), 0);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        // Pick the nearest outside vertex.
+        let (mut pick, mut pick_d) = (usize::MAX, u64::MAX);
+        for k in 0..n {
+            if !in_tree[k] && best[k].0 < pick_d {
+                pick = k;
+                pick_d = best[k].0;
+            }
+        }
+        let parent = best[pick].1;
+        edges.push((points[parent], points[pick]));
+        in_tree[pick] = true;
+        for k in 0..n {
+            if !in_tree[k] {
+                let d = dist(points[pick], points[k]);
+                if d < best[k].0 {
+                    best[k] = (d, pick);
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Total Manhattan length of a segment list (in tiles).
+pub fn total_length(segments: &[TileSegment]) -> u64 {
+    segments
+        .iter()
+        .map(|&(a, b)| (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u64)
+        .collect::<Vec<_>>()
+        .iter()
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_points_one_edge() {
+        let segs = mst_segments(&[(0, 0), (3, 4)]);
+        assert_eq!(segs, vec![((0, 0), (3, 4))]);
+    }
+
+    #[test]
+    fn single_point_no_edges() {
+        assert!(mst_segments(&[(2, 2)]).is_empty());
+        assert!(mst_segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn mst_is_minimal_on_known_case() {
+        // A line of points: MST must chain them (length 4), not star.
+        let pts = [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)];
+        let segs = mst_segments(&pts);
+        assert_eq!(segs.len(), 4);
+        assert_eq!(total_length(&segs), 4);
+    }
+
+    #[test]
+    fn mst_beats_star_on_l_shape() {
+        let pts = [(0, 0), (10, 0), (10, 10)];
+        let segs = mst_segments(&pts);
+        assert_eq!(total_length(&segs), 20); // star from (0,0) would be 30
+    }
+
+    #[test]
+    fn spanning_property() {
+        let pts: Vec<(usize, usize)> = (0..12).map(|k| ((k * 7) % 13, (k * 5) % 11)).collect();
+        let segs = mst_segments(&pts);
+        assert_eq!(segs.len(), pts.len() - 1);
+        // Union-find check that all points are connected.
+        let mut parent: Vec<usize> = (0..pts.len()).collect();
+        fn find(p: &mut Vec<usize>, i: usize) -> usize {
+            if p[i] != i {
+                let r = find(p, p[i]);
+                p[i] = r;
+            }
+            p[i]
+        }
+        let idx = |pt: (usize, usize)| pts.iter().position(|&q| q == pt).expect("known point");
+        for &(a, b) in &segs {
+            let (ra, rb) = (find(&mut parent, idx(a)), find(&mut parent, idx(b)));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..pts.len() {
+            assert_eq!(find(&mut parent, i), root);
+        }
+    }
+}

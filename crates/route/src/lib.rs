@@ -1,0 +1,52 @@
+//! Grid global router substrate (the NCTUgr stand-in of paper §III-F).
+//!
+//! The routability-driven placement flow needs a congestion estimator: a
+//! global router that maps a placement to per-tile routing demand, an
+//! overflow map per metal layer (driving cell inflation, paper Eq. (19)),
+//! and the DAC 2012 contest metrics (RC and sHPWL, paper Eq. (20)).
+//!
+//! This router implements the standard academic recipe:
+//!
+//! 1. net pins are mapped to routing tiles and deduplicated;
+//! 2. multi-pin nets are decomposed into 2-pin segments by a Manhattan
+//!    minimum spanning tree ([`decompose`]);
+//! 3. each segment is routed with congestion-aware pattern routing
+//!    (L-shapes, upgraded to Z-shapes during rip-up-and-reroute), demand
+//!    accumulating on a per-tile, per-direction usage grid ([`grid`]);
+//! 4. a bounded number of rip-up-and-reroute passes re-places the most
+//!    congested segments.
+//!
+//! **Layer substitution.** NCTUgr routes on discrete metal layers with
+//! per-layer capacities; here layers of the same preferred direction are
+//! aggregated (capacity = tracks/layer x layers of that direction), which
+//! preserves Eq. (19) exactly when per-direction layers share capacity, as
+//! they do in our benchmark hints. DESIGN.md records this substitution.
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_gen::GeneratorConfig;
+//! use dp_gp::initial_placement;
+//! use dp_route::{GlobalRouter, RouterConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = GeneratorConfig::new("demo", 300, 320).generate::<f64>()?;
+//! let p = initial_placement(&d.netlist, &d.fixed_positions, 0.2, 1);
+//! let router = GlobalRouter::new(RouterConfig::default());
+//! let result = router.route(&d.netlist, &p);
+//! assert!(result.rc() >= 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod decompose;
+pub mod grid;
+pub mod maze;
+pub mod metrics;
+pub mod router;
+
+pub use decompose::mst_segments;
+pub use grid::RoutingGrid;
+pub use maze::{maze_route, path_runs, TilePath};
+pub use metrics::{rc_metric, shpwl};
+pub use router::{GlobalRouter, RouterConfig, RoutingResult};

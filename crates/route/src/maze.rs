@@ -1,0 +1,233 @@
+//! Congestion-aware maze routing (Dijkstra over the tile grid).
+//!
+//! Pattern routing (L/Z) covers most nets cheaply; the segments that remain
+//! overflowed after pattern rip-up get one maze pass, the same escalation
+//! ladder NCTUgr uses (pattern -> monotonic -> maze). The search window is
+//! the segment's bounding box plus a margin, keeping the pass bounded.
+
+use std::collections::BinaryHeap;
+
+use crate::grid::RoutingGrid;
+
+/// A maze path as an ordered tile sequence (4-connected, deduplicated).
+pub type TilePath = Vec<(usize, usize)>;
+
+/// Entry in the Dijkstra frontier (min-heap via reversed ordering).
+#[derive(PartialEq)]
+struct Frontier {
+    cost: f64,
+    tile: (usize, usize),
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite path costs")
+            .then_with(|| self.tile.cmp(&other.tile))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Finds the cheapest 4-connected path from `a` to `b` within the bounding
+/// box inflated by `margin` tiles, using the grid's congestion-aware step
+/// costs. Returns `None` only if `a == b` produces a trivial path or the
+/// window is degenerate (it cannot fail otherwise: the window is connected).
+///
+/// # Examples
+///
+/// ```
+/// use dp_netlist::Rect;
+/// use dp_route::{maze_route, RoutingGrid};
+///
+/// let grid = RoutingGrid::new(Rect::new(0.0f64, 0.0, 80.0, 80.0), 8, 8, 4, 4);
+/// let path = maze_route(&grid, (0, 0), (7, 7), 2).expect("path exists");
+/// assert_eq!(path.first(), Some(&(0, 0)));
+/// assert_eq!(path.last(), Some(&(7, 7)));
+/// ```
+pub fn maze_route(
+    grid: &RoutingGrid,
+    a: (usize, usize),
+    b: (usize, usize),
+    margin: usize,
+) -> Option<TilePath> {
+    if a == b {
+        return Some(vec![a]);
+    }
+    let i0 = a.0.min(b.0).saturating_sub(margin);
+    let i1 = (a.0.max(b.0) + margin).min(grid.gx() - 1);
+    let j0 = a.1.min(b.1).saturating_sub(margin);
+    let j1 = (a.1.max(b.1) + margin).min(grid.gy() - 1);
+    let w = i1 - i0 + 1;
+    let h = j1 - j0 + 1;
+    let idx = |i: usize, j: usize| (i - i0) * h + (j - j0);
+
+    let mut dist = vec![f64::INFINITY; w * h];
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; w * h];
+    let mut heap = BinaryHeap::new();
+    dist[idx(a.0, a.1)] = 0.0;
+    heap.push(Frontier { cost: 0.0, tile: a });
+
+    while let Some(Frontier { cost, tile }) = heap.pop() {
+        if tile == b {
+            break;
+        }
+        if cost > dist[idx(tile.0, tile.1)] {
+            continue;
+        }
+        let (i, j) = tile;
+        let mut push = |ni: usize, nj: usize, horizontal: bool| {
+            // Entering a tile consumes capacity in the travel direction of
+            // both endpoints of the step; charge the destination (the
+            // source was charged on entry), matching run-based accounting.
+            let step = grid.step_cost(ni, nj, horizontal);
+            let nd = cost + step;
+            let k = idx(ni, nj);
+            if nd < dist[k] {
+                dist[k] = nd;
+                prev[k] = Some(tile);
+                heap.push(Frontier {
+                    cost: nd,
+                    tile: (ni, nj),
+                });
+            }
+        };
+        if i > i0 {
+            push(i - 1, j, true);
+        }
+        if i < i1 {
+            push(i + 1, j, true);
+        }
+        if j > j0 {
+            push(i, j - 1, false);
+        }
+        if j < j1 {
+            push(i, j + 1, false);
+        }
+    }
+
+    if dist[idx(b.0, b.1)].is_infinite() {
+        return None; // unreachable within the window (cannot happen: connected)
+    }
+    let mut path = vec![b];
+    let mut cur = b;
+    while let Some(p) = prev[idx(cur.0, cur.1)] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path.first(), Some(&a));
+    Some(path)
+}
+
+/// Decomposes a 4-connected path into maximal straight runs
+/// `(horizontal?, fixed coord, from, to)` for run-based demand accounting.
+pub fn path_runs(path: &[(usize, usize)]) -> Vec<(bool, usize, usize, usize)> {
+    let mut runs = Vec::new();
+    if path.len() < 2 {
+        return runs;
+    }
+    let mut start = path[0];
+    let mut prev = path[0];
+    let mut dir: Option<bool> = None; // true = horizontal
+    for &t in &path[1..] {
+        let horizontal = t.1 == prev.1;
+        match dir {
+            None => dir = Some(horizontal),
+            Some(d) if d != horizontal => {
+                // close the previous run at `prev`
+                if d {
+                    runs.push((true, prev.1, start.0, prev.0));
+                } else {
+                    runs.push((false, prev.0, start.1, prev.1));
+                }
+                start = prev;
+                dir = Some(horizontal);
+            }
+            _ => {}
+        }
+        prev = t;
+    }
+    match dir {
+        Some(true) => runs.push((true, prev.1, start.0, prev.0)),
+        Some(false) => runs.push((false, prev.0, start.1, prev.1)),
+        None => {}
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::Rect;
+
+    fn grid() -> RoutingGrid {
+        RoutingGrid::new(Rect::new(0.0f64, 0.0, 80.0, 80.0), 8, 8, 4, 4)
+    }
+
+    #[test]
+    fn straight_line_when_uncongested() {
+        let g = grid();
+        let path = maze_route(&g, (1, 2), (6, 2), 1).expect("path");
+        // Cheapest uncongested path is the straight horizontal run.
+        assert_eq!(path.len(), 6);
+        assert!(path.iter().all(|&(_, j)| j == 2));
+    }
+
+    #[test]
+    fn detours_around_congestion() {
+        let mut g = grid();
+        // Wall of saturated vertical-and-horizontal congestion on column 3,
+        // rows 1..=3 (the straight path would cross (3, 2)).
+        for j in 1..=3 {
+            g.add_h(j, 3, 3, 100);
+            g.add_v(3, j, j, 100);
+        }
+        let path = maze_route(&g, (1, 2), (6, 2), 3).expect("path");
+        assert!(
+            !path.contains(&(3, 2)),
+            "path must avoid the congested wall: {path:?}"
+        );
+        assert_eq!(path.first(), Some(&(1, 2)));
+        assert_eq!(path.last(), Some(&(6, 2)));
+    }
+
+    #[test]
+    fn path_is_4_connected() {
+        let g = grid();
+        let path = maze_route(&g, (0, 0), (5, 6), 2).expect("path");
+        for w in path.windows(2) {
+            let d = w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1);
+            assert_eq!(d, 1, "{:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn runs_decomposition_round_trips_length() {
+        let path = vec![(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (3, 2)];
+        let runs = path_runs(&path);
+        assert_eq!(
+            runs,
+            vec![(true, 0, 0, 2), (false, 2, 0, 2), (true, 2, 2, 3)]
+        );
+        let total: usize = runs.iter().map(|&(_, _, a, b)| b.abs_diff(a)).sum();
+        assert_eq!(total, path.len() - 1);
+    }
+
+    #[test]
+    fn trivial_and_single_step_paths() {
+        let g = grid();
+        assert_eq!(maze_route(&g, (4, 4), (4, 4), 1), Some(vec![(4, 4)]));
+        let p = maze_route(&g, (4, 4), (5, 4), 1).expect("path");
+        assert_eq!(p, vec![(4, 4), (5, 4)]);
+        assert!(path_runs(&[(4, 4)]).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! DAC 2012 contest metrics: RC and scaled HPWL (paper §IV-D, Eq. (20)).
+
+/// The RC (routing congestion) metric: 100 times the mean of the ACE
+/// (average congestion of edges) values at the top 0.5%, 1%, 2% and 5%
+/// most-congested edges, floored at 100 (no overflow).
+///
+/// `congestion` holds `usage/capacity` per directed tile edge.
+///
+/// # Examples
+///
+/// ```
+/// // Everything under capacity: RC is exactly 100.
+/// let rc = dp_route::rc_metric(&vec![0.5; 1000]);
+/// assert_eq!(rc, 100.0);
+/// ```
+pub fn rc_metric(congestion: &[f64]) -> f64 {
+    if congestion.is_empty() {
+        return 100.0;
+    }
+    let mut sorted = congestion.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite congestion"));
+    let ace = |frac: f64| -> f64 {
+        let k = ((sorted.len() as f64 * frac / 100.0).ceil() as usize).clamp(1, sorted.len());
+        sorted[..k].iter().sum::<f64>() / k as f64
+    };
+    let mean = (ace(0.5) + ace(1.0) + ace(2.0) + ace(5.0)) / 4.0;
+    (100.0 * mean).max(100.0)
+}
+
+/// Scaled HPWL of paper Eq. (20):
+/// `sHPWL = HPWL * (1 + 0.03 * (RC - 100))`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dp_route::shpwl(10.0, 100.0), 10.0);
+/// assert!((dp_route::shpwl(10.0, 110.0) - 13.0).abs() < 1e-12);
+/// ```
+pub fn shpwl(hpwl: f64, rc: f64) -> f64 {
+    hpwl * (1.0 + 0.03 * (rc - 100.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_floors_at_100() {
+        assert_eq!(rc_metric(&[0.0, 0.1, 0.9]), 100.0);
+        assert_eq!(rc_metric(&[]), 100.0);
+    }
+
+    #[test]
+    fn rc_reflects_hot_spots() {
+        // 1000 edges, ten at 2x capacity: the top 0.5% and 1% buckets are
+        // dominated by the hot edges.
+        let mut c = vec![0.5; 990];
+        c.extend(vec![2.0; 10]);
+        let rc = rc_metric(&c);
+        assert!(rc > 100.0, "{rc}");
+        // ACE(0.5) = 2.0, ACE(1) = 2.0, ACE(2) = 1.25, ACE(5) = 0.8
+        let want = 100.0 * (2.0 + 2.0 + 1.25 + 0.8) / 4.0;
+        assert!((rc - want).abs() < 1e-9, "{rc} vs {want}");
+    }
+
+    #[test]
+    fn rc_monotone_in_congestion() {
+        let base: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let hot: Vec<f64> = base.iter().map(|v| v * 2.0).collect();
+        assert!(rc_metric(&hot) >= rc_metric(&base));
+    }
+
+    #[test]
+    fn shpwl_penalizes_three_percent_per_rc_point() {
+        let h = 250.0;
+        assert!((shpwl(h, 101.0) - h * 1.03).abs() < 1e-9);
+        assert!((shpwl(h, 105.0) - h * 1.15).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,531 @@
+//! The pattern router: congestion-aware L/Z routing with bounded
+//! rip-up-and-reroute.
+
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+
+use crate::decompose::mst_segments;
+use crate::grid::RoutingGrid;
+use crate::maze::{maze_route, path_runs, TilePath};
+use crate::metrics::rc_metric;
+
+/// Router configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Routing tiles along x.
+    pub gx: usize,
+    /// Routing tiles along y.
+    pub gy: usize,
+    /// Horizontal track capacity per tile (aggregated over H layers).
+    pub cap_h: u32,
+    /// Vertical track capacity per tile (aggregated over V layers).
+    pub cap_v: u32,
+    /// Rip-up-and-reroute passes over congested segments.
+    pub reroute_passes: usize,
+    /// Maze (Dijkstra) passes over segments still overflowed after pattern
+    /// rerouting — the escalation ladder's last rung.
+    pub maze_passes: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            gx: 32,
+            gy: 32,
+            cap_h: 40,
+            cap_v: 40,
+            reroute_passes: 2,
+            maze_passes: 1,
+        }
+    }
+}
+
+/// A routed 2-pin segment: endpoints plus the chosen bend.
+#[derive(Debug, Clone)]
+struct RoutedSeg {
+    a: (usize, usize),
+    b: (usize, usize),
+    /// Intermediate corner(s): L uses one bend; Z uses two (via a mid
+    /// coordinate). Encoded as the route kind below.
+    route: Route,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Route {
+    /// Horizontal first, then vertical (bend at `(b.x, a.y)`).
+    Hv,
+    /// Vertical first, then horizontal (bend at `(a.x, b.y)`).
+    Vh,
+    /// Horizontal-vertical-horizontal with the vertical jog at column `x`.
+    Zh(usize),
+    /// Vertical-horizontal-vertical with the horizontal jog at row `y`.
+    Zv(usize),
+    /// Free-form maze path (escalation rung).
+    Path(TilePath),
+}
+
+/// Result of routing one placement: the demand grid plus per-net data, with
+/// metric accessors.
+#[derive(Debug, Clone)]
+pub struct RoutingResult {
+    grid: RoutingGrid,
+    total_wirelength_tiles: u64,
+}
+
+impl RoutingResult {
+    /// The underlying demand grid.
+    pub fn grid(&self) -> &RoutingGrid {
+        &self.grid
+    }
+
+    /// DAC 2012 RC metric of this routing (>= 100).
+    pub fn rc(&self) -> f64 {
+        rc_metric(&self.grid.congestion_values())
+    }
+
+    /// Total overflow (tracks beyond capacity, summed).
+    pub fn total_overflow(&self) -> u64 {
+        self.grid.total_overflow()
+    }
+
+    /// Total routed wirelength in tile steps.
+    pub fn wirelength_tiles(&self) -> u64 {
+        self.total_wirelength_tiles
+    }
+
+    /// Per-tile inflation ratio of paper Eq. (19):
+    /// `min((max_layer demand/capacity)^exponent, cap)` — with aggregated
+    /// same-direction layers the max over layers equals the per-direction
+    /// ratio maximum.
+    pub fn inflation_ratio_map(&self, exponent: f64, max_ratio: f64) -> Vec<f64> {
+        let g = &self.grid;
+        let mut out = Vec::with_capacity(g.gx() * g.gy());
+        for i in 0..g.gx() {
+            for j in 0..g.gy() {
+                let r = g.congestion(i, j);
+                out.push(r.powf(exponent).min(max_ratio));
+            }
+        }
+        out
+    }
+}
+
+/// The global router; see the [crate docs](crate).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalRouter {
+    config: RouterConfig,
+}
+
+impl GlobalRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: RouterConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Routes all nets at the given placement.
+    pub fn route<T: Float>(&self, nl: &Netlist<T>, p: &Placement<T>) -> RoutingResult {
+        let cfg = &self.config;
+        let mut grid = RoutingGrid::new(nl.region(), cfg.gx, cfg.gy, cfg.cap_h, cfg.cap_v);
+
+        // Decompose all nets into 2-pin tile segments.
+        let mut segments: Vec<RoutedSeg> = Vec::new();
+        let mut total_len = 0u64;
+        for net in nl.nets() {
+            let mut tiles: Vec<(usize, usize)> = nl
+                .net_pins(net)
+                .iter()
+                .map(|&pin| {
+                    let c = nl.pin_cell(pin).index();
+                    let (dx, dy) = nl.pin_offset(pin);
+                    grid.tile_of(p.x[c] + dx, p.y[c] + dy)
+                })
+                .collect();
+            tiles.sort_unstable();
+            tiles.dedup();
+            for (a, b) in mst_segments(&tiles) {
+                total_len += (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u64;
+                segments.push(RoutedSeg {
+                    a,
+                    b,
+                    route: Route::Hv,
+                });
+            }
+        }
+
+        // Initial pass: congestion-aware L-shapes.
+        for seg in segments.iter_mut() {
+            seg.route = best_l(&grid, seg.a, seg.b);
+            apply(&mut grid, seg, 1);
+        }
+
+        // Rip-up-and-reroute: revisit segments through overflowed tiles,
+        // allowing Z-shapes.
+        for _ in 0..cfg.reroute_passes {
+            if grid.total_overflow() == 0 {
+                break;
+            }
+            for seg in segments.iter_mut() {
+                if !touches_overflow(&grid, seg) {
+                    continue;
+                }
+                apply(&mut grid, seg, -1);
+                seg.route = best_route(&grid, seg.a, seg.b);
+                apply(&mut grid, seg, 1);
+            }
+        }
+
+        // Escalation: maze-route the segments still stuck in overflow.
+        for _ in 0..cfg.maze_passes {
+            if grid.total_overflow() == 0 {
+                break;
+            }
+            for seg in segments.iter_mut() {
+                if !touches_overflow(&grid, seg) {
+                    continue;
+                }
+                apply(&mut grid, seg, -1);
+                let current_cost = l_cost(&grid, seg.a, seg.b, &seg.route);
+                if let Some(path) = maze_route(&grid, seg.a, seg.b, 4) {
+                    let candidate = Route::Path(path);
+                    if l_cost(&grid, seg.a, seg.b, &candidate) < current_cost {
+                        seg.route = candidate;
+                    }
+                }
+                apply(&mut grid, seg, 1);
+            }
+        }
+
+        RoutingResult {
+            grid,
+            total_wirelength_tiles: total_len,
+        }
+    }
+}
+
+/// Cost of an L route (both orders share the same wirelength).
+fn l_cost(grid: &RoutingGrid, a: (usize, usize), b: (usize, usize), route: &Route) -> f64 {
+    let mut cost = 0.0;
+    match *route {
+        Route::Hv => {
+            let (i0, i1) = (a.0.min(b.0), a.0.max(b.0));
+            for i in i0..=i1 {
+                cost += grid.step_cost(i, a.1, true);
+            }
+            let (j0, j1) = (a.1.min(b.1), a.1.max(b.1));
+            for j in j0..=j1 {
+                cost += grid.step_cost(b.0, j, false);
+            }
+        }
+        Route::Vh => {
+            let (j0, j1) = (a.1.min(b.1), a.1.max(b.1));
+            for j in j0..=j1 {
+                cost += grid.step_cost(a.0, j, false);
+            }
+            let (i0, i1) = (a.0.min(b.0), a.0.max(b.0));
+            for i in i0..=i1 {
+                cost += grid.step_cost(i, b.1, true);
+            }
+        }
+        Route::Zh(x) => {
+            let (i0, i1) = (a.0.min(x), a.0.max(x));
+            for i in i0..=i1 {
+                cost += grid.step_cost(i, a.1, true);
+            }
+            let (j0, j1) = (a.1.min(b.1), a.1.max(b.1));
+            for j in j0..=j1 {
+                cost += grid.step_cost(x, j, false);
+            }
+            let (i0, i1) = (x.min(b.0), x.max(b.0));
+            for i in i0..=i1 {
+                cost += grid.step_cost(i, b.1, true);
+            }
+        }
+        Route::Zv(y) => {
+            let (j0, j1) = (a.1.min(y), a.1.max(y));
+            for j in j0..=j1 {
+                cost += grid.step_cost(a.0, j, false);
+            }
+            let (i0, i1) = (a.0.min(b.0), a.0.max(b.0));
+            for i in i0..=i1 {
+                cost += grid.step_cost(i, y, true);
+            }
+            let (j0, j1) = (y.min(b.1), y.max(b.1));
+            for j in j0..=j1 {
+                cost += grid.step_cost(b.0, j, false);
+            }
+        }
+        Route::Path(ref path) => {
+            for &(horizontal, fixed, lo, hi) in &path_runs(path) {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                for k in lo..=hi {
+                    if horizontal {
+                        cost += grid.step_cost(k, fixed, true);
+                    } else {
+                        cost += grid.step_cost(fixed, k, false);
+                    }
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// The cheaper of the two L orders.
+fn best_l(grid: &RoutingGrid, a: (usize, usize), b: (usize, usize)) -> Route {
+    if l_cost(grid, a, b, &Route::Hv) <= l_cost(grid, a, b, &Route::Vh) {
+        Route::Hv
+    } else {
+        Route::Vh
+    }
+}
+
+/// The cheapest among both Ls and all Z jogs inside the bounding box.
+fn best_route(grid: &RoutingGrid, a: (usize, usize), b: (usize, usize)) -> Route {
+    let mut best = Route::Hv;
+    let mut best_cost = l_cost(grid, a, b, &Route::Hv);
+    let mut consider = |r: Route, grid: &RoutingGrid| {
+        let c = l_cost(grid, a, b, &r);
+        if c < best_cost {
+            best_cost = c;
+            best = r;
+        }
+    };
+    consider(Route::Vh, grid);
+    // Z jogs may detour a few tiles outside the bounding box, which is what
+    // relieves flat (same-row/column) congestion.
+    const MARGIN: usize = 4;
+    let (i0, i1) = (a.0.min(b.0), a.0.max(b.0));
+    for x in i0.saturating_sub(MARGIN)..=(i1 + MARGIN).min(grid.gx() - 1) {
+        consider(Route::Zh(x), grid);
+    }
+    let (j0, j1) = (a.1.min(b.1), a.1.max(b.1));
+    for y in j0.saturating_sub(MARGIN)..=(j1 + MARGIN).min(grid.gy() - 1) {
+        consider(Route::Zv(y), grid);
+    }
+    best
+}
+
+/// Applies (`delta = 1`) or removes (`delta = -1`) a segment's demand.
+fn apply(grid: &mut RoutingGrid, seg: &RoutedSeg, delta: i32) {
+    let (a, b) = (seg.a, seg.b);
+    match seg.route {
+        Route::Path(ref path) => {
+            for &(horizontal, fixed, lo, hi) in &path_runs(path) {
+                if horizontal {
+                    grid.add_h(fixed, lo, hi, delta);
+                } else {
+                    grid.add_v(fixed, lo, hi, delta);
+                }
+            }
+        }
+        Route::Hv => {
+            grid.add_h(a.1, a.0, b.0, delta);
+            grid.add_v(b.0, a.1, b.1, delta);
+        }
+        Route::Vh => {
+            grid.add_v(a.0, a.1, b.1, delta);
+            grid.add_h(b.1, a.0, b.0, delta);
+        }
+        Route::Zh(x) => {
+            grid.add_h(a.1, a.0, x, delta);
+            grid.add_v(x, a.1, b.1, delta);
+            grid.add_h(b.1, x, b.0, delta);
+        }
+        Route::Zv(y) => {
+            grid.add_v(a.0, a.1, y, delta);
+            grid.add_h(y, a.0, b.0, delta);
+            grid.add_v(b.0, y, b.1, delta);
+        }
+    }
+}
+
+/// `true` when any tile of the segment's current route is overflowed.
+fn touches_overflow(grid: &RoutingGrid, seg: &RoutedSeg) -> bool {
+    let (a, b) = (seg.a, seg.b);
+    let over_h = |j: usize, i0: usize, i1: usize| -> bool {
+        let (i0, i1) = (i0.min(i1), i0.max(i1));
+        (i0..=i1).any(|i| grid.usage_h(i, j) > grid.cap_h())
+    };
+    let over_v = |i: usize, j0: usize, j1: usize| -> bool {
+        let (j0, j1) = (j0.min(j1), j0.max(j1));
+        (j0..=j1).any(|j| grid.usage_v(i, j) > grid.cap_v())
+    };
+    match seg.route {
+        Route::Hv => over_h(a.1, a.0, b.0) || over_v(b.0, a.1, b.1),
+        Route::Vh => over_v(a.0, a.1, b.1) || over_h(b.1, a.0, b.0),
+        Route::Zh(x) => over_h(a.1, a.0, x) || over_v(x, a.1, b.1) || over_h(b.1, x, b.0),
+        Route::Zv(y) => over_v(a.0, a.1, y) || over_h(y, a.0, b.0) || over_v(b.0, y, b.1),
+        Route::Path(ref path) => path_runs(path).iter().any(|&(horizontal, fixed, lo, hi)| {
+            if horizontal {
+                over_h(fixed, lo, hi)
+            } else {
+                over_v(fixed, lo, hi)
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::NetlistBuilder;
+
+    fn two_pin_design(x0: f64, x1: f64, y0: f64, y1: f64) -> (Netlist<f64>, Placement<f64>) {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 320.0, 320.0);
+        let a = b.add_movable_cell(1.0, 1.0);
+        let c = b.add_movable_cell(1.0, 1.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(2);
+        p.x = vec![x0, x1];
+        p.y = vec![y0, y1];
+        (nl, p)
+    }
+
+    #[test]
+    fn single_net_demand_matches_manhattan_length() {
+        let (nl, p) = two_pin_design(5.0, 205.0, 5.0, 105.0); // tiles (0,0) -> (20,10)
+        let router = GlobalRouter::new(RouterConfig {
+            gx: 32,
+            gy: 32,
+            cap_h: 10,
+            cap_v: 10,
+            reroute_passes: 0,
+            maze_passes: 0,
+        });
+        let r = router.route(&nl, &p);
+        assert_eq!(r.wirelength_tiles(), 30);
+        let total: u64 = (0..32)
+            .flat_map(|i| (0..32).map(move |j| (i, j)))
+            .map(|(i, j)| (r.grid().usage_h(i, j) + r.grid().usage_v(i, j)) as u64)
+            .sum();
+        // An L route occupies length+1 tiles per direction span.
+        assert_eq!(total, 21 + 11);
+        assert_eq!(r.total_overflow(), 0);
+        assert_eq!(r.rc(), 100.0);
+    }
+
+    #[test]
+    fn congestion_steers_l_choice() {
+        let (nl, p) = two_pin_design(5.0, 105.0, 5.0, 105.0);
+        let router = GlobalRouter::new(RouterConfig {
+            gx: 32,
+            gy: 32,
+            cap_h: 2,
+            cap_v: 2,
+            reroute_passes: 0,
+            maze_passes: 0,
+        });
+        // Pre-congest the HV path by routing several identical nets; the
+        // router's L choice should split between HV and VH.
+        let mut b = NetlistBuilder::new(0.0, 0.0, 320.0, 320.0);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push((b.add_movable_cell(1.0, 1.0), b.add_movable_cell(1.0, 1.0)));
+        }
+        for &(u, v) in &handles {
+            b.add_net(1.0, vec![(u, 0.0, 0.0), (v, 0.0, 0.0)])
+                .expect("valid");
+        }
+        let nl8 = b.build().expect("valid");
+        let mut p8 = Placement::zeros(nl8.num_cells());
+        for k in 0..8 {
+            p8.x[2 * k] = 5.0;
+            p8.y[2 * k] = 5.0;
+            p8.x[2 * k + 1] = 105.0;
+            p8.y[2 * k + 1] = 105.0;
+        }
+        let r = router.route(&nl8, &p8);
+        // With capacity 2 per direction and 8 identical nets, both L
+        // orders must be used; corner tiles stay below the all-on-one-path
+        // worst case.
+        let corner_hv = r.grid().usage_v(10, 0);
+        let corner_vh = r.grid().usage_h(0, 10);
+        assert!(
+            corner_hv > 0 && corner_vh > 0,
+            "both Ls used: {corner_hv} {corner_vh}"
+        );
+        let _ = (nl, p);
+    }
+
+    #[test]
+    fn reroute_reduces_overflow() {
+        // Many nets crossing a narrow middle: Z jogs relieve pressure.
+        let mut b = NetlistBuilder::new(0.0, 0.0, 320.0, 320.0);
+        let mut handles = Vec::new();
+        for _ in 0..12 {
+            handles.push((b.add_movable_cell(1.0, 1.0), b.add_movable_cell(1.0, 1.0)));
+        }
+        for &(u, v) in &handles {
+            b.add_net(1.0, vec![(u, 0.0, 0.0), (v, 0.0, 0.0)])
+                .expect("valid");
+        }
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        for k in 0..12 {
+            p.x[2 * k] = 5.0;
+            p.y[2 * k] = 155.0 + (k as f64); // all near the same row
+            p.x[2 * k + 1] = 315.0;
+            p.y[2 * k + 1] = 155.0 + (k as f64);
+        }
+        let cfg = RouterConfig {
+            gx: 32,
+            gy: 32,
+            cap_h: 4,
+            cap_v: 4,
+            reroute_passes: 0,
+            maze_passes: 0,
+        };
+        let before = GlobalRouter::new(cfg).route(&nl, &p).total_overflow();
+        let cfg2 = RouterConfig {
+            reroute_passes: 3,
+            ..cfg
+        };
+        let after = GlobalRouter::new(cfg2).route(&nl, &p).total_overflow();
+        assert!(before > 0, "test must create overflow");
+        assert!(after < before, "reroute helps: {before} -> {after}");
+        let cfg3 = RouterConfig {
+            reroute_passes: 3,
+            maze_passes: 2,
+            ..cfg
+        };
+        let with_maze = GlobalRouter::new(cfg3).route(&nl, &p).total_overflow();
+        assert!(
+            with_maze <= after,
+            "maze escalation helps: {after} -> {with_maze}"
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (nl, p) = two_pin_design(5.0, 305.0, 15.0, 295.0);
+        let router = GlobalRouter::new(RouterConfig::default());
+        let a = router.route(&nl, &p);
+        let b = router.route(&nl, &p);
+        assert_eq!(a.rc(), b.rc());
+        assert_eq!(a.total_overflow(), b.total_overflow());
+    }
+
+    #[test]
+    fn inflation_map_caps_at_max() {
+        let (nl, p) = two_pin_design(5.0, 105.0, 5.0, 5.0);
+        let router = GlobalRouter::new(RouterConfig {
+            gx: 32,
+            gy: 32,
+            cap_h: 1,
+            cap_v: 1,
+            reroute_passes: 0,
+            maze_passes: 0,
+        });
+        let r = router.route(&nl, &p);
+        let map = r.inflation_ratio_map(2.5, 2.5);
+        assert!(map.iter().all(|&v| v <= 2.5 + 1e-12));
+        assert!(map.iter().any(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests of the global router.
+
+use dp_gen::GeneratorConfig;
+use dp_gp::initial_placement;
+use dp_route::{mst_segments, rc_metric, shpwl, GlobalRouter, RouterConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// MST over k points always has k-1 edges and never exceeds the length
+    /// of the chain through the points in input order.
+    #[test]
+    fn mst_is_spanning_and_short(pts in proptest::collection::vec((0usize..32, 0usize..32), 2..12)) {
+        let mut dedup = pts.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assume!(dedup.len() >= 2);
+        let segs = mst_segments(&dedup);
+        prop_assert_eq!(segs.len(), dedup.len() - 1);
+        let mst_len: u64 = segs
+            .iter()
+            .map(|&(a, b)| (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u64)
+            .sum();
+        let chain_len: u64 = dedup
+            .windows(2)
+            .map(|w| (w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1)) as u64)
+            .sum();
+        prop_assert!(mst_len <= chain_len);
+    }
+
+    /// RC is scale-monotone and floored at 100; sHPWL grows 3% per point.
+    #[test]
+    fn metrics_laws(values in proptest::collection::vec(0.0f64..3.0, 10..200), a in 1.0f64..3.0) {
+        let rc1 = rc_metric(&values);
+        let scaled: Vec<f64> = values.iter().map(|v| v * a).collect();
+        let rc2 = rc_metric(&scaled);
+        prop_assert!(rc1 >= 100.0);
+        prop_assert!(rc2 >= rc1 - 1e-9);
+        let h = 1234.5;
+        prop_assert!((shpwl(h, rc1 + 1.0) - shpwl(h, rc1) - 0.03 * h).abs() < 1e-6);
+    }
+
+    /// Routed demand is conserved: total tile usage is at least the total
+    /// Manhattan wirelength (Ls add the corner tile) and overflow never
+    /// increases when capacity grows.
+    #[test]
+    fn demand_and_capacity_laws(seed in 0u64..5000, cap in 2u32..40) {
+        let d = GeneratorConfig::new("prop-route", 80, 90)
+            .with_seed(seed)
+            .generate::<f64>()
+            .expect("valid");
+        let p = initial_placement(&d.netlist, &d.fixed_positions, 0.25, seed);
+        let run = |c: u32| {
+            GlobalRouter::new(RouterConfig { gx: 16, gy: 16, cap_h: c, cap_v: c, reroute_passes: 0, maze_passes: 0 })
+                .route(&d.netlist, &p)
+        };
+        let tight = run(cap);
+        let loose = run(cap * 2);
+        // Same L choices are not guaranteed, but overflow must not grow
+        // with capacity.
+        prop_assert!(loose.total_overflow() <= tight.total_overflow());
+        // Usage lower bound: wirelength in tile steps.
+        let usage: u64 = (0..16)
+            .flat_map(|i| (0..16).map(move |j| (i, j)))
+            .map(|(i, j)| (tight.grid().usage_h(i, j) + tight.grid().usage_v(i, j)) as u64)
+            .sum();
+        prop_assert!(usage >= tight.wirelength_tiles());
+    }
+}

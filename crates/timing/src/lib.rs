@@ -1,0 +1,353 @@
+//! Static timing substrate for timing-driven placement.
+//!
+//! The paper lists timing as a framework extension (§III-G): "timing can be
+//! considered by net weighting or additional differentiable timing costs in
+//! the objective". This crate provides the substrate that extension needs —
+//! a net-based static timing analyzer over the placement hypergraph — plus
+//! the classic criticality-to-weight mapping.
+//!
+//! # Synthetic direction model
+//!
+//! Contest netlists carry no signal directions. Following the standard
+//! synthetic-benchmark convention, the first pin of each net drives the
+//! others, and only edges from a lower cell index to a higher one are kept,
+//! which makes the graph acyclic by construction: the generator's cell
+//! indices act as logic levels (its nets connect nearby indices, so paths
+//! have realistic depth). DESIGN.md records this substitution.
+//!
+//! # Delay model
+//!
+//! A net-based lumped model, the usual choice for placement-stage timing:
+//! every stage through net `e` costs `cell_delay + r * HPWL(e)`. Arrival
+//! times propagate forward from sources, required times backward from
+//! sinks against the clock period, and per-net criticality is mapped to a
+//! weight `1 + (w_max - 1) * criticality^exponent`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_gen::GeneratorConfig;
+//! use dp_gp::initial_placement;
+//! use dp_timing::{analyze, TimingConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let d = GeneratorConfig::new("sta", 200, 220).generate::<f64>()?;
+//! let p = initial_placement(&d.netlist, &d.fixed_positions, 0.2, 1);
+//! let report = analyze(&d.netlist, &p, &TimingConfig::default());
+//! assert!(report.max_arrival > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use dp_netlist::{net_hpwl, CellId, NetId, Netlist, Placement};
+use dp_num::Float;
+
+/// Timing model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingConfig {
+    /// Intrinsic delay of every cell (gate delay), in time units.
+    pub cell_delay: f64,
+    /// Wire delay per layout unit of net HPWL.
+    pub wire_delay_per_unit: f64,
+    /// Clock period; `None` derives it as `slack_target` times the maximum
+    /// arrival at analysis time (creating realistic near-critical paths).
+    pub clock_period: Option<f64>,
+    /// When deriving the period: fraction of the max arrival (default 0.9,
+    /// i.e. 10% of paths start out violating).
+    pub derive_factor: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self {
+            cell_delay: 1.0,
+            wire_delay_per_unit: 0.1,
+            clock_period: None,
+            derive_factor: 0.9,
+        }
+    }
+}
+
+/// Result of one static timing analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Arrival time per cell.
+    pub arrival: Vec<f64>,
+    /// Required time per cell.
+    pub required: Vec<f64>,
+    /// Slack per net (minimum over the net's sink stages).
+    pub net_slack: Vec<f64>,
+    /// Worst negative slack (0 when all paths meet timing).
+    pub wns: f64,
+    /// Total negative slack (sum of negative endpoint slacks).
+    pub tns: f64,
+    /// Maximum arrival time (critical path delay).
+    pub max_arrival: f64,
+    /// The clock period used.
+    pub clock_period: f64,
+    /// Cells of the most critical path, source to endpoint.
+    pub critical_path: Vec<CellId>,
+}
+
+/// Directed edges of a net under the synthetic direction model:
+/// `(driver cell, sink cell)` pairs with `driver < sink` (by index).
+fn net_edges<T: Float>(nl: &Netlist<T>, net: NetId) -> impl Iterator<Item = (usize, usize)> + '_ {
+    let pins = nl.net_pins(net);
+    let driver = nl.pin_cell(pins[0]).index();
+    pins[1..]
+        .iter()
+        .map(move |&p| (driver, nl.pin_cell(p).index()))
+        .filter(|&(d, s)| d < s)
+}
+
+/// Runs static timing analysis at the given placement.
+///
+/// See the [crate docs](crate) for the model.
+pub fn analyze<T: Float>(
+    nl: &Netlist<T>,
+    placement: &Placement<T>,
+    config: &TimingConfig,
+) -> TimingReport {
+    let n = nl.num_cells();
+
+    // Stage delay per net: cell delay + wire delay * HPWL.
+    let stage_delay: Vec<f64> = nl
+        .nets()
+        .map(|net| {
+            config.cell_delay + config.wire_delay_per_unit * net_hpwl(nl, placement, net).to_f64()
+        })
+        .collect();
+
+    // Forward pass in index order (edges always go low -> high).
+    let mut arrival = vec![0.0f64; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    for net in nl.nets() {
+        let d = stage_delay[net.index()];
+        for (u, v) in net_edges(nl, net) {
+            let a = arrival[u] + d;
+            if a > arrival[v] {
+                arrival[v] = a;
+                pred[v] = Some(u);
+            }
+        }
+    }
+    let max_arrival = arrival.iter().cloned().fold(0.0, f64::max);
+    let clock_period = config
+        .clock_period
+        .unwrap_or(max_arrival * config.derive_factor)
+        .max(f64::MIN_POSITIVE);
+
+    // Backward pass: required times from every endpoint (cells without
+    // outgoing edges get required = clock period; we simply initialize all
+    // to the period and relax backwards in reverse index order).
+    let mut required = vec![clock_period; n];
+    for net in nl.nets().collect::<Vec<_>>().into_iter().rev() {
+        let d = stage_delay[net.index()];
+        for (u, v) in net_edges(nl, net) {
+            required[u] = required[u].min(required[v] - d);
+        }
+    }
+
+    // Per-net slack: worst sink slack of its stages.
+    let mut net_slack = vec![f64::INFINITY; nl.num_nets()];
+    for net in nl.nets() {
+        let d = stage_delay[net.index()];
+        let mut worst = f64::INFINITY;
+        for (u, v) in net_edges(nl, net) {
+            worst = worst.min(required[v] - (arrival[u] + d));
+        }
+        if worst.is_finite() {
+            net_slack[net.index()] = worst;
+        } else {
+            net_slack[net.index()] = clock_period; // no directed stage
+        }
+    }
+
+    // Endpoint slacks for WNS/TNS: endpoints are cells with no outgoing
+    // directed stage.
+    let mut has_fanout = vec![false; n];
+    for net in nl.nets() {
+        for (u, _) in net_edges(nl, net) {
+            has_fanout[u] = true;
+        }
+    }
+    let mut wns = 0.0f64;
+    let mut tns = 0.0f64;
+    let mut worst_endpoint = None;
+    for c in 0..n {
+        if has_fanout[c] {
+            continue;
+        }
+        let slack = clock_period - arrival[c];
+        if slack < wns {
+            wns = slack;
+        }
+        if slack < 0.0 {
+            tns += slack;
+            if worst_endpoint.is_none_or(|(s, _)| slack < s) {
+                worst_endpoint = Some((slack, c));
+            }
+        }
+    }
+
+    // Critical path by predecessor backtracking from the worst endpoint
+    // (or the max-arrival cell when timing is met).
+    let start = worst_endpoint.map(|(_, c)| c).unwrap_or_else(|| {
+        arrival
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite arrivals"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    });
+    let mut critical_path = vec![CellId::new(start)];
+    let mut cur = start;
+    while let Some(p) = pred[cur] {
+        critical_path.push(CellId::new(p));
+        cur = p;
+    }
+    critical_path.reverse();
+
+    TimingReport {
+        arrival,
+        required,
+        net_slack,
+        wns,
+        tns,
+        max_arrival,
+        clock_period,
+        critical_path,
+    }
+}
+
+/// Maps net slacks to weights:
+/// `w(e) = 1 + (w_max - 1) * criticality(e)^exponent` with
+/// `criticality = clamp(1 - slack/period, 0, 1)` — the classic VPR-style
+/// scheme the paper's net-weighting extension calls for.
+pub fn criticality_weights<T: Float>(report: &TimingReport, w_max: f64, exponent: f64) -> Vec<T> {
+    report
+        .net_slack
+        .iter()
+        .map(|&slack| {
+            let crit = (1.0 - slack / report.clock_period).clamp(0.0, 1.0);
+            T::from_f64(1.0 + (w_max - 1.0) * crit.powf(exponent))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::NetlistBuilder;
+
+    /// A 3-stage chain with hand-computable delays.
+    fn chain() -> (Netlist<f64>, Placement<f64>) {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 100.0);
+        let cells: Vec<_> = (0..4).map(|_| b.add_movable_cell(1.0, 1.0)).collect();
+        for i in 0..3 {
+            b.add_net(1.0, vec![(cells[i], 0.0, 0.0), (cells[i + 1], 0.0, 0.0)])
+                .expect("valid");
+        }
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(4);
+        p.x = vec![0.0, 10.0, 30.0, 60.0];
+        p.y = vec![0.0, 0.0, 0.0, 0.0];
+        (nl, p)
+    }
+
+    #[test]
+    fn chain_arrivals_are_cumulative() {
+        let (nl, p) = chain();
+        let cfg = TimingConfig {
+            cell_delay: 1.0,
+            wire_delay_per_unit: 0.1,
+            clock_period: Some(100.0),
+            derive_factor: 0.9,
+        };
+        let r = analyze(&nl, &p, &cfg);
+        // stage delays: 1 + 0.1*10 = 2; 1 + 0.1*20 = 3; 1 + 0.1*30 = 4
+        assert_eq!(r.arrival[0], 0.0);
+        assert!((r.arrival[1] - 2.0).abs() < 1e-12);
+        assert!((r.arrival[2] - 5.0).abs() < 1e-12);
+        assert!((r.arrival[3] - 9.0).abs() < 1e-12);
+        assert!((r.max_arrival - 9.0).abs() < 1e-12);
+        assert_eq!(r.wns, 0.0, "period 100 is met");
+        assert_eq!(r.critical_path.len(), 4);
+    }
+
+    #[test]
+    fn tight_clock_creates_negative_slack() {
+        let (nl, p) = chain();
+        let cfg = TimingConfig {
+            clock_period: Some(5.0),
+            ..TimingConfig::default()
+        };
+        let r = analyze(&nl, &p, &cfg);
+        assert!((r.wns + 4.0).abs() < 1e-12, "wns {}", r.wns);
+        assert!(r.tns <= r.wns);
+        // All stages lie on the single critical path, so they share its
+        // slack — the standard STA invariant.
+        for (e, s) in r.net_slack.iter().enumerate() {
+            assert!((s + 4.0).abs() < 1e-12, "net {e} slack {s}");
+        }
+    }
+
+    #[test]
+    fn derived_period_puts_critical_path_at_negative_slack() {
+        let (nl, p) = chain();
+        let r = analyze(&nl, &p, &TimingConfig::default());
+        assert!((r.clock_period - 0.9 * r.max_arrival).abs() < 1e-12);
+        assert!(r.wns < 0.0);
+    }
+
+    #[test]
+    fn weights_increase_with_criticality() {
+        let (nl, p) = chain();
+        let cfg = TimingConfig {
+            clock_period: Some(5.0),
+            ..TimingConfig::default()
+        };
+        let r = analyze(&nl, &p, &cfg);
+        let w: Vec<f64> = criticality_weights(&r, 4.0, 1.0);
+        assert_eq!(w.len(), 3);
+        // Later stages are more critical in a chain.
+        assert!(w[2] >= w[1] && w[1] >= w[0], "{w:?}");
+        assert!(w.iter().all(|&x| (1.0..=4.0).contains(&x)), "{w:?}");
+    }
+
+    #[test]
+    fn moving_cells_closer_improves_wns() {
+        let (nl, mut p) = chain();
+        let cfg = TimingConfig {
+            clock_period: Some(5.0),
+            ..TimingConfig::default()
+        };
+        let before = analyze(&nl, &p, &cfg).wns;
+        p.x = vec![0.0, 1.0, 2.0, 3.0];
+        let after = analyze(&nl, &p, &cfg).wns;
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn graph_is_acyclic_by_construction() {
+        // A net whose "driver" has a higher index contributes no edges.
+        let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+        let a = b.add_movable_cell(1.0, 1.0);
+        let c = b.add_movable_cell(1.0, 1.0);
+        b.add_net(1.0, vec![(c, 0.0, 0.0), (a, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let p = Placement::zeros(2);
+        let r = analyze(
+            &nl,
+            &p,
+            &TimingConfig {
+                clock_period: Some(10.0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.max_arrival, 0.0);
+        // Undirected nets get the neutral full-period slack.
+        assert_eq!(r.net_slack[0], 10.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Log-sum-exp (LSE) wirelength, the alternate smooth model.
+//!
+//! The paper notes (§III-A) that the framework also implements the classic
+//! LSE wirelength of Naylor et al.:
+//!
+//! `WL_e = gamma * (ln sum_i e^{x_i/gamma} + ln sum_i e^{-x_i/gamma})` per
+//! axis, with gradient given by the softmax weights. LSE *over*-estimates
+//! HPWL (WA underestimates), which the tests assert.
+
+use dp_autograd::{Gradient, Operator};
+use dp_netlist::{NetId, Netlist, Placement};
+use dp_num::{AtomicFloat, Float};
+
+use crate::parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
+
+/// The LSE wirelength operator (net-level parallel, fused backward).
+///
+/// # Examples
+///
+/// ```
+/// use dp_autograd::Operator;
+/// use dp_netlist::{NetlistBuilder, Placement};
+/// use dp_wirelength::LseWirelength;
+///
+/// # fn main() -> Result<(), dp_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+/// let a = b.add_movable_cell(1.0, 1.0);
+/// let c = b.add_movable_cell(1.0, 1.0);
+/// b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])?;
+/// let nl = b.build()?;
+/// let mut p = Placement::zeros(nl.num_cells());
+/// p.x[1] = 5.0;
+/// let mut op = LseWirelength::new(0.05);
+/// let cost = op.forward(&nl, &p);
+/// assert!(cost >= 5.0 && cost < 5.5); // LSE upper-bounds HPWL
+/// # Ok(())
+/// # }
+/// ```
+pub struct LseWirelength<T: Float> {
+    gamma: T,
+    num_threads: usize,
+    pin_x: Vec<T>,
+    pin_y: Vec<T>,
+}
+
+impl<T: Float> LseWirelength<T> {
+    /// Creates the operator with smoothing parameter `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly positive.
+    pub fn new(gamma: T) -> Self {
+        assert!(gamma > T::ZERO, "gamma must be positive");
+        Self {
+            gamma,
+            num_threads: 1,
+            pin_x: Vec::new(),
+            pin_y: Vec::new(),
+        }
+    }
+
+    /// Sets the worker thread count (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads.max(1);
+        self
+    }
+
+    /// The current smoothing parameter.
+    pub fn gamma(&self) -> T {
+        self.gamma
+    }
+
+    /// Updates the smoothing parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly positive.
+    pub fn set_gamma(&mut self, gamma: T) {
+        assert!(gamma > T::ZERO, "gamma must be positive");
+        self.gamma = gamma;
+    }
+
+    fn update_pin_positions(&mut self, nl: &Netlist<T>, p: &Placement<T>) {
+        let n = nl.num_pins();
+        self.pin_x.resize(n, T::ZERO);
+        self.pin_y.resize(n, T::ZERO);
+        for pin in 0..n {
+            let pid = dp_netlist::PinId::new(pin);
+            let cell = nl.pin_cell(pid).index();
+            let (dx, dy) = nl.pin_offset(pid);
+            self.pin_x[pin] = p.x[cell] + dx;
+            self.pin_y[pin] = p.y[cell] + dy;
+        }
+    }
+
+    /// One net / one axis: returns the LSE wirelength and optionally writes
+    /// per-pin gradients (softmax difference) into `out`.
+    fn net_lse(
+        coords: &[T],
+        pins: &[dp_netlist::PinId],
+        gamma: T,
+        weight: T,
+        out: Option<&DisjointSlice<'_, T>>,
+    ) -> T {
+        let mut hi = T::NEG_INFINITY;
+        let mut lo = T::INFINITY;
+        for &pin in pins {
+            let v = coords[pin.index()];
+            hi = hi.max(v);
+            lo = lo.min(v);
+        }
+        let mut sum_p = T::ZERO;
+        let mut sum_m = T::ZERO;
+        for &pin in pins {
+            let v = coords[pin.index()];
+            sum_p += ((v - hi) / gamma).exp();
+            sum_m += (-(v - lo) / gamma).exp();
+        }
+        if let Some(out) = out {
+            for &pin in pins {
+                let v = coords[pin.index()];
+                let sp = ((v - hi) / gamma).exp() / sum_p;
+                let sm = (-(v - lo) / gamma).exp() / sum_m;
+                // SAFETY: each pin belongs to exactly one net (caller
+                // partitions nets across workers).
+                unsafe { out.write(pin.index(), weight * (sp - sm)) };
+            }
+        }
+        // gamma*(ln sum e^{x/g} + ln sum e^{-x/g})
+        //  = gamma*(ln sum_p + hi/g + ln sum_m - lo/g)
+        gamma * (sum_p.ln() + sum_m.ln()) + (hi - lo)
+    }
+
+    fn run(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: Option<&mut Gradient<T>>) -> T {
+        self.update_pin_positions(nl, p);
+        let nets = nl.num_nets();
+        let pins = nl.num_pins();
+        let threads = self.num_threads;
+        let chunk = paper_chunk_size(nets, threads);
+        let gamma = self.gamma;
+        let total = <T as Float>::Atomic::new(T::ZERO);
+        let mut pin_gx = vec![T::ZERO; pins];
+        let mut pin_gy = vec![T::ZERO; pins];
+        let want_grad = grad.is_some();
+        {
+            let gx = DisjointSlice::new(&mut pin_gx);
+            let gy = DisjointSlice::new(&mut pin_gy);
+            let px = &self.pin_x;
+            let py = &self.pin_y;
+            parallel_for_chunks(nets, threads, chunk, |range| {
+                let mut local = T::ZERO;
+                for e in range {
+                    let net = NetId::new(e);
+                    let w = nl.net_weight(net);
+                    let net_pins = nl.net_pins(net);
+                    let ox = want_grad.then_some(&gx);
+                    let oy = want_grad.then_some(&gy);
+                    local += w * Self::net_lse(px, net_pins, gamma, w, ox);
+                    local += w * Self::net_lse(py, net_pins, gamma, w, oy);
+                }
+                total.fetch_add(local);
+            });
+        }
+        if let Some(grad) = grad {
+            let cells = nl.num_cells();
+            let chunk = paper_chunk_size(cells, threads);
+            let gx = DisjointSlice::new(&mut grad.x);
+            let gy = DisjointSlice::new(&mut grad.y);
+            parallel_for_chunks(cells, threads, chunk, |range| {
+                for c in range {
+                    let cid = dp_netlist::CellId::new(c);
+                    let mut ax = T::ZERO;
+                    let mut ay = T::ZERO;
+                    for &pin in nl.cell_pins(cid) {
+                        ax += pin_gx[pin.index()];
+                        ay += pin_gy[pin.index()];
+                    }
+                    // SAFETY: cell index `c` is unique to this chunk.
+                    unsafe {
+                        gx.write(c, gx.read(c) + ax);
+                        gy.write(c, gy.read(c) + ay);
+                    }
+                }
+            });
+        }
+        total.load()
+    }
+}
+
+impl<T: Float> Operator<T> for LseWirelength<T> {
+    fn name(&self) -> &'static str {
+        "lse-wirelength"
+    }
+
+    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
+        self.run(nl, p, None)
+    }
+
+    fn backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) {
+        let _ = self.run(nl, p, Some(grad));
+    }
+
+    fn forward_backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) -> T {
+        self.run(nl, p, Some(grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_autograd::check_gradient;
+    use dp_netlist::{hpwl, NetlistBuilder};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_design(seed: u64) -> (Netlist<f64>, Placement<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 50.0, 50.0);
+        let handles: Vec<_> = (0..12).map(|_| b.add_movable_cell(1.0, 1.0)).collect();
+        for _ in 0..20 {
+            let deg = rng.gen_range(2..5);
+            let pins = (0..deg)
+                .map(|_| (handles[rng.gen_range(0..12)], 0.0, 0.0))
+                .collect();
+            b.add_net(1.0, pins).expect("valid");
+        }
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        for i in 0..nl.num_cells() {
+            p.x[i] = rng.gen_range(0.0..50.0);
+            p.y[i] = rng.gen_range(0.0..50.0);
+        }
+        (nl, p)
+    }
+
+    #[test]
+    fn lse_upper_bounds_hpwl() {
+        let (nl, p) = random_design(3);
+        let exact = hpwl(&nl, &p).to_f64();
+        let mut op = LseWirelength::new(0.5);
+        let cost = op.forward(&nl, &p).to_f64();
+        assert!(
+            cost >= exact - 1e-9,
+            "LSE overestimates HPWL: {cost} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn lse_converges_to_hpwl() {
+        let (nl, p) = random_design(5);
+        let exact = hpwl(&nl, &p).to_f64();
+        let mut prev = f64::INFINITY;
+        for gamma in [2.0, 0.5, 0.1, 0.02] {
+            let mut op = LseWirelength::new(gamma);
+            let err = (op.forward(&nl, &p).to_f64() - exact).abs();
+            assert!(err <= prev + 1e-9);
+            prev = err;
+        }
+        assert!(prev / exact < 0.01);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (nl, p) = random_design(9);
+        let mut op = LseWirelength::new(0.8);
+        let report = check_gradient(&mut op, &nl, &p, &[], 1e-5);
+        assert!(report.within(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let (nl, p) = random_design(7);
+        let mut serial = LseWirelength::new(0.4);
+        let mut parallel = LseWirelength::new(0.4).with_threads(3);
+        let mut gs = dp_autograd::Gradient::zeros(nl.num_cells());
+        let mut gp = dp_autograd::Gradient::zeros(nl.num_cells());
+        let cs = serial.forward_backward(&nl, &p, &mut gs);
+        let cp = parallel.forward_backward(&nl, &p, &mut gp);
+        assert!((cs - cp).abs() < 1e-9 * cs.abs());
+        for i in 0..nl.num_cells() {
+            assert!((gs.x[i] - gp.x[i]).abs() < 1e-9);
+        }
+    }
+}

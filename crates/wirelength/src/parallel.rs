@@ -1,0 +1,6 @@
+//! Re-export of the shared parallel-chunk helpers.
+//!
+//! The dynamic-scheduling scheme lives in [`dp_num::parallel`] because the
+//! density kernels use it too; this alias keeps the original paths working.
+
+pub use dp_num::parallel::*;

@@ -1,0 +1,737 @@
+//! Weighted-average (WA) wirelength forward and backward.
+//!
+//! Implements paper Eq. (3) with the max/min exponent stabilization of
+//! §III-A and the analytic gradient Eq. (6), in the three parallelization
+//! strategies of Fig. 10. All strategies share the structure:
+//!
+//! 1. compute pin coordinates `p = cell_center + offset`;
+//! 2. per net and axis, the stabilized terms
+//!    `a_i^+ = exp((p_i - max_j p_j)/gamma)`,
+//!    `b^+ = sum a_i^+`, `c^+ = sum p_i a_i^+` (and the `-` mirror);
+//! 3. `WL_e = c^+/b^+ - c^-/b^-` per axis (forward) and Eq. (6) per pin
+//!    (backward), scattered to cells through the cell-pin CSR.
+
+use dp_autograd::{Gradient, Operator};
+use dp_netlist::{NetId, Netlist, Placement};
+use dp_num::{AtomicFloat, Float};
+
+use crate::parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
+
+/// Parallelization strategy for the WA kernels (paper Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaStrategy {
+    /// One worker per net; forward and backward are separate passes with
+    /// per-pin/per-net intermediates cached in between.
+    NetByNet,
+    /// Pin-level parallelism with atomic max/min/add scratch arrays
+    /// (paper Algorithm 1).
+    Atomic,
+    /// Net-level fused forward+backward without global intermediates
+    /// (paper Algorithm 2).
+    Merged,
+}
+
+impl std::fmt::Display for WaStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WaStrategy::NetByNet => "net-by-net",
+            WaStrategy::Atomic => "atomic",
+            WaStrategy::Merged => "merged",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-axis cached intermediates for the two-pass strategies.
+#[derive(Debug, Clone)]
+struct AxisCache<T> {
+    /// `a^+` per pin.
+    a_plus: Vec<T>,
+    /// `a^-` per pin.
+    a_minus: Vec<T>,
+    /// `b^+` per net.
+    b_plus: Vec<T>,
+    /// `b^-` per net.
+    b_minus: Vec<T>,
+    /// `c^+` per net.
+    c_plus: Vec<T>,
+    /// `c^-` per net.
+    c_minus: Vec<T>,
+}
+
+impl<T: Float> AxisCache<T> {
+    fn zeros(pins: usize, nets: usize) -> Self {
+        Self {
+            a_plus: vec![T::ZERO; pins],
+            a_minus: vec![T::ZERO; pins],
+            b_plus: vec![T::ZERO; nets],
+            b_minus: vec![T::ZERO; nets],
+            c_plus: vec![T::ZERO; nets],
+            c_minus: vec![T::ZERO; nets],
+        }
+    }
+}
+
+/// The WA wirelength operator.
+///
+/// See the [crate-level example](crate) for usage. `gamma` controls the
+/// smoothness/accuracy trade-off of the HPWL approximation and is rescheduled
+/// by the global placer every iteration.
+pub struct WaWirelength<T: Float> {
+    strategy: WaStrategy,
+    gamma: T,
+    num_threads: usize,
+    /// Pin coordinates refreshed at each forward.
+    pin_x: Vec<T>,
+    pin_y: Vec<T>,
+    cache: Option<(AxisCache<T>, AxisCache<T>)>,
+}
+
+impl<T: Float> WaWirelength<T> {
+    /// Creates the operator with the given strategy and smoothing `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly positive.
+    pub fn new(strategy: WaStrategy, gamma: T) -> Self {
+        assert!(gamma > T::ZERO, "gamma must be positive");
+        Self {
+            strategy,
+            gamma,
+            num_threads: 1,
+            pin_x: Vec::new(),
+            pin_y: Vec::new(),
+            cache: None,
+        }
+    }
+
+    /// Sets the worker thread count (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads.max(1);
+        self
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> WaStrategy {
+        self.strategy
+    }
+
+    /// The current smoothing parameter.
+    pub fn gamma(&self) -> T {
+        self.gamma
+    }
+
+    /// Updates the smoothing parameter (invalidates cached intermediates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly positive.
+    pub fn set_gamma(&mut self, gamma: T) {
+        assert!(gamma > T::ZERO, "gamma must be positive");
+        self.gamma = gamma;
+        self.cache = None;
+    }
+
+    /// Refreshes pin coordinates from cell centers.
+    fn update_pin_positions(&mut self, nl: &Netlist<T>, p: &Placement<T>) {
+        let n = nl.num_pins();
+        self.pin_x.resize(n, T::ZERO);
+        self.pin_y.resize(n, T::ZERO);
+        for pin in 0..n {
+            let pid = dp_netlist::PinId::new(pin);
+            let cell = nl.pin_cell(pid).index();
+            let (dx, dy) = nl.pin_offset(pid);
+            self.pin_x[pin] = p.x[cell] + dx;
+            self.pin_y[pin] = p.y[cell] + dy;
+        }
+    }
+
+    /// Serial WA wirelength of one net along one axis (stabilized).
+    #[inline]
+    fn net_wirelength(coords: &[T], pins: &[dp_netlist::PinId], gamma: T) -> T {
+        let mut hi = T::NEG_INFINITY;
+        let mut lo = T::INFINITY;
+        for &pin in pins {
+            let v = coords[pin.index()];
+            hi = hi.max(v);
+            lo = lo.min(v);
+        }
+        let mut b_plus = T::ZERO;
+        let mut b_minus = T::ZERO;
+        let mut c_plus = T::ZERO;
+        let mut c_minus = T::ZERO;
+        for &pin in pins {
+            let v = coords[pin.index()];
+            let ap = ((v - hi) / gamma).exp();
+            let am = (-(v - lo) / gamma).exp();
+            b_plus += ap;
+            b_minus += am;
+            c_plus += v * ap;
+            c_minus += v * am;
+        }
+        c_plus / b_plus - c_minus / b_minus
+    }
+
+    /// Gradient of one pin per Eq. (6), given the net's cached terms.
+    /// One parameter per symbol of Eq. (6), deliberately.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn pin_gradient(
+        v: T,
+        gamma: T,
+        a_plus: T,
+        a_minus: T,
+        b_plus: T,
+        b_minus: T,
+        c_plus: T,
+        c_minus: T,
+    ) -> T {
+        let inv_gamma = T::ONE / gamma;
+        let plus =
+            ((T::ONE + v * inv_gamma) * b_plus - inv_gamma * c_plus) / (b_plus * b_plus) * a_plus;
+        let minus = ((T::ONE - v * inv_gamma) * b_minus + inv_gamma * c_minus)
+            / (b_minus * b_minus)
+            * a_minus;
+        plus - minus
+    }
+
+    /// Forward pass of the net-by-net strategy for one axis, filling `cache`.
+    fn forward_axis_net_by_net(
+        &self,
+        nl: &Netlist<T>,
+        coords: &[T],
+        cache: &mut AxisCache<T>,
+    ) -> T {
+        let nets = nl.num_nets();
+        let chunk = paper_chunk_size(nets, self.num_threads);
+        let total = <T as Float>::Atomic::new(T::ZERO);
+        let gamma = self.gamma;
+        {
+            let a_plus = DisjointSlice::new(&mut cache.a_plus);
+            let a_minus = DisjointSlice::new(&mut cache.a_minus);
+            let b_plus = DisjointSlice::new(&mut cache.b_plus);
+            let b_minus = DisjointSlice::new(&mut cache.b_minus);
+            let c_plus = DisjointSlice::new(&mut cache.c_plus);
+            let c_minus = DisjointSlice::new(&mut cache.c_minus);
+            parallel_for_chunks(nets, self.num_threads, chunk, |range| {
+                let mut local = T::ZERO;
+                for e in range {
+                    let net = NetId::new(e);
+                    let pins = nl.net_pins(net);
+                    let mut hi = T::NEG_INFINITY;
+                    let mut lo = T::INFINITY;
+                    for &pin in pins {
+                        let v = coords[pin.index()];
+                        hi = hi.max(v);
+                        lo = lo.min(v);
+                    }
+                    let mut bp = T::ZERO;
+                    let mut bm = T::ZERO;
+                    let mut cp = T::ZERO;
+                    let mut cm = T::ZERO;
+                    for &pin in pins {
+                        let v = coords[pin.index()];
+                        let ap = ((v - hi) / gamma).exp();
+                        let am = (-(v - lo) / gamma).exp();
+                        // SAFETY: each pin belongs to exactly one net, and
+                        // nets are partitioned across chunks.
+                        unsafe {
+                            a_plus.write(pin.index(), ap);
+                            a_minus.write(pin.index(), am);
+                        }
+                        bp += ap;
+                        bm += am;
+                        cp += v * ap;
+                        cm += v * am;
+                    }
+                    // SAFETY: net index `e` is unique to this chunk.
+                    unsafe {
+                        b_plus.write(e, bp);
+                        b_minus.write(e, bm);
+                        c_plus.write(e, cp);
+                        c_minus.write(e, cm);
+                    }
+                    local += nl.net_weight(net) * (cp / bp - cm / bm);
+                }
+                total.fetch_add(local);
+            });
+        }
+        total.load()
+    }
+
+    /// Forward pass of the atomic strategy (paper Algorithm 1) for one axis.
+    fn forward_axis_atomic(&self, nl: &Netlist<T>, coords: &[T], cache: &mut AxisCache<T>) -> T {
+        let nets = nl.num_nets();
+        let pins = nl.num_pins();
+        let threads = self.num_threads;
+        let pin_chunk = paper_chunk_size(pins, threads);
+        let gamma = self.gamma;
+
+        // x+/x- kernel: atomic max/min per net.
+        let hi: Vec<T::Atomic> = (0..nets)
+            .map(|_| <T as Float>::Atomic::new(T::NEG_INFINITY))
+            .collect();
+        let lo: Vec<T::Atomic> = (0..nets)
+            .map(|_| <T as Float>::Atomic::new(T::INFINITY))
+            .collect();
+        parallel_for_chunks(pins, threads, pin_chunk, |range| {
+            for p in range {
+                let e = nl.pin_net(dp_netlist::PinId::new(p)).index();
+                hi[e].fetch_max(coords[p]);
+                lo[e].fetch_min(coords[p]);
+            }
+        });
+
+        // a+/a- kernel: per-pin stabilized exponentials.
+        {
+            let a_plus = DisjointSlice::new(&mut cache.a_plus);
+            let a_minus = DisjointSlice::new(&mut cache.a_minus);
+            parallel_for_chunks(pins, threads, pin_chunk, |range| {
+                for p in range {
+                    let e = nl.pin_net(dp_netlist::PinId::new(p)).index();
+                    let v = coords[p];
+                    // SAFETY: pin index `p` is unique to this chunk.
+                    unsafe {
+                        a_plus.write(p, ((v - hi[e].load()) / gamma).exp());
+                        a_minus.write(p, (-(v - lo[e].load()) / gamma).exp());
+                    }
+                }
+            });
+        }
+
+        // b and c kernels: atomic adds per net.
+        let bp: Vec<T::Atomic> = (0..nets)
+            .map(|_| <T as Float>::Atomic::new(T::ZERO))
+            .collect();
+        let bm: Vec<T::Atomic> = (0..nets)
+            .map(|_| <T as Float>::Atomic::new(T::ZERO))
+            .collect();
+        let a_plus_ref = &cache.a_plus;
+        let a_minus_ref = &cache.a_minus;
+        parallel_for_chunks(pins, threads, pin_chunk, |range| {
+            for p in range {
+                let e = nl.pin_net(dp_netlist::PinId::new(p)).index();
+                bp[e].fetch_add(a_plus_ref[p]);
+                bm[e].fetch_add(a_minus_ref[p]);
+            }
+        });
+        let cp: Vec<T::Atomic> = (0..nets)
+            .map(|_| <T as Float>::Atomic::new(T::ZERO))
+            .collect();
+        let cm: Vec<T::Atomic> = (0..nets)
+            .map(|_| <T as Float>::Atomic::new(T::ZERO))
+            .collect();
+        parallel_for_chunks(pins, threads, pin_chunk, |range| {
+            for p in range {
+                let e = nl.pin_net(dp_netlist::PinId::new(p)).index();
+                cp[e].fetch_add(coords[p] * a_plus_ref[p]);
+                cm[e].fetch_add(coords[p] * a_minus_ref[p]);
+            }
+        });
+
+        // WL kernel per net + reduction.
+        let net_chunk = paper_chunk_size(nets, threads);
+        let total = <T as Float>::Atomic::new(T::ZERO);
+        {
+            let b_plus = DisjointSlice::new(&mut cache.b_plus);
+            let b_minus = DisjointSlice::new(&mut cache.b_minus);
+            let c_plus = DisjointSlice::new(&mut cache.c_plus);
+            let c_minus = DisjointSlice::new(&mut cache.c_minus);
+            parallel_for_chunks(nets, threads, net_chunk, |range| {
+                let mut local = T::ZERO;
+                for e in range {
+                    let (vbp, vbm, vcp, vcm) =
+                        (bp[e].load(), bm[e].load(), cp[e].load(), cm[e].load());
+                    // SAFETY: net index `e` is unique to this chunk.
+                    unsafe {
+                        b_plus.write(e, vbp);
+                        b_minus.write(e, vbm);
+                        c_plus.write(e, vcp);
+                        c_minus.write(e, vcm);
+                    }
+                    local += nl.net_weight(NetId::new(e)) * (vcp / vbp - vcm / vbm);
+                }
+                total.fetch_add(local);
+            });
+        }
+        total.load()
+    }
+
+    /// Backward pass shared by net-by-net and atomic: per-pin Eq. (6) from
+    /// the cache, then CSR scatter to cells.
+    fn backward_from_cache(
+        &self,
+        nl: &Netlist<T>,
+        cache_x: &AxisCache<T>,
+        cache_y: &AxisCache<T>,
+        grad: &mut Gradient<T>,
+    ) {
+        let pins = nl.num_pins();
+        let threads = self.num_threads;
+        let chunk = paper_chunk_size(pins, threads);
+        let gamma = self.gamma;
+        let mut pin_gx = vec![T::ZERO; pins];
+        let mut pin_gy = vec![T::ZERO; pins];
+        {
+            let gx = DisjointSlice::new(&mut pin_gx);
+            let gy = DisjointSlice::new(&mut pin_gy);
+            let px = &self.pin_x;
+            let py = &self.pin_y;
+            parallel_for_chunks(pins, threads, chunk, |range| {
+                for p in range {
+                    let pid = dp_netlist::PinId::new(p);
+                    let e = nl.pin_net(pid).index();
+                    let w = nl.net_weight(NetId::new(e));
+                    let dx = Self::pin_gradient(
+                        px[p],
+                        gamma,
+                        cache_x.a_plus[p],
+                        cache_x.a_minus[p],
+                        cache_x.b_plus[e],
+                        cache_x.b_minus[e],
+                        cache_x.c_plus[e],
+                        cache_x.c_minus[e],
+                    );
+                    let dy = Self::pin_gradient(
+                        py[p],
+                        gamma,
+                        cache_y.a_plus[p],
+                        cache_y.a_minus[p],
+                        cache_y.b_plus[e],
+                        cache_y.b_minus[e],
+                        cache_y.c_plus[e],
+                        cache_y.c_minus[e],
+                    );
+                    // SAFETY: pin index `p` is unique to this chunk.
+                    unsafe {
+                        gx.write(p, w * dx);
+                        gy.write(p, w * dy);
+                    }
+                }
+            });
+        }
+        scatter_pin_grads_to_cells(nl, &pin_gx, &pin_gy, grad, threads);
+    }
+
+    /// Fused forward+backward of the merged strategy (paper Algorithm 2).
+    fn merged_forward_backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: &mut Gradient<T>,
+    ) -> T {
+        self.update_pin_positions(nl, p);
+        let nets = nl.num_nets();
+        let pins = nl.num_pins();
+        let threads = self.num_threads;
+        let chunk = paper_chunk_size(nets, threads);
+        let gamma = self.gamma;
+        let total = <T as Float>::Atomic::new(T::ZERO);
+        let mut pin_gx = vec![T::ZERO; pins];
+        let mut pin_gy = vec![T::ZERO; pins];
+        {
+            let gx = DisjointSlice::new(&mut pin_gx);
+            let gy = DisjointSlice::new(&mut pin_gy);
+            let px = &self.pin_x;
+            let py = &self.pin_y;
+            parallel_for_chunks(nets, threads, chunk, |range| {
+                let mut local = T::ZERO;
+                for e in range {
+                    let net = NetId::new(e);
+                    let w = nl.net_weight(net);
+                    let net_pins = nl.net_pins(net);
+                    for (coords, out) in [(px, &gx), (py, &gy)] {
+                        // Locals only — no global intermediates (Algorithm 2).
+                        let mut hi = T::NEG_INFINITY;
+                        let mut lo = T::INFINITY;
+                        for &pin in net_pins {
+                            let v = coords[pin.index()];
+                            hi = hi.max(v);
+                            lo = lo.min(v);
+                        }
+                        let mut bp = T::ZERO;
+                        let mut bm = T::ZERO;
+                        let mut cp = T::ZERO;
+                        let mut cm = T::ZERO;
+                        for &pin in net_pins {
+                            let v = coords[pin.index()];
+                            let ap = ((v - hi) / gamma).exp();
+                            let am = (-(v - lo) / gamma).exp();
+                            bp += ap;
+                            bm += am;
+                            cp += v * ap;
+                            cm += v * am;
+                        }
+                        local += w * (cp / bp - cm / bm);
+                        // Second pin pass: recompute a and emit gradients.
+                        for &pin in net_pins {
+                            let v = coords[pin.index()];
+                            let ap = ((v - hi) / gamma).exp();
+                            let am = (-(v - lo) / gamma).exp();
+                            let g = Self::pin_gradient(v, gamma, ap, am, bp, bm, cp, cm);
+                            // SAFETY: each pin belongs to exactly one net.
+                            unsafe { out.write(pin.index(), w * g) };
+                        }
+                    }
+                }
+                total.fetch_add(local);
+            });
+        }
+        scatter_pin_grads_to_cells(nl, &pin_gx, &pin_gy, grad, threads);
+        self.cache = None;
+        total.load()
+    }
+
+    /// Forward-only evaluation used by line search: cost without gradients,
+    /// and without touching caches for the merged strategy.
+    fn cost_only(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
+        self.update_pin_positions(nl, p);
+        let nets = nl.num_nets();
+        let chunk = paper_chunk_size(nets, self.num_threads);
+        let total = <T as Float>::Atomic::new(T::ZERO);
+        let gamma = self.gamma;
+        let px = &self.pin_x;
+        let py = &self.pin_y;
+        parallel_for_chunks(nets, self.num_threads, chunk, |range| {
+            let mut local = T::ZERO;
+            for e in range {
+                let net = NetId::new(e);
+                let w = nl.net_weight(net);
+                let pins = nl.net_pins(net);
+                for coords in [px, py] {
+                    local += w * Self::net_wirelength(coords, pins, gamma);
+                }
+            }
+            total.fetch_add(local);
+        });
+        total.load()
+    }
+}
+
+impl<T: Float> Operator<T> for WaWirelength<T> {
+    fn name(&self) -> &'static str {
+        "wa-wirelength"
+    }
+
+    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
+        match self.strategy {
+            WaStrategy::Merged => self.cost_only(nl, p),
+            WaStrategy::NetByNet | WaStrategy::Atomic => {
+                self.update_pin_positions(nl, p);
+                let pins = nl.num_pins();
+                let nets = nl.num_nets();
+                let mut cx = AxisCache::zeros(pins, nets);
+                let mut cy = AxisCache::zeros(pins, nets);
+                // Move the coordinate buffers out so the axis passes can
+                // borrow `self` immutably without aliasing them.
+                let px = std::mem::take(&mut self.pin_x);
+                let py = std::mem::take(&mut self.pin_y);
+                let cost = match self.strategy {
+                    WaStrategy::NetByNet => {
+                        self.forward_axis_net_by_net(nl, &px, &mut cx)
+                            + self.forward_axis_net_by_net(nl, &py, &mut cy)
+                    }
+                    _ => {
+                        self.forward_axis_atomic(nl, &px, &mut cx)
+                            + self.forward_axis_atomic(nl, &py, &mut cy)
+                    }
+                };
+                self.pin_x = px;
+                self.pin_y = py;
+                self.cache = Some((cx, cy));
+                cost
+            }
+        }
+    }
+
+    fn backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) {
+        match self.strategy {
+            WaStrategy::Merged => {
+                let mut scratch = Gradient::zeros(grad.len());
+                let _ = self.merged_forward_backward(nl, p, &mut scratch);
+                grad.axpy(T::ONE, &scratch);
+            }
+            _ => {
+                if self.cache.is_none() {
+                    let _ = self.forward(nl, p);
+                }
+                let (cx, cy) = self.cache.take().expect("cache populated by forward");
+                self.backward_from_cache(nl, &cx, &cy, grad);
+                self.cache = Some((cx, cy));
+            }
+        }
+    }
+
+    fn forward_backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) -> T {
+        match self.strategy {
+            WaStrategy::Merged => self.merged_forward_backward(nl, p, grad),
+            _ => {
+                let cost = self.forward(nl, p);
+                self.backward(nl, p, grad);
+                cost
+            }
+        }
+    }
+}
+
+/// Accumulates per-pin gradients into per-cell gradients through the
+/// cell-pin CSR (each cell's pins are disjoint from other cells').
+fn scatter_pin_grads_to_cells<T: Float>(
+    nl: &Netlist<T>,
+    pin_gx: &[T],
+    pin_gy: &[T],
+    grad: &mut Gradient<T>,
+    threads: usize,
+) {
+    let cells = nl.num_cells();
+    let chunk = paper_chunk_size(cells, threads);
+    let gx = DisjointSlice::new(&mut grad.x);
+    let gy = DisjointSlice::new(&mut grad.y);
+    parallel_for_chunks(cells, threads, chunk, |range| {
+        for c in range {
+            let cid = dp_netlist::CellId::new(c);
+            let mut ax = T::ZERO;
+            let mut ay = T::ZERO;
+            for &pin in nl.cell_pins(cid) {
+                ax += pin_gx[pin.index()];
+                ay += pin_gy[pin.index()];
+            }
+            // SAFETY: cell index `c` is unique to this chunk (single
+            // reader/writer per slot).
+            unsafe {
+                gx.write(c, gx.read(c) + ax);
+                gy.write(c, gy.read(c) + ay);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_autograd::check_gradient;
+    use dp_netlist::{hpwl, NetlistBuilder};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_design(seed: u64, cells: usize, nets: usize) -> (Netlist<f64>, Placement<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 100.0);
+        let handles: Vec<_> = (0..cells).map(|_| b.add_movable_cell(1.0, 2.0)).collect();
+        for _ in 0..nets {
+            let deg = rng.gen_range(2..=6.min(cells));
+            let mut pins = Vec::new();
+            for _ in 0..deg {
+                let c = handles[rng.gen_range(0..cells)];
+                pins.push((c, rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)));
+            }
+            b.add_net(rng.gen_range(0.5..2.0), pins).expect("valid net");
+        }
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        for i in 0..nl.num_cells() {
+            p.x[i] = rng.gen_range(0.0..100.0);
+            p.y[i] = rng.gen_range(0.0..100.0);
+        }
+        (nl, p)
+    }
+
+    #[test]
+    fn wa_approaches_hpwl_as_gamma_shrinks() {
+        let (nl, p) = random_design(7, 20, 30);
+        let exact = hpwl(&nl, &p).to_f64();
+        let mut prev_err = f64::INFINITY;
+        for gamma in [4.0, 1.0, 0.25, 0.05] {
+            let mut op = WaWirelength::new(WaStrategy::Merged, gamma);
+            let cost = op.forward(&nl, &p).to_f64();
+            let err = (cost - exact).abs();
+            assert!(err <= prev_err + 1e-9, "error must shrink with gamma");
+            prev_err = err;
+        }
+        assert!(prev_err / exact < 0.01, "gamma=0.05 should be within 1%");
+    }
+
+    #[test]
+    fn strategies_agree_on_cost_and_gradient() {
+        let (nl, p) = random_design(11, 25, 40);
+        let mut results = Vec::new();
+        for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+            let mut op = WaWirelength::new(strategy, 0.7);
+            let mut g = Gradient::zeros(nl.num_cells());
+            let cost = op.forward_backward(&nl, &p, &mut g);
+            results.push((cost, g));
+        }
+        let (c0, g0) = &results[0];
+        for (c, g) in &results[1..] {
+            assert!((c - c0).abs() < 1e-9 * c0.abs());
+            for i in 0..nl.num_cells() {
+                assert!((g.x[i] - g0.x[i]).abs() < 1e-9);
+                assert!((g.y[i] - g0.y[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let (nl, p) = random_design(13, 30, 50);
+        for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+            let mut serial = WaWirelength::new(strategy, 0.5);
+            let mut parallel = WaWirelength::new(strategy, 0.5).with_threads(4);
+            let mut gs = Gradient::zeros(nl.num_cells());
+            let mut gp = Gradient::zeros(nl.num_cells());
+            let cs = serial.forward_backward(&nl, &p, &mut gs);
+            let cp = parallel.forward_backward(&nl, &p, &mut gp);
+            assert!((cs - cp).abs() < 1e-9 * cs.abs(), "{strategy}");
+            for i in 0..nl.num_cells() {
+                assert!((gs.x[i] - gp.x[i]).abs() < 1e-9, "{strategy}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (nl, p) = random_design(17, 10, 15);
+        for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+            let mut op = WaWirelength::new(strategy, 1.0);
+            let report = check_gradient(&mut op, &nl, &p, &[], 1e-5);
+            assert!(report.within(1e-5), "{strategy}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn net_gradient_sums_to_zero() {
+        // WA is translation-invariant, so the gradient over one net's pins
+        // must sum to zero.
+        let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+        let cells: Vec<_> = (0..4).map(|_| b.add_movable_cell(1.0, 1.0)).collect();
+        b.add_net(1.0, cells.iter().map(|&c| (c, 0.0, 0.0)).collect())
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(4);
+        p.x = vec![1.0, 3.5, 2.0, 9.0];
+        p.y = vec![0.0, 4.0, 8.0, 2.0];
+        let mut op = WaWirelength::new(WaStrategy::Merged, 0.8);
+        let mut g = Gradient::zeros(4);
+        let _ = op.forward_backward(&nl, &p, &mut g);
+        let sx: f64 = g.x.iter().sum();
+        let sy: f64 = g.y.iter().sum();
+        assert!(sx.abs() < 1e-10 && sy.abs() < 1e-10);
+    }
+
+    #[test]
+    fn wa_lower_bounds_hpwl() {
+        let (nl, p) = random_design(23, 15, 25);
+        let exact = hpwl(&nl, &p).to_f64();
+        let mut op = WaWirelength::new(WaStrategy::NetByNet, 0.5);
+        let cost = op.forward(&nl, &p).to_f64();
+        assert!(
+            cost <= exact + 1e-9,
+            "WA underestimates HPWL: {cost} vs {exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn rejects_non_positive_gamma() {
+        let _ = WaWirelength::<f64>::new(WaStrategy::Merged, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the wirelength operators.
+
+use dp_autograd::{Gradient, Operator};
+use dp_netlist::{hpwl, Netlist, NetlistBuilder, Placement};
+use dp_wirelength::{LseWirelength, WaStrategy, WaWirelength};
+use proptest::prelude::*;
+
+/// A random netlist + placement strategy for proptest.
+fn arb_case() -> impl Strategy<Value = (u64, usize, usize, f64)> {
+    (0u64..10_000, 5usize..30, 5usize..40, 0.05f64..4.0)
+}
+
+fn build(seed: u64, cells: usize, nets: usize) -> (Netlist<f64>, Placement<f64>) {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(0.0, 0.0, 200.0, 200.0);
+    let handles: Vec<_> = (0..cells).map(|_| b.add_movable_cell(2.0, 4.0)).collect();
+    for _ in 0..nets {
+        let deg = rng.gen_range(2..=5.min(cells));
+        let mut pins = Vec::new();
+        for _ in 0..deg {
+            pins.push((
+                handles[rng.gen_range(0..cells)],
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-2.0..2.0),
+            ));
+        }
+        b.add_net(rng.gen_range(0.5..3.0), pins).expect("valid net");
+    }
+    let nl = b.build().expect("valid netlist");
+    let mut p = Placement::zeros(nl.num_cells());
+    for i in 0..nl.num_cells() {
+        p.x[i] = rng.gen_range(0.0..200.0);
+        p.y[i] = rng.gen_range(0.0..200.0);
+    }
+    (nl, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// WA under-approximates HPWL and LSE over-approximates it, for any
+    /// netlist, placement, and gamma.
+    #[test]
+    fn wa_and_lse_bracket_hpwl((seed, cells, nets, gamma) in arb_case()) {
+        let (nl, p) = build(seed, cells, nets);
+        let exact = hpwl(&nl, &p);
+        let wa = WaWirelength::new(WaStrategy::Merged, gamma).forward(&nl, &p);
+        let lse = LseWirelength::new(gamma).forward(&nl, &p);
+        prop_assert!(wa <= exact + 1e-9, "WA {wa} > HPWL {exact}");
+        prop_assert!(lse >= exact - 1e-9, "LSE {lse} < HPWL {exact}");
+    }
+
+    /// All three WA strategies agree on cost and gradient.
+    #[test]
+    fn strategies_agree((seed, cells, nets, gamma) in arb_case()) {
+        let (nl, p) = build(seed, cells, nets);
+        let mut results = Vec::new();
+        for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+            let mut op = WaWirelength::new(strategy, gamma);
+            let mut g = Gradient::zeros(nl.num_cells());
+            let cost = op.forward_backward(&nl, &p, &mut g);
+            results.push((cost, g));
+        }
+        let (c0, g0) = &results[0];
+        for (c, g) in &results[1..] {
+            prop_assert!((c - c0).abs() <= 1e-9 * c0.abs().max(1.0));
+            for i in 0..nl.num_cells() {
+                prop_assert!((g.x[i] - g0.x[i]).abs() < 1e-8);
+                prop_assert!((g.y[i] - g0.y[i]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// WA cost is translation-invariant, so gradients sum to ~zero.
+    #[test]
+    fn gradient_sums_to_zero((seed, cells, nets, gamma) in arb_case()) {
+        let (nl, p) = build(seed, cells, nets);
+        let mut op = WaWirelength::new(WaStrategy::Merged, gamma);
+        let mut g = Gradient::zeros(nl.num_cells());
+        let _ = op.forward_backward(&nl, &p, &mut g);
+        let sx: f64 = g.x.iter().sum();
+        let sy: f64 = g.y.iter().sum();
+        prop_assert!(sx.abs() < 1e-7, "{sx}");
+        prop_assert!(sy.abs() < 1e-7, "{sy}");
+    }
+
+    /// Shrinking gamma never makes the WA approximation worse.
+    #[test]
+    fn gamma_monotonicity((seed, cells, nets, _g) in arb_case()) {
+        let (nl, p) = build(seed, cells, nets);
+        let exact = hpwl(&nl, &p);
+        let mut prev_err = f64::INFINITY;
+        for gamma in [8.0, 2.0, 0.5, 0.1] {
+            let cost = WaWirelength::new(WaStrategy::Merged, gamma).forward(&nl, &p);
+            let err = (exact - cost).abs();
+            prop_assert!(err <= prev_err + 1e-9);
+            prev_err = err;
+        }
+    }
+
+    /// Cost is invariant under translation of the whole placement.
+    #[test]
+    fn translation_invariance((seed, cells, nets, gamma) in arb_case(), dx in -50.0f64..50.0) {
+        let (nl, p) = build(seed, cells, nets);
+        let mut op = WaWirelength::new(WaStrategy::Merged, gamma);
+        let base = op.forward(&nl, &p);
+        let mut q = p.clone();
+        for v in q.x.iter_mut() { *v += dx; }
+        for v in q.y.iter_mut() { *v -= dx / 2.0; }
+        let shifted = op.forward(&nl, &q);
+        prop_assert!((base - shifted).abs() < 1e-7 * base.abs().max(1.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Bookshelf interoperability: write a design to the contest file format,
+//! read it back, place it, and save the final `.pl`.
+//!
+//! Point the first argument at a real `.aux` file (e.g. an ISPD 2005
+//! download) to place an actual contest benchmark instead.
+//!
+//! ```text
+//! cargo run --release --example bookshelf_roundtrip [path/to/design.aux]
+//! ```
+
+use std::path::PathBuf;
+
+use dreamplace::bookshelf::{read_design, write_design};
+use dreamplace::gen::{GeneratedDesign, GeneratorConfig};
+use dreamplace::{DreamPlacer, FlowConfig, ToolMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let aux: PathBuf = match std::env::args().nth(1) {
+        Some(path) => path.into(),
+        None => {
+            // No input given: synthesize a design and write it first.
+            let dir = std::env::temp_dir().join("dreamplace-roundtrip");
+            let d = GeneratorConfig::new("rt", 2_000, 2_100)
+                .with_seed(3)
+                .generate::<f64>()?;
+            write_design(&dir, "rt", &d.netlist, &d.fixed_positions)?;
+            println!("wrote synthetic design to {}", dir.display());
+            dir.join("rt.aux")
+        }
+    };
+
+    println!("reading {}", aux.display());
+    let parsed = read_design::<f64>(&aux)?;
+    let stats = parsed.netlist.stats();
+    println!(
+        "loaded {}: {} cells ({} movable), {} nets, {} pins",
+        parsed.name, stats.num_cells, stats.num_movable, stats.num_nets, stats.num_pins
+    );
+
+    let design = GeneratedDesign {
+        name: parsed.name.clone(),
+        netlist: parsed.netlist,
+        fixed_positions: parsed.positions,
+    };
+    let config = FlowConfig::for_mode(ToolMode::DreamplaceGpuSim, &design.netlist);
+    let result = DreamPlacer::new(config).place(&design)?;
+    println!(
+        "placed: HPWL {:.4e} in {:.2}s",
+        result.hpwl_final, result.timing.total
+    );
+
+    let out = std::env::temp_dir().join("dreamplace-roundtrip-out");
+    write_design(
+        &out,
+        &format!("{}-placed", design.name),
+        &design.netlist,
+        &result.placement,
+    )?;
+    println!("final placement written to {}", out.display());
+    Ok(())
+}

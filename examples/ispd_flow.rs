@@ -1,0 +1,58 @@
+//! ISPD 2005-style comparison: the RePlAce baseline versus DREAMPlace on a
+//! scaled contest design, printed like a row of paper Table II.
+//!
+//! ```text
+//! cargo run --release --example ispd_flow [design-name] [scale-divisor]
+//! ```
+//!
+//! `design-name` is one of adaptec1..4 / bigblue1..4 (default adaptec1);
+//! `scale-divisor` shrinks the paper-size design (default 64).
+
+use dreamplace::gen::ispd2005_suite;
+use dreamplace::{DreamPlacer, FlowConfig, ToolMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "adaptec1".into());
+    let scale: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(64);
+
+    let preset = ispd2005_suite()
+        .into_iter()
+        .find(|p| p.config.name == name)
+        .ok_or_else(|| format!("unknown design {name}; try adaptec1..4 or bigblue1..4"))?
+        .scaled_down(scale);
+    println!(
+        "== {} at 1/{scale} scale: {} cells, {} nets ==",
+        name, preset.config.num_cells, preset.config.num_nets
+    );
+    let design = preset.config.generate::<f64>()?;
+
+    println!(
+        "\n{:<22} {:>12} {:>8} {:>8} {:>8} {:>9}",
+        "tool", "HPWL", "GP(s)", "LG(s)", "DP(s)", "total(s)"
+    );
+    let mut baseline_hpwl = None;
+    for mode in [
+        ToolMode::ReplaceBaseline { threads: 1 },
+        ToolMode::DreamplaceCpu { threads: 1 },
+        ToolMode::DreamplaceGpuSim,
+    ] {
+        let config = FlowConfig::for_mode(mode, &design.netlist);
+        let r = DreamPlacer::new(config).place(&design)?;
+        let quality = baseline_hpwl.get_or_insert(r.hpwl_final).to_owned();
+        println!(
+            "{:<22} {:>12.4e} {:>8.2} {:>8.2} {:>8.2} {:>9.2}   ({:+.2}% vs baseline)",
+            mode.label(),
+            r.hpwl_final,
+            r.timing.gp,
+            r.timing.lg,
+            r.timing.dp,
+            r.timing.total,
+            100.0 * (r.hpwl_final - quality) / quality,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Routability-driven placement on a DAC 2012-style design (paper §III-F,
+//! Table V): cell inflation driven by the global router, reporting sHPWL
+//! and RC.
+//!
+//! ```text
+//! cargo run --release --example routability [design-name] [scale-divisor]
+//! ```
+
+use dreamplace::gen::dac2012_suite;
+use dreamplace::route::RouterConfig;
+use dreamplace::{RoutabilityConfig, RoutabilityPlacer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "superblue19".into());
+    let scale: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(128);
+
+    let preset = dac2012_suite()
+        .into_iter()
+        .find(|p| p.config.name == name)
+        .ok_or_else(|| format!("unknown design {name}; try superblue2/3/6/7/9/11/12/14/16/19"))?
+        .scaled_down(scale);
+    let hints = preset
+        .routing
+        .expect("DAC 2012 presets carry routing hints");
+    println!(
+        "== {} at 1/{scale}: {} cells | {} layers, cap {}/{} per tile ==",
+        name, preset.config.num_cells, hints.num_layers, hints.capacity_h, hints.capacity_v
+    );
+    let design = preset.config.generate::<f64>()?;
+
+    // Aggregate same-direction layers into the router's two capacities and
+    // size the routing grid from the hint's tile pitch.
+    let h_layers = (hints.num_layers + 1) / 2;
+    let v_layers = hints.num_layers / 2;
+    let region = design.netlist.region();
+    let tiles = ((region.width() / (hints.tile_sites as f64)).round() as usize).clamp(8, 64);
+    let router = RouterConfig {
+        gx: tiles,
+        gy: tiles,
+        cap_h: (hints.capacity_h * h_layers) as u32,
+        cap_v: (hints.capacity_v * v_layers) as u32,
+        reroute_passes: 2,
+        maze_passes: 1,
+    };
+
+    let config = RoutabilityConfig::auto(&design.netlist, router);
+    let result = RoutabilityPlacer::new(config).place(&design)?;
+
+    println!("\nsHPWL  {:.4e}", result.shpwl);
+    println!("HPWL   {:.4e}", result.hpwl);
+    println!("RC     {:.2}", result.rc);
+    println!(
+        "inflation: {} rounds, +{:.2}% cell area",
+        result.inflation_rounds,
+        100.0 * result.inflation_area_frac
+    );
+    println!(
+        "runtime: NL {:.2}s | GR {:.2}s | LG {:.2}s | DP {:.2}s",
+        result.nl_time, result.gr_time, result.lg_time, result.dp_time
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Solver comparison (paper Table IV): Nesterov with Lipschitz line search
+//! versus the "toolkit native" solvers Adam and SGD-with-momentum, which
+//! need a hand-tuned learning-rate decay instead.
+//!
+//! ```text
+//! cargo run --release --example solver_zoo [num_cells]
+//! ```
+
+use dp_gp::SolverKind;
+use dreamplace::gen::GeneratorConfig;
+use dreamplace::{DreamPlacer, FlowConfig, ToolMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_cells: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(4_000);
+    let design = GeneratorConfig::new("solver-zoo", num_cells, num_cells + num_cells / 20)
+        .with_seed(7)
+        .generate::<f64>()?;
+
+    // Learning rates in layout units: half a bin, like the paper's tuned
+    // per-design decays.
+    let bins = dp_gp::GpConfig::<f64>::auto_bins(design.netlist.num_movable());
+    let bin = design.netlist.region().width() / bins as f64;
+
+    println!(
+        "{:<18} {:>12} {:>8} {:>8} {:>10}",
+        "solver", "HPWL", "GP(s)", "iters", "LR decay"
+    );
+    for (solver, decay_note) in [
+        (SolverKind::Nesterov, "-".to_string()),
+        (
+            SolverKind::Adam {
+                lr: bin,
+                decay: 0.998,
+            },
+            "0.998".to_string(),
+        ),
+        (
+            SolverKind::SgdMomentum {
+                lr: bin,
+                decay: 0.9995,
+            },
+            "0.9995".to_string(),
+        ),
+        (SolverKind::ConjugateGradient, "-".to_string()),
+    ] {
+        let mut config = FlowConfig::for_mode(ToolMode::DreamplaceGpuSim, &design.netlist);
+        config.gp.solver = solver;
+        let r = DreamPlacer::new(config).place(&design)?;
+        let label = match solver {
+            SolverKind::Nesterov => "Nesterov",
+            SolverKind::Adam { .. } => "Adam",
+            SolverKind::SgdMomentum { .. } => "SGD momentum",
+            SolverKind::ConjugateGradient => "Conj. gradient",
+        };
+        println!(
+            "{:<18} {:>12.4e} {:>8.2} {:>8} {:>10}",
+            label, r.hpwl_final, r.timing.gp, r.gp.iterations, decay_note
+        );
+    }
+    Ok(())
+}

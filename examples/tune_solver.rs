@@ -1,0 +1,42 @@
+use dp_gp::SolverKind;
+use dreamplace::gen::GeneratorConfig;
+use dreamplace::{DreamPlacer, FlowConfig, ToolMode};
+fn main() {
+    let d = GeneratorConfig::new("tune", 3300, 3453)
+        .with_seed(101)
+        .with_macros(4, 0.08)
+        .with_utilization(0.7)
+        .generate::<f64>()
+        .unwrap();
+    let bins = dp_gp::GpConfig::<f64>::auto_bins(d.netlist.num_movable());
+    let bin = d.netlist.region().width() / bins as f64;
+    let mut run = |label: &str, solver: SolverKind| {
+        let mut cfg = FlowConfig::for_mode(ToolMode::DreamplaceGpuSim, &d.netlist);
+        cfg.gp.solver = solver;
+        cfg.run_dp = false;
+        let r = DreamPlacer::new(cfg).place(&d).unwrap();
+        println!(
+            "{label:<22} hpwl {:.4e} gp {:.1}s iters {} ovf {:.3}",
+            r.hpwl_final, r.timing.gp, r.gp.iterations, r.gp.final_overflow
+        );
+    };
+    run("nesterov", SolverKind::Nesterov);
+    for (lr, dec) in [(0.5, 0.995), (1.0, 0.998), (2.0, 0.999)] {
+        run(
+            &format!("adam lr{lr} d{dec}"),
+            SolverKind::Adam {
+                lr: bin * lr,
+                decay: dec,
+            },
+        );
+    }
+    for (lr, dec) in [(0.3, 0.998), (0.5, 0.999), (1.0, 0.9995)] {
+        run(
+            &format!("sgd lr{lr} d{dec}"),
+            SolverKind::SgdMomentum {
+                lr: bin * lr,
+                decay: dec,
+            },
+        );
+    }
+}

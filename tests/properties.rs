@@ -1,0 +1,83 @@
+//! Property-based integration tests over randomly generated designs.
+
+use dp_gp::initial_placement;
+use dp_lg::{check_legal, Legalizer};
+use dreamplace::gen::GeneratorConfig;
+use dreamplace::netlist::hpwl;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Legalization always yields a legal placement with bounded
+    /// displacement, from any noise level, for any design shape.
+    #[test]
+    fn legalizer_always_legalizes(
+        seed in 0u64..1000,
+        cells in 50usize..250,
+        noise in 0.005f64..0.3,
+        util in 0.3f64..0.8,
+    ) {
+        let d = GeneratorConfig::new("prop-lg", cells, cells + cells / 8)
+            .with_seed(seed)
+            .with_utilization(util)
+            .generate::<f64>()
+            .expect("valid");
+        let mut p = initial_placement(&d.netlist, &d.fixed_positions, noise, seed ^ 0xabc);
+        let stats = Legalizer::new().legalize(&d.netlist, &mut p).expect("fits");
+        let report = check_legal(&d.netlist, &p);
+        prop_assert!(report.is_legal(), "{report:?}");
+        let diag = d.netlist.region().width() + d.netlist.region().height();
+        prop_assert!(stats.max_displacement <= diag, "unbounded displacement");
+    }
+
+    /// The detailed placer never increases HPWL and never breaks legality.
+    #[test]
+    fn detailed_placement_is_safe(
+        seed in 0u64..1000,
+        cells in 50usize..200,
+    ) {
+        let d = GeneratorConfig::new("prop-dp", cells, cells + cells / 8)
+            .with_seed(seed)
+            .with_utilization(0.5)
+            .generate::<f64>()
+            .expect("valid");
+        let mut p = initial_placement(&d.netlist, &d.fixed_positions, 0.1, seed);
+        Legalizer::new().legalize(&d.netlist, &mut p).expect("fits");
+        let before = hpwl(&d.netlist, &p);
+        let stats = dp_dplace::DetailedPlacer::new().run(&d.netlist, &mut p);
+        prop_assert!(stats.final_hpwl <= before + 1e-9);
+        prop_assert!(check_legal(&d.netlist, &p).is_legal());
+    }
+
+    /// Generated designs are structurally sound: CSR is consistent and
+    /// HPWL is translation-invariant.
+    #[test]
+    fn generated_designs_are_sound(
+        seed in 0u64..1000,
+        cells in 30usize..300,
+    ) {
+        let d = GeneratorConfig::new("prop-gen", cells, cells + 20)
+            .with_seed(seed)
+            .generate::<f64>()
+            .expect("valid");
+        let nl = &d.netlist;
+        // Every pin belongs to exactly one net and one cell (CSR audit).
+        let mut pin_seen = vec![0usize; nl.num_pins()];
+        for net in nl.nets() {
+            for &pin in nl.net_pins(net) {
+                pin_seen[pin.index()] += 1;
+                prop_assert_eq!(nl.pin_net(pin), net);
+            }
+        }
+        prop_assert!(pin_seen.iter().all(|&c| c == 1));
+
+        // HPWL translation invariance at a random placement.
+        let mut p = initial_placement(nl, &d.fixed_positions, 0.2, seed);
+        let h0 = hpwl(nl, &p);
+        for v in p.x.iter_mut() { *v += 17.0; }
+        for v in p.y.iter_mut() { *v -= 4.5; }
+        let h1 = hpwl(nl, &p);
+        prop_assert!((h0 - h1).abs() < 1e-6 * h0.max(1.0));
+    }
+}
