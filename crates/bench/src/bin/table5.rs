@@ -27,7 +27,7 @@ fn run(
     design: &dp_gen::GeneratedDesign<f32>,
     hints: dp_gen::RoutingHints,
 ) -> dreamplace_core::RoutabilityResult<f32> {
-    let h_layers = (hints.num_layers + 1) / 2;
+    let h_layers = hints.num_layers.div_ceil(2);
     let v_layers = hints.num_layers / 2;
     let region = design.netlist.region();
     let tiles = ((region.width() as f64 / hints.tile_sites as f64).round() as usize).clamp(8, 48);

@@ -131,8 +131,16 @@ pub fn read_design<T: Float>(aux_path: &Path) -> Result<BookshelfDesign<T>, Pars
     let nodes_path = get("nodes")?;
     let mut node_names: Vec<String> = Vec::new();
     let mut node_dims: Vec<(f64, f64, bool)> = Vec::new();
+    let mut declared_nodes: Option<(usize, usize)> = None; // (count, header line)
     for (ln, line) in content_lines(&nodes_path)? {
-        if line.starts_with("NumNodes") || line.starts_with("NumTerminals") {
+        if let Some(v) = header_value(&line, "NumNodes") {
+            let n = v
+                .parse()
+                .map_err(|_| malformed(&nodes_path, ln, "bad NumNodes"))?;
+            declared_nodes = Some((n, ln));
+            continue;
+        }
+        if line.starts_with("NumTerminals") {
             continue;
         }
         let tok: Vec<&str> = line.split_whitespace().collect();
@@ -152,6 +160,19 @@ pub fn read_design<T: Float>(aux_path: &Path) -> Result<BookshelfDesign<T>, Pars
         let fixed = tok.get(3).is_some_and(|t| t.starts_with("terminal"));
         node_names.push(tok[0].to_string());
         node_dims.push((w, h, fixed));
+    }
+    if let Some((n, ln)) = declared_nodes {
+        if n != node_names.len() {
+            return Err(malformed(
+                &nodes_path,
+                ln,
+                format!(
+                    "NumNodes declares {n} nodes but the file defines {} \
+                     (truncated or duplicated entries?)",
+                    node_names.len()
+                ),
+            ));
+        }
     }
 
     // --- .scl --------------------------------------------------------
@@ -237,13 +258,15 @@ pub fn read_design<T: Float>(aux_path: &Path) -> Result<BookshelfDesign<T>, Pars
     let mut weights: HashMap<String, f64> = HashMap::new();
     if let Some(wts_path) = files.get("wts") {
         if wts_path.exists() {
-            for (_, line) in content_lines(wts_path)? {
+            for (ln, line) in content_lines(wts_path)? {
                 let tok: Vec<&str> = line.split_whitespace().collect();
-                if tok.len() == 2 {
-                    if let Ok(w) = tok[1].parse::<f64>() {
-                        weights.insert(tok[0].to_string(), w);
-                    }
+                if tok.len() != 2 {
+                    return Err(malformed(wts_path, ln, "expected: net_name weight"));
                 }
+                let w = tok[1]
+                    .parse::<f64>()
+                    .map_err(|_| malformed(wts_path, ln, "bad weight"))?;
+                weights.insert(tok[0].to_string(), w);
             }
         }
     }
@@ -252,10 +275,25 @@ pub fn read_design<T: Float>(aux_path: &Path) -> Result<BookshelfDesign<T>, Pars
     let nets_path = get("nets")?;
     let lines = content_lines(&nets_path)?;
     let mut idx = 0usize;
+    let mut declared_nets: Option<(usize, usize)> = None; // (count, header line)
+    let mut declared_pins: Option<(usize, usize)> = None;
+    let mut parsed_nets = 0usize;
+    let mut parsed_pins = 0usize;
     while idx < lines.len() {
         let (ln, line) = &lines[idx];
         idx += 1;
-        if line.starts_with("NumNets") || line.starts_with("NumPins") {
+        if let Some(v) = header_value(line, "NumNets") {
+            let n = v
+                .parse()
+                .map_err(|_| malformed(&nets_path, *ln, "bad NumNets"))?;
+            declared_nets = Some((n, *ln));
+            continue;
+        }
+        if let Some(v) = header_value(line, "NumPins") {
+            let n = v
+                .parse()
+                .map_err(|_| malformed(&nets_path, *ln, "bad NumPins"))?;
+            declared_pins = Some((n, *ln));
             continue;
         }
         let Some(deg_str) = header_value(line, "NetDegree") else {
@@ -296,9 +334,29 @@ pub fn read_design<T: Float>(aux_path: &Path) -> Result<BookshelfDesign<T>, Pars
             pins.push((cell, T::from_f64(dx), T::from_f64(dy)));
         }
         let weight = weights.get(&net_name).copied().unwrap_or(1.0);
+        parsed_nets += 1;
+        parsed_pins += degree;
         builder
             .add_net(T::from_f64(weight), pins)
-            .expect("degenerate nets are allowed");
+            .map_err(|e| malformed(&nets_path, *ln, e.to_string()))?;
+    }
+    if let Some((n, ln)) = declared_nets {
+        if n != parsed_nets {
+            return Err(malformed(
+                &nets_path,
+                ln,
+                format!("NumNets declares {n} nets but the file defines {parsed_nets}"),
+            ));
+        }
+    }
+    if let Some((n, ln)) = declared_pins {
+        if n != parsed_pins {
+            return Err(malformed(
+                &nets_path,
+                ln,
+                format!("NumPins declares {n} pins but the file defines {parsed_pins}"),
+            ));
+        }
     }
 
     let netlist = builder
@@ -322,9 +380,18 @@ pub fn read_design<T: Float>(aux_path: &Path) -> Result<BookshelfDesign<T>, Pars
             mov_idx += 1;
             id
         };
-        if let Some(&(x, y, _)) = pl.get(name2.as_str()) {
-            positions.x[id] = T::from_f64(x + w / 2.0);
-            positions.y[id] = T::from_f64(y + h / 2.0);
+        match pl.get(name2.as_str()) {
+            Some(&(x, y, _)) => {
+                positions.x[id] = T::from_f64(x + w / 2.0);
+                positions.y[id] = T::from_f64(y + h / 2.0);
+            }
+            None => {
+                return Err(malformed(
+                    &pl_path,
+                    0,
+                    format!("node {name2} has no entry in the .pl file"),
+                ));
+            }
         }
     }
 
@@ -403,10 +470,15 @@ fn parse_scl<T: Float>(path: &Path) -> Result<Option<RowGrid<T>>, ParseBookshelf
                 .split_whitespace()
                 .filter_map(|t| t.parse::<f64>().ok())
                 .collect();
-            if nums.len() >= 2 {
-                cur_origin = nums[0];
-                cur_sites = nums[1] as usize;
+            if nums.len() < 2 {
+                return Err(malformed(
+                    path,
+                    ln,
+                    "expected: SubrowOrigin : x NumSites : n",
+                ));
             }
+            cur_origin = nums[0];
+            cur_sites = nums[1] as usize;
         } else if line == "End" {
             if let Some(y) = cur_y.take() {
                 rows.push(Row {
@@ -427,6 +499,7 @@ fn parse_scl<T: Float>(path: &Path) -> Result<Option<RowGrid<T>>, ParseBookshelf
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::writer::write_design;
@@ -516,9 +589,123 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
     }
+
+    /// Writes a minimal valid design, applies `mutate` to one file, and
+    /// returns the parse result.
+    fn corrupted(
+        tag: &str,
+        file: &str,
+        content: &str,
+    ) -> Result<BookshelfDesign<f64>, ParseBookshelfError> {
+        let dir = std::env::temp_dir().join(format!("dp-bookshelf-corrupt-{tag}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join("d.aux"),
+            "RowBasedPlacement : d.nodes d.nets d.pl",
+        )
+        .expect("write");
+        std::fs::write(
+            dir.join("d.nodes"),
+            "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\no0 2 2\no1 2 2\n",
+        )
+        .expect("write");
+        std::fs::write(
+            dir.join("d.nets"),
+            "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\no0 I : 0 0\no1 O : 0 0\n",
+        )
+        .expect("write");
+        std::fs::write(dir.join("d.pl"), "UCLA pl 1.0\no0 0 0 : N\no1 4 4 : N\n").expect("write");
+        std::fs::write(dir.join(file), content).expect("write");
+        read_design::<f64>(&dir.join("d.aux"))
+    }
+
+    fn expect_malformed(
+        result: Result<BookshelfDesign<f64>, ParseBookshelfError>,
+        expect_line: usize,
+        expect_msg: &str,
+    ) {
+        match result.unwrap_err() {
+            ParseBookshelfError::Malformed { line, message, .. } => {
+                assert_eq!(line, expect_line, "{message}");
+                assert!(message.contains(expect_msg), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn baseline_fixture_parses() {
+        let d = corrupted("baseline", "d.aux", "RowBasedPlacement : d.nodes d.nets d.pl")
+            .expect("valid fixture");
+        assert_eq!(d.netlist.num_cells(), 2);
+        assert_eq!(d.netlist.num_nets(), 1);
+    }
+
+    #[test]
+    fn truncated_nodes_count_is_reported() {
+        let r = corrupted(
+            "nodecount",
+            "d.nodes",
+            "UCLA nodes 1.0\nNumNodes : 3\no0 2 2\no1 2 2\n",
+        );
+        expect_malformed(r, 2, "NumNodes declares 3");
+    }
+
+    #[test]
+    fn truncated_net_is_reported() {
+        let r = corrupted(
+            "nettrunc",
+            "d.nets",
+            "UCLA nets 1.0\nNumNets : 1\nNetDegree : 2 n0\no0 I : 0 0\n",
+        );
+        expect_malformed(r, 3, "net truncated");
+    }
+
+    #[test]
+    fn net_count_mismatch_is_reported() {
+        let r = corrupted(
+            "netcount",
+            "d.nets",
+            "UCLA nets 1.0\nNumNets : 2\nNetDegree : 2 n0\no0 I : 0 0\no1 O : 0 0\n",
+        );
+        expect_malformed(r, 2, "NumNets declares 2");
+    }
+
+    #[test]
+    fn pin_count_mismatch_is_reported() {
+        let r = corrupted(
+            "pincount",
+            "d.nets",
+            "UCLA nets 1.0\nNumPins : 5\nNetDegree : 2 n0\no0 I : 0 0\no1 O : 0 0\n",
+        );
+        expect_malformed(r, 2, "NumPins declares 5");
+    }
+
+    #[test]
+    fn unknown_node_in_net_is_reported() {
+        let r = corrupted(
+            "unknownnode",
+            "d.nets",
+            "UCLA nets 1.0\nNetDegree : 2 n0\noX I : 0 0\no1 O : 0 0\n",
+        );
+        expect_malformed(r, 3, "unknown node oX");
+    }
+
+    #[test]
+    fn bad_pl_coordinate_is_reported() {
+        let r = corrupted("badpl", "d.pl", "UCLA pl 1.0\no0 zero 0 : N\no1 4 4 : N\n");
+        expect_malformed(r, 2, "bad x");
+    }
+
+    #[test]
+    fn node_missing_from_pl_is_reported() {
+        let r = corrupted("missingpl", "d.pl", "UCLA pl 1.0\no0 0 0 : N\n");
+        expect_malformed(r, 0, "o1 has no entry");
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod route_tests {
     use super::*;
     use crate::writer::{write_design, write_route_file};

@@ -168,6 +168,7 @@ pub fn write_route_file(dir: &Path, name: &str, hints: &RoutingHints) -> std::io
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;

@@ -6,18 +6,21 @@ use std::time::Instant;
 
 use dp_dplace::{DetailedPlacer, DpStats};
 use dp_gen::GeneratedDesign;
-use dp_gp::{GlobalPlacer, GpConfig, GpError, GpStats};
+use dp_gp::{
+    DivergenceCause, GlobalPlacer, GpConfig, GpError, GpResult, GpStats, GpTiming, SolverKind,
+    WirelengthModel,
+};
 use dp_lg::{check_legal, Legalizer, LgError, LgStats};
-use dp_netlist::{hpwl, Placement};
+use dp_netlist::{hpwl, Netlist, Placement};
 use dp_num::Float;
 
 use crate::modes::ToolMode;
 
 /// Error raised by the full flow.
 #[derive(Debug)]
-pub enum FlowError {
+pub enum FlowError<T> {
     /// Global placement failed.
-    Gp(GpError),
+    Gp(GpError<T>),
     /// Legalization failed.
     Lg(LgError),
     /// The legalized placement failed the legality audit.
@@ -29,7 +32,7 @@ pub enum FlowError {
     Io(std::io::Error),
 }
 
-impl fmt::Display for FlowError {
+impl<T> fmt::Display for FlowError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Gp(e) => write!(f, "global placement failed: {e}"),
@@ -42,24 +45,44 @@ impl fmt::Display for FlowError {
     }
 }
 
-impl Error for FlowError {}
+impl<T: fmt::Debug> Error for FlowError<T> {}
 
-impl From<GpError> for FlowError {
-    fn from(e: GpError) -> Self {
+impl<T> From<GpError<T>> for FlowError<T> {
+    fn from(e: GpError<T>) -> Self {
         FlowError::Gp(e)
     }
 }
 
-impl From<LgError> for FlowError {
+impl<T> From<LgError> for FlowError<T> {
     fn from(e: LgError) -> Self {
         FlowError::Lg(e)
     }
 }
 
-impl From<std::io::Error> for FlowError {
+impl<T> From<std::io::Error> for FlowError<T> {
     fn from(e: std::io::Error) -> Self {
         FlowError::Io(e)
     }
+}
+
+/// How the flow coped with an unrecoverable global placement divergence
+/// (recorded in [`FlowResult::gp_fallback`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpFallback {
+    /// The configured run diverged; the conservative preset (Adam + LSE
+    /// with paper-default schedulers) completed instead.
+    ConservativePreset {
+        /// What tripped the primary run's detector.
+        cause: DivergenceCause,
+    },
+    /// Both the configured run and the conservative preset diverged; the
+    /// flow continued from the best-so-far placement.
+    BestSoFar {
+        /// What tripped the last detector.
+        cause: DivergenceCause,
+        /// Recovery rollbacks attempted across the failed runs.
+        recoveries: usize,
+    },
 }
 
 /// Wall-clock seconds per flow phase (the columns of Tables II/III).
@@ -96,6 +119,10 @@ pub struct FlowResult<T> {
     pub dp: Option<DpStats>,
     /// Phase timing.
     pub timing: FlowTiming,
+    /// `Some` when global placement diverged and the flow degraded
+    /// gracefully instead of failing (see [`GpFallback`]). In-run
+    /// rollbacks that recovered are in [`GpStats::recovery_events`].
+    pub gp_fallback: Option<GpFallback>,
 }
 
 /// Flow configuration.
@@ -114,6 +141,10 @@ pub struct FlowConfig<T> {
     /// Round-trip the design through Bookshelf files to measure IO (the
     /// paper's IO column). Uses a per-design temp directory.
     pub io_roundtrip: bool,
+    /// On unrecoverable GP divergence, retry with a conservative preset
+    /// (and, failing that, continue from the best-so-far placement)
+    /// instead of returning an error.
+    pub gp_fallback: bool,
 }
 
 impl<T: Float> FlowConfig<T> {
@@ -126,6 +157,7 @@ impl<T: Float> FlowConfig<T> {
             dp: DetailedPlacer::new(),
             batched_dp_threads: None,
             io_roundtrip: false,
+            gp_fallback: true,
         }
     }
 }
@@ -148,10 +180,18 @@ impl<T: Float> DreamPlacer<T> {
 
     /// Runs the full flow on a design.
     ///
+    /// When [`FlowConfig::gp_fallback`] is set (the default) an
+    /// unrecoverable global placement divergence degrades gracefully:
+    /// first a conservative preset (Adam + LSE wirelength with the paper's
+    /// default scheduler knobs) is tried from the best placement of the
+    /// failed run, and if that also diverges the flow continues into
+    /// legalization from the best-so-far placement. The taken path is
+    /// recorded in [`FlowResult::gp_fallback`].
+    ///
     /// # Errors
     ///
     /// See [`FlowError`].
-    pub fn place(&self, design: &GeneratedDesign<T>) -> Result<FlowResult<T>, FlowError> {
+    pub fn place(&self, design: &GeneratedDesign<T>) -> Result<FlowResult<T>, FlowError<T>> {
         let t_total = Instant::now();
         let mut timing = FlowTiming::default();
 
@@ -182,7 +222,7 @@ impl<T: Float> DreamPlacer<T> {
 
         // --- global placement -------------------------------------------
         let t_gp = Instant::now();
-        let gp_result = GlobalPlacer::new(self.config.gp.clone()).place(nl, fixed)?;
+        let (gp_result, gp_fallback) = self.run_gp(nl, fixed)?;
         timing.gp = t_gp.elapsed().as_secs_f64();
         let mut placement = gp_result.placement;
         let hpwl_gp = hpwl(nl, &placement).to_f64();
@@ -232,11 +272,102 @@ impl<T: Float> DreamPlacer<T> {
             lg: lg_stats,
             dp: dp_stats,
             timing,
+            gp_fallback,
         })
+    }
+
+    /// Runs GP with graceful degradation (see [`DreamPlacer::place`]).
+    fn run_gp(
+        &self,
+        nl: &Netlist<T>,
+        fixed: &Placement<T>,
+    ) -> Result<(GpResult<T>, Option<GpFallback>), FlowError<T>> {
+        let primary = GlobalPlacer::new(self.config.gp.clone()).place(nl, fixed);
+        let err = match primary {
+            Ok(r) => return Ok((r, None)),
+            Err(e) if self.config.gp_fallback => e,
+            Err(e) => return Err(e.into()),
+        };
+        let GpError::Diverged {
+            cause,
+            recoveries,
+            best,
+            best_overflow,
+            ..
+        } = err
+        else {
+            // Transform errors are configuration problems; no preset fixes
+            // them.
+            return Err(err.into());
+        };
+
+        match GlobalPlacer::new(conservative_preset(&self.config.gp, nl))
+            .place_from(nl, (*best).clone(), None)
+        {
+            Ok(r) => Ok((r, Some(GpFallback::ConservativePreset { cause }))),
+            Err(GpError::Diverged {
+                iteration,
+                cause: retry_cause,
+                recoveries: retry_recoveries,
+                best: retry_best,
+                best_overflow: retry_overflow,
+            }) => {
+                // Adopt whichever attempt spread the cells further and let
+                // legalization take it from there.
+                let (placement, overflow, cause) = if retry_overflow < best_overflow {
+                    (*retry_best, retry_overflow, retry_cause)
+                } else {
+                    (*best, best_overflow, cause)
+                };
+                let total_recoveries = recoveries + retry_recoveries;
+                let stats = GpStats {
+                    iterations: iteration,
+                    final_hpwl: hpwl(nl, &placement).to_f64(),
+                    final_overflow: overflow,
+                    converged: false,
+                    history: Vec::new(),
+                    timing: GpTiming::default(),
+                    recoveries: total_recoveries,
+                    recovery_events: Vec::new(),
+                };
+                Ok((
+                    GpResult { placement, stats },
+                    Some(GpFallback::BestSoFar {
+                        cause,
+                        recoveries: total_recoveries,
+                    }),
+                ))
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
+/// A known-safe GP configuration for divergence fallback: Adam at a
+/// quarter-bin learning rate, LSE wirelength, and the paper's default
+/// scheduler knobs (a runaway `mu_max` or `ref_delta_hpwl` override is the
+/// most common way to make the primary configuration diverge).
+fn conservative_preset<T: Float>(gp: &GpConfig<T>, nl: &Netlist<T>) -> GpConfig<T> {
+    let mut cfg = gp.clone();
+    let region = nl.region();
+    let bin = (region.width().to_f64() / cfg.bins.0 as f64
+        + region.height().to_f64() / cfg.bins.1 as f64)
+        * 0.5;
+    cfg.solver = SolverKind::Adam {
+        lr: bin * 0.25,
+        decay: 0.997,
+    };
+    cfg.wirelength = WirelengthModel::Lse;
+    cfg.mu_min = 0.95;
+    cfg.mu_max = 1.05;
+    cfg.tcad_mu_stabilization = true;
+    cfg.ref_delta_hpwl = None;
+    cfg.lambda_update_interval = 1;
+    cfg
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;
@@ -291,6 +422,65 @@ mod tests {
         );
         // Baseline spends extra time in its initial placement stage.
         assert!(base.gp.timing.init > fast.gp.timing.init);
+    }
+
+    #[test]
+    fn flow_falls_back_to_conservative_preset_on_divergence() {
+        let d = design();
+        let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        // A runaway density-weight schedule: lambda multiplies by 1e120
+        // every update, overflowing to infinity within a few iterations.
+        // In-run rollbacks halve lambda but restore the same schedule, so
+        // the run exhausts its recovery budget; the conservative preset
+        // resets the schedule and completes.
+        cfg.gp.mu_min = 1e120;
+        cfg.gp.mu_max = 1e120;
+        cfg.run_dp = false;
+        let r = DreamPlacer::new(cfg).place(&d).expect("fallback completes");
+        assert!(
+            matches!(r.gp_fallback, Some(GpFallback::ConservativePreset { .. })),
+            "{:?}",
+            r.gp_fallback
+        );
+        assert!(r.hpwl_final.is_finite());
+        assert!(check_legal(&d.netlist, &r.placement).is_legal());
+    }
+
+    #[test]
+    fn flow_degrades_to_best_so_far_when_preset_also_diverges() {
+        let d = design();
+        let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        // Poisoned gradients hit the retry too (the preset inherits the
+        // fault injection), and a zero budget forbids rollbacks. A high
+        // iteration floor keeps the warm-started retry from converging
+        // before it reaches the poisoned evals.
+        cfg.gp.recovery.max_recoveries = 0;
+        cfg.gp.min_iters = 100;
+        cfg.gp.fault_injection.nan_grad_evals = (60..72).collect();
+        cfg.run_dp = false;
+        let r = DreamPlacer::new(cfg).place(&d).expect("degrades, not fails");
+        match r.gp_fallback {
+            Some(GpFallback::BestSoFar { recoveries, .. }) => assert_eq!(recoveries, 0),
+            other => panic!("expected best-so-far fallback, got {other:?}"),
+        }
+        assert!(r.hpwl_final.is_finite());
+        assert!(check_legal(&d.netlist, &r.placement).is_legal());
+    }
+
+    #[test]
+    fn disabled_fallback_propagates_divergence() {
+        let d = design();
+        let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        cfg.gp.recovery.max_recoveries = 0;
+        cfg.gp.fault_injection.nan_grad_evals = (60..72).collect();
+        cfg.gp_fallback = false;
+        let err = DreamPlacer::new(cfg).place(&d).expect_err("must surface");
+        match err {
+            FlowError::Gp(dp_gp::GpError::Diverged { best, .. }) => {
+                assert!(best.x.iter().all(|v| v.is_finite()));
+            }
+            other => panic!("unexpected error {other}"),
+        }
     }
 
     #[test]

@@ -40,13 +40,18 @@
 //! # }
 //! ```
 
+
+// Library code must surface structured errors instead of panicking;
+// tests opt out module-by-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod flow;
 pub mod modes;
 pub mod routability;
 pub mod timing_driven;
 pub mod viz;
 
-pub use flow::{DreamPlacer, FlowConfig, FlowError, FlowResult, FlowTiming};
+pub use flow::{DreamPlacer, FlowConfig, FlowError, FlowResult, FlowTiming, GpFallback};
 pub use modes::ToolMode;
 pub use routability::{RoutabilityConfig, RoutabilityPlacer, RoutabilityResult};
 pub use timing_driven::{

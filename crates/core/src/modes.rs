@@ -76,6 +76,7 @@ impl ToolMode {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;

@@ -105,7 +105,7 @@ impl<T: Float> RoutabilityPlacer<T> {
     /// # Errors
     ///
     /// See [`FlowError`].
-    pub fn place(&self, design: &GeneratedDesign<T>) -> Result<RoutabilityResult<T>, FlowError> {
+    pub fn place(&self, design: &GeneratedDesign<T>) -> Result<RoutabilityResult<T>, FlowError<T>> {
         let cfg = &self.config;
         let nl_real = &design.netlist;
         let router = GlobalRouter::new(cfg.router);
@@ -240,6 +240,7 @@ impl<T: Float> RoutabilityPlacer<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;

@@ -1,8 +1,53 @@
 //! The bin grid discretizing the placement region.
 
+use std::error::Error;
+use std::fmt;
+
 use dp_dct::TransformError;
 use dp_netlist::Rect;
 use dp_num::Float;
+
+/// Error raised when constructing a [`BinGrid`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// The bin counts are unsupported by the fast-transform plans
+    /// downstream.
+    Transform(TransformError),
+    /// The placement region has zero, negative, or non-finite extent:
+    /// every bin would be zero-sized and bin lookups would divide by zero.
+    DegenerateRegion {
+        /// Region width in layout units.
+        width: f64,
+        /// Region height in layout units.
+        height: f64,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Transform(e) => e.fmt(f),
+            GridError::DegenerateRegion { width, height } => {
+                write!(f, "placement region {width} x {height} has no area")
+            }
+        }
+    }
+}
+
+impl Error for GridError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GridError::Transform(e) => Some(e),
+            GridError::DegenerateRegion { .. } => None,
+        }
+    }
+}
+
+impl From<TransformError> for GridError {
+    fn from(e: TransformError) -> Self {
+        GridError::Transform(e)
+    }
+}
 
 /// An `mx x my` grid of bins over the placement region.
 ///
@@ -15,7 +60,7 @@ use dp_num::Float;
 /// ```
 /// use dp_netlist::Rect;
 ///
-/// # fn main() -> Result<(), dp_dct::TransformError> {
+/// # fn main() -> Result<(), dp_density::GridError> {
 /// let grid = dp_density::BinGrid::new(Rect::new(0.0f64, 0.0, 64.0, 32.0), 8, 4)?;
 /// assert_eq!(grid.bin_width(), 8.0);
 /// assert_eq!(grid.bin_height(), 8.0);
@@ -34,17 +79,29 @@ pub struct BinGrid<T> {
 
 impl<T: Float> BinGrid<T> {
     /// Creates a grid with `mx x my` bins (both powers of two, `my >= 4`,
-    /// to satisfy the fast-transform plans downstream).
+    /// to satisfy the fast-transform plans downstream) over a region with
+    /// positive area.
     ///
     /// # Errors
     ///
-    /// Returns [`TransformError::NonPowerOfTwo`] for unsupported dimensions.
-    pub fn new(region: Rect<T>, mx: usize, my: usize) -> Result<Self, TransformError> {
+    /// Returns [`GridError::Transform`] for unsupported bin counts and
+    /// [`GridError::DegenerateRegion`] when the region has no area (which
+    /// would make every bin zero-sized).
+    pub fn new(region: Rect<T>, mx: usize, my: usize) -> Result<Self, GridError> {
         if !(mx >= 2 && mx.is_power_of_two()) {
-            return Err(TransformError::NonPowerOfTwo { n: mx });
+            return Err(TransformError::NonPowerOfTwo { n: mx }.into());
         }
         if !(my >= 4 && my.is_power_of_two()) {
-            return Err(TransformError::NonPowerOfTwo { n: my });
+            return Err(TransformError::NonPowerOfTwo { n: my }.into());
+        }
+        let (w, h) = (region.width().to_f64(), region.height().to_f64());
+        // The finiteness checks also reject NaN extents, which compare
+        // false against everything.
+        if !w.is_finite() || !h.is_finite() || w <= 0.0 || h <= 0.0 {
+            return Err(GridError::DegenerateRegion {
+                width: w,
+                height: h,
+            });
         }
         let bin_w = region.width() / T::from_usize(mx);
         let bin_h = region.height() / T::from_usize(my);
@@ -144,6 +201,28 @@ mod tests {
         let r = Rect::new(0.0f64, 0.0, 10.0, 10.0);
         assert!(BinGrid::new(r, 3, 8).is_err());
         assert!(BinGrid::new(r, 8, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_region() {
+        // Zero-width, zero-height, and NaN extents all yield the typed
+        // error instead of a grid with zero-sized bins. (The NaN rect is
+        // built from raw fields; `Rect::new` already rejects it.)
+        for r in [
+            Rect::new(0.0f64, 0.0, 0.0, 10.0),
+            Rect::new(0.0f64, 0.0, 10.0, 0.0),
+            Rect {
+                xl: 0.0f64,
+                yl: 0.0,
+                xh: f64::NAN,
+                yh: 10.0,
+            },
+        ] {
+            match BinGrid::new(r, 8, 8) {
+                Err(GridError::DegenerateRegion { .. }) => {}
+                other => panic!("expected DegenerateRegion, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub struct FieldSolution<T> {
 /// use dp_density::{BinGrid, DctBackendKind, ElectroField};
 /// use dp_netlist::Rect;
 ///
-/// # fn main() -> Result<(), dp_dct::TransformError> {
+/// # fn main() -> Result<(), dp_density::GridError> {
 /// let grid = BinGrid::new(Rect::new(0.0f64, 0.0, 64.0, 64.0), 8, 8)?;
 /// let solver = ElectroField::new(&grid, DctBackendKind::Direct2d)?;
 /// let mut rho = vec![0.0f64; 64];

@@ -57,7 +57,7 @@ pub mod electro;
 pub mod map;
 pub mod op;
 
-pub use bins::BinGrid;
+pub use bins::{BinGrid, GridError};
 pub use electro::{DctBackendKind, ElectroField};
 pub use map::{DensityMapBuilder, DensityStrategy};
 pub use op::DensityOp;

@@ -65,6 +65,20 @@ pub(crate) fn smoothed_footprint<T: Float>(
     h: T,
     grid: &BinGrid<T>,
 ) -> Footprint<T> {
+    // Non-finite positions (a diverged placement) or non-finite/negative
+    // dimensions (a corrupted netlist) must not panic the scatter: such a
+    // cell contributes no charge and the divergence tripwire upstream
+    // reports the bad coordinates.
+    let finite = cx.to_f64().is_finite()
+        && cy.to_f64().is_finite()
+        && w.to_f64().is_finite()
+        && h.to_f64().is_finite();
+    if !finite || w < T::ZERO || h < T::ZERO {
+        return Footprint {
+            rect: Rect::new(T::ZERO, T::ZERO, T::ZERO, T::ZERO),
+            scale: T::ZERO,
+        };
+    }
     let sqrt2 = T::from_f64(std::f64::consts::SQRT_2);
     let min_w = grid.bin_width() * sqrt2;
     let min_h = grid.bin_height() * sqrt2;
@@ -179,10 +193,13 @@ impl<T: Float> DensityMapBuilder<T> {
             let areas: Vec<T> = (0..n)
                 .map(|i| nl.cell_widths()[i] * nl.cell_heights()[i])
                 .collect();
+            // NaN areas (a corrupted netlist) must not panic the scatter;
+            // they sort arbitrarily and the divergence tripwire upstream
+            // reports the poisoned map.
             self.order.sort_by(|&a, &b| {
                 areas[a as usize]
                     .partial_cmp(&areas[b as usize])
-                    .expect("finite cell areas")
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
         }
         self.order_valid_for = n;
@@ -342,6 +359,52 @@ mod tests {
             (total - expect).abs() < 1e-9 * expect,
             "total {total} vs area {expect}"
         );
+    }
+
+    #[test]
+    fn zero_area_cells_scatter_nothing() {
+        // Zero-area cells (e.g. Bookshelf terminals modelled as points) are
+        // smoothed to a min-size footprint with density scale 0, so the map
+        // stays finite and mass equals the real movable area.
+        let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
+        b.add_movable_cell(8.0, 8.0);
+        b.add_movable_cell(0.0, 0.0);
+        b.add_movable_cell(0.0, 4.0);
+        let a0 = b.add_movable_cell(4.0, 4.0);
+        let a1 = b.add_movable_cell(4.0, 4.0);
+        b.add_net(1.0, vec![(a0, 0.0, 0.0), (a1, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        for i in 0..nl.num_cells() {
+            p.x[i] = 8.0 + 10.0 * i as f64;
+            p.y[i] = 32.0;
+        }
+        for strategy in [
+            DensityStrategy::Naive,
+            DensityStrategy::Sorted,
+            DensityStrategy::SortedSubthreads { tx: 2, ty: 2 },
+        ] {
+            let map = DensityMapBuilder::new(grid(), strategy).build_movable(&nl, &p);
+            assert!(map.iter().all(|v| v.is_finite()), "{strategy}");
+            let total: f64 = map.iter().sum();
+            let expect = 8.0 * 8.0 + 4.0 * 4.0 + 4.0 * 4.0;
+            assert!((total - expect).abs() < 1e-9, "{strategy}: total {total}");
+        }
+    }
+
+    #[test]
+    fn non_finite_cell_area_does_not_panic_sort() {
+        // The sorted strategies order cells by area; a NaN area must not
+        // abort the whole scatter with a comparator panic.
+        let (nl, p) = design(4, 10);
+        let mut widths = nl.cell_widths().to_vec();
+        widths[3] = f64::NAN;
+        let nl = nl.with_cell_sizes(widths, nl.cell_heights().to_vec());
+        let map = DensityMapBuilder::new(grid(), DensityStrategy::Sorted).build_movable(&nl, &p);
+        assert_eq!(map.len(), grid().num_bins());
+        // The corrupted cell scatters nothing; the map stays finite.
+        assert!(map.iter().all(|v| v.is_finite()));
     }
 
     #[test]

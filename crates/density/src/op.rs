@@ -188,13 +188,19 @@ impl<T: Float> DensityOp<T> {
             let capacity = (self.target_density * (bin_area - *f)).max(T::ZERO);
             over += (*m - capacity).max(T::ZERO);
         }
-        let area = match &self.mask {
+        let area: T = match &self.mask {
             Some(mask) => (0..nl.num_movable())
                 .filter(|&c| mask[c])
                 .map(|c| nl.cell_widths()[c] * nl.cell_heights()[c])
                 .sum(),
             None => nl.total_movable_area(),
         };
+        // No movable area (empty mask or all zero-area cells) means nothing
+        // can overflow; dividing would turn the stopping criterion into NaN.
+        // (A NaN area still yields NaN so the divergence tripwire fires.)
+        if area <= T::ZERO {
+            return T::ZERO;
+        }
         over / area
     }
 
@@ -440,5 +446,28 @@ mod tests {
     #[should_panic(expected = "target density")]
     fn rejects_bad_target_density() {
         let _ = DensityOp::<f64>::new(grid(8), DensityStrategy::Naive, 0.0);
+    }
+
+    #[test]
+    fn zero_movable_area_overflow_is_zero() {
+        // All-zero-area cells: every bin is empty and the normalizing area
+        // is zero; the overflow must be 0, not NaN.
+        let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
+        let a = b.add_movable_cell(0.0, 0.0);
+        let c = b.add_movable_cell(0.0, 0.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(2);
+        p.x = vec![32.0, 32.0];
+        p.y = vec![32.0, 32.0];
+        let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
+        let tau = op.overflow(&nl, &p);
+        assert_eq!(tau, 0.0);
+        // The energy of an empty charge map is finite (exactly zero).
+        let mut g = Gradient::zeros(2);
+        let energy = op.forward_backward(&nl, &p, &mut g);
+        assert!(energy.abs() < 1e-12, "energy {energy}");
+        assert!(g.x.iter().chain(&g.y).all(|v| v.is_finite()));
     }
 }

@@ -56,34 +56,138 @@ pub enum InitKind {
     },
 }
 
+/// What tripped the divergence detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceCause {
+    /// The objective value became NaN or infinite.
+    NonFiniteCost,
+    /// The gradient contained a NaN or infinity (its infinity norm is
+    /// poisoned by any non-finite component).
+    NonFiniteGradient,
+    /// The solver produced a non-finite coordinate (checked before the
+    /// operators touch the iterate, which assume finite positions).
+    NonFinitePosition,
+    /// The exact HPWL or overflow of the iterate became non-finite.
+    NonFiniteHpwl,
+    /// The density overflow climbed far above the best value seen, the
+    /// signature of an exploding density weight.
+    OverflowExplosion,
+}
+
+impl fmt::Display for DivergenceCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceCause::NonFiniteCost => write!(f, "non-finite cost"),
+            DivergenceCause::NonFiniteGradient => write!(f, "non-finite gradient"),
+            DivergenceCause::NonFinitePosition => write!(f, "non-finite cell position"),
+            DivergenceCause::NonFiniteHpwl => write!(f, "non-finite wirelength or overflow"),
+            DivergenceCause::OverflowExplosion => write!(f, "density overflow exploded"),
+        }
+    }
+}
+
+/// Checkpoint/rollback policy for divergence recovery.
+///
+/// Every `checkpoint_interval` healthy iterations the engine snapshots the
+/// positions, the solver state, and the `lambda` scheduler. When the
+/// divergence tripwire fires, the run rolls back to the last checkpoint,
+/// multiplies `lambda` by `lambda_backoff`, relaxes `gamma` by
+/// `gamma_relax`, and retries — up to `max_recoveries` times before
+/// surfacing [`GpError::Diverged`] with the best placement seen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Iterations between checkpoints (0 disables re-checkpointing; the
+    /// initial state is always checkpointed).
+    pub checkpoint_interval: usize,
+    /// Rollback attempts before giving up.
+    pub max_recoveries: usize,
+    /// Multiplier applied to the density weight on each rollback (< 1);
+    /// compounds across rollbacks within a run.
+    pub lambda_backoff: f64,
+    /// Multiplier applied to the smoothing `gamma` on each rollback (> 1);
+    /// a smoother objective is easier to descend.
+    pub gamma_relax: f64,
+    /// Trip when overflow exceeds this multiple of the best overflow seen
+    /// (and exceeds it by at least 0.1 absolute). `f64::INFINITY` disables
+    /// the explosion tripwire.
+    pub overflow_explosion: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            checkpoint_interval: 25,
+            max_recoveries: 3,
+            lambda_backoff: 0.5,
+            gamma_relax: 2.0,
+            overflow_explosion: 2.0,
+        }
+    }
+}
+
+/// Deliberate fault injection for recovery testing. Empty means no faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Main-loop objective evaluations (0-based, counting every solver
+    /// eval including line-search probes) whose gradient is poisoned with
+    /// NaN after computation.
+    pub nan_grad_evals: Vec<usize>,
+}
+
 /// Error raised by global placement.
 #[derive(Debug, Clone, PartialEq)]
-pub enum GpError {
-    /// The bin grid shape was rejected by the transform plans.
-    Transform(dp_dct::TransformError),
-    /// The objective became non-finite (diverged).
+pub enum GpError<T> {
+    /// The bin grid was rejected (unsupported shape or a placement region
+    /// with no area).
+    Grid(dp_density::GridError),
+    /// The objective diverged and the recovery budget is exhausted.
     Diverged {
-        /// Iteration at which divergence was detected.
+        /// Iteration at which the final divergence was detected.
         iteration: usize,
+        /// What tripped the detector.
+        cause: DivergenceCause,
+        /// Rollback attempts performed before giving up.
+        recoveries: usize,
+        /// Best (lowest-overflow) placement seen before divergence; the
+        /// initial placement if no iteration completed healthily.
+        best: Box<dp_netlist::Placement<T>>,
+        /// Overflow of `best` (`f64::INFINITY` if none was measured).
+        best_overflow: f64,
     },
 }
 
-impl fmt::Display for GpError {
+impl<T> fmt::Display for GpError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GpError::Transform(e) => write!(f, "bin grid rejected: {e}"),
-            GpError::Diverged { iteration } => {
-                write!(f, "objective diverged at iteration {iteration}")
+            GpError::Grid(e) => write!(f, "bin grid rejected: {e}"),
+            GpError::Diverged {
+                iteration,
+                cause,
+                recoveries,
+                best_overflow,
+                ..
+            } => {
+                write!(
+                    f,
+                    "objective diverged at iteration {iteration} ({cause}) \
+                     after {recoveries} recoveries; best-so-far overflow {best_overflow}"
+                )
             }
         }
     }
 }
 
-impl Error for GpError {}
+impl<T: fmt::Debug> Error for GpError<T> {}
 
-impl From<dp_dct::TransformError> for GpError {
+impl<T> From<dp_density::GridError> for GpError<T> {
+    fn from(e: dp_density::GridError) -> Self {
+        GpError::Grid(e)
+    }
+}
+
+impl<T> From<dp_dct::TransformError> for GpError<T> {
     fn from(e: dp_dct::TransformError) -> Self {
-        GpError::Transform(e)
+        GpError::Grid(dp_density::GridError::Transform(e))
     }
 }
 
@@ -138,6 +242,10 @@ pub struct GpConfig<T> {
     /// Optional fence regions (paper §III-G): one electric field per
     /// region plus a default field.
     pub fence: Option<crate::fence::FenceSpec<T>>,
+    /// Checkpoint/rollback policy for divergence recovery.
+    pub recovery: RecoveryPolicy,
+    /// Fault injection for recovery testing (empty = no faults).
+    pub fault_injection: FaultInjection,
 }
 
 impl<T: Float> GpConfig<T> {
@@ -166,6 +274,8 @@ impl<T: Float> GpConfig<T> {
             lambda_update_interval: 1,
             gamma_base_bins: 4.0,
             fence: None,
+            recovery: RecoveryPolicy::default(),
+            fault_injection: FaultInjection::default(),
         }
     }
 
@@ -181,6 +291,7 @@ impl<T: Float> GpConfig<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::NetlistBuilder;

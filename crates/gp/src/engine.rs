@@ -6,10 +6,15 @@ use dp_autograd::{Gradient, Operator};
 use dp_density::{BinGrid, DensityOp};
 use dp_netlist::{hpwl, Netlist, Placement};
 use dp_num::Float;
-use dp_optim::{Adam, ConjugateGradient, NesterovOptimizer, ObjectiveFn, Optimizer, SgdMomentum};
+use dp_optim::{
+    Adam, ConjugateGradient, NesterovOptimizer, ObjectiveFn, Optimizer, OptimizerSnapshot,
+    SgdMomentum,
+};
 use dp_wirelength::{LseWirelength, WaWirelength};
 
-use crate::config::{GpConfig, GpError, InitKind, SolverKind, WirelengthModel};
+use crate::config::{
+    DivergenceCause, GpConfig, GpError, InitKind, SolverKind, WirelengthModel,
+};
 use crate::fence::FencedDensityOp;
 use crate::init::initial_placement;
 use crate::scheduler::{DensityWeightScheduler, GammaScheduler};
@@ -47,6 +52,21 @@ pub struct GpTiming {
     pub total: Duration,
 }
 
+/// One divergence-recovery rollback, as recorded in [`GpStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Iteration at which the tripwire fired.
+    pub iteration: usize,
+    /// Checkpoint iteration the run rolled back to.
+    pub resumed_from: usize,
+    /// What tripped the detector.
+    pub cause: DivergenceCause,
+    /// Density weight after the backoff.
+    pub lambda: f64,
+    /// Cumulative gamma relaxation factor after this rollback.
+    pub gamma_boost: f64,
+}
+
 /// Summary of a global placement run.
 #[derive(Debug, Clone)]
 pub struct GpStats {
@@ -62,6 +82,10 @@ pub struct GpStats {
     pub history: Vec<IterRecord>,
     /// Phase timing.
     pub timing: GpTiming,
+    /// Number of divergence rollbacks performed.
+    pub recoveries: usize,
+    /// One record per rollback, in order.
+    pub recovery_events: Vec<RecoveryEvent>,
 }
 
 /// Result of global placement: coordinates plus statistics.
@@ -147,6 +171,8 @@ struct PlacementObjective<'a, T: Float> {
     pin_counts: Vec<T>,
     /// Precomputed charge per movable cell (density preconditioner).
     charges: Vec<T>,
+    /// Eval indices whose gradient is poisoned (fault injection).
+    faults: Vec<usize>,
     t_wl: Duration,
     t_density: Duration,
     evals: usize,
@@ -163,9 +189,21 @@ impl<'a, T: Float> PlacementObjective<'a, T> {
 impl<'a, T: Float> ObjectiveFn<T> for PlacementObjective<'a, T> {
     fn eval(&mut self, params: &[T], grad_out: &mut [T]) -> T {
         let n = self.nl.num_movable();
+        let eval_idx = self.evals;
+        self.evals += 1;
+
+        // A solver that consumed a poisoned gradient may probe a
+        // non-finite iterate within the same step, before the engine's
+        // tripwire sees it. The kernels assume finite geometry, so answer
+        // with a non-finite objective instead of evaluating them.
+        if !params.iter().all(|v| v.is_finite()) {
+            let nan = T::from_f64(f64::NAN);
+            grad_out.iter_mut().for_each(|g| *g = nan);
+            return nan;
+        }
+
         self.unpack(params);
         self.grad.reset();
-        self.evals += 1;
 
         let t0 = Instant::now();
         let wl_cost = self.wl.forward_backward(self.nl, &self.pos, &mut self.grad);
@@ -186,8 +224,33 @@ impl<'a, T: Float> ObjectiveFn<T> for PlacementObjective<'a, T> {
             grad_out[i] = self.grad.x[i] / precond;
             grad_out[n + i] = self.grad.y[i] / precond;
         }
+        if self.faults.contains(&eval_idx) && !grad_out.is_empty() {
+            grad_out[0] = T::from_f64(f64::NAN);
+        }
         wl_cost + self.lambda * d_cost
     }
+}
+
+/// Everything needed to roll the run back to a known-good iterate.
+struct Checkpoint<T> {
+    /// Iteration count at capture time (0 = initial state).
+    iteration: usize,
+    params: Vec<T>,
+    solver: OptimizerSnapshot<T>,
+    lambda_sched: DensityWeightScheduler<T>,
+    /// `obj.lambda` at capture time (the scheduler may lag it by up to
+    /// `lambda_update_interval` iterations).
+    lambda: T,
+    prev_hpwl: T,
+    history_len: usize,
+    /// Overflow at capture time (1.0 for the initial checkpoint).
+    overflow: f64,
+}
+
+/// Overflow-explosion tripwire: fires when overflow exceeds `factor` times
+/// the best value seen and has climbed by at least 0.1 absolute.
+fn overflow_exploded(overflow: f64, best: f64, factor: f64) -> bool {
+    best.is_finite() && overflow > best * factor && overflow > best + 0.1
 }
 
 fn make_solver<T: Float>(kind: SolverKind, n: usize, initial_step: T) -> Box<dyn Optimizer<T>> {
@@ -221,9 +284,16 @@ impl<T: Float> GlobalPlacer<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`GpError::Transform`] for unsupported bin grids and
-    /// [`GpError::Diverged`] if the objective becomes non-finite.
-    pub fn place(&self, nl: &Netlist<T>, fixed: &Placement<T>) -> Result<GpResult<T>, GpError> {
+    /// Returns [`GpError::Grid`] for unsupported bin grids and
+    /// [`GpError::Diverged`] when the objective diverges (non-finite cost,
+    /// gradient, or wirelength, or exploding overflow) and the rollback
+    /// budget of [`crate::RecoveryPolicy::max_recoveries`] is exhausted;
+    /// the error carries the best placement seen.
+    pub fn place(
+        &self,
+        nl: &Netlist<T>,
+        fixed: &Placement<T>,
+    ) -> Result<GpResult<T>, GpError<T>> {
         let pos = initial_placement(nl, fixed, self.config.noise_frac, self.config.seed);
         self.place_from(nl, pos, None)
     }
@@ -240,7 +310,7 @@ impl<T: Float> GlobalPlacer<T> {
         nl: &Netlist<T>,
         mut pos: Placement<T>,
         lambda0: Option<T>,
-    ) -> Result<GpResult<T>, GpError> {
+    ) -> Result<GpResult<T>, GpError<T>> {
         let cfg = &self.config;
         let t_start = Instant::now();
         let mut timing = GpTiming::default();
@@ -299,6 +369,7 @@ impl<T: Float> GlobalPlacer<T> {
                 grad: Gradient::zeros(pos.len()),
                 pin_counts: pin_counts.clone(),
                 charges: charges.clone(),
+                faults: Vec::new(),
                 t_wl: Duration::ZERO,
                 t_density: Duration::ZERO,
                 evals: 0,
@@ -359,6 +430,7 @@ impl<T: Float> GlobalPlacer<T> {
             grad: Gradient::zeros(pos.len()),
             pin_counts,
             charges,
+            faults: cfg.fault_injection.nan_grad_evals.clone(),
             t_wl: Duration::ZERO,
             t_density: Duration::ZERO,
             evals: 0,
@@ -372,6 +444,25 @@ impl<T: Float> GlobalPlacer<T> {
         let mut iterations = 0;
         let mut prev_op_time = Duration::ZERO;
 
+        // --- recovery state ----------------------------------------------
+        let policy = &cfg.recovery;
+        let mut gamma_boost = T::ONE;
+        let mut lambda_cut = T::ONE;
+        let mut recoveries = 0usize;
+        let mut recovery_events: Vec<RecoveryEvent> = Vec::new();
+        let mut best_params = params.clone();
+        let mut best_overflow = f64::INFINITY;
+        let mut checkpoint = Checkpoint {
+            iteration: 0,
+            params: params.clone(),
+            solver: solver.snapshot(),
+            lambda_sched: lambda_sched.clone(),
+            lambda: obj.lambda,
+            prev_hpwl,
+            history_len: 0,
+            overflow: 1.0,
+        };
+
         for k in 0..cfg.max_iters {
             iterations = k + 1;
             let t_step = Instant::now();
@@ -379,15 +470,93 @@ impl<T: Float> GlobalPlacer<T> {
             clamp_params(&mut params, nl);
             let step_elapsed = t_step.elapsed();
 
-            if !info.cost.is_finite() {
-                return Err(GpError::Diverged { iteration: k });
-            }
+            // Phase attribution: operator time accumulates inside eval;
+            // whatever remains of the step is solver arithmetic.
+            let op_time = obj.t_wl + obj.t_density;
+            timing.solver += step_elapsed.saturating_sub(op_time.saturating_sub(prev_op_time));
+            prev_op_time = op_time;
+            timing.wirelength = obj.t_wl;
+            timing.density = obj.t_density;
 
             let t_book = Instant::now();
-            obj.unpack(&params);
-            let cur_hpwl = hpwl(nl, &obj.pos);
-            let overflow = obj.density.overflow(nl, &obj.pos);
-            let gamma = gamma_sched.gamma(overflow);
+
+            // --- divergence tripwire ------------------------------------
+            // Solver health and position finiteness come first: the exact
+            // HPWL/overflow operators assume finite coordinates and must
+            // not see a poisoned iterate.
+            let pre_cause = if !info.cost.is_finite() {
+                Some(DivergenceCause::NonFiniteCost)
+            } else if !info.grad_norm.is_finite() {
+                Some(DivergenceCause::NonFiniteGradient)
+            } else if !params.iter().all(|v| v.is_finite()) {
+                Some(DivergenceCause::NonFinitePosition)
+            } else {
+                None
+            };
+            let (cause, cur_hpwl, overflow_f) = match pre_cause {
+                Some(c) => (Some(c), T::ZERO, f64::NAN),
+                None => {
+                    obj.unpack(&params);
+                    let h = hpwl(nl, &obj.pos);
+                    let o = obj.density.overflow(nl, &obj.pos).to_f64();
+                    let c = if !h.is_finite() || !o.is_finite() {
+                        Some(DivergenceCause::NonFiniteHpwl)
+                    } else if overflow_exploded(o, best_overflow, policy.overflow_explosion) {
+                        Some(DivergenceCause::OverflowExplosion)
+                    } else {
+                        None
+                    };
+                    (c, h, o)
+                }
+            };
+            if let Some(cause) = cause {
+                if recoveries >= policy.max_recoveries {
+                    unpack_into(&best_params, &mut pos, n);
+                    return Err(GpError::Diverged {
+                        iteration: k,
+                        cause,
+                        recoveries,
+                        best: Box::new(pos),
+                        best_overflow,
+                    });
+                }
+                // Roll back to the checkpoint with a tamer objective:
+                // smaller density weight, smoother wirelength.
+                recoveries += 1;
+                params.copy_from_slice(&checkpoint.params);
+                if solver.restore(&checkpoint.solver).is_err() {
+                    solver.reset();
+                }
+                lambda_sched = checkpoint.lambda_sched.clone();
+                // Like gamma_boost, the backoff compounds across rollbacks:
+                // re-tripping from the same checkpoint must not retry the
+                // same density weight.
+                lambda_cut *= T::from_f64(policy.lambda_backoff);
+                let lambda = checkpoint.lambda * lambda_cut;
+                lambda_sched.set_lambda(lambda);
+                obj.lambda = lambda;
+                gamma_boost *= T::from_f64(policy.gamma_relax);
+                obj.wl
+                    .set_gamma(gamma_sched.gamma(T::from_f64(checkpoint.overflow)) * gamma_boost);
+                prev_hpwl = checkpoint.prev_hpwl;
+                history.truncate(checkpoint.history_len);
+                recovery_events.push(RecoveryEvent {
+                    iteration: k,
+                    resumed_from: checkpoint.iteration,
+                    cause,
+                    lambda: lambda.to_f64(),
+                    gamma_boost: gamma_boost.to_f64(),
+                });
+                timing.bookkeeping += t_book.elapsed();
+                continue;
+            }
+
+            if overflow_f < best_overflow {
+                best_overflow = overflow_f;
+                best_params.copy_from_slice(&params);
+            }
+
+            let gamma = gamma_sched.gamma(T::from_f64(overflow_f)) * gamma_boost;
             obj.wl.set_gamma(gamma);
 
             if (k + 1) % cfg.lambda_update_interval.max(1) == 0 {
@@ -398,21 +567,26 @@ impl<T: Float> GlobalPlacer<T> {
             history.push(IterRecord {
                 iteration: k,
                 hpwl: cur_hpwl.to_f64(),
-                overflow: overflow.to_f64(),
+                overflow: overflow_f,
                 lambda: obj.lambda.to_f64(),
                 gamma: gamma.to_f64(),
             });
+
+            if policy.checkpoint_interval > 0 && (k + 1) % policy.checkpoint_interval == 0 {
+                checkpoint = Checkpoint {
+                    iteration: k + 1,
+                    params: params.clone(),
+                    solver: solver.snapshot(),
+                    lambda_sched: lambda_sched.clone(),
+                    lambda: obj.lambda,
+                    prev_hpwl,
+                    history_len: history.len(),
+                    overflow: overflow_f,
+                };
+            }
             timing.bookkeeping += t_book.elapsed();
 
-            // Phase attribution: operator time accumulates inside eval;
-            // whatever remains of the step is solver arithmetic.
-            let op_time = obj.t_wl + obj.t_density;
-            timing.solver += step_elapsed.saturating_sub(op_time.saturating_sub(prev_op_time));
-            prev_op_time = op_time;
-            timing.wirelength = obj.t_wl;
-            timing.density = obj.t_density;
-
-            if overflow <= cfg.target_overflow && k + 1 >= cfg.min_iters {
+            if overflow_f <= cfg.target_overflow.to_f64() && k + 1 >= cfg.min_iters {
                 converged = true;
                 break;
             }
@@ -428,6 +602,8 @@ impl<T: Float> GlobalPlacer<T> {
             converged,
             history,
             timing,
+            recoveries,
+            recovery_events,
         };
         Ok(GpResult {
             placement: pos,
@@ -461,6 +637,7 @@ fn clamp_params<T: Float>(params: &mut [T], nl: &Netlist<T>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;
@@ -578,6 +755,110 @@ mod tests {
         assert!(t.wirelength > Duration::ZERO);
         assert!(t.density > Duration::ZERO);
         assert!(t.density + t.wirelength <= t.total);
+    }
+
+    #[test]
+    fn overflow_explosion_predicate() {
+        // No best yet: never trips.
+        assert!(!overflow_exploded(5.0, f64::INFINITY, 2.0));
+        // Needs both the ratio and the absolute climb.
+        assert!(overflow_exploded(0.9, 0.3, 2.0));
+        assert!(!overflow_exploded(0.35, 0.3, 2.0)); // ratio not met
+        assert!(!overflow_exploded(0.09, 0.04, 2.0)); // climb below 0.1
+        // Disabled via infinity.
+        assert!(!overflow_exploded(100.0, 0.1, f64::INFINITY));
+    }
+
+    /// A NaN injected into the gradient mid-run must trigger a rollback to
+    /// the last checkpoint, after which the run completes normally.
+    #[test]
+    fn nan_gradient_mid_run_rolls_back_and_converges() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        // Nesterov makes at most 11 evals per iteration (1 reference + 10
+        // backtracking probes); 12 consecutive poisoned evals guarantee at
+        // least one lands on a reference eval whose gradient norm is
+        // reported, whatever the backtracking pattern. Each detected
+        // divergence advances ~2 evals (poisoned reference + one aborted
+        // probe), so clearing the window takes up to 6 rollbacks — give
+        // the budget headroom above that.
+        cfg.fault_injection.nan_grad_evals = (60..72).collect();
+        cfg.recovery.max_recoveries = 8;
+        let result = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("recovers from injected NaN");
+        assert!(result.stats.recoveries >= 1, "no rollback recorded");
+        assert_eq!(
+            result.stats.recoveries,
+            result.stats.recovery_events.len()
+        );
+        let event = result.stats.recovery_events[0];
+        assert!(
+            matches!(
+                event.cause,
+                DivergenceCause::NonFiniteGradient
+                    | DivergenceCause::NonFiniteCost
+                    | DivergenceCause::NonFinitePosition
+            ),
+            "{event:?}"
+        );
+        assert!(event.resumed_from <= event.iteration);
+        assert!(event.gamma_boost > 1.0);
+        // The run still reaches a usable spread.
+        assert!(
+            result.stats.final_overflow < 0.3,
+            "overflow {} after recovery",
+            result.stats.final_overflow
+        );
+        assert!(result.stats.final_hpwl.is_finite());
+        assert!(result.placement.x.iter().all(|v| v.is_finite()));
+    }
+
+    /// Same run deterministically matches itself with recovery involved.
+    #[test]
+    fn recovery_is_deterministic() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.fault_injection.nan_grad_evals = (60..72).collect();
+        cfg.recovery.max_recoveries = 8;
+        let a = GlobalPlacer::new(cfg.clone())
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        let b = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        assert_eq!(a.stats.recoveries, b.stats.recoveries);
+        assert_eq!(a.stats.final_hpwl, b.stats.final_hpwl);
+        assert_eq!(a.placement.x, b.placement.x);
+    }
+
+    /// With a zero recovery budget the structured error surfaces, carrying
+    /// the best placement observed before the fault.
+    #[test]
+    fn exhausted_recovery_budget_surfaces_best_so_far() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.recovery.max_recoveries = 0;
+        cfg.fault_injection.nan_grad_evals = (60..72).collect();
+        let err = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect_err("must diverge with no recovery budget");
+        match err {
+            GpError::Diverged {
+                iteration,
+                recoveries,
+                best,
+                best_overflow,
+                ..
+            } => {
+                assert_eq!(recoveries, 0);
+                assert!(iteration >= 1, "healthy iterations ran first");
+                assert!(best_overflow.is_finite());
+                assert!(best.x.iter().all(|v| v.is_finite()));
+                assert!(best.y.iter().all(|v| v.is_finite()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -193,6 +193,7 @@ impl<T: Float> Operator<T> for FencedDensityOp<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::NetlistBuilder;
@@ -280,6 +281,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod gp_integration_tests {
     use super::*;
     use crate::{GlobalPlacer, GpConfig};

@@ -54,6 +54,7 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;

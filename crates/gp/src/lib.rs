@@ -36,14 +36,22 @@
 //! # }
 //! ```
 
+
+// Library code must surface structured errors instead of panicking;
+// tests opt out module-by-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod config;
 pub mod engine;
 pub mod fence;
 pub mod init;
 pub mod scheduler;
 
-pub use config::{GpConfig, GpError, InitKind, SolverKind, WirelengthModel};
-pub use engine::{GlobalPlacer, GpResult, GpStats, GpTiming, IterRecord};
+pub use config::{
+    DivergenceCause, FaultInjection, GpConfig, GpError, InitKind, RecoveryPolicy, SolverKind,
+    WirelengthModel,
+};
+pub use engine::{GlobalPlacer, GpResult, GpStats, GpTiming, IterRecord, RecoveryEvent};
 pub use fence::{FenceSpec, FencedDensityOp};
 pub use init::initial_placement;
 pub use scheduler::{DensityWeightScheduler, GammaScheduler};

@@ -119,6 +119,7 @@ impl<T: Float> GammaScheduler<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -378,8 +378,11 @@ impl<T: Float> NetlistBuilder<T> {
         self
     }
 
-    /// Permits nets with fewer than two pins (dropped silently at build).
-    /// Off by default; the synthetic generator uses it.
+    /// Permits nets with fewer than two pins. Such nets are kept in the
+    /// final netlist (so external formats round-trip without silently
+    /// changing net counts); wirelength operators treat them as zero.
+    /// Off by default; the synthetic generator and the Bookshelf parser
+    /// enable it.
     pub fn allow_degenerate_nets(mut self, allow: bool) -> Self {
         self.allow_degenerate = allow;
         self
@@ -454,12 +457,9 @@ impl<T: Float> NetlistBuilder<T> {
             }
         };
 
-        // Drop degenerate nets (only present when allowed).
-        let nets: Vec<_> = self
-            .nets
-            .into_iter()
-            .filter(|(_, pins)| pins.len() >= 2)
-            .collect();
+        // Degenerate nets (only present when allowed) are kept: they carry
+        // no wirelength but dropping them would silently change net counts.
+        let nets = self.nets;
 
         let n_pins: usize = nets.iter().map(|(_, p)| p.len()).sum();
         let mut net_weight = Vec::with_capacity(nets.len());
@@ -581,16 +581,19 @@ mod tests {
     }
 
     #[test]
-    fn drops_degenerate_nets_when_allowed() {
+    fn keeps_degenerate_nets_when_allowed() {
         let mut b = NetlistBuilder::<f64>::new(0.0, 0.0, 1.0, 1.0).allow_degenerate_nets(true);
         let a = b.add_movable_cell(0.1, 0.1);
         let c = b.add_movable_cell(0.1, 0.1);
         b.add_net(1.0, vec![(a, 0.0, 0.0)]).expect("allowed");
         b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
             .expect("valid");
+        b.add_net(1.0, vec![]).expect("allowed");
         let nl = b.build().expect("valid netlist");
-        assert_eq!(nl.num_nets(), 1);
-        assert_eq!(nl.num_pins(), 2);
+        assert_eq!(nl.num_nets(), 3);
+        assert_eq!(nl.num_pins(), 3);
+        assert_eq!(nl.net_degree(NetId::new(0)), 1);
+        assert_eq!(nl.net_degree(NetId::new(2)), 0);
     }
 
     #[test]

@@ -266,6 +266,6 @@ mod tests {
     fn constants_are_consistent() {
         assert!((<f32 as Float>::PI.to_f64() - std::f64::consts::PI).abs() < 1e-6);
         assert_eq!(<f64 as Float>::PI, std::f64::consts::PI);
-        assert!(<f64 as Float>::MIN_POSITIVE > 0.0);
+        const { assert!(<f64 as Float>::MIN_POSITIVE > 0.0) };
     }
 }

@@ -2,7 +2,7 @@
 
 use dp_num::Float;
 
-use crate::{inf_norm, ObjectiveFn, Optimizer, StepInfo};
+use crate::{inf_norm, ObjectiveFn, Optimizer, OptimizerSnapshot, SnapshotMismatch, StepInfo};
 
 /// Adam with bias correction and optional per-step learning-rate decay.
 ///
@@ -115,6 +115,31 @@ impl<T: Float> Optimizer<T> for Adam<T> {
 
     fn name(&self) -> &'static str {
         "adam"
+    }
+
+    fn snapshot(&self) -> OptimizerSnapshot<T> {
+        OptimizerSnapshot::Adam {
+            lr: self.lr,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &OptimizerSnapshot<T>) -> Result<(), SnapshotMismatch> {
+        match snapshot {
+            OptimizerSnapshot::Adam { lr, t, m, v } => {
+                self.lr = *lr;
+                self.t = *t;
+                self.m = m.clone();
+                self.v = v.clone();
+                Ok(())
+            }
+            other => Err(SnapshotMismatch {
+                snapshot_engine: other.engine(),
+                target_engine: self.name(),
+            }),
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 
 use dp_num::Float;
 
-use crate::{inf_norm, ObjectiveFn, Optimizer, StepInfo};
+use crate::{inf_norm, ObjectiveFn, Optimizer, OptimizerSnapshot, SnapshotMismatch, StepInfo};
 
 /// Nonlinear CG (Polak-Ribiere+ with restarts).
 ///
@@ -141,6 +141,36 @@ impl<T: Float> Optimizer<T> for ConjugateGradient<T> {
 
     fn name(&self) -> &'static str {
         "conjugate-gradient"
+    }
+
+    fn snapshot(&self) -> OptimizerSnapshot<T> {
+        OptimizerSnapshot::ConjugateGradient {
+            alpha: self.alpha,
+            g_prev: self.g_prev.clone(),
+            d_prev: self.d_prev.clone(),
+            p_prev: self.p_prev.clone(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &OptimizerSnapshot<T>) -> Result<(), SnapshotMismatch> {
+        match snapshot {
+            OptimizerSnapshot::ConjugateGradient {
+                alpha,
+                g_prev,
+                d_prev,
+                p_prev,
+            } => {
+                self.alpha = *alpha;
+                self.g_prev = g_prev.clone();
+                self.d_prev = d_prev.clone();
+                self.p_prev = p_prev.clone();
+                Ok(())
+            }
+            other => Err(SnapshotMismatch {
+                snapshot_engine: other.engine(),
+                target_engine: self.name(),
+            }),
+        }
     }
 }
 

@@ -52,6 +52,9 @@ pub use cg::ConjugateGradient;
 pub use nesterov::NesterovOptimizer;
 pub use sgd::SgdMomentum;
 
+#[cfg(test)]
+mod snapshot_tests;
+
 use dp_num::Float;
 
 /// A differentiable objective over a flat parameter vector.
@@ -83,6 +86,105 @@ pub struct StepInfo<T> {
     pub backtracks: usize,
 }
 
+impl<T: Float> StepInfo<T> {
+    /// `true` when both the cost and the gradient norm are finite — the
+    /// engine's cheapest divergence tripwire. The engines compute
+    /// `grad_norm` with a NaN-propagating infinity norm, so any
+    /// non-finite gradient component surfaces here without rescanning
+    /// the vector.
+    pub fn is_healthy(&self) -> bool {
+        self.cost.is_finite() && self.grad_norm.is_finite()
+    }
+}
+
+/// Engine-tagged copy of an optimizer's mutable state, captured by
+/// [`Optimizer::snapshot`] and reinstated by [`Optimizer::restore`].
+///
+/// The global placer checkpoints this alongside cell positions so a
+/// diverging run can roll back to the last good iterate with the solver's
+/// momenta and step-size history intact (restarting from zeroed momenta at
+/// a rolled-back point would repeat the same blow-up).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerSnapshot<T> {
+    /// State of [`NesterovOptimizer`].
+    Nesterov {
+        /// Momentum coefficient `a_k`.
+        a: T,
+        /// Current step size.
+        alpha: T,
+        /// Reference point `v_k`.
+        v: Option<Vec<T>>,
+        /// Previous major point.
+        u_prev: Option<Vec<T>>,
+        /// Gradient at the previous reference point.
+        g_prev: Option<Vec<T>>,
+        /// Previous reference point.
+        v_prev: Option<Vec<T>>,
+    },
+    /// State of [`Adam`].
+    Adam {
+        /// Current (decayed) learning rate.
+        lr: T,
+        /// Step counter for bias correction.
+        t: u32,
+        /// First-moment estimate.
+        m: Vec<T>,
+        /// Second-moment estimate.
+        v: Vec<T>,
+    },
+    /// State of [`SgdMomentum`].
+    SgdMomentum {
+        /// Current (decayed) learning rate.
+        lr: T,
+        /// Velocity accumulator.
+        velocity: Vec<T>,
+    },
+    /// State of [`ConjugateGradient`].
+    ConjugateGradient {
+        /// Current step size.
+        alpha: T,
+        /// Previous gradient.
+        g_prev: Option<Vec<T>>,
+        /// Previous search direction.
+        d_prev: Option<Vec<T>>,
+        /// Previous parameter vector.
+        p_prev: Option<Vec<T>>,
+    },
+}
+
+impl<T> OptimizerSnapshot<T> {
+    /// The engine this snapshot belongs to (matches [`Optimizer::name`]).
+    pub fn engine(&self) -> &'static str {
+        match self {
+            OptimizerSnapshot::Nesterov { .. } => "nesterov",
+            OptimizerSnapshot::Adam { .. } => "adam",
+            OptimizerSnapshot::SgdMomentum { .. } => "sgd-momentum",
+            OptimizerSnapshot::ConjugateGradient { .. } => "conjugate-gradient",
+        }
+    }
+}
+
+/// Error returned when a snapshot is restored into a different engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMismatch {
+    /// The engine the snapshot was taken from.
+    pub snapshot_engine: &'static str,
+    /// The engine `restore` was called on.
+    pub target_engine: &'static str,
+}
+
+impl std::fmt::Display for SnapshotMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot restore a {} snapshot into a {} optimizer",
+            self.snapshot_engine, self.target_engine
+        )
+    }
+}
+
+impl std::error::Error for SnapshotMismatch {}
+
 /// A first-order optimizer advancing a parameter vector in place.
 pub trait Optimizer<T: Float> {
     /// Performs one iteration, mutating `params`.
@@ -95,11 +197,38 @@ pub trait Optimizer<T: Float> {
 
     /// Short engine name for reports ("nesterov", "adam", ...).
     fn name(&self) -> &'static str;
+
+    /// Captures the full mutable state. `restore`-ing the returned
+    /// snapshot must be an exact round-trip: a restored optimizer produces
+    /// bit-identical trajectories to one that never left that state.
+    fn snapshot(&self) -> OptimizerSnapshot<T>;
+
+    /// Reinstates state captured by [`Optimizer::snapshot`] on the same
+    /// engine kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotMismatch`] (leaving the optimizer untouched) when
+    /// the snapshot was taken from a different engine.
+    fn restore(&mut self, snapshot: &OptimizerSnapshot<T>) -> Result<(), SnapshotMismatch>;
 }
 
-/// Infinity norm helper shared by the engines.
+/// Infinity norm helper shared by the engines. Unlike a `max` fold (which
+/// for IEEE floats silently ignores NaN), any non-finite component
+/// propagates into the result, so [`StepInfo::is_healthy`] reliably
+/// detects a poisoned gradient.
 pub(crate) fn inf_norm<T: Float>(v: &[T]) -> T {
-    v.iter().fold(T::ZERO, |m, &x| m.max(x.abs()))
+    let mut m = T::ZERO;
+    for &x in v {
+        let a = x.abs();
+        if !a.is_finite() {
+            return a;
+        }
+        if a > m {
+            m = a;
+        }
+    }
+    m
 }
 
 /// Euclidean norm helper shared by the engines.
@@ -171,5 +300,24 @@ mod tests {
     fn norms() {
         assert_eq!(inf_norm(&[1.0, -3.0, 2.0]), 3.0);
         assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inf_norm_propagates_non_finite_components() {
+        assert!(inf_norm(&[1.0, f64::NAN, 2.0]).is_nan());
+        assert_eq!(inf_norm(&[1.0, f64::NEG_INFINITY]), f64::INFINITY);
+    }
+
+    #[test]
+    fn poisoned_gradient_is_flagged_unhealthy() {
+        let mut f = |_: &[f64], g: &mut [f64]| {
+            g[0] = 1.0;
+            g[1] = f64::NAN;
+            1.0
+        };
+        let mut opt = SgdMomentum::new(2, 0.1);
+        let mut p = vec![0.0, 0.0];
+        let info = opt.step(&mut f, &mut p);
+        assert!(!info.is_healthy(), "{info:?}");
     }
 }

@@ -19,7 +19,7 @@
 
 use dp_num::Float;
 
-use crate::{inf_norm, l2_norm, ObjectiveFn, Optimizer, StepInfo};
+use crate::{inf_norm, l2_norm, ObjectiveFn, Optimizer, OptimizerSnapshot, SnapshotMismatch, StepInfo};
 
 /// The ePlace Nesterov solver; see the [module docs](self) and the
 /// [crate example](crate).
@@ -165,6 +165,42 @@ impl<T: Float> Optimizer<T> for NesterovOptimizer<T> {
     fn name(&self) -> &'static str {
         "nesterov"
     }
+
+    fn snapshot(&self) -> OptimizerSnapshot<T> {
+        OptimizerSnapshot::Nesterov {
+            a: self.a,
+            alpha: self.alpha,
+            v: self.v.clone(),
+            u_prev: self.u_prev.clone(),
+            g_prev: self.g_prev.clone(),
+            v_prev: self.v_prev.clone(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &OptimizerSnapshot<T>) -> Result<(), SnapshotMismatch> {
+        match snapshot {
+            OptimizerSnapshot::Nesterov {
+                a,
+                alpha,
+                v,
+                u_prev,
+                g_prev,
+                v_prev,
+            } => {
+                self.a = *a;
+                self.alpha = *alpha;
+                self.v = v.clone();
+                self.u_prev = u_prev.clone();
+                self.g_prev = g_prev.clone();
+                self.v_prev = v_prev.clone();
+                Ok(())
+            }
+            other => Err(SnapshotMismatch {
+                snapshot_engine: other.engine(),
+                target_engine: self.name(),
+            }),
+        }
+    }
 }
 
 /// Convenience: Euclidean distance between two equal-length vectors.
@@ -194,7 +230,7 @@ mod tests {
         let cost_nesterov = 0.5 * (p[0] * p[0] + 100.0 * p[1] * p[1]);
 
         // Plain GD with the stable fixed step 1/L = 0.01.
-        let mut q = vec![10.0f64, 1.0];
+        let mut q = [10.0f64, 1.0];
         for _ in 0..300 {
             let g = [q[0], 100.0 * q[1]];
             q[0] -= 0.005 * g[0];

@@ -2,7 +2,7 @@
 
 use dp_num::Float;
 
-use crate::{inf_norm, ObjectiveFn, Optimizer, StepInfo};
+use crate::{inf_norm, ObjectiveFn, Optimizer, OptimizerSnapshot, SnapshotMismatch, StepInfo};
 
 /// SGD with momentum and optional per-step learning-rate decay.
 ///
@@ -97,6 +97,27 @@ impl<T: Float> Optimizer<T> for SgdMomentum<T> {
 
     fn name(&self) -> &'static str {
         "sgd-momentum"
+    }
+
+    fn snapshot(&self) -> OptimizerSnapshot<T> {
+        OptimizerSnapshot::SgdMomentum {
+            lr: self.lr,
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &OptimizerSnapshot<T>) -> Result<(), SnapshotMismatch> {
+        match snapshot {
+            OptimizerSnapshot::SgdMomentum { lr, velocity } => {
+                self.lr = *lr;
+                self.velocity = velocity.clone();
+                Ok(())
+            }
+            other => Err(SnapshotMismatch {
+                snapshot_engine: other.engine(),
+                target_engine: self.name(),
+            }),
+        }
     }
 }
 

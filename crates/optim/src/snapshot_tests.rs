@@ -1,0 +1,105 @@
+//! Unit tests of [`Optimizer::snapshot`] / [`Optimizer::restore`].
+//! The exactness property test over random states lives in
+//! `tests/proptests.rs`; these cover the mismatch and mid-run semantics.
+
+use crate::{
+    Adam, ConjugateGradient, NesterovOptimizer, Optimizer, OptimizerSnapshot, SgdMomentum,
+};
+
+fn engines() -> Vec<Box<dyn Optimizer<f64>>> {
+    vec![
+        Box::new(NesterovOptimizer::new(4, 0.05)),
+        Box::new(Adam::new(4, 0.1).with_decay(0.99)),
+        Box::new(SgdMomentum::new(4, 0.02).with_decay(0.995)),
+        Box::new(ConjugateGradient::new(4, 0.05)),
+    ]
+}
+
+#[test]
+fn snapshot_restore_resumes_identical_trajectory() {
+    for mut engine in engines() {
+        let (mut f, _) = crate::tests::quadratic_bowl();
+        let mut p = vec![0.0; 4];
+        for _ in 0..7 {
+            engine.step(&mut f, &mut p);
+        }
+        let snap = engine.snapshot();
+        let p_at_snap = p.clone();
+
+        // Reference trajectory: continue without interruption.
+        let mut p_ref = p.clone();
+        for _ in 0..9 {
+            engine.step(&mut f, &mut p_ref);
+        }
+
+        // Perturb the engine thoroughly, then restore.
+        for _ in 0..5 {
+            engine.step(&mut f, &mut p);
+        }
+        engine.reset();
+        engine.restore(&snap).expect("same engine kind");
+        let mut p_restored = p_at_snap;
+        for _ in 0..9 {
+            engine.step(&mut f, &mut p_restored);
+        }
+
+        assert_eq!(
+            p_ref,
+            p_restored,
+            "{}: restored trajectory diverged",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn restore_rejects_foreign_snapshot() {
+    let donor = NesterovOptimizer::<f64>::new(4, 0.05);
+    let snap = donor.snapshot();
+    assert_eq!(snap.engine(), "nesterov");
+
+    let mut adam = Adam::<f64>::new(4, 0.1);
+    let before = adam.snapshot();
+    let err = adam.restore(&snap).expect_err("kind mismatch");
+    assert_eq!(err.snapshot_engine, "nesterov");
+    assert_eq!(err.target_engine, "adam");
+    // The failed restore must not have touched the optimizer.
+    assert_eq!(adam.snapshot(), before);
+}
+
+#[test]
+fn snapshot_engine_matches_optimizer_name() {
+    for engine in engines() {
+        assert_eq!(engine.snapshot().engine(), engine.name());
+    }
+}
+
+#[test]
+fn fresh_snapshot_equals_reset_state() {
+    for mut engine in engines() {
+        let fresh = engine.snapshot();
+        let (mut f, _) = crate::tests::quadratic_bowl();
+        let mut p = vec![0.5; 4];
+        for _ in 0..3 {
+            engine.step(&mut f, &mut p);
+        }
+        assert_ne!(engine.snapshot(), fresh, "{} state should move", engine.name());
+        engine.reset();
+        assert_eq!(engine.snapshot(), fresh, "{} reset != fresh", engine.name());
+    }
+}
+
+#[test]
+fn snapshot_is_engine_tagged() {
+    let snaps = [
+        NesterovOptimizer::<f64>::new(2, 0.1).snapshot(),
+        Adam::<f64>::new(2, 0.1).snapshot(),
+        SgdMomentum::<f64>::new(2, 0.1).snapshot(),
+        ConjugateGradient::<f64>::new(2, 0.1).snapshot(),
+    ];
+    let names: Vec<_> = snaps.iter().map(OptimizerSnapshot::engine).collect();
+    assert_eq!(
+        names,
+        ["nesterov", "adam", "sgd-momentum", "conjugate-gradient"]
+    );
+}

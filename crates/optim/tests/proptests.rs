@@ -73,6 +73,55 @@ proptest! {
         }
     }
 
+    /// `snapshot -> restore` is an exact round-trip for all four engines:
+    /// restoring mid-run state reproduces the uninterrupted trajectory
+    /// bit-for-bit, from any random quadratic and any split point.
+    #[test]
+    fn snapshot_restore_is_exact_roundtrip(
+        curvatures in proptest::collection::vec(0.5f64..4.0, 4),
+        targets in proptest::collection::vec(-5.0f64..5.0, 4),
+        warmup in 1usize..12,
+        tail in 1usize..12,
+    ) {
+        let n = curvatures.len();
+        let engines: Vec<Box<dyn Optimizer<f64>>> = vec![
+            Box::new(NesterovOptimizer::new(n, 0.05)),
+            Box::new(Adam::new(n, 0.1)),
+            Box::new(SgdMomentum::new(n, 0.02)),
+            Box::new(ConjugateGradient::new(n, 0.05)),
+        ];
+        for mut engine in engines {
+            let mut f = quad(curvatures.clone(), targets.clone());
+            let mut p = vec![0.0; n];
+            for _ in 0..warmup {
+                engine.step(&mut f, &mut p);
+            }
+            let snap = engine.snapshot();
+            let split = p.clone();
+
+            let mut p_ref = p.clone();
+            for _ in 0..tail {
+                engine.step(&mut f, &mut p_ref);
+            }
+
+            // Scramble the engine, then restore and replay the tail.
+            for _ in 0..3 {
+                engine.step(&mut f, &mut p);
+            }
+            engine.restore(&snap).expect("same engine kind");
+            prop_assert!(engine.snapshot() == snap, "{} restore not exact", engine.name());
+            let mut p_replay = split;
+            for _ in 0..tail {
+                engine.step(&mut f, &mut p_replay);
+            }
+            prop_assert!(
+                p_ref == p_replay,
+                "{} trajectory not reproduced: {p_ref:?} vs {p_replay:?}",
+                engine.name()
+            );
+        }
+    }
+
     /// Reset makes runs reproducible: two identical runs after reset give
     /// identical trajectories.
     #[test]

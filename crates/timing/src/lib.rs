@@ -93,9 +93,10 @@ pub struct TimingReport {
 /// `(driver cell, sink cell)` pairs with `driver < sink` (by index).
 fn net_edges<T: Float>(nl: &Netlist<T>, net: NetId) -> impl Iterator<Item = (usize, usize)> + '_ {
     let pins = nl.net_pins(net);
-    let driver = nl.pin_cell(pins[0]).index();
-    pins[1..]
-        .iter()
+    // Degenerate nets (no pins) have no driver and thus no edges.
+    let driver = pins.first().map_or(usize::MAX, |&p| nl.pin_cell(p).index());
+    pins.iter()
+        .skip(1)
         .map(move |&p| (driver, nl.pin_cell(p).index()))
         .filter(|&(d, s)| d < s)
 }

@@ -54,6 +54,9 @@ impl<T: Float> Operator<T> for HpwlOp {
         for net in nl.nets() {
             let w = nl.net_weight(net);
             let pins = nl.net_pins(net);
+            if pins.len() < 2 {
+                continue; // degenerate nets carry no wirelength
+            }
             let mut x_lo = (T::INFINITY, 0usize);
             let mut x_hi = (T::NEG_INFINITY, 0usize);
             let mut y_lo = (T::INFINITY, 0usize);

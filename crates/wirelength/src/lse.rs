@@ -102,6 +102,11 @@ impl<T: Float> LseWirelength<T> {
         weight: T,
         out: Option<&DisjointSlice<'_, T>>,
     ) -> T {
+        if pins.len() < 2 {
+            // Degenerate net: zero wirelength and (the freshly zeroed)
+            // zero pin gradients.
+            return T::ZERO;
+        }
         let mut hi = T::NEG_INFINITY;
         let mut lo = T::INFINITY;
         for &pin in pins {
@@ -264,6 +269,41 @@ mod tests {
         let mut op = LseWirelength::new(0.8);
         let report = check_gradient(&mut op, &nl, &p, &[], 1e-5);
         assert!(report.within(1e-5), "{report:?}");
+    }
+
+    /// 0- and 1-pin nets must contribute exactly zero wirelength and zero
+    /// gradient — no NaN from `ln 0` or `inf - inf`.
+    #[test]
+    fn degenerate_nets_contribute_zero() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0).allow_degenerate_nets(true);
+        let a = b.add_movable_cell(1.0, 1.0);
+        let c = b.add_movable_cell(1.0, 1.0);
+        let lone = b.add_movable_cell(1.0, 1.0);
+        b.add_net(2.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        b.add_net(1.0, vec![(lone, 0.1, -0.2)]).expect("allowed");
+        b.add_net(1.0, vec![]).expect("allowed");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(3);
+        p.x = vec![1.0, 6.0, 3.0];
+        p.y = vec![2.0, 4.0, 8.0];
+        let mut op = LseWirelength::new(0.7);
+        let mut g = Gradient::zeros(3);
+        let cost = op.forward_backward(&nl, &p, &mut g);
+        assert!(cost.is_finite());
+        assert!(g.x.iter().chain(&g.y).all(|v| v.is_finite()));
+        assert_eq!(g.x[2], 0.0, "lone cell feels no force");
+        assert_eq!(g.y[2], 0.0);
+        // A 2-pin-net-only reference gives the same cost.
+        let mut rb = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+        let ra = rb.add_movable_cell(1.0, 1.0);
+        let rc = rb.add_movable_cell(1.0, 1.0);
+        let _ = rb.add_movable_cell(1.0, 1.0);
+        rb.add_net(2.0, vec![(ra, 0.0, 0.0), (rc, 0.0, 0.0)])
+            .expect("valid");
+        let ref_nl = rb.build().expect("valid");
+        let ref_cost = LseWirelength::new(0.7).forward(&ref_nl, &p);
+        assert!((cost - ref_cost).abs() < 1e-12, "{cost} vs {ref_cost}");
     }
 
     #[test]

@@ -147,8 +147,12 @@ impl<T: Float> WaWirelength<T> {
     }
 
     /// Serial WA wirelength of one net along one axis (stabilized).
+    /// Degenerate nets (fewer than two pins) carry no wirelength.
     #[inline]
     fn net_wirelength(coords: &[T], pins: &[dp_netlist::PinId], gamma: T) -> T {
+        if pins.len() < 2 {
+            return T::ZERO;
+        }
         let mut hi = T::NEG_INFINITY;
         let mut lo = T::INFINITY;
         for &pin in pins {
@@ -218,6 +222,17 @@ impl<T: Float> WaWirelength<T> {
                 for e in range {
                     let net = NetId::new(e);
                     let pins = nl.net_pins(net);
+                    if pins.len() < 2 {
+                        // Degenerate net: zero wirelength. `b = 1` with the
+                        // zeroed `a`/`c` entries makes the backward pass
+                        // yield exact-zero pin gradients without dividing
+                        // by zero.
+                        unsafe {
+                            b_plus.write(e, T::ONE);
+                            b_minus.write(e, T::ONE);
+                        }
+                        continue;
+                    }
                     let mut hi = T::NEG_INFINITY;
                     let mut lo = T::INFINITY;
                     for &pin in pins {
@@ -288,7 +303,13 @@ impl<T: Float> WaWirelength<T> {
             let a_minus = DisjointSlice::new(&mut cache.a_minus);
             parallel_for_chunks(pins, threads, pin_chunk, |range| {
                 for p in range {
-                    let e = nl.pin_net(dp_netlist::PinId::new(p)).index();
+                    let net = nl.pin_net(dp_netlist::PinId::new(p));
+                    let e = net.index();
+                    // Pins of degenerate nets get `a = 0` so the backward
+                    // pass yields exact-zero gradients for them.
+                    if nl.net_degree(net) < 2 {
+                        continue;
+                    }
                     let v = coords[p];
                     // SAFETY: pin index `p` is unique to this chunk.
                     unsafe {
@@ -340,6 +361,15 @@ impl<T: Float> WaWirelength<T> {
             parallel_for_chunks(nets, threads, net_chunk, |range| {
                 let mut local = T::ZERO;
                 for e in range {
+                    if nl.net_degree(NetId::new(e)) < 2 {
+                        // Degenerate net: `b = 1` pairs with the zeroed
+                        // `a`/`c` entries for exact-zero gradients.
+                        unsafe {
+                            b_plus.write(e, T::ONE);
+                            b_minus.write(e, T::ONE);
+                        }
+                        continue;
+                    }
                     let (vbp, vbm, vcp, vcm) =
                         (bp[e].load(), bm[e].load(), cp[e].load(), cm[e].load());
                     // SAFETY: net index `e` is unique to this chunk.
@@ -440,6 +470,11 @@ impl<T: Float> WaWirelength<T> {
                     let net = NetId::new(e);
                     let w = nl.net_weight(net);
                     let net_pins = nl.net_pins(net);
+                    if net_pins.len() < 2 {
+                        // Degenerate net: zero wirelength and (the freshly
+                        // zeroed) zero pin gradients.
+                        continue;
+                    }
                     for (coords, out) in [(px, &gx), (py, &gy)] {
                         // Locals only — no global intermediates (Algorithm 2).
                         let mut hi = T::NEG_INFINITY;
@@ -733,5 +768,49 @@ mod tests {
     #[should_panic(expected = "gamma must be positive")]
     fn rejects_non_positive_gamma() {
         let _ = WaWirelength::<f64>::new(WaStrategy::Merged, 0.0);
+    }
+
+    /// 0- and 1-pin nets must contribute exactly zero wirelength and zero
+    /// gradient under every strategy — no NaN from 0/0 softmax terms.
+    #[test]
+    fn degenerate_nets_contribute_zero() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0).allow_degenerate_nets(true);
+        let a = b.add_movable_cell(1.0, 1.0);
+        let c = b.add_movable_cell(1.0, 1.0);
+        let lone = b.add_movable_cell(1.0, 1.0);
+        b.add_net(2.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        b.add_net(1.0, vec![(lone, 0.1, -0.2)]).expect("allowed");
+        b.add_net(1.0, vec![]).expect("allowed");
+        let nl = b.build().expect("valid");
+
+        let mut ref_b = NetlistBuilder::new(0.0, 0.0, 10.0, 10.0);
+        let ra = ref_b.add_movable_cell(1.0, 1.0);
+        let rc = ref_b.add_movable_cell(1.0, 1.0);
+        let _ = ref_b.add_movable_cell(1.0, 1.0);
+        ref_b
+            .add_net(2.0, vec![(ra, 0.0, 0.0), (rc, 0.0, 0.0)])
+            .expect("valid");
+        let ref_nl = ref_b.build().expect("valid");
+
+        let mut p = Placement::zeros(3);
+        p.x = vec![1.0, 6.0, 3.0];
+        p.y = vec![2.0, 4.0, 8.0];
+        for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+            let mut op = WaWirelength::new(strategy, 0.7);
+            let mut g = Gradient::zeros(3);
+            let cost = op.forward_backward(&nl, &p, &mut g);
+            let mut ref_op = WaWirelength::new(strategy, 0.7);
+            let ref_cost = ref_op.forward(&ref_nl, &p);
+            assert!(
+                (cost - ref_cost).abs() < 1e-12,
+                "{strategy}: {cost} vs {ref_cost}"
+            );
+            assert!(g.x.iter().chain(&g.y).all(|v| v.is_finite()), "{strategy}");
+            assert_eq!(g.x[2], 0.0, "{strategy}: lone cell feels no force");
+            assert_eq!(g.y[2], 0.0, "{strategy}");
+            // Forward-only (line search) path too.
+            assert!(op.forward(&nl, &p).is_finite(), "{strategy}");
+        }
     }
 }

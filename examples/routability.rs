@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Aggregate same-direction layers into the router's two capacities and
     // size the routing grid from the hint's tile pitch.
-    let h_layers = (hints.num_layers + 1) / 2;
+    let h_layers = hints.num_layers.div_ceil(2);
     let v_layers = hints.num_layers / 2;
     let region = design.netlist.region();
     let tiles = ((region.width() / (hints.tile_sites as f64)).round() as usize).clamp(8, 64);

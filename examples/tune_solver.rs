@@ -10,7 +10,7 @@ fn main() {
         .unwrap();
     let bins = dp_gp::GpConfig::<f64>::auto_bins(d.netlist.num_movable());
     let bin = d.netlist.region().width() / bins as f64;
-    let mut run = |label: &str, solver: SolverKind| {
+    let run = |label: &str, solver: SolverKind| {
         let mut cfg = FlowConfig::for_mode(ToolMode::DreamplaceGpuSim, &d.netlist);
         cfg.gp.solver = solver;
         cfg.run_dp = false;

@@ -31,7 +31,7 @@
 //! ```
 
 pub use dreamplace_core::{
-    DreamPlacer, FlowConfig, FlowError, FlowResult, FlowTiming, RoutabilityConfig,
+    DreamPlacer, FlowConfig, FlowError, FlowResult, FlowTiming, GpFallback, RoutabilityConfig,
     RoutabilityPlacer, RoutabilityResult, TimingDrivenConfig, TimingDrivenPlacer,
     TimingDrivenResult, TimingSummary, ToolMode,
 };

@@ -1,0 +1,10 @@
+//! Offline placeholder for the `serde` crate. No code in this workspace
+//! currently (de)serializes; the manifests keep a `serde` dependency slot
+//! for future result export, and this stub satisfies it without network
+//! access. Only marker traits are provided.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
