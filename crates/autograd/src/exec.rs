@@ -1,0 +1,265 @@
+//! The persistent execution context threaded through every operator.
+//!
+//! GPU DREAMPlace gets its speed from launching kernels into a long-lived
+//! CUDA context with stable device buffers. [`ExecCtx`] is the CPU
+//! analogue: it owns
+//!
+//! * a persistent [`WorkerPool`] (spawned once per placement run, parked
+//!   between kernel launches),
+//! * a registry of reusable scratch workspaces keyed by kernel (pin
+//!   gradient buffers, density maps, DCT work arrays), leased and released
+//!   around each launch instead of allocated per call, and
+//! * cheap per-operator counters (calls, nanoseconds, scratch bytes)
+//!   that the engine surfaces in its run statistics.
+//!
+//! Operators receive `&mut ExecCtx` in [`Operator::forward`]/`backward`/
+//! `forward_backward`; whoever drives them — [`GlobalPlacer`] for a
+//! placement run, a test, a bench — constructs the ctx once and keeps it
+//! alive across iterations, which is what turns per-call spawn/allocate
+//! overhead into amortized reuse.
+//!
+//! # Workspace discipline
+//!
+//! [`ExecCtx::lease`] always returns a buffer of exactly the requested
+//! length, **zero-filled** — kernels such as the WA forward rely on zeroed
+//! scratch for degenerate nets, and a recycled buffer still carrying the
+//! previous iteration's values is precisely the bug class this protocol
+//! rules out. Kernels additionally `debug_assert` that workspace lengths
+//! match the current pin/net counts so a netlist change cannot silently
+//! reuse stale-shaped buffers.
+//!
+//! [`Operator::forward`]: crate::Operator::forward
+//! [`GlobalPlacer`]: ../dp_gp/struct.GlobalPlacer.html
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dp_num::{Float, WorkerPool};
+
+/// Per-operator call counters (kept cheap: two saturating adds per call).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    /// Number of forward/backward/forward_backward invocations recorded.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds spent inside those invocations.
+    pub nanos: u64,
+}
+
+/// Per-workspace reuse counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceCounter {
+    /// Times the workspace was leased (or, for operator-owned buffers,
+    /// prepared for a kernel launch).
+    pub uses: u64,
+    /// Uses that recycled an existing buffer instead of allocating one.
+    pub reuses: u64,
+    /// Bytes of scratch held at the most recent use.
+    pub bytes: usize,
+}
+
+/// A snapshot of the context's counters, ordered by name for stable output.
+#[derive(Debug, Clone, Default)]
+pub struct ExecSummary {
+    /// Worker count launches are spread over (including the caller).
+    pub pool_threads: usize,
+    /// OS threads the pool spawned (constant for the pool's lifetime).
+    pub threads_spawned: usize,
+    /// Kernel launches dispatched through the pool.
+    pub pool_runs: u64,
+    /// Per-operator counters, sorted by operator name.
+    pub ops: Vec<(&'static str, OpCounter)>,
+    /// Per-workspace counters, sorted by workspace key.
+    pub workspaces: Vec<(&'static str, WorkspaceCounter)>,
+}
+
+impl ExecSummary {
+    /// Total bytes of scratch across all tracked workspaces.
+    pub fn scratch_bytes(&self) -> usize {
+        self.workspaces.iter().map(|(_, w)| w.bytes).sum()
+    }
+}
+
+/// The persistent execution context; see the [module docs](self).
+pub struct ExecCtx<T> {
+    pool: Arc<WorkerPool>,
+    workspaces: BTreeMap<&'static str, Vec<T>>,
+    ws_counters: BTreeMap<&'static str, WorkspaceCounter>,
+    ops: BTreeMap<&'static str, OpCounter>,
+}
+
+impl<T: Float> ExecCtx<T> {
+    /// A context whose pool spreads kernel launches over `threads` workers
+    /// (the pool spawns `threads - 1` OS threads once, here).
+    pub fn new(threads: usize) -> Self {
+        Self::with_pool(Arc::new(WorkerPool::new(threads)))
+    }
+
+    /// A context that runs every kernel on the calling thread.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// A context sharing an existing pool (e.g. several operators or runs
+    /// sharing one set of workers).
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Self {
+            pool,
+            workspaces: BTreeMap::new(),
+            ws_counters: BTreeMap::new(),
+            ops: BTreeMap::new(),
+        }
+    }
+
+    /// The worker pool; kernels clone the `Arc` so the borrow does not
+    /// conflict with concurrent workspace leases.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Worker count of the pool (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Leases the workspace `key` as a zero-filled buffer of exactly `len`
+    /// elements, recycling the previously released buffer when present.
+    /// Return it with [`ExecCtx::release`] after the kernel launch.
+    pub fn lease(&mut self, key: &'static str, len: usize) -> Vec<T> {
+        let recycled = self.workspaces.remove(key);
+        let reused = recycled.is_some();
+        let mut buf = recycled.unwrap_or_default();
+        buf.clear();
+        buf.resize(len, T::ZERO);
+        let counter = self.ws_counters.entry(key).or_default();
+        counter.uses += 1;
+        counter.reuses += u64::from(reused);
+        counter.bytes = buf.capacity() * std::mem::size_of::<T>();
+        buf
+    }
+
+    /// Returns a leased buffer so the next [`ExecCtx::lease`] of `key`
+    /// reuses its allocation.
+    pub fn release(&mut self, key: &'static str, buf: Vec<T>) {
+        self.workspaces.insert(key, buf);
+    }
+
+    /// Records a use of an *operator-owned* persistent workspace (buffers
+    /// whose element type or structure does not fit the [`ExecCtx::lease`]
+    /// registry, e.g. atomic density bins or the cached field solution) so
+    /// the reuse counters still cover it.
+    pub fn note_workspace(&mut self, key: &'static str, bytes: usize, reused: bool) {
+        let counter = self.ws_counters.entry(key).or_default();
+        counter.uses += 1;
+        counter.reuses += u64::from(reused);
+        counter.bytes = bytes;
+    }
+
+    /// Starts a per-op timing span; close it with [`ExecCtx::record_op`].
+    pub fn op_timer(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Records one operator invocation of `name` that started at `t0`.
+    pub fn record_op(&mut self, name: &'static str, t0: Instant) {
+        let elapsed: Duration = t0.elapsed();
+        let counter = self.ops.entry(name).or_default();
+        counter.calls += 1;
+        counter.nanos = counter.nanos.saturating_add(elapsed.as_nanos() as u64);
+    }
+
+    /// The counters for operator `name` recorded so far.
+    pub fn op_counter(&self, name: &str) -> OpCounter {
+        self.ops.get(name).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of every counter, for run statistics.
+    pub fn summary(&self) -> ExecSummary {
+        ExecSummary {
+            pool_threads: self.pool.threads(),
+            threads_spawned: self.pool.threads_spawned(),
+            pool_runs: self.pool.runs(),
+            ops: self.ops.iter().map(|(k, v)| (*k, *v)).collect(),
+            workspaces: self.ws_counters.iter().map(|(k, v)| (*k, *v)).collect(),
+        }
+    }
+}
+
+impl<T: Float> Default for ExecCtx<T> {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_zero_fills_and_counts_reuse() {
+        let mut ctx = ExecCtx::<f64>::serial();
+        let mut buf = ctx.lease("k", 8);
+        assert_eq!(buf, vec![0.0; 8]);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        ctx.release("k", buf);
+
+        // Second lease recycles the allocation but must come back zeroed.
+        let buf = ctx.lease("k", 8);
+        assert_eq!(buf, vec![0.0; 8]);
+        ctx.release("k", buf);
+
+        // Growing the lease still counts as a reuse of the registry slot.
+        let buf = ctx.lease("k", 16);
+        assert_eq!(buf.len(), 16);
+        ctx.release("k", buf);
+
+        let s = ctx.summary();
+        let (key, ws) = s.workspaces[0];
+        assert_eq!(key, "k");
+        assert_eq!(ws.uses, 3);
+        assert_eq!(ws.reuses, 2);
+        assert!(ws.bytes >= 16 * std::mem::size_of::<f64>());
+        assert!(s.scratch_bytes() >= ws.bytes);
+    }
+
+    #[test]
+    fn op_counters_accumulate() {
+        let mut ctx = ExecCtx::<f32>::serial();
+        for _ in 0..3 {
+            let t0 = ctx.op_timer();
+            ctx.record_op("wa-wirelength", t0);
+        }
+        let c = ctx.op_counter("wa-wirelength");
+        assert_eq!(c.calls, 3);
+        assert_eq!(ctx.op_counter("never-recorded"), OpCounter::default());
+    }
+
+    #[test]
+    fn note_workspace_tracks_operator_owned_buffers() {
+        let mut ctx = ExecCtx::<f64>::serial();
+        ctx.note_workspace("density.bins", 1024, false);
+        ctx.note_workspace("density.bins", 1024, true);
+        let s = ctx.summary();
+        let ws = s
+            .workspaces
+            .iter()
+            .find(|(k, _)| *k == "density.bins")
+            .expect("tracked")
+            .1;
+        assert_eq!(ws.uses, 2);
+        assert_eq!(ws.reuses, 1);
+        assert_eq!(ws.bytes, 1024);
+    }
+
+    #[test]
+    fn shared_pool_contexts_report_pool_counters() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let ctx = ExecCtx::<f64>::with_pool(Arc::clone(&pool));
+        pool.run(10, 2, |_| {});
+        let s = ctx.summary();
+        assert_eq!(s.pool_threads, 2);
+        assert_eq!(s.threads_spawned, 1);
+        assert_eq!(s.pool_runs, 1);
+    }
+}

@@ -15,13 +15,15 @@
 //! * [`Gradient`] — the `(d/dx, d/dy)` arrays operators accumulate into;
 //! * [`Objective`] — a weighted sum of operators, e.g.
 //!   `WL(x, y) + lambda * D(x, y)` (paper Eq. (2));
+//! * [`ExecCtx`] — the persistent execution context (worker pool, reusable
+//!   scratch workspaces, per-op counters) every operator call receives;
 //! * [`check_gradient`] — finite-difference validation used by every
 //!   operator's test suite.
 //!
 //! # Examples
 //!
 //! ```
-//! use dp_autograd::{Gradient, Operator};
+//! use dp_autograd::{ExecCtx, Gradient, Operator};
 //! use dp_netlist::{Netlist, NetlistBuilder, Placement};
 //!
 //! /// A toy quadratic attraction to the origin.
@@ -29,10 +31,12 @@
 //!
 //! impl Operator<f64> for Quadratic {
 //!     fn name(&self) -> &'static str { "quadratic" }
-//!     fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>) -> f64 {
+//!     fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>,
+//!                _ctx: &mut ExecCtx<f64>) -> f64 {
 //!         (0..nl.num_movable()).map(|i| p.x[i] * p.x[i] + p.y[i] * p.y[i]).sum()
 //!     }
-//!     fn backward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>, g: &mut Gradient<f64>) {
+//!     fn backward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>,
+//!                 g: &mut Gradient<f64>, _ctx: &mut ExecCtx<f64>) {
 //!         for i in 0..nl.num_movable() {
 //!             g.x[i] += 2.0 * p.x[i];
 //!             g.y[i] += 2.0 * p.y[i];
@@ -49,16 +53,23 @@
 //! let mut p = Placement::zeros(nl.num_cells());
 //! p.x[0] = 3.0;
 //! let mut op = Quadratic;
+//! let mut ctx = ExecCtx::serial();
 //! let mut g = Gradient::zeros(nl.num_cells());
-//! let cost = op.forward_backward(&nl, &p, &mut g);
+//! let cost = op.forward_backward(&nl, &p, &mut g, &mut ctx);
 //! assert_eq!(cost, 9.0);
 //! assert_eq!(g.x[0], 6.0);
 //! # Ok(())
 //! # }
 //! ```
 
+// Library code must surface structured errors instead of panicking;
+// tests opt out module-by-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod exec;
 pub mod numcheck;
 pub mod operator;
 
+pub use exec::{ExecCtx, ExecSummary, OpCounter, WorkspaceCounter};
 pub use numcheck::{check_gradient, GradientReport};
 pub use operator::{Gradient, Objective, Operator};

@@ -7,6 +7,7 @@
 use dp_netlist::{Netlist, Placement};
 use dp_num::Float;
 
+use crate::exec::ExecCtx;
 use crate::operator::{Gradient, Operator};
 
 /// Result of a finite-difference check.
@@ -47,9 +48,12 @@ pub fn check_gradient<T: Float>(
 ) -> GradientReport {
     let n = netlist.num_cells();
     let mut grad = Gradient::zeros(n);
+    // Finite differencing is a validation tool, not a hot path: a private
+    // serial ctx keeps the public signature free of executor plumbing.
+    let mut ctx = ExecCtx::serial();
     // Forward first so backward may use cached buffers.
-    let _ = op.forward(netlist, placement);
-    op.backward(netlist, placement, &mut grad);
+    let _ = op.forward(netlist, placement, &mut ctx);
+    op.backward(netlist, placement, &mut grad, &mut ctx);
 
     let all: Vec<usize>;
     let cells = if cells.is_empty() {
@@ -78,24 +82,24 @@ pub fn check_gradient<T: Float>(
         // x component
         let orig = work.x[i];
         work.x[i] = orig + h;
-        let fp = op.forward(netlist, &work).to_f64();
+        let fp = op.forward(netlist, &work, &mut ctx).to_f64();
         work.x[i] = orig - h;
-        let fm = op.forward(netlist, &work).to_f64();
+        let fm = op.forward(netlist, &work, &mut ctx).to_f64();
         work.x[i] = orig;
         compare(grad.x[i], (fp - fm) / (2.0 * eps));
 
         // y component
         let orig = work.y[i];
         work.y[i] = orig + h;
-        let fp = op.forward(netlist, &work).to_f64();
+        let fp = op.forward(netlist, &work, &mut ctx).to_f64();
         work.y[i] = orig - h;
-        let fm = op.forward(netlist, &work).to_f64();
+        let fm = op.forward(netlist, &work, &mut ctx).to_f64();
         work.y[i] = orig;
         compare(grad.y[i], (fp - fm) / (2.0 * eps));
     }
 
     // Restore operator caches to the unperturbed placement.
-    let _ = op.forward(netlist, placement);
+    let _ = op.forward(netlist, placement, &mut ctx);
 
     GradientReport {
         max_abs_err: max_abs,
@@ -105,6 +109,7 @@ pub fn check_gradient<T: Float>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::NetlistBuilder;
@@ -115,12 +120,23 @@ mod tests {
         fn name(&self) -> &'static str {
             "quadratic"
         }
-        fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>) -> f64 {
+        fn forward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) -> f64 {
             (0..nl.num_movable())
                 .map(|i| p.x[i] * p.x[i] + 0.5 * p.y[i] * p.y[i] * p.y[i])
                 .sum()
         }
-        fn backward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>, g: &mut Gradient<f64>) {
+        fn backward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            g: &mut Gradient<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) {
             for i in 0..nl.num_movable() {
                 g.x[i] += 2.0 * p.x[i];
                 g.y[i] += 1.5 * p.y[i] * p.y[i];
@@ -134,10 +150,21 @@ mod tests {
         fn name(&self) -> &'static str {
             "wrong"
         }
-        fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>) -> f64 {
+        fn forward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) -> f64 {
             (0..nl.num_movable()).map(|i| p.x[i] * p.x[i]).sum()
         }
-        fn backward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>, g: &mut Gradient<f64>) {
+        fn backward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            g: &mut Gradient<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) {
             for i in 0..nl.num_movable() {
                 g.x[i] += 3.0 * p.x[i]; // deliberately wrong factor
             }

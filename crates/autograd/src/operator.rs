@@ -3,6 +3,8 @@
 use dp_netlist::{Netlist, Placement};
 use dp_num::Float;
 
+use crate::exec::ExecCtx;
+
 /// Gradient of a scalar cost with respect to every cell's `(x, y)`.
 ///
 /// Operators *accumulate* into these arrays, so several terms can share one
@@ -76,18 +78,34 @@ impl<T: Float> Gradient<T> {
 /// backward functions (paper §II-B). The provided
 /// [`Operator::forward_backward`] simply chains the two; fused
 /// implementations (the paper's merged kernel, Algorithm 2) override it.
+///
+/// Every method receives the persistent [`ExecCtx`]: the worker pool for
+/// kernel launches, reusable scratch workspaces, and per-op counters. The
+/// caller (the placement engine, a test, a bench) constructs the ctx once
+/// and keeps it alive across iterations.
 pub trait Operator<T: Float> {
-    /// Short human-readable name used in timing breakdowns.
+    /// Short human-readable name used in timing breakdowns and counters.
     fn name(&self) -> &'static str;
 
     /// Computes the cost at `placement`.
-    fn forward(&mut self, netlist: &Netlist<T>, placement: &Placement<T>) -> T;
+    fn forward(
+        &mut self,
+        netlist: &Netlist<T>,
+        placement: &Placement<T>,
+        ctx: &mut ExecCtx<T>,
+    ) -> T;
 
     /// Accumulates the gradient at `placement` into `grad`.
     ///
     /// May rely on buffers computed by the immediately preceding `forward`
     /// at the same placement, mirroring toolkit autograd semantics.
-    fn backward(&mut self, netlist: &Netlist<T>, placement: &Placement<T>, grad: &mut Gradient<T>);
+    fn backward(
+        &mut self,
+        netlist: &Netlist<T>,
+        placement: &Placement<T>,
+        grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    );
 
     /// Computes cost and gradient in one pass. Default: `forward` then
     /// `backward`.
@@ -96,9 +114,10 @@ pub trait Operator<T: Float> {
         netlist: &Netlist<T>,
         placement: &Placement<T>,
         grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
     ) -> T {
-        let cost = self.forward(netlist, placement);
-        self.backward(netlist, placement, grad);
+        let cost = self.forward(netlist, placement, ctx);
+        self.backward(netlist, placement, grad, ctx);
         cost
     }
 }
@@ -146,29 +165,42 @@ impl<'a, T: Float> Objective<'a, T> {
     }
 
     /// Weighted total cost.
-    pub fn forward(&mut self, netlist: &Netlist<T>, placement: &Placement<T>) -> T {
+    pub fn forward(
+        &mut self,
+        netlist: &Netlist<T>,
+        placement: &Placement<T>,
+        ctx: &mut ExecCtx<T>,
+    ) -> T {
         self.terms
             .iter_mut()
-            .map(|(w, op)| *w * op.forward(netlist, placement))
+            .map(|(w, op)| *w * op.forward(netlist, placement, ctx))
             .sum()
     }
 
     /// Weighted cost plus gradient accumulation (gradient is *added* to
-    /// `grad`; reset it first if a fresh gradient is wanted).
+    /// `grad`; reset it first if a fresh gradient is wanted). The per-term
+    /// scratch gradient is leased from the ctx, not allocated per call.
     pub fn forward_backward(
         &mut self,
         netlist: &Netlist<T>,
         placement: &Placement<T>,
         grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
     ) -> T {
         let n = grad.len();
-        let mut scratch = Gradient::zeros(n);
+        let mut scratch = Gradient {
+            x: ctx.lease("objective.scratch.x", n),
+            y: ctx.lease("objective.scratch.y", n),
+        };
         let mut total = T::ZERO;
         for (w, op) in self.terms.iter_mut() {
             scratch.reset();
-            total += *w * op.forward_backward(netlist, placement, &mut scratch);
+            total += *w * op.forward_backward(netlist, placement, &mut scratch, ctx);
             grad.axpy(*w, &scratch);
         }
+        let Gradient { x, y } = scratch;
+        ctx.release("objective.scratch.x", x);
+        ctx.release("objective.scratch.y", y);
         total
     }
 }
@@ -180,6 +212,7 @@ impl<'a, T: Float> Default for Objective<'a, T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::NetlistBuilder;
@@ -192,12 +225,23 @@ mod tests {
         fn name(&self) -> &'static str {
             "linear"
         }
-        fn forward(&mut self, nl: &Netlist<f64>, p: &Placement<f64>) -> f64 {
+        fn forward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) -> f64 {
             (0..nl.num_movable())
                 .map(|i| self.slope * (p.x[i] + p.y[i]))
                 .sum()
         }
-        fn backward(&mut self, nl: &Netlist<f64>, _p: &Placement<f64>, g: &mut Gradient<f64>) {
+        fn backward(
+            &mut self,
+            nl: &Netlist<f64>,
+            _p: &Placement<f64>,
+            g: &mut Gradient<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) {
             for i in 0..nl.num_movable() {
                 g.x[i] += self.slope;
                 g.y[i] += self.slope;
@@ -241,8 +285,9 @@ mod tests {
         obj.push(1.0, &mut op1);
         let density_idx = obj.push(0.5, &mut op2);
 
+        let mut ctx = ExecCtx::serial();
         let mut g = Gradient::zeros(nl.num_cells());
-        let cost = obj.forward_backward(&nl, &p, &mut g);
+        let cost = obj.forward_backward(&nl, &p, &mut g, &mut ctx);
         // term1 = 1*(1+2) = 3; term2 = 0.5 * 2*(1+2) = 3
         assert_eq!(cost, 6.0);
         // grad x per movable = 1*1 + 0.5*2 = 2
@@ -250,8 +295,44 @@ mod tests {
 
         obj.set_weight(density_idx, 2.0);
         assert_eq!(obj.weight(density_idx), 2.0);
-        let cost2 = obj.forward(&nl, &p);
+        let cost2 = obj.forward(&nl, &p, &mut ctx);
         assert_eq!(cost2, 3.0 + 2.0 * 6.0);
+
+        // The objective's scratch gradient comes from the ctx registry.
+        let summary = ctx.summary();
+        let scratch = summary
+            .workspaces
+            .iter()
+            .find(|(k, _)| *k == "objective.scratch.x")
+            .expect("leased")
+            .1;
+        assert_eq!(scratch.uses, 1);
+    }
+
+    #[test]
+    fn objective_scratch_is_reused_across_calls() {
+        let nl = tiny_netlist();
+        let p = Placement::zeros(nl.num_cells());
+        let mut op = Linear { slope: 1.0 };
+        let mut obj = Objective::new();
+        obj.push(1.0, &mut op);
+        let mut ctx = ExecCtx::serial();
+        let mut g = Gradient::zeros(nl.num_cells());
+        for _ in 0..5 {
+            g.reset();
+            let _ = obj.forward_backward(&nl, &p, &mut g, &mut ctx);
+        }
+        let summary = ctx.summary();
+        for key in ["objective.scratch.x", "objective.scratch.y"] {
+            let ws = summary
+                .workspaces
+                .iter()
+                .find(|(k, _)| *k == key)
+                .expect("leased")
+                .1;
+            assert_eq!(ws.uses, 5, "{key}");
+            assert_eq!(ws.reuses, 4, "{key}");
+        }
     }
 
     #[test]
@@ -259,8 +340,9 @@ mod tests {
         let nl = tiny_netlist();
         let p = Placement::zeros(nl.num_cells());
         let mut op = Linear { slope: 3.0 };
+        let mut ctx = ExecCtx::serial();
         let mut g = Gradient::zeros(nl.num_cells());
-        let c = op.forward_backward(&nl, &p, &mut g);
+        let c = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         assert_eq!(c, 0.0);
         assert_eq!(g.x, vec![3.0, 3.0]);
     }

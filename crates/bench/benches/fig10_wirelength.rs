@@ -2,7 +2,7 @@
 //! strategies (net-by-net, atomic / Algorithm 1, merged / Algorithm 2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_gen::GeneratorConfig;
 use dp_gp::initial_placement;
 use dp_wirelength::{WaStrategy, WaWirelength};
@@ -13,6 +13,7 @@ fn bench_wa_strategies(c: &mut Criterion) {
         .generate::<f32>()
         .expect("generates");
     let pos = initial_placement(&design.netlist, &design.fixed_positions, 0.25, 3);
+    let mut ctx = ExecCtx::new(dp_num::default_threads());
     let mut grad = Gradient::zeros(design.netlist.num_cells());
 
     let mut group = c.benchmark_group("fig10_wa_fwd_bwd");
@@ -21,7 +22,7 @@ fn bench_wa_strategies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(strategy), &pos, |b, pos| {
             b.iter(|| {
                 grad.reset();
-                op.forward_backward(&design.netlist, pos, &mut grad)
+                op.forward_backward(&design.netlist, pos, &mut grad, &mut ctx)
             })
         });
     }

@@ -3,7 +3,7 @@
 //! workers, direct 2-D DCT).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_density::{BinGrid, DctBackendKind, DensityOp, DensityStrategy};
 use dp_gen::GeneratorConfig;
 use dp_gp::initial_placement;
@@ -16,6 +16,7 @@ fn bench_density_generations(c: &mut Criterion) {
     let nl = &design.netlist;
     let pos = initial_placement(nl, &design.fixed_positions, 0.25, 3);
     let m = dp_gp::GpConfig::<f32>::auto_bins(nl.num_movable());
+    let mut ctx = ExecCtx::new(dp_num::default_threads());
     let mut grad = Gradient::zeros(nl.num_cells());
 
     let configs: [(&str, DensityStrategy, DctBackendKind); 2] = [
@@ -35,7 +36,7 @@ fn bench_density_generations(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &pos, |b, pos| {
             b.iter(|| {
                 grad.reset();
-                op.forward_backward(nl, pos, &mut grad)
+                op.forward_backward(nl, pos, &mut grad, &mut ctx)
             })
         });
     }

@@ -2,7 +2,7 @@
 //! 4x4 workers updating each cell.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_density::{BinGrid, DensityOp, DensityStrategy};
 use dp_gen::GeneratorConfig;
 use dp_gp::initial_placement;
@@ -15,6 +15,7 @@ fn bench_density_workers(c: &mut Criterion) {
     let nl = &design.netlist;
     let pos = initial_placement(nl, &design.fixed_positions, 0.25, 3);
     let m = dp_gp::GpConfig::<f32>::auto_bins(nl.num_movable());
+    let mut ctx = ExecCtx::new(dp_num::default_threads());
     let mut grad = Gradient::zeros(nl.num_cells());
 
     let configs: [(&str, DensityStrategy); 4] = [
@@ -32,7 +33,7 @@ fn bench_density_workers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &pos, |b, pos| {
             b.iter(|| {
                 grad.reset();
-                op.forward_backward(nl, pos, &mut grad)
+                op.forward_backward(nl, pos, &mut grad, &mut ctx)
             })
         });
     }

@@ -1,0 +1,58 @@
+//! Criterion bench for the persistent executor: launching a small parallel
+//! kernel on a long-lived [`WorkerPool`] versus spawning scoped threads per
+//! call ([`dp_num::parallel::parallel_for_chunks`]).
+//!
+//! A global-placement iteration launches every kernel (wirelength forward,
+//! density scatter, field gather, ...) once per step, so the per-call launch
+//! cost is on the hot path. The pool parks its workers between calls; the
+//! scoped-thread path pays a full spawn + join each time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_num::parallel::{paper_chunk_size, parallel_for_chunks};
+use dp_num::WorkerPool;
+
+const ITEMS: usize = 4_096;
+
+fn saxpy(range: std::ops::Range<usize>, x: &[f32], y: &dp_num::parallel::DisjointSlice<'_, f32>) {
+    for i in range {
+        // SAFETY: chunks are disjoint, so each index is touched by one worker.
+        unsafe {
+            let v = y.read(i);
+            y.write(i, 2.0 * x[i] + v);
+        }
+    }
+}
+
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    let threads = dp_num::default_threads().max(2);
+    let x = vec![1.5f32; ITEMS];
+    let mut yv = vec![0.25f32; ITEMS];
+
+    let mut group = c.benchmark_group("pool_vs_spawn");
+
+    let pool = WorkerPool::new(threads);
+    let chunk = pool.chunk_for(ITEMS);
+    group.bench_with_input(BenchmarkId::new("pool", threads), &x, |b, x| {
+        b.iter(|| {
+            let y = dp_num::parallel::DisjointSlice::new(&mut yv);
+            pool.run(ITEMS, chunk, |range| saxpy(range, x, &y));
+        })
+    });
+
+    let chunk = paper_chunk_size(ITEMS, threads);
+    group.bench_with_input(BenchmarkId::new("spawn", threads), &x, |b, x| {
+        b.iter(|| {
+            let y = dp_num::parallel::DisjointSlice::new(&mut yv);
+            parallel_for_chunks(ITEMS, threads, chunk, |range| saxpy(range, x, &y));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pool_vs_spawn
+}
+criterion_main!(benches);

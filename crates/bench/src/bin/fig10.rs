@@ -7,7 +7,7 @@
 //! DP_SCALE=64 cargo run -p dp-bench --release --bin fig10
 //! ```
 
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_bench::{best_of, hr, scale};
 use dp_gp::initial_placement;
 use dp_wirelength::{WaStrategy, WaWirelength};
@@ -15,11 +15,12 @@ use dp_wirelength::{WaStrategy, WaWirelength};
 fn measure(design: &dp_gen::GeneratedDesign<f32>, strategy: WaStrategy, threads: usize) -> f64 {
     let nl = &design.netlist;
     let pos = initial_placement(nl, &design.fixed_positions, 0.25, 3);
-    let mut op = WaWirelength::new(strategy, 10.0f32).with_threads(threads);
+    let mut op = WaWirelength::new(strategy, 10.0f32);
+    let mut ctx = ExecCtx::new(threads);
     let mut g = Gradient::zeros(nl.num_cells());
     best_of(5, || {
         g.reset();
-        op.forward_backward(nl, &pos, &mut g)
+        op.forward_backward(nl, &pos, &mut g, &mut ctx)
     })
 }
 
@@ -28,10 +29,12 @@ fn main() {
         "Fig. 10 (WA wirelength fwd+bwd, float32, ms) at 1/{} scale",
         scale()
     );
+    let mt = dp_num::default_threads().max(2);
+    let mt_label = format!("nbn {mt} threads");
     hr(88);
     println!(
-        "{:<10} | {:>11} {:>11} {:>11} | {:>12} {:>12}",
-        "design", "net-by-net", "atomic", "merged", "nbn 1 thread", "nbn 2 threads"
+        "{:<10} | {:>11} {:>11} {:>11} | {:>12} {:>13}",
+        "design", "net-by-net", "atomic", "merged", "nbn 1 thread", mt_label
     );
     hr(88);
     let mut sums = [0.0f64; 3];
@@ -44,9 +47,9 @@ fn main() {
         let nbn = measure(&design, WaStrategy::NetByNet, 1);
         let atomic = measure(&design, WaStrategy::Atomic, 1);
         let merged = measure(&design, WaStrategy::Merged, 1);
-        let nbn_mt = measure(&design, WaStrategy::NetByNet, 2);
+        let nbn_mt = measure(&design, WaStrategy::NetByNet, mt);
         println!(
-            "{:<10} | {:>11.3} {:>11.3} {:>11.3} | {:>12.3} {:>12.3}",
+            "{:<10} | {:>11.3} {:>11.3} {:>11.3} | {:>12.3} {:>13.3}",
             design.name,
             nbn * 1e3,
             atomic * 1e3,
@@ -68,6 +71,7 @@ fn main() {
         "\npaper shape (GPU): merged 3.7x over net-by-net and 1.8x over atomic;\n\
          (CPU): atomic *slower* than net-by-net, merged ~30% faster than\n\
          net-by-net — the CPU ordering is what this machine reproduces.\n\
-         note: 1-core machine, so the multi-thread column shows overhead."
+         note: the multi-thread column uses DP_THREADS (default: all\n\
+         cores); on a 1-core machine it shows pool overhead."
     );
 }

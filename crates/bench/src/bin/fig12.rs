@@ -7,7 +7,7 @@
 //! DP_SCALE=64 cargo run -p dp-bench --release --bin fig12
 //! ```
 
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_bench::{best_of, hr, scale};
 use dp_density::{BinGrid, DctBackendKind, DensityOp, DensityStrategy};
 use dp_gp::initial_placement;
@@ -22,14 +22,13 @@ fn measure(
     let pos = initial_placement(nl, &design.fixed_positions, 0.25, 3);
     let m = dp_gp::GpConfig::<f32>::auto_bins(nl.num_movable());
     let grid = BinGrid::new(nl.region(), m, m).expect("bins");
-    let mut op = DensityOp::with_backend(grid, strategy, 1.0, backend)
-        .expect("density op")
-        .with_threads(threads);
+    let mut op = DensityOp::with_backend(grid, strategy, 1.0, backend).expect("density op");
     op.bake_fixed(nl, &pos);
+    let mut ctx = ExecCtx::new(threads);
     let mut g = Gradient::zeros(nl.num_cells());
     best_of(5, || {
         g.reset();
-        op.forward_backward(nl, &pos, &mut g)
+        op.forward_backward(nl, &pos, &mut g, &mut ctx)
     })
 }
 
@@ -73,7 +72,7 @@ fn main() {
             &design,
             DensityStrategy::Sorted,
             DctBackendKind::Direct2d,
-            2,
+            dp_num::default_threads().max(2),
         );
         println!(
             "{:<10} | {:>10.2} {:>10.2} {:>8.2} | {:>10.2} {:>10.2}",
@@ -94,6 +93,7 @@ fn main() {
     println!(
         "\npaper shape: the TCAD kernels are 1.5-2.1x faster than the DAC'19\n\
          version (GPU); 40 CPU threads give ~3.1x over one.\n\
-         note: 1-core machine, so the 2-thread column shows overhead."
+         note: the multi-thread column uses DP_THREADS (default: all\n\
+         cores); on a 1-core machine it shows pool overhead."
     );
 }

@@ -6,7 +6,7 @@
 //! DP_SCALE=64 cargo run -p dp-bench --release --bin fig6
 //! ```
 
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_bench::{best_of, hr, scale};
 use dp_density::{BinGrid, DensityOp, DensityStrategy};
 use dp_gp::initial_placement;
@@ -19,10 +19,13 @@ fn measure<T: Float>(design: &dp_gen::GeneratedDesign<T>, strategy: DensityStrat
     let grid = BinGrid::new(nl.region(), m, m).expect("bins");
     let mut op = DensityOp::new(grid, strategy, T::ONE).expect("density op");
     op.bake_fixed(nl, &pos);
+    // One pool per measurement (DP_THREADS override, else all cores),
+    // reused across the timed repetitions like a placement run would.
+    let mut ctx = ExecCtx::new(dp_num::default_threads());
     let mut g = Gradient::zeros(nl.num_cells());
     best_of(5, || {
         g.reset();
-        op.forward_backward(nl, &pos, &mut g)
+        op.forward_backward(nl, &pos, &mut g, &mut ctx)
     })
 }
 

@@ -38,16 +38,24 @@ fn main() {
         let d64 = preset.config.generate::<f64>().expect("generates");
         let d32 = preset.config.generate::<f32>().expect("generates");
         let row64: Vec<f64> = [
-            ToolMode::ReplaceBaseline { threads: 1 },
-            ToolMode::DreamplaceCpu { threads: 1 },
+            ToolMode::ReplaceBaseline {
+                threads: dp_num::default_threads(),
+            },
+            ToolMode::DreamplaceCpu {
+                threads: dp_num::default_threads(),
+            },
             ToolMode::DreamplaceGpuSim,
         ]
         .iter()
         .map(|m| gp_seconds(*m, &d64))
         .collect();
         let row32: Vec<f64> = [
-            ToolMode::ReplaceBaseline { threads: 1 },
-            ToolMode::DreamplaceCpu { threads: 1 },
+            ToolMode::ReplaceBaseline {
+                threads: dp_num::default_threads(),
+            },
+            ToolMode::DreamplaceCpu {
+                threads: dp_num::default_threads(),
+            },
             ToolMode::DreamplaceGpuSim,
         ]
         .iter()

@@ -7,7 +7,7 @@
 //! DP_SCALE=64 cargo run -p dp-bench --release --bin fig9
 //! ```
 
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_bench::{best_of, generate, hr, scale};
 use dp_density::{BinGrid, DctBackendKind, DensityOp, DensityStrategy, ElectroField};
 use dp_gp::initial_placement;
@@ -61,17 +61,18 @@ fn main() {
     .expect("density op");
     density.bake_fixed(nl, &pos);
 
+    let mut ctx = ExecCtx::new(dp_num::default_threads());
     let mut g = Gradient::zeros(nl.num_cells());
     let t_wl = best_of(5, || {
         g.reset();
-        wl.forward_backward(nl, &pos, &mut g)
+        wl.forward_backward(nl, &pos, &mut g, &mut ctx)
     });
     let t_density = best_of(5, || {
         g.reset();
-        density.forward_backward(nl, &pos, &mut g)
+        density.forward_backward(nl, &pos, &mut g, &mut ctx)
     });
     // DCT share: time the spectral solve alone on the final density map.
-    let solver = ElectroField::new(&grid, DctBackendKind::Direct2d).expect("solver");
+    let mut solver = ElectroField::new(&grid, DctBackendKind::Direct2d).expect("solver");
     let rho = density.last_density_map().expect("map cached");
     let t_dct = best_of(5, || solver.solve(&rho));
 

@@ -13,8 +13,12 @@ use dreamplace_core::ToolMode;
 
 fn main() {
     let modes = [
-        ToolMode::ReplaceBaseline { threads: 1 },
-        ToolMode::DreamplaceCpu { threads: 1 },
+        ToolMode::ReplaceBaseline {
+            threads: dp_num::default_threads(),
+        },
+        ToolMode::DreamplaceCpu {
+            threads: dp_num::default_threads(),
+        },
         ToolMode::DreamplaceGpuSim,
     ];
     println!(

@@ -31,7 +31,6 @@
 //! # }
 //! ```
 
-
 // Library code must surface structured errors instead of panicking;
 // tests opt out module-by-module.
 #![deny(clippy::unwrap_used, clippy::expect_used)]

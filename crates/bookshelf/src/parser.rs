@@ -599,11 +599,8 @@ mod tests {
     ) -> Result<BookshelfDesign<f64>, ParseBookshelfError> {
         let dir = std::env::temp_dir().join(format!("dp-bookshelf-corrupt-{tag}"));
         std::fs::create_dir_all(&dir).expect("mkdir");
-        std::fs::write(
-            dir.join("d.aux"),
-            "RowBasedPlacement : d.nodes d.nets d.pl",
-        )
-        .expect("write");
+        std::fs::write(dir.join("d.aux"), "RowBasedPlacement : d.nodes d.nets d.pl")
+            .expect("write");
         std::fs::write(
             dir.join("d.nodes"),
             "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\no0 2 2\no1 2 2\n",
@@ -635,8 +632,12 @@ mod tests {
 
     #[test]
     fn baseline_fixture_parses() {
-        let d = corrupted("baseline", "d.aux", "RowBasedPlacement : d.nodes d.nets d.pl")
-            .expect("valid fixture");
+        let d = corrupted(
+            "baseline",
+            "d.aux",
+            "RowBasedPlacement : d.nodes d.nets d.pl",
+        )
+        .expect("valid fixture");
         assert_eq!(d.netlist.num_cells(), 2);
         assert_eq!(d.netlist.num_nets(), 1);
     }

@@ -301,9 +301,11 @@ impl<T: Float> DreamPlacer<T> {
             return Err(err.into());
         };
 
-        match GlobalPlacer::new(conservative_preset(&self.config.gp, nl))
-            .place_from(nl, (*best).clone(), None)
-        {
+        match GlobalPlacer::new(conservative_preset(&self.config.gp, nl)).place_from(
+            nl,
+            (*best).clone(),
+            None,
+        ) {
             Ok(r) => Ok((r, Some(GpFallback::ConservativePreset { cause }))),
             Err(GpError::Diverged {
                 iteration,
@@ -329,6 +331,7 @@ impl<T: Float> DreamPlacer<T> {
                     timing: GpTiming::default(),
                     recoveries: total_recoveries,
                     recovery_events: Vec::new(),
+                    exec: Default::default(),
                 };
                 Ok((
                     GpResult { placement, stats },
@@ -458,7 +461,9 @@ mod tests {
         cfg.gp.min_iters = 100;
         cfg.gp.fault_injection.nan_grad_evals = (60..72).collect();
         cfg.run_dp = false;
-        let r = DreamPlacer::new(cfg).place(&d).expect("degrades, not fails");
+        let r = DreamPlacer::new(cfg)
+            .place(&d)
+            .expect("degrades, not fails");
         match r.gp_fallback {
             Some(GpFallback::BestSoFar { recoveries, .. }) => assert_eq!(recoveries, 0),
             other => panic!("expected best-so-far fallback, got {other:?}"),

@@ -64,7 +64,7 @@ impl ToolMode {
                 cfg.init = InitKind::RandomCenter;
             }
             ToolMode::DreamplaceGpuSim => {
-                cfg.threads = 1;
+                cfg.threads = dp_num::default_threads();
                 cfg.wirelength = WirelengthModel::Wa(WaStrategy::Merged);
                 cfg.density_strategy = DensityStrategy::SortedSubthreads { tx: 2, ty: 2 };
                 cfg.dct_backend = DctBackendKind::Direct2d;

@@ -282,6 +282,7 @@ fn idxst_via_idct<T: Float>(x: &[T], idct: impl Fn(&[T]) -> Vec<T>) -> Vec<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::naive::{naive_dct, naive_idct, naive_idxst};

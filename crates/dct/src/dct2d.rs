@@ -172,11 +172,44 @@ impl<T: Float> RowColumnDct2d<T> {
     }
 }
 
+/// Reusable scratch for [`Dct2dPlan`] transforms.
+///
+/// The plan's `_with` methods fill these buffers instead of allocating; one
+/// `Dct2dWork` per solver amortizes every per-transform allocation away.
+/// Buffers grow on demand and are reset by each call, so one work object
+/// can serve plans of different shapes (at the cost of a regrow).
+#[derive(Debug, Clone, Default)]
+pub struct Dct2dWork<T> {
+    /// Real-valued `n1 * n2` scratch (permuted / flipped input).
+    real: Vec<T>,
+    /// Secondary real scratch for the mixed transforms' flip step.
+    real2: Vec<T>,
+    /// One-sided spectrum scratch, `n1 * (n2/2 + 1)`.
+    spec: Vec<Complex<T>>,
+    /// Column scratch, `n1`.
+    col: Vec<Complex<T>>,
+}
+
+impl<T: Float> Dct2dWork<T> {
+    /// Creates an empty work object (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes of scratch currently held (for workspace counters).
+    pub fn bytes(&self) -> usize {
+        (self.real.capacity() + self.real2.capacity()) * std::mem::size_of::<T>()
+            + (self.spec.capacity() + self.col.capacity()) * std::mem::size_of::<Complex<T>>()
+    }
+}
+
 /// The direct 2-D plan of paper Algorithm 4: each transform is one 2-D real
 /// FFT call wrapped in linear-time pre/post-processing.
 ///
 /// This is the tier labelled "DCT-2D-N" in Fig. 11 and the one the density
-/// operator uses in the optimized configuration.
+/// operator uses in the optimized configuration. The `_with` method
+/// variants take a [`Dct2dWork`] and an output buffer to reuse allocations
+/// across calls; the plain methods allocate fresh buffers per call.
 ///
 /// # Examples
 ///
@@ -202,6 +235,9 @@ pub struct Dct2dPlan<T> {
     w1: Vec<Complex<T>>,
     /// `e^{-i pi k / (2 n2)}` for `k = 0..n2`.
     w2: Vec<Complex<T>>,
+    /// Precomputed even/odd reorder maps (Algorithm 3) for both axes.
+    r1: Vec<usize>,
+    r2: Vec<usize>,
 }
 
 impl<T: Float> Dct2dPlan<T> {
@@ -228,6 +264,8 @@ impl<T: Float> Dct2dPlan<T> {
             col_fft,
             w1: (0..n1).map(|k| phase(k, n1)).collect(),
             w2: (0..n2).map(|k| phase(k, n2)).collect(),
+            r1: reorder_index(n1),
+            r2: reorder_index(n2),
         })
     }
 
@@ -236,50 +274,55 @@ impl<T: Float> Dct2dPlan<T> {
         (self.n1, self.n2)
     }
 
-    /// 2-D real FFT: `n1 x n2` reals to `n1 x (n2/2 + 1)` complex bins
-    /// (unnormalized), rows first then columns.
-    fn rfft2(&self, x: &[T]) -> Vec<Complex<T>> {
+    /// 2-D real FFT of `work.real` into `work.spec`: `n1 x n2` reals to
+    /// `n1 x (n2/2 + 1)` complex bins (unnormalized), rows then columns.
+    fn rfft2_into(&self, work: &mut Dct2dWork<T>) {
         let (n1, n2) = (self.n1, self.n2);
         let n2h = n2 / 2 + 1;
-        let mut spec = vec![Complex::zero(); n1 * n2h];
+        work.spec.clear();
+        work.spec.resize(n1 * n2h, Complex::zero());
         for r in 0..n1 {
-            let row = self.row_rfft.forward(&x[r * n2..(r + 1) * n2]);
-            spec[r * n2h..(r + 1) * n2h].copy_from_slice(&row);
+            let row = self.row_rfft.forward(&work.real[r * n2..(r + 1) * n2]);
+            work.spec[r * n2h..(r + 1) * n2h].copy_from_slice(&row);
         }
-        let mut col = vec![Complex::zero(); n1];
+        work.col.clear();
+        work.col.resize(n1, Complex::zero());
+        let (spec, col) = (&mut work.spec, &mut work.col);
         for c in 0..n2h {
             for r in 0..n1 {
                 col[r] = spec[r * n2h + c];
             }
-            self.col_fft.forward(&mut col);
+            self.col_fft.forward(col);
             for r in 0..n1 {
                 spec[r * n2h + c] = col[r];
             }
         }
-        spec
     }
 
-    /// Inverse of [`Dct2dPlan::rfft2`] with full `1/(n1 n2)` normalization.
-    fn irfft2(&self, spec: &[Complex<T>]) -> Vec<T> {
+    /// Inverse of [`Dct2dPlan::rfft2_into`] with full `1/(n1 n2)`
+    /// normalization: transforms `work.spec` in place column-wise, then
+    /// writes the real rows into `work.real`.
+    fn irfft2_into(&self, work: &mut Dct2dWork<T>) {
         let (n1, n2) = (self.n1, self.n2);
         let n2h = n2 / 2 + 1;
-        let mut work = spec.to_vec();
-        let mut col = vec![Complex::zero(); n1];
+        work.col.clear();
+        work.col.resize(n1, Complex::zero());
+        let (spec, col) = (&mut work.spec, &mut work.col);
         for c in 0..n2h {
             for r in 0..n1 {
-                col[r] = work[r * n2h + c];
+                col[r] = spec[r * n2h + c];
             }
-            self.col_fft.inverse(&mut col);
+            self.col_fft.inverse(col);
             for r in 0..n1 {
-                work[r * n2h + c] = col[r];
+                spec[r * n2h + c] = col[r];
             }
         }
-        let mut out = vec![T::ZERO; n1 * n2];
+        work.real.clear();
+        work.real.resize(n1 * n2, T::ZERO);
         for r in 0..n1 {
-            let row = self.row_rfft.inverse(&work[r * n2h..(r + 1) * n2h]);
-            out[r * n2..(r + 1) * n2].copy_from_slice(&row);
+            let row = self.row_rfft.inverse(&work.spec[r * n2h..(r + 1) * n2h]);
+            work.real[r * n2..(r + 1) * n2].copy_from_slice(&row);
         }
-        out
     }
 
     /// Reads the full (wrapped) 2-D spectrum from one-sided storage using
@@ -296,49 +339,62 @@ impl<T: Float> Dct2dPlan<T> {
         }
     }
 
-    /// Forward 2-D DCT (paper Algorithm 4, `2D_DCT`).
+    /// Forward 2-D DCT (paper Algorithm 4, `2D_DCT`) into `out`, reusing
+    /// `work`'s buffers.
     ///
     /// Matches `RowColumnDct2d::dct2` exactly (library normalization).
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != n1 * n2`.
-    pub fn dct2(&self, x: &[T]) -> Vec<T> {
+    pub fn dct2_with(&self, x: &[T], work: &mut Dct2dWork<T>, out: &mut Vec<T>) {
         let (n1, n2) = (self.n1, self.n2);
         assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
         // Preprocess (Eq. 10): the 1-D even/odd reorder applied to both axes.
-        let r1: Vec<usize> = reorder_index(n1);
-        let r2: Vec<usize> = reorder_index(n2);
-        let mut perm = vec![T::ZERO; n1 * n2];
-        for (i, &src_i) in r1.iter().enumerate() {
-            for (j, &src_j) in r2.iter().enumerate() {
-                perm[i * n2 + j] = x[src_i * n2 + src_j];
+        work.real.clear();
+        work.real.resize(n1 * n2, T::ZERO);
+        for (i, &src_i) in self.r1.iter().enumerate() {
+            for (j, &src_j) in self.r2.iter().enumerate() {
+                work.real[i * n2 + j] = x[src_i * n2 + src_j];
             }
         }
-        let spec = self.rfft2(&perm);
+        self.rfft2_into(work);
         // Postprocess (Eq. 11 with Hermitian wrap):
         // y = (1/(N1 N2)) * 2 Re{ W1(k1) [W2(k2) V(k1,k2)
         //                                 + conj(W2(k2)) V(k1,(N2-k2)%N2)] }.
         let scale = T::TWO / T::from_usize(n1 * n2);
-        let mut out = vec![T::ZERO; n1 * n2];
+        out.clear();
+        out.resize(n1 * n2, T::ZERO);
         for k1 in 0..n1 {
             for k2 in 0..n2 {
-                let v = self.spec_at(&spec, k1, k2);
-                let vr = self.spec_at(&spec, k1, (n2 - k2) % n2);
+                let v = self.spec_at(&work.spec, k1, k2);
+                let vr = self.spec_at(&work.spec, k1, (n2 - k2) % n2);
                 let inner = self.w2[k2] * v + self.w2[k2].conj() * vr;
                 out[k1 * n2 + k2] = (self.w1[k1] * inner).re * scale;
             }
         }
+    }
+
+    /// Forward 2-D DCT returning a fresh buffer; see
+    /// [`Dct2dPlan::dct2_with`] for the allocation-free variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn dct2(&self, x: &[T]) -> Vec<T> {
+        let mut work = Dct2dWork::new();
+        let mut out = Vec::new();
+        self.dct2_with(x, &mut work, &mut out);
         out
     }
 
-    /// Inverse 2-D DCT (paper Algorithm 4, `2D_IDCT`), the exact inverse of
-    /// [`Dct2dPlan::dct2`].
+    /// Inverse 2-D DCT (paper Algorithm 4, `2D_IDCT`) into `out`, reusing
+    /// `work`'s buffers; the exact inverse of [`Dct2dPlan::dct2_with`].
     ///
     /// # Panics
     ///
     /// Panics if `c.len() != n1 * n2`.
-    pub fn idct2(&self, c: &[T]) -> Vec<T> {
+    pub fn idct2_with(&self, c: &[T], work: &mut Dct2dWork<T>, out: &mut Vec<T>) {
         let (n1, n2) = (self.n1, self.n2);
         assert_eq!(c.len(), n1 * n2, "matrix shape mismatch");
         // Preprocess (Eq. 12):
@@ -354,7 +410,8 @@ impl<T: Float> Dct2dPlan<T> {
                 c[k1 * n2 + k2]
             }
         };
-        let mut spec = vec![Complex::zero(); n1 * n2h];
+        work.spec.clear();
+        work.spec.resize(n1 * n2h, Complex::zero());
         for k1 in 0..n1 {
             for k2 in 0..n2h {
                 let a = at(k1, k2);
@@ -363,70 +420,110 @@ impl<T: Float> Dct2dPlan<T> {
                 let q = at(k1, n2 - k2);
                 let bracket = Complex::new(a - b, -(p + q));
                 let w = self.w1[k1].conj() * self.w2[k2].conj();
-                spec[k1 * n2h + k2] = (w * bracket).scale(quarter);
+                work.spec[k1 * n2h + k2] = (w * bracket).scale(quarter);
             }
         }
-        let v = self.irfft2(&spec);
+        self.irfft2_into(work);
         // Postprocess (Eq. 13): inverse of the Eq. 10 permutation.
-        let r1 = reorder_index(n1);
-        let r2 = reorder_index(n2);
-        let mut out = vec![T::ZERO; n1 * n2];
-        for (i, &dst_i) in r1.iter().enumerate() {
-            for (j, &dst_j) in r2.iter().enumerate() {
-                out[dst_i * n2 + dst_j] = v[i * n2 + j];
+        out.clear();
+        out.resize(n1 * n2, T::ZERO);
+        for (i, &dst_i) in self.r1.iter().enumerate() {
+            for (j, &dst_j) in self.r2.iter().enumerate() {
+                out[dst_i * n2 + dst_j] = work.real[i * n2 + j];
             }
         }
+    }
+
+    /// Inverse 2-D DCT returning a fresh buffer; see
+    /// [`Dct2dPlan::idct2_with`] for the allocation-free variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != n1 * n2`.
+    pub fn idct2(&self, c: &[T]) -> Vec<T> {
+        let mut work = Dct2dWork::new();
+        let mut out = Vec::new();
+        self.idct2_with(c, &mut work, &mut out);
         out
     }
 
     /// IDCT along dimension 1, IDXST along dimension 2 (paper Algorithm 4,
-    /// `IDCT_IDXST`; used for the Y electric field, Eq. (9d)).
+    /// `IDCT_IDXST`; used for the Y electric field, Eq. (9d)) into `out`.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != n1 * n2`.
-    pub fn idct_idxst(&self, x: &[T]) -> Vec<T> {
+    pub fn idct_idxst_with(&self, x: &[T], work: &mut Dct2dWork<T>, out: &mut Vec<T>) {
         let (n1, n2) = (self.n1, self.n2);
         assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
-        // Preprocess (Eq. 14): flip dimension 2 with x(n1, 0) -> 0.
-        let mut flipped = vec![T::ZERO; n1 * n2];
+        // Preprocess (Eq. 14): flip dimension 2 with x(n1, 0) -> 0. The flip
+        // buffer is moved out of `work` while `idct2_with` borrows the rest.
+        let mut flipped = std::mem::take(&mut work.real2);
+        flipped.clear();
+        flipped.resize(n1 * n2, T::ZERO);
         for i in 0..n1 {
             for j in 1..n2 {
                 flipped[i * n2 + j] = x[i * n2 + (n2 - j)];
             }
         }
-        let mut y = self.idct2(&flipped);
+        self.idct2_with(&flipped, work, out);
+        work.real2 = flipped;
         // Postprocess (Eq. 15): alternate signs along dimension 2.
         for i in 0..n1 {
             for j in (1..n2).step_by(2) {
-                y[i * n2 + j] = -y[i * n2 + j];
+                out[i * n2 + j] = -out[i * n2 + j];
             }
         }
-        y
+    }
+
+    /// [`Dct2dPlan::idct_idxst_with`] returning a fresh buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idct_idxst(&self, x: &[T]) -> Vec<T> {
+        let mut work = Dct2dWork::new();
+        let mut out = Vec::new();
+        self.idct_idxst_with(x, &mut work, &mut out);
+        out
     }
 
     /// IDXST along dimension 1, IDCT along dimension 2 (paper Algorithm 4,
-    /// `IDXST_IDCT`; used for the X electric field, Eq. (9c)).
+    /// `IDXST_IDCT`; used for the X electric field, Eq. (9c)) into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idxst_idct_with(&self, x: &[T], work: &mut Dct2dWork<T>, out: &mut Vec<T>) {
+        let (n1, n2) = (self.n1, self.n2);
+        assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
+        // Preprocess (Eq. 16): flip dimension 1 with x(0, n2) -> 0.
+        let mut flipped = std::mem::take(&mut work.real2);
+        flipped.clear();
+        flipped.resize(n1 * n2, T::ZERO);
+        for i in 1..n1 {
+            flipped[i * n2..(i + 1) * n2].copy_from_slice(&x[(n1 - i) * n2..(n1 - i + 1) * n2]);
+        }
+        self.idct2_with(&flipped, work, out);
+        work.real2 = flipped;
+        // Postprocess (Eq. 17): alternate signs along dimension 1.
+        for i in (1..n1).step_by(2) {
+            for j in 0..n2 {
+                out[i * n2 + j] = -out[i * n2 + j];
+            }
+        }
+    }
+
+    /// [`Dct2dPlan::idxst_idct_with`] returning a fresh buffer.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != n1 * n2`.
     pub fn idxst_idct(&self, x: &[T]) -> Vec<T> {
-        let (n1, n2) = (self.n1, self.n2);
-        assert_eq!(x.len(), n1 * n2, "matrix shape mismatch");
-        // Preprocess (Eq. 16): flip dimension 1 with x(0, n2) -> 0.
-        let mut flipped = vec![T::ZERO; n1 * n2];
-        for i in 1..n1 {
-            flipped[i * n2..(i + 1) * n2].copy_from_slice(&x[(n1 - i) * n2..(n1 - i + 1) * n2]);
-        }
-        let mut y = self.idct2(&flipped);
-        // Postprocess (Eq. 17): alternate signs along dimension 1.
-        for i in (1..n1).step_by(2) {
-            for j in 0..n2 {
-                y[i * n2 + j] = -y[i * n2 + j];
-            }
-        }
-        y
+        let mut work = Dct2dWork::new();
+        let mut out = Vec::new();
+        self.idxst_idct_with(x, &mut work, &mut out);
+        out
     }
 }
 
@@ -439,6 +536,7 @@ fn reorder_index(n: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::naive::{naive_dct2, naive_idct2, naive_idct_idxst, naive_idxst_idct};

@@ -149,6 +149,7 @@ impl<T: Float> FftPlan<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::naive::naive_dft;

@@ -36,6 +36,10 @@
 //! # }
 //! ```
 
+// Library code must surface structured errors instead of panicking;
+// tests opt out module-by-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod dct1d;
 pub mod dct2d;
 pub mod fft;

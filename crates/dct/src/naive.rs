@@ -143,6 +143,7 @@ fn apply_rows_then_cols<T: Float>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

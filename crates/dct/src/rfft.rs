@@ -140,6 +140,7 @@ impl<T: Float> RfftPlan<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::naive::naive_dft;

@@ -189,6 +189,7 @@ impl<T: Float> BinGrid<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -4,7 +4,7 @@
 //! three DCT implementation tiers of Fig. 11 through [`DctBackendKind`], so
 //! the Fig. 12 density benchmark can toggle them.
 
-use dp_dct::dct2d::{Dct1dTier, RowColumnDct2d};
+use dp_dct::dct2d::{Dct1dTier, Dct2dWork, RowColumnDct2d};
 use dp_dct::{Dct2dPlan, TransformError};
 use dp_num::Float;
 
@@ -39,30 +39,38 @@ enum Backend<T> {
 }
 
 impl<T: Float> Backend<T> {
-    fn dct2(&self, x: &[T]) -> Vec<T> {
+    // The Direct2d tier runs allocation-free against the reusable
+    // `Dct2dWork`; the row-column tiers are legacy comparison points
+    // (Fig. 11) and keep their allocating transforms.
+    fn dct2_into(&self, x: &[T], work: &mut Dct2dWork<T>, out: &mut Vec<T>) {
         match self {
-            Backend::RowColumn(p) => p.dct2(x),
-            Backend::Direct(p) => p.dct2(x),
+            Backend::RowColumn(p) => replace_with(out, p.dct2(x)),
+            Backend::Direct(p) => p.dct2_with(x, work, out),
         }
     }
-    fn idct2(&self, x: &[T]) -> Vec<T> {
+    fn idct2_into(&self, x: &[T], work: &mut Dct2dWork<T>, out: &mut Vec<T>) {
         match self {
-            Backend::RowColumn(p) => p.idct2(x),
-            Backend::Direct(p) => p.idct2(x),
+            Backend::RowColumn(p) => replace_with(out, p.idct2(x)),
+            Backend::Direct(p) => p.idct2_with(x, work, out),
         }
     }
-    fn idxst_idct(&self, x: &[T]) -> Vec<T> {
+    fn idxst_idct_into(&self, x: &[T], work: &mut Dct2dWork<T>, out: &mut Vec<T>) {
         match self {
-            Backend::RowColumn(p) => p.idxst_idct(x),
-            Backend::Direct(p) => p.idxst_idct(x),
+            Backend::RowColumn(p) => replace_with(out, p.idxst_idct(x)),
+            Backend::Direct(p) => p.idxst_idct_with(x, work, out),
         }
     }
-    fn idct_idxst(&self, x: &[T]) -> Vec<T> {
+    fn idct_idxst_into(&self, x: &[T], work: &mut Dct2dWork<T>, out: &mut Vec<T>) {
         match self {
-            Backend::RowColumn(p) => p.idct_idxst(x),
-            Backend::Direct(p) => p.idct_idxst(x),
+            Backend::RowColumn(p) => replace_with(out, p.idct_idxst(x)),
+            Backend::Direct(p) => p.idct_idxst_with(x, work, out),
         }
     }
+}
+
+fn replace_with<T>(out: &mut Vec<T>, v: Vec<T>) {
+    out.clear();
+    out.extend(v);
 }
 
 /// Potential and field of one density snapshot, in bin units.
@@ -78,6 +86,31 @@ pub struct FieldSolution<T> {
     pub energy: T,
 }
 
+impl<T: Float> FieldSolution<T> {
+    /// An empty solution suitable as the out-param of
+    /// [`ElectroField::solve_into`]; buffers grow on first use.
+    pub fn empty() -> Self {
+        Self {
+            potential: Vec::new(),
+            field_x: Vec::new(),
+            field_y: Vec::new(),
+            energy: T::ZERO,
+        }
+    }
+
+    /// Heap bytes held by the solution buffers.
+    pub fn bytes(&self) -> usize {
+        (self.potential.capacity() + self.field_x.capacity() + self.field_y.capacity())
+            * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Float> Default for FieldSolution<T> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// The spectral electrostatics solver over a fixed [`BinGrid`].
 ///
 /// # Examples
@@ -88,9 +121,9 @@ pub struct FieldSolution<T> {
 ///
 /// # fn main() -> Result<(), dp_density::GridError> {
 /// let grid = BinGrid::new(Rect::new(0.0f64, 0.0, 64.0, 64.0), 8, 8)?;
-/// let solver = ElectroField::new(&grid, DctBackendKind::Direct2d)?;
 /// let mut rho = vec![0.0f64; 64];
 /// rho[8 * 4 + 4] = 1.0; // a point charge
+/// let mut solver = ElectroField::new(&grid, DctBackendKind::Direct2d)?;
 /// let sol = solver.solve(&rho);
 /// assert!(sol.energy > 0.0);
 /// # Ok(())
@@ -104,6 +137,39 @@ pub struct ElectroField<T: Float> {
     wu: Vec<T>,
     /// `w_v = pi v / my`.
     wv: Vec<T>,
+    /// Spectral coefficient and FFT scratch, reused across solves.
+    scratch: SolveScratch<T>,
+}
+
+/// Reusable scratch for one spectral solve; owned by the solver so a
+/// placement run allocates it exactly once.
+struct SolveScratch<T> {
+    a: Vec<T>,
+    coef_psi: Vec<T>,
+    coef_ex: Vec<T>,
+    coef_ey: Vec<T>,
+    dct_work: Dct2dWork<T>,
+}
+
+impl<T: Float> SolveScratch<T> {
+    fn new() -> Self {
+        Self {
+            a: Vec::new(),
+            coef_psi: Vec::new(),
+            coef_ex: Vec::new(),
+            coef_ey: Vec::new(),
+            dct_work: Dct2dWork::new(),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        (self.a.capacity()
+            + self.coef_psi.capacity()
+            + self.coef_ex.capacity()
+            + self.coef_ey.capacity())
+            * std::mem::size_of::<T>()
+            + self.dct_work.bytes()
+    }
 }
 
 impl<T: Float> ElectroField<T> {
@@ -131,11 +197,19 @@ impl<T: Float> ElectroField<T> {
             backend,
             wu: (0..mx).map(|u| freq(u, mx)).collect(),
             wv: (0..my).map(|v| freq(v, my)).collect(),
+            scratch: SolveScratch::new(),
         })
     }
 
+    /// Heap bytes held by the solver's reusable scratch buffers.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes()
+    }
+
     /// Solves Poisson's equation for a density map (row-major `mx x my`,
-    /// x-major as produced by [`crate::DensityMapBuilder`]).
+    /// x-major as produced by [`crate::DensityMapBuilder`]), writing the
+    /// result into `out` so both the solution and the spectral scratch are
+    /// reused across iterations.
     ///
     /// The DC component is removed (paper Eq. (4c)), making the solution
     /// independent of total charge.
@@ -143,13 +217,15 @@ impl<T: Float> ElectroField<T> {
     /// # Panics
     ///
     /// Panics if `rho.len() != mx * my`.
-    pub fn solve(&self, rho: &[T]) -> FieldSolution<T> {
+    pub fn solve_into(&mut self, rho: &[T], out: &mut FieldSolution<T>) {
         assert_eq!(rho.len(), self.mx * self.my, "density map shape mismatch");
-        let a = self.backend.dct2(rho);
+        let s = &mut self.scratch;
+        self.backend.dct2_into(rho, &mut s.dct_work, &mut s.a);
 
-        let mut coef_psi = vec![T::ZERO; a.len()];
-        let mut coef_ex = vec![T::ZERO; a.len()];
-        let mut coef_ey = vec![T::ZERO; a.len()];
+        for coef in [&mut s.coef_psi, &mut s.coef_ex, &mut s.coef_ey] {
+            coef.clear();
+            coef.resize(s.a.len(), T::ZERO);
+        }
         for u in 0..self.mx {
             for v in 0..self.my {
                 if u == 0 && v == 0 {
@@ -157,26 +233,40 @@ impl<T: Float> ElectroField<T> {
                 }
                 let idx = u * self.my + v;
                 let denom = self.wu[u] * self.wu[u] + self.wv[v] * self.wv[v];
-                coef_psi[idx] = a[idx] / denom;
-                coef_ex[idx] = a[idx] * self.wu[u] / denom;
-                coef_ey[idx] = a[idx] * self.wv[v] / denom;
+                s.coef_psi[idx] = s.a[idx] / denom;
+                s.coef_ex[idx] = s.a[idx] * self.wu[u] / denom;
+                s.coef_ey[idx] = s.a[idx] * self.wv[v] / denom;
             }
         }
 
-        let potential = self.backend.idct2(&coef_psi);
-        let field_x = self.backend.idxst_idct(&coef_ex);
-        let field_y = self.backend.idct_idxst(&coef_ey);
-        let energy = rho.iter().zip(&potential).map(|(&r, &p)| r * p).sum::<T>() * T::HALF;
-        FieldSolution {
-            potential,
-            field_x,
-            field_y,
-            energy,
-        }
+        self.backend
+            .idct2_into(&s.coef_psi, &mut s.dct_work, &mut out.potential);
+        self.backend
+            .idxst_idct_into(&s.coef_ex, &mut s.dct_work, &mut out.field_x);
+        self.backend
+            .idct_idxst_into(&s.coef_ey, &mut s.dct_work, &mut out.field_y);
+        out.energy = rho
+            .iter()
+            .zip(&out.potential)
+            .map(|(&r, &p)| r * p)
+            .sum::<T>()
+            * T::HALF;
+    }
+
+    /// [`ElectroField::solve_into`] returning a fresh [`FieldSolution`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho.len() != mx * my`.
+    pub fn solve(&mut self, rho: &[T]) -> FieldSolution<T> {
+        let mut out = FieldSolution::empty();
+        self.solve_into(rho, &mut out);
+        out
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::Rect;
@@ -192,7 +282,7 @@ mod tests {
     fn single_mode_matches_analytic_solution() {
         let m = 16;
         let g = grid(m);
-        let solver = ElectroField::new(&g, DctBackendKind::Direct2d).expect("plan");
+        let mut solver = ElectroField::new(&g, DctBackendKind::Direct2d).expect("plan");
         let (u, v) = (3usize, 5usize);
         let wu = std::f64::consts::PI * u as f64 / m as f64;
         let wv = std::f64::consts::PI * v as f64 / m as f64;
@@ -243,7 +333,7 @@ mod tests {
     #[test]
     fn uniform_density_has_zero_field_and_energy() {
         let g = grid(8);
-        let solver = ElectroField::new(&g, DctBackendKind::Direct2d).expect("plan");
+        let mut solver = ElectroField::new(&g, DctBackendKind::Direct2d).expect("plan");
         let sol = solver.solve(&vec![3.5; 64]);
         assert!(sol.energy.abs() < 1e-9);
         assert!(sol.field_x.iter().all(|v| v.abs() < 1e-9));
@@ -254,7 +344,7 @@ mod tests {
     fn dc_invariance() {
         // Adding a constant to rho must not change anything (Eq. 4c).
         let g = grid(8);
-        let solver = ElectroField::new(&g, DctBackendKind::Direct2d).expect("plan");
+        let mut solver = ElectroField::new(&g, DctBackendKind::Direct2d).expect("plan");
         let mut rho = vec![0.0; 64];
         rho[9] = 2.0;
         rho[40] = 1.0;
@@ -273,7 +363,7 @@ mod tests {
     fn field_points_away_from_charge() {
         let m = 16;
         let g = grid(m);
-        let solver = ElectroField::new(&g, DctBackendKind::Direct2d).expect("plan");
+        let mut solver = ElectroField::new(&g, DctBackendKind::Direct2d).expect("plan");
         let mut rho = vec![0.0; m * m];
         rho[g.index(8, 8)] = 4.0;
         let sol = solver.solve(&rho);

@@ -29,7 +29,7 @@
 //! # Examples
 //!
 //! ```
-//! use dp_autograd::{Gradient, Operator};
+//! use dp_autograd::{ExecCtx, Gradient, Operator};
 //! use dp_density::{BinGrid, DensityOp, DensityStrategy};
 //! use dp_netlist::{NetlistBuilder, Placement};
 //!
@@ -45,12 +45,17 @@
 //!
 //! let grid = BinGrid::new(nl.region(), 16, 16)?;
 //! let mut op = DensityOp::new(grid, DensityStrategy::Sorted, 1.0)?;
+//! let mut ctx = ExecCtx::serial();
 //! let mut g = Gradient::zeros(nl.num_cells());
-//! let energy = op.forward_backward(&nl, &p, &mut g);
+//! let energy = op.forward_backward(&nl, &p, &mut g, &mut ctx);
 //! assert!(energy > 0.0);
 //! # Ok(())
 //! # }
 //! ```
+
+// Library code must surface structured errors instead of panicking;
+// tests opt out module-by-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod bins;
 pub mod electro;

@@ -16,8 +16,7 @@
 //! boundaries.
 
 use dp_netlist::{Netlist, Placement, Rect};
-use dp_num::parallel::{paper_chunk_size, parallel_for_chunks};
-use dp_num::{AtomicFloat, FixedPointCell, Float};
+use dp_num::{AtomicFloat, FixedPointCell, Float, WorkerPool};
 
 use crate::bins::BinGrid;
 
@@ -115,7 +114,17 @@ pub struct DensityMapBuilder<T: Float> {
     /// Deterministic fixed-point accumulation (run-to-run reproducible
     /// under any thread interleaving; paper §V future work).
     deterministic: bool,
+    /// Persistent accumulation bins (float-atomic mode), reset per build.
+    float_bins: Vec<FloatBins<T>>,
+    /// Persistent accumulation bins (fixed-point mode), reset per build.
+    fixed_bins: Vec<FixedPointCell>,
+    /// Lazily built pool backing the allocating [`Self::build_movable`]
+    /// convenience wrapper; hot paths pass their own pool to
+    /// [`Self::build_movable_into`].
+    pool: Option<WorkerPool>,
 }
+
+type FloatBins<T> = <T as Float>::Atomic;
 
 impl<T: Float> DensityMapBuilder<T> {
     /// Creates a builder over `grid` with the given scatter strategy.
@@ -128,6 +137,9 @@ impl<T: Float> DensityMapBuilder<T> {
             order_valid_for: usize::MAX,
             mask: None,
             deterministic: false,
+            float_bins: Vec::new(),
+            fixed_bins: Vec::new(),
+            pool: None,
         }
     }
 
@@ -205,25 +217,51 @@ impl<T: Float> DensityMapBuilder<T> {
         self.order_valid_for = n;
     }
 
-    /// Scatters all movable cells into a fresh map (area units).
-    pub fn build_movable(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> Vec<T> {
+    /// Heap bytes held by the persistent accumulation bins.
+    pub fn bins_bytes(&self) -> usize {
+        self.float_bins.capacity() * std::mem::size_of::<FloatBins<T>>()
+            + self.fixed_bins.capacity() * std::mem::size_of::<FixedPointCell>()
+    }
+
+    /// Resets (or grows) the accumulation bins for the active mode, so a
+    /// placement run allocates them exactly once.
+    fn reset_bins(&mut self) {
+        let n = self.grid.num_bins();
+        if self.deterministic {
+            if self.fixed_bins.len() == n {
+                for b in &self.fixed_bins {
+                    b.reset();
+                }
+            } else {
+                self.fixed_bins = FixedPointCell::vec_with(n, 1 << 24);
+            }
+        } else if self.float_bins.len() == n {
+            for b in &self.float_bins {
+                b.store(T::ZERO);
+            }
+        } else {
+            self.float_bins = (0..n).map(|_| FloatBins::<T>::new(T::ZERO)).collect();
+        }
+    }
+
+    /// Scatters all movable cells into `out` (area units), running the
+    /// scatter on `pool` and reusing the builder's persistent bins.
+    pub fn build_movable_into(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        pool: &WorkerPool,
+        out: &mut Vec<T>,
+    ) {
         self.ensure_order(nl);
         // Accumulation backend: float atomics (fast) or fixed-point
-        // integers (deterministic). The fixed-point scale is relative to a
-        // bin area so precision is size-independent.
-        let float_bins: Vec<T::Atomic>;
-        let fixed_bins: Vec<FixedPointCell>;
+        // integers (deterministic, thread-count invariant). The fixed-point
+        // scale is relative to a bin area so precision is size-independent.
+        self.reset_bins();
         let inv_bin_area = 1.0 / self.grid.bin_area().to_f64();
-        if self.deterministic {
-            fixed_bins = FixedPointCell::vec_with(self.grid.num_bins(), 1 << 24);
-            float_bins = Vec::new();
-        } else {
-            float_bins = (0..self.grid.num_bins())
-                .map(|_| <T as Float>::Atomic::new(T::ZERO))
-                .collect();
-            fixed_bins = Vec::new();
-        }
         let deterministic = self.deterministic;
+        let float_bins = &self.float_bins;
+        let fixed_bins = &self.fixed_bins;
         let bins_add = |idx: usize, v: T| {
             if deterministic {
                 // Accumulate in bin-area units for scale-free precision.
@@ -234,7 +272,6 @@ impl<T: Float> DensityMapBuilder<T> {
         };
         let grid = &self.grid;
         let order = &self.order;
-        let threads = self.threads;
 
         let scatter_cell = |cell: usize, tile: Option<(usize, usize, usize, usize)>| {
             let fp = smoothed_footprint(
@@ -262,8 +299,7 @@ impl<T: Float> DensityMapBuilder<T> {
         match self.strategy {
             DensityStrategy::Naive | DensityStrategy::Sorted => {
                 let n = order.len();
-                let chunk = paper_chunk_size(n, threads);
-                parallel_for_chunks(n, threads, chunk, |range| {
+                pool.run(n, pool.chunk_for(n), |range| {
                     for k in range {
                         scatter_cell(order[k] as usize, None);
                     }
@@ -272,8 +308,7 @@ impl<T: Float> DensityMapBuilder<T> {
             DensityStrategy::SortedSubthreads { tx, ty } => {
                 let per_cell = tx * ty;
                 let jobs = order.len() * per_cell;
-                let chunk = paper_chunk_size(jobs, threads);
-                parallel_for_chunks(jobs, threads, chunk, |range| {
+                pool.run(jobs, pool.chunk_for(jobs), |range| {
                     for job in range {
                         let k = job / per_cell;
                         let t = job % per_cell;
@@ -282,15 +317,35 @@ impl<T: Float> DensityMapBuilder<T> {
                 });
             }
         }
+        out.clear();
         if deterministic {
             let bin_area = self.grid.bin_area();
-            fixed_bins
-                .iter()
-                .map(|b| T::from_f64(b.load()) * bin_area)
-                .collect()
+            out.extend(
+                self.fixed_bins
+                    .iter()
+                    .map(|b| T::from_f64(b.load()) * bin_area),
+            );
         } else {
-            float_bins.iter().map(|b| b.load()).collect()
+            out.extend(self.float_bins.iter().map(|b| b.load()));
         }
+    }
+
+    /// Scatters all movable cells into a fresh map (area units), on a pool
+    /// sized by [`Self::set_threads`] and kept across calls.
+    pub fn build_movable(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> Vec<T> {
+        let stale = self.pool.as_ref().map(WorkerPool::threads) != Some(self.threads);
+        let pool = if stale {
+            WorkerPool::new(self.threads)
+        } else {
+            match self.pool.take() {
+                Some(pool) => pool,
+                None => WorkerPool::new(self.threads),
+            }
+        };
+        let mut out = Vec::new();
+        self.build_movable_into(nl, p, &pool, &mut out);
+        self.pool = Some(pool);
+        out
     }
 
     /// Scatters fixed cells (no smoothing; they do not move, so the map can
@@ -322,6 +377,7 @@ fn split_range(range: std::ops::Range<usize>, parts: usize, k: usize) -> std::op
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::NetlistBuilder;
@@ -482,6 +538,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod deterministic_tests {
     use super::*;
     use dp_netlist::NetlistBuilder;

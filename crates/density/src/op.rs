@@ -5,10 +5,12 @@
 //! of §III-B2 — each cell collects the force from its overlapped bins,
 //! weighted by overlap area.
 
-use dp_autograd::{Gradient, Operator};
+use std::sync::Arc;
+
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_dct::TransformError;
 use dp_netlist::{Netlist, Placement};
-use dp_num::parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
+use dp_num::parallel::DisjointSlice;
 use dp_num::Float;
 
 use crate::bins::BinGrid;
@@ -28,7 +30,6 @@ pub struct DensityOp<T: Float> {
     builder: DensityMapBuilder<T>,
     solver: ElectroField<T>,
     target_density: T,
-    threads: usize,
     fixed_map: Option<Vec<T>>,
     /// Optional movable-cell mask (fence regions): only masked cells carry
     /// charge and receive force.
@@ -83,19 +84,11 @@ impl<T: Float> DensityOp<T> {
             builder: DensityMapBuilder::new(grid, strategy),
             solver,
             target_density,
-            threads: 1,
             fixed_map: None,
             mask: None,
             last_movable_map: None,
             cache: None,
         })
-    }
-
-    /// Sets the worker thread count (1 = serial).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self.builder.set_threads(threads);
-        self
     }
 
     /// Enables deterministic fixed-point density accumulation (bitwise
@@ -166,10 +159,14 @@ impl<T: Float> DensityOp<T> {
     /// where a bin's capacity is the target density times the bin area not
     /// blocked by fixed cells. This is the global placement stopping
     /// criterion (RePlAce stops near `tau = 0.07..0.10`).
-    pub fn overflow(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
-        let movable = self.builder.build_movable(nl, p);
+    pub fn overflow(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
+        let t0 = ctx.op_timer();
+        let pool = Arc::clone(ctx.pool());
+        let mut movable = self.last_movable_map.take().unwrap_or_default();
+        self.builder.build_movable_into(nl, p, &pool, &mut movable);
         let overflow = self.overflow_of_map(nl, &movable);
         self.last_movable_map = Some(movable);
+        ctx.record_op("density.overflow", t0);
         overflow
     }
 
@@ -204,19 +201,27 @@ impl<T: Float> DensityOp<T> {
         over / area
     }
 
-    /// Builds the charge map used for the field solve: movable (smoothed)
-    /// plus fixed contributions, in density units (area / bin area).
-    fn charge_map(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> Vec<T> {
-        let movable = self.builder.build_movable(nl, p);
+    /// Builds the charge map used for the field solve into `rho`: movable
+    /// (smoothed) plus fixed contributions, in density units
+    /// (area / bin area).
+    fn charge_map_into(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        pool: &dp_num::WorkerPool,
+        rho: &mut Vec<T>,
+    ) {
+        let mut movable = self.last_movable_map.take().unwrap_or_default();
+        self.builder.build_movable_into(nl, p, pool, &mut movable);
         let inv_bin = T::ONE / self.grid().bin_area();
-        let mut rho: Vec<T> = movable.iter().map(|&m| m * inv_bin).collect();
+        rho.clear();
+        rho.extend(movable.iter().map(|&m| m * inv_bin));
         if let Some(fixed) = &self.fixed_map {
             for (r, f) in rho.iter_mut().zip(fixed) {
                 *r += *f * inv_bin;
             }
         }
         self.last_movable_map = Some(movable);
-        rho
     }
 }
 
@@ -225,23 +230,48 @@ impl<T: Float> Operator<T> for DensityOp<T> {
         "density"
     }
 
-    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
-        let rho = self.charge_map(nl, p);
-        let sol = self.solver.solve(&rho);
+    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
+        let t0 = ctx.op_timer();
+        let pool = Arc::clone(ctx.pool());
+        let bins_reused = self.builder.bins_bytes() > 0;
+        let dct_reused = self.solver.scratch_bytes() > 0;
+        let sol_reused = self.cache.is_some();
+        let mut rho = ctx.lease("density.rho", self.grid().num_bins());
+        self.charge_map_into(nl, p, &pool, &mut rho);
+        // Reuse the previous solution's buffers as the solve target.
+        let mut sol = self.cache.take().unwrap_or_default();
+        self.solver.solve_into(&rho, &mut sol);
         let energy = sol.energy;
+        ctx.note_workspace("density.bins", self.builder.bins_bytes(), bins_reused);
+        ctx.note_workspace(
+            "density.dct_scratch",
+            self.solver.scratch_bytes(),
+            dct_reused,
+        );
+        ctx.note_workspace("density.solution", sol.bytes(), sol_reused);
         self.cache = Some(sol);
+        ctx.release("density.rho", rho);
+        ctx.record_op("density.forward", t0);
         energy
     }
 
-    fn backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) {
+    fn backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    ) {
         if self.cache.is_none() {
-            let _ = self.forward(nl, p);
+            let _ = self.forward(nl, p, ctx);
         }
-        let sol = self.cache.take().expect("cache populated by forward");
+        let t0 = ctx.op_timer();
+        let Some(sol) = self.cache.take() else {
+            return; // unreachable: forward above always populates the cache
+        };
+        let pool = Arc::clone(ctx.pool());
         let grid = self.grid().clone();
-        let threads = self.threads;
         let n_mov = nl.num_movable();
-        let chunk = paper_chunk_size(n_mov, threads);
         let inv_bin = T::ONE / grid.bin_area();
         let (bw, bh) = (grid.bin_width(), grid.bin_height());
         {
@@ -250,7 +280,7 @@ impl<T: Float> Operator<T> for DensityOp<T> {
             let field_x = &sol.field_x;
             let field_y = &sol.field_y;
             let mask = self.mask.as_deref();
-            parallel_for_chunks(n_mov, threads, chunk, |range| {
+            pool.run(n_mov, pool.chunk_for(n_mov), |range| {
                 for c in range {
                     if let Some(mask) = mask {
                         if !mask[c] {
@@ -289,12 +319,15 @@ impl<T: Float> Operator<T> for DensityOp<T> {
             });
         }
         self.cache = Some(sol);
+        ctx.record_op("density.backward", t0);
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use dp_autograd::ExecCtx;
     use dp_netlist::{NetlistBuilder, Rect};
 
     fn grid(m: usize) -> BinGrid<f64> {
@@ -313,13 +346,14 @@ mod tests {
 
     #[test]
     fn overlapping_cells_repel() {
+        let mut ctx = ExecCtx::serial();
         let (nl, mut p) = two_cell_design();
         // Slightly offset overlapping cells near the center.
         p.x = vec![30.0, 34.0];
         p.y = vec![32.0, 32.0];
         let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
         let mut g = Gradient::zeros(2);
-        let energy = op.forward_backward(&nl, &p, &mut g);
+        let energy = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         assert!(energy > 0.0);
         // Gradient descent moves cells opposite the gradient: the left cell
         // must be pushed left (positive gradient) and the right cell right.
@@ -329,18 +363,20 @@ mod tests {
 
     #[test]
     fn spread_cells_have_lower_energy() {
+        let mut ctx = ExecCtx::serial();
         let (nl, mut p) = two_cell_design();
         let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
         p.x = vec![32.0, 32.0];
         p.y = vec![32.0, 32.0];
-        let stacked = op.forward(&nl, &p);
+        let stacked = op.forward(&nl, &p, &mut ctx);
         p.x = vec![16.0, 48.0];
-        let spread = op.forward(&nl, &p);
+        let spread = op.forward(&nl, &p, &mut ctx);
         assert!(spread < stacked, "spread {spread} vs stacked {stacked}");
     }
 
     #[test]
     fn gradient_direction_matches_finite_differences() {
+        let mut ctx = ExecCtx::serial();
         // The gathered force approximates the discrete cost's gradient; we
         // check directional agreement rather than exact equality.
         let (nl, mut p) = two_cell_design();
@@ -348,7 +384,7 @@ mod tests {
         p.y = vec![30.0, 34.0];
         let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
         let mut g = Gradient::zeros(2);
-        let _ = op.forward_backward(&nl, &p, &mut g);
+        let _ = op.forward_backward(&nl, &p, &mut g, &mut ctx);
 
         let eps = 0.5; // half a bin is a robust probe for the smoothed map
         let mut dot = 0.0;
@@ -359,10 +395,10 @@ mod tests {
                 let coord = if axis == 0 { &mut p.x } else { &mut p.y };
                 let orig = coord[i];
                 coord[i] = orig + eps;
-                let fp = op.forward(&nl, &p);
+                let fp = op.forward(&nl, &p, &mut ctx);
                 let coord = if axis == 0 { &mut p.x } else { &mut p.y };
                 coord[i] = orig - eps;
-                let fm = op.forward(&nl, &p);
+                let fm = op.forward(&nl, &p, &mut ctx);
                 let coord = if axis == 0 { &mut p.x } else { &mut p.y };
                 coord[i] = orig;
                 let fd = (fp - fm) / (2.0 * eps);
@@ -378,6 +414,7 @@ mod tests {
 
     #[test]
     fn overflow_decreases_when_spreading() {
+        let mut ctx = ExecCtx::serial();
         let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
         let cells: Vec<_> = (0..16).map(|_| b.add_movable_cell(8.0, 8.0)).collect();
         b.add_net(1.0, vec![(cells[0], 0.0, 0.0), (cells[1], 0.0, 0.0)])
@@ -390,18 +427,19 @@ mod tests {
             p.x[i] = 32.0;
             p.y[i] = 32.0;
         }
-        let stacked = op.overflow(&nl, &p);
+        let stacked = op.overflow(&nl, &p, &mut ctx);
         for i in 0..16 {
             p.x[i] = 8.0 + 16.0 * (i % 4) as f64;
             p.y[i] = 8.0 + 16.0 * (i / 4) as f64;
         }
-        let spread = op.overflow(&nl, &p);
+        let spread = op.overflow(&nl, &p, &mut ctx);
         assert!(stacked > 0.5, "stacked overflow {stacked}");
         assert!(spread < stacked * 0.2, "spread overflow {spread}");
     }
 
     #[test]
     fn fixed_macro_repels_movable_cell() {
+        let mut ctx = ExecCtx::serial();
         let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
         let a = b.add_movable_cell(4.0, 4.0);
         let c = b.add_movable_cell(4.0, 4.0);
@@ -415,7 +453,7 @@ mod tests {
         let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
         op.bake_fixed(&nl, &p);
         let mut g = Gradient::zeros(nl.num_cells());
-        let _ = op.forward_backward(&nl, &p, &mut g);
+        let _ = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         // The macro pushes the left cell further left, the right cell right.
         assert!(g.x[0] > 0.0);
         assert!(g.x[1] < 0.0);
@@ -423,6 +461,7 @@ mod tests {
 
     #[test]
     fn overflow_respects_fixed_capacity() {
+        let mut ctx = ExecCtx::serial();
         let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
         let a = b.add_movable_cell(8.0, 8.0);
         let c = b.add_movable_cell(8.0, 8.0);
@@ -437,8 +476,8 @@ mod tests {
         with_fixed.bake_fixed(&nl, &p);
         let mut without_fixed =
             DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
-        let tau_with = with_fixed.overflow(&nl, &p);
-        let tau_without = without_fixed.overflow(&nl, &p);
+        let tau_with = with_fixed.overflow(&nl, &p, &mut ctx);
+        let tau_without = without_fixed.overflow(&nl, &p, &mut ctx);
         assert!(tau_with > tau_without, "{tau_with} vs {tau_without}");
     }
 
@@ -450,6 +489,7 @@ mod tests {
 
     #[test]
     fn zero_movable_area_overflow_is_zero() {
+        let mut ctx = ExecCtx::serial();
         // All-zero-area cells: every bin is empty and the normalizing area
         // is zero; the overflow must be 0, not NaN.
         let mut b = NetlistBuilder::new(0.0, 0.0, 64.0, 64.0);
@@ -462,11 +502,11 @@ mod tests {
         p.x = vec![32.0, 32.0];
         p.y = vec![32.0, 32.0];
         let mut op = DensityOp::new(grid(16), DensityStrategy::Sorted, 1.0).expect("plan");
-        let tau = op.overflow(&nl, &p);
+        let tau = op.overflow(&nl, &p, &mut ctx);
         assert_eq!(tau, 0.0);
         // The energy of an empty charge map is finite (exactly zero).
         let mut g = Gradient::zeros(2);
-        let energy = op.forward_backward(&nl, &p, &mut g);
+        let energy = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         assert!(energy.abs() < 1e-12, "energy {energy}");
         assert!(g.x.iter().chain(&g.y).all(|v| v.is_finite()));
     }

@@ -51,7 +51,7 @@ proptest! {
     #[test]
     fn solver_linearity(seed in 0u64..1000, a in 0.1f64..10.0) {
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 64.0, 64.0), 8, 8).expect("pow2");
-        let solver = ElectroField::new(&grid, DctBackendKind::Direct2d).expect("plan");
+        let mut solver = ElectroField::new(&grid, DctBackendKind::Direct2d).expect("plan");
         let rho: Vec<f64> = (0..64)
             .map(|i| (((seed + i as u64) * 37) % 100) as f64 / 10.0)
             .collect();
@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn energy_nonnegative(seed in 0u64..1000) {
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 64.0, 64.0), 8, 8).expect("pow2");
-        let solver = ElectroField::new(&grid, DctBackendKind::Direct2d).expect("plan");
+        let mut solver = ElectroField::new(&grid, DctBackendKind::Direct2d).expect("plan");
         let rho: Vec<f64> = (0..64)
             .map(|i| (((seed ^ i as u64) * 131) % 100) as f64 / 10.0)
             .collect();
@@ -86,7 +86,7 @@ proptest! {
     fn mirror_symmetry(seed in 0u64..1000) {
         let m = 8usize;
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 64.0, 64.0), m, m).expect("pow2");
-        let solver = ElectroField::new(&grid, DctBackendKind::Direct2d).expect("plan");
+        let mut solver = ElectroField::new(&grid, DctBackendKind::Direct2d).expect("plan");
         let rho: Vec<f64> = (0..m * m)
             .map(|i| (((seed + i as u64) * 53) % 100) as f64)
             .collect();

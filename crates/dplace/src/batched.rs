@@ -16,8 +16,8 @@
 //! within the usual greedy-order noise.
 
 use dp_netlist::{CellId, Netlist, Placement};
-use dp_num::parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
-use dp_num::Float;
+use dp_num::parallel::DisjointSlice;
+use dp_num::{Float, WorkerPool};
 
 use crate::incremental::IncrementalHpwl;
 use crate::swap::optimal_position;
@@ -54,11 +54,23 @@ pub fn batched_global_swap<T: Float>(
     p: &mut Placement<T>,
     threads: usize,
 ) -> usize {
+    // Workers spawn once here and are reused by every propose round.
+    let pool = WorkerPool::new(threads);
+    batched_global_swap_on(nl, p, &pool)
+}
+
+/// [`batched_global_swap`] on a caller-owned worker pool, so a multi-round
+/// detailed-placement run pays the thread spawn cost exactly once.
+pub fn batched_global_swap_on<T: Float>(
+    nl: &Netlist<T>,
+    p: &mut Placement<T>,
+    pool: &WorkerPool,
+) -> usize {
     // Jacobi-style batches converge to the sequential (Gauss-Seidel)
     // fixed point over a few propose/commit rounds.
     let mut total = 0usize;
     for _ in 0..8 {
-        let committed = batched_swap_round(nl, p, threads);
+        let committed = batched_swap_round(nl, p, pool);
         total += committed;
         if committed == 0 {
             break;
@@ -68,7 +80,7 @@ pub fn batched_global_swap<T: Float>(
 }
 
 /// One propose-parallel / commit-sequential round.
-fn batched_swap_round<T: Float>(nl: &Netlist<T>, p: &mut Placement<T>, threads: usize) -> usize {
+fn batched_swap_round<T: Float>(nl: &Netlist<T>, p: &mut Placement<T>, pool: &WorkerPool) -> usize {
     let n = nl.num_movable();
     let mut inc = IncrementalHpwl::new(nl, p);
     let eps = T::from_f64(1e-9);
@@ -92,11 +104,11 @@ fn batched_swap_round<T: Float>(nl: &Netlist<T>, p: &mut Placement<T>, threads: 
     let mut proposals: Vec<Option<Proposal<T>>> = vec![None; n];
     {
         let out = DisjointSlice::new(&mut proposals);
-        let chunk = paper_chunk_size(n, threads);
+        let chunk = pool.chunk_for(n);
         let p_ref = &*p;
         let inc_ref = &inc;
         let grid_ref = &grid;
-        parallel_for_chunks(n, threads, chunk, |range| {
+        pool.run(n, chunk, |range| {
             // Scratch placement clone per chunk would be O(n); instead we
             // evaluate candidate swaps through a coordinate-override view.
             for c in range {
@@ -221,10 +233,12 @@ impl BatchedDetailedPlacer {
     pub fn run<T: Float>(&self, nl: &Netlist<T>, p: &mut Placement<T>) -> crate::DpStats {
         let t0 = std::time::Instant::now();
         let initial = dp_netlist::hpwl(nl, p).to_f64();
+        // One pool for the whole run: every round's propose phase reuses it.
+        let pool = WorkerPool::new(self.threads);
         let mut moves = 0usize;
         for _ in 0..self.max_rounds {
             let before = moves;
-            moves += batched_global_swap(nl, p, self.threads);
+            moves += batched_global_swap_on(nl, p, &pool);
             moves += crate::local_reorder(nl, p, self.window);
             moves += crate::independent_set_matching(nl, p, self.ism_batch.clamp(2, 16));
             if moves == before {

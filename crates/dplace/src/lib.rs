@@ -43,7 +43,7 @@ pub mod ism;
 pub mod reorder;
 pub mod swap;
 
-pub use batched::{batched_global_swap, BatchedDetailedPlacer};
+pub use batched::{batched_global_swap, batched_global_swap_on, BatchedDetailedPlacer};
 pub use hungarian::hungarian;
 pub use incremental::IncrementalHpwl;
 pub use ism::independent_set_matching;

@@ -221,7 +221,9 @@ pub struct GpConfig<T> {
     pub seed: u64,
     /// Initial-noise sigma as a fraction of the region extent (paper: 0.1%).
     pub noise_frac: f64,
-    /// Worker threads for the kernels.
+    /// Worker threads for the kernels. [`GpConfig::auto`] defaults to
+    /// [`dp_num::default_threads`] (the `DP_THREADS` env override, else the
+    /// machine's available parallelism).
     pub threads: usize,
     /// Density-weight scheduler: `mu_min` (paper: 0.95).
     pub mu_min: f64,
@@ -266,7 +268,7 @@ impl<T: Float> GpConfig<T> {
             init: InitKind::RandomCenter,
             seed: 1,
             noise_frac: 0.001,
-            threads: 1,
+            threads: dp_num::default_threads(),
             mu_min: 0.95,
             mu_max: 1.05,
             ref_delta_hpwl: None,

@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, ExecSummary, Gradient, Operator};
 use dp_density::{BinGrid, DensityOp};
 use dp_netlist::{hpwl, Netlist, Placement};
 use dp_num::Float;
@@ -12,9 +12,7 @@ use dp_optim::{
 };
 use dp_wirelength::{LseWirelength, WaWirelength};
 
-use crate::config::{
-    DivergenceCause, GpConfig, GpError, InitKind, SolverKind, WirelengthModel,
-};
+use crate::config::{DivergenceCause, GpConfig, GpError, InitKind, SolverKind, WirelengthModel};
 use crate::fence::FencedDensityOp;
 use crate::init::initial_placement;
 use crate::scheduler::{DensityWeightScheduler, GammaScheduler};
@@ -86,6 +84,9 @@ pub struct GpStats {
     pub recoveries: usize,
     /// One record per rollback, in order.
     pub recovery_events: Vec<RecoveryEvent>,
+    /// Execution-layer counters: pool spawns/runs, per-op totals, and
+    /// workspace reuse, from the run's [`ExecCtx`].
+    pub exec: ExecSummary,
 }
 
 /// Result of global placement: coordinates plus statistics.
@@ -119,17 +120,23 @@ impl<T: Float> DensityModel<T> {
         }
     }
 
-    fn overflow(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
+    fn overflow(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
         match self {
-            DensityModel::Single(op) => op.overflow(nl, p),
-            DensityModel::Fenced(op) => op.overflow(nl, p),
+            DensityModel::Single(op) => op.overflow(nl, p, ctx),
+            DensityModel::Fenced(op) => op.overflow(nl, p, ctx),
         }
     }
 
-    fn forward_backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, g: &mut Gradient<T>) -> T {
+    fn forward_backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        g: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    ) -> T {
         match self {
-            DensityModel::Single(op) => op.forward_backward(nl, p, g),
-            DensityModel::Fenced(op) => op.forward_backward(nl, p, g),
+            DensityModel::Single(op) => op.forward_backward(nl, p, g, ctx),
+            DensityModel::Fenced(op) => op.forward_backward(nl, p, g, ctx),
         }
     }
 }
@@ -150,10 +157,16 @@ impl<T: Float> WlOp<T> {
         }
     }
 
-    fn forward_backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, g: &mut Gradient<T>) -> T {
+    fn forward_backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        g: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    ) -> T {
         match self {
-            WlOp::Wa(op) => op.forward_backward(nl, p, g),
-            WlOp::Lse(op) => op.forward_backward(nl, p, g),
+            WlOp::Wa(op) => op.forward_backward(nl, p, g, ctx),
+            WlOp::Lse(op) => op.forward_backward(nl, p, g, ctx),
         }
     }
 }
@@ -164,9 +177,13 @@ struct PlacementObjective<'a, T: Float> {
     nl: &'a Netlist<T>,
     wl: &'a mut WlOp<T>,
     density: &'a mut DensityModel<T>,
+    /// The run's execution context: worker pool, workspaces, counters.
+    ctx: &'a mut ExecCtx<T>,
     lambda: T,
     pos: Placement<T>,
     grad: Gradient<T>,
+    /// Reused density-gradient accumulator (allocated once per run).
+    dgrad: Gradient<T>,
     /// Precomputed `#pins` per movable cell (wirelength preconditioner).
     pin_counts: Vec<T>,
     /// Precomputed charge per movable cell (density preconditioner).
@@ -206,15 +223,17 @@ impl<'a, T: Float> ObjectiveFn<T> for PlacementObjective<'a, T> {
         self.grad.reset();
 
         let t0 = Instant::now();
-        let wl_cost = self.wl.forward_backward(self.nl, &self.pos, &mut self.grad);
+        let wl_cost = self
+            .wl
+            .forward_backward(self.nl, &self.pos, &mut self.grad, self.ctx);
         self.t_wl += t0.elapsed();
 
         let t1 = Instant::now();
-        let mut dgrad = Gradient::zeros(self.pos.len());
+        self.dgrad.reset();
         let d_cost = self
             .density
-            .forward_backward(self.nl, &self.pos, &mut dgrad);
-        self.grad.axpy(self.lambda, &dgrad);
+            .forward_backward(self.nl, &self.pos, &mut self.dgrad, self.ctx);
+        self.grad.axpy(self.lambda, &self.dgrad);
         self.t_density += t1.elapsed();
 
         // Jacobi preconditioning: divide by the diagonal Hessian proxy
@@ -289,11 +308,7 @@ impl<T: Float> GlobalPlacer<T> {
     /// gradient, or wirelength, or exploding overflow) and the rollback
     /// budget of [`crate::RecoveryPolicy::max_recoveries`] is exhausted;
     /// the error carries the best placement seen.
-    pub fn place(
-        &self,
-        nl: &Netlist<T>,
-        fixed: &Placement<T>,
-    ) -> Result<GpResult<T>, GpError<T>> {
+    pub fn place(&self, nl: &Netlist<T>, fixed: &Placement<T>) -> Result<GpResult<T>, GpError<T>> {
         let pos = initial_placement(nl, fixed, self.config.noise_frac, self.config.seed);
         self.place_from(nl, pos, None)
     }
@@ -315,6 +330,10 @@ impl<T: Float> GlobalPlacer<T> {
         let t_start = Instant::now();
         let mut timing = GpTiming::default();
 
+        // One persistent executor per run: worker threads spawn here, once,
+        // and every kernel below launches on them.
+        let mut ctx = ExecCtx::new(cfg.threads);
+
         // --- operators -------------------------------------------------
         let grid = BinGrid::new(nl.region(), cfg.bins.0, cfg.bins.1)?;
         let bin_size = (grid.bin_width() + grid.bin_height()) * T::HALF;
@@ -322,11 +341,13 @@ impl<T: Float> GlobalPlacer<T> {
         let gamma0 = gamma_sched.gamma(T::ONE);
 
         let mut wl = match cfg.wirelength {
-            WirelengthModel::Wa(strategy) => {
-                WlOp::Wa(WaWirelength::new(strategy, gamma0).with_threads(cfg.threads))
-            }
-            WirelengthModel::Lse => WlOp::Lse(LseWirelength::new(gamma0).with_threads(cfg.threads)),
+            WirelengthModel::Wa(strategy) => WlOp::Wa(WaWirelength::new(strategy, gamma0)),
+            WirelengthModel::Lse => WlOp::Lse(LseWirelength::new(gamma0)),
         };
+        // Multithreaded float-atomic scatters are order-dependent; the
+        // fixed-point bins keep multi-thread runs bit-reproducible (and
+        // thread-count invariant) at a 2^-24 bin-area quantization.
+        let deterministic = cfg.threads > 1;
         let mut density = match &cfg.fence {
             None => DensityModel::Single(
                 DensityOp::with_backend(
@@ -335,16 +356,19 @@ impl<T: Float> GlobalPlacer<T> {
                     cfg.target_density,
                     cfg.dct_backend,
                 )?
-                .with_threads(cfg.threads),
+                .with_deterministic(deterministic),
             ),
-            Some(spec) => DensityModel::Fenced(FencedDensityOp::new(
-                nl,
-                grid.clone(),
-                cfg.density_strategy,
-                cfg.target_density,
-                cfg.dct_backend,
-                spec.clone(),
-            )?),
+            Some(spec) => DensityModel::Fenced(
+                FencedDensityOp::new(
+                    nl,
+                    grid.clone(),
+                    cfg.density_strategy,
+                    cfg.target_density,
+                    cfg.dct_backend,
+                    spec.clone(),
+                )?
+                .with_deterministic(deterministic),
+            ),
         };
         density.bake_fixed(nl, &pos);
 
@@ -364,9 +388,11 @@ impl<T: Float> GlobalPlacer<T> {
                 nl,
                 wl: &mut wl,
                 density: &mut density,
+                ctx: &mut ctx,
                 lambda: T::ZERO,
                 pos: pos.clone(),
                 grad: Gradient::zeros(pos.len()),
+                dgrad: Gradient::zeros(pos.len()),
                 pin_counts: pin_counts.clone(),
                 charges: charges.clone(),
                 faults: Vec::new(),
@@ -382,7 +408,9 @@ impl<T: Float> GlobalPlacer<T> {
             let mut wl_only = |p: &[T], g: &mut [T]| -> T {
                 obj.unpack(p);
                 obj.grad.reset();
-                let c = obj.wl.forward_backward(obj.nl, &obj.pos, &mut obj.grad);
+                let c = obj
+                    .wl
+                    .forward_backward(obj.nl, &obj.pos, &mut obj.grad, obj.ctx);
                 for i in 0..n {
                     let pre = obj.pin_counts[i].max(T::ONE);
                     g[i] = obj.grad.x[i] / pre;
@@ -400,9 +428,9 @@ impl<T: Float> GlobalPlacer<T> {
 
         // --- lambda initialization --------------------------------------
         let mut g_wl = Gradient::zeros(pos.len());
-        let _ = wl.forward_backward(nl, &pos, &mut g_wl);
+        let _ = wl.forward_backward(nl, &pos, &mut g_wl, &mut ctx);
         let mut g_d = Gradient::zeros(pos.len());
-        let _ = density.forward_backward(nl, &pos, &mut g_d);
+        let _ = density.forward_backward(nl, &pos, &mut g_d, &mut ctx);
         let wl_norm = g_wl.l1_norm(n);
         let d_norm = g_d.l1_norm(n).max(T::MIN_POSITIVE);
         let lambda_init = lambda0.unwrap_or(wl_norm / d_norm);
@@ -425,9 +453,11 @@ impl<T: Float> GlobalPlacer<T> {
             nl,
             wl: &mut wl,
             density: &mut density,
+            ctx: &mut ctx,
             lambda: lambda_sched.lambda(),
             pos: pos.clone(),
             grad: Gradient::zeros(pos.len()),
+            dgrad: Gradient::zeros(pos.len()),
             pin_counts,
             charges,
             faults: cfg.fault_injection.nan_grad_evals.clone(),
@@ -498,7 +528,7 @@ impl<T: Float> GlobalPlacer<T> {
                 None => {
                     obj.unpack(&params);
                     let h = hpwl(nl, &obj.pos);
-                    let o = obj.density.overflow(nl, &obj.pos).to_f64();
+                    let o = obj.density.overflow(nl, &obj.pos, obj.ctx).to_f64();
                     let c = if !h.is_finite() || !o.is_finite() {
                         Some(DivergenceCause::NonFiniteHpwl)
                     } else if overflow_exploded(o, best_overflow, policy.overflow_explosion) {
@@ -593,6 +623,7 @@ impl<T: Float> GlobalPlacer<T> {
         }
 
         unpack_into(&params, &mut pos, n);
+        drop(obj);
         timing.total = t_start.elapsed();
 
         let stats = GpStats {
@@ -604,6 +635,7 @@ impl<T: Float> GlobalPlacer<T> {
             timing,
             recoveries,
             recovery_events,
+            exec: ctx.summary(),
         };
         Ok(GpResult {
             placement: pos,
@@ -765,7 +797,7 @@ mod tests {
         assert!(overflow_exploded(0.9, 0.3, 2.0));
         assert!(!overflow_exploded(0.35, 0.3, 2.0)); // ratio not met
         assert!(!overflow_exploded(0.09, 0.04, 2.0)); // climb below 0.1
-        // Disabled via infinity.
+                                                      // Disabled via infinity.
         assert!(!overflow_exploded(100.0, 0.1, f64::INFINITY));
     }
 
@@ -788,10 +820,7 @@ mod tests {
             .place(&d.netlist, &d.fixed_positions)
             .expect("recovers from injected NaN");
         assert!(result.stats.recoveries >= 1, "no rollback recorded");
-        assert_eq!(
-            result.stats.recoveries,
-            result.stats.recovery_events.len()
-        );
+        assert_eq!(result.stats.recoveries, result.stats.recovery_events.len());
         let event = result.stats.recovery_events[0];
         assert!(
             matches!(

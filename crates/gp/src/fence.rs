@@ -15,7 +15,7 @@
 //! placement (like the density constraint itself); legalization of fenced
 //! designs is out of scope here, matching the paper's sketch.
 
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_dct::TransformError;
 use dp_density::{BinGrid, DctBackendKind, DensityOp, DensityStrategy};
 use dp_netlist::{Netlist, Placement, Rect};
@@ -148,8 +148,19 @@ impl<T: Float> FencedDensityOp<T> {
         }
     }
 
+    /// Enables deterministic fixed-point density accumulation in every
+    /// region's operator (thread-count invariant scatters).
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.ops = self
+            .ops
+            .into_iter()
+            .map(|op| op.with_deterministic(deterministic))
+            .collect();
+        self
+    }
+
     /// Area-weighted overflow across regions.
-    pub fn overflow(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
+    pub fn overflow(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
         // Weight each region's overflow by its share of movable area so the
         // combined value is comparable to the single-field overflow.
         let mut total_area = T::ZERO;
@@ -164,7 +175,7 @@ impl<T: Float> FencedDensityOp<T> {
                 .map(|c| nl.cell_widths()[c] * nl.cell_heights()[c])
                 .sum();
             if area > T::ZERO {
-                acc += op.overflow(nl, p) * area;
+                acc += op.overflow(nl, p, ctx) * area;
                 total_area += area;
             }
         }
@@ -181,13 +192,19 @@ impl<T: Float> Operator<T> for FencedDensityOp<T> {
         "fenced-density"
     }
 
-    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
-        self.ops.iter_mut().map(|op| op.forward(nl, p)).sum()
+    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
+        self.ops.iter_mut().map(|op| op.forward(nl, p, ctx)).sum()
     }
 
-    fn backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) {
+    fn backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    ) {
         for op in self.ops.iter_mut() {
-            op.backward(nl, p, grad);
+            op.backward(nl, p, grad, ctx);
         }
     }
 }
@@ -234,8 +251,9 @@ mod tests {
         )
         .expect("builds");
         op.bake_fixed(&nl, &p);
+        let mut ctx = ExecCtx::serial();
         let mut g = Gradient::zeros(nl.num_cells());
-        let _ = op.forward_backward(&nl, &p, &mut g);
+        let _ = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         // All cells sit on the boundary (x = 32): the left-fence cells must
         // be pushed left (positive gradient decreases x under descent) and
         // right-fence cells right.

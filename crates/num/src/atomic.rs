@@ -188,6 +188,13 @@ impl FixedPointCell {
         (0..n).map(|_| Self::new(scale)).collect()
     }
 
+    /// Resets the accumulator to zero (workspace reuse between kernel
+    /// launches; not atomic with respect to concurrent `add`s).
+    #[inline]
+    pub fn reset(&self) {
+        self.raw.store(0, Ordering::Relaxed);
+    }
+
     /// Atomically adds `v` (rounded to the fixed-point grid).
     #[inline]
     pub fn add(&self, v: f64) {

@@ -30,9 +30,11 @@ pub mod atomic;
 pub mod complex;
 pub mod float;
 pub mod parallel;
+pub mod pool;
 pub mod stats;
 
 pub use atomic::{AtomicF32, AtomicF64, AtomicFloat, FixedPointCell};
 pub use complex::Complex;
 pub use float::Float;
 pub use parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
+pub use pool::{default_threads, reduce_chunk_size, PoolPanicked, WorkerPool};

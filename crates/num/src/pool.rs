@@ -1,0 +1,598 @@
+//! A persistent worker pool for the placement kernels.
+//!
+//! [`parallel_for_chunks`](crate::parallel::parallel_for_chunks) re-spawns
+//! scoped threads on every call — thousands of times per placement run, which
+//! drowns the kernel-strategy comparisons the bench harness exists to make.
+//! [`WorkerPool`] spawns its workers exactly once and parks them between
+//! kernel launches, the CPU analogue of a persistent GPU kernel: workers
+//! wait on a condvar, a launch publishes a type-erased closure plus an
+//! atomic chunk cursor, and the dynamic-chunk scheduling is identical to
+//! `parallel_for_chunks` (`cursor.fetch_add(chunk)` until the items run
+//! out). With `threads <= 1` every launch is a plain serial loop and no
+//! worker threads exist at all.
+//!
+//! # Determinism
+//!
+//! Dynamic scheduling makes the *assignment* of chunks to workers
+//! nondeterministic, but not the chunks themselves. Kernels that only write
+//! disjoint slots are therefore bit-reproducible at any thread count.
+//! Floating-point *reductions* additionally need a fixed summation order:
+//! [`WorkerPool::reduce_in_order`] folds per-chunk partials in chunk-index
+//! order, so a reduction is bit-exact across runs — and across *thread
+//! counts*, provided the chunk size itself does not depend on the thread
+//! count (use [`reduce_chunk_size`]).
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::parallel::{paper_chunk_size, DisjointSlice};
+
+/// Default worker count: the `DP_THREADS` environment variable when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+///
+/// This is the single source of truth for every "how many threads?" default
+/// in the workspace (bench binaries, `GpConfig::auto`, examples).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Chunk size for *reductions* that must be bit-exact across thread counts.
+///
+/// The floating-point sum of a reduction is grouped by chunk, so chunk
+/// boundaries must not move with the worker count. This uses the paper's
+/// formula [`paper_chunk_size`] with a fixed virtual width of 16 workers
+/// (~256 chunks): enough scheduling slack for any realistic CPU while
+/// keeping the reduction tree machine-invariant.
+pub fn reduce_chunk_size(items: usize) -> usize {
+    paper_chunk_size(items, 16)
+}
+
+/// Error returned by [`WorkerPool::try_run`] when a worker (or the calling
+/// thread's own share of the work) panicked during a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolPanicked;
+
+impl std::fmt::Display for PoolPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker thread panicked during a pool launch")
+    }
+}
+
+impl std::error::Error for PoolPanicked {}
+
+/// A type-erased `&(dyn Fn(Range<usize>) + Sync)` reference with its
+/// lifetime erased, valid only for the duration of one launch (the launch
+/// joins all participating workers before returning, so the borrow never
+/// escapes).
+#[derive(Clone, Copy)]
+struct ErasedWork(&'static (dyn Fn(Range<usize>) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are allowed from any thread)
+// and the launch protocol guarantees the pointer is not dereferenced after
+// `launch` returns: every worker that copies the pointer first increments
+// `active` under the state lock, and `launch` only returns once `active`
+// drops back to zero and the job slot is cleared.
+unsafe impl Send for ErasedWork {}
+
+/// One published kernel launch.
+struct Job {
+    /// Launch generation; workers run each generation at most once.
+    generation: u64,
+    work: ErasedWork,
+    items: usize,
+    chunk: usize,
+}
+
+/// State shared between the caller and the parked workers.
+struct PoolState {
+    job: Option<Job>,
+    /// Workers currently inside the published job.
+    active: usize,
+    /// Panics observed during the current job.
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between launches.
+    work_ready: Condvar,
+    /// The caller parks here while workers drain the cursor.
+    work_done: Condvar,
+    /// Dynamic-scheduling cursor; reset under the state lock per launch.
+    cursor: AtomicUsize,
+}
+
+/// A long-lived worker pool with `parallel_for_chunks` launch semantics.
+///
+/// Workers are spawned once at construction (`threads - 1` of them — the
+/// calling thread always participates in a launch) and parked between
+/// launches. Dropping the pool signals shutdown and joins every worker.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use dp_num::pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let sum = AtomicUsize::new(0);
+/// pool.run(100, 8, |range| {
+///     sum.fetch_add(range.len(), Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 100);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Launch is in progress (used to run nested launches serially instead
+    /// of deadlocking on the single job slot).
+    busy: AtomicBool,
+    generation: AtomicU64,
+    runs: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Creates a pool that executes launches over `threads` workers
+    /// (`threads - 1` parked threads plus the caller). `threads <= 1`
+    /// spawns nothing; every launch is a serial loop.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                active: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+            busy: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// A pool that runs everything on the calling thread.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Worker count a launch is spread over (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of OS threads this pool spawned (== `threads() - 1`; constant
+    /// for the pool's lifetime — the spawn-once guarantee).
+    pub fn threads_spawned(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of launches ([`WorkerPool::run`]/[`WorkerPool::try_run`]/
+    /// [`WorkerPool::reduce_in_order`] calls) dispatched so far.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// The paper's dynamic chunk size for this pool's worker count.
+    pub fn chunk_for(&self, items: usize) -> usize {
+        paper_chunk_size(items, self.threads)
+    }
+
+    /// Runs `work(range)` over `0..items` in dynamically scheduled chunks,
+    /// exactly like [`parallel_for_chunks`](crate::parallel_for_chunks)
+    /// but without spawning threads.
+    ///
+    /// `work` must be safe to call concurrently on disjoint ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked while executing `work` (same surfacing
+    /// as the scoped-thread implementation). Use [`WorkerPool::try_run`]
+    /// for a structured error instead.
+    pub fn run<F>(&self, items: usize, chunk: usize, work: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if self.try_run(items, chunk, work).is_err() {
+            panic!("worker thread panicked");
+        }
+    }
+
+    /// [`WorkerPool::run`] with panics surfaced as [`PoolPanicked`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolPanicked`] when `work` panicked on any participating
+    /// thread; the launch still joins (no worker is left running).
+    pub fn try_run<F>(&self, items: usize, chunk: usize, work: F) -> Result<(), PoolPanicked>
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        if items == 0 {
+            return Ok(());
+        }
+        let chunk = chunk.max(1);
+        // Serial path: one thread, or a nested launch while this pool is
+        // already mid-launch (a worker's closure launching again must not
+        // wait on the single job slot it is itself holding).
+        if self.threads <= 1
+            || self
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Acquire)
+                .is_err()
+        {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let mut start = 0;
+                while start < items {
+                    let end = (start + chunk).min(items);
+                    work(start..end);
+                    start = end;
+                }
+            }));
+            return r.map_err(|_| PoolPanicked);
+        }
+        let result = self.launch(items, chunk, &work);
+        self.busy.store(false, Ordering::Release);
+        result
+    }
+
+    /// Publishes a job, participates, and waits for every started worker.
+    fn launch(
+        &self,
+        items: usize,
+        chunk: usize,
+        work: &(dyn Fn(Range<usize>) + Sync),
+    ) -> Result<(), PoolPanicked> {
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        // SAFETY: lifetime erasure only — the reference is dropped from the
+        // job slot (under the lock) before this function returns, and every
+        // worker that dereferences it is joined first via `active`.
+        let erased: &'static (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(work) };
+        {
+            let mut state = lock(&self.shared.state);
+            self.shared.cursor.store(0, Ordering::Relaxed);
+            state.panicked = 0;
+            state.job = Some(Job {
+                generation,
+                work: ErasedWork(erased),
+                items,
+                chunk,
+            });
+            self.shared.work_ready.notify_all();
+        }
+
+        // The caller drains chunks alongside the workers. A panic here must
+        // still wait for the workers (they borrow `work`), so it is caught
+        // and folded into the same error.
+        let caller_panicked = catch_unwind(AssertUnwindSafe(|| {
+            drain(&self.shared.cursor, items, chunk, work)
+        }))
+        .is_err();
+
+        let mut state = lock(&self.shared.state);
+        while state.active > 0 {
+            state = wait(&self.shared.work_done, state);
+        }
+        state.job = None;
+        let worker_panicked = state.panicked > 0;
+        drop(state);
+        if caller_panicked || worker_panicked {
+            Err(PoolPanicked)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// An ordered parallel reduction: `map(range)` per chunk, partials
+    /// folded with `fold` in chunk-index order starting from `init`.
+    ///
+    /// Because the fold order is the chunk order — not the completion
+    /// order — the result is bit-identical to the serial loop with the same
+    /// `chunk`. Pass [`reduce_chunk_size`] to also make it independent of
+    /// the pool's thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` panicked on any participating thread.
+    pub fn reduce_in_order<R, M, F>(
+        &self,
+        items: usize,
+        chunk: usize,
+        init: R,
+        map: M,
+        fold: F,
+    ) -> R
+    where
+        R: Send,
+        M: Fn(Range<usize>) -> R + Sync,
+        F: Fn(R, R) -> R,
+    {
+        if items == 0 {
+            return init;
+        }
+        let chunk = chunk.max(1);
+        let num_chunks = items.div_ceil(chunk);
+        let mut partials: Vec<Option<R>> = Vec::with_capacity(num_chunks);
+        partials.resize_with(num_chunks, || None);
+        {
+            let slots = DisjointSlice::new(&mut partials);
+            self.run(items, chunk, |range| {
+                let index = range.start / chunk;
+                let value = map(range);
+                // SAFETY: chunk starts are unique, so `index` is visited by
+                // exactly one worker.
+                unsafe { slots.write(index, Some(value)) };
+            });
+        }
+        let mut acc = init;
+        for slot in partials {
+            match slot {
+                Some(v) => acc = fold(acc, v),
+                // Unreachable: `run` visits every chunk or panics above.
+                None => continue,
+            }
+        }
+        acc
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            // A worker can only terminate by observing `shutdown` or by a
+            // panic escaping `worker_loop`, which it cannot (the closure is
+            // run under `catch_unwind`); join errors are unreachable, and
+            // ignoring one at shutdown is harmless anyway.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut last_seen = 0u64;
+    let mut state = lock(&shared.state);
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let job = match state.job.as_ref() {
+            Some(job) if job.generation != last_seen => {
+                Some((job.generation, job.work, job.items, job.chunk))
+            }
+            _ => None,
+        };
+        match job {
+            Some((generation, work, items, chunk)) => {
+                last_seen = generation;
+                state.active += 1;
+                drop(state);
+                // The reference was published under the lock together with
+                // the `active` increment above; `launch` cannot return (and
+                // the closure cannot be dropped) until `active` reaches
+                // zero again below.
+                let work = work.0;
+                let panicked = catch_unwind(AssertUnwindSafe(|| {
+                    drain(&shared.cursor, items, chunk, work)
+                }))
+                .is_err();
+                state = lock(&shared.state);
+                if panicked {
+                    state.panicked += 1;
+                }
+                state.active -= 1;
+                if state.active == 0 {
+                    shared.work_done.notify_all();
+                }
+            }
+            None => {
+                state = wait(&shared.work_ready, state);
+            }
+        }
+    }
+}
+
+/// The shared dynamic-scheduling loop: identical to the chunk claim in
+/// `parallel_for_chunks`.
+fn drain(cursor: &AtomicUsize, items: usize, chunk: usize, work: &(dyn Fn(Range<usize>) + Sync)) {
+    loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= items {
+            break;
+        }
+        let end = (start + chunk).min(items);
+        work(start..end);
+    }
+}
+
+/// Locks a mutex, ignoring poisoning: pool state is only mutated under the
+/// lock by panic-free bookkeeping code (counters and Option swaps), so a
+/// poisoned lock still holds consistent state.
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn covers_all_items_once_at_any_thread_count() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let n = 1003;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(n, 13, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn spawns_once_and_reuses_workers_across_launches() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads_spawned(), 3);
+        for _ in 0..100 {
+            let sum = AtomicUsize::new(0);
+            pool.run(256, 8, |r| {
+                sum.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 256);
+        }
+        // Still the same three workers; the spawn count cannot grow.
+        assert_eq!(pool.threads_spawned(), 3);
+        assert_eq!(pool.runs(), 100);
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        let pool = WorkerPool::new(3);
+        pool.run(0, 16, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(4);
+        let sum = AtomicUsize::new(0);
+        pool.run(64, 4, |r| {
+            sum.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        drop(pool);
+        // Nothing to assert beyond "drop returned": join hangs forever if a
+        // worker missed the shutdown signal, which the test harness treats
+        // as a failure via its timeout.
+    }
+
+    #[test]
+    fn panic_in_worker_surfaces_as_error() {
+        let pool = WorkerPool::new(4);
+        let r = pool.try_run(100, 1, |range| {
+            if range.start == 42 {
+                panic!("injected");
+            }
+        });
+        assert_eq!(r, Err(PoolPanicked));
+        // The pool survives a panicked launch and runs the next one.
+        let sum = AtomicUsize::new(0);
+        pool.run(50, 4, |r| {
+            sum.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn panic_on_caller_thread_also_surfaces() {
+        // Serial pool: the panic happens on the calling thread.
+        let pool = WorkerPool::serial();
+        let r = pool.try_run(10, 1, |range| {
+            if range.start == 5 {
+                panic!("injected");
+            }
+        });
+        assert_eq!(r, Err(PoolPanicked));
+    }
+
+    #[test]
+    fn nested_launch_runs_serially_without_deadlock() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.run(8, 1, |outer| {
+            // A kernel that itself launches on the same pool (the engine
+            // composes operators; accidental nesting must not deadlock).
+            pool.run(4, 1, |inner| {
+                total.fetch_add(outer.len() * inner.len(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn reduce_in_order_matches_serial_sum_bit_exactly() {
+        // Sums in a hostile order-sensitivity regime: many magnitudes.
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 * 1e-3 + 1e6 * ((i % 7) as f64))
+            .collect();
+        let chunk = reduce_chunk_size(xs.len());
+        let serial = {
+            let pool = WorkerPool::serial();
+            pool.reduce_in_order(
+                xs.len(),
+                chunk,
+                0.0,
+                |r| xs[r].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        let parallel = {
+            let pool = WorkerPool::new(4);
+            pool.reduce_in_order(
+                xs.len(),
+                chunk,
+                0.0,
+                |r| xs[r].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn reduce_chunk_size_is_thread_invariant() {
+        // No `threads` parameter at all — the signature is the guarantee —
+        // but the value must still follow the paper's formula at width 16.
+        assert_eq!(reduce_chunk_size(16 * 16 * 10), 10);
+        assert_eq!(reduce_chunk_size(5), 1);
+    }
+}

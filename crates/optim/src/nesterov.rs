@@ -19,7 +19,9 @@
 
 use dp_num::Float;
 
-use crate::{inf_norm, l2_norm, ObjectiveFn, Optimizer, OptimizerSnapshot, SnapshotMismatch, StepInfo};
+use crate::{
+    inf_norm, l2_norm, ObjectiveFn, Optimizer, OptimizerSnapshot, SnapshotMismatch, StepInfo,
+};
 
 /// The ePlace Nesterov solver; see the [module docs](self) and the
 /// [crate example](crate).

@@ -83,7 +83,12 @@ fn fresh_snapshot_equals_reset_state() {
         for _ in 0..3 {
             engine.step(&mut f, &mut p);
         }
-        assert_ne!(engine.snapshot(), fresh, "{} state should move", engine.name());
+        assert_ne!(
+            engine.snapshot(),
+            fresh,
+            "{} state should move",
+            engine.name()
+        );
         engine.reset();
         assert_eq!(engine.snapshot(), fresh, "{} reset != fresh", engine.name());
     }

@@ -6,7 +6,7 @@
 //! -1 on the min pin per axis), which is occasionally useful for debugging
 //! optimizers against the smooth models.
 
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_netlist::{hpwl, Netlist, Placement};
 use dp_num::Float;
 
@@ -15,7 +15,7 @@ use dp_num::Float;
 /// # Examples
 ///
 /// ```
-/// use dp_autograd::Operator;
+/// use dp_autograd::{ExecCtx, Operator};
 /// use dp_netlist::{NetlistBuilder, Placement};
 /// use dp_wirelength::HpwlOp;
 ///
@@ -27,7 +27,8 @@ use dp_num::Float;
 /// let nl = b.build()?;
 /// let mut p = Placement::zeros(nl.num_cells());
 /// p.x[1] = 3.0;
-/// assert_eq!(HpwlOp::default().forward(&nl, &p), 6.0);
+/// let mut ctx = ExecCtx::serial();
+/// assert_eq!(HpwlOp::default().forward(&nl, &p, &mut ctx), 6.0);
 /// # Ok(())
 /// # }
 /// ```
@@ -46,11 +47,20 @@ impl<T: Float> Operator<T> for HpwlOp {
         "hpwl"
     }
 
-    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
-        hpwl(nl, p)
+    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
+        let t0 = ctx.op_timer();
+        let cost = hpwl(nl, p);
+        ctx.record_op("hpwl.forward", t0);
+        cost
     }
 
-    fn backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) {
+    fn backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: &mut Gradient<T>,
+        _ctx: &mut ExecCtx<T>,
+    ) {
         for net in nl.nets() {
             let w = nl.net_weight(net);
             let pins = nl.net_pins(net);
@@ -88,6 +98,7 @@ impl<T: Float> Operator<T> for HpwlOp {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::NetlistBuilder;
@@ -104,8 +115,9 @@ mod tests {
         p.x = vec![1.0, 5.0];
         p.y = vec![2.0, 2.0];
         let mut g = Gradient::zeros(2);
+        let mut ctx = ExecCtx::serial();
         let mut op = HpwlOp::new();
-        let cost = op.forward_backward(&nl, &p, &mut g);
+        let cost = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         assert_eq!(cost, 4.0);
         assert_eq!(g.x, vec![-1.0, 1.0]);
         // equal y: hi and lo resolve to the first strict extremum updates
@@ -123,8 +135,9 @@ mod tests {
         let mut p = Placement::zeros(2);
         p.x = vec![0.0, 2.0];
         let mut g = Gradient::zeros(2);
+        let mut ctx = ExecCtx::serial();
         let mut op = HpwlOp::new();
-        let _ = op.forward_backward(&nl, &p, &mut g);
+        let _ = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         assert_eq!(g.x, vec![-3.0, 3.0]);
     }
 }

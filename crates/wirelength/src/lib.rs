@@ -16,12 +16,14 @@
 //!
 //! CPU parallelism uses dynamically scheduled chunks of size
 //! `|E| / (threads * 16)` as the paper prescribes for heterogeneous net
-//! degrees (§III-A).
+//! degrees (§III-A). Kernels launch on the persistent worker pool carried
+//! by the [`dp_autograd::ExecCtx`] every operator call receives; scratch
+//! buffers are leased from the ctx and reused across iterations.
 //!
 //! # Examples
 //!
 //! ```
-//! use dp_autograd::{Gradient, Operator};
+//! use dp_autograd::{ExecCtx, Gradient, Operator};
 //! use dp_netlist::{NetlistBuilder, Placement};
 //! use dp_wirelength::{WaStrategy, WaWirelength};
 //!
@@ -35,13 +37,18 @@
 //! p.x[1] = 10.0;
 //!
 //! let mut op = WaWirelength::<f64>::new(WaStrategy::Merged, 0.1);
+//! let mut ctx = ExecCtx::serial();
 //! let mut g = Gradient::zeros(nl.num_cells());
-//! let cost = op.forward_backward(&nl, &p, &mut g);
+//! let cost = op.forward_backward(&nl, &p, &mut g, &mut ctx);
 //! assert!((cost - 10.0).abs() < 0.1); // WA tracks HPWL closely at small gamma
 //! assert!(g.x[0] < 0.0 && g.x[1] > 0.0); // pull the cells together
 //! # Ok(())
 //! # }
 //! ```
+
+// Library code must surface structured errors instead of panicking;
+// tests opt out module-by-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod hpwl_op;
 pub mod lse;

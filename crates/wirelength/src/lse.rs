@@ -6,19 +6,25 @@
 //! `WL_e = gamma * (ln sum_i e^{x_i/gamma} + ln sum_i e^{-x_i/gamma})` per
 //! axis, with gradient given by the softmax weights. LSE *over*-estimates
 //! HPWL (WA underestimates), which the tests assert.
+//!
+//! Kernels launch on the [`ExecCtx`]'s persistent pool; the cost reduction
+//! is ordered with a thread-count-invariant chunk size, so results are
+//! bit-exact at any worker count.
 
-use dp_autograd::{Gradient, Operator};
+use std::sync::Arc;
+
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_netlist::{NetId, Netlist, Placement};
-use dp_num::{AtomicFloat, Float};
+use dp_num::{reduce_chunk_size, Float};
 
-use crate::parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
+use crate::parallel::DisjointSlice;
 
 /// The LSE wirelength operator (net-level parallel, fused backward).
 ///
 /// # Examples
 ///
 /// ```
-/// use dp_autograd::Operator;
+/// use dp_autograd::{ExecCtx, Operator};
 /// use dp_netlist::{NetlistBuilder, Placement};
 /// use dp_wirelength::LseWirelength;
 ///
@@ -30,15 +36,15 @@ use crate::parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
 /// let nl = b.build()?;
 /// let mut p = Placement::zeros(nl.num_cells());
 /// p.x[1] = 5.0;
+/// let mut ctx = ExecCtx::serial();
 /// let mut op = LseWirelength::new(0.05);
-/// let cost = op.forward(&nl, &p);
+/// let cost = op.forward(&nl, &p, &mut ctx);
 /// assert!(cost >= 5.0 && cost < 5.5); // LSE upper-bounds HPWL
 /// # Ok(())
 /// # }
 /// ```
 pub struct LseWirelength<T: Float> {
     gamma: T,
-    num_threads: usize,
     pin_x: Vec<T>,
     pin_y: Vec<T>,
 }
@@ -53,16 +59,9 @@ impl<T: Float> LseWirelength<T> {
         assert!(gamma > T::ZERO, "gamma must be positive");
         Self {
             gamma,
-            num_threads: 1,
             pin_x: Vec::new(),
             pin_y: Vec::new(),
         }
-    }
-
-    /// Sets the worker thread count (1 = serial).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.num_threads = threads.max(1);
-        self
     }
 
     /// The current smoothing parameter.
@@ -80,8 +79,9 @@ impl<T: Float> LseWirelength<T> {
         self.gamma = gamma;
     }
 
-    fn update_pin_positions(&mut self, nl: &Netlist<T>, p: &Placement<T>) {
+    fn update_pin_positions(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) {
         let n = nl.num_pins();
+        let reused = !self.pin_x.is_empty();
         self.pin_x.resize(n, T::ZERO);
         self.pin_y.resize(n, T::ZERO);
         for pin in 0..n {
@@ -91,6 +91,11 @@ impl<T: Float> LseWirelength<T> {
             self.pin_x[pin] = p.x[cell] + dx;
             self.pin_y[pin] = p.y[cell] + dy;
         }
+        ctx.note_workspace(
+            "lse.pin_pos",
+            (self.pin_x.capacity() + self.pin_y.capacity()) * std::mem::size_of::<T>(),
+            reused,
+        );
     }
 
     /// One net / one axis: returns the LSE wirelength and optionally writes
@@ -136,42 +141,53 @@ impl<T: Float> LseWirelength<T> {
         gamma * (sum_p.ln() + sum_m.ln()) + (hi - lo)
     }
 
-    fn run(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: Option<&mut Gradient<T>>) -> T {
-        self.update_pin_positions(nl, p);
+    fn run(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: Option<&mut Gradient<T>>,
+        ctx: &mut ExecCtx<T>,
+    ) -> T {
+        self.update_pin_positions(nl, p, ctx);
+        let pool = Arc::clone(ctx.pool());
         let nets = nl.num_nets();
         let pins = nl.num_pins();
-        let threads = self.num_threads;
-        let chunk = paper_chunk_size(nets, threads);
+        let chunk = reduce_chunk_size(nets);
         let gamma = self.gamma;
-        let total = <T as Float>::Atomic::new(T::ZERO);
-        let mut pin_gx = vec![T::ZERO; pins];
-        let mut pin_gy = vec![T::ZERO; pins];
         let want_grad = grad.is_some();
-        {
+        let mut pin_gx = ctx.lease("wl.pin_grad.x", pins);
+        let mut pin_gy = ctx.lease("wl.pin_grad.y", pins);
+        let total = {
             let gx = DisjointSlice::new(&mut pin_gx);
             let gy = DisjointSlice::new(&mut pin_gy);
             let px = &self.pin_x;
             let py = &self.pin_y;
-            parallel_for_chunks(nets, threads, chunk, |range| {
-                let mut local = T::ZERO;
-                for e in range {
-                    let net = NetId::new(e);
-                    let w = nl.net_weight(net);
-                    let net_pins = nl.net_pins(net);
-                    let ox = want_grad.then_some(&gx);
-                    let oy = want_grad.then_some(&gy);
-                    local += w * Self::net_lse(px, net_pins, gamma, w, ox);
-                    local += w * Self::net_lse(py, net_pins, gamma, w, oy);
-                }
-                total.fetch_add(local);
-            });
-        }
+            pool.reduce_in_order(
+                nets,
+                chunk,
+                T::ZERO,
+                |range| {
+                    let mut local = T::ZERO;
+                    for e in range {
+                        let net = NetId::new(e);
+                        let w = nl.net_weight(net);
+                        let net_pins = nl.net_pins(net);
+                        let ox = want_grad.then_some(&gx);
+                        let oy = want_grad.then_some(&gy);
+                        local += w * Self::net_lse(px, net_pins, gamma, w, ox);
+                        local += w * Self::net_lse(py, net_pins, gamma, w, oy);
+                    }
+                    local
+                },
+                |a, b| a + b,
+            )
+        };
         if let Some(grad) = grad {
             let cells = nl.num_cells();
-            let chunk = paper_chunk_size(cells, threads);
+            let chunk = pool.chunk_for(cells);
             let gx = DisjointSlice::new(&mut grad.x);
             let gy = DisjointSlice::new(&mut grad.y);
-            parallel_for_chunks(cells, threads, chunk, |range| {
+            pool.run(cells, chunk, |range| {
                 for c in range {
                     let cid = dp_netlist::CellId::new(c);
                     let mut ax = T::ZERO;
@@ -188,7 +204,9 @@ impl<T: Float> LseWirelength<T> {
                 }
             });
         }
-        total.load()
+        ctx.release("wl.pin_grad.x", pin_gx);
+        ctx.release("wl.pin_grad.y", pin_gy);
+        total
     }
 }
 
@@ -197,20 +215,41 @@ impl<T: Float> Operator<T> for LseWirelength<T> {
         "lse-wirelength"
     }
 
-    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
-        self.run(nl, p, None)
+    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
+        let t0 = ctx.op_timer();
+        let cost = self.run(nl, p, None, ctx);
+        ctx.record_op("lse.forward", t0);
+        cost
     }
 
-    fn backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) {
-        let _ = self.run(nl, p, Some(grad));
+    fn backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    ) {
+        let t0 = ctx.op_timer();
+        let _ = self.run(nl, p, Some(grad), ctx);
+        ctx.record_op("lse.backward", t0);
     }
 
-    fn forward_backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) -> T {
-        self.run(nl, p, Some(grad))
+    fn forward_backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    ) -> T {
+        let t0 = ctx.op_timer();
+        let cost = self.run(nl, p, Some(grad), ctx);
+        ctx.record_op("lse.forward_backward", t0);
+        cost
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_autograd::check_gradient;
@@ -241,8 +280,9 @@ mod tests {
     fn lse_upper_bounds_hpwl() {
         let (nl, p) = random_design(3);
         let exact = hpwl(&nl, &p).to_f64();
+        let mut ctx = ExecCtx::serial();
         let mut op = LseWirelength::new(0.5);
-        let cost = op.forward(&nl, &p).to_f64();
+        let cost = op.forward(&nl, &p, &mut ctx).to_f64();
         assert!(
             cost >= exact - 1e-9,
             "LSE overestimates HPWL: {cost} vs {exact}"
@@ -253,10 +293,11 @@ mod tests {
     fn lse_converges_to_hpwl() {
         let (nl, p) = random_design(5);
         let exact = hpwl(&nl, &p).to_f64();
+        let mut ctx = ExecCtx::serial();
         let mut prev = f64::INFINITY;
         for gamma in [2.0, 0.5, 0.1, 0.02] {
             let mut op = LseWirelength::new(gamma);
-            let err = (op.forward(&nl, &p).to_f64() - exact).abs();
+            let err = (op.forward(&nl, &p, &mut ctx).to_f64() - exact).abs();
             assert!(err <= prev + 1e-9);
             prev = err;
         }
@@ -287,9 +328,10 @@ mod tests {
         let mut p = Placement::zeros(3);
         p.x = vec![1.0, 6.0, 3.0];
         p.y = vec![2.0, 4.0, 8.0];
+        let mut ctx = ExecCtx::serial();
         let mut op = LseWirelength::new(0.7);
         let mut g = Gradient::zeros(3);
-        let cost = op.forward_backward(&nl, &p, &mut g);
+        let cost = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         assert!(cost.is_finite());
         assert!(g.x.iter().chain(&g.y).all(|v| v.is_finite()));
         assert_eq!(g.x[2], 0.0, "lone cell feels no force");
@@ -302,22 +344,26 @@ mod tests {
         rb.add_net(2.0, vec![(ra, 0.0, 0.0), (rc, 0.0, 0.0)])
             .expect("valid");
         let ref_nl = rb.build().expect("valid");
-        let ref_cost = LseWirelength::new(0.7).forward(&ref_nl, &p);
+        let ref_cost = LseWirelength::new(0.7).forward(&ref_nl, &p, &mut ctx);
         assert!((cost - ref_cost).abs() < 1e-12, "{cost} vs {ref_cost}");
     }
 
     #[test]
     fn threads_do_not_change_results() {
         let (nl, p) = random_design(7);
+        let mut ctx_s = ExecCtx::serial();
+        let mut ctx_p = ExecCtx::new(3);
         let mut serial = LseWirelength::new(0.4);
-        let mut parallel = LseWirelength::new(0.4).with_threads(3);
+        let mut parallel = LseWirelength::new(0.4);
         let mut gs = dp_autograd::Gradient::zeros(nl.num_cells());
         let mut gp = dp_autograd::Gradient::zeros(nl.num_cells());
-        let cs = serial.forward_backward(&nl, &p, &mut gs);
-        let cp = parallel.forward_backward(&nl, &p, &mut gp);
-        assert!((cs - cp).abs() < 1e-9 * cs.abs());
+        let cs = serial.forward_backward(&nl, &p, &mut gs, &mut ctx_s);
+        let cp = parallel.forward_backward(&nl, &p, &mut gp, &mut ctx_p);
+        // Ordered reduction + disjoint writes: bit-exact across threads.
+        assert_eq!(cs.to_bits(), cp.to_bits());
         for i in 0..nl.num_cells() {
-            assert!((gs.x[i] - gp.x[i]).abs() < 1e-9);
+            assert_eq!(gs.x[i].to_bits(), gp.x[i].to_bits());
+            assert_eq!(gs.y[i].to_bits(), gp.y[i].to_bits());
         }
     }
 }

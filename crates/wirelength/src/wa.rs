@@ -10,12 +10,25 @@
 //!    `b^+ = sum a_i^+`, `c^+ = sum p_i a_i^+` (and the `-` mirror);
 //! 3. `WL_e = c^+/b^+ - c^-/b^-` per axis (forward) and Eq. (6) per pin
 //!    (backward), scattered to cells through the cell-pin CSR.
+//!
+//! # Execution model
+//!
+//! Kernels launch on the [`ExecCtx`]'s persistent worker pool; per-pin
+//! gradient scratch is leased from the ctx registry and the per-axis
+//! intermediates live in operator-owned workspaces that are reset — never
+//! reallocated — between iterations. Cost totals use
+//! [`WorkerPool::reduce_in_order`] with a thread-count-invariant chunk
+//! size, so the net-by-net and merged strategies are bit-exact across
+//! thread counts; the atomic strategy accumulates through floating-point
+//! atomics and is only reproducible to rounding (paper §V).
 
-use dp_autograd::{Gradient, Operator};
+use std::sync::Arc;
+
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_netlist::{NetId, Netlist, Placement};
-use dp_num::{AtomicFloat, Float};
+use dp_num::{reduce_chunk_size, AtomicFloat, Float, WorkerPool};
 
-use crate::parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
+use crate::parallel::DisjointSlice;
 
 /// Parallelization strategy for the WA kernels (paper Fig. 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,16 +72,102 @@ struct AxisCache<T> {
     c_minus: Vec<T>,
 }
 
-impl<T: Float> AxisCache<T> {
-    fn zeros(pins: usize, nets: usize) -> Self {
+impl<T> Default for AxisCache<T> {
+    fn default() -> Self {
         Self {
-            a_plus: vec![T::ZERO; pins],
-            a_minus: vec![T::ZERO; pins],
-            b_plus: vec![T::ZERO; nets],
-            b_minus: vec![T::ZERO; nets],
-            c_plus: vec![T::ZERO; nets],
-            c_minus: vec![T::ZERO; nets],
+            a_plus: Vec::new(),
+            a_minus: Vec::new(),
+            b_plus: Vec::new(),
+            b_minus: Vec::new(),
+            c_plus: Vec::new(),
+            c_minus: Vec::new(),
         }
+    }
+}
+
+impl<T: Float> AxisCache<T> {
+    /// Resizes to the current design and zero-fills every entry. The
+    /// explicit zeroing is load-bearing: degenerate nets leave their `a`/`c`
+    /// slots untouched and the backward pass relies on them being zero, so
+    /// a recycled buffer must not leak the previous iteration's values.
+    fn reset(&mut self, pins: usize, nets: usize) {
+        for (buf, len) in [
+            (&mut self.a_plus, pins),
+            (&mut self.a_minus, pins),
+            (&mut self.b_plus, nets),
+            (&mut self.b_minus, nets),
+            (&mut self.c_plus, nets),
+            (&mut self.c_minus, nets),
+        ] {
+            buf.clear();
+            buf.resize(len, T::ZERO);
+        }
+    }
+
+    /// Bytes of scratch currently held.
+    fn bytes(&self) -> usize {
+        (self.a_plus.capacity()
+            + self.a_minus.capacity()
+            + self.b_plus.capacity()
+            + self.b_minus.capacity()
+            + self.c_plus.capacity()
+            + self.c_minus.capacity())
+            * std::mem::size_of::<T>()
+    }
+}
+
+/// Resets an atomic scratch vector to `n` cells all holding `init`,
+/// reusing the allocation.
+fn reset_atomic_vec<A: AtomicFloat>(v: &mut Vec<A>, n: usize, init: A::Value) {
+    v.truncate(n);
+    for cell in v.iter() {
+        cell.store(init);
+    }
+    while v.len() < n {
+        v.push(A::new(init));
+    }
+}
+
+/// Persistent per-net scratch for the atomic strategy (paper Algorithm 1):
+/// max/min and `b`/`c` accumulators, reset — not reallocated — per launch.
+struct AtomicNetScratch<T: Float> {
+    hi: Vec<T::Atomic>,
+    lo: Vec<T::Atomic>,
+    b_plus: Vec<T::Atomic>,
+    b_minus: Vec<T::Atomic>,
+    c_plus: Vec<T::Atomic>,
+    c_minus: Vec<T::Atomic>,
+}
+
+impl<T: Float> AtomicNetScratch<T> {
+    fn empty() -> Self {
+        Self {
+            hi: Vec::new(),
+            lo: Vec::new(),
+            b_plus: Vec::new(),
+            b_minus: Vec::new(),
+            c_plus: Vec::new(),
+            c_minus: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, nets: usize) {
+        reset_atomic_vec(&mut self.hi, nets, T::NEG_INFINITY);
+        reset_atomic_vec(&mut self.lo, nets, T::INFINITY);
+        reset_atomic_vec(&mut self.b_plus, nets, T::ZERO);
+        reset_atomic_vec(&mut self.b_minus, nets, T::ZERO);
+        reset_atomic_vec(&mut self.c_plus, nets, T::ZERO);
+        reset_atomic_vec(&mut self.c_minus, nets, T::ZERO);
+    }
+
+    fn bytes(&self) -> usize {
+        (self.hi.capacity()
+            + self.lo.capacity()
+            + self.b_plus.capacity()
+            + self.b_minus.capacity()
+            + self.c_plus.capacity()
+            + self.c_minus.capacity())
+            * std::mem::size_of::<T::Atomic>()
     }
 }
 
@@ -80,11 +179,15 @@ impl<T: Float> AxisCache<T> {
 pub struct WaWirelength<T: Float> {
     strategy: WaStrategy,
     gamma: T,
-    num_threads: usize,
     /// Pin coordinates refreshed at each forward.
     pin_x: Vec<T>,
     pin_y: Vec<T>,
+    /// Per-axis intermediates storage; survives invalidation so the
+    /// allocation is reused across iterations.
     cache: Option<(AxisCache<T>, AxisCache<T>)>,
+    /// Whether `cache` holds intermediates from the latest forward.
+    cache_valid: bool,
+    atomic_scratch: AtomicNetScratch<T>,
 }
 
 impl<T: Float> WaWirelength<T> {
@@ -98,17 +201,12 @@ impl<T: Float> WaWirelength<T> {
         Self {
             strategy,
             gamma,
-            num_threads: 1,
             pin_x: Vec::new(),
             pin_y: Vec::new(),
             cache: None,
+            cache_valid: false,
+            atomic_scratch: AtomicNetScratch::empty(),
         }
-    }
-
-    /// Sets the worker thread count (1 = serial).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.num_threads = threads.max(1);
-        self
     }
 
     /// The active strategy.
@@ -121,7 +219,8 @@ impl<T: Float> WaWirelength<T> {
         self.gamma
     }
 
-    /// Updates the smoothing parameter (invalidates cached intermediates).
+    /// Updates the smoothing parameter (invalidates cached intermediates;
+    /// their storage is kept for reuse).
     ///
     /// # Panics
     ///
@@ -129,12 +228,13 @@ impl<T: Float> WaWirelength<T> {
     pub fn set_gamma(&mut self, gamma: T) {
         assert!(gamma > T::ZERO, "gamma must be positive");
         self.gamma = gamma;
-        self.cache = None;
+        self.cache_valid = false;
     }
 
     /// Refreshes pin coordinates from cell centers.
-    fn update_pin_positions(&mut self, nl: &Netlist<T>, p: &Placement<T>) {
+    fn update_pin_positions(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) {
         let n = nl.num_pins();
+        let reused = !self.pin_x.is_empty();
         self.pin_x.resize(n, T::ZERO);
         self.pin_y.resize(n, T::ZERO);
         for pin in 0..n {
@@ -144,6 +244,11 @@ impl<T: Float> WaWirelength<T> {
             self.pin_x[pin] = p.x[cell] + dx;
             self.pin_y[pin] = p.y[cell] + dy;
         }
+        ctx.note_workspace(
+            "wa.pin_pos",
+            (self.pin_x.capacity() + self.pin_y.capacity()) * std::mem::size_of::<T>(),
+            reused,
+        );
     }
 
     /// Serial WA wirelength of one net along one axis (stabilized).
@@ -200,24 +305,31 @@ impl<T: Float> WaWirelength<T> {
     }
 
     /// Forward pass of the net-by-net strategy for one axis, filling `cache`.
+    ///
+    /// The cost reduction folds per-chunk partials in chunk order with a
+    /// thread-count-invariant chunk size, so the total is bit-exact at any
+    /// worker count.
     fn forward_axis_net_by_net(
         &self,
         nl: &Netlist<T>,
         coords: &[T],
         cache: &mut AxisCache<T>,
+        pool: &WorkerPool,
     ) -> T {
         let nets = nl.num_nets();
-        let chunk = paper_chunk_size(nets, self.num_threads);
-        let total = <T as Float>::Atomic::new(T::ZERO);
+        let chunk = reduce_chunk_size(nets);
         let gamma = self.gamma;
-        {
-            let a_plus = DisjointSlice::new(&mut cache.a_plus);
-            let a_minus = DisjointSlice::new(&mut cache.a_minus);
-            let b_plus = DisjointSlice::new(&mut cache.b_plus);
-            let b_minus = DisjointSlice::new(&mut cache.b_minus);
-            let c_plus = DisjointSlice::new(&mut cache.c_plus);
-            let c_minus = DisjointSlice::new(&mut cache.c_minus);
-            parallel_for_chunks(nets, self.num_threads, chunk, |range| {
+        let a_plus = DisjointSlice::new(&mut cache.a_plus);
+        let a_minus = DisjointSlice::new(&mut cache.a_minus);
+        let b_plus = DisjointSlice::new(&mut cache.b_plus);
+        let b_minus = DisjointSlice::new(&mut cache.b_minus);
+        let c_plus = DisjointSlice::new(&mut cache.c_plus);
+        let c_minus = DisjointSlice::new(&mut cache.c_minus);
+        pool.reduce_in_order(
+            nets,
+            chunk,
+            T::ZERO,
+            |range| {
                 let mut local = T::ZERO;
                 for e in range {
                     let net = NetId::new(e);
@@ -268,28 +380,35 @@ impl<T: Float> WaWirelength<T> {
                     }
                     local += nl.net_weight(net) * (cp / bp - cm / bm);
                 }
-                total.fetch_add(local);
-            });
-        }
-        total.load()
+                local
+            },
+            |a, b| a + b,
+        )
     }
 
     /// Forward pass of the atomic strategy (paper Algorithm 1) for one axis.
-    fn forward_axis_atomic(&self, nl: &Netlist<T>, coords: &[T], cache: &mut AxisCache<T>) -> T {
+    ///
+    /// The per-net `b`/`c` terms accumulate through floating-point atomics,
+    /// so unlike the other strategies this one is only reproducible to
+    /// rounding across thread counts.
+    fn forward_axis_atomic(
+        &mut self,
+        nl: &Netlist<T>,
+        coords: &[T],
+        cache: &mut AxisCache<T>,
+        pool: &WorkerPool,
+    ) -> T {
         let nets = nl.num_nets();
         let pins = nl.num_pins();
-        let threads = self.num_threads;
-        let pin_chunk = paper_chunk_size(pins, threads);
+        let pin_chunk = pool.chunk_for(pins);
         let gamma = self.gamma;
+        self.atomic_scratch.reset(nets);
+        let scratch = &self.atomic_scratch;
 
         // x+/x- kernel: atomic max/min per net.
-        let hi: Vec<T::Atomic> = (0..nets)
-            .map(|_| <T as Float>::Atomic::new(T::NEG_INFINITY))
-            .collect();
-        let lo: Vec<T::Atomic> = (0..nets)
-            .map(|_| <T as Float>::Atomic::new(T::INFINITY))
-            .collect();
-        parallel_for_chunks(pins, threads, pin_chunk, |range| {
+        let hi = &scratch.hi;
+        let lo = &scratch.lo;
+        pool.run(pins, pin_chunk, |range| {
             for p in range {
                 let e = nl.pin_net(dp_netlist::PinId::new(p)).index();
                 hi[e].fetch_max(coords[p]);
@@ -301,7 +420,7 @@ impl<T: Float> WaWirelength<T> {
         {
             let a_plus = DisjointSlice::new(&mut cache.a_plus);
             let a_minus = DisjointSlice::new(&mut cache.a_minus);
-            parallel_for_chunks(pins, threads, pin_chunk, |range| {
+            pool.run(pins, pin_chunk, |range| {
                 for p in range {
                     let net = nl.pin_net(dp_netlist::PinId::new(p));
                     let e = net.index();
@@ -321,28 +440,20 @@ impl<T: Float> WaWirelength<T> {
         }
 
         // b and c kernels: atomic adds per net.
-        let bp: Vec<T::Atomic> = (0..nets)
-            .map(|_| <T as Float>::Atomic::new(T::ZERO))
-            .collect();
-        let bm: Vec<T::Atomic> = (0..nets)
-            .map(|_| <T as Float>::Atomic::new(T::ZERO))
-            .collect();
+        let bp = &scratch.b_plus;
+        let bm = &scratch.b_minus;
         let a_plus_ref = &cache.a_plus;
         let a_minus_ref = &cache.a_minus;
-        parallel_for_chunks(pins, threads, pin_chunk, |range| {
+        pool.run(pins, pin_chunk, |range| {
             for p in range {
                 let e = nl.pin_net(dp_netlist::PinId::new(p)).index();
                 bp[e].fetch_add(a_plus_ref[p]);
                 bm[e].fetch_add(a_minus_ref[p]);
             }
         });
-        let cp: Vec<T::Atomic> = (0..nets)
-            .map(|_| <T as Float>::Atomic::new(T::ZERO))
-            .collect();
-        let cm: Vec<T::Atomic> = (0..nets)
-            .map(|_| <T as Float>::Atomic::new(T::ZERO))
-            .collect();
-        parallel_for_chunks(pins, threads, pin_chunk, |range| {
+        let cp = &scratch.c_plus;
+        let cm = &scratch.c_minus;
+        pool.run(pins, pin_chunk, |range| {
             for p in range {
                 let e = nl.pin_net(dp_netlist::PinId::new(p)).index();
                 cp[e].fetch_add(coords[p] * a_plus_ref[p]);
@@ -350,15 +461,17 @@ impl<T: Float> WaWirelength<T> {
             }
         });
 
-        // WL kernel per net + reduction.
-        let net_chunk = paper_chunk_size(nets, threads);
-        let total = <T as Float>::Atomic::new(T::ZERO);
-        {
-            let b_plus = DisjointSlice::new(&mut cache.b_plus);
-            let b_minus = DisjointSlice::new(&mut cache.b_minus);
-            let c_plus = DisjointSlice::new(&mut cache.c_plus);
-            let c_minus = DisjointSlice::new(&mut cache.c_minus);
-            parallel_for_chunks(nets, threads, net_chunk, |range| {
+        // WL kernel per net + ordered reduction.
+        let net_chunk = reduce_chunk_size(nets);
+        let b_plus = DisjointSlice::new(&mut cache.b_plus);
+        let b_minus = DisjointSlice::new(&mut cache.b_minus);
+        let c_plus = DisjointSlice::new(&mut cache.c_plus);
+        let c_minus = DisjointSlice::new(&mut cache.c_minus);
+        pool.reduce_in_order(
+            nets,
+            net_chunk,
+            T::ZERO,
+            |range| {
                 let mut local = T::ZERO;
                 for e in range {
                     if nl.net_degree(NetId::new(e)) < 2 {
@@ -381,33 +494,49 @@ impl<T: Float> WaWirelength<T> {
                     }
                     local += nl.net_weight(NetId::new(e)) * (vcp / vbp - vcm / vbm);
                 }
-                total.fetch_add(local);
-            });
-        }
-        total.load()
+                local
+            },
+            |a, b| a + b,
+        )
     }
 
     /// Backward pass shared by net-by-net and atomic: per-pin Eq. (6) from
-    /// the cache, then CSR scatter to cells.
+    /// the cache, then CSR scatter to cells. Pin gradient scratch is leased
+    /// from the ctx registry.
     fn backward_from_cache(
         &self,
         nl: &Netlist<T>,
         cache_x: &AxisCache<T>,
         cache_y: &AxisCache<T>,
         grad: &mut Gradient<T>,
+        pool: &WorkerPool,
+        ctx: &mut ExecCtx<T>,
     ) {
         let pins = nl.num_pins();
-        let threads = self.num_threads;
-        let chunk = paper_chunk_size(pins, threads);
+        // A netlist change between forward and backward would silently read
+        // stale-shaped workspaces; catch it where the reuse happens.
+        debug_assert_eq!(cache_x.a_plus.len(), pins, "WA cache pins out of date");
+        debug_assert_eq!(
+            cache_x.b_plus.len(),
+            nl.num_nets(),
+            "WA cache nets out of date"
+        );
+        debug_assert_eq!(cache_y.a_plus.len(), pins, "WA cache pins out of date");
+        debug_assert_eq!(
+            cache_y.b_plus.len(),
+            nl.num_nets(),
+            "WA cache nets out of date"
+        );
+        let chunk = pool.chunk_for(pins);
         let gamma = self.gamma;
-        let mut pin_gx = vec![T::ZERO; pins];
-        let mut pin_gy = vec![T::ZERO; pins];
+        let mut pin_gx = ctx.lease("wl.pin_grad.x", pins);
+        let mut pin_gy = ctx.lease("wl.pin_grad.y", pins);
         {
             let gx = DisjointSlice::new(&mut pin_gx);
             let gy = DisjointSlice::new(&mut pin_gy);
             let px = &self.pin_x;
             let py = &self.pin_y;
-            parallel_for_chunks(pins, threads, chunk, |range| {
+            pool.run(pins, chunk, |range| {
                 for p in range {
                     let pid = dp_netlist::PinId::new(p);
                     let e = nl.pin_net(pid).index();
@@ -440,7 +569,9 @@ impl<T: Float> WaWirelength<T> {
                 }
             });
         }
-        scatter_pin_grads_to_cells(nl, &pin_gx, &pin_gy, grad, threads);
+        scatter_pin_grads_to_cells(nl, &pin_gx, &pin_gy, grad, pool);
+        ctx.release("wl.pin_grad.x", pin_gx);
+        ctx.release("wl.pin_grad.y", pin_gy);
     }
 
     /// Fused forward+backward of the merged strategy (paper Algorithm 2).
@@ -449,97 +580,113 @@ impl<T: Float> WaWirelength<T> {
         nl: &Netlist<T>,
         p: &Placement<T>,
         grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
     ) -> T {
-        self.update_pin_positions(nl, p);
+        self.update_pin_positions(nl, p, ctx);
+        let pool = Arc::clone(ctx.pool());
         let nets = nl.num_nets();
         let pins = nl.num_pins();
-        let threads = self.num_threads;
-        let chunk = paper_chunk_size(nets, threads);
+        let chunk = reduce_chunk_size(nets);
         let gamma = self.gamma;
-        let total = <T as Float>::Atomic::new(T::ZERO);
-        let mut pin_gx = vec![T::ZERO; pins];
-        let mut pin_gy = vec![T::ZERO; pins];
-        {
+        let mut pin_gx = ctx.lease("wl.pin_grad.x", pins);
+        let mut pin_gy = ctx.lease("wl.pin_grad.y", pins);
+        let total = {
             let gx = DisjointSlice::new(&mut pin_gx);
             let gy = DisjointSlice::new(&mut pin_gy);
             let px = &self.pin_x;
             let py = &self.pin_y;
-            parallel_for_chunks(nets, threads, chunk, |range| {
-                let mut local = T::ZERO;
-                for e in range {
-                    let net = NetId::new(e);
-                    let w = nl.net_weight(net);
-                    let net_pins = nl.net_pins(net);
-                    if net_pins.len() < 2 {
-                        // Degenerate net: zero wirelength and (the freshly
-                        // zeroed) zero pin gradients.
-                        continue;
+            pool.reduce_in_order(
+                nets,
+                chunk,
+                T::ZERO,
+                |range| {
+                    let mut local = T::ZERO;
+                    for e in range {
+                        let net = NetId::new(e);
+                        let w = nl.net_weight(net);
+                        let net_pins = nl.net_pins(net);
+                        if net_pins.len() < 2 {
+                            // Degenerate net: zero wirelength and (the
+                            // freshly zeroed) zero pin gradients.
+                            continue;
+                        }
+                        for (coords, out) in [(px, &gx), (py, &gy)] {
+                            // Locals only — no global intermediates
+                            // (Algorithm 2).
+                            let mut hi = T::NEG_INFINITY;
+                            let mut lo = T::INFINITY;
+                            for &pin in net_pins {
+                                let v = coords[pin.index()];
+                                hi = hi.max(v);
+                                lo = lo.min(v);
+                            }
+                            let mut bp = T::ZERO;
+                            let mut bm = T::ZERO;
+                            let mut cp = T::ZERO;
+                            let mut cm = T::ZERO;
+                            for &pin in net_pins {
+                                let v = coords[pin.index()];
+                                let ap = ((v - hi) / gamma).exp();
+                                let am = (-(v - lo) / gamma).exp();
+                                bp += ap;
+                                bm += am;
+                                cp += v * ap;
+                                cm += v * am;
+                            }
+                            local += w * (cp / bp - cm / bm);
+                            // Second pin pass: recompute a and emit
+                            // gradients.
+                            for &pin in net_pins {
+                                let v = coords[pin.index()];
+                                let ap = ((v - hi) / gamma).exp();
+                                let am = (-(v - lo) / gamma).exp();
+                                let g = Self::pin_gradient(v, gamma, ap, am, bp, bm, cp, cm);
+                                // SAFETY: each pin belongs to exactly one
+                                // net.
+                                unsafe { out.write(pin.index(), w * g) };
+                            }
+                        }
                     }
-                    for (coords, out) in [(px, &gx), (py, &gy)] {
-                        // Locals only — no global intermediates (Algorithm 2).
-                        let mut hi = T::NEG_INFINITY;
-                        let mut lo = T::INFINITY;
-                        for &pin in net_pins {
-                            let v = coords[pin.index()];
-                            hi = hi.max(v);
-                            lo = lo.min(v);
-                        }
-                        let mut bp = T::ZERO;
-                        let mut bm = T::ZERO;
-                        let mut cp = T::ZERO;
-                        let mut cm = T::ZERO;
-                        for &pin in net_pins {
-                            let v = coords[pin.index()];
-                            let ap = ((v - hi) / gamma).exp();
-                            let am = (-(v - lo) / gamma).exp();
-                            bp += ap;
-                            bm += am;
-                            cp += v * ap;
-                            cm += v * am;
-                        }
-                        local += w * (cp / bp - cm / bm);
-                        // Second pin pass: recompute a and emit gradients.
-                        for &pin in net_pins {
-                            let v = coords[pin.index()];
-                            let ap = ((v - hi) / gamma).exp();
-                            let am = (-(v - lo) / gamma).exp();
-                            let g = Self::pin_gradient(v, gamma, ap, am, bp, bm, cp, cm);
-                            // SAFETY: each pin belongs to exactly one net.
-                            unsafe { out.write(pin.index(), w * g) };
-                        }
-                    }
-                }
-                total.fetch_add(local);
-            });
-        }
-        scatter_pin_grads_to_cells(nl, &pin_gx, &pin_gy, grad, threads);
-        self.cache = None;
-        total.load()
+                    local
+                },
+                |a, b| a + b,
+            )
+        };
+        scatter_pin_grads_to_cells(nl, &pin_gx, &pin_gy, grad, &pool);
+        ctx.release("wl.pin_grad.x", pin_gx);
+        ctx.release("wl.pin_grad.y", pin_gy);
+        self.cache_valid = false;
+        total
     }
 
     /// Forward-only evaluation used by line search: cost without gradients,
     /// and without touching caches for the merged strategy.
-    fn cost_only(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
-        self.update_pin_positions(nl, p);
+    fn cost_only(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
+        self.update_pin_positions(nl, p, ctx);
+        let pool = Arc::clone(ctx.pool());
         let nets = nl.num_nets();
-        let chunk = paper_chunk_size(nets, self.num_threads);
-        let total = <T as Float>::Atomic::new(T::ZERO);
+        let chunk = reduce_chunk_size(nets);
         let gamma = self.gamma;
         let px = &self.pin_x;
         let py = &self.pin_y;
-        parallel_for_chunks(nets, self.num_threads, chunk, |range| {
-            let mut local = T::ZERO;
-            for e in range {
-                let net = NetId::new(e);
-                let w = nl.net_weight(net);
-                let pins = nl.net_pins(net);
-                for coords in [px, py] {
-                    local += w * Self::net_wirelength(coords, pins, gamma);
+        pool.reduce_in_order(
+            nets,
+            chunk,
+            T::ZERO,
+            |range| {
+                let mut local = T::ZERO;
+                for e in range {
+                    let net = NetId::new(e);
+                    let w = nl.net_weight(net);
+                    let pins = nl.net_pins(net);
+                    for coords in [px, py] {
+                        local += w * Self::net_wirelength(coords, pins, gamma);
+                    }
                 }
-            }
-            total.fetch_add(local);
-        });
-        total.load()
+                local
+            },
+            |a, b| a + b,
+        )
     }
 }
 
@@ -548,61 +695,108 @@ impl<T: Float> Operator<T> for WaWirelength<T> {
         "wa-wirelength"
     }
 
-    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>) -> T {
-        match self.strategy {
-            WaStrategy::Merged => self.cost_only(nl, p),
+    fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
+        let t0 = ctx.op_timer();
+        let cost = match self.strategy {
+            WaStrategy::Merged => self.cost_only(nl, p, ctx),
             WaStrategy::NetByNet | WaStrategy::Atomic => {
-                self.update_pin_positions(nl, p);
+                self.update_pin_positions(nl, p, ctx);
+                let pool = Arc::clone(ctx.pool());
                 let pins = nl.num_pins();
                 let nets = nl.num_nets();
-                let mut cx = AxisCache::zeros(pins, nets);
-                let mut cy = AxisCache::zeros(pins, nets);
+                let cache_reused = self.cache.is_some();
+                let scratch_reused = !self.atomic_scratch.hi.is_empty();
+                let (mut cx, mut cy) = self.cache.take().unwrap_or_default();
+                cx.reset(pins, nets);
+                cy.reset(pins, nets);
                 // Move the coordinate buffers out so the axis passes can
-                // borrow `self` immutably without aliasing them.
+                // borrow `self` without aliasing them.
                 let px = std::mem::take(&mut self.pin_x);
                 let py = std::mem::take(&mut self.pin_y);
                 let cost = match self.strategy {
                     WaStrategy::NetByNet => {
-                        self.forward_axis_net_by_net(nl, &px, &mut cx)
-                            + self.forward_axis_net_by_net(nl, &py, &mut cy)
+                        self.forward_axis_net_by_net(nl, &px, &mut cx, &pool)
+                            + self.forward_axis_net_by_net(nl, &py, &mut cy, &pool)
                     }
                     _ => {
-                        self.forward_axis_atomic(nl, &px, &mut cx)
-                            + self.forward_axis_atomic(nl, &py, &mut cy)
+                        self.forward_axis_atomic(nl, &px, &mut cx, &pool)
+                            + self.forward_axis_atomic(nl, &py, &mut cy, &pool)
                     }
                 };
                 self.pin_x = px;
                 self.pin_y = py;
+                ctx.note_workspace("wa.axis_cache", cx.bytes() + cy.bytes(), cache_reused);
+                if matches!(self.strategy, WaStrategy::Atomic) {
+                    ctx.note_workspace(
+                        "wa.atomic_scratch",
+                        self.atomic_scratch.bytes(),
+                        scratch_reused,
+                    );
+                }
                 self.cache = Some((cx, cy));
+                self.cache_valid = true;
                 cost
             }
-        }
+        };
+        ctx.record_op("wa.forward", t0);
+        cost
     }
 
-    fn backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) {
+    fn backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    ) {
         match self.strategy {
             WaStrategy::Merged => {
-                let mut scratch = Gradient::zeros(grad.len());
-                let _ = self.merged_forward_backward(nl, p, &mut scratch);
+                let t0 = ctx.op_timer();
+                let n = grad.len();
+                let mut scratch = Gradient {
+                    x: ctx.lease("wl.backward.scratch.x", n),
+                    y: ctx.lease("wl.backward.scratch.y", n),
+                };
+                let _ = self.merged_forward_backward(nl, p, &mut scratch, ctx);
                 grad.axpy(T::ONE, &scratch);
+                let Gradient { x, y } = scratch;
+                ctx.release("wl.backward.scratch.x", x);
+                ctx.release("wl.backward.scratch.y", y);
+                ctx.record_op("wa.backward", t0);
             }
             _ => {
-                if self.cache.is_none() {
-                    let _ = self.forward(nl, p);
+                if !self.cache_valid || self.cache.is_none() {
+                    let _ = self.forward(nl, p, ctx);
                 }
-                let (cx, cy) = self.cache.take().expect("cache populated by forward");
-                self.backward_from_cache(nl, &cx, &cy, grad);
-                self.cache = Some((cx, cy));
+                let t0 = ctx.op_timer();
+                let pool = Arc::clone(ctx.pool());
+                // The branch above guarantees a populated, valid cache.
+                if let Some((cx, cy)) = self.cache.take() {
+                    self.backward_from_cache(nl, &cx, &cy, grad, &pool, ctx);
+                    self.cache = Some((cx, cy));
+                }
+                ctx.record_op("wa.backward", t0);
             }
         }
     }
 
-    fn forward_backward(&mut self, nl: &Netlist<T>, p: &Placement<T>, grad: &mut Gradient<T>) -> T {
+    fn forward_backward(
+        &mut self,
+        nl: &Netlist<T>,
+        p: &Placement<T>,
+        grad: &mut Gradient<T>,
+        ctx: &mut ExecCtx<T>,
+    ) -> T {
         match self.strategy {
-            WaStrategy::Merged => self.merged_forward_backward(nl, p, grad),
+            WaStrategy::Merged => {
+                let t0 = ctx.op_timer();
+                let cost = self.merged_forward_backward(nl, p, grad, ctx);
+                ctx.record_op("wa.forward_backward", t0);
+                cost
+            }
             _ => {
-                let cost = self.forward(nl, p);
-                self.backward(nl, p, grad);
+                let cost = self.forward(nl, p, ctx);
+                self.backward(nl, p, grad, ctx);
                 cost
             }
         }
@@ -616,13 +810,13 @@ fn scatter_pin_grads_to_cells<T: Float>(
     pin_gx: &[T],
     pin_gy: &[T],
     grad: &mut Gradient<T>,
-    threads: usize,
+    pool: &WorkerPool,
 ) {
     let cells = nl.num_cells();
-    let chunk = paper_chunk_size(cells, threads);
+    let chunk = pool.chunk_for(cells);
     let gx = DisjointSlice::new(&mut grad.x);
     let gy = DisjointSlice::new(&mut grad.y);
-    parallel_for_chunks(cells, threads, chunk, |range| {
+    pool.run(cells, chunk, |range| {
         for c in range {
             let cid = dp_netlist::CellId::new(c);
             let mut ax = T::ZERO;
@@ -642,6 +836,7 @@ fn scatter_pin_grads_to_cells<T: Float>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_autograd::check_gradient;
@@ -674,10 +869,11 @@ mod tests {
     fn wa_approaches_hpwl_as_gamma_shrinks() {
         let (nl, p) = random_design(7, 20, 30);
         let exact = hpwl(&nl, &p).to_f64();
+        let mut ctx = ExecCtx::serial();
         let mut prev_err = f64::INFINITY;
         for gamma in [4.0, 1.0, 0.25, 0.05] {
             let mut op = WaWirelength::new(WaStrategy::Merged, gamma);
-            let cost = op.forward(&nl, &p).to_f64();
+            let cost = op.forward(&nl, &p, &mut ctx).to_f64();
             let err = (cost - exact).abs();
             assert!(err <= prev_err + 1e-9, "error must shrink with gamma");
             prev_err = err;
@@ -688,11 +884,12 @@ mod tests {
     #[test]
     fn strategies_agree_on_cost_and_gradient() {
         let (nl, p) = random_design(11, 25, 40);
+        let mut ctx = ExecCtx::serial();
         let mut results = Vec::new();
         for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
             let mut op = WaWirelength::new(strategy, 0.7);
             let mut g = Gradient::zeros(nl.num_cells());
-            let cost = op.forward_backward(&nl, &p, &mut g);
+            let cost = op.forward_backward(&nl, &p, &mut g, &mut ctx);
             results.push((cost, g));
         }
         let (c0, g0) = &results[0];
@@ -709,16 +906,56 @@ mod tests {
     fn threads_do_not_change_results() {
         let (nl, p) = random_design(13, 30, 50);
         for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+            let mut ctx_s = ExecCtx::serial();
+            let mut ctx_p = ExecCtx::new(4);
             let mut serial = WaWirelength::new(strategy, 0.5);
-            let mut parallel = WaWirelength::new(strategy, 0.5).with_threads(4);
+            let mut parallel = WaWirelength::new(strategy, 0.5);
             let mut gs = Gradient::zeros(nl.num_cells());
             let mut gp = Gradient::zeros(nl.num_cells());
-            let cs = serial.forward_backward(&nl, &p, &mut gs);
-            let cp = parallel.forward_backward(&nl, &p, &mut gp);
+            let cs = serial.forward_backward(&nl, &p, &mut gs, &mut ctx_s);
+            let cp = parallel.forward_backward(&nl, &p, &mut gp, &mut ctx_p);
             assert!((cs - cp).abs() < 1e-9 * cs.abs(), "{strategy}");
             for i in 0..nl.num_cells() {
                 assert!((gs.x[i] - gp.x[i]).abs() < 1e-9, "{strategy}");
             }
+            // The non-atomic strategies use ordered reductions and disjoint
+            // writes only, so they are bit-exact across thread counts.
+            if !matches!(strategy, WaStrategy::Atomic) {
+                assert_eq!(cs.to_bits(), cp.to_bits(), "{strategy}");
+                for i in 0..nl.num_cells() {
+                    assert_eq!(gs.x[i].to_bits(), gp.x[i].to_bits(), "{strategy}");
+                    assert_eq!(gs.y[i].to_bits(), gp.y[i].to_bits(), "{strategy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspaces_are_reused_across_iterations() {
+        let (nl, p) = random_design(29, 20, 30);
+        for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+            let mut ctx = ExecCtx::serial();
+            let mut op = WaWirelength::new(strategy, 0.7);
+            let mut g = Gradient::zeros(nl.num_cells());
+            for _ in 0..3 {
+                g.reset();
+                let _ = op.forward_backward(&nl, &p, &mut g, &mut ctx);
+            }
+            let summary = ctx.summary();
+            for (key, ws) in &summary.workspaces {
+                assert!(
+                    ws.reuses >= 1,
+                    "{strategy}: workspace {key} was never reused: {ws:?}"
+                );
+            }
+            // Pin gradient scratch must be tracked for every strategy.
+            assert!(
+                summary
+                    .workspaces
+                    .iter()
+                    .any(|(k, _)| *k == "wl.pin_grad.x"),
+                "{strategy}"
+            );
         }
     }
 
@@ -744,9 +981,10 @@ mod tests {
         let mut p = Placement::zeros(4);
         p.x = vec![1.0, 3.5, 2.0, 9.0];
         p.y = vec![0.0, 4.0, 8.0, 2.0];
+        let mut ctx = ExecCtx::serial();
         let mut op = WaWirelength::new(WaStrategy::Merged, 0.8);
         let mut g = Gradient::zeros(4);
-        let _ = op.forward_backward(&nl, &p, &mut g);
+        let _ = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         let sx: f64 = g.x.iter().sum();
         let sy: f64 = g.y.iter().sum();
         assert!(sx.abs() < 1e-10 && sy.abs() < 1e-10);
@@ -756,8 +994,9 @@ mod tests {
     fn wa_lower_bounds_hpwl() {
         let (nl, p) = random_design(23, 15, 25);
         let exact = hpwl(&nl, &p).to_f64();
+        let mut ctx = ExecCtx::serial();
         let mut op = WaWirelength::new(WaStrategy::NetByNet, 0.5);
-        let cost = op.forward(&nl, &p).to_f64();
+        let cost = op.forward(&nl, &p, &mut ctx).to_f64();
         assert!(
             cost <= exact + 1e-9,
             "WA underestimates HPWL: {cost} vs {exact}"
@@ -796,12 +1035,13 @@ mod tests {
         let mut p = Placement::zeros(3);
         p.x = vec![1.0, 6.0, 3.0];
         p.y = vec![2.0, 4.0, 8.0];
+        let mut ctx = ExecCtx::serial();
         for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
             let mut op = WaWirelength::new(strategy, 0.7);
             let mut g = Gradient::zeros(3);
-            let cost = op.forward_backward(&nl, &p, &mut g);
+            let cost = op.forward_backward(&nl, &p, &mut g, &mut ctx);
             let mut ref_op = WaWirelength::new(strategy, 0.7);
-            let ref_cost = ref_op.forward(&ref_nl, &p);
+            let ref_cost = ref_op.forward(&ref_nl, &p, &mut ctx);
             assert!(
                 (cost - ref_cost).abs() < 1e-12,
                 "{strategy}: {cost} vs {ref_cost}"
@@ -810,7 +1050,7 @@ mod tests {
             assert_eq!(g.x[2], 0.0, "{strategy}: lone cell feels no force");
             assert_eq!(g.y[2], 0.0, "{strategy}");
             // Forward-only (line search) path too.
-            assert!(op.forward(&nl, &p).is_finite(), "{strategy}");
+            assert!(op.forward(&nl, &p, &mut ctx).is_finite(), "{strategy}");
         }
     }
 }

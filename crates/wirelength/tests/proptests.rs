@@ -1,6 +1,6 @@
 //! Property-based tests of the wirelength operators.
 
-use dp_autograd::{Gradient, Operator};
+use dp_autograd::{ExecCtx, Gradient, Operator};
 use dp_netlist::{hpwl, Netlist, NetlistBuilder, Placement};
 use dp_wirelength::{LseWirelength, WaStrategy, WaWirelength};
 use proptest::prelude::*;
@@ -45,8 +45,9 @@ proptest! {
     fn wa_and_lse_bracket_hpwl((seed, cells, nets, gamma) in arb_case()) {
         let (nl, p) = build(seed, cells, nets);
         let exact = hpwl(&nl, &p);
-        let wa = WaWirelength::new(WaStrategy::Merged, gamma).forward(&nl, &p);
-        let lse = LseWirelength::new(gamma).forward(&nl, &p);
+        let mut ctx = ExecCtx::serial();
+        let wa = WaWirelength::new(WaStrategy::Merged, gamma).forward(&nl, &p, &mut ctx);
+        let lse = LseWirelength::new(gamma).forward(&nl, &p, &mut ctx);
         prop_assert!(wa <= exact + 1e-9, "WA {wa} > HPWL {exact}");
         prop_assert!(lse >= exact - 1e-9, "LSE {lse} < HPWL {exact}");
     }
@@ -55,11 +56,12 @@ proptest! {
     #[test]
     fn strategies_agree((seed, cells, nets, gamma) in arb_case()) {
         let (nl, p) = build(seed, cells, nets);
+        let mut ctx = ExecCtx::serial();
         let mut results = Vec::new();
         for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
             let mut op = WaWirelength::new(strategy, gamma);
             let mut g = Gradient::zeros(nl.num_cells());
-            let cost = op.forward_backward(&nl, &p, &mut g);
+            let cost = op.forward_backward(&nl, &p, &mut g, &mut ctx);
             results.push((cost, g));
         }
         let (c0, g0) = &results[0];
@@ -76,9 +78,10 @@ proptest! {
     #[test]
     fn gradient_sums_to_zero((seed, cells, nets, gamma) in arb_case()) {
         let (nl, p) = build(seed, cells, nets);
+        let mut ctx = ExecCtx::serial();
         let mut op = WaWirelength::new(WaStrategy::Merged, gamma);
         let mut g = Gradient::zeros(nl.num_cells());
-        let _ = op.forward_backward(&nl, &p, &mut g);
+        let _ = op.forward_backward(&nl, &p, &mut g, &mut ctx);
         let sx: f64 = g.x.iter().sum();
         let sy: f64 = g.y.iter().sum();
         prop_assert!(sx.abs() < 1e-7, "{sx}");
@@ -90,9 +93,10 @@ proptest! {
     fn gamma_monotonicity((seed, cells, nets, _g) in arb_case()) {
         let (nl, p) = build(seed, cells, nets);
         let exact = hpwl(&nl, &p);
+        let mut ctx = ExecCtx::serial();
         let mut prev_err = f64::INFINITY;
         for gamma in [8.0, 2.0, 0.5, 0.1] {
-            let cost = WaWirelength::new(WaStrategy::Merged, gamma).forward(&nl, &p);
+            let cost = WaWirelength::new(WaStrategy::Merged, gamma).forward(&nl, &p, &mut ctx);
             let err = (exact - cost).abs();
             prop_assert!(err <= prev_err + 1e-9);
             prev_err = err;
@@ -103,12 +107,13 @@ proptest! {
     #[test]
     fn translation_invariance((seed, cells, nets, gamma) in arb_case(), dx in -50.0f64..50.0) {
         let (nl, p) = build(seed, cells, nets);
+        let mut ctx = ExecCtx::serial();
         let mut op = WaWirelength::new(WaStrategy::Merged, gamma);
-        let base = op.forward(&nl, &p);
+        let base = op.forward(&nl, &p, &mut ctx);
         let mut q = p.clone();
         for v in q.x.iter_mut() { *v += dx; }
         for v in q.y.iter_mut() { *v -= dx / 2.0; }
-        let shifted = op.forward(&nl, &q);
+        let shifted = op.forward(&nl, &q, &mut ctx);
         prop_assert!((base - shifted).abs() < 1e-7 * base.abs().max(1.0));
     }
 }

@@ -36,8 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut baseline_hpwl = None;
     for mode in [
-        ToolMode::ReplaceBaseline { threads: 1 },
-        ToolMode::DreamplaceCpu { threads: 1 },
+        ToolMode::ReplaceBaseline {
+            threads: dp_num::default_threads(),
+        },
+        ToolMode::DreamplaceCpu {
+            threads: dp_num::default_threads(),
+        },
         ToolMode::DreamplaceGpuSim,
     ] {
         let config = FlowConfig::for_mode(mode, &design.netlist);
