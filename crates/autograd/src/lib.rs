@@ -71,5 +71,5 @@ pub mod numcheck;
 pub mod operator;
 
 pub use exec::{ExecCtx, ExecSummary, OpCounter, WorkspaceCounter};
-pub use numcheck::{check_gradient, GradientReport};
+pub use numcheck::{check_gradient, check_gradient_scaled, GradientReport};
 pub use operator::{Gradient, Objective, Operator};

@@ -8,7 +8,7 @@ use dp_netlist::{Netlist, Placement};
 use dp_num::Float;
 
 use crate::exec::ExecCtx;
-use crate::operator::{Gradient, Operator};
+use crate::operator::{Gradient, Objective, Operator};
 
 /// Result of a finite-difference check.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,6 +96,127 @@ pub fn check_gradient<T: Float>(
         let fm = op.forward(netlist, &work, &mut ctx).to_f64();
         work.y[i] = orig;
         compare(grad.y[i], (fp - fm) / (2.0 * eps));
+    }
+
+    // Restore operator caches to the unperturbed placement.
+    let _ = op.forward(netlist, placement, &mut ctx);
+
+    GradientReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        checked,
+    }
+}
+
+/// Deterministic non-zero seed pattern for the accumulation check: any
+/// backward that *assigns* instead of *accumulating* destroys it.
+fn seed_pattern(i: usize) -> f64 {
+    0.5 + 0.25 * ((i % 7) as f64) - 0.125 * ((i % 3) as f64)
+}
+
+/// [`check_gradient`] with a **non-unit upstream gradient**: the analytic
+/// gradient is produced by an [`Objective`] holding the operator at weight
+/// `scale` and accumulated into a buffer pre-seeded with a non-zero
+/// pattern, then compared against `scale` times central finite differences.
+///
+/// This catches two bug classes the unit-seed check is blind to:
+///
+/// * a `backward` (or a fused `forward_backward` override, like the merged
+///   wirelength kernel) that *overwrites* the gradient buffer instead of
+///   accumulating into it — the pre-seeded pattern is destroyed;
+/// * an operator whose fused path bakes in an implicit upstream gradient of
+///   `1.0` and therefore ignores the weight its term carries in the
+///   objective — the analytic result fails to scale with `scale`.
+///
+/// Pass a `scale` different from `1.0` (e.g. `0.37`) for the full check;
+/// with `scale == 1.0` only the accumulation property is exercised.
+pub fn check_gradient_scaled<T: Float>(
+    op: &mut dyn Operator<T>,
+    netlist: &Netlist<T>,
+    placement: &Placement<T>,
+    cells: &[usize],
+    eps: f64,
+    scale: f64,
+) -> GradientReport {
+    let n = netlist.num_cells();
+    let mut ctx = ExecCtx::serial();
+
+    let seed = |g: &mut Gradient<T>| {
+        for i in 0..n {
+            g.x[i] = T::from_f64(seed_pattern(i));
+            g.y[i] = T::from_f64(-seed_pattern(i + 1));
+        }
+    };
+    let unseed = |g: &mut Gradient<T>| {
+        for i in 0..n {
+            g.x[i] -= T::from_f64(seed_pattern(i));
+            g.y[i] -= T::from_f64(-seed_pattern(i + 1));
+        }
+    };
+
+    // Direct path into a pre-seeded buffer: `backward` must *accumulate*
+    // (an assignment destroys the seed and the residual comes out wrong).
+    let mut direct = Gradient::zeros(n);
+    seed(&mut direct);
+    let _ = op.forward(netlist, placement, &mut ctx);
+    op.backward(netlist, placement, &mut direct, &mut ctx);
+    unseed(&mut direct);
+
+    // Objective path at weight `scale`, also pre-seeded: exercises the
+    // fused `forward_backward` (merged kernels override it) and the weight
+    // application the placement engine relies on.
+    let mut grad = Gradient::zeros(n);
+    seed(&mut grad);
+    {
+        let mut obj = Objective::new();
+        obj.push(T::from_f64(scale), op);
+        let _ = obj.forward_backward(netlist, placement, &mut grad, &mut ctx);
+    }
+    unseed(&mut grad);
+
+    let all: Vec<usize>;
+    let cells = if cells.is_empty() {
+        all = (0..netlist.num_movable()).collect();
+        &all
+    } else {
+        cells
+    };
+
+    let mut work = placement.clone();
+    let h = T::from_f64(eps);
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut checked = 0usize;
+
+    let mut compare = |analytic: T, numeric: f64| {
+        let a = analytic.to_f64();
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1e-12);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+        checked += 1;
+    };
+
+    for &i in cells {
+        let orig = work.x[i];
+        work.x[i] = orig + h;
+        let fp = op.forward(netlist, &work, &mut ctx).to_f64();
+        work.x[i] = orig - h;
+        let fm = op.forward(netlist, &work, &mut ctx).to_f64();
+        work.x[i] = orig;
+        let fd = (fp - fm) / (2.0 * eps);
+        compare(direct.x[i], fd);
+        compare(grad.x[i], scale * fd);
+
+        let orig = work.y[i];
+        work.y[i] = orig + h;
+        let fp = op.forward(netlist, &work, &mut ctx).to_f64();
+        work.y[i] = orig - h;
+        let fm = op.forward(netlist, &work, &mut ctx).to_f64();
+        work.y[i] = orig;
+        let fd = (fp - fm) / (2.0 * eps);
+        compare(direct.y[i], fd);
+        compare(grad.y[i], scale * fd);
     }
 
     // Restore operator caches to the unperturbed placement.
@@ -204,5 +325,107 @@ mod tests {
         let (nl, p) = netlist();
         let report = check_gradient(&mut Quadratic, &nl, &p, &[1], 1e-5);
         assert_eq!(report.checked, 2);
+    }
+
+    /// Backward that *assigns* instead of accumulating: correct values, but
+    /// any seed already in the buffer is destroyed.
+    struct ClobberingGradient;
+
+    impl Operator<f64> for ClobberingGradient {
+        fn name(&self) -> &'static str {
+            "clobber"
+        }
+        fn forward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) -> f64 {
+            (0..nl.num_movable()).map(|i| p.x[i] * p.x[i]).sum()
+        }
+        fn backward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            g: &mut Gradient<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) {
+            for i in 0..nl.num_movable() {
+                g.x[i] = 2.0 * p.x[i]; // `=` clobbers the upstream seed
+                g.y[i] = 0.0;
+            }
+        }
+    }
+
+    /// Fused path inconsistent with the unfused one — the bug class of a
+    /// merged kernel that bakes an implicit unit upstream gradient into its
+    /// fused write and therefore ignores the weight its term carries.
+    struct FusedScaleBug;
+
+    impl Operator<f64> for FusedScaleBug {
+        fn name(&self) -> &'static str {
+            "fused-scale-bug"
+        }
+        fn forward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) -> f64 {
+            (0..nl.num_movable()).map(|i| p.x[i] * p.x[i]).sum()
+        }
+        fn backward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            g: &mut Gradient<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) {
+            for i in 0..nl.num_movable() {
+                g.x[i] += 2.0 * p.x[i];
+            }
+        }
+        fn forward_backward(
+            &mut self,
+            nl: &Netlist<f64>,
+            p: &Placement<f64>,
+            g: &mut Gradient<f64>,
+            _ctx: &mut ExecCtx<f64>,
+        ) -> f64 {
+            // Writes double the true gradient: invisible to the separate
+            // forward/backward check, fatal through the objective.
+            for i in 0..nl.num_movable() {
+                g.x[i] += 4.0 * p.x[i];
+            }
+            (0..nl.num_movable()).map(|i| p.x[i] * p.x[i]).sum()
+        }
+    }
+
+    #[test]
+    fn scaled_check_accepts_correct_gradient() {
+        let (nl, p) = netlist();
+        let report = check_gradient_scaled(&mut Quadratic, &nl, &p, &[], 1e-5, 0.37);
+        assert_eq!(report.checked, 8);
+        assert!(report.within(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn scaled_check_rejects_clobbering_backward() {
+        let (nl, p) = netlist();
+        // The unit-seed check is blind to the clobber...
+        let unit = check_gradient(&mut ClobberingGradient, &nl, &p, &[], 1e-5);
+        assert!(unit.within(1e-6), "{unit:?}");
+        // ...the seeded check is not.
+        let seeded = check_gradient_scaled(&mut ClobberingGradient, &nl, &p, &[], 1e-5, 0.37);
+        assert!(!seeded.within(1e-3), "{seeded:?}");
+    }
+
+    #[test]
+    fn scaled_check_rejects_fused_path_ignoring_weight() {
+        let (nl, p) = netlist();
+        let unit = check_gradient(&mut FusedScaleBug, &nl, &p, &[], 1e-5);
+        assert!(unit.within(1e-6), "{unit:?}");
+        let seeded = check_gradient_scaled(&mut FusedScaleBug, &nl, &p, &[], 1e-5, 0.37);
+        assert!(!seeded.within(1e-3), "{seeded:?}");
     }
 }

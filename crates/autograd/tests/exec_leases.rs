@@ -1,0 +1,99 @@
+//! Workspace-lease protocol under adversarial use: key collisions,
+//! overlapping leases, shrink/grow cycles, and counter accounting.
+
+use dp_autograd::ExecCtx;
+
+#[test]
+fn overlapping_leases_of_one_key_are_distinct_and_zeroed() {
+    let mut ctx = ExecCtx::<f64>::serial();
+    // Two live leases of the same key: the second cannot recycle (the
+    // registry slot is empty while the first is out) and must be a
+    // separate, zeroed buffer — not an alias of the first.
+    let mut a = ctx.lease("collide", 6);
+    let b = ctx.lease("collide", 6);
+    assert_eq!(b, vec![0.0; 6]);
+    a.iter_mut().for_each(|v| *v = 3.0);
+    assert_eq!(b, vec![0.0; 6], "second lease aliases the first");
+
+    ctx.release("collide", a);
+    ctx.release("collide", b);
+    // Only the last released buffer is retained for recycling; the next
+    // lease must still come back zeroed even though `b` was zero and `a`
+    // was dirty when released.
+    let c = ctx.lease("collide", 6);
+    assert_eq!(c, vec![0.0; 6]);
+
+    let s = ctx.summary();
+    let (_, ws) = s
+        .workspaces
+        .iter()
+        .find(|(k, _)| *k == "collide")
+        .copied()
+        .expect("tracked");
+    assert_eq!(ws.uses, 3);
+    // Lease 1 and 2 both saw an empty slot; only lease 3 recycled.
+    assert_eq!(ws.reuses, 1);
+}
+
+#[test]
+fn distinct_keys_never_share_buffers_or_counters() {
+    let mut ctx = ExecCtx::<f32>::serial();
+    let mut a = ctx.lease("wl.scratch", 4);
+    a.iter_mut().for_each(|v| *v = 9.0);
+    ctx.release("wl.scratch", a);
+
+    // A different key must not observe wl.scratch's released buffer
+    // (keyed recycling, not a shared free list) — it allocates fresh.
+    let b = ctx.lease("density.scratch", 4);
+    assert_eq!(b, vec![0.0; 4]);
+    ctx.release("density.scratch", b);
+
+    let s = ctx.summary();
+    assert_eq!(s.workspaces.len(), 2);
+    for (key, ws) in s.workspaces {
+        assert_eq!(ws.uses, 1, "{key}");
+        assert_eq!(ws.reuses, 0, "{key}");
+    }
+}
+
+#[test]
+fn shrink_and_grow_cycles_stay_zeroed_and_exact_length() {
+    let mut ctx = ExecCtx::<f64>::serial();
+    for &len in &[16usize, 4, 32, 1, 0, 8] {
+        let buf = ctx.lease("resize", len);
+        assert_eq!(buf.len(), len);
+        assert!(buf.iter().all(|&v| v == 0.0), "len {len} not zeroed");
+        ctx.release("resize", {
+            let mut b = buf;
+            b.iter_mut().for_each(|v| *v = f64::NAN);
+            b
+        });
+    }
+    let s = ctx.summary();
+    let (_, ws) = s
+        .workspaces
+        .iter()
+        .find(|(k, _)| *k == "resize")
+        .copied()
+        .expect("tracked");
+    assert_eq!(ws.uses, 6);
+    assert_eq!(ws.reuses, 5);
+    // Capacity high-water mark: bytes reflect the largest lease so far.
+    assert!(ws.bytes >= 32 * std::mem::size_of::<f64>());
+}
+
+#[test]
+fn release_under_a_foreign_key_does_not_corrupt_the_owner() {
+    let mut ctx = ExecCtx::<f64>::serial();
+    let a = ctx.lease("owner", 3);
+    ctx.release("owner", a);
+
+    // A buggy kernel returns somebody's buffer under its own key; the
+    // owner's next lease must still be exact-length and zeroed.
+    let mut stray = ctx.lease("other", 9);
+    stray.iter_mut().for_each(|v| *v = 5.0);
+    ctx.release("owner", stray);
+
+    let buf = ctx.lease("owner", 3);
+    assert_eq!(buf, vec![0.0; 3]);
+}

@@ -1,0 +1,80 @@
+//! Property-based round-trip: any generated design survives
+//! write -> reparse with its hypergraph and geometry intact.
+
+use std::path::PathBuf;
+
+use dp_bookshelf::{read_design, write_design};
+use dp_gen::GeneratorConfig;
+use proptest::prelude::*;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dp-bookshelf-prop-{tag}-{}", std::process::id()))
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn write_then_reparse_preserves_the_design(
+        seed in 0u64..1000,
+        cells in 30usize..180,
+        util in 0.35f64..0.75,
+        macros in 0usize..4,
+    ) {
+        let mut g = GeneratorConfig::new("roundtrip", cells, cells + cells / 6)
+            .with_seed(seed)
+            .with_utilization(util);
+        if macros > 0 {
+            g = g.with_macros(macros, 0.1);
+        }
+        let d = g.generate::<f64>().expect("valid");
+        let (nl, pos) = (&d.netlist, &d.fixed_positions);
+
+        let dir = scratch_dir(&format!("{seed}"));
+        write_design(&dir, "roundtrip", nl, pos).expect("write");
+        let back = read_design::<f64>(&dir.join("roundtrip.aux"));
+        std::fs::remove_dir_all(&dir).ok();
+        let back = back.expect("reparse");
+        let (bnl, bpos) = (&back.netlist, &back.positions);
+
+        // Hypergraph shape.
+        prop_assert_eq!(bnl.num_cells(), nl.num_cells());
+        prop_assert_eq!(bnl.num_movable(), nl.num_movable());
+        prop_assert_eq!(bnl.num_nets(), nl.num_nets());
+        prop_assert_eq!(bnl.num_pins(), nl.num_pins());
+
+        // Geometry: sizes, positions (cell centers), and pin wiring with
+        // offsets. The writer emits `o<i>`/`n<i>` in index order, so
+        // indices correspond one-to-one.
+        for c in 0..nl.num_cells() {
+            prop_assert!(close(bnl.cell_widths()[c], nl.cell_widths()[c]), "cell {} width", c);
+            prop_assert!(close(bnl.cell_heights()[c], nl.cell_heights()[c]), "cell {} height", c);
+            prop_assert!(close(bpos.x[c], pos.x[c]), "cell {} x: {} vs {}", c, bpos.x[c], pos.x[c]);
+            prop_assert!(close(bpos.y[c], pos.y[c]), "cell {} y: {} vs {}", c, bpos.y[c], pos.y[c]);
+        }
+        for net in nl.nets() {
+            let (a, b) = (nl.net_pins(net), bnl.net_pins(net));
+            prop_assert_eq!(a.len(), b.len(), "net {} degree", net.index());
+            prop_assert!(close(bnl.net_weight(net), nl.net_weight(net)), "net {} weight", net.index());
+            for (&pa, &pb) in a.iter().zip(b) {
+                prop_assert_eq!(bnl.pin_cell(pb).index(), nl.pin_cell(pa).index());
+                let (oxa, oya) = nl.pin_offset(pa);
+                let (oxb, oyb) = bnl.pin_offset(pb);
+                prop_assert!(close(oxa, oxb) && close(oya, oyb), "net {} pin offset", net.index());
+            }
+        }
+
+        // Region and rows survive (the generator always attaches rows).
+        let (ra, rb) = (nl.region(), bnl.region());
+        prop_assert!(close(ra.xl, rb.xl) && close(ra.yl, rb.yl));
+        prop_assert!(close(ra.xh, rb.xh) && close(ra.yh, rb.yh));
+        prop_assert_eq!(nl.rows().is_some(), bnl.rows().is_some());
+
+        // The invariant everything downstream cares about: identical HPWL.
+        prop_assert!(close(dp_netlist::hpwl(nl, pos), dp_netlist::hpwl(bnl, bpos)));
+    }
+}

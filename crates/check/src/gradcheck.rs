@@ -1,0 +1,170 @@
+//! Central finite-difference gradient checking with per-operator
+//! tolerances.
+//!
+//! Every [`Operator`] implementor in the workspace is validated here: the
+//! analytic gradient is compared against central differences of the
+//! forward pass, both with a unit upstream gradient
+//! ([`dp_autograd::check_gradient`]) and through an `Objective` at a
+//! non-unit weight into a pre-seeded buffer
+//! ([`dp_autograd::check_gradient_scaled`]), which catches backward passes
+//! that overwrite instead of accumulate and fused kernels that ignore
+//! their term weight.
+//!
+//! Tolerances are per-operator ([`spec_for`]): the smooth wirelength
+//! models check tightly, the density operator — whose forward is only
+//! piecewise smooth in cell positions (bin-boundary crossings) — gets a
+//! larger step and a looser bound, and exact HPWL is checked as the
+//! piecewise-linear function it is (valid only in general position, away
+//! from ties).
+
+use dp_autograd::{check_gradient, check_gradient_scaled, GradientReport, Operator};
+use dp_netlist::{Netlist, Placement};
+use dp_num::Float;
+
+/// How to finite-difference one operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckSpec {
+    /// Central-difference half step.
+    pub eps: f64,
+    /// Acceptance bound on [`GradientReport::within`].
+    pub tol: f64,
+    /// Objective term weight for the scaled check (non-unit on purpose).
+    pub scale: f64,
+    /// Cap on checked cells; larger designs are stride-sampled.
+    pub max_cells: usize,
+}
+
+impl Default for CheckSpec {
+    fn default() -> Self {
+        Self {
+            eps: 1e-5,
+            tol: 1e-5,
+            scale: 0.37,
+            max_cells: 64,
+        }
+    }
+}
+
+/// The tolerance table, keyed by [`Operator::name`].
+///
+/// Unknown names get the conservative default — new operators are checked
+/// from day one without editing this table, just possibly more strictly
+/// than they like.
+pub fn spec_for(op_name: &str) -> CheckSpec {
+    match op_name {
+        // Piecewise linear: exact derivatives away from ties, so the FD
+        // error is pure roundoff.
+        "hpwl" => CheckSpec {
+            eps: 1e-6,
+            tol: 1e-6,
+            ..CheckSpec::default()
+        },
+        // Smooth models: analytic everywhere, tight check.
+        "wa-wirelength" | "lse-wirelength" => CheckSpec {
+            eps: 1e-5,
+            tol: 1e-5,
+            ..CheckSpec::default()
+        },
+        // The ePlace backward is a deliberate approximation: the force
+        // gathers the *field* over the cell's bin overlaps instead of
+        // differentiating the overlap stencil against the potential, so it
+        // differs from the exact derivative of the discrete energy by
+        // O(bin discretization) — FD can only bound it loosely. This entry
+        // is a sanity check on sign and magnitude (a flipped or mis-scaled
+        // gradient still trips it); the bit-tight validation of the
+        // density backward is the agreement with the definition oracle at
+        // 1e-9 in `tests/differential_density.rs`.
+        "density" | "fenced-density" => CheckSpec {
+            eps: 1e-4,
+            tol: 6e-2,
+            ..CheckSpec::default()
+        },
+        _ => CheckSpec::default(),
+    }
+}
+
+/// Deterministic stride sample of `max_cells` movable cells.
+pub fn sample_cells(num_movable: usize, max_cells: usize) -> Vec<usize> {
+    if num_movable <= max_cells {
+        return (0..num_movable).collect();
+    }
+    let stride = num_movable as f64 / max_cells as f64;
+    (0..max_cells)
+        .map(|k| ((k as f64 * stride) as usize).min(num_movable - 1))
+        .collect()
+}
+
+/// Outcome of checking one operator at one placement.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The operator's [`Operator::name`].
+    pub name: String,
+    /// Unit-upstream-gradient report.
+    pub unit: GradientReport,
+    /// Seeded, weighted (objective-path) report.
+    pub scaled: GradientReport,
+    /// The spec both reports were produced with.
+    pub spec: CheckSpec,
+}
+
+impl CheckOutcome {
+    /// `true` when both reports meet the spec's tolerance.
+    pub fn pass(&self) -> bool {
+        self.unit.within(self.spec.tol) && self.scaled.within(self.spec.tol)
+    }
+}
+
+impl std::fmt::Display for CheckOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: unit(abs {:.3e} rel {:.3e}) scaled(abs {:.3e} rel {:.3e}) tol {:.1e} over {} coords",
+            self.name,
+            self.unit.max_abs_err,
+            self.unit.max_rel_err,
+            self.scaled.max_abs_err,
+            self.scaled.max_rel_err,
+            self.spec.tol,
+            self.unit.checked + self.scaled.checked,
+        )
+    }
+}
+
+/// Runs both finite-difference checks on `op` at `placement` under `spec`.
+pub fn check_operator<T: Float>(
+    op: &mut dyn Operator<T>,
+    netlist: &Netlist<T>,
+    placement: &Placement<T>,
+    spec: &CheckSpec,
+) -> CheckOutcome {
+    let cells = sample_cells(netlist.num_movable(), spec.max_cells);
+    let unit = check_gradient(op, netlist, placement, &cells, spec.eps);
+    let scaled = check_gradient_scaled(op, netlist, placement, &cells, spec.eps, spec.scale);
+    CheckOutcome {
+        name: op.name().to_string(),
+        unit,
+        scaled,
+        spec: *spec,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_bounded_and_sorted() {
+        let cells = sample_cells(1000, 64);
+        assert_eq!(cells.len(), 64);
+        assert!(cells.windows(2).all(|w| w[0] < w[1]));
+        assert!(*cells.last().expect("non-empty") < 1000);
+        assert_eq!(sample_cells(10, 64).len(), 10);
+    }
+
+    #[test]
+    fn table_distinguishes_density_from_wirelength() {
+        assert!(spec_for("density").tol > spec_for("wa-wirelength").tol);
+        assert_eq!(spec_for("never-heard-of-it"), CheckSpec::default());
+    }
+}

@@ -1,0 +1,51 @@
+//! Differential verification harness for the placement kernels.
+//!
+//! The optimized kernels in this workspace (merged wirelength, scattered
+//! density, FFT-based DCT) buy their speed with exactly the tricks that
+//! make bugs subtle: fused passes, reordered accumulation, spectral
+//! identities. This crate holds the *slow, obviously correct* counterpart
+//! of each kernel plus the machinery to compare them continuously:
+//!
+//! * [`oracle_wirelength`] — HPWL, weighted-average (paper Eq. (3)/(6)) and
+//!   log-sum-exp wirelength, written as direct per-net/per-axis sums with
+//!   analytic gradients;
+//! * [`oracle_density`] — the density scatter (with ePlace smoothing
+//!   restated from its definition) and the electrostatic field/potential/
+//!   energy computed as direct `O(n^2)` cosine-basis sums, independent of
+//!   the FFT machinery in `dp-dct`;
+//! * [`oracle_dct`] — direct `O(n^2)` DCT/IDCT/IDXST transforms in the
+//!   library normalization;
+//! * [`gradcheck`] — a central finite-difference gradient checker driven
+//!   through the [`dp_autograd::Operator`] trait with a per-operator
+//!   tolerance table (wraps [`dp_autograd::check_gradient`] and the
+//!   non-unit-seed [`dp_autograd::check_gradient_scaled`]);
+//! * [`replay`] — the determinism replayer: runs global placement several
+//!   times from the same seed (and across thread counts) and diffs the
+//!   per-iteration [`dp_gp::GpStats`] histories bit-exactly;
+//! * [`golden`] — golden full-flow regression records (hand-rolled JSON,
+//!   regenerate with `DP_UPDATE_GOLDEN=1`).
+//!
+//! The differential test suites live in `crates/check/tests/`; the golden
+//! full-flow regression lives in the workspace root `tests/differential.rs`
+//! against `results/golden/*.json`.
+
+// Library code must surface structured errors instead of panicking;
+// tests opt out module-by-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod golden;
+pub mod gradcheck;
+pub mod oracle_dct;
+pub mod oracle_density;
+pub mod oracle_wirelength;
+pub mod replay;
+
+pub use golden::{update_requested, GoldenError, GoldenRecord, GoldenTolerance};
+pub use gradcheck::{check_operator, sample_cells, spec_for, CheckOutcome, CheckSpec};
+pub use oracle_dct::{dct2_oracle, idct2_oracle, idct_idxst_oracle, idxst_idct_oracle};
+pub use oracle_density::{
+    charge_map_oracle, density_gradient_oracle, field_oracle, fixed_map_oracle,
+    movable_map_oracle, overflow_oracle, smoothed_rect_oracle, FieldOracle, OracleGrid,
+};
+pub use oracle_wirelength::{hpwl_oracle, lse_oracle, wa_oracle, WlOracle};
+pub use replay::{first_divergence, replay_across_threads, replay_gp, ReplayReport};

@@ -1,0 +1,448 @@
+//! Definition-oracles for the electrostatic density system (paper §III-B).
+//!
+//! Everything here is stated from first principles, independent of
+//! `dp-density`'s scatter tricks and of `dp-dct`'s FFT machinery:
+//!
+//! * the density map is a plain loop over *all* bins per cell, with the
+//!   ePlace smoothing restated from its definition (cells thinner than
+//!   `sqrt(2)` bins stretch to that width with proportionally reduced
+//!   density);
+//! * the Poisson solve is a direct cosine-basis projection: spectral
+//!   coefficients via the orthogonality relation, then potential / field /
+//!   energy as explicit double sums over all `(u, v)` modes (paper
+//!   Eqs. (5)–(9), quadratic time);
+//! * overflow and the per-cell gradient gather follow the same
+//!   definitions the operator implements.
+//!
+//! All arrays are x-major: bin `(i, j)` lives at `i * my + j`.
+
+use std::f64::consts::{PI, SQRT_2};
+
+use dp_netlist::{Netlist, Placement, Rect};
+use dp_num::Float;
+
+/// A bin grid restated in `f64`, independent of `dp_density::BinGrid`.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleGrid {
+    /// Region lower-left x.
+    pub xl: f64,
+    /// Region lower-left y.
+    pub yl: f64,
+    /// Bin width.
+    pub bin_w: f64,
+    /// Bin height.
+    pub bin_h: f64,
+    /// Bin count along x.
+    pub mx: usize,
+    /// Bin count along y.
+    pub my: usize,
+}
+
+impl OracleGrid {
+    /// Builds the grid covering `region` with `mx x my` bins.
+    pub fn from_region<T: Float>(region: Rect<T>, mx: usize, my: usize) -> Self {
+        let (xl, yl) = (region.xl.to_f64(), region.yl.to_f64());
+        let (xh, yh) = (region.xh.to_f64(), region.yh.to_f64());
+        Self {
+            xl,
+            yl,
+            bin_w: (xh - xl) / mx as f64,
+            bin_h: (yh - yl) / my as f64,
+            mx,
+            my,
+        }
+    }
+
+    /// Flat index of bin `(i, j)`.
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        i * self.my + j
+    }
+
+    /// Area of one bin.
+    pub fn bin_area(&self) -> f64 {
+        self.bin_w * self.bin_h
+    }
+
+    /// Bin `(i, j)` as `[xl, yl, xh, yh]`.
+    fn bin_rect(&self, i: usize, j: usize) -> [f64; 4] {
+        [
+            self.xl + i as f64 * self.bin_w,
+            self.yl + j as f64 * self.bin_h,
+            self.xl + (i + 1) as f64 * self.bin_w,
+            self.yl + (j + 1) as f64 * self.bin_h,
+        ]
+    }
+}
+
+fn overlap(a: &[f64; 4], b: &[f64; 4]) -> f64 {
+    let w = a[2].min(b[2]) - a[0].max(b[0]);
+    let h = a[3].min(b[3]) - a[1].max(b[1]);
+    if w > 0.0 && h > 0.0 {
+        w * h
+    } else {
+        0.0
+    }
+}
+
+/// The ePlace-smoothed footprint, restated from its definition: a cell of
+/// size `w x h` centered at `(cx, cy)` scatters over a rectangle at least
+/// `sqrt(2)` bins wide/tall, with density scaled so total charge stays
+/// `w * h`. Non-finite or negative inputs scatter nothing.
+///
+/// Returns `([xl, yl, xh, yh], scale)`.
+pub fn smoothed_rect_oracle(
+    cx: f64,
+    cy: f64,
+    w: f64,
+    h: f64,
+    grid: &OracleGrid,
+) -> ([f64; 4], f64) {
+    if !(cx.is_finite() && cy.is_finite() && w.is_finite() && h.is_finite()) || w < 0.0 || h < 0.0
+    {
+        return ([0.0; 4], 0.0);
+    }
+    let min_w = SQRT_2 * grid.bin_w;
+    let min_h = SQRT_2 * grid.bin_h;
+    let (w2, sx) = if w < min_w { (min_w, w / min_w) } else { (w, 1.0) };
+    let (h2, sy) = if h < min_h { (min_h, h / min_h) } else { (h, 1.0) };
+    (
+        [cx - w2 / 2.0, cy - h2 / 2.0, cx + w2 / 2.0, cy + h2 / 2.0],
+        sx * sy,
+    )
+}
+
+/// Movable density map in **area units**: per bin, the summed smoothed
+/// overlap area of every movable cell. Plain per-cell loop over all bins.
+pub fn movable_map_oracle<T: Float>(
+    nl: &Netlist<T>,
+    p: &Placement<T>,
+    grid: &OracleGrid,
+) -> Vec<f64> {
+    let mut map = vec![0.0; grid.mx * grid.my];
+    for c in 0..nl.num_movable() {
+        let (rect, scale) = smoothed_rect_oracle(
+            p.x[c].to_f64(),
+            p.y[c].to_f64(),
+            nl.cell_widths()[c].to_f64(),
+            nl.cell_heights()[c].to_f64(),
+            grid,
+        );
+        if scale == 0.0 {
+            continue;
+        }
+        for i in 0..grid.mx {
+            for j in 0..grid.my {
+                let a = overlap(&rect, &grid.bin_rect(i, j));
+                if a > 0.0 {
+                    map[grid.index(i, j)] += a * scale;
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Fixed density map in area units: fixed cells scatter their *unsmoothed*
+/// rectangle, clipped to the region (a pad overhanging the boundary only
+/// counts the inside part).
+pub fn fixed_map_oracle<T: Float>(
+    nl: &Netlist<T>,
+    p: &Placement<T>,
+    grid: &OracleGrid,
+) -> Vec<f64> {
+    let mut map = vec![0.0; grid.mx * grid.my];
+    let region = [
+        grid.xl,
+        grid.yl,
+        grid.xl + grid.mx as f64 * grid.bin_w,
+        grid.yl + grid.my as f64 * grid.bin_h,
+    ];
+    for c in nl.num_movable()..nl.num_cells() {
+        let (cx, cy) = (p.x[c].to_f64(), p.y[c].to_f64());
+        let (w, h) = (nl.cell_widths()[c].to_f64(), nl.cell_heights()[c].to_f64());
+        if !(cx.is_finite() && cy.is_finite() && w.is_finite() && h.is_finite())
+            || w < 0.0
+            || h < 0.0
+        {
+            continue;
+        }
+        let rect = [
+            (cx - w / 2.0).max(region[0]),
+            (cy - h / 2.0).max(region[1]),
+            (cx + w / 2.0).min(region[2]),
+            (cy + h / 2.0).min(region[3]),
+        ];
+        for i in 0..grid.mx {
+            for j in 0..grid.my {
+                let a = overlap(&rect, &grid.bin_rect(i, j));
+                if a > 0.0 {
+                    map[grid.index(i, j)] += a;
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Charge map in density units: `(movable + fixed) / bin_area`.
+pub fn charge_map_oracle(movable: &[f64], fixed: Option<&[f64]>, grid: &OracleGrid) -> Vec<f64> {
+    let inv = 1.0 / grid.bin_area();
+    movable
+        .iter()
+        .enumerate()
+        .map(|(b, &m)| (m + fixed.map_or(0.0, |f| f[b])) * inv)
+        .collect()
+}
+
+/// Density overflow `tau` (paper's stopping criterion): the movable area
+/// exceeding each bin's free capacity `target * (bin_area - fixed)`,
+/// summed and normalized by total movable area. Zero when there is no
+/// movable area.
+pub fn overflow_oracle<T: Float>(
+    nl: &Netlist<T>,
+    movable: &[f64],
+    fixed: Option<&[f64]>,
+    grid: &OracleGrid,
+    target_density: f64,
+) -> f64 {
+    let bin_area = grid.bin_area();
+    let mut over = 0.0;
+    for (b, &m) in movable.iter().enumerate() {
+        let f = fixed.map_or(0.0, |f| f[b]);
+        let capacity = (target_density * (bin_area - f)).max(0.0);
+        over += (m - capacity).max(0.0);
+    }
+    let area: f64 = (0..nl.num_movable())
+        .map(|c| nl.cell_widths()[c].to_f64() * nl.cell_heights()[c].to_f64())
+        .sum();
+    if area <= 0.0 {
+        return 0.0;
+    }
+    over / area
+}
+
+/// Potential, field, and energy from a direct cosine-basis projection.
+#[derive(Debug, Clone)]
+pub struct FieldOracle {
+    /// Electric potential `psi` per bin.
+    pub potential: Vec<f64>,
+    /// Field `xi_x = -d psi / dx` per bin (bin units).
+    pub field_x: Vec<f64>,
+    /// Field `xi_y = -d psi / dy` per bin (bin units).
+    pub field_y: Vec<f64>,
+    /// System energy `0.5 * sum rho * psi`.
+    pub energy: f64,
+}
+
+/// Solves the Neumann-boundary Poisson problem for charge map `rho`
+/// (x-major `mx x my`, density units) by explicit spectral sums.
+///
+/// The density expands as
+/// `rho_ij = sum_{u,v} a_uv cos(w_u (i+1/2)) cos(w_v (j+1/2))` with
+/// `w_u = pi u / mx`; the coefficients come from the cosine orthogonality
+/// relation (`a_uv = c_u c_v / (mx my) * sum_ij rho_ij cos cos`, `c_0 = 1`,
+/// `c_u = 2` otherwise) — so this oracle also independently validates the
+/// DCT normalization conventions. Then (paper Eqs. (8)–(9), DC removed):
+///
+/// * `psi   = sum a_uv / (w_u^2 + w_v^2) cos cos`
+/// * `xi_x  = sum a_uv w_u / (w_u^2 + w_v^2) sin cos`
+/// * `xi_y  = sum a_uv w_v / (w_u^2 + w_v^2) cos sin`
+///
+/// # Panics
+///
+/// Panics if `rho.len() != mx * my`.
+pub fn field_oracle(rho: &[f64], mx: usize, my: usize) -> FieldOracle {
+    assert_eq!(rho.len(), mx * my, "charge map shape mismatch");
+    let wu = |u: usize| PI * u as f64 / mx as f64;
+    let wv = |v: usize| PI * v as f64 / my as f64;
+    // Spectral coefficients via orthogonality.
+    let mut a = vec![0.0; mx * my];
+    for u in 0..mx {
+        for v in 0..my {
+            let cu = if u == 0 { 1.0 } else { 2.0 };
+            let cv = if v == 0 { 1.0 } else { 2.0 };
+            let mut acc = 0.0;
+            for i in 0..mx {
+                for j in 0..my {
+                    acc += rho[i * my + j]
+                        * (wu(u) * (i as f64 + 0.5)).cos()
+                        * (wv(v) * (j as f64 + 0.5)).cos();
+                }
+            }
+            a[u * my + v] = cu * cv / (mx * my) as f64 * acc;
+        }
+    }
+    let mut potential = vec![0.0; mx * my];
+    let mut field_x = vec![0.0; mx * my];
+    let mut field_y = vec![0.0; mx * my];
+    for i in 0..mx {
+        for j in 0..my {
+            let (mut psi, mut fx, mut fy) = (0.0, 0.0, 0.0);
+            for u in 0..mx {
+                for v in 0..my {
+                    if u == 0 && v == 0 {
+                        continue; // DC mode: zero-mean potential
+                    }
+                    let denom = wu(u) * wu(u) + wv(v) * wv(v);
+                    let auv = a[u * my + v];
+                    let (cx, sx) = {
+                        let t = wu(u) * (i as f64 + 0.5);
+                        (t.cos(), t.sin())
+                    };
+                    let (cy, sy) = {
+                        let t = wv(v) * (j as f64 + 0.5);
+                        (t.cos(), t.sin())
+                    };
+                    psi += auv / denom * cx * cy;
+                    fx += auv * wu(u) / denom * sx * cy;
+                    fy += auv * wv(v) / denom * cx * sy;
+                }
+            }
+            potential[i * my + j] = psi;
+            field_x[i * my + j] = fx;
+            field_y[i * my + j] = fy;
+        }
+    }
+    let energy = 0.5
+        * rho
+            .iter()
+            .zip(&potential)
+            .map(|(r, p)| r * p)
+            .sum::<f64>();
+    FieldOracle {
+        potential,
+        field_x,
+        field_y,
+        energy,
+    }
+}
+
+/// The per-cell gradient gather (paper §III-B2): each movable cell
+/// accumulates `overlap * scale / bin_area * field` over its smoothed
+/// footprint's bins; gradient is minus the force, converted from bin units
+/// to layout units.
+///
+/// Returns `(grad_x, grad_y)` over all cells (fixed entries zero).
+pub fn density_gradient_oracle<T: Float>(
+    nl: &Netlist<T>,
+    p: &Placement<T>,
+    grid: &OracleGrid,
+    field_x: &[f64],
+    field_y: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let n = nl.num_cells();
+    let mut gx = vec![0.0; n];
+    let mut gy = vec![0.0; n];
+    let inv_bin = 1.0 / grid.bin_area();
+    for c in 0..nl.num_movable() {
+        let (rect, scale) = smoothed_rect_oracle(
+            p.x[c].to_f64(),
+            p.y[c].to_f64(),
+            nl.cell_widths()[c].to_f64(),
+            nl.cell_heights()[c].to_f64(),
+            grid,
+        );
+        if scale == 0.0 {
+            continue;
+        }
+        let (mut fx, mut fy) = (0.0, 0.0);
+        for i in 0..grid.mx {
+            for j in 0..grid.my {
+                let a = overlap(&rect, &grid.bin_rect(i, j));
+                if a > 0.0 {
+                    let q = a * scale * inv_bin;
+                    fx += q * field_x[grid.index(i, j)];
+                    fy += q * field_y[grid.index(i, j)];
+                }
+            }
+        }
+        gx[c] = -fx / grid.bin_w;
+        gy[c] = -fy / grid.bin_h;
+    }
+    (gx, gy)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use dp_netlist::NetlistBuilder;
+
+    fn grid() -> OracleGrid {
+        OracleGrid::from_region(Rect::new(0.0, 0.0, 16.0, 16.0), 4, 4)
+    }
+
+    #[test]
+    fn movable_map_conserves_area() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 16.0, 16.0);
+        let a = b.add_movable_cell(2.0, 3.0);
+        let c = b.add_movable_cell(0.5, 0.5); // thinner than sqrt(2) bins
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![8.0, 5.0];
+        p.y = vec![8.0, 11.0];
+        let map = movable_map_oracle(&nl, &p, &grid());
+        let total: f64 = map.iter().sum();
+        assert!((total - (6.0 + 0.25)).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn zero_area_cells_scatter_nothing() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 16.0, 16.0);
+        let a = b.add_movable_cell(0.0, 0.0);
+        let c = b.add_movable_cell(0.0, 5.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![8.0, 8.0];
+        p.y = vec![8.0, 8.0];
+        let map = movable_map_oracle(&nl, &p, &grid());
+        assert!(map.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn uniform_charge_has_zero_field() {
+        let rho = vec![0.75; 16];
+        let sol = field_oracle(&rho, 4, 4);
+        for b in 0..16 {
+            assert!(sol.field_x[b].abs() < 1e-12);
+            assert!(sol.field_y[b].abs() < 1e-12);
+            assert!(sol.potential[b].abs() < 1e-12);
+        }
+        assert!(sol.energy.abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_charge_field_points_away() {
+        // Charge concentrated in bin (0, 0): the field in distant bins must
+        // push charge away (positive x-field at larger i on row j=0).
+        let mut rho = vec![0.0; 16];
+        rho[0] = 1.0;
+        let sol = field_oracle(&rho, 4, 4);
+        assert!(sol.field_x[2 * 4] > 0.0, "field {:?}", sol.field_x);
+        assert!(sol.energy > 0.0);
+    }
+
+    #[test]
+    fn overflow_zero_when_spread_out() {
+        let mut b = NetlistBuilder::new(0.0, 0.0, 16.0, 16.0);
+        let a = b.add_movable_cell(2.0, 2.0);
+        let c = b.add_movable_cell(2.0, 2.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).expect("valid");
+        let nl = b.build().expect("valid");
+        let mut p = Placement::zeros(nl.num_cells());
+        p.x = vec![2.0, 14.0];
+        p.y = vec![2.0, 14.0];
+        let g = grid();
+        let map = movable_map_oracle(&nl, &p, &g);
+        let tau = overflow_oracle(&nl, &map, None, &g, 1.0);
+        assert_eq!(tau, 0.0);
+        // Stacked on one spot they must overflow a 1.0-target bin.
+        p.x = vec![8.0, 8.0];
+        p.y = vec![8.0, 8.0];
+        let map = movable_map_oracle(&nl, &p, &g);
+        let tau = overflow_oracle(&nl, &map, None, &g, 0.1);
+        assert!(tau > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Finite-difference gradient checks for **every** `Operator` implementor
+//! in the workspace, driven through the per-operator tolerance table.
+//!
+//! Each operator is checked twice per placement: with a unit upstream
+//! gradient, and through an `Objective` at a non-unit weight into a
+//! pre-seeded buffer (catching clobbering backwards and fused kernels
+//! that ignore their term weight). Wirelength operators are additionally
+//! checked on the adversarial designs.
+
+use dp_autograd::Operator;
+use dp_check::{check_operator, spec_for, CheckSpec};
+use dp_density::{BinGrid, DctBackendKind, DensityOp, DensityStrategy};
+use dp_gen::adversarial::{adversarial_design, AdversarialCase};
+use dp_gen::GeneratorConfig;
+use dp_gp::{FenceSpec, FencedDensityOp};
+use dp_netlist::{Netlist, Placement};
+use dp_wirelength::{HpwlOp, LseWirelength, WaStrategy, WaWirelength};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn design(seed: u64) -> (Netlist<f64>, Placement<f64>) {
+    let d = GeneratorConfig::new("gradcheck", 60, 70)
+        .with_seed(seed)
+        .generate::<f64>()
+        .expect("valid design");
+    let region = d.netlist.region();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9add);
+    let mut p = d.fixed_positions.clone();
+    for c in 0..d.netlist.num_movable() {
+        p.x[c] = region.xl + rng.gen_range(0.1..0.9) * region.width();
+        p.y[c] = region.yl + rng.gen_range(0.1..0.9) * region.height();
+    }
+    (d.netlist, p)
+}
+
+fn run(op: &mut dyn Operator<f64>, nl: &Netlist<f64>, p: &Placement<f64>) {
+    let spec = spec_for(op.name());
+    let outcome = check_operator(op, nl, p, &spec);
+    assert!(outcome.pass(), "{outcome}");
+}
+
+#[test]
+fn hpwl_subgradient_passes_in_general_position() {
+    let (nl, p) = design(31);
+    run(&mut HpwlOp::new(), &nl, &p);
+}
+
+#[test]
+fn wa_gradients_pass_for_all_strategies() {
+    let (nl, p) = design(32);
+    for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+        for gamma in [1.0, 6.0] {
+            run(&mut WaWirelength::<f64>::new(strategy, gamma), &nl, &p);
+        }
+    }
+}
+
+#[test]
+fn lse_gradient_passes() {
+    let (nl, p) = design(33);
+    for gamma in [1.0, 6.0] {
+        run(&mut LseWirelength::<f64>::new(gamma), &nl, &p);
+    }
+}
+
+#[test]
+fn density_gradient_passes_for_all_backends() {
+    let (nl, p) = design(34);
+    let grid = BinGrid::new(nl.region(), 8, 8).expect("supported grid");
+    for backend in [
+        DctBackendKind::RowColumn2n,
+        DctBackendKind::RowColumnN,
+        DctBackendKind::Direct2d,
+    ] {
+        let mut op = DensityOp::with_backend(grid.clone(), DensityStrategy::Sorted, 1.0, backend)
+            .expect("supported grid");
+        run(&mut op, &nl, &p);
+    }
+}
+
+#[test]
+fn density_gradient_passes_with_fixed_macros_baked() {
+    let (nl, p) = design(35);
+    let grid = BinGrid::new(nl.region(), 8, 8).expect("supported grid");
+    let mut op = DensityOp::new(grid, DensityStrategy::SortedSubthreads { tx: 2, ty: 2 }, 0.9)
+        .expect("supported grid");
+    op.bake_fixed(&nl, &p);
+    run(&mut op, &nl, &p);
+}
+
+#[test]
+fn fenced_density_gradient_passes() {
+    let d = adversarial_design::<f64>(AdversarialCase::FenceRegions, 36).expect("valid");
+    let nl = &d.design.netlist;
+    let grid = BinGrid::new(nl.region(), 8, 8).expect("supported grid");
+    let spec = FenceSpec {
+        regions: d.fence_regions.clone(),
+        assignment: d.fence_assignment.clone(),
+    };
+    let mut op = FencedDensityOp::new(
+        nl,
+        grid,
+        DensityStrategy::Sorted,
+        1.0,
+        DctBackendKind::Direct2d,
+        spec,
+    )
+    .expect("supported grid");
+    run(&mut op, nl, &d.placement);
+}
+
+/// The smooth wirelength models must keep correct (and finite) gradients
+/// on the adversarial inputs — degenerate nets and zero-area cells. (The
+/// coincident-pins case puts HPWL at its non-differentiable ties, so only
+/// the smooth models are FD-checked there.)
+#[test]
+fn wirelength_gradients_pass_on_adversarial_designs() {
+    for case in [
+        AdversarialCase::DegenerateNets,
+        AdversarialCase::ZeroAreaCells,
+        AdversarialCase::CoincidentPins,
+    ] {
+        let d = adversarial_design::<f64>(case, 37).expect("valid");
+        let nl = &d.design.netlist;
+        for strategy in [WaStrategy::NetByNet, WaStrategy::Atomic, WaStrategy::Merged] {
+            let mut op = WaWirelength::<f64>::new(strategy, 2.0);
+            let spec = spec_for(Operator::<f64>::name(&op));
+            let outcome = check_operator(&mut op, nl, &d.placement, &spec);
+            assert!(outcome.pass(), "{case} {strategy:?}: {outcome}");
+        }
+        let mut op = LseWirelength::<f64>::new(2.0);
+        let spec = spec_for(Operator::<f64>::name(&op));
+        let outcome = check_operator(&mut op, nl, &d.placement, &spec);
+        assert!(outcome.pass(), "{case} lse: {outcome}");
+    }
+}
+
+/// A deliberately wrong tolerance must fail — guards the harness itself
+/// against silently passing everything.
+#[test]
+fn harness_rejects_absurd_tolerance() {
+    let (nl, p) = design(38);
+    let mut op = WaWirelength::<f64>::new(WaStrategy::Merged, 1.0);
+    let spec = CheckSpec {
+        tol: 1e-300,
+        ..spec_for("wa-wirelength")
+    };
+    let outcome = check_operator(&mut op, &nl, &p, &spec);
+    assert!(!outcome.pass(), "an FD check at tol 1e-300 cannot pass: {outcome}");
+}

@@ -64,5 +64,5 @@ pub mod op;
 
 pub use bins::{BinGrid, GridError};
 pub use electro::{DctBackendKind, ElectroField};
-pub use map::{DensityMapBuilder, DensityStrategy};
+pub use map::{smoothed_footprint, DensityMapBuilder, DensityStrategy, Footprint};
 pub use op::DensityOp;

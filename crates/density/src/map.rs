@@ -50,14 +50,20 @@ impl std::fmt::Display for DensityStrategy {
 /// The smoothed footprint of a cell: a possibly stretched rectangle plus a
 /// density scale that keeps total charge equal to the true cell area.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Footprint<T> {
+pub struct Footprint<T> {
+    /// The (possibly stretched) rectangle the cell's charge occupies.
     pub rect: Rect<T>,
+    /// Density scale applied inside [`Footprint::rect`] so that
+    /// `rect.area() * scale` equals the true cell area.
     pub scale: T,
 }
 
 /// Computes the ePlace-smoothed footprint of a movable cell centered at
-/// `(cx, cy)`.
-pub(crate) fn smoothed_footprint<T: Float>(
+/// `(cx, cy)`: cells narrower than `sqrt(2)` bins are stretched to that
+/// width with proportionally reduced density. Public so differential
+/// oracles (`dp-check`) can state the scatter definition independently and
+/// cross-check this exact function.
+pub fn smoothed_footprint<T: Float>(
     cx: T,
     cy: T,
     w: T,

@@ -28,8 +28,10 @@
 //! assert!(design.netlist.num_nets() > 450);
 //! ```
 
+pub mod adversarial;
 pub mod generator;
 pub mod presets;
 
+pub use adversarial::{adversarial_design, AdversarialCase, AdversarialDesign};
 pub use generator::{GeneratedDesign, GeneratorConfig};
 pub use presets::{dac2012_suite, industrial_suite, ispd2005_suite, DesignPreset, RoutingHints};

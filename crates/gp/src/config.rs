@@ -248,6 +248,13 @@ pub struct GpConfig<T> {
     pub recovery: RecoveryPolicy,
     /// Fault injection for recovery testing (empty = no faults).
     pub fault_injection: FaultInjection,
+    /// Density accumulation mode: `None` picks fixed-point bins whenever
+    /// `threads > 1` (multithreaded float atomics are order-dependent),
+    /// `Some(true)` forces fixed-point even serially — which makes runs
+    /// bit-identical *across thread counts*, the contract the determinism
+    /// replayer in `dp-check` verifies — and `Some(false)` forces float
+    /// accumulation (serial benchmarking of the non-quantized path).
+    pub deterministic: Option<bool>,
 }
 
 impl<T: Float> GpConfig<T> {
@@ -278,6 +285,7 @@ impl<T: Float> GpConfig<T> {
             fence: None,
             recovery: RecoveryPolicy::default(),
             fault_injection: FaultInjection::default(),
+            deterministic: None,
         }
     }
 

@@ -346,8 +346,10 @@ impl<T: Float> GlobalPlacer<T> {
         };
         // Multithreaded float-atomic scatters are order-dependent; the
         // fixed-point bins keep multi-thread runs bit-reproducible (and
-        // thread-count invariant) at a 2^-24 bin-area quantization.
-        let deterministic = cfg.threads > 1;
+        // thread-count invariant) at a 2^-24 bin-area quantization. The
+        // config can force either mode (determinism replay compares a
+        // serial run against a multithreaded one, so both must quantize).
+        let deterministic = cfg.deterministic.unwrap_or(cfg.threads > 1);
         let mut density = match &cfg.fence {
             None => DensityModel::Single(
                 DensityOp::with_backend(

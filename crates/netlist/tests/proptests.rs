@@ -1,0 +1,102 @@
+//! Property-based invariants of the CSR hypergraph: pin back-references,
+//! partition completeness, degree accounting, and HPWL translation
+//! invariance, on arbitrary generated designs.
+
+use dp_gen::GeneratorConfig;
+use dp_netlist::{hpwl, Netlist, Placement};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn design(seed: u64, cells: usize) -> (Netlist<f64>, Placement<f64>) {
+    let d = GeneratorConfig::new("prop-nl", cells, cells + cells / 7)
+        .with_seed(seed)
+        .generate::<f64>()
+        .expect("valid");
+    let region = d.netlist.region();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e5);
+    let mut p = d.fixed_positions.clone();
+    for c in 0..d.netlist.num_movable() {
+        p.x[c] = region.xl + rng.gen_range(0.0..1.0) * region.width();
+        p.y[c] = region.yl + rng.gen_range(0.0..1.0) * region.height();
+    }
+    (d.netlist, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every pin is referenced by exactly one cell and exactly one net,
+    /// and the back-references agree with the forward lists.
+    #[test]
+    fn pin_lists_are_consistent_partitions(seed in 0u64..1000, cells in 20usize..200) {
+        let (nl, _) = design(seed, cells);
+        let n_pins = nl.num_pins();
+
+        let mut seen_by_cell = vec![0usize; n_pins];
+        for cell in nl.cells() {
+            for &pin in nl.cell_pins(cell) {
+                prop_assert_eq!(nl.pin_cell(pin), cell, "cell back-reference");
+                seen_by_cell[pin.index()] += 1;
+            }
+        }
+        prop_assert!(seen_by_cell.iter().all(|&c| c == 1), "cell pin lists not a partition");
+
+        let mut seen_by_net = vec![0usize; n_pins];
+        for net in nl.nets() {
+            for &pin in nl.net_pins(net) {
+                prop_assert_eq!(nl.pin_net(pin), net, "net back-reference");
+                seen_by_net[pin.index()] += 1;
+            }
+        }
+        prop_assert!(seen_by_net.iter().all(|&c| c == 1), "net pin lists not a partition");
+    }
+
+    /// Degree sums account for every pin, from both sides of the bipartite
+    /// incidence.
+    #[test]
+    fn degree_sums_match_pin_count(seed in 0u64..1000, cells in 20usize..200) {
+        let (nl, _) = design(seed, cells);
+        let by_net: usize = nl.nets().map(|e| nl.net_degree(e)).sum();
+        let by_cell: usize = nl.cells().map(|c| nl.cell_pins(c).len()).sum();
+        prop_assert_eq!(by_net, nl.num_pins());
+        prop_assert_eq!(by_cell, nl.num_pins());
+        // net_degree and net_pins agree.
+        for net in nl.nets() {
+            prop_assert_eq!(nl.net_degree(net), nl.net_pins(net).len());
+        }
+    }
+
+    /// HPWL is translation invariant: shifting every cell by the same
+    /// offset leaves every net's bounding box size unchanged.
+    #[test]
+    fn hpwl_is_translation_invariant(
+        seed in 0u64..1000,
+        cells in 20usize..200,
+        dx in -50.0f64..50.0,
+        dy in -50.0f64..50.0,
+    ) {
+        let (nl, p) = design(seed, cells);
+        let base = hpwl(&nl, &p);
+        let mut q = p.clone();
+        for v in &mut q.x { *v += dx; }
+        for v in &mut q.y { *v += dy; }
+        let shifted = hpwl(&nl, &q);
+        prop_assert!(
+            (base - shifted).abs() <= 1e-9 * base.max(1.0),
+            "hpwl {base} -> {shifted} under translation ({dx}, {dy})"
+        );
+    }
+
+    /// HPWL scales linearly with net weights.
+    #[test]
+    fn hpwl_scales_with_net_weights(seed in 0u64..1000, cells in 20usize..120, k in 0.1f64..5.0) {
+        let (nl, p) = design(seed, cells);
+        let scaled = nl.with_net_weights(
+            nl.nets().map(|e| nl.net_weight(e) * k).collect(),
+        );
+        let a = hpwl(&nl, &p);
+        let b = hpwl(&scaled, &p);
+        prop_assert!((b - k * a).abs() <= 1e-9 * (k * a).abs().max(1.0), "{b} vs {}", k * a);
+    }
+}

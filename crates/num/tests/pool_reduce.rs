@@ -1,0 +1,112 @@
+//! `reduce_in_order` contract: bit-identical results across worker
+//! counts, agreement with the serial loop, and chunk-order (not
+//! completion-order) folding.
+
+use dp_num::{reduce_chunk_size, WorkerPool};
+
+/// A sum designed to expose reordering: terms of wildly different
+/// magnitude make float addition order-sensitive.
+fn terms(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let sign = if i % 3 == 0 { -1.0 } else { 1.0 };
+            sign * (1.0 + i as f64).powf(1.0 + (i % 7) as f64 / 2.0) * 1e-3
+        })
+        .collect()
+}
+
+fn pool_sum(pool: &WorkerPool, xs: &[f64], chunk: usize) -> f64 {
+    pool.reduce_in_order(
+        xs.len(),
+        chunk,
+        0.0f64,
+        |range| xs[range].iter().sum::<f64>(),
+        |a, b| a + b,
+    )
+}
+
+#[test]
+fn bit_identical_across_worker_counts() {
+    let xs = terms(10_001);
+    let chunk = reduce_chunk_size(xs.len());
+    let workers: Vec<usize> = vec![
+        1,
+        2,
+        7,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    ];
+    let reference = pool_sum(&WorkerPool::new(workers[0]), &xs, chunk);
+    for &w in &workers[1..] {
+        let got = pool_sum(&WorkerPool::new(w), &xs, chunk);
+        assert_eq!(
+            reference.to_bits(),
+            got.to_bits(),
+            "workers {w}: {got:.17e} != {reference:.17e}"
+        );
+    }
+}
+
+#[test]
+fn matches_the_serial_chunked_loop_bit_exactly() {
+    let xs = terms(4_097);
+    let pool = WorkerPool::new(5);
+    let chunk = reduce_chunk_size(xs.len());
+    let serial: f64 = xs
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>())
+        .fold(0.0, |a, b| a + b);
+    let parallel = pool_sum(&pool, &xs, chunk);
+    assert_eq!(serial.to_bits(), parallel.to_bits());
+}
+
+#[test]
+fn folds_in_chunk_order_not_completion_order() {
+    // Reduce with a non-commutative fold: concatenating chunk-start
+    // indices. Any completion-order fold scrambles the sequence.
+    let pool = WorkerPool::new(7);
+    let items = 1000;
+    let chunk = 37;
+    let order = pool.reduce_in_order(
+        items,
+        chunk,
+        Vec::new(),
+        |range| vec![range.start],
+        |mut acc, mut v| {
+            acc.append(&mut v);
+            acc
+        },
+    );
+    let expected: Vec<usize> = (0..items).step_by(chunk).collect();
+    assert_eq!(order, expected);
+}
+
+#[test]
+fn degenerate_inputs_reduce_cleanly() {
+    let pool = WorkerPool::new(3);
+    // Zero items: init comes back untouched.
+    let empty = pool.reduce_in_order(0, 8, 42.0f64, |_| unreachable!(), |a, b| a + b);
+    assert_eq!(empty, 42.0);
+    // Chunk 0 is clamped to 1, and chunk larger than the input is one
+    // chunk; both still visit every item exactly once.
+    let xs = terms(11);
+    for chunk in [0usize, 1, 11, 100] {
+        let got = pool_sum(&pool, &xs, chunk);
+        let serial: f64 = xs
+            .chunks(chunk.max(1))
+            .map(|c| c.iter().sum::<f64>())
+            .fold(0.0, |a, b| a + b);
+        assert_eq!(serial.to_bits(), got.to_bits(), "chunk {chunk}");
+    }
+}
+
+/// `reduce_chunk_size` itself must be a pure function of the item count —
+/// that is what makes the reduction thread-count-invariant.
+#[test]
+fn chunk_size_is_thread_count_independent() {
+    for items in [0usize, 1, 100, 4096, 1_000_000] {
+        let a = reduce_chunk_size(items);
+        let b = reduce_chunk_size(items);
+        assert_eq!(a, b);
+        assert!(items == 0 || a >= 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based checks of the static timing analyzer: the reported
+//! WNS is re-derived from first principles, slack is monotone in wire
+//! delay, and criticality weights respect their contract.
+
+use dp_gen::GeneratorConfig;
+use dp_gp::initial_placement;
+use dp_netlist::{Netlist, Placement};
+use dp_timing::{analyze, criticality_weights, TimingConfig};
+use proptest::prelude::*;
+
+fn design(seed: u64, cells: usize) -> (Netlist<f64>, Placement<f64>) {
+    let d = GeneratorConfig::new("prop-sta", cells, cells + cells / 8)
+        .with_seed(seed)
+        .generate::<f64>()
+        .expect("valid");
+    let p = initial_placement(&d.netlist, &d.fixed_positions, 0.25, seed ^ 0x51a);
+    (d.netlist, p)
+}
+
+/// Endpoints under the synthetic direction model, re-derived directly
+/// from the pin lists: a cell with no outgoing `driver < sink` stage.
+fn endpoint_mask(nl: &Netlist<f64>) -> Vec<bool> {
+    let mut endpoint = vec![true; nl.num_cells()];
+    for net in nl.nets() {
+        let pins = nl.net_pins(net);
+        if let Some(&first) = pins.first() {
+            let driver = nl.pin_cell(first).index();
+            if pins
+                .iter()
+                .skip(1)
+                .any(|&p| driver < nl.pin_cell(p).index())
+            {
+                endpoint[driver] = false;
+            }
+        }
+    }
+    endpoint
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// WNS is exactly `min(0, min over endpoints of period - arrival)`,
+    /// with the endpoint set re-derived independently of the analyzer.
+    #[test]
+    fn wns_is_the_worst_endpoint_slack(seed in 0u64..500, cells in 40usize..160) {
+        let (nl, p) = design(seed, cells);
+        let r = analyze(&nl, &p, &TimingConfig::default());
+        let endpoint = endpoint_mask(&nl);
+        let worst = (0..nl.num_cells())
+            .filter(|&c| endpoint[c])
+            .map(|c| r.clock_period - r.arrival[c])
+            .fold(0.0f64, f64::min);
+        prop_assert!((r.wns - worst).abs() < 1e-9, "wns {} vs re-derived {worst}", r.wns);
+        prop_assert!(r.tns <= r.wns + 1e-12, "tns {} above wns {}", r.tns, r.wns);
+    }
+
+    /// At a fixed clock period, increasing the wire delay coefficient can
+    /// only increase stage delays, so no slack may improve.
+    #[test]
+    fn more_wire_delay_never_improves_slack(
+        seed in 0u64..500,
+        cells in 40usize..160,
+        r0 in 0.01f64..0.2,
+        bump in 1.1f64..4.0,
+    ) {
+        let (nl, p) = design(seed, cells);
+        let period = {
+            // Derive once so both runs share the same fixed period.
+            let probe = analyze(&nl, &p, &TimingConfig {
+                wire_delay_per_unit: r0,
+                ..TimingConfig::default()
+            });
+            probe.clock_period
+        };
+        let cfg = |r: f64| TimingConfig {
+            wire_delay_per_unit: r,
+            clock_period: Some(period),
+            ..TimingConfig::default()
+        };
+        let slow = analyze(&nl, &p, &cfg(r0));
+        let slower = analyze(&nl, &p, &cfg(r0 * bump));
+        for (e, (a, b)) in slow.net_slack.iter().zip(&slower.net_slack).enumerate() {
+            prop_assert!(b <= &(a + 1e-9), "net {e}: slack {a} -> {b} improved");
+        }
+        prop_assert!(slower.wns <= slow.wns + 1e-9);
+        prop_assert!(slower.tns <= slow.tns + 1e-9);
+    }
+
+    /// Criticality weights live in `[1, w_max]` and are monotone
+    /// non-increasing in slack.
+    #[test]
+    fn weights_are_bounded_and_monotone_in_slack(
+        seed in 0u64..500,
+        cells in 40usize..160,
+        w_max in 1.5f64..8.0,
+        exponent in 0.5f64..3.0,
+    ) {
+        let (nl, p) = design(seed, cells);
+        let r = analyze(&nl, &p, &TimingConfig::default());
+        let w: Vec<f64> = criticality_weights(&r, w_max, exponent);
+        prop_assert_eq!(w.len(), nl.num_nets());
+        for (e, &wi) in w.iter().enumerate() {
+            prop_assert!(
+                (1.0..=w_max + 1e-12).contains(&wi),
+                "net {}: weight {} outside [1, {}]", e, wi, w_max
+            );
+        }
+        // Sort nets by slack; weights must be non-increasing along it.
+        let mut order: Vec<usize> = (0..w.len()).collect();
+        order.sort_by(|&a, &b| {
+            r.net_slack[a].partial_cmp(&r.net_slack[b]).expect("finite slack")
+        });
+        for pair in order.windows(2) {
+            prop_assert!(
+                w[pair[0]] >= w[pair[1]] - 1e-12,
+                "slack {} got weight {} but larger slack {} got {}",
+                r.net_slack[pair[0]], w[pair[0]], r.net_slack[pair[1]], w[pair[1]]
+            );
+        }
+    }
+}
