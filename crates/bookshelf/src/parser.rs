@@ -1,4 +1,13 @@
 //! Bookshelf parser: loads a design from its `.aux` file.
+//!
+//! The parser validates *syntax* (file structure, counts, cross-file
+//! references) and reports [`ParseBookshelfError::Malformed`] with file
+//! and line context. *Semantic* validation — fixed cells outside the core,
+//! pin offsets outside their cell, duplicate pins, oversized movables,
+//! non-finite geometry — is deliberately deferred to the flow's design
+//! sanitizer (`dreamplace_core::sanitize`): the parser stays byte-faithful
+//! so round-trips preserve the input exactly, and the sanitizer decides
+//! per defect class whether to repair or abort, reporting either way.
 
 use std::collections::HashMap;
 use std::error::Error;

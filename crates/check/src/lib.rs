@@ -21,7 +21,9 @@
 //!   non-unit-seed [`dp_autograd::check_gradient_scaled`]);
 //! * [`replay`] — the determinism replayer: runs global placement several
 //!   times from the same seed (and across thread counts) and diffs the
-//!   per-iteration [`dp_gp::GpStats`] histories bit-exactly;
+//!   per-iteration [`dp_gp::GpStats`] histories bit-exactly; legalization
+//!   and detailed placement get the same treatment per stage
+//!   ([`replay::replay_lg`] / [`replay::replay_dp`]);
 //! * [`golden`] — golden full-flow regression records (hand-rolled JSON,
 //!   regenerate with `DP_UPDATE_GOLDEN=1`).
 //!
@@ -48,4 +50,7 @@ pub use oracle_density::{
     movable_map_oracle, overflow_oracle, smoothed_rect_oracle, FieldOracle, OracleGrid,
 };
 pub use oracle_wirelength::{hpwl_oracle, lse_oracle, wa_oracle, WlOracle};
-pub use replay::{first_divergence, replay_across_threads, replay_gp, ReplayReport};
+pub use replay::{
+    diff_placements, first_divergence, replay_across_threads, replay_dp, replay_gp, replay_lg,
+    ReplayReport, StageReplay,
+};

@@ -1,7 +1,7 @@
-//! Determinism replayer: run global placement repeatedly and diff the
-//! per-iteration statistics bit-exactly.
+//! Determinism replayer: run placement stages repeatedly and diff the
+//! statistics bit-exactly.
 //!
-//! Two kinds of replay:
+//! Four kinds of replay:
 //!
 //! * [`replay_gp`] — same seed, same config, `N` runs: any divergence
 //!   means hidden state (uninitialized scratch, iteration-order-dependent
@@ -10,14 +10,23 @@
 //!   [`dp_gp::GpConfig::deterministic`] forced on, which switches density
 //!   accumulation to fixed point: the histories must then match across
 //!   thread counts, the strongest reproducibility contract the engine
-//!   offers.
+//!   offers;
+//! * [`replay_lg`] / [`replay_dp`] — the same contract per downstream
+//!   stage: legalization and detailed placement run `N` times from an
+//!   identical starting placement and must produce bit-identical
+//!   placements and stats (Abacus iterates a `HashMap` of segments, ISM
+//!   batches by scan order — exactly the constructs that silently go
+//!   nondeterministic).
 //!
-//! Comparison is on [`IterRecord`]s (`hpwl`, `overflow`, `lambda`,
-//! `gamma` per iteration) plus the final HPWL/overflow — all compared for
+//! GP comparison is on [`IterRecord`]s (`hpwl`, `overflow`, `lambda`,
+//! `gamma` per iteration) plus the final HPWL/overflow; LG/DP comparison
+//! is on their stage stats plus every cell coordinate — all compared for
 //! exact equality, not within tolerance.
 
+use dp_dplace::DetailedPlacer;
 use dp_gp::{GlobalPlacer, GpConfig, GpError, GpStats, IterRecord};
-use dp_netlist::{Netlist, Placement};
+use dp_lg::{Legalizer, LgError, LgStats};
+use dp_netlist::{hpwl, Netlist, Placement};
 use dp_num::Float;
 
 /// Outcome of a replay: the reference run's summary plus the first
@@ -99,7 +108,9 @@ pub fn first_divergence(a: &GpStats, b: &GpStats) -> Option<String> {
     None
 }
 
-fn diff_placements<T: Float>(a: &Placement<T>, b: &Placement<T>) -> Option<String> {
+/// First coordinate difference between two placements, or `None` when
+/// they are bit-identical.
+pub fn diff_placements<T: Float>(a: &Placement<T>, b: &Placement<T>) -> Option<String> {
     for (c, (xa, xb)) in a.x.iter().zip(&b.x).enumerate() {
         if xa.to_f64() != xb.to_f64() {
             return Some(format!("cell {c}: x {} != {}", xa.to_f64(), xb.to_f64()));
@@ -191,5 +202,116 @@ pub fn replay_across_threads<T: Float>(
             final_hpwl: 0.0,
             final_overflow: 0.0,
         })
+    }
+}
+
+/// Outcome of a per-stage (LG/DP) replay.
+#[derive(Debug, Clone)]
+pub struct StageReplay {
+    /// Number of runs compared (>= 2).
+    pub runs: usize,
+    /// First difference found (stats field or cell coordinate), `None`
+    /// when every run was bit-identical.
+    pub divergence: Option<String>,
+    /// HPWL of the reference run's output placement.
+    pub final_hpwl: f64,
+}
+
+impl StageReplay {
+    /// `true` when every run matched the reference bit-for-bit.
+    pub fn identical(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+fn diff_lg_stats(a: &LgStats, b: &LgStats) -> Option<String> {
+    if a.avg_displacement != b.avg_displacement {
+        return Some(format!(
+            "avg_displacement {:.17e} != {:.17e}",
+            a.avg_displacement, b.avg_displacement
+        ));
+    }
+    if a.max_displacement != b.max_displacement {
+        return Some(format!(
+            "max_displacement {:.17e} != {:.17e}",
+            a.max_displacement, b.max_displacement
+        ));
+    }
+    if a.fallback != b.fallback {
+        return Some(format!("fallback {:?} != {:?}", a.fallback, b.fallback));
+    }
+    None
+}
+
+/// Legalizes `start` `runs` times with the same legalizer and compares
+/// stats and every cell coordinate to the first run. Runtime is excluded
+/// (wall-clock is never golden).
+///
+/// # Errors
+///
+/// Propagates [`LgError`] from any run.
+pub fn replay_lg<T: Float>(
+    nl: &Netlist<T>,
+    start: &Placement<T>,
+    legalizer: &Legalizer,
+    runs: usize,
+) -> Result<StageReplay, LgError> {
+    let runs = runs.max(2);
+    let mut reference = start.clone();
+    let ref_stats = legalizer.clone().legalize(nl, &mut reference)?;
+    let mut divergence = None;
+    for r in 1..runs {
+        let mut other = start.clone();
+        let other_stats = legalizer.clone().legalize(nl, &mut other)?;
+        if divergence.is_none() {
+            divergence = diff_lg_stats(&ref_stats, &other_stats)
+                .or_else(|| diff_placements(&reference, &other))
+                .map(|d| format!("run 0 vs run {r}: {d}"));
+        }
+    }
+    Ok(StageReplay {
+        runs,
+        divergence,
+        final_hpwl: hpwl(nl, &reference).to_f64(),
+    })
+}
+
+/// Runs detailed placement `runs` times from the same legal placement and
+/// compares stats (moves, HPWL) and every cell coordinate to the first
+/// run.
+pub fn replay_dp<T: Float>(
+    nl: &Netlist<T>,
+    start: &Placement<T>,
+    placer: &DetailedPlacer,
+    runs: usize,
+) -> StageReplay {
+    let runs = runs.max(2);
+    let mut reference = start.clone();
+    let ref_stats = placer.run(nl, &mut reference);
+    let mut divergence = None;
+    for r in 1..runs {
+        let mut other = start.clone();
+        let other_stats = placer.run(nl, &mut other);
+        if divergence.is_none() {
+            let d = if ref_stats.moves != other_stats.moves {
+                Some(format!(
+                    "moves {} != {}",
+                    ref_stats.moves, other_stats.moves
+                ))
+            } else if ref_stats.final_hpwl != other_stats.final_hpwl {
+                Some(format!(
+                    "final_hpwl {:.17e} != {:.17e}",
+                    ref_stats.final_hpwl, other_stats.final_hpwl
+                ))
+            } else {
+                diff_placements(&reference, &other)
+            };
+            divergence = d.map(|d| format!("run 0 vs run {r}: {d}"));
+        }
+    }
+    StageReplay {
+        runs,
+        divergence,
+        final_hpwl: ref_stats.final_hpwl,
     }
 }

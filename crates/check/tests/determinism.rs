@@ -1,10 +1,14 @@
 //! Determinism replays: same-seed bit-identity and thread-count
 //! invariance of the global placer, diffed per iteration via
-//! [`dp_check::replay_gp`] / [`dp_check::replay_across_threads`].
+//! [`dp_check::replay_gp`] / [`dp_check::replay_across_threads`], plus
+//! per-stage bit-identity of legalization and detailed placement via
+//! [`dp_check::replay_lg`] / [`dp_check::replay_dp`].
 
-use dp_check::{first_divergence, replay_across_threads, replay_gp};
+use dp_check::{diff_placements, first_divergence, replay_across_threads, replay_dp, replay_gp, replay_lg};
+use dp_dplace::DetailedPlacer;
 use dp_gen::GeneratorConfig;
-use dp_gp::{GlobalPlacer, GpConfig};
+use dp_gp::{initial_placement, GlobalPlacer, GpConfig};
+use dp_lg::Legalizer;
 use dp_netlist::{Netlist, Placement};
 
 fn design(seed: u64) -> (Netlist<f64>, Placement<f64>) {
@@ -53,6 +57,49 @@ fn deterministic_mode_is_invariant_across_thread_counts() {
         report.divergence.as_deref().unwrap_or("?")
     );
     assert!(report.final_hpwl.is_finite() && report.final_hpwl > 0.0);
+}
+
+#[test]
+fn legalization_replay_is_bit_identical() {
+    let (nl, fixed) = design(94);
+    let start = initial_placement(&nl, &fixed, 0.05, 2);
+    let report = replay_lg(&nl, &start, &Legalizer::new(), 3).expect("legalizes");
+    assert_eq!(report.runs, 3);
+    assert!(
+        report.identical(),
+        "{}",
+        report.divergence.as_deref().unwrap_or("?")
+    );
+    assert!(report.final_hpwl.is_finite() && report.final_hpwl > 0.0);
+}
+
+#[test]
+fn detailed_placement_replay_is_bit_identical() {
+    let (nl, fixed) = design(95);
+    let mut start = initial_placement(&nl, &fixed, 0.05, 2);
+    Legalizer::new()
+        .legalize(&nl, &mut start)
+        .expect("legalizes");
+    let report = replay_dp(&nl, &start, &DetailedPlacer::new(), 3);
+    assert_eq!(report.runs, 3);
+    assert!(
+        report.identical(),
+        "{}",
+        report.divergence.as_deref().unwrap_or("?")
+    );
+    assert!(report.final_hpwl.is_finite() && report.final_hpwl > 0.0);
+}
+
+/// The placement differ must catch single-coordinate flips (it backstops
+/// both stage replayers).
+#[test]
+fn placement_differ_detects_single_coordinate_change() {
+    let (_, fixed) = design(96);
+    let mut other = fixed.clone();
+    assert!(diff_placements(&fixed, &other).is_none());
+    other.x[0] += 1.0;
+    let d = diff_placements(&fixed, &other).expect("must differ");
+    assert!(d.contains("cell 0"), "{d}");
 }
 
 /// The differ itself must not be a rubber stamp: histories from different

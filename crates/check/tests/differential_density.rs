@@ -265,7 +265,7 @@ fn zero_area_cells_are_inert() {
 }
 
 #[test]
-fn single_bin_grids_error_gracefully() {
+fn single_bin_grids_build_in_uniform_field_mode() {
     let d = adversarial_design::<f64>(AdversarialCase::SingleBinGrid, 3).expect("valid");
     let region = d.design.netlist.region();
     // The first suggested shape is the minimal legal grid...
@@ -278,12 +278,13 @@ fn single_bin_grids_error_gracefully() {
     let map = op.last_density_map().expect("map cached after forward");
     let oracle = movable_map_oracle(&d.design.netlist, &d.placement, &og);
     assert_maps_close("minimal grid scatter", &map, &oracle, 1e-10);
-    // ...the rest are unsupported single-bin shapes: structured error, no
-    // panic.
+    // ...the rest are sub-spectral single-bin shapes: they now build, but
+    // flag that the spectral solve must be skipped (uniform-field mode).
     for &(mx, my) in &d.suggested_bins[1..] {
+        let g = BinGrid::new(region, mx, my).expect("degenerate grid builds");
         assert!(
-            BinGrid::new(region, mx, my).is_err(),
-            "grid {mx}x{my} must be rejected"
+            !g.supports_spectral_solve(),
+            "grid {mx}x{my} must be flagged sub-spectral"
         );
     }
 }

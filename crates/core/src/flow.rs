@@ -1,47 +1,87 @@
-//! The full placement flow: (IO) -> GP -> LG -> DP.
+//! The full placement flow: (IO) -> sanitize -> GP -> LG -> DP.
+//!
+//! Beyond the paper's pipeline, the flow carries a robustness layer (the
+//! counterpart of the GP engine's self-healing): a [design
+//! sanitizer](crate::sanitize) runs before GP, every stage gets a budget
+//! and a quality gate ([`StageBudgets`]), and each stage can degrade
+//! gracefully instead of failing — Abacus falls back to Tetris, DP
+//! disables a misbehaving pass, sub-spectral bin grids run the density
+//! operator in uniform-field mode. Every degradation is recorded in
+//! [`FlowResult::degradations`] so callers see exactly what was traded
+//! away; off the failure path the layer is a no-op and results are
+//! bit-identical to the unguarded flow.
 
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
-use dp_dplace::{DetailedPlacer, DpStats};
+use dp_dplace::{DetailedPlacer, DpPass, DpStats};
 use dp_gen::GeneratedDesign;
 use dp_gp::{
     DivergenceCause, GlobalPlacer, GpConfig, GpError, GpResult, GpStats, GpTiming, SolverKind,
     WirelengthModel,
 };
-use dp_lg::{check_legal, Legalizer, LgError, LgStats};
+use dp_lg::{check_legal, Legalizer, LgError, LgFallback, LgStats};
 use dp_netlist::{hpwl, Netlist, Placement};
 use dp_num::Float;
 
 use crate::modes::ToolMode;
+use crate::sanitize::{sanitize_design, SanitizeReport};
 
 /// Error raised by the full flow.
 #[derive(Debug)]
 pub enum FlowError<T> {
+    /// The design sanitizer found a fatal defect before any stage ran.
+    Sanitize(SanitizeReport),
     /// Global placement failed.
     Gp(GpError<T>),
     /// Legalization failed.
-    Lg(LgError),
-    /// The legalized placement failed the legality audit.
+    Lg {
+        /// The underlying legalizer error (names its stage and progress).
+        error: LgError,
+        /// HPWL of the global placement handed to legalization — the
+        /// best-so-far quality when the flow died (NaN when unknown).
+        hpwl_gp: f64,
+    },
+    /// The legalized placement failed the legality audit (even after the
+    /// Tetris-only retry).
     IllegalResult {
         /// Number of overlapping pairs found.
         overlaps: usize,
+        /// HPWL after the failed legalization attempt (NaN when unknown).
+        hpwl_legal: f64,
     },
     /// Bookshelf IO round-trip failed.
     Io(std::io::Error),
 }
 
+impl<T> FlowError<T> {
+    /// One-line diagnosis naming the stage, the trigger, and the
+    /// best-so-far context — what a log line or CI failure should show.
+    pub fn diagnosis(&self) -> String {
+        match self {
+            FlowError::Sanitize(report) => {
+                format!("sanitize: fatal design defects: {report}")
+            }
+            FlowError::Gp(e) => format!("gp: {e}"),
+            FlowError::Lg { error, hpwl_gp } => {
+                format!("lg: {error} (gp hpwl {hpwl_gp:.4e})")
+            }
+            FlowError::IllegalResult {
+                overlaps,
+                hpwl_legal,
+            } => format!(
+                "lg: audit found {overlaps} overlapping pairs after all fallbacks \
+                 (hpwl {hpwl_legal:.4e})"
+            ),
+            FlowError::Io(e) => format!("io: {e}"),
+        }
+    }
+}
+
 impl<T> fmt::Display for FlowError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowError::Gp(e) => write!(f, "global placement failed: {e}"),
-            FlowError::Lg(e) => write!(f, "legalization failed: {e}"),
-            FlowError::IllegalResult { overlaps } => {
-                write!(f, "legalized placement has {overlaps} overlapping pairs")
-            }
-            FlowError::Io(e) => write!(f, "bookshelf io failed: {e}"),
-        }
+        f.write_str(&self.diagnosis())
     }
 }
 
@@ -55,13 +95,219 @@ impl<T> From<GpError<T>> for FlowError<T> {
 
 impl<T> From<LgError> for FlowError<T> {
     fn from(e: LgError) -> Self {
-        FlowError::Lg(e)
+        FlowError::Lg {
+            error: e,
+            hpwl_gp: f64::NAN,
+        }
     }
 }
 
 impl<T> From<std::io::Error> for FlowError<T> {
     fn from(e: std::io::Error) -> Self {
         FlowError::Io(e)
+    }
+}
+
+/// A stage of the flow, for degradation bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStage {
+    /// The design sanitizer.
+    Sanitize,
+    /// Global placement.
+    Gp,
+    /// Legalization.
+    Lg,
+    /// Detailed placement.
+    Dp,
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowStage::Sanitize => write!(f, "sanitize"),
+            FlowStage::Gp => write!(f, "gp"),
+            FlowStage::Lg => write!(f, "lg"),
+            FlowStage::Dp => write!(f, "dp"),
+        }
+    }
+}
+
+/// What tripped a degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradationTrigger {
+    /// The bin grid is below the spectral solver's minimum shape.
+    DegenerateGrid {
+        /// The configured `(mx, my)` bin counts.
+        bins: (usize, usize),
+    },
+    /// Global placement diverged unrecoverably.
+    GpDiverged(DivergenceCause),
+    /// The Abacus refinement failed.
+    AbacusFailed,
+    /// The Abacus refinement exceeded the displacement budget.
+    DisplacementExceeded,
+    /// The legality audit found overlaps after the full legalizer.
+    IllegalAfterLg {
+        /// Overlapping pairs found.
+        overlaps: usize,
+    },
+    /// A DP pass worsened HPWL by this relative amount.
+    DpPassWorsened {
+        /// The offending pass.
+        pass: DpPass,
+        /// Relative HPWL worsening that tripped the gate.
+        worsening: f64,
+    },
+    /// A stage exhausted its wall-clock budget.
+    BudgetExhausted,
+}
+
+impl fmt::Display for DegradationTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationTrigger::DegenerateGrid { bins } => {
+                write!(f, "bin grid {}x{} below spectral minimum", bins.0, bins.1)
+            }
+            DegradationTrigger::GpDiverged(cause) => write!(f, "gp diverged ({cause})"),
+            DegradationTrigger::AbacusFailed => write!(f, "abacus refinement failed"),
+            DegradationTrigger::DisplacementExceeded => {
+                write!(f, "abacus exceeded displacement budget")
+            }
+            DegradationTrigger::IllegalAfterLg { overlaps } => {
+                write!(f, "{overlaps} overlapping pairs after legalization")
+            }
+            DegradationTrigger::DpPassWorsened { pass, worsening } => {
+                write!(f, "{pass} worsened hpwl by {worsening:.2e}")
+            }
+            DegradationTrigger::BudgetExhausted => write!(f, "wall-clock budget exhausted"),
+        }
+    }
+}
+
+/// The fallback the flow took in response to a trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationFallback {
+    /// Density ran in uniform-field mode (spectral solve skipped).
+    UniformFieldDensity,
+    /// GP re-ran with the conservative preset.
+    ConservativeGpPreset,
+    /// The flow continued from GP's best-so-far placement.
+    BestSoFarPlacement,
+    /// Legalization kept the Tetris result.
+    TetrisResult,
+    /// Legalization re-ran without Abacus from the GP placement.
+    RetryWithoutAbacus,
+    /// DP disabled the offending pass and continued with the others.
+    DisabledDpPass(DpPass),
+    /// The stage stopped early at its budget, keeping its best result.
+    StoppedStageEarly,
+}
+
+impl fmt::Display for DegradationFallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationFallback::UniformFieldDensity => write!(f, "uniform-field density"),
+            DegradationFallback::ConservativeGpPreset => write!(f, "conservative gp preset"),
+            DegradationFallback::BestSoFarPlacement => write!(f, "best-so-far placement"),
+            DegradationFallback::TetrisResult => write!(f, "kept tetris result"),
+            DegradationFallback::RetryWithoutAbacus => write!(f, "retried without abacus"),
+            DegradationFallback::DisabledDpPass(p) => write!(f, "disabled {p}"),
+            DegradationFallback::StoppedStageEarly => write!(f, "stopped stage early"),
+        }
+    }
+}
+
+/// One recorded degradation: stage, trigger, and the fallback taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationEvent {
+    /// The stage that degraded.
+    pub stage: FlowStage,
+    /// What tripped it.
+    pub trigger: DegradationTrigger,
+    /// What the flow did about it.
+    pub fallback: DegradationFallback,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.stage, self.trigger, self.fallback)
+    }
+}
+
+/// Log of every degradation the flow took; empty on the clean path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowDegradations {
+    /// Events in the order they happened.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl FlowDegradations {
+    /// True when nothing degraded — the flow ran the paper's pipeline
+    /// untouched.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that happened in `stage`.
+    pub fn for_stage(&self, stage: FlowStage) -> impl Iterator<Item = &DegradationEvent> {
+        self.events.iter().filter(move |e| e.stage == stage)
+    }
+
+    fn record(
+        &mut self,
+        stage: FlowStage,
+        trigger: DegradationTrigger,
+        fallback: DegradationFallback,
+    ) {
+        self.events.push(DegradationEvent {
+            stage,
+            trigger,
+            fallback,
+        });
+    }
+}
+
+impl fmt::Display for FlowDegradations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "none");
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-stage budgets and quality gates. All default to off (`None`), so
+/// the flow behaves exactly like the unguarded pipeline unless a caller
+/// opts in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBudgets {
+    /// Wall-clock budget for global placement; the engine stops at the
+    /// budget like an iteration cap (never an error).
+    pub gp_seconds: Option<f64>,
+    /// Wall-clock budget for detailed placement; checked between passes.
+    pub dp_seconds: Option<f64>,
+    /// Maximum L1 displacement the Abacus refinement may reach before
+    /// legalization reverts to the Tetris result.
+    pub lg_max_displacement: Option<f64>,
+    /// Relative HPWL worsening tolerated per DP pass before the pass is
+    /// reverted and disabled.
+    pub dp_hpwl_tolerance: f64,
+}
+
+impl Default for StageBudgets {
+    fn default() -> Self {
+        Self {
+            gp_seconds: None,
+            dp_seconds: None,
+            lg_max_displacement: None,
+            dp_hpwl_tolerance: 1e-9,
+        }
     }
 }
 
@@ -123,6 +369,10 @@ pub struct FlowResult<T> {
     /// gracefully instead of failing (see [`GpFallback`]). In-run
     /// rollbacks that recovered are in [`GpStats::recovery_events`].
     pub gp_fallback: Option<GpFallback>,
+    /// What the design sanitizer found (and repaired); empty when clean.
+    pub sanitize: SanitizeReport,
+    /// Every degradation the flow took; empty on the clean path.
+    pub degradations: FlowDegradations,
 }
 
 /// Flow configuration.
@@ -134,6 +384,8 @@ pub struct FlowConfig<T> {
     pub run_dp: bool,
     /// Detailed placement knobs.
     pub dp: DetailedPlacer,
+    /// Legalizer knobs (fault injection, ablation).
+    pub lg: Legalizer,
     /// Run detailed placement through the batched (ABCDPlace-style)
     /// driver with this many proposal workers instead of the sequential
     /// one (the paper's GPU-DP direction).
@@ -145,6 +397,10 @@ pub struct FlowConfig<T> {
     /// (and, failing that, continue from the best-so-far placement)
     /// instead of returning an error.
     pub gp_fallback: bool,
+    /// Run the design sanitizer before GP (free on clean designs).
+    pub sanitize: bool,
+    /// Per-stage budgets and quality gates.
+    pub budgets: StageBudgets,
 }
 
 impl<T: Float> FlowConfig<T> {
@@ -155,9 +411,12 @@ impl<T: Float> FlowConfig<T> {
             gp: mode.gp_config(netlist),
             run_dp: true,
             dp: DetailedPlacer::new(),
+            lg: Legalizer::new(),
             batched_dp_threads: None,
             io_roundtrip: false,
             gp_fallback: true,
+            sanitize: true,
+            budgets: StageBudgets::default(),
         }
     }
 }
@@ -180,13 +439,15 @@ impl<T: Float> DreamPlacer<T> {
 
     /// Runs the full flow on a design.
     ///
-    /// When [`FlowConfig::gp_fallback`] is set (the default) an
-    /// unrecoverable global placement divergence degrades gracefully:
-    /// first a conservative preset (Adam + LSE wirelength with the paper's
-    /// default scheduler knobs) is tried from the best placement of the
-    /// failed run, and if that also diverges the flow continues into
-    /// legalization from the best-so-far placement. The taken path is
-    /// recorded in [`FlowResult::gp_fallback`].
+    /// The sanitizer runs first: fatal defects abort with
+    /// [`FlowError::Sanitize`], repairable ones are fixed in a copy and
+    /// reported in [`FlowResult::sanitize`]. Each later stage is guarded:
+    /// GP divergence degrades through the conservative preset to the
+    /// best-so-far placement, a failed or over-budget Abacus keeps the
+    /// Tetris result, an illegal audit retries Tetris-only from the GP
+    /// placement, and a DP pass that worsens HPWL is reverted and
+    /// disabled. Every fallback taken is recorded in
+    /// [`FlowResult::degradations`].
     ///
     /// # Errors
     ///
@@ -194,6 +455,7 @@ impl<T: Float> DreamPlacer<T> {
     pub fn place(&self, design: &GeneratedDesign<T>) -> Result<FlowResult<T>, FlowError<T>> {
         let t_total = Instant::now();
         let mut timing = FlowTiming::default();
+        let mut degradations = FlowDegradations::default();
 
         // --- IO (optional Bookshelf round-trip) -------------------------
         let t_io = Instant::now();
@@ -220,24 +482,112 @@ impl<T: Float> DreamPlacer<T> {
         };
         timing.io = t_io.elapsed().as_secs_f64();
 
+        // --- sanitize -----------------------------------------------------
+        let (sanitize_report, repaired) = if self.config.sanitize {
+            sanitize_design(nl, fixed)
+        } else {
+            (SanitizeReport::default(), None)
+        };
+        if sanitize_report.is_fatal() {
+            return Err(FlowError::Sanitize(sanitize_report));
+        }
+        let (nl, fixed) = match &repaired {
+            Some((rn, rf)) => (rn, rf),
+            None => (nl, fixed),
+        };
+
         // --- global placement -------------------------------------------
+        let mut gp_cfg = self.config.gp.clone();
+        if let Some(budget) = self.config.budgets.gp_seconds {
+            gp_cfg.max_seconds = Some(match gp_cfg.max_seconds {
+                Some(own) => own.min(budget),
+                None => budget,
+            });
+        }
+        if gp_cfg.bins.0 < 2 || gp_cfg.bins.1 < 4 {
+            // The density operator runs in uniform-field mode on
+            // sub-spectral grids; record it so callers know the density
+            // force was traded away.
+            degradations.record(
+                FlowStage::Gp,
+                DegradationTrigger::DegenerateGrid { bins: gp_cfg.bins },
+                DegradationFallback::UniformFieldDensity,
+            );
+        }
         let t_gp = Instant::now();
-        let (gp_result, gp_fallback) = self.run_gp(nl, fixed)?;
+        let (gp_result, gp_fallback) = self.run_gp(gp_cfg, nl, fixed)?;
         timing.gp = t_gp.elapsed().as_secs_f64();
-        let mut placement = gp_result.placement;
+        match gp_fallback {
+            Some(GpFallback::ConservativePreset { cause }) => degradations.record(
+                FlowStage::Gp,
+                DegradationTrigger::GpDiverged(cause),
+                DegradationFallback::ConservativeGpPreset,
+            ),
+            Some(GpFallback::BestSoFar { cause, .. }) => degradations.record(
+                FlowStage::Gp,
+                DegradationTrigger::GpDiverged(cause),
+                DegradationFallback::BestSoFarPlacement,
+            ),
+            None => {}
+        }
+        let gp_placement = gp_result.placement;
+        let mut placement = gp_placement.clone();
         let hpwl_gp = hpwl(nl, &placement).to_f64();
 
         // --- legalization -------------------------------------------------
         let t_lg = Instant::now();
-        let lg_stats = Legalizer::new().legalize(nl, &mut placement)?;
-        timing.lg = t_lg.elapsed().as_secs_f64();
-        let hpwl_legal = hpwl(nl, &placement).to_f64();
+        let mut legalizer = self.config.lg.clone();
+        if let Some(limit) = self.config.budgets.lg_max_displacement {
+            legalizer = legalizer.with_max_displacement(limit);
+        }
+        let mut lg_stats = legalizer
+            .legalize(nl, &mut placement)
+            .map_err(|error| FlowError::Lg { error, hpwl_gp })?;
+        match lg_stats.fallback {
+            Some(LgFallback::AbacusFailed) => degradations.record(
+                FlowStage::Lg,
+                DegradationTrigger::AbacusFailed,
+                DegradationFallback::TetrisResult,
+            ),
+            Some(LgFallback::DisplacementExceeded) => degradations.record(
+                FlowStage::Lg,
+                DegradationTrigger::DisplacementExceeded,
+                DegradationFallback::TetrisResult,
+            ),
+            None => {}
+        }
         let report = check_legal(nl, &placement);
         if !report.is_legal() {
-            return Err(FlowError::IllegalResult {
-                overlaps: report.overlaps,
-            });
+            // Degradation ladder: the Abacus result failed the audit.
+            // Retry Tetris-only from the GP placement; if even that is
+            // illegal, surface a structured error.
+            let mut retry = gp_placement.clone();
+            let retry_stats = self
+                .config
+                .lg
+                .clone()
+                .without_abacus()
+                .legalize(nl, &mut retry)
+                .map_err(|error| FlowError::Lg { error, hpwl_gp })?;
+            let retry_report = check_legal(nl, &retry);
+            if !retry_report.is_legal() {
+                return Err(FlowError::IllegalResult {
+                    overlaps: report.overlaps.max(retry_report.overlaps),
+                    hpwl_legal: hpwl(nl, &retry).to_f64(),
+                });
+            }
+            degradations.record(
+                FlowStage::Lg,
+                DegradationTrigger::IllegalAfterLg {
+                    overlaps: report.overlaps,
+                },
+                DegradationFallback::RetryWithoutAbacus,
+            );
+            placement = retry;
+            lg_stats = retry_stats;
         }
+        timing.lg = t_lg.elapsed().as_secs_f64();
+        let hpwl_legal = hpwl(nl, &placement).to_f64();
 
         // --- detailed placement -------------------------------------------
         let t_dp = Instant::now();
@@ -246,7 +596,35 @@ impl<T: Float> DreamPlacer<T> {
                 Some(threads) => {
                     dp_dplace::BatchedDetailedPlacer::new(threads).run(nl, &mut placement)
                 }
-                None => self.config.dp.run(nl, &mut placement),
+                None => {
+                    let mut dp = self.config.dp.clone();
+                    dp.hpwl_tolerance = self.config.budgets.dp_hpwl_tolerance;
+                    if let Some(budget) = self.config.budgets.dp_seconds {
+                        dp.max_seconds = Some(match dp.max_seconds {
+                            Some(own) => own.min(budget),
+                            None => budget,
+                        });
+                    }
+                    let (stats, guard) = dp.run_guarded(nl, &mut placement);
+                    for (pass, worsening) in &guard.disabled {
+                        degradations.record(
+                            FlowStage::Dp,
+                            DegradationTrigger::DpPassWorsened {
+                                pass: *pass,
+                                worsening: *worsening,
+                            },
+                            DegradationFallback::DisabledDpPass(*pass),
+                        );
+                    }
+                    if guard.budget_exhausted {
+                        degradations.record(
+                            FlowStage::Dp,
+                            DegradationTrigger::BudgetExhausted,
+                            DegradationFallback::StoppedStageEarly,
+                        );
+                    }
+                    stats
+                }
             })
         } else {
             None
@@ -273,16 +651,19 @@ impl<T: Float> DreamPlacer<T> {
             dp: dp_stats,
             timing,
             gp_fallback,
+            sanitize: sanitize_report,
+            degradations,
         })
     }
 
     /// Runs GP with graceful degradation (see [`DreamPlacer::place`]).
     fn run_gp(
         &self,
+        gp_cfg: GpConfig<T>,
         nl: &Netlist<T>,
         fixed: &Placement<T>,
     ) -> Result<(GpResult<T>, Option<GpFallback>), FlowError<T>> {
-        let primary = GlobalPlacer::new(self.config.gp.clone()).place(nl, fixed);
+        let primary = GlobalPlacer::new(gp_cfg.clone()).place(nl, fixed);
         let err = match primary {
             Ok(r) => return Ok((r, None)),
             Err(e) if self.config.gp_fallback => e,
@@ -301,7 +682,7 @@ impl<T: Float> DreamPlacer<T> {
             return Err(err.into());
         };
 
-        match GlobalPlacer::new(conservative_preset(&self.config.gp, nl)).place_from(
+        match GlobalPlacer::new(conservative_preset(&gp_cfg, nl)).place_from(
             nl,
             (*best).clone(),
             None,
@@ -403,6 +784,9 @@ mod tests {
         assert!(r.hpwl_final <= r.hpwl_legal, "DP must not hurt");
         assert!(r.hpwl_final > 0.0);
         assert!(r.timing.gp > 0.0 && r.timing.lg > 0.0);
+        // Clean design: no findings, no degradations.
+        assert!(r.sanitize.is_clean(), "{}", r.sanitize);
+        assert!(r.degradations.is_clean(), "{}", r.degradations);
         let report = check_legal(&d.netlist, &r.placement);
         assert!(report.is_legal(), "{report:?}");
     }
@@ -445,6 +829,15 @@ mod tests {
             "{:?}",
             r.gp_fallback
         );
+        // The fallback is also in the degradation log.
+        assert!(
+            r.degradations.for_stage(FlowStage::Gp).any(|e| matches!(
+                e.fallback,
+                DegradationFallback::ConservativeGpPreset
+            )),
+            "{}",
+            r.degradations
+        );
         assert!(r.hpwl_final.is_finite());
         assert!(check_legal(&d.netlist, &r.placement).is_legal());
     }
@@ -481,11 +874,13 @@ mod tests {
         cfg.gp_fallback = false;
         let err = DreamPlacer::new(cfg).place(&d).expect_err("must surface");
         match err {
-            FlowError::Gp(dp_gp::GpError::Diverged { best, .. }) => {
+            FlowError::Gp(dp_gp::GpError::Diverged { ref best, .. }) => {
                 assert!(best.x.iter().all(|v| v.is_finite()));
             }
-            other => panic!("unexpected error {other}"),
+            ref other => panic!("unexpected error {other}"),
         }
+        // The diagnosis names the stage.
+        assert!(err.diagnosis().starts_with("gp:"), "{}", err.diagnosis());
     }
 
     #[test]
@@ -496,5 +891,112 @@ mod tests {
         let r = DreamPlacer::new(cfg).place(&d).expect("flow with io");
         assert!(r.timing.io > 0.0);
         assert!(r.hpwl_final.is_finite());
+    }
+
+    #[test]
+    fn injected_abacus_fault_takes_tetris_ladder() {
+        let d = design();
+        let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        cfg.lg = Legalizer::new().with_fault_injection(dp_lg::LgFaultInjection {
+            fail_abacus: true,
+        });
+        let r = DreamPlacer::new(cfg).place(&d).expect("ladder survives");
+        let event = r
+            .degradations
+            .for_stage(FlowStage::Lg)
+            .next()
+            .expect("lg degradation recorded");
+        assert_eq!(event.trigger, DegradationTrigger::AbacusFailed);
+        assert_eq!(event.fallback, DegradationFallback::TetrisResult);
+        assert!(check_legal(&d.netlist, &r.placement).is_legal());
+    }
+
+    #[test]
+    fn injected_dp_fault_disables_offending_pass() {
+        let d = design();
+        let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        cfg.dp.fault_injection = dp_dplace::DpFaultInjection {
+            worsen_pass: Some(DpPass::LocalReorder),
+        };
+        let r = DreamPlacer::new(cfg).place(&d).expect("ladder survives");
+        let event = r
+            .degradations
+            .for_stage(FlowStage::Dp)
+            .next()
+            .expect("dp degradation recorded");
+        assert!(matches!(
+            event.trigger,
+            DegradationTrigger::DpPassWorsened {
+                pass: DpPass::LocalReorder,
+                ..
+            }
+        ));
+        assert_eq!(
+            event.fallback,
+            DegradationFallback::DisabledDpPass(DpPass::LocalReorder)
+        );
+        assert!(r.hpwl_final <= r.hpwl_legal, "guard must protect quality");
+        assert!(check_legal(&d.netlist, &r.placement).is_legal());
+    }
+
+    #[test]
+    fn stage_budgets_stop_gp_and_dp_early() {
+        let d = design();
+        let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        cfg.budgets.gp_seconds = Some(0.0);
+        cfg.budgets.dp_seconds = Some(0.0);
+        let r = DreamPlacer::new(cfg).place(&d).expect("budgets degrade");
+        assert_eq!(r.gp.iterations, 0, "gp must stop at its budget");
+        assert!(
+            r.degradations
+                .for_stage(FlowStage::Dp)
+                .any(|e| e.trigger == DegradationTrigger::BudgetExhausted),
+            "{}",
+            r.degradations
+        );
+        assert!(check_legal(&d.netlist, &r.placement).is_legal());
+    }
+
+    fn design_with_macros() -> GeneratedDesign<f64> {
+        GeneratorConfig::new("flow-macros", 300, 330)
+            .with_seed(12)
+            .with_utilization(0.6)
+            .with_macros(2, 0.1)
+            .generate::<f64>()
+            .expect("ok")
+    }
+
+    #[test]
+    fn sanitizer_repairs_out_of_core_fixed_cell() {
+        let mut d = design_with_macros();
+        let c = d.netlist.num_movable();
+        d.fixed_positions.x[c] = d.netlist.region().xh + 100.0;
+        let cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        let r = DreamPlacer::new(cfg).place(&d).expect("repaired and placed");
+        assert!(
+            r.sanitize
+                .finding(crate::sanitize::SanitizeIssue::FixedCellOutsideCore)
+                .is_some(),
+            "{}",
+            r.sanitize
+        );
+        assert!(r.hpwl_final.is_finite());
+    }
+
+    #[test]
+    fn sanitizer_fatal_report_aborts_flow() {
+        let mut d = design_with_macros();
+        d.fixed_positions.x[d.netlist.num_movable()] = f64::NAN;
+        let cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        let err = DreamPlacer::new(cfg).place(&d).expect_err("fatal");
+        match err {
+            FlowError::Sanitize(ref report) => assert!(report.is_fatal()),
+            ref other => panic!("unexpected error {other}"),
+        }
+        assert!(
+            err.diagnosis().starts_with("sanitize:"),
+            "{}",
+            err.diagnosis()
+        );
     }
 }

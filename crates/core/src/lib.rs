@@ -47,11 +47,16 @@
 pub mod flow;
 pub mod modes;
 pub mod routability;
+pub mod sanitize;
 pub mod timing_driven;
 pub mod viz;
 
-pub use flow::{DreamPlacer, FlowConfig, FlowError, FlowResult, FlowTiming, GpFallback};
+pub use flow::{
+    DegradationEvent, DegradationFallback, DegradationTrigger, DreamPlacer, FlowConfig,
+    FlowDegradations, FlowError, FlowResult, FlowStage, FlowTiming, GpFallback, StageBudgets,
+};
 pub use modes::ToolMode;
+pub use sanitize::{sanitize_design, SanitizeFinding, SanitizeIssue, SanitizeReport};
 pub use routability::{RoutabilityConfig, RoutabilityPlacer, RoutabilityResult};
 pub use timing_driven::{
     TimingDrivenConfig, TimingDrivenPlacer, TimingDrivenResult, TimingSummary,

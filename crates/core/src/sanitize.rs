@@ -1,0 +1,440 @@
+//! Design sanitizer: classifies malformed-design findings as repairable or
+//! fatal before the flow touches the numerics.
+//!
+//! Runs after Bookshelf parsing (which deliberately stays byte-faithful)
+//! and before global placement. Repairable findings are fixed in a copy of
+//! the design — the input is never mutated — and summarized in a
+//! [`SanitizeReport`] attached to the flow result; fatal findings abort
+//! the flow with `FlowError::Sanitize` before any stage can trip over
+//! them.
+//!
+//! The clean path is free: a design with no findings is only scanned, and
+//! `None` is returned instead of a rebuilt copy, so golden regressions
+//! stay bit-identical.
+
+use std::fmt;
+
+use dp_netlist::{Netlist, NetlistBuilder, Placement};
+use dp_num::Float;
+
+/// One class of design defect the sanitizer recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanitizeIssue {
+    /// A fixed cell's rectangle extends outside the core region
+    /// (repairable: the cell is clamped inside).
+    FixedCellOutsideCore,
+    /// A pin offset lies outside its cell's rectangle (repairable: the
+    /// offset is clamped to the cell's half-extent).
+    PinOffsetOutsideCell,
+    /// A net carries duplicate pins — same cell, same offset (repairable:
+    /// duplicates beyond the first are dropped).
+    DuplicatePins,
+    /// A movable cell is wider or taller than the core region
+    /// (repairable: the cell is shrunk to fit).
+    OversizedMovable,
+    /// A cell has a non-finite or negative width/height (fatal: no
+    /// geometric repair is meaningful).
+    NonFiniteCellSize,
+    /// A fixed cell has a non-finite position (fatal: its blockage
+    /// footprint is undefined).
+    NonFiniteFixedPosition,
+    /// The netlist carries no row grid, so legalization cannot run
+    /// (fatal for the full flow).
+    MissingRows,
+    /// The core region has zero, negative, or non-finite extent (fatal).
+    DegenerateRegion,
+}
+
+impl SanitizeIssue {
+    /// Whether the flow must abort on this issue.
+    pub fn is_fatal(self) -> bool {
+        matches!(
+            self,
+            SanitizeIssue::NonFiniteCellSize
+                | SanitizeIssue::NonFiniteFixedPosition
+                | SanitizeIssue::MissingRows
+                | SanitizeIssue::DegenerateRegion
+        )
+    }
+
+    /// Short label for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            SanitizeIssue::FixedCellOutsideCore => "fixed-cell-outside-core",
+            SanitizeIssue::PinOffsetOutsideCell => "pin-offset-outside-cell",
+            SanitizeIssue::DuplicatePins => "duplicate-pins",
+            SanitizeIssue::OversizedMovable => "oversized-movable",
+            SanitizeIssue::NonFiniteCellSize => "non-finite-cell-size",
+            SanitizeIssue::NonFiniteFixedPosition => "non-finite-fixed-position",
+            SanitizeIssue::MissingRows => "missing-rows",
+            SanitizeIssue::DegenerateRegion => "degenerate-region",
+        }
+    }
+}
+
+impl fmt::Display for SanitizeIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One sanitizer finding: an issue class plus how many instances were
+/// seen and whether they were repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SanitizeFinding {
+    /// The defect class.
+    pub issue: SanitizeIssue,
+    /// Number of instances (cells, pins, or nets depending on the issue).
+    pub count: usize,
+    /// Whether the instances were repaired in the returned design copy
+    /// (always `false` for fatal issues).
+    pub repaired: bool,
+}
+
+impl fmt::Display for SanitizeFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = if self.repaired {
+            "repaired"
+        } else if self.issue.is_fatal() {
+            "fatal"
+        } else {
+            "found"
+        };
+        write!(f, "{} x{} ({status})", self.issue, self.count)
+    }
+}
+
+/// Structured result of a sanitizer run; attached to the flow result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Every finding, fatal or repaired.
+    pub findings: Vec<SanitizeFinding>,
+}
+
+impl SanitizeReport {
+    /// True when the design had no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// True when any finding is fatal — the flow must abort.
+    pub fn is_fatal(&self) -> bool {
+        self.findings.iter().any(|f| f.issue.is_fatal())
+    }
+
+    /// Findings of a given class, if present.
+    pub fn finding(&self, issue: SanitizeIssue) -> Option<&SanitizeFinding> {
+        self.findings.iter().find(|f| f.issue == issue)
+    }
+
+    fn push(&mut self, issue: SanitizeIssue, count: usize, repaired: bool) {
+        if count > 0 {
+            self.findings.push(SanitizeFinding {
+                issue,
+                count,
+                repaired,
+            });
+        }
+    }
+}
+
+impl fmt::Display for SanitizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "clean");
+        }
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A repaired design copy: the rebuilt netlist plus the (possibly
+/// clamped) fixed-cell positions.
+pub type RepairedDesign<T> = (Netlist<T>, Placement<T>);
+
+/// Scans a design for defects and repairs the repairable ones.
+///
+/// Returns the report plus `Some((netlist, fixed_positions))` when repairs
+/// changed the design; `None` means the inputs can be used as-is (either
+/// clean, or only fatal findings — check [`SanitizeReport::is_fatal`]).
+pub fn sanitize_design<T: Float>(
+    nl: &Netlist<T>,
+    fixed: &Placement<T>,
+) -> (SanitizeReport, Option<RepairedDesign<T>>) {
+    let mut report = SanitizeReport::default();
+    let region = nl.region();
+
+    // --- fatal scans -----------------------------------------------------
+    let (rw, rh) = (region.width().to_f64(), region.height().to_f64());
+    if !rw.is_finite() || !rh.is_finite() || rw <= 0.0 || rh <= 0.0 {
+        report.push(SanitizeIssue::DegenerateRegion, 1, false);
+    }
+    if nl.rows().is_none() {
+        report.push(SanitizeIssue::MissingRows, 1, false);
+    }
+    let bad_sizes = (0..nl.num_cells())
+        .filter(|&c| {
+            let (w, h) = (nl.cell_widths()[c].to_f64(), nl.cell_heights()[c].to_f64());
+            !w.is_finite() || !h.is_finite() || w < 0.0 || h < 0.0
+        })
+        .count();
+    report.push(SanitizeIssue::NonFiniteCellSize, bad_sizes, false);
+    let bad_fixed = (nl.num_movable()..nl.num_cells())
+        .filter(|&c| !fixed.x[c].to_f64().is_finite() || !fixed.y[c].to_f64().is_finite())
+        .count();
+    report.push(SanitizeIssue::NonFiniteFixedPosition, bad_fixed, false);
+    if report.is_fatal() {
+        // Geometry is undefined; repair scans below would misclassify.
+        return (report, None);
+    }
+
+    // --- repairable scans ------------------------------------------------
+    // Oversized movables: wider/taller than the core can ever host.
+    let mut oversized = 0usize;
+    let mut widths: Vec<T> = nl.cell_widths().to_vec();
+    let mut heights: Vec<T> = nl.cell_heights().to_vec();
+    for c in 0..nl.num_movable() {
+        let shrink_w = widths[c] > region.width();
+        let shrink_h = heights[c] > region.height();
+        if shrink_w || shrink_h {
+            oversized += 1;
+            if shrink_w {
+                widths[c] = region.width();
+            }
+            if shrink_h {
+                heights[c] = region.height();
+            }
+        }
+    }
+
+    // Pin offsets outside the (possibly shrunk) cell rectangle, and
+    // duplicate pins (same cell, same offset) within a net.
+    let mut clamped_pins = 0usize;
+    let mut duplicate_pins = 0usize;
+    for net in nl.nets() {
+        let mut seen: Vec<(usize, T, T)> = Vec::new();
+        for &p in nl.net_pins(net) {
+            let cell = nl.pin_cell(p).index();
+            let (dx, dy) = nl.pin_offset(p);
+            let (hx, hy) = (widths[cell] * T::HALF, heights[cell] * T::HALF);
+            let (cx, cy) = (dx.clamp(-hx, hx), dy.clamp(-hy, hy));
+            if cx != dx || cy != dy {
+                clamped_pins += 1;
+            }
+            if seen.iter().any(|&(c, x, y)| c == cell && x == cx && y == cy) {
+                duplicate_pins += 1;
+            } else {
+                seen.push((cell, cx, cy));
+            }
+        }
+    }
+
+    // Fixed cells poking outside the core: clamp the center so the
+    // rectangle fits (cells larger than the core center on it).
+    let mut clamped_fixed = 0usize;
+    let mut fixed_repaired = fixed.clone();
+    for c in nl.num_movable()..nl.num_cells() {
+        let (hx, hy) = (
+            nl.cell_widths()[c] * T::HALF,
+            nl.cell_heights()[c] * T::HALF,
+        );
+        let lo_x = (region.xl + hx).min(region.xh - hx);
+        let hi_x = (region.xh - hx).max(region.xl + hx);
+        let lo_y = (region.yl + hy).min(region.yh - hy);
+        let hi_y = (region.yh - hy).max(region.yl + hy);
+        let nx = fixed.x[c].clamp(lo_x, hi_x);
+        let ny = fixed.y[c].clamp(lo_y, hi_y);
+        if nx != fixed.x[c] || ny != fixed.y[c] {
+            clamped_fixed += 1;
+            fixed_repaired.x[c] = nx;
+            fixed_repaired.y[c] = ny;
+        }
+    }
+
+    report.push(SanitizeIssue::OversizedMovable, oversized, true);
+    report.push(SanitizeIssue::PinOffsetOutsideCell, clamped_pins, true);
+    report.push(SanitizeIssue::DuplicatePins, duplicate_pins, true);
+    report.push(SanitizeIssue::FixedCellOutsideCore, clamped_fixed, true);
+
+    let needs_rebuild = oversized > 0 || clamped_pins > 0 || duplicate_pins > 0;
+    if !needs_rebuild && clamped_fixed == 0 {
+        return (report, None);
+    }
+
+    let repaired_nl = if needs_rebuild {
+        match rebuild_repaired(nl, &widths, &heights) {
+            Ok(rebuilt) => rebuilt,
+            Err(_) => {
+                // The builder refused the repaired design; treat as fatal
+                // rather than silently proceeding with the broken one.
+                report.push(SanitizeIssue::DegenerateRegion, 1, false);
+                return (report, None);
+            }
+        }
+    } else {
+        nl.clone()
+    };
+    (report, Some((repaired_nl, fixed_repaired)))
+}
+
+/// Rebuilds the netlist with repaired sizes, clamped pin offsets, and
+/// duplicate pins dropped. Cell and net order is preserved, so movable /
+/// fixed indices (and thus `fixed_positions`) stay valid.
+fn rebuild_repaired<T: Float>(
+    nl: &Netlist<T>,
+    widths: &[T],
+    heights: &[T],
+) -> Result<Netlist<T>, dp_netlist::NetlistError> {
+    let region = nl.region();
+    let mut b = NetlistBuilder::new(region.xl, region.yl, region.xh, region.yh)
+        .allow_degenerate_nets(true);
+    if let Some(rows) = nl.rows() {
+        b = b.with_rows(rows.clone());
+    }
+    let n_mov = nl.num_movable();
+    let cells: Vec<_> = (0..nl.num_cells())
+        .map(|c| {
+            if c < n_mov {
+                b.add_movable_cell(widths[c], heights[c])
+            } else {
+                b.add_fixed_cell(widths[c], heights[c])
+            }
+        })
+        .collect();
+    for net in nl.nets() {
+        let mut seen: Vec<(usize, T, T)> = Vec::new();
+        let mut pins = Vec::with_capacity(nl.net_pins(net).len());
+        for &p in nl.net_pins(net) {
+            let cell = nl.pin_cell(p).index();
+            let (dx, dy) = nl.pin_offset(p);
+            let (hx, hy) = (widths[cell] * T::HALF, heights[cell] * T::HALF);
+            let (cx, cy) = (dx.clamp(-hx, hx), dy.clamp(-hy, hy));
+            if seen.iter().any(|&(c, x, y)| c == cell && x == cx && y == cy) {
+                continue;
+            }
+            seen.push((cell, cx, cy));
+            pins.push((cells[cell], cx, cy));
+        }
+        b.add_net(nl.net_weight(net), pins)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use dp_gen::GeneratorConfig;
+
+    fn clean_design() -> dp_gen::GeneratedDesign<f64> {
+        // Includes fixed macros so fixed-cell scans have cells to check.
+        GeneratorConfig::new("sane", 80, 90)
+            .with_seed(5)
+            .with_macros(2, 0.1)
+            .generate::<f64>()
+            .expect("ok")
+    }
+
+    #[test]
+    fn clean_design_returns_no_copy() {
+        let d = clean_design();
+        let (report, repaired) = sanitize_design(&d.netlist, &d.fixed_positions);
+        assert!(report.is_clean(), "{report}");
+        assert!(repaired.is_none());
+    }
+
+    #[test]
+    fn fixed_cell_outside_core_is_clamped() {
+        let d = clean_design();
+        let mut fixed = d.fixed_positions.clone();
+        let c = d.netlist.num_movable();
+        let region = d.netlist.region();
+        fixed.x[c] = region.xh + 50.0; // push one fixed cell far outside
+        let (report, repaired) = sanitize_design(&d.netlist, &fixed);
+        let f = report
+            .finding(SanitizeIssue::FixedCellOutsideCore)
+            .expect("found");
+        assert!(f.repaired && f.count >= 1);
+        let (_, fixed2) = repaired.expect("repaired copy");
+        let hx = d.netlist.cell_widths()[c] * 0.5;
+        assert!(fixed2.x[c] + hx <= region.xh + 1e-9);
+    }
+
+    #[test]
+    fn duplicate_pins_are_dropped() {
+        use dp_netlist::{NetlistBuilder, RowGrid};
+        let rows = RowGrid::uniform(0.0, 0.0, 40.0, 16.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 40.0, 16.0)
+            .with_rows(rows)
+            .allow_degenerate_nets(true);
+        let a = b.add_movable_cell(4.0, 8.0);
+        let c = b.add_movable_cell(4.0, 8.0);
+        b.add_net(
+            1.0,
+            vec![(a, 0.0, 0.0), (a, 0.0, 0.0), (a, 0.0, 0.0), (c, 0.0, 0.0)],
+        )
+        .expect("valid");
+        let nl = b.build().expect("valid");
+        let fixed = Placement::zeros(nl.num_cells());
+        let (report, repaired) = sanitize_design(&nl, &fixed);
+        let f = report.finding(SanitizeIssue::DuplicatePins).expect("found");
+        assert_eq!(f.count, 2);
+        let (nl2, _) = repaired.expect("repaired copy");
+        assert_eq!(nl2.num_pins(), nl.num_pins() - 2);
+        assert_eq!(nl2.num_nets(), nl.num_nets());
+    }
+
+    #[test]
+    fn oversized_movable_is_shrunk_and_pins_reclamped() {
+        use dp_netlist::{NetlistBuilder, RowGrid};
+        let rows = RowGrid::uniform(0.0, 0.0, 40.0, 16.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 40.0, 16.0).with_rows(rows);
+        let a = b.add_movable_cell(200.0, 8.0); // wider than the 40-unit core
+        let c = b.add_movable_cell(4.0, 8.0);
+        b.add_net(1.0, vec![(a, 90.0, 0.0), (c, 0.0, 0.0)]).expect("valid");
+        let nl = b.build().expect("valid");
+        let fixed = Placement::zeros(nl.num_cells());
+        let (report, repaired) = sanitize_design(&nl, &fixed);
+        assert!(report.finding(SanitizeIssue::OversizedMovable).is_some());
+        // The 90-unit pin offset now exceeds the shrunk 40-unit width.
+        assert!(report.finding(SanitizeIssue::PinOffsetOutsideCell).is_some());
+        let (nl2, _) = repaired.expect("repaired copy");
+        assert_eq!(nl2.cell_widths()[0], 40.0);
+        for net in nl2.nets() {
+            for &p in nl2.net_pins(net) {
+                let cell = nl2.pin_cell(p).index();
+                let (dx, _) = nl2.pin_offset(p);
+                assert!(dx.abs() <= nl2.cell_widths()[cell] * 0.5 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_fixed_position_is_fatal() {
+        let d = clean_design();
+        let mut fixed = d.fixed_positions.clone();
+        fixed.y[d.netlist.num_movable()] = f64::NAN;
+        let (report, repaired) = sanitize_design(&d.netlist, &fixed);
+        assert!(report.is_fatal());
+        assert!(repaired.is_none());
+        assert!(report
+            .finding(SanitizeIssue::NonFiniteFixedPosition)
+            .is_some());
+    }
+
+    #[test]
+    fn report_display_is_one_line() {
+        let d = clean_design();
+        let mut fixed = d.fixed_positions.clone();
+        fixed.x[d.netlist.num_movable()] = 1e9;
+        let (report, _) = sanitize_design(&d.netlist, &fixed);
+        let s = report.to_string();
+        assert!(s.contains("fixed-cell-outside-core"), "{s}");
+        assert!(!s.contains('\n'));
+    }
+}

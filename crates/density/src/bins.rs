@@ -78,20 +78,26 @@ pub struct BinGrid<T> {
 }
 
 impl<T: Float> BinGrid<T> {
-    /// Creates a grid with `mx x my` bins (both powers of two, `my >= 4`,
-    /// to satisfy the fast-transform plans downstream) over a region with
-    /// positive area.
+    /// Creates a grid with `mx x my` bins (both powers of two, down to a
+    /// single bin per axis) over a region with positive area.
+    ///
+    /// Shapes below the spectral solver's minimum (`mx >= 2`, `my >= 4`)
+    /// are accepted: [`BinGrid::supports_spectral_solve`] reports whether
+    /// the fast-transform plans can run on this grid, and the density
+    /// operator degrades to a uniform-field mode (zero field, zero energy)
+    /// when they cannot — the physically correct answer for a density map
+    /// the grid cannot resolve.
     ///
     /// # Errors
     ///
-    /// Returns [`GridError::Transform`] for unsupported bin counts and
+    /// Returns [`GridError::Transform`] for non-power-of-two bin counts and
     /// [`GridError::DegenerateRegion`] when the region has no area (which
     /// would make every bin zero-sized).
     pub fn new(region: Rect<T>, mx: usize, my: usize) -> Result<Self, GridError> {
-        if !(mx >= 2 && mx.is_power_of_two()) {
+        if !mx.is_power_of_two() {
             return Err(TransformError::NonPowerOfTwo { n: mx }.into());
         }
-        if !(my >= 4 && my.is_power_of_two()) {
+        if !my.is_power_of_two() {
             return Err(TransformError::NonPowerOfTwo { n: my }.into());
         }
         let (w, h) = (region.width().to_f64(), region.height().to_f64());
@@ -132,6 +138,13 @@ impl<T: Float> BinGrid<T> {
     /// Total number of bins.
     pub fn num_bins(&self) -> usize {
         self.mx * self.my
+    }
+
+    /// Whether the fast-transform plans downstream support this shape
+    /// (`mx >= 2` and `my >= 4`). Below that, the spectral Poisson solve
+    /// cannot run and density operators fall back to a uniform field.
+    pub fn supports_spectral_solve(&self) -> bool {
+        self.mx >= 2 && self.my >= 4
     }
 
     /// Bin width in layout units.
@@ -198,10 +211,38 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_dimensions() {
+    fn rejects_non_power_of_two_dimensions() {
         let r = Rect::new(0.0f64, 0.0, 10.0, 10.0);
         assert!(BinGrid::new(r, 3, 8).is_err());
-        assert!(BinGrid::new(r, 8, 2).is_err());
+        assert!(BinGrid::new(r, 8, 6).is_err());
+        assert!(BinGrid::new(r, 0, 8).is_err());
+        assert!(BinGrid::new(r, 8, 0).is_err());
+    }
+
+    #[test]
+    fn sub_spectral_shapes_build_but_report_no_solve_support() {
+        // The formerly-erroring degenerate shapes: each builds into a
+        // usable grid (overflow and bin lookups work) that reports the
+        // spectral solve as unsupported.
+        let r = Rect::new(0.0f64, 0.0, 10.0, 10.0);
+        for (mx, my) in [(1, 1), (1, 4), (2, 1), (8, 2)] {
+            let g = BinGrid::new(r, mx, my).unwrap_or_else(|e| panic!("({mx},{my}): {e}"));
+            assert!(!g.supports_spectral_solve(), "({mx},{my})");
+            assert_eq!(g.num_bins(), mx * my);
+            let (is, js) = g.overlapped_bins(&Rect::new(1.0, 1.0, 9.0, 9.0));
+            assert_eq!(is, 0..mx);
+            assert_eq!(js, 0..my);
+            let mut total = 0.0;
+            for i in 0..g.mx() {
+                for j in 0..g.my() {
+                    total += g.bin_rect(i, j).area();
+                }
+            }
+            assert!((total - r.area()).abs() < 1e-9, "({mx},{my})");
+        }
+        // The minimum spectral shape still reports support.
+        let g = BinGrid::new(r, 2, 4).expect("minimal spectral shape");
+        assert!(g.supports_spectral_solve());
     }
 
     #[test]

@@ -28,7 +28,10 @@ use crate::map::{smoothed_footprint, DensityMapBuilder, DensityStrategy};
 /// See the crate-level example.
 pub struct DensityOp<T: Float> {
     builder: DensityMapBuilder<T>,
-    solver: ElectroField<T>,
+    /// `None` on grids below the spectral minimum ([`BinGrid::
+    /// supports_spectral_solve`]): the operator then runs in uniform-field
+    /// mode — zero energy, zero field, overflow still exact.
+    solver: Option<ElectroField<T>>,
     target_density: T,
     fixed_map: Option<Vec<T>>,
     /// Optional movable-cell mask (fence regions): only masked cells carry
@@ -62,6 +65,14 @@ impl<T: Float> DensityOp<T> {
 
     /// Creates the operator with an explicit DCT tier (Fig. 11/12 benches).
     ///
+    /// On grids below the spectral minimum (single-bin shapes like
+    /// `(1, 1)`/`(1, 4)`/`(2, 1)`) no transform plan is built and the
+    /// operator runs in **uniform-field mode**: the density a sub-minimum
+    /// grid resolves is constant per bin row/column, so the correct field
+    /// is zero everywhere — forward returns zero energy, backward adds no
+    /// force, and only [`DensityOp::overflow`] (which needs no solve)
+    /// stays active. [`DensityOp::is_uniform_field`] reports the mode.
+    ///
     /// # Errors
     ///
     /// Returns [`TransformError`] if the grid shape is unsupported.
@@ -79,7 +90,11 @@ impl<T: Float> DensityOp<T> {
             target_density > T::ZERO && target_density <= T::ONE,
             "target density must be in (0, 1]"
         );
-        let solver = ElectroField::new(&grid, backend)?;
+        let solver = if grid.supports_spectral_solve() {
+            Some(ElectroField::new(&grid, backend)?)
+        } else {
+            None
+        };
         Ok(Self {
             builder: DensityMapBuilder::new(grid, strategy),
             solver,
@@ -109,6 +124,12 @@ impl<T: Float> DensityOp<T> {
     /// The bin grid.
     pub fn grid(&self) -> &BinGrid<T> {
         self.builder.grid()
+    }
+
+    /// `true` when the grid is below the spectral minimum and the operator
+    /// degraded to the uniform-field mode (zero energy and force).
+    pub fn is_uniform_field(&self) -> bool {
+        self.solver.is_none()
     }
 
     /// The target density `d_t`.
@@ -232,20 +253,29 @@ impl<T: Float> Operator<T> for DensityOp<T> {
 
     fn forward(&mut self, nl: &Netlist<T>, p: &Placement<T>, ctx: &mut ExecCtx<T>) -> T {
         let t0 = ctx.op_timer();
+        if self.solver.is_none() {
+            // Uniform-field mode: a sub-minimum grid cannot resolve a
+            // non-uniform density, so field and energy are identically
+            // zero; there is nothing to scatter or solve.
+            ctx.record_op("density.forward", t0);
+            return T::ZERO;
+        }
         let pool = Arc::clone(ctx.pool());
         let bins_reused = self.builder.bins_bytes() > 0;
-        let dct_reused = self.solver.scratch_bytes() > 0;
+        let dct_reused = self.solver.as_ref().is_some_and(|s| s.scratch_bytes() > 0);
         let sol_reused = self.cache.is_some();
         let mut rho = ctx.lease("density.rho", self.grid().num_bins());
         self.charge_map_into(nl, p, &pool, &mut rho);
         // Reuse the previous solution's buffers as the solve target.
         let mut sol = self.cache.take().unwrap_or_default();
-        self.solver.solve_into(&rho, &mut sol);
+        if let Some(solver) = &mut self.solver {
+            solver.solve_into(&rho, &mut sol);
+        }
         let energy = sol.energy;
         ctx.note_workspace("density.bins", self.builder.bins_bytes(), bins_reused);
         ctx.note_workspace(
             "density.dct_scratch",
-            self.solver.scratch_bytes(),
+            self.solver.as_ref().map_or(0, |s| s.scratch_bytes()),
             dct_reused,
         );
         ctx.note_workspace("density.solution", sol.bytes(), sol_reused);
@@ -267,7 +297,9 @@ impl<T: Float> Operator<T> for DensityOp<T> {
         }
         let t0 = ctx.op_timer();
         let Some(sol) = self.cache.take() else {
-            return; // unreachable: forward above always populates the cache
+            // Uniform-field mode never populates the cache: the force is
+            // identically zero, so the gradient is untouched.
+            return;
         };
         let pool = Arc::clone(ctx.pool());
         let grid = self.grid().clone();
@@ -485,6 +517,46 @@ mod tests {
     #[should_panic(expected = "target density")]
     fn rejects_bad_target_density() {
         let _ = DensityOp::<f64>::new(grid(8), DensityStrategy::Naive, 0.0);
+    }
+
+    fn uniform_mode_case(mx: usize, my: usize) {
+        let mut ctx = ExecCtx::serial();
+        let (nl, mut p) = two_cell_design();
+        p.x = vec![30.0, 34.0];
+        p.y = vec![32.0, 32.0];
+        let g = BinGrid::new(Rect::new(0.0, 0.0, 64.0, 64.0), mx, my).expect("degenerate shape");
+        let mut op = DensityOp::new(g, DensityStrategy::Sorted, 1.0).expect("uniform mode");
+        assert!(op.is_uniform_field(), "({mx},{my})");
+        // Forward/backward are exact zeros — the field a sub-minimum grid
+        // resolves is uniform — while overflow stays a real number.
+        let mut grad = Gradient::zeros(2);
+        let energy = op.forward_backward(&nl, &p, &mut grad, &mut ctx);
+        assert_eq!(energy, 0.0, "({mx},{my})");
+        assert!(grad.x.iter().chain(&grad.y).all(|&v| v == 0.0));
+        let tau = op.overflow(&nl, &p, &mut ctx);
+        assert!(tau.is_finite() && tau >= 0.0, "({mx},{my}): tau {tau}");
+    }
+
+    #[test]
+    fn single_bin_grid_runs_in_uniform_field_mode() {
+        uniform_mode_case(1, 1);
+    }
+
+    #[test]
+    fn one_column_grid_runs_in_uniform_field_mode() {
+        uniform_mode_case(1, 4);
+    }
+
+    #[test]
+    fn one_row_grid_runs_in_uniform_field_mode() {
+        uniform_mode_case(2, 1);
+    }
+
+    #[test]
+    fn spectral_capable_grid_is_not_uniform_mode() {
+        let g = BinGrid::new(Rect::new(0.0, 0.0, 64.0, 64.0), 2, 4).expect("minimal");
+        let op = DensityOp::new(g, DensityStrategy::Sorted, 1.0).expect("plan");
+        assert!(!op.is_uniform_field());
     }
 
     #[test]

@@ -255,6 +255,7 @@ impl BatchedDetailedPlacer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;

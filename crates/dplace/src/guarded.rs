@@ -1,0 +1,268 @@
+//! Guarded detailed-placement driver: per-pass quality gates with
+//! revert-to-snapshot and pass disabling.
+//!
+//! Every DP operator in this crate commits only HPWL-improving moves, so a
+//! pass that *worsens* HPWL signals a defect (or injected fault). The
+//! guarded driver snapshots the placement around each pass, measures HPWL
+//! before/after, and on a worsening beyond [`DetailedPlacer::hpwl_tolerance`]
+//! reverts the snapshot and disables that pass for the rest of the run —
+//! the other operators keep optimizing. A wall-clock budget
+//! ([`DetailedPlacer::max_seconds`]) stops the run between passes.
+//!
+//! Off the failure path the driver is bit-identical to
+//! [`DetailedPlacer::run`]: it executes the same pass sequence with the
+//! same parameters and stopping rule, and the extra HPWL evaluations do
+//! not mutate the placement.
+
+use std::fmt;
+use std::time::Instant;
+
+use dp_netlist::{hpwl, Netlist, Placement};
+use dp_num::Float;
+
+use crate::{global_swap, independent_set_matching, local_reorder, DetailedPlacer, DpStats};
+
+/// One of the three detailed-placement operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpPass {
+    /// Pairwise swaps of equal-size cells toward optimal regions.
+    GlobalSwap,
+    /// Sliding-window re-sequencing within rows.
+    LocalReorder,
+    /// Batched same-size slot assignment via the Hungarian solver.
+    IndependentSetMatching,
+}
+
+impl DpPass {
+    /// Stable index for per-pass bookkeeping.
+    fn index(self) -> usize {
+        match self {
+            DpPass::GlobalSwap => 0,
+            DpPass::LocalReorder => 1,
+            DpPass::IndependentSetMatching => 2,
+        }
+    }
+
+    /// The three passes in driver order.
+    pub const ALL: [DpPass; 3] = [
+        DpPass::GlobalSwap,
+        DpPass::LocalReorder,
+        DpPass::IndependentSetMatching,
+    ];
+}
+
+impl fmt::Display for DpPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpPass::GlobalSwap => write!(f, "global_swap"),
+            DpPass::LocalReorder => write!(f, "local_reorder"),
+            DpPass::IndependentSetMatching => write!(f, "independent_set_matching"),
+        }
+    }
+}
+
+/// Fault injection for exercising the DP degradation ladder in tests. Off
+/// by default; never set in production flows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpFaultInjection {
+    /// After the named pass first runs, swap two equal-size movable cells
+    /// so the pass appears to have worsened HPWL (legality-preserving by
+    /// identical footprint). The guard must catch and revert it.
+    pub worsen_pass: Option<DpPass>,
+}
+
+/// What the guard did during a [`DetailedPlacer::run_guarded`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DpGuardReport {
+    /// Passes disabled after worsening HPWL, with the relative worsening
+    /// that triggered the gate.
+    pub disabled: Vec<(DpPass, f64)>,
+    /// Snapshot reverts performed (one per disabled pass).
+    pub reverts: usize,
+    /// The wall-clock budget stopped the run early.
+    pub budget_exhausted: bool,
+}
+
+impl DpGuardReport {
+    /// True when no guard fired — the run matched the unguarded driver.
+    pub fn is_clean(&self) -> bool {
+        self.disabled.is_empty() && self.reverts == 0 && !self.budget_exhausted
+    }
+}
+
+impl DetailedPlacer {
+    /// Runs detailed placement with per-pass quality gates; see the
+    /// [module docs](crate::guarded). The placement must be legal;
+    /// all operators (and the guard's reverts) keep it legal.
+    pub fn run_guarded<T: Float>(
+        &self,
+        nl: &Netlist<T>,
+        p: &mut Placement<T>,
+    ) -> (DpStats, DpGuardReport) {
+        let t0 = Instant::now();
+        let initial = hpwl(nl, p).to_f64();
+        let mut moves = 0usize;
+        let mut enabled = [true; 3];
+        let mut report = DpGuardReport::default();
+        let mut injected = self.fault_injection.worsen_pass;
+
+        'rounds: for _ in 0..self.max_rounds {
+            let before_moves = moves;
+            for pass in DpPass::ALL {
+                if !enabled[pass.index()] {
+                    continue;
+                }
+                if let Some(budget) = self.max_seconds {
+                    if t0.elapsed().as_secs_f64() >= budget {
+                        report.budget_exhausted = true;
+                        break 'rounds;
+                    }
+                }
+                let snapshot = p.clone();
+                let before = hpwl(nl, p).to_f64();
+                let pass_moves = match pass {
+                    DpPass::GlobalSwap => global_swap(nl, p),
+                    DpPass::LocalReorder => local_reorder(nl, p, self.window),
+                    DpPass::IndependentSetMatching => {
+                        independent_set_matching(nl, p, self.ism_batch.clamp(2, 16))
+                    }
+                };
+                if injected == Some(pass) {
+                    injected = None;
+                    inject_worsening_swaps(nl, p, before * (1.0 + 1e-6) + 1e-6);
+                }
+                let after = hpwl(nl, p).to_f64();
+                let limit = before * (1.0 + self.hpwl_tolerance) + self.hpwl_tolerance;
+                // `after > limit` would miss NaN; the gate must also fire
+                // when the pass went non-finite.
+                let within = matches!(
+                    after.partial_cmp(&limit),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                );
+                if !within {
+                    // Worsened (or went non-finite): revert and disable.
+                    *p = snapshot;
+                    enabled[pass.index()] = false;
+                    report.reverts += 1;
+                    report
+                        .disabled
+                        .push((pass, (after - before) / before.max(1.0)));
+                } else {
+                    moves += pass_moves;
+                }
+            }
+            if moves == before_moves {
+                break;
+            }
+        }
+        (
+            DpStats {
+                initial_hpwl: initial,
+                final_hpwl: hpwl(nl, p).to_f64(),
+                moves,
+                runtime: t0.elapsed().as_secs_f64(),
+            },
+            report,
+        )
+    }
+}
+
+/// Swaps positions of equal-size movable cells, keeping each swap that
+/// increases HPWL, until HPWL exceeds `target` (fault injection only).
+/// Identical footprints keep the placement legal. No-op if no worsening
+/// pairs exist among the scanned cells.
+fn inject_worsening_swaps<T: Float>(nl: &Netlist<T>, p: &mut Placement<T>, target: f64) {
+    let n = nl.num_movable().min(128);
+    let mut current = hpwl(nl, p).to_f64();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if nl.cell_widths()[i] == nl.cell_widths()[j]
+                && nl.cell_heights()[i] == nl.cell_heights()[j]
+            {
+                p.x.swap(i, j);
+                p.y.swap(i, j);
+                let trial = hpwl(nl, p).to_f64();
+                if trial > current {
+                    current = trial;
+                    if current > target {
+                        return;
+                    }
+                } else {
+                    p.x.swap(i, j);
+                    p.y.swap(i, j);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use dp_gen::GeneratorConfig;
+    use dp_gp::initial_placement;
+    use dp_lg::{check_legal, Legalizer};
+
+    fn legalized_design(seed: u64) -> (dp_netlist::Netlist<f64>, Placement<f64>) {
+        let d = GeneratorConfig::new("guard", 250, 270)
+            .with_seed(seed)
+            .with_utilization(0.55)
+            .generate::<f64>()
+            .expect("ok");
+        let mut p = initial_placement(&d.netlist, &d.fixed_positions, 0.05, 2);
+        Legalizer::new()
+            .legalize(&d.netlist, &mut p)
+            .expect("legalizes");
+        (d.netlist, p)
+    }
+
+    /// The guarded driver must be bit-identical to `run` off the failure
+    /// path: same placement, same stats (runtime aside).
+    #[test]
+    fn clean_path_matches_unguarded_run_bit_for_bit() {
+        let (nl, p0) = legalized_design(21);
+        let mut a = p0.clone();
+        let mut b = p0;
+        let sa = DetailedPlacer::new().run(&nl, &mut a);
+        let (sb, report) = DetailedPlacer::new().run_guarded(&nl, &mut b);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+        assert_eq!(sa.final_hpwl, sb.final_hpwl);
+        assert_eq!(sa.moves, sb.moves);
+    }
+
+    #[test]
+    fn injected_worsening_pass_is_reverted_and_disabled() {
+        let (nl, p0) = legalized_design(22);
+        let mut placer = DetailedPlacer::new();
+        placer.fault_injection = DpFaultInjection {
+            worsen_pass: Some(DpPass::GlobalSwap),
+        };
+        let mut p = p0;
+        let (stats, report) = placer.run_guarded(&nl, &mut p);
+        assert_eq!(report.reverts, 1);
+        assert!(
+            report.disabled.iter().any(|(pass, worsening)| {
+                *pass == DpPass::GlobalSwap && *worsening > 0.0
+            }),
+            "{report:?}"
+        );
+        // The run survives: other passes keep improving, result stays legal.
+        assert!(stats.final_hpwl <= stats.initial_hpwl);
+        assert!(check_legal(&nl, &p).is_legal());
+    }
+
+    #[test]
+    fn zero_budget_stops_before_any_pass() {
+        let (nl, p0) = legalized_design(23);
+        let mut placer = DetailedPlacer::new();
+        placer.max_seconds = Some(0.0);
+        let mut p = p0.clone();
+        let (stats, report) = placer.run_guarded(&nl, &mut p);
+        assert!(report.budget_exhausted);
+        assert_eq!(stats.moves, 0);
+        assert_eq!(p.x, p0.x);
+    }
+}

@@ -93,6 +93,7 @@ pub fn hungarian(cost: &[Vec<f64>]) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};

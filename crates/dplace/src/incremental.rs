@@ -145,6 +145,7 @@ impl<T: Float> IncrementalHpwl<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::{hpwl, NetlistBuilder};

@@ -44,7 +44,7 @@ pub fn independent_set_matching<T: Float>(
         cells.sort_by(|&a, &b| {
             (p.y[a], p.x[a])
                 .partial_cmp(&(p.y[b], p.x[b]))
-                .expect("finite coordinates")
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
 
         let mut cursor = 0usize;
@@ -113,6 +113,7 @@ pub fn independent_set_matching<T: Float>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_lg::check_legal;

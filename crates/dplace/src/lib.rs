@@ -36,7 +36,10 @@
 //! # }
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod batched;
+pub mod guarded;
 pub mod hungarian;
 pub mod incremental;
 pub mod ism;
@@ -44,6 +47,7 @@ pub mod reorder;
 pub mod swap;
 
 pub use batched::{batched_global_swap, batched_global_swap_on, BatchedDetailedPlacer};
+pub use guarded::{DpFaultInjection, DpGuardReport, DpPass};
 pub use hungarian::hungarian;
 pub use incremental::IncrementalHpwl;
 pub use ism::independent_set_matching;
@@ -78,6 +82,13 @@ pub struct DetailedPlacer {
     pub window: usize,
     /// Batch size for independent-set matching (clamped to 16).
     pub ism_batch: usize,
+    /// Relative HPWL worsening tolerated per pass before the guarded
+    /// driver ([`DetailedPlacer::run_guarded`]) reverts and disables it.
+    pub hpwl_tolerance: f64,
+    /// Wall-clock budget for the guarded driver; checked between passes.
+    pub max_seconds: Option<f64>,
+    /// Fault injection for the guarded driver (tests only).
+    pub fault_injection: guarded::DpFaultInjection,
 }
 
 impl Default for DetailedPlacer {
@@ -86,6 +97,9 @@ impl Default for DetailedPlacer {
             max_rounds: 3,
             window: 3,
             ism_batch: 8,
+            hpwl_tolerance: 1e-9,
+            max_seconds: None,
+            fault_injection: guarded::DpFaultInjection::default(),
         }
     }
 }
@@ -121,6 +135,7 @@ impl DetailedPlacer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;

@@ -120,7 +120,7 @@ pub(crate) fn group_rows<T: Float>(nl: &Netlist<T>, p: &Placement<T>) -> Vec<Vec
 
     let mut out = Vec::new();
     for (_, mut row) in by_y {
-        row.sort_by(|&a, &b| p.x[a].partial_cmp(&p.x[b]).expect("finite coordinates"));
+        row.sort_by(|&a, &b| p.x[a].partial_cmp(&p.x[b]).unwrap_or(std::cmp::Ordering::Equal));
         if row.is_empty() {
             continue;
         }
@@ -166,6 +166,7 @@ fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_lg::check_legal;

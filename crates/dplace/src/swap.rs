@@ -131,7 +131,7 @@ pub(crate) fn optimal_position<T: Float>(
 }
 
 fn median<T: Float>(v: &mut [T]) -> T {
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     v[v.len() / 2]
 }
 
@@ -141,6 +141,7 @@ fn swap_positions<T: Float>(p: &mut Placement<T>, a: usize, b: usize) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_lg::check_legal;

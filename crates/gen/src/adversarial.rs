@@ -35,9 +35,10 @@ pub enum AdversarialCase {
     /// exercises the multi-field density operator and its masks.
     FenceRegions,
     /// A design whose natural grid is a single bin: the suggested bin
-    /// counts are below the spectral solver's minimum, which must surface
-    /// as a structured error, while the minimal *legal* grid leaves every
-    /// cell smaller than a bin (smoothing everywhere).
+    /// counts are below the spectral solver's minimum, which must build in
+    /// uniform-field mode (spectral solve skipped), while the minimal
+    /// *spectral* grid leaves every cell smaller than a bin (smoothing
+    /// everywhere).
     SingleBinGrid,
 }
 

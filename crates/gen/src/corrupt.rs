@@ -1,0 +1,222 @@
+//! Corrupted-design generator: well-formed designs degraded with the
+//! exact defect classes the flow's design sanitizer recognizes.
+//!
+//! Where [`crate::adversarial`] stresses the *numerics* (degenerate nets,
+//! zero-area cells, coincident pins), this module stresses the *design
+//! contract*: geometry that a sane Bookshelf writer would never emit but a
+//! real-world flow still meets — fixed cells outside the core, pins hung
+//! outside their cell, duplicated pins, movables wider than the die.
+//! Each helper starts from a healthy [`GeneratedDesign`] and injects one
+//! defect class, so a test can assert the sanitizer finds (and repairs or
+//! fatally reports) exactly that class.
+
+use dp_netlist::{NetlistBuilder, NetlistError};
+use dp_num::Float;
+
+use crate::generator::{GeneratedDesign, GeneratorConfig};
+
+/// One class of design-contract corruption, mirroring the sanitizer's
+/// repairable/fatal taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// A fixed macro pushed partly outside the core region (repairable:
+    /// the sanitizer clamps it back inside).
+    FixedOutsideCore,
+    /// A movable cell wider than the entire core (repairable: shrunk).
+    OversizedMovable,
+    /// Pin offsets far outside their cell's rectangle (repairable:
+    /// clamped to the half-extent).
+    PinOffsetsOutsideCell,
+    /// Nets carrying the same pin several times (repairable: duplicates
+    /// dropped).
+    DuplicatePins,
+    /// A fixed cell at a NaN position (fatal: its blockage footprint is
+    /// undefined).
+    NonFiniteFixedPosition,
+}
+
+impl CorruptKind {
+    /// Every corruption class, for exhaustive suites.
+    pub const ALL: [CorruptKind; 5] = [
+        CorruptKind::FixedOutsideCore,
+        CorruptKind::OversizedMovable,
+        CorruptKind::PinOffsetsOutsideCell,
+        CorruptKind::DuplicatePins,
+        CorruptKind::NonFiniteFixedPosition,
+    ];
+
+    /// Whether the flow sanitizer must abort on this class (rather than
+    /// repair it).
+    pub fn is_fatal(self) -> bool {
+        matches!(self, CorruptKind::NonFiniteFixedPosition)
+    }
+}
+
+impl std::fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CorruptKind::FixedOutsideCore => "fixed_outside_core",
+            CorruptKind::OversizedMovable => "oversized_movable",
+            CorruptKind::PinOffsetsOutsideCell => "pin_offsets_outside_cell",
+            CorruptKind::DuplicatePins => "duplicate_pins",
+            CorruptKind::NonFiniteFixedPosition => "non_finite_fixed_position",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Generates a healthy base design (with fixed macros) and injects the
+/// given corruption class.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the generator or the rebuild.
+pub fn corrupt_design<T: Float>(
+    kind: CorruptKind,
+    seed: u64,
+) -> Result<GeneratedDesign<T>, NetlistError> {
+    let base = GeneratorConfig::new(format!("corrupt-{kind}"), 160, 180)
+        .with_seed(seed)
+        .with_utilization(0.55)
+        .with_macros(2, 0.1)
+        .generate::<T>()?;
+    match kind {
+        CorruptKind::FixedOutsideCore => {
+            let mut d = base;
+            let c = d.netlist.num_movable();
+            // Push the first macro's center past the right core edge.
+            d.fixed_positions.x[c] =
+                d.netlist.region().xh + d.netlist.cell_widths()[c];
+            Ok(d)
+        }
+        CorruptKind::NonFiniteFixedPosition => {
+            let mut d = base;
+            let c = d.netlist.num_movable();
+            d.fixed_positions.y[c] = T::from_f64(f64::NAN);
+            Ok(d)
+        }
+        CorruptKind::OversizedMovable => rebuild(base, |nl, c, w, _h| {
+            // Make the first movable three cores wide.
+            if c == 0 {
+                nl.region().width() * T::from_f64(3.0)
+            } else {
+                w
+            }
+        }, |_net, pins| pins),
+        CorruptKind::PinOffsetsOutsideCell => rebuild(
+            base,
+            |_nl, _c, w, _h| w,
+            |net, mut pins| {
+                // Hang the first pin of every third net far outside its
+                // cell.
+                if net % 3 == 0 {
+                    if let Some(p) = pins.first_mut() {
+                        p.1 += T::from_f64(1e4);
+                    }
+                }
+                pins
+            },
+        ),
+        CorruptKind::DuplicatePins => rebuild(
+            base,
+            |_nl, _c, w, _h| w,
+            |net, mut pins| {
+                // Triplicate the first pin of every fourth net.
+                if net % 4 == 0 {
+                    if let Some(&p) = pins.first() {
+                        pins.push(p);
+                        pins.push(p);
+                    }
+                }
+                pins
+            },
+        ),
+    }
+}
+
+/// Rebuilds a design with per-cell width overrides and per-net pin
+/// rewrites, preserving cell and net order (so `fixed_positions` indices
+/// stay valid).
+#[allow(clippy::type_complexity)]
+fn rebuild<T: Float>(
+    base: GeneratedDesign<T>,
+    width_of: impl Fn(&dp_netlist::Netlist<T>, usize, T, T) -> T,
+    rewrite_pins: impl Fn(usize, Vec<(dp_netlist::BuilderCell, T, T)>) -> Vec<(dp_netlist::BuilderCell, T, T)>,
+) -> Result<GeneratedDesign<T>, NetlistError> {
+    let nl = &base.netlist;
+    let region = nl.region();
+    let mut b = NetlistBuilder::new(region.xl, region.yl, region.xh, region.yh)
+        .allow_degenerate_nets(true);
+    if let Some(rows) = nl.rows() {
+        b = b.with_rows(rows.clone());
+    }
+    let n_mov = nl.num_movable();
+    let cells: Vec<_> = (0..nl.num_cells())
+        .map(|c| {
+            let (w, h) = (nl.cell_widths()[c], nl.cell_heights()[c]);
+            let w = width_of(nl, c, w, h);
+            if c < n_mov {
+                b.add_movable_cell(w, h)
+            } else {
+                b.add_fixed_cell(w, h)
+            }
+        })
+        .collect();
+    for (i, net) in nl.nets().enumerate() {
+        let pins: Vec<_> = nl
+            .net_pins(net)
+            .iter()
+            .map(|&p| {
+                let (dx, dy) = nl.pin_offset(p);
+                (cells[nl.pin_cell(p).index()], dx, dy)
+            })
+            .collect();
+        b.add_net(nl.net_weight(net), rewrite_pins(i, pins))?;
+    }
+    Ok(GeneratedDesign {
+        name: base.name,
+        netlist: b.build()?,
+        fixed_positions: base.fixed_positions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_generates_deterministically() {
+        for kind in CorruptKind::ALL {
+            let a = corrupt_design::<f64>(kind, 3).expect("valid");
+            let b = corrupt_design::<f64>(kind, 3).expect("valid");
+            assert_eq!(a.netlist.stats(), b.netlist.stats(), "{kind}");
+            assert_eq!(a.fixed_positions.x.len(), a.netlist.num_cells());
+            assert_eq!(
+                a.fixed_positions.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.fixed_positions.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_outside_core_really_is_outside() {
+        let d = corrupt_design::<f64>(CorruptKind::FixedOutsideCore, 1).expect("valid");
+        let c = d.netlist.num_movable();
+        let hx = d.netlist.cell_widths()[c] * 0.5;
+        assert!(d.fixed_positions.x[c] + hx > d.netlist.region().xh);
+    }
+
+    #[test]
+    fn oversized_movable_exceeds_core_width() {
+        let d = corrupt_design::<f64>(CorruptKind::OversizedMovable, 1).expect("valid");
+        assert!(d.netlist.cell_widths()[0] > d.netlist.region().width());
+    }
+
+    #[test]
+    fn duplicate_pins_add_extra_pins() {
+        let clean = corrupt_design::<f64>(CorruptKind::FixedOutsideCore, 2).expect("valid");
+        let dup = corrupt_design::<f64>(CorruptKind::DuplicatePins, 2).expect("valid");
+        assert!(dup.netlist.num_pins() > clean.netlist.num_pins());
+    }
+}

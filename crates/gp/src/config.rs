@@ -207,6 +207,10 @@ pub struct GpConfig<T> {
     pub max_iters: usize,
     /// Minimum iterations before the stop check.
     pub min_iters: usize,
+    /// Wall-clock budget in seconds (`None` = unbounded). When exceeded,
+    /// the run stops at the current iterate like an iteration-cap stop —
+    /// a stage guard for the flow, never an error.
+    pub max_seconds: Option<f64>,
     /// Wirelength model and kernel strategy.
     pub wirelength: WirelengthModel,
     /// Density scatter strategy.
@@ -268,6 +272,7 @@ impl<T: Float> GpConfig<T> {
             target_overflow: T::from_f64(0.07),
             max_iters: 1000,
             min_iters: 20,
+            max_seconds: None,
             wirelength: WirelengthModel::Wa(WaStrategy::Merged),
             density_strategy: DensityStrategy::SortedSubthreads { tx: 2, ty: 2 },
             dct_backend: DctBackendKind::Direct2d,

@@ -434,8 +434,17 @@ impl<T: Float> GlobalPlacer<T> {
         let mut g_d = Gradient::zeros(pos.len());
         let _ = density.forward_backward(nl, &pos, &mut g_d, &mut ctx);
         let wl_norm = g_wl.l1_norm(n);
-        let d_norm = g_d.l1_norm(n).max(T::MIN_POSITIVE);
-        let lambda_init = lambda0.unwrap_or(wl_norm / d_norm);
+        let d_norm_raw = g_d.l1_norm(n);
+        // A zero density gradient (uniform-field mode on degenerate grids,
+        // or an all-zero-area design) must yield lambda = 0, not
+        // wl_norm / MIN_POSITIVE: an astronomically large lambda poisons
+        // the Jacobi preconditioner and freezes the run.
+        let lambda_auto = if d_norm_raw > T::ZERO {
+            wl_norm / d_norm_raw.max(T::MIN_POSITIVE)
+        } else {
+            T::ZERO
+        };
+        let lambda_init = lambda0.unwrap_or(lambda_auto);
 
         let hpwl0 = hpwl(nl, &pos);
         let ref_delta = cfg
@@ -496,6 +505,13 @@ impl<T: Float> GlobalPlacer<T> {
         };
 
         for k in 0..cfg.max_iters {
+            // Wall-clock stage budget: stop at the current iterate, exactly
+            // like running out of iterations (never an error).
+            if let Some(budget) = cfg.max_seconds {
+                if t_start.elapsed().as_secs_f64() >= budget {
+                    break;
+                }
+            }
             iterations = k + 1;
             let t_step = Instant::now();
             let info = solver.step(&mut obj, &mut params);
@@ -890,6 +906,39 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    /// A zero wall-clock budget stops before the first iteration but still
+    /// returns the (finite) initial placement — a stage guard, not an error.
+    #[test]
+    fn wall_clock_budget_stops_without_error() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.max_seconds = Some(0.0);
+        let r = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("budget stop is not an error");
+        assert_eq!(r.stats.iterations, 0);
+        assert!(!r.stats.converged);
+        assert!(r.placement.x.iter().all(|v| v.is_finite()));
+    }
+
+    /// Sub-minimum grids run in uniform-field mode: the density term is
+    /// zero (so lambda initializes to 0 instead of exploding) and the run
+    /// completes with finite coordinates.
+    #[test]
+    fn degenerate_grid_places_with_uniform_field() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.bins = (1, 1);
+        cfg.max_iters = 40;
+        cfg.min_iters = 5;
+        let r = GlobalPlacer::new(cfg)
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("uniform-field GP completes");
+        assert!(r.stats.final_hpwl.is_finite());
+        assert!(r.placement.x.iter().all(|v| v.is_finite()));
+        assert!(r.stats.history.iter().all(|h| h.lambda == 0.0));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use dp_num::Float;
 
 use crate::segments::{RowSegments, Segment};
 use crate::tetris::Assignment;
+use crate::{LgError, LgStage};
 
 /// One Abacus cluster: a maximal group of touching cells placed optimally
 /// as a block.
@@ -36,13 +37,20 @@ impl<T: Float> Cluster<T> {
 /// Refines `placement` per segment. `original` supplies the target
 /// (global placement) locations; `assignment` maps each movable cell to its
 /// segment from the greedy pass.
+///
+/// # Errors
+///
+/// Returns [`LgError::NonFinite`] if the refinement would emit non-finite
+/// coordinates (e.g. seeded by non-finite GP targets); `placement` should
+/// then be considered corrupted and restored from a snapshot by the
+/// caller, as [`crate::Legalizer::legalize`] does.
 pub fn abacus_refine<T: Float>(
     nl: &Netlist<T>,
     original: &Placement<T>,
     placement: &mut Placement<T>,
     segments: &RowSegments<T>,
     assignment: &Assignment,
-) {
+) -> Result<(), LgError> {
     // Group cells per (row, segment).
     let mut groups: std::collections::HashMap<(usize, usize), Vec<usize>> =
         std::collections::HashMap::new();
@@ -54,11 +62,15 @@ pub fn abacus_refine<T: Float>(
 
     for ((row, si), mut cells) in groups {
         let seg = segments.row(row)[si];
-        // Keep the greedy pass's order (current x) for stability.
+        // Keep the greedy pass's order (current x) for stability. The
+        // coordinates come out of the greedy pass, so ties/incomparable
+        // values can only appear on corrupted input; `Equal` keeps the
+        // sort total and the corruption is caught by the finiteness check
+        // below.
         cells.sort_by(|&a, &b| {
             placement.x[a]
                 .partial_cmp(&placement.x[b])
-                .expect("finite coordinates")
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
 
         // Desired lower-left positions from the original GP locations.
@@ -67,9 +79,12 @@ pub fn abacus_refine<T: Float>(
             .map(|&c| original.x[c] - nl.cell_widths()[c] * T::HALF)
             .collect();
         let widths: Vec<T> = cells.iter().map(|&c| nl.cell_widths()[c]).collect();
+        // The cluster weight divides the optimal position q/e; clamp
+        // zero-area cells to a tiny positive weight so a degenerate cell
+        // cannot poison the whole cluster with NaN. No-op for real cells.
         let weights: Vec<T> = cells
             .iter()
-            .map(|&c| nl.cell_widths()[c] * nl.cell_heights()[c])
+            .map(|&c| (nl.cell_widths()[c] * nl.cell_heights()[c]).max(T::from_f64(1e-12)))
             .collect();
 
         // Cluster-collapse DP.
@@ -83,9 +98,8 @@ pub fn abacus_refine<T: Float>(
                 w: widths[i],
             };
             // Collapse while overlapping the previous cluster.
-            while let Some(prev) = clusters.last() {
+            while let Some(prev) = clusters.pop() {
                 if prev.position(&seg) + prev.w > c.position(&seg) + T::from_f64(1e-9) {
-                    let prev = clusters.pop().expect("non-empty");
                     c = Cluster {
                         first: prev.first,
                         last: c.last,
@@ -94,6 +108,7 @@ pub fn abacus_refine<T: Float>(
                         w: prev.w + c.w,
                     };
                 } else {
+                    clusters.push(prev);
                     break;
                 }
             }
@@ -130,9 +145,21 @@ pub fn abacus_refine<T: Float>(
             }
         }
     }
+
+    // Guard: non-finite GP targets propagate through q/e into emitted
+    // positions. Report instead of handing downstream stages NaN.
+    for (cell, &(r, _)) in assignment.iter().enumerate() {
+        if r != usize::MAX && (!placement.x[cell].is_finite() || !placement.y[cell].is_finite()) {
+            return Err(LgError::NonFinite {
+                stage: LgStage::Abacus,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::legality::check_legal;
@@ -160,7 +187,7 @@ mod tests {
         p.x = vec![49.9, 50.0, 50.1];
         let segs = RowSegments::build(&nl, &p, nl.rows().expect("attached"));
         let assignment = tetris_pass(&nl, &mut p, &segs).expect("fits");
-        abacus_refine(&nl, &original, &mut p, &segs, &assignment);
+        abacus_refine(&nl, &original, &mut p, &segs, &assignment).expect("finite");
         // Optimal cluster start minimizes sum (x + 10k - 45)^2 over k=0..2,
         // giving x = 45 - 10 = 35 and cells at 35/45/55.
         let lls: Vec<f64> = (0..3).map(|i| p.x[i] - 5.0).collect();
@@ -186,7 +213,7 @@ mod tests {
         let assignment = tetris_pass(&d.netlist, &mut tetris_only, &segs).expect("fits");
 
         let mut refined = tetris_only.clone();
-        abacus_refine(&d.netlist, &original, &mut refined, &segs, &assignment);
+        abacus_refine(&d.netlist, &original, &mut refined, &segs, &assignment).expect("finite");
         assert!(check_legal(&d.netlist, &refined).is_legal());
 
         let disp = |p: &Placement<f64>| -> f64 {
@@ -197,5 +224,50 @@ mod tests {
         // Abacus minimizes squared x displacement per segment; allow a
         // small slack for site snapping but expect no blow-up.
         assert!(disp(&refined) <= disp(&tetris_only) * 1.05 + 1.0);
+    }
+
+    /// Zero-area cells used to zero the cluster weight `e`, making the
+    /// optimal position `q/e` NaN and poisoning every cell in the cluster.
+    #[test]
+    fn zero_area_cells_do_not_produce_nan() {
+        let rows = RowGrid::uniform(0.0, 0.0, 100.0, 8.0, 8.0, 1.0);
+        let mut b = NetlistBuilder::new(0.0, 0.0, 100.0, 8.0).with_rows(rows);
+        let a = b.add_movable_cell(10.0, 8.0);
+        let z = b.add_movable_cell(0.0, 8.0); // zero width => zero area
+        let c = b.add_movable_cell(10.0, 8.0);
+        b.add_net(1.0, vec![(a, 0.0, 0.0), (z, 0.0, 0.0), (c, 0.0, 0.0)])
+            .expect("valid");
+        let nl = b.build().expect("valid");
+        let mut original = Placement::zeros(3);
+        original.x = vec![50.0, 50.0, 50.0];
+        original.y = vec![4.0, 4.0, 4.0];
+        let mut p = original.clone();
+        p.x = vec![49.9, 50.0, 50.1];
+        let segs = RowSegments::build(&nl, &p, nl.rows().expect("attached"));
+        let assignment = tetris_pass(&nl, &mut p, &segs).expect("fits");
+        abacus_refine(&nl, &original, &mut p, &segs, &assignment).expect("no NaN");
+        assert!(p.x.iter().chain(p.y.iter()).all(|v| v.is_finite()));
+    }
+
+    /// A NaN GP target must not poison the emitted positions: the snap
+    /// pass's `max(prev_end)` absorbs the NaN cluster position and the
+    /// final guard verifies every emitted coordinate is finite.
+    #[test]
+    fn non_finite_targets_do_not_poison_output() {
+        let d = GeneratorConfig::new("t", 60, 70)
+            .with_seed(9)
+            .with_utilization(0.4)
+            .generate::<f64>()
+            .expect("ok");
+        let rows = d.netlist.rows().expect("attached").clone();
+        let mut original = initial_placement(&d.netlist, &d.fixed_positions, 0.05, 3);
+        let mut p = original.clone();
+        let segs = RowSegments::build(&d.netlist, &p, &rows);
+        let assignment = tetris_pass(&d.netlist, &mut p, &segs).expect("fits");
+        original.x[0] = f64::NAN;
+        abacus_refine(&d.netlist, &original, &mut p, &segs, &assignment)
+            .expect("NaN target absorbed, output finite");
+        assert!(p.x.iter().chain(p.y.iter()).all(|v| v.is_finite()));
+        assert!(check_legal(&d.netlist, &p).is_legal());
     }
 }

@@ -11,7 +11,7 @@
 use dp_netlist::{Netlist, Placement, Rect, RowGrid};
 use dp_num::Float;
 
-use crate::LgError;
+use crate::{LgError, LgStage};
 
 /// Indices of movable cells taller than one row.
 pub fn movable_macros<T: Float>(nl: &Netlist<T>, rows: &RowGrid<T>) -> Vec<usize> {
@@ -52,10 +52,14 @@ pub fn legalize_macros<T: Float>(
         .collect();
 
     // Largest macros first: they have the fewest candidate spots.
+    // Non-finite areas compare `Equal` (order then doesn't matter; such a
+    // macro fails its ring search and is reported as out of capacity).
     let mut order = macros.to_vec();
     order.sort_by(|&a, &b| {
         let area = |c: usize| nl.cell_widths()[c] * nl.cell_heights()[c];
-        area(b).partial_cmp(&area(a)).expect("finite areas")
+        area(b)
+            .partial_cmp(&area(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let mut results = Vec::with_capacity(order.len());
@@ -105,7 +109,11 @@ pub fn legalize_macros<T: Float>(
                 }
             }
         }
-        let rect = found.ok_or(LgError::OutOfCapacity { cell: c })?;
+        let rect = found.ok_or(LgError::OutOfCapacity {
+            cell: c,
+            stage: LgStage::Macros,
+            placed: results.len(),
+        })?;
         placement.x[c] = (rect.xl + rect.xh) * T::HALF;
         placement.y[c] = (rect.yl + rect.yh) * T::HALF;
         placed.push(rect);
@@ -115,6 +123,7 @@ pub fn legalize_macros<T: Float>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::NetlistBuilder;

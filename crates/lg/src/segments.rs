@@ -95,7 +95,9 @@ impl<T: Float> RowSegments<T> {
                     .map(|b| (b.xl.max(row.xl), b.xh.min(row.xh)))
                     .filter(|(l, h)| h > l)
                     .collect();
-                blocked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+                // Non-finite blockage edges compare `Equal`; the resulting
+                // segments are still well-formed for finite rows.
+                blocked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                 let mut segments = Vec::new();
                 let mut cursor = row.xl;
                 for (l, h) in blocked {
@@ -161,6 +163,7 @@ impl<T: Float> RowSegments<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::{NetlistBuilder, RowGrid};

@@ -11,7 +11,7 @@ use dp_netlist::{Netlist, Placement};
 use dp_num::Float;
 
 use crate::segments::RowSegments;
-use crate::LgError;
+use crate::{LgError, LgStage};
 
 /// Per-cell segment assignment produced by the greedy pass:
 /// `(row index, segment index within row)` for each movable cell.
@@ -139,20 +139,23 @@ pub fn tetris_pass<T: Float>(
         .collect();
 
     // Process large cells first within the x sweep: sort by x, tie-break by
-    // descending width so wide cells grab contiguous space early.
+    // descending width so wide cells grab contiguous space early. Non-finite
+    // coordinates compare `Equal` to keep the sort total; such cells then
+    // fail gap lookup and surface as a typed error below.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         placement.x[a]
             .partial_cmp(&placement.x[b])
-            .expect("finite coordinates")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(
                 nl.cell_widths()[b]
                     .partial_cmp(&nl.cell_widths()[a])
-                    .expect("finite widths"),
+                    .unwrap_or(std::cmp::Ordering::Equal),
             )
     });
 
     let mut assignment = vec![(usize::MAX, usize::MAX); n];
+    let mut placed = 0usize;
     for &cell in &order {
         // Multi-row movable cells (mixed-size macros) are legalized by the
         // macro pass and already act as blockages here.
@@ -207,23 +210,33 @@ pub fn tetris_pass<T: Float>(
             }
         }
 
-        let (_, row, si, x) = best.ok_or(LgError::OutOfCapacity { cell })?;
-        // Find and occupy the gap containing x.
+        let (_, row, si, x) = best.ok_or(LgError::OutOfCapacity {
+            cell,
+            stage: LgStage::Tetris,
+            placed,
+        })?;
+        // Find and occupy the gap containing x. The chosen position comes
+        // from a gap lookup, so a miss here means the coordinates degraded
+        // (NaN never lands in a gap) — report rather than panic.
         let k = gaps[row][si]
             .gaps
             .iter()
             .position(|&(lo, hi)| x >= lo - T::from_f64(1e-9) && x + w <= hi + T::from_f64(1e-9))
-            .expect("chosen position lies in a free gap");
+            .ok_or(LgError::NonFinite {
+                stage: LgStage::Tetris,
+            })?;
         gaps[row][si].occupy(k, x, w);
         let seg = segments.row(row)[si];
         placement.x[cell] = x + w * T::HALF;
         placement.y[cell] = seg.y + nl.cell_heights()[cell] * T::HALF;
         assignment[cell] = (row, si);
+        placed += 1;
     }
     Ok(assignment)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::legality::check_legal;

@@ -64,6 +64,7 @@ pub fn total_length(segments: &[TileSegment]) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

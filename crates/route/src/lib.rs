@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod decompose;
 pub mod grid;
 pub mod maze;

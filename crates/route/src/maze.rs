@@ -23,10 +23,12 @@ impl Eq for Frontier {}
 
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Step costs are finite by construction; `Equal` keeps the sort
+        // total if corrupted input ever sneaks a NaN in.
         other
             .cost
             .partial_cmp(&self.cost)
-            .expect("finite path costs")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| self.tile.cmp(&other.tile))
     }
 }
@@ -165,6 +167,7 @@ pub fn path_runs(path: &[(usize, usize)]) -> Vec<(bool, usize, usize, usize)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::Rect;

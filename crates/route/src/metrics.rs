@@ -18,7 +18,9 @@ pub fn rc_metric(congestion: &[f64]) -> f64 {
         return 100.0;
     }
     let mut sorted = congestion.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite congestion"));
+    // Congestion ratios are finite by construction; `Equal` keeps the
+    // sort total on corrupted input.
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
     let ace = |frac: f64| -> f64 {
         let k = ((sorted.len() as f64 * frac / 100.0).ceil() as usize).clamp(1, sorted.len());
         sorted[..k].iter().sum::<f64>() / k as f64
@@ -41,6 +43,7 @@ pub fn shpwl(hpwl: f64, rc: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

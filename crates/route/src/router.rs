@@ -371,6 +371,7 @@ fn touches_overflow(grid: &RoutingGrid, seg: &RoutedSeg) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use dp_netlist::NetlistBuilder;

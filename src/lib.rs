@@ -31,9 +31,11 @@
 //! ```
 
 pub use dreamplace_core::{
-    DreamPlacer, FlowConfig, FlowError, FlowResult, FlowTiming, GpFallback, RoutabilityConfig,
-    RoutabilityPlacer, RoutabilityResult, TimingDrivenConfig, TimingDrivenPlacer,
-    TimingDrivenResult, TimingSummary, ToolMode,
+    sanitize_design, DegradationEvent, DegradationFallback, DegradationTrigger, DreamPlacer,
+    FlowConfig, FlowDegradations, FlowError, FlowResult, FlowStage, FlowTiming, GpFallback,
+    RoutabilityConfig, RoutabilityPlacer, RoutabilityResult, SanitizeFinding, SanitizeIssue,
+    SanitizeReport, StageBudgets, TimingDrivenConfig, TimingDrivenPlacer, TimingDrivenResult,
+    TimingSummary, ToolMode,
 };
 
 /// Numeric substrate: precision-generic floats, atomics, complex numbers.

@@ -184,6 +184,12 @@ fn cmd_place(args: &Args) -> Result<(), String> {
         result.timing.total
     );
     println!("HPWL {:.6e}", result.hpwl_final);
+    if !result.sanitize.is_clean() {
+        println!("sanitizer: {}", result.sanitize);
+    }
+    if !result.degradations.is_clean() {
+        println!("degraded: {}", result.degradations);
+    }
 
     let out = PathBuf::from(args.get("out").unwrap_or("."));
     write_design(

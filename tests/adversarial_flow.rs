@@ -1,0 +1,183 @@
+//! Tier-1 adversarial gate: every adversarial design family and every
+//! corrupted-design class runs the *hardened* flow end-to-end and must
+//! finish without panicking — either with a legal placement or with a
+//! structured fatal report. Degenerate bin grids place in uniform-field
+//! mode, and injected LG/DP faults take their documented degradation
+//! ladders, each recorded in `FlowResult::degradations`.
+//!
+//! CI runs this suite by name (`cargo test --test adversarial_flow`).
+
+use dreamplace::gen::{
+    adversarial_design, corrupt_design, AdversarialCase, CorruptKind, GeneratedDesign,
+    GeneratorConfig,
+};
+use dreamplace::gp::FenceSpec;
+use dreamplace::{
+    DegradationFallback, DegradationTrigger, DreamPlacer, FlowConfig, FlowError, FlowStage,
+    ToolMode,
+};
+use dp_dplace::{DpFaultInjection, DpPass};
+use dp_lg::{check_legal, Legalizer, LgFaultInjection};
+
+fn quick_config(d: &GeneratedDesign<f64>) -> FlowConfig<f64> {
+    let mut cfg = FlowConfig::for_mode(ToolMode::DreamplaceGpuSim, &d.netlist);
+    cfg.gp.max_iters = 150;
+    cfg.gp.target_overflow = 0.2;
+    if let dreamplace::gp::InitKind::WirelengthOnly { iters } = cfg.gp.init {
+        cfg.gp.init = dreamplace::gp::InitKind::WirelengthOnly {
+            iters: iters.min(30),
+        };
+    }
+    cfg
+}
+
+/// Every adversarial family must survive the hardened flow: no panic, and
+/// either a legal placement or a structured error whose diagnosis names
+/// the failing stage.
+#[test]
+fn adversarial_families_complete_without_panic() {
+    for case in AdversarialCase::ALL {
+        let a = adversarial_design::<f64>(case, 11).expect("generates");
+        let mut cfg = quick_config(&a.design);
+        if case == AdversarialCase::FenceRegions {
+            cfg.gp.fence = Some(FenceSpec {
+                regions: a.fence_regions.clone(),
+                assignment: a.fence_assignment.clone(),
+            });
+        }
+        match DreamPlacer::new(cfg).place(&a.design) {
+            Ok(r) => {
+                let report = check_legal(&a.design.netlist, &r.placement);
+                assert!(report.is_legal(), "{case}: illegal result {report:?}");
+                assert!(r.hpwl_final.is_finite(), "{case}: non-finite HPWL");
+            }
+            Err(e) => {
+                let diag = e.diagnosis();
+                assert!(
+                    diag.contains(':'),
+                    "{case}: diagnosis must name a stage: {diag}"
+                );
+            }
+        }
+    }
+}
+
+/// Bin shapes below the spectral solver's minimum used to be hard errors;
+/// the flow now places them in uniform-field mode and records the trade.
+#[test]
+fn degenerate_bin_grids_place_in_uniform_field_mode() {
+    let d = GeneratorConfig::new("degenerate-bins", 120, 140)
+        .with_seed(17)
+        .with_utilization(0.5)
+        .generate::<f64>()
+        .expect("generates");
+    for bins in [(1, 1), (1, 4), (2, 1), (2, 4)] {
+        let mut cfg = quick_config(&d);
+        cfg.gp.bins = bins;
+        cfg.gp.max_iters = 60;
+        let r = DreamPlacer::new(cfg)
+            .place(&d)
+            .unwrap_or_else(|e| panic!("bins {bins:?}: {}", e.diagnosis()));
+        assert!(
+            check_legal(&d.netlist, &r.placement).is_legal(),
+            "bins {bins:?}"
+        );
+        let degraded = r.degradations.for_stage(FlowStage::Gp).any(|e| {
+            matches!(e.trigger, DegradationTrigger::DegenerateGrid { .. })
+                && e.fallback == DegradationFallback::UniformFieldDensity
+        });
+        let sub_spectral = bins.0 < 2 || bins.1 < 4;
+        assert_eq!(
+            degraded, sub_spectral,
+            "bins {bins:?}: degradation log {}",
+            r.degradations
+        );
+    }
+}
+
+/// Every corrupted-design class either gets repaired (flow completes, the
+/// sanitizer report names the class) or is fatally reported — never a
+/// panic, never a silent pass-through.
+#[test]
+fn corrupted_designs_are_repaired_or_fatally_reported() {
+    for kind in CorruptKind::ALL {
+        let d = corrupt_design::<f64>(kind, 23).expect("generates");
+        let cfg = quick_config(&d);
+        match DreamPlacer::new(cfg).place(&d) {
+            Ok(r) => {
+                assert!(!kind.is_fatal(), "{kind}: fatal class must not place");
+                assert!(
+                    !r.sanitize.is_clean(),
+                    "{kind}: sanitizer must report the repair"
+                );
+                assert!(
+                    check_legal(&d.netlist, &r.placement).is_legal()
+                        || !r.sanitize.is_clean(),
+                    "{kind}"
+                );
+                assert!(r.hpwl_final.is_finite(), "{kind}");
+            }
+            Err(FlowError::Sanitize(report)) => {
+                assert!(kind.is_fatal(), "{kind}: repairable class aborted: {report}");
+                assert!(report.is_fatal(), "{kind}");
+            }
+            Err(e) => panic!("{kind}: unexpected error {}", e.diagnosis()),
+        }
+    }
+}
+
+/// An injected Abacus failure must take the documented ladder: keep the
+/// Tetris result, record the event, still end legal.
+#[test]
+fn injected_lg_fault_takes_tetris_ladder() {
+    let d = GeneratorConfig::new("lg-fault", 200, 220)
+        .with_seed(31)
+        .with_utilization(0.55)
+        .generate::<f64>()
+        .expect("generates");
+    let mut cfg = quick_config(&d);
+    cfg.lg = Legalizer::new().with_fault_injection(LgFaultInjection { fail_abacus: true });
+    let r = DreamPlacer::new(cfg).place(&d).expect("ladder survives");
+    let event = r
+        .degradations
+        .for_stage(FlowStage::Lg)
+        .next()
+        .expect("lg degradation recorded");
+    assert_eq!(event.trigger, DegradationTrigger::AbacusFailed);
+    assert_eq!(event.fallback, DegradationFallback::TetrisResult);
+    assert!(check_legal(&d.netlist, &r.placement).is_legal());
+}
+
+/// An injected worsening DP pass must be reverted and disabled, with the
+/// event naming the pass; the surviving passes keep the quality contract.
+#[test]
+fn injected_dp_fault_disables_offending_pass() {
+    let d = GeneratorConfig::new("dp-fault", 200, 220)
+        .with_seed(37)
+        .with_utilization(0.55)
+        .generate::<f64>()
+        .expect("generates");
+    let mut cfg = quick_config(&d);
+    cfg.dp.fault_injection = DpFaultInjection {
+        worsen_pass: Some(DpPass::GlobalSwap),
+    };
+    let r = DreamPlacer::new(cfg).place(&d).expect("ladder survives");
+    let event = r
+        .degradations
+        .for_stage(FlowStage::Dp)
+        .next()
+        .expect("dp degradation recorded");
+    assert!(matches!(
+        event.trigger,
+        DegradationTrigger::DpPassWorsened {
+            pass: DpPass::GlobalSwap,
+            ..
+        }
+    ));
+    assert_eq!(
+        event.fallback,
+        DegradationFallback::DisabledDpPass(DpPass::GlobalSwap)
+    );
+    assert!(r.hpwl_final <= r.hpwl_legal, "guard must protect quality");
+    assert!(check_legal(&d.netlist, &r.placement).is_legal());
+}
