@@ -36,6 +36,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dp_num::{Float, WorkerPool};
+use dp_telemetry::{KernelTimer, Telemetry};
 
 /// Per-operator call counters (kept cheap: two saturating adds per call).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,7 +60,7 @@ pub struct WorkspaceCounter {
 }
 
 /// A snapshot of the context's counters, ordered by name for stable output.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecSummary {
     /// Worker count launches are spread over (including the caller).
     pub pool_threads: usize,
@@ -78,6 +79,46 @@ impl ExecSummary {
     pub fn scratch_bytes(&self) -> usize {
         self.workspaces.iter().map(|(_, w)| w.bytes).sum()
     }
+
+    /// Total operator invocations across all ops.
+    pub fn total_op_calls(&self) -> u64 {
+        self.ops.iter().map(|(_, c)| c.calls).sum()
+    }
+
+    /// Folds `other` into `self`, preserving per-op call/nanos totals
+    /// across context restarts.
+    ///
+    /// A rollback restart (the GP conservative-preset fallback) builds a
+    /// fresh `ExecCtx`, which resets every counter; without merging, the
+    /// aborted attempt's kernel time simply vanishes from the run's
+    /// statistics. Ops and workspaces are summed by key (workspace `bytes`
+    /// takes the max — it is a high-water gauge, not a rate), `pool_runs`
+    /// and `threads_spawned` add up (two pools really did spawn twice),
+    /// and `pool_threads` keeps `self`'s value, describing the surviving
+    /// context.
+    pub fn merge(&mut self, other: &ExecSummary) {
+        self.pool_runs += other.pool_runs;
+        self.threads_spawned += other.threads_spawned;
+        if self.pool_threads == 0 {
+            self.pool_threads = other.pool_threads;
+        }
+        let mut ops: BTreeMap<&'static str, OpCounter> = self.ops.iter().copied().collect();
+        for (name, c) in &other.ops {
+            let e = ops.entry(name).or_default();
+            e.calls += c.calls;
+            e.nanos = e.nanos.saturating_add(c.nanos);
+        }
+        self.ops = ops.into_iter().collect();
+        let mut workspaces: BTreeMap<&'static str, WorkspaceCounter> =
+            self.workspaces.iter().copied().collect();
+        for (name, w) in &other.workspaces {
+            let e = workspaces.entry(name).or_default();
+            e.uses += w.uses;
+            e.reuses += w.reuses;
+            e.bytes = e.bytes.max(w.bytes);
+        }
+        self.workspaces = workspaces.into_iter().collect();
+    }
 }
 
 /// The persistent execution context; see the [module docs](self).
@@ -86,6 +127,10 @@ pub struct ExecCtx<T> {
     workspaces: BTreeMap<&'static str, Vec<T>>,
     ws_counters: BTreeMap<&'static str, WorkspaceCounter>,
     ops: BTreeMap<&'static str, OpCounter>,
+    telemetry: Telemetry,
+    /// Cached sharded-timer handles so [`ExecCtx::record_op`] skips the
+    /// telemetry registry lock on the per-call hot path.
+    timers: BTreeMap<&'static str, Arc<KernelTimer>>,
 }
 
 impl<T: Float> ExecCtx<T> {
@@ -108,7 +153,35 @@ impl<T: Float> ExecCtx<T> {
             workspaces: BTreeMap::new(),
             ws_counters: BTreeMap::new(),
             ops: BTreeMap::new(),
+            telemetry: Telemetry::disabled(),
+            timers: BTreeMap::new(),
         }
+    }
+
+    /// [`ExecCtx::new`] with a telemetry sink attached; see
+    /// [`ExecCtx::set_telemetry`].
+    pub fn with_telemetry(threads: usize, telemetry: Telemetry) -> Self {
+        let mut ctx = Self::new(threads);
+        ctx.set_telemetry(telemetry);
+        ctx
+    }
+
+    /// Attaches a telemetry sink: operator timings recorded through
+    /// [`ExecCtx::record_op`] are mirrored into sharded kernel timers, and
+    /// the pool's per-worker busy time is captured under the `"pool"`
+    /// label. A [`Telemetry::disabled`] sink (the default) costs one
+    /// branch per record.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(shards) = telemetry.worker_shards("pool", self.pool.threads()) {
+            self.pool.set_worker_shards(shards);
+        }
+        self.telemetry = telemetry;
+        self.timers.clear();
+    }
+
+    /// The attached telemetry sink (disabled unless installed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The worker pool; kernels clone the `Arc` so the borrow does not
@@ -163,9 +236,23 @@ impl<T: Float> ExecCtx<T> {
     /// Records one operator invocation of `name` that started at `t0`.
     pub fn record_op(&mut self, name: &'static str, t0: Instant) {
         let elapsed: Duration = t0.elapsed();
+        let nanos = elapsed.as_nanos() as u64;
         let counter = self.ops.entry(name).or_default();
         counter.calls += 1;
-        counter.nanos = counter.nanos.saturating_add(elapsed.as_nanos() as u64);
+        counter.nanos = counter.nanos.saturating_add(nanos);
+        if self.telemetry.is_enabled() {
+            let threads = self.pool.threads();
+            let timer = self.timers.entry(name).or_insert_with(|| {
+                // The sink is enabled, so the registry always hands back a
+                // timer; an (unreachable) disabled race falls back to a
+                // detached timer rather than panicking.
+                self.telemetry
+                    .kernel_timer(name, threads)
+                    .unwrap_or_else(|| Arc::new(KernelTimer::new(1)))
+            });
+            // Operators are driven from the calling thread: shard 0.
+            timer.record(0, nanos);
+        }
     }
 
     /// The counters for operator `name` recorded so far.
@@ -250,6 +337,78 @@ mod tests {
         assert_eq!(ws.uses, 2);
         assert_eq!(ws.reuses, 1);
         assert_eq!(ws.bytes, 1024);
+    }
+
+    #[test]
+    fn merge_preserves_per_op_nanos_across_restarts() {
+        // Simulates the conservative-preset fallback: a first ctx records
+        // kernel time, is torn down, and a fresh ctx runs the retry.
+        let mut first = ExecCtx::<f64>::serial();
+        let t0 = first.op_timer();
+        first.record_op("wa.forward", t0);
+        first.record_op("wa.forward", t0);
+        first.record_op("density.forward", t0);
+        first.note_workspace("density.bins", 2048, true);
+        let aborted = first.summary();
+        drop(first);
+
+        let mut retry = ExecCtx::<f64>::serial();
+        let t0 = retry.op_timer();
+        retry.record_op("wa.forward", t0);
+        retry.note_workspace("density.bins", 1024, false);
+        let mut merged = retry.summary();
+        merged.merge(&aborted);
+
+        let wa = merged
+            .ops
+            .iter()
+            .find(|(k, _)| *k == "wa.forward")
+            .expect("merged op")
+            .1;
+        assert_eq!(wa.calls, 3, "aborted attempt's calls must survive");
+        assert_eq!(merged.total_op_calls(), 4);
+        let ws = merged
+            .workspaces
+            .iter()
+            .find(|(k, _)| *k == "density.bins")
+            .expect("merged ws")
+            .1;
+        assert_eq!(ws.uses, 2);
+        assert_eq!(ws.reuses, 1);
+        assert_eq!(ws.bytes, 2048, "bytes is a high-water gauge");
+    }
+
+    #[test]
+    fn merge_with_default_is_identity_on_ops() {
+        let mut ctx = ExecCtx::<f64>::serial();
+        let t0 = ctx.op_timer();
+        ctx.record_op("hpwl.forward", t0);
+        let mut s = ctx.summary();
+        let before = s.clone();
+        s.merge(&ExecSummary::default());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn record_op_mirrors_into_telemetry_kernels() {
+        let tel = Telemetry::enabled();
+        let mut ctx = ExecCtx::<f64>::with_telemetry(1, tel.clone());
+        for _ in 0..5 {
+            let t0 = ctx.op_timer();
+            ctx.record_op("wa.forward", t0);
+        }
+        let timer = tel.kernel_timer("wa.forward", 1).expect("registered");
+        assert_eq!(timer.total().0, 5);
+        assert_eq!(ctx.op_counter("wa.forward").calls, 5);
+    }
+
+    #[test]
+    fn disabled_telemetry_keeps_plain_counters() {
+        let mut ctx = ExecCtx::<f64>::serial();
+        assert!(!ctx.telemetry().is_enabled());
+        let t0 = ctx.op_timer();
+        ctx.record_op("wa.forward", t0);
+        assert_eq!(ctx.op_counter("wa.forward").calls, 1);
     }
 
     #[test]

@@ -4,8 +4,13 @@
 //! ```text
 //! DP_SCALE=64 cargo run -p dp-bench --release --bin table2
 //! ```
+//!
+//! Set `DP_REPORT=1` to additionally print the telemetry run report
+//! (per-stage wall-clock, top kernels, workspace reuse) for the GPU-sim
+//! row of the last design — the same report `dreamplace place --trace`
+//! prints.
 
-use dp_bench::{generate, hr, ratio_row, run_flow, scale};
+use dp_bench::{generate, hr, ratio_row, run_flow, run_flow_traced, scale};
 use dreamplace_core::ToolMode;
 
 fn main() {
@@ -84,4 +89,23 @@ fn main() {
          DP equal by construction. LG speedup here: {:.1}x",
         ratio_row(&lg_cols[0], &lg_cols[last])
     );
+
+    if std::env::var("DP_REPORT").is_ok_and(|v| v == "1") {
+        let design = generate(
+            dp_gen::ispd2005_suite()
+                .last()
+                .expect("non-empty suite")
+                .clone(),
+            1,
+        );
+        let (_, report) = run_flow_traced(
+            ToolMode::DreamplaceGpuSim,
+            &design,
+            false,
+            dp_telemetry::Telemetry::enabled(),
+        );
+        if let Some(report) = report {
+            println!("\n{}", report.render());
+        }
+    }
 }

@@ -1,0 +1,50 @@
+//! Measures the enabled-telemetry overhead of the full flow on the
+//! 420-cell golden design — the budget DESIGN.md §11 commits to (< 5%
+//! wall-clock with the JSONL sink on).
+//!
+//! ```text
+//! cargo run -p dp-bench --release --bin trace_overhead
+//! ```
+//!
+//! Runs the flow `reps` times per arm (disabled / enabled+serialized)
+//! and compares best-of times, the harness's standard way to suppress
+//! scheduler noise.
+
+use dp_bench::{best_of, run_flow_traced};
+use dp_telemetry::Telemetry;
+use dreamplace_core::ToolMode;
+
+fn main() {
+    let design = dp_gen::GeneratorConfig::new("overhead", 420, 460)
+        .with_seed(71)
+        .with_utilization(0.6)
+        .generate::<f64>()
+        .expect("presets always generate");
+    let reps: usize = std::env::var("DP_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    let mode = ToolMode::DreamplaceCpu { threads: 2 };
+
+    // Warm-up so both arms see hot caches and a grown heap.
+    let _ = run_flow_traced(mode, &design, false, Telemetry::disabled());
+
+    let off = best_of(reps, || {
+        run_flow_traced(mode, &design, false, Telemetry::disabled())
+    });
+    let on = best_of(reps, || {
+        let tel = Telemetry::enabled();
+        let r = run_flow_traced(mode, &design, false, tel.clone());
+        // The overhead budget covers serialization too: drain the full
+        // event log through the JSONL writer like `--trace` does.
+        let mut buf = Vec::new();
+        tel.write_jsonl(&mut buf).expect("serialize trace");
+        (r, buf.len())
+    });
+
+    let overhead = (on / off - 1.0) * 100.0;
+    println!("420-cell golden design, best of {reps} runs each:");
+    println!("  telemetry disabled        {:>8.1}ms", off * 1e3);
+    println!("  telemetry enabled + JSONL {:>8.1}ms", on * 1e3);
+    println!("  overhead                  {overhead:>+8.1}%  (budget < 5%)");
+}

@@ -51,25 +51,52 @@ pub struct FlowRow {
     pub total: f64,
 }
 
+impl FlowRow {
+    /// Extracts the row from a finished flow result.
+    pub fn from_result(r: &dreamplace_core::FlowResult<f64>) -> Self {
+        Self {
+            hpwl: r.hpwl_final,
+            gp: r.timing.gp,
+            lg: r.timing.lg,
+            dp: r.timing.dp,
+            io: r.timing.io,
+            total: r.timing.total,
+        }
+    }
+}
+
 /// Runs the full flow in the given mode and returns the row.
 pub fn run_flow(
     mode: ToolMode,
     design: &dp_gen::GeneratedDesign<f64>,
     io_roundtrip: bool,
 ) -> FlowRow {
+    let (row, _) = run_flow_traced(
+        mode,
+        design,
+        io_roundtrip,
+        dp_telemetry::Telemetry::disabled(),
+    );
+    row
+}
+
+/// Runs the full flow with `telemetry` installed and returns the row plus
+/// the end-of-run report (the same one the CLI prints for `--trace`;
+/// `None` when telemetry is disabled). Bench binaries use this to show
+/// per-stage and per-kernel breakdowns next to the paper's table rows.
+pub fn run_flow_traced(
+    mode: ToolMode,
+    design: &dp_gen::GeneratedDesign<f64>,
+    io_roundtrip: bool,
+    telemetry: dp_telemetry::Telemetry,
+) -> (FlowRow, Option<dp_telemetry::RunReport>) {
     let mut config = FlowConfig::for_mode(mode, &design.netlist);
     config.io_roundtrip = io_roundtrip;
+    config.telemetry = telemetry.clone();
     let r = DreamPlacer::new(config)
         .place(design)
         .unwrap_or_else(|e| panic!("flow failed on {}: {e}", design.name));
-    FlowRow {
-        hpwl: r.hpwl_final,
-        gp: r.timing.gp,
-        lg: r.timing.lg,
-        dp: r.timing.dp,
-        io: r.timing.io,
-        total: r.timing.total,
-    }
+    (FlowRow::from_result(&r), telemetry.report())
 }
 
 /// Times a closure, returning `(result, seconds)`.

@@ -25,7 +25,10 @@
 //!   and detailed placement get the same treatment per stage
 //!   ([`replay::replay_lg`] / [`replay::replay_dp`]);
 //! * [`golden`] — golden full-flow regression records (hand-rolled JSON,
-//!   regenerate with `DP_UPDATE_GOLDEN=1`).
+//!   regenerate with `DP_UPDATE_GOLDEN=1`);
+//! * [`trace`] — schema-validating reader for `dp-telemetry` JSONL traces
+//!   (balanced span nesting, per-thread timestamp monotonicity),
+//!   deliberately independent of the writer.
 //!
 //! The differential test suites live in `crates/check/tests/`; the golden
 //! full-flow regression lives in the workspace root `tests/differential.rs`
@@ -41,6 +44,7 @@ pub mod oracle_dct;
 pub mod oracle_density;
 pub mod oracle_wirelength;
 pub mod replay;
+pub mod trace;
 
 pub use golden::{update_requested, GoldenError, GoldenRecord, GoldenTolerance};
 pub use gradcheck::{check_operator, sample_cells, spec_for, CheckOutcome, CheckSpec};
@@ -54,3 +58,4 @@ pub use replay::{
     diff_placements, first_divergence, replay_across_threads, replay_dp, replay_gp, replay_lg,
     ReplayReport, StageReplay,
 };
+pub use trace::{validate_file, validate_str, TraceError, TraceSummary};

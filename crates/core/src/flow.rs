@@ -401,6 +401,10 @@ pub struct FlowConfig<T> {
     pub sanitize: bool,
     /// Per-stage budgets and quality gates.
     pub budgets: StageBudgets,
+    /// Trace collector threaded through every stage. Disabled by default:
+    /// the flow then skips all recording (two branch checks per event)
+    /// and stays bit-identical to an uninstrumented build.
+    pub telemetry: dp_telemetry::Telemetry,
 }
 
 impl<T: Float> FlowConfig<T> {
@@ -417,6 +421,7 @@ impl<T: Float> FlowConfig<T> {
             gp_fallback: true,
             sanitize: true,
             budgets: StageBudgets::default(),
+            telemetry: dp_telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -456,8 +461,15 @@ impl<T: Float> DreamPlacer<T> {
         let t_total = Instant::now();
         let mut timing = FlowTiming::default();
         let mut degradations = FlowDegradations::default();
+        let tel = self.config.telemetry.clone();
+        let _flow_span = tel.span(dp_telemetry::SpanKind::Flow, design.name.clone());
+        tel.meta("design", &design.name);
+        tel.meta("cells", design.netlist.num_cells());
+        tel.meta("nets", design.netlist.num_nets());
+        tel.meta("threads", self.config.gp.threads);
 
         // --- IO (optional Bookshelf round-trip) -------------------------
+        let io_span = tel.span(dp_telemetry::SpanKind::Stage, "io");
         let t_io = Instant::now();
         let io_design;
         let (nl, fixed) = if self.config.io_roundtrip {
@@ -481,23 +493,35 @@ impl<T: Float> DreamPlacer<T> {
             (&design.netlist, &design.fixed_positions)
         };
         timing.io = t_io.elapsed().as_secs_f64();
+        drop(io_span);
 
         // --- sanitize -----------------------------------------------------
+        let sanitize_span = tel.span(dp_telemetry::SpanKind::Stage, "sanitize");
         let (sanitize_report, repaired) = if self.config.sanitize {
             sanitize_design(nl, fixed)
         } else {
             (SanitizeReport::default(), None)
         };
         if sanitize_report.is_fatal() {
+            tel.point(
+                "degradation",
+                format!("sanitize: fatal defects -> aborted ({sanitize_report})"),
+            );
             return Err(FlowError::Sanitize(sanitize_report));
         }
         let (nl, fixed) = match &repaired {
             Some((rn, rf)) => (rn, rf),
             None => (nl, fixed),
         };
+        if !sanitize_report.findings.is_empty() {
+            tel.point("sanitize", &sanitize_report);
+        }
+        drop(sanitize_span);
 
         // --- global placement -------------------------------------------
+        let gp_span = tel.span(dp_telemetry::SpanKind::Stage, "gp");
         let mut gp_cfg = self.config.gp.clone();
+        gp_cfg.telemetry = tel.clone();
         if let Some(budget) = self.config.budgets.gp_seconds {
             gp_cfg.max_seconds = Some(match gp_cfg.max_seconds {
                 Some(own) => own.min(budget),
@@ -508,6 +532,13 @@ impl<T: Float> DreamPlacer<T> {
             // The density operator runs in uniform-field mode on
             // sub-spectral grids; record it so callers know the density
             // force was traded away.
+            tel.point(
+                "degradation",
+                format!(
+                    "gp: degenerate grid {}x{} -> uniform-field density",
+                    gp_cfg.bins.0, gp_cfg.bins.1
+                ),
+            );
             degradations.record(
                 FlowStage::Gp,
                 DegradationTrigger::DegenerateGrid { bins: gp_cfg.bins },
@@ -518,25 +549,47 @@ impl<T: Float> DreamPlacer<T> {
         let (gp_result, gp_fallback) = self.run_gp(gp_cfg, nl, fixed)?;
         timing.gp = t_gp.elapsed().as_secs_f64();
         match gp_fallback {
-            Some(GpFallback::ConservativePreset { cause }) => degradations.record(
-                FlowStage::Gp,
-                DegradationTrigger::GpDiverged(cause),
-                DegradationFallback::ConservativeGpPreset,
-            ),
-            Some(GpFallback::BestSoFar { cause, .. }) => degradations.record(
-                FlowStage::Gp,
-                DegradationTrigger::GpDiverged(cause),
-                DegradationFallback::BestSoFarPlacement,
-            ),
+            Some(GpFallback::ConservativePreset { cause }) => {
+                tel.point(
+                    "degradation",
+                    format!("gp: diverged ({cause}) -> conservative preset completed"),
+                );
+                degradations.record(
+                    FlowStage::Gp,
+                    DegradationTrigger::GpDiverged(cause),
+                    DegradationFallback::ConservativeGpPreset,
+                );
+            }
+            Some(GpFallback::BestSoFar { cause, .. }) => {
+                tel.point(
+                    "degradation",
+                    format!("gp: diverged ({cause}) -> best-so-far placement"),
+                );
+                degradations.record(
+                    FlowStage::Gp,
+                    DegradationTrigger::GpDiverged(cause),
+                    DegradationFallback::BestSoFarPlacement,
+                );
+            }
             None => {}
         }
+        tel.workspaces(
+            gp_result
+                .stats
+                .exec
+                .workspaces
+                .iter()
+                .map(|(name, w)| (*name, w.uses, w.reuses, w.bytes as u64)),
+        );
+        drop(gp_span);
         let gp_placement = gp_result.placement;
         let mut placement = gp_placement.clone();
         let hpwl_gp = hpwl(nl, &placement).to_f64();
 
         // --- legalization -------------------------------------------------
+        let lg_span = tel.span(dp_telemetry::SpanKind::Stage, "lg");
         let t_lg = Instant::now();
-        let mut legalizer = self.config.lg.clone();
+        let mut legalizer = self.config.lg.clone().with_telemetry(tel.clone());
         if let Some(limit) = self.config.budgets.lg_max_displacement {
             legalizer = legalizer.with_max_displacement(limit);
         }
@@ -566,6 +619,7 @@ impl<T: Float> DreamPlacer<T> {
                 .config
                 .lg
                 .clone()
+                .with_telemetry(tel.clone())
                 .without_abacus()
                 .legalize(nl, &mut retry)
                 .map_err(|error| FlowError::Lg { error, hpwl_gp })?;
@@ -576,6 +630,13 @@ impl<T: Float> DreamPlacer<T> {
                     hpwl_legal: hpwl(nl, &retry).to_f64(),
                 });
             }
+            tel.point(
+                "degradation",
+                format!(
+                    "lg: {} overlaps after abacus -> retried tetris-only from gp placement",
+                    report.overlaps
+                ),
+            );
             degradations.record(
                 FlowStage::Lg,
                 DegradationTrigger::IllegalAfterLg {
@@ -587,9 +648,11 @@ impl<T: Float> DreamPlacer<T> {
             lg_stats = retry_stats;
         }
         timing.lg = t_lg.elapsed().as_secs_f64();
+        drop(lg_span);
         let hpwl_legal = hpwl(nl, &placement).to_f64();
 
         // --- detailed placement -------------------------------------------
+        let dp_span = tel.span(dp_telemetry::SpanKind::Stage, "dp");
         let t_dp = Instant::now();
         let dp_stats = if self.config.run_dp {
             Some(match self.config.batched_dp_threads {
@@ -598,6 +661,7 @@ impl<T: Float> DreamPlacer<T> {
                 }
                 None => {
                     let mut dp = self.config.dp.clone();
+                    dp.telemetry = tel.clone();
                     dp.hpwl_tolerance = self.config.budgets.dp_hpwl_tolerance;
                     if let Some(budget) = self.config.budgets.dp_seconds {
                         dp.max_seconds = Some(match dp.max_seconds {
@@ -630,10 +694,12 @@ impl<T: Float> DreamPlacer<T> {
             None
         };
         timing.dp = t_dp.elapsed().as_secs_f64();
+        drop(dp_span);
         let hpwl_final = hpwl(nl, &placement).to_f64();
 
         // Write the final placement back when IO is being measured.
         if self.config.io_roundtrip {
+            let _io_span = tel.span(dp_telemetry::SpanKind::Stage, "io");
             let t_io2 = Instant::now();
             let dir = std::env::temp_dir().join(format!("dreamplace-io-{}", design.name));
             dp_bookshelf::write_design(&dir, &format!("{}-final", design.name), nl, &placement)?;
@@ -674,6 +740,7 @@ impl<T: Float> DreamPlacer<T> {
             recoveries,
             best,
             best_overflow,
+            exec,
             ..
         } = err
         else {
@@ -687,13 +754,19 @@ impl<T: Float> DreamPlacer<T> {
             (*best).clone(),
             None,
         ) {
-            Ok(r) => Ok((r, Some(GpFallback::ConservativePreset { cause }))),
+            Ok(mut r) => {
+                // Fold the aborted primary attempt's kernel work into the
+                // retry's counters so the run's ExecSummary covers both.
+                r.stats.exec.merge(&exec);
+                Ok((r, Some(GpFallback::ConservativePreset { cause })))
+            }
             Err(GpError::Diverged {
                 iteration,
                 cause: retry_cause,
                 recoveries: retry_recoveries,
                 best: retry_best,
                 best_overflow: retry_overflow,
+                exec: retry_exec,
             }) => {
                 // Adopt whichever attempt spread the cells further and let
                 // legalization take it from there.
@@ -703,6 +776,8 @@ impl<T: Float> DreamPlacer<T> {
                     (*best, best_overflow, cause)
                 };
                 let total_recoveries = recoveries + retry_recoveries;
+                let mut merged_exec = retry_exec;
+                merged_exec.merge(&exec);
                 let stats = GpStats {
                     iterations: iteration,
                     final_hpwl: hpwl(nl, &placement).to_f64(),
@@ -712,7 +787,7 @@ impl<T: Float> DreamPlacer<T> {
                     timing: GpTiming::default(),
                     recoveries: total_recoveries,
                     recovery_events: Vec::new(),
-                    exec: Default::default(),
+                    exec: merged_exec,
                 };
                 Ok((
                     GpResult { placement, stats },
@@ -843,6 +918,50 @@ mod tests {
     }
 
     #[test]
+    fn conservative_fallback_merges_primary_exec_counters() {
+        let d = design();
+        let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
+        cfg.gp.mu_min = 1e120;
+        cfg.gp.mu_max = 1e120;
+        cfg.run_dp = false;
+        let r = DreamPlacer::new(cfg).place(&d).expect("fallback completes");
+        assert!(
+            matches!(r.gp_fallback, Some(GpFallback::ConservativePreset { .. })),
+            "{:?}",
+            r.gp_fallback
+        );
+        // The primary run uses WA wirelength, the conservative preset uses
+        // LSE, so the two attempts record disjoint op families. Both must
+        // be in the summary: before the merge fix the primary ctx's
+        // counters were dropped with the ctx on fallback, undercounting
+        // the run.
+        let has = |prefix: &str| {
+            r.gp
+                .exec
+                .ops
+                .iter()
+                .any(|(name, c)| name.starts_with(prefix) && c.calls > 0)
+        };
+        assert!(has("lse."), "retry ops missing: {:?}", r.gp.exec.ops);
+        assert!(
+            has("wa."),
+            "primary attempt ops dropped on fallback: {:?}",
+            r.gp.exec.ops
+        );
+        // Per-op wall-clock survives the merge too (satellite regression:
+        // nanos, not just call counts).
+        assert!(
+            r.gp
+                .exec
+                .ops
+                .iter()
+                .any(|(name, c)| name.starts_with("wa.") && c.nanos > 0),
+            "primary op nanos lost in merge: {:?}",
+            r.gp.exec.ops
+        );
+    }
+
+    #[test]
     fn flow_degrades_to_best_so_far_when_preset_also_diverges() {
         let d = design();
         let mut cfg = quick(ToolMode::DreamplaceGpuSim, &d);
@@ -861,6 +980,12 @@ mod tests {
             Some(GpFallback::BestSoFar { recoveries, .. }) => assert_eq!(recoveries, 0),
             other => panic!("expected best-so-far fallback, got {other:?}"),
         }
+        // Both failed attempts' kernel counters survive into the result
+        // (the old path rebuilt stats with `exec: Default::default()`).
+        assert!(
+            r.gp.exec.total_op_calls() > 0,
+            "exec counters dropped on best-so-far fallback"
+        );
         assert!(r.hpwl_final.is_finite());
         assert!(check_legal(&d.netlist, &r.placement).is_legal());
     }

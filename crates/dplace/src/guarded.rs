@@ -115,16 +115,27 @@ impl DetailedPlacer {
                 if let Some(budget) = self.max_seconds {
                     if t0.elapsed().as_secs_f64() >= budget {
                         report.budget_exhausted = true;
+                        self.telemetry.point(
+                            "degradation",
+                            format!("dp: wall-clock budget {budget:.1}s exhausted -> stopped early"),
+                        );
                         break 'rounds;
                     }
                 }
                 let snapshot = p.clone();
                 let before = hpwl(nl, p).to_f64();
-                let pass_moves = match pass {
-                    DpPass::GlobalSwap => global_swap(nl, p),
-                    DpPass::LocalReorder => local_reorder(nl, p, self.window),
-                    DpPass::IndependentSetMatching => {
-                        independent_set_matching(nl, p, self.ism_batch.clamp(2, 16))
+                let pass_moves = {
+                    let _k = self.telemetry.kernel_span(match pass {
+                        DpPass::GlobalSwap => "dp.global_swap",
+                        DpPass::LocalReorder => "dp.local_reorder",
+                        DpPass::IndependentSetMatching => "dp.ism",
+                    });
+                    match pass {
+                        DpPass::GlobalSwap => global_swap(nl, p),
+                        DpPass::LocalReorder => local_reorder(nl, p, self.window),
+                        DpPass::IndependentSetMatching => {
+                            independent_set_matching(nl, p, self.ism_batch.clamp(2, 16))
+                        }
                     }
                 };
                 if injected == Some(pass) {
@@ -144,9 +155,12 @@ impl DetailedPlacer {
                     *p = snapshot;
                     enabled[pass.index()] = false;
                     report.reverts += 1;
-                    report
-                        .disabled
-                        .push((pass, (after - before) / before.max(1.0)));
+                    let worsening = (after - before) / before.max(1.0);
+                    self.telemetry.point(
+                        "degradation",
+                        format!("dp: {pass} worsened hpwl by {worsening:.3e} -> reverted and disabled"),
+                    );
+                    report.disabled.push((pass, worsening));
                 } else {
                     moves += pass_moves;
                 }

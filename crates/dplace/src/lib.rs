@@ -89,6 +89,9 @@ pub struct DetailedPlacer {
     pub max_seconds: Option<f64>,
     /// Fault injection for the guarded driver (tests only).
     pub fault_injection: guarded::DpFaultInjection,
+    /// Telemetry sink: per-pass kernel spans and guard degradation events
+    /// from the guarded driver. Disabled by default.
+    pub telemetry: dp_telemetry::Telemetry,
 }
 
 impl Default for DetailedPlacer {
@@ -100,6 +103,7 @@ impl Default for DetailedPlacer {
             hpwl_tolerance: 1e-9,
             max_seconds: None,
             fault_injection: guarded::DpFaultInjection::default(),
+            telemetry: dp_telemetry::Telemetry::disabled(),
         }
     }
 }

@@ -153,6 +153,10 @@ pub enum GpError<T> {
         best: Box<dp_netlist::Placement<T>>,
         /// Overflow of `best` (`f64::INFINITY` if none was measured).
         best_overflow: f64,
+        /// Execution-layer counters of the aborted run, so the flow can
+        /// fold its kernel time into whatever retry follows (per-op nanos
+        /// must survive rollback restarts).
+        exec: dp_autograd::ExecSummary,
     },
 }
 
@@ -259,6 +263,9 @@ pub struct GpConfig<T> {
     /// replayer in `dp-check` verifies — and `Some(false)` forces float
     /// accumulation (serial benchmarking of the non-quantized path).
     pub deterministic: Option<bool>,
+    /// Telemetry sink for spans, convergence traces, and kernel timers.
+    /// Disabled by default; never touches the numerics either way.
+    pub telemetry: dp_telemetry::Telemetry,
 }
 
 impl<T: Float> GpConfig<T> {
@@ -291,6 +298,7 @@ impl<T: Float> GpConfig<T> {
             recovery: RecoveryPolicy::default(),
             fault_injection: FaultInjection::default(),
             deterministic: None,
+            telemetry: dp_telemetry::Telemetry::disabled(),
         }
     }
 

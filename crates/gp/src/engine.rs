@@ -331,8 +331,10 @@ impl<T: Float> GlobalPlacer<T> {
         let mut timing = GpTiming::default();
 
         // One persistent executor per run: worker threads spawn here, once,
-        // and every kernel below launches on them.
-        let mut ctx = ExecCtx::new(cfg.threads);
+        // and every kernel below launches on them. The telemetry sink (if
+        // enabled) receives mirrored kernel timings and pool busy shards.
+        let mut ctx = ExecCtx::with_telemetry(cfg.threads, cfg.telemetry.clone());
+        let tel = cfg.telemetry.clone();
 
         // --- operators -------------------------------------------------
         let grid = BinGrid::new(nl.region(), cfg.bins.0, cfg.bins.1)?;
@@ -513,6 +515,7 @@ impl<T: Float> GlobalPlacer<T> {
                 }
             }
             iterations = k + 1;
+            let _iter_span = tel.span(dp_telemetry::SpanKind::Iteration, "gp.iter");
             let t_step = Instant::now();
             let info = solver.step(&mut obj, &mut params);
             clamp_params(&mut params, nl);
@@ -560,12 +563,14 @@ impl<T: Float> GlobalPlacer<T> {
             if let Some(cause) = cause {
                 if recoveries >= policy.max_recoveries {
                     unpack_into(&best_params, &mut pos, n);
+                    let exec = obj.ctx.summary();
                     return Err(GpError::Diverged {
                         iteration: k,
                         cause,
                         recoveries,
                         best: Box::new(pos),
                         best_overflow,
+                        exec,
                     });
                 }
                 // Roll back to the checkpoint with a tamer objective:
@@ -588,6 +593,15 @@ impl<T: Float> GlobalPlacer<T> {
                     .set_gamma(gamma_sched.gamma(T::from_f64(checkpoint.overflow)) * gamma_boost);
                 prev_hpwl = checkpoint.prev_hpwl;
                 history.truncate(checkpoint.history_len);
+                tel.point(
+                    "recovery",
+                    format!(
+                        "gp: {cause} at iter {k}, rolled back to {} (lambda {:.3e}, gamma x{:.2})",
+                        checkpoint.iteration,
+                        lambda.to_f64(),
+                        gamma_boost.to_f64()
+                    ),
+                );
                 recovery_events.push(RecoveryEvent {
                     iteration: k,
                     resumed_from: checkpoint.iteration,
@@ -612,6 +626,13 @@ impl<T: Float> GlobalPlacer<T> {
             }
             prev_hpwl = cur_hpwl;
 
+            tel.iteration(
+                k,
+                cur_hpwl.to_f64(),
+                overflow_f,
+                obj.lambda.to_f64(),
+                gamma.to_f64(),
+            );
             history.push(IterRecord {
                 iteration: k,
                 hpwl: cur_hpwl.to_f64(),

@@ -183,6 +183,7 @@ pub struct Legalizer {
     skip_abacus: bool,
     max_displacement: Option<f64>,
     fault_injection: LgFaultInjection,
+    telemetry: dp_telemetry::Telemetry,
 }
 
 impl Legalizer {
@@ -213,6 +214,14 @@ impl Legalizer {
         self
     }
 
+    /// Attaches a telemetry sink: each legalization phase (macros, tetris,
+    /// abacus) is recorded as a kernel span, and the stage-guard fallbacks
+    /// become `degradation` timeline events.
+    pub fn with_telemetry(mut self, telemetry: dp_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Legalizes `placement` in place.
     ///
     /// The Tetris result is snapshotted before Abacus refinement; if the
@@ -235,10 +244,16 @@ impl Legalizer {
         // Mixed-size support: legalize multi-row movable macros first; they
         // then act as blockages for the standard-cell passes.
         let macros = macros::movable_macros(nl, &rows);
-        let macro_rects = macros::legalize_macros(nl, placement, &rows, &macros)?;
+        let macro_rects = {
+            let _k = self.telemetry.kernel_span("lg.macros");
+            macros::legalize_macros(nl, placement, &rows, &macros)?
+        };
         let segments = RowSegments::build_with_blockages(nl, placement, &rows, &macro_rects);
 
-        let assignment = tetris_pass(nl, placement, &segments)?;
+        let assignment = {
+            let _k = self.telemetry.kernel_span("lg.tetris");
+            tetris_pass(nl, placement, &segments)?
+        };
 
         let max_disp = |p: &Placement<T>| -> f64 {
             let mut max_d: f64 = 0.0;
@@ -253,12 +268,15 @@ impl Legalizer {
         let mut fallback = None;
         if !self.skip_abacus {
             let tetris_snapshot = placement.clone();
-            let refined = if self.fault_injection.fail_abacus {
-                Err(LgError::NonFinite {
-                    stage: LgStage::Abacus,
-                })
-            } else {
-                abacus_refine(nl, &original, placement, &segments, &assignment)
+            let refined = {
+                let _k = self.telemetry.kernel_span("lg.abacus");
+                if self.fault_injection.fail_abacus {
+                    Err(LgError::NonFinite {
+                        stage: LgStage::Abacus,
+                    })
+                } else {
+                    abacus_refine(nl, &original, placement, &segments, &assignment)
+                }
             };
             match refined {
                 Ok(()) => {
@@ -267,12 +285,20 @@ impl Legalizer {
                         if refined_d > limit && refined_d > max_disp(&tetris_snapshot) {
                             *placement = tetris_snapshot;
                             fallback = Some(LgFallback::DisplacementExceeded);
+                            self.telemetry.point(
+                                "degradation",
+                                format!(
+                                    "lg: abacus displacement {refined_d:.3} over budget {limit:.3} -> tetris result"
+                                ),
+                            );
                         }
                     }
                 }
-                Err(_) => {
+                Err(e) => {
                     *placement = tetris_snapshot;
                     fallback = Some(LgFallback::AbacusFailed);
+                    self.telemetry
+                        .point("degradation", format!("lg: abacus failed ({e}) -> tetris result"));
                 }
             }
         }

@@ -27,6 +27,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dp_telemetry::WorkerShards;
 
 use crate::parallel::{paper_chunk_size, DisjointSlice};
 
@@ -113,6 +116,22 @@ struct PoolShared {
     work_done: Condvar,
     /// Dynamic-scheduling cursor; reset under the state lock per launch.
     cursor: AtomicUsize,
+    /// Fast flag for the telemetry shards below: one relaxed load per
+    /// launch participation when telemetry is disabled (the default).
+    has_shards: AtomicBool,
+    /// Per-worker busy totals (shard 0 = the calling thread, shard `i` =
+    /// spawned worker `i`). Installed by [`WorkerPool::set_worker_shards`].
+    shards: Mutex<Option<Arc<WorkerShards>>>,
+}
+
+impl PoolShared {
+    /// The installed shards, if any (checks the flag before locking).
+    fn shards(&self) -> Option<Arc<WorkerShards>> {
+        if !self.has_shards.load(Ordering::Relaxed) {
+            return None;
+        }
+        lock(&self.shards).clone()
+    }
 }
 
 /// A long-lived worker pool with `parallel_for_chunks` launch semantics.
@@ -161,11 +180,13 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
             cursor: AtomicUsize::new(0),
+            has_shards: AtomicBool::new(false),
+            shards: Mutex::new(None),
         });
         let workers = (1..threads)
-            .map(|_| {
+            .map(|index| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, index))
             })
             .collect();
         Self {
@@ -203,6 +224,16 @@ impl WorkerPool {
     /// The paper's dynamic chunk size for this pool's worker count.
     pub fn chunk_for(&self, items: usize) -> usize {
         paper_chunk_size(items, self.threads)
+    }
+
+    /// Installs telemetry shards recording per-worker busy time: shard 0
+    /// accumulates the calling thread's share of each launch, shard `i`
+    /// spawned worker `i`'s. Size the shards with [`WorkerPool::threads`].
+    /// Without this call (the default) the only launch overhead is one
+    /// relaxed atomic load.
+    pub fn set_worker_shards(&self, shards: Arc<WorkerShards>) {
+        *lock(&self.shared.shards) = Some(shards);
+        self.shared.has_shards.store(true, Ordering::Relaxed);
     }
 
     /// Runs `work(range)` over `0..items` in dynamically scheduled chunks,
@@ -249,6 +280,8 @@ impl WorkerPool {
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Acquire)
                 .is_err()
         {
+            let shards = self.shared.shards();
+            let t0 = shards.as_ref().map(|_| Instant::now());
             let r = catch_unwind(AssertUnwindSafe(|| {
                 let mut start = 0;
                 while start < items {
@@ -257,6 +290,9 @@ impl WorkerPool {
                     start = end;
                 }
             }));
+            if let (Some(shards), Some(t0)) = (shards, t0) {
+                shards.record(0, t0.elapsed().as_nanos() as u64);
+            }
             return r.map_err(|_| PoolPanicked);
         }
         let result = self.launch(items, chunk, &work);
@@ -292,10 +328,15 @@ impl WorkerPool {
         // The caller drains chunks alongside the workers. A panic here must
         // still wait for the workers (they borrow `work`), so it is caught
         // and folded into the same error.
+        let shards = self.shared.shards();
+        let t0 = shards.as_ref().map(|_| Instant::now());
         let caller_panicked = catch_unwind(AssertUnwindSafe(|| {
             drain(&self.shared.cursor, items, chunk, work)
         }))
         .is_err();
+        if let (Some(shards), Some(t0)) = (shards, t0) {
+            shards.record(0, t0.elapsed().as_nanos() as u64);
+        }
 
         let mut state = lock(&self.shared.state);
         while state.active > 0 {
@@ -381,7 +422,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, index: usize) {
     let mut last_seen = 0u64;
     let mut state = lock(&shared.state);
     loop {
@@ -404,10 +445,15 @@ fn worker_loop(shared: &PoolShared) {
                 // the closure cannot be dropped) until `active` reaches
                 // zero again below.
                 let work = work.0;
+                let shards = shared.shards();
+                let t0 = shards.as_ref().map(|_| Instant::now());
                 let panicked = catch_unwind(AssertUnwindSafe(|| {
                     drain(&shared.cursor, items, chunk, work)
                 }))
                 .is_err();
+                if let (Some(shards), Some(t0)) = (shards, t0) {
+                    shards.record(index, t0.elapsed().as_nanos() as u64);
+                }
                 state = lock(&shared.state);
                 if panicked {
                     state.panicked += 1;
@@ -581,6 +627,35 @@ mod tests {
             )
         };
         assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn worker_shards_capture_all_participants_busy_time() {
+        let pool = WorkerPool::new(3);
+        let shards = Arc::new(WorkerShards::new(pool.threads()));
+        pool.set_worker_shards(Arc::clone(&shards));
+        for _ in 0..20 {
+            pool.run(4096, 1, |r| {
+                // Enough per-chunk work that every thread claims chunks.
+                std::hint::black_box(r.map(|i| i * i).sum::<usize>());
+            });
+        }
+        let per_worker = shards.per_worker();
+        assert_eq!(per_worker.len(), 3);
+        // The caller participates in every launch.
+        assert_eq!(per_worker[0].0, 20);
+        // Total launch participations across threads are at most 3 per run.
+        let launches: u64 = per_worker.iter().map(|w| w.0).sum();
+        assert!((20..=60).contains(&launches), "{per_worker:?}");
+    }
+
+    #[test]
+    fn serial_pool_records_caller_shard() {
+        let pool = WorkerPool::serial();
+        let shards = Arc::new(WorkerShards::new(pool.threads()));
+        pool.set_worker_shards(Arc::clone(&shards));
+        pool.run(16, 4, |_| {});
+        assert_eq!(shards.per_worker()[0].0, 1);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Per-worker sharded counters.
+//!
+//! The hot path of both types is two `Relaxed` atomic adds into a shard
+//! owned (by convention) by one worker, so there is no cross-core cache
+//! traffic while kernels run; totals are merged only when the trace is
+//! written. Shards are cache-line aligned to prevent false sharing between
+//! adjacent workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One cache line of counters: `(count, nanos)`.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Shard {
+    count: AtomicU64,
+    nanos: AtomicU64,
+}
+
+fn shards_for(workers: usize) -> Box<[Shard]> {
+    let n = workers.max(1);
+    let mut v = Vec::with_capacity(n);
+    v.resize_with(n, Shard::default);
+    v.into_boxed_slice()
+}
+
+/// Sharded call/duration totals for one kernel. Workers record into their
+/// own shard; [`KernelTimer::total`] merges.
+#[derive(Debug)]
+pub struct KernelTimer {
+    shards: Box<[Shard]>,
+}
+
+impl KernelTimer {
+    /// A timer with one shard per worker (at least one).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            shards: shards_for(workers),
+        }
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one call of `nanos` from `worker`. Two relaxed atomic adds;
+    /// out-of-range workers wrap rather than panic.
+    #[inline]
+    pub fn record(&self, worker: usize, nanos: u64) {
+        self.record_many(worker, 1, nanos);
+    }
+
+    /// Records `calls` invocations totalling `nanos` from `worker`.
+    #[inline]
+    pub fn record_many(&self, worker: usize, calls: u64, nanos: u64) {
+        let shard = &self.shards[worker % self.shards.len()];
+        shard.count.fetch_add(calls, Ordering::Relaxed);
+        shard.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Merged `(calls, nanos)` across all shards.
+    pub fn total(&self) -> (u64, u64) {
+        let mut calls = 0;
+        let mut nanos = 0;
+        for s in self.shards.iter() {
+            calls += s.count.load(Ordering::Relaxed);
+            nanos += s.nanos.load(Ordering::Relaxed);
+        }
+        (calls, nanos)
+    }
+}
+
+/// Per-worker busy totals for a pool: shard `i` accumulates
+/// `(launches, busy nanoseconds)` for worker `i` (0 = the calling thread,
+/// which also drains chunks in `WorkerPool::run`).
+#[derive(Debug)]
+pub struct WorkerShards {
+    shards: Box<[Shard]>,
+}
+
+impl WorkerShards {
+    /// Shards for `workers` workers (at least one).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            shards: shards_for(workers),
+        }
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one launch in which `worker` was busy for `nanos`.
+    /// Out-of-range workers wrap rather than panic.
+    #[inline]
+    pub fn record(&self, worker: usize, nanos: u64) {
+        let shard = &self.shards[worker % self.shards.len()];
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// `(launches, nanos)` per worker, indexed by shard.
+    pub fn per_worker(&self) -> Vec<(u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    s.count.load(Ordering::Relaxed),
+                    s.nanos.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_workers_still_gets_one_shard() {
+        let t = KernelTimer::new(0);
+        assert_eq!(t.workers(), 1);
+        t.record(5, 7); // wraps, no panic
+        assert_eq!(t.total(), (1, 7));
+    }
+
+    #[test]
+    fn totals_merge_across_shards() {
+        let t = KernelTimer::new(4);
+        t.record(0, 10);
+        t.record(1, 20);
+        t.record_many(3, 5, 30);
+        assert_eq!(t.total(), (7, 60));
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let t = Arc::new(KernelTimer::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.record(w, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.total(), (4000, 4000));
+    }
+
+    #[test]
+    fn worker_shards_index_by_worker() {
+        let w = WorkerShards::new(3);
+        w.record(0, 100);
+        w.record(2, 50);
+        w.record(2, 25);
+        assert_eq!(w.per_worker(), vec![(1, 100), (0, 0), (2, 75)]);
+    }
+}

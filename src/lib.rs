@@ -77,3 +77,15 @@ pub mod timing {
 pub mod viz {
     pub use dreamplace_core::viz::*;
 }
+
+/// Run telemetry: hierarchical spans, convergence traces, sharded kernel
+/// counters, the JSONL trace sink, and the end-of-run report.
+pub mod telemetry {
+    pub use dp_telemetry::*;
+}
+
+/// Differential verification: kernel oracles, determinism replay, golden
+/// records, and the schema-validating trace reader.
+pub mod check {
+    pub use dp_check::*;
+}

@@ -3,9 +3,17 @@
 //! ```text
 //! dreamplace place  <design.aux> [--out DIR] [--mode replace|cpu|gpu]
 //!                   [--threads N] [--overflow F] [--svg FILE] [--f32]
+//!                   [--trace FILE]
 //! dreamplace gen    <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]
 //! dreamplace stats  <design.aux>
+//! dreamplace trace-check <trace.jsonl>
 //! ```
+//!
+//! `--trace` enables telemetry for the run: the flow writes a JSONL trace
+//! (schema in `dp_telemetry::jsonl`) to FILE and prints the end-of-run
+//! report. A failed run still writes the partial trace and report before
+//! exiting non-zero. `trace-check` validates a trace against the schema
+//! (balanced spans, per-thread monotone timestamps) via `dp-check`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,8 +29,10 @@ fn usage() -> ExitCode {
         "dreamplace — analytical VLSI placement (DREAMPlace reproduction)\n\n\
          USAGE:\n  dreamplace place <design.aux> [--out DIR] [--mode replace|cpu|gpu]\n\
          \x20                 [--threads N] [--overflow F] [--svg FILE] [--f32] [--no-dp]\n\
+         \x20                 [--trace FILE]\n\
          \x20 dreamplace gen <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]\n\
-         \x20 dreamplace stats <design.aux>"
+         \x20 dreamplace stats <design.aux>\n\
+         \x20 dreamplace trace-check <trace.jsonl>"
     );
     ExitCode::from(2)
 }
@@ -76,6 +86,7 @@ fn main() -> ExitCode {
         "place" => cmd_place(&args),
         "gen" => cmd_gen(&args),
         "stats" => cmd_stats(&args),
+        "trace-check" => cmd_trace_check(&args),
         _ => return usage(),
     };
     match result {
@@ -149,6 +160,38 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the JSONL trace (when requested) and prints the run report.
+/// Used on both the success and the failure path so a failed run still
+/// leaves a partial trace behind for diagnosis.
+fn finish_trace(
+    telemetry: &dreamplace::telemetry::Telemetry,
+    trace_path: Option<&PathBuf>,
+) -> Result<(), String> {
+    let Some(path) = trace_path else {
+        return Ok(());
+    };
+    let events = telemetry
+        .save_jsonl(path)
+        .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+    println!("wrote {} trace events to {}", events, path.display());
+    if let Some(report) = telemetry.report() {
+        println!("\n{}", report.render());
+    }
+    Ok(())
+}
+
+fn cmd_trace_check(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("missing <trace.jsonl>")?;
+    let s = dreamplace::check::validate_file(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+    println!(
+        "{path}: ok — {} events ({} spans, {} iterations, {} points of which {} degradations, \
+         {} kernels, {} workers, {} workspaces, {} meta)",
+        s.lines, s.spans, s.iters, s.points, s.degradations, s.kernels, s.workers, s.workspaces,
+        s.metas
+    );
+    Ok(())
+}
+
 fn cmd_place(args: &Args) -> Result<(), String> {
     let aux = args.positional.first().ok_or("missing <design.aux>")?;
     let design = load(aux)?;
@@ -164,6 +207,13 @@ fn cmd_place(args: &Args) -> Result<(), String> {
     let mut config = FlowConfig::for_mode(mode, &design.netlist);
     config.gp.target_overflow = args.get_parse("overflow", 0.07)?;
     config.run_dp = args.get("no-dp").is_none();
+    let trace_path = args.get("trace").map(PathBuf::from);
+    let telemetry = if trace_path.is_some() {
+        dreamplace::telemetry::Telemetry::enabled()
+    } else {
+        dreamplace::telemetry::Telemetry::disabled()
+    };
+    config.telemetry = telemetry.clone();
     if args.get("f32").is_some() {
         eprintln!("note: --f32 runs the flow in single precision via a converted design");
         // Single-precision run: regenerate the flow in f32 through Bookshelf.
@@ -171,9 +221,18 @@ fn cmd_place(args: &Args) -> Result<(), String> {
     }
 
     println!("\nplacing with {} ...", mode.label());
-    let result = DreamPlacer::new(config)
-        .place(&design)
-        .map_err(|e| e.to_string())?;
+    let result = match DreamPlacer::new(config).place(&design) {
+        Ok(r) => r,
+        Err(e) => {
+            // A failed run still emits its partial trace and report: the
+            // spans are RAII so the trace is balanced up to the failure,
+            // and the report's timeline shows what degraded on the way.
+            if let Err(trace_err) = finish_trace(&telemetry, trace_path.as_ref()) {
+                eprintln!("warning: {trace_err}");
+            }
+            return Err(e.diagnosis());
+        }
+    };
     println!(
         "GP {:.2}s ({} iters, overflow {:.3}) | LG {:.2}s | DP {:.2}s | total {:.2}s",
         result.timing.gp,
@@ -190,6 +249,7 @@ fn cmd_place(args: &Args) -> Result<(), String> {
     if !result.degradations.is_clean() {
         println!("degraded: {}", result.degradations);
     }
+    finish_trace(&telemetry, trace_path.as_ref())?;
 
     let out = PathBuf::from(args.get("out").unwrap_or("."));
     write_design(
