@@ -1,0 +1,85 @@
+//! Measures the durable-checkpointing overhead of the full flow on the
+//! 420-cell golden design — the budget DESIGN.md §12 commits to (< 5%
+//! wall-clock at `--checkpoint-every 50`).
+//!
+//! ```text
+//! cargo run -p dp-bench --release --bin checkpoint_overhead
+//! ```
+//!
+//! Runs the flow `reps` times per arm (plain / durable with atomic
+//! checkpoints every 50 GP iterations), interleaving the arms so host-load
+//! drift cancels, and compares each arm's median time.
+
+use dreamplace_core::{
+    CheckpointPolicy, DreamPlacer, DurableOutcome, FlowConfig, FlowFaultInjection, ToolMode,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let design = dp_gen::GeneratorConfig::new("ckpt-overhead", 420, 460)
+        .with_seed(71)
+        .with_utilization(0.6)
+        .generate::<f64>()
+        .expect("presets always generate");
+    let reps: usize = std::env::var("DP_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    let every: usize = std::env::var("DP_CKPT_EVERY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let mode = ToolMode::DreamplaceCpu { threads: 2 };
+    let config = || FlowConfig::for_mode(mode, &design.netlist);
+    let base = std::env::var_os("DP_CKPT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let dir = base.join(format!("dp-ckpt-overhead-{}", std::process::id()));
+    let policy = CheckpointPolicy::new(&dir).every(every);
+
+    let run = |policy: Option<&CheckpointPolicy>| {
+        let outcome = DreamPlacer::new(config())
+            .place_durable(&design, None, policy, FlowFaultInjection::default())
+            .unwrap_or_else(|e| panic!("flow failed: {e}"));
+        match outcome {
+            DurableOutcome::Completed(r) => r.hpwl_final,
+            DurableOutcome::Killed { at } => panic!("uninjected run died at {at}"),
+        }
+    };
+
+    // Warm-up so both arms see hot caches and a grown heap.
+    let _ = run(None);
+
+    // Interleave the arms (plain, durable, plain, durable, ...) so slow
+    // drift in host load hits both equally, then compare each arm's
+    // median — the median shrugs off the load bursts of a shared box that
+    // would poison either a mean or a lucky/unlucky minimum.
+    let mut offs = Vec::with_capacity(reps);
+    let mut ons = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = run(None);
+        offs.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let _ = run(Some(&policy));
+        ons.push(t.elapsed().as_secs_f64());
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        xs[xs.len() / 2]
+    };
+    let off = median(&mut offs);
+    let on = median(&mut ons);
+    let checkpoint_bytes = std::fs::metadata(dir.join("flow.ckpt"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead = (on / off - 1.0) * 100.0;
+    println!("420-cell golden design, median of {reps} interleaved runs each:");
+    println!("  plain flow                   {:>8.1}ms", off * 1e3);
+    println!("  durable (checkpoint @ {every:>3})   {:>8.1}ms", on * 1e3);
+    println!("  checkpoint size              {checkpoint_bytes:>8} bytes");
+    println!("  overhead                     {overhead:>+8.1}%  (budget < 5%)");
+}

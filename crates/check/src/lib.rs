@@ -28,7 +28,11 @@
 //!   regenerate with `DP_UPDATE_GOLDEN=1`);
 //! * [`trace`] — schema-validating reader for `dp-telemetry` JSONL traces
 //!   (balanced span nesting, per-thread timestamp monotonicity),
-//!   deliberately independent of the writer.
+//!   deliberately independent of the writer;
+//! * [`checkpoint`] — schema-validating reader for `DPCKPT` flow
+//!   checkpoints (own tokenizer, own table-driven CRC32, cross-field
+//!   invariants), deliberately independent of the
+//!   `dreamplace_core::checkpoint` writer/reader pair.
 //!
 //! The differential test suites live in `crates/check/tests/`; the golden
 //! full-flow regression lives in the workspace root `tests/differential.rs`
@@ -38,6 +42,7 @@
 // tests opt out module-by-module.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod checkpoint;
 pub mod golden;
 pub mod gradcheck;
 pub mod oracle_dct;
@@ -58,4 +63,5 @@ pub use replay::{
     diff_placements, first_divergence, replay_across_threads, replay_dp, replay_gp, replay_lg,
     ReplayReport, StageReplay,
 };
+pub use checkpoint::{validate_checkpoint_file, validate_checkpoint_str, CkptError, CkptSummary};
 pub use trace::{validate_file, validate_str, TraceError, TraceSummary};

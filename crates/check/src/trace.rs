@@ -71,6 +71,9 @@ pub struct TraceSummary {
     pub points: usize,
     /// Degradation points among them (name == "degradation").
     pub degradations: usize,
+    /// Checkpoint-resume points among them (name == "resume"); a trace
+    /// from a `--resume` run carries one per process restart.
+    pub resumes: usize,
     /// Kernel counter summaries.
     pub kernels: usize,
     /// Per-worker pool summaries.
@@ -428,6 +431,9 @@ pub fn validate_str(text: &str) -> Result<TraceSummary, TraceError> {
                 }
                 if name == "degradation" {
                     summary.degradations += 1;
+                }
+                if name == "resume" {
+                    summary.resumes += 1;
                 }
                 summary.points += 1;
             }

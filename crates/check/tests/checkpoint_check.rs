@@ -1,0 +1,137 @@
+//! Cross-validation of the independent checkpoint reader against the
+//! `dreamplace-core` writer: every checkpoint the durable flow driver can
+//! produce must validate, and the independent CRC/schema checks must
+//! catch the same corruptions the core reader catches.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dp_check::checkpoint::{validate_checkpoint_file, validate_checkpoint_str, CkptError};
+use dreamplace_core::{
+    checkpoint, CheckpointPolicy, DreamPlacer, DurableOutcome, FlowConfig, FlowFaultInjection,
+    FlowState, ToolMode,
+};
+
+fn design() -> dp_gen::GeneratedDesign<f64> {
+    dp_gen::GeneratorConfig::new("ckpt-xval", 150, 165)
+        .with_seed(23)
+        .with_utilization(0.6)
+        .generate::<f64>()
+        .expect("ok")
+}
+
+fn config(d: &dp_gen::GeneratedDesign<f64>) -> FlowConfig<f64> {
+    let mut cfg = FlowConfig::for_mode(ToolMode::DreamplaceCpu { threads: 1 }, &d.netlist);
+    cfg.gp.max_iters = 150;
+    cfg.gp.target_overflow = 0.2;
+    cfg
+}
+
+/// Runs the flow to an injected kill at `at`, leaving a checkpoint in a
+/// fresh temp dir, and returns the checkpoint file contents.
+fn checkpoint_killed_at(at: FlowState, tag: &str) -> String {
+    let d = design();
+    let dir = std::env::temp_dir().join(format!("dp-ckpt-xval-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = CheckpointPolicy::new(&dir).every(2);
+    let outcome = DreamPlacer::new(config(&d))
+        .place_durable(&d, None, Some(&policy), FlowFaultInjection::die_at(at))
+        .expect("durable run");
+    assert!(matches!(outcome, DurableOutcome::Killed { .. }));
+    let text = std::fs::read_to_string(checkpoint::checkpoint_file(&dir)).expect("checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+    text
+}
+
+#[test]
+fn validator_accepts_gp_lg_and_dp_checkpoints() {
+    for (at, tag, stage) in [
+        (FlowState::Gp { iteration: 6 }, "gp", "gp"),
+        (FlowState::Lg, "lg", "lg"),
+        (FlowState::Dp { pass: 1 }, "dp", "dp"),
+    ] {
+        let text = checkpoint_killed_at(at, tag);
+        let s = validate_checkpoint_str(&text)
+            .unwrap_or_else(|e| panic!("{stage} checkpoint rejected: {e}"));
+        assert_eq!(s.stage, stage);
+        assert_eq!(s.name, "ckpt-xval");
+        assert_eq!(s.cells, 150);
+        assert_eq!(s.nets, 165);
+        assert_eq!(s.gp_next_iteration.is_some(), stage == "gp");
+        assert!(s.records > 10, "suspiciously small: {} records", s.records);
+    }
+}
+
+#[test]
+fn validator_accepts_files_and_directories() {
+    let d = design();
+    let dir = std::env::temp_dir().join(format!("dp-ckpt-xval-dir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = CheckpointPolicy::new(&dir).every(2);
+    DreamPlacer::new(config(&d))
+        .place_durable(
+            &d,
+            None,
+            Some(&policy),
+            FlowFaultInjection::die_at(FlowState::Lg),
+        )
+        .expect("durable run");
+    let via_dir = validate_checkpoint_file(&dir).expect("dir");
+    let via_file = validate_checkpoint_file(&checkpoint::checkpoint_file(&dir)).expect("file");
+    assert_eq!(via_dir, via_file);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn independent_crc_catches_bit_flips() {
+    let text = checkpoint_killed_at(FlowState::Gp { iteration: 4 }, "crc");
+    let idx = text.rfind("end\n").unwrap() - 2;
+    let mut bytes = text.clone().into_bytes();
+    bytes[idx] = if bytes[idx] == b'0' { b'1' } else { b'0' };
+    let flipped = String::from_utf8(bytes).unwrap();
+    match validate_checkpoint_str(&flipped) {
+        Err(CkptError::Crc { .. }) => {}
+        other => panic!("want Crc error, got {other:?}"),
+    }
+    // And the pristine text still passes (the flip was the only change).
+    validate_checkpoint_str(&text).expect("pristine");
+}
+
+#[test]
+fn independent_reader_rejects_truncation_version_skew_and_foreign_files() {
+    let text = checkpoint_killed_at(FlowState::Gp { iteration: 4 }, "neg");
+    match validate_checkpoint_str(&text[..text.len() / 2]) {
+        Err(CkptError::Crc { .. }) => {}
+        other => panic!("want Crc on truncation, got {other:?}"),
+    }
+    match validate_checkpoint_str(&text.replacen("DPCKPT v1", "DPCKPT v9", 1)) {
+        Err(CkptError::Version {
+            found: 9,
+            supported: 1,
+        }) => {}
+        other => panic!("want Version, got {other:?}"),
+    }
+    match validate_checkpoint_str("{\"ev\":\"span\"}\n") {
+        Err(CkptError::Header(_)) => {}
+        other => panic!("want Header, got {other:?}"),
+    }
+}
+
+#[test]
+fn both_readers_agree_on_every_killed_state() {
+    // The two independently implemented readers must accept exactly the
+    // same set of checkpoints the driver writes.
+    for (at, tag) in [
+        (FlowState::Gp { iteration: 2 }, "agree-gp2"),
+        (FlowState::Gp { iteration: 8 }, "agree-gp8"),
+        (FlowState::Lg, "agree-lg"),
+        (FlowState::Dp { pass: 0 }, "agree-dp0"),
+        (FlowState::Dp { pass: 2 }, "agree-dp2"),
+        (FlowState::Finish, "agree-finish"),
+    ] {
+        let text = checkpoint_killed_at(at, tag);
+        checkpoint::deserialize::<f64>(&text)
+            .unwrap_or_else(|e| panic!("core reader rejected {tag}: {e}"));
+        validate_checkpoint_str(&text)
+            .unwrap_or_else(|e| panic!("independent reader rejected {tag}: {e}"));
+    }
+}

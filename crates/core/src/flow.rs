@@ -13,20 +13,17 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
 
 use dp_dplace::{DetailedPlacer, DpPass, DpStats};
 use dp_gen::GeneratedDesign;
-use dp_gp::{
-    DivergenceCause, GlobalPlacer, GpConfig, GpError, GpResult, GpStats, GpTiming, SolverKind,
-    WirelengthModel,
-};
-use dp_lg::{check_legal, Legalizer, LgError, LgFallback, LgStats};
-use dp_netlist::{hpwl, Netlist, Placement};
+use dp_gp::{DivergenceCause, GpConfig, GpError, GpStats, SolverKind, WirelengthModel};
+use dp_lg::{Legalizer, LgError, LgStats};
+use dp_netlist::{Netlist, Placement};
 use dp_num::Float;
 
+use crate::machine::{FlowMachine, FlowState};
 use crate::modes::ToolMode;
-use crate::sanitize::{sanitize_design, SanitizeReport};
+use crate::sanitize::SanitizeReport;
 
 /// Error raised by the full flow.
 #[derive(Debug)]
@@ -53,6 +50,9 @@ pub enum FlowError<T> {
     },
     /// Bookshelf IO round-trip failed.
     Io(std::io::Error),
+    /// Writing, reading, or applying a durable checkpoint failed (see
+    /// [`crate::checkpoint`]).
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl<T> FlowError<T> {
@@ -75,6 +75,7 @@ impl<T> FlowError<T> {
                  (hpwl {hpwl_legal:.4e})"
             ),
             FlowError::Io(e) => format!("io: {e}"),
+            FlowError::Checkpoint(e) => format!("checkpoint: {e}"),
         }
     }
 }
@@ -253,7 +254,7 @@ impl FlowDegradations {
         self.events.iter().filter(move |e| e.stage == stage)
     }
 
-    fn record(
+    pub(crate) fn record(
         &mut self,
         stage: FlowStage,
         trigger: DegradationTrigger,
@@ -442,7 +443,9 @@ impl<T: Float> DreamPlacer<T> {
         &self.config
     }
 
-    /// Runs the full flow on a design.
+    /// Runs the full flow on a design: a thin loop over
+    /// [`FlowMachine::step`] (use the machine directly — or
+    /// [`DreamPlacer::place_durable`] — for checkpoint/resume).
     ///
     /// The sanitizer runs first: fatal defects abort with
     /// [`FlowError::Sanitize`], repairable ones are fixed in a copy and
@@ -458,347 +461,17 @@ impl<T: Float> DreamPlacer<T> {
     ///
     /// See [`FlowError`].
     pub fn place(&self, design: &GeneratedDesign<T>) -> Result<FlowResult<T>, FlowError<T>> {
-        let t_total = Instant::now();
-        let mut timing = FlowTiming::default();
-        let mut degradations = FlowDegradations::default();
-        let tel = self.config.telemetry.clone();
-        let _flow_span = tel.span(dp_telemetry::SpanKind::Flow, design.name.clone());
-        tel.meta("design", &design.name);
-        tel.meta("cells", design.netlist.num_cells());
-        tel.meta("nets", design.netlist.num_nets());
-        tel.meta("threads", self.config.gp.threads);
-
-        // --- IO (optional Bookshelf round-trip) -------------------------
-        let io_span = tel.span(dp_telemetry::SpanKind::Stage, "io");
-        let t_io = Instant::now();
-        let io_design;
-        let (nl, fixed) = if self.config.io_roundtrip {
-            let dir = std::env::temp_dir().join(format!("dreamplace-io-{}", design.name));
-            dp_bookshelf::write_design(
-                &dir,
-                &design.name,
-                &design.netlist,
-                &design.fixed_positions,
-            )?;
-            let parsed = dp_bookshelf::read_design::<T>(&dir.join(format!("{}.aux", design.name)))
-                .map_err(|e| {
-                    FlowError::Io(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        e.to_string(),
-                    ))
-                })?;
-            io_design = parsed;
-            (&io_design.netlist, &io_design.positions)
-        } else {
-            (&design.netlist, &design.fixed_positions)
-        };
-        timing.io = t_io.elapsed().as_secs_f64();
-        drop(io_span);
-
-        // --- sanitize -----------------------------------------------------
-        let sanitize_span = tel.span(dp_telemetry::SpanKind::Stage, "sanitize");
-        let (sanitize_report, repaired) = if self.config.sanitize {
-            sanitize_design(nl, fixed)
-        } else {
-            (SanitizeReport::default(), None)
-        };
-        if sanitize_report.is_fatal() {
-            tel.point(
-                "degradation",
-                format!("sanitize: fatal defects -> aborted ({sanitize_report})"),
-            );
-            return Err(FlowError::Sanitize(sanitize_report));
-        }
-        let (nl, fixed) = match &repaired {
-            Some((rn, rf)) => (rn, rf),
-            None => (nl, fixed),
-        };
-        if !sanitize_report.findings.is_empty() {
-            tel.point("sanitize", &sanitize_report);
-        }
-        drop(sanitize_span);
-
-        // --- global placement -------------------------------------------
-        let gp_span = tel.span(dp_telemetry::SpanKind::Stage, "gp");
-        let mut gp_cfg = self.config.gp.clone();
-        gp_cfg.telemetry = tel.clone();
-        if let Some(budget) = self.config.budgets.gp_seconds {
-            gp_cfg.max_seconds = Some(match gp_cfg.max_seconds {
-                Some(own) => own.min(budget),
-                None => budget,
-            });
-        }
-        if gp_cfg.bins.0 < 2 || gp_cfg.bins.1 < 4 {
-            // The density operator runs in uniform-field mode on
-            // sub-spectral grids; record it so callers know the density
-            // force was traded away.
-            tel.point(
-                "degradation",
-                format!(
-                    "gp: degenerate grid {}x{} -> uniform-field density",
-                    gp_cfg.bins.0, gp_cfg.bins.1
-                ),
-            );
-            degradations.record(
-                FlowStage::Gp,
-                DegradationTrigger::DegenerateGrid { bins: gp_cfg.bins },
-                DegradationFallback::UniformFieldDensity,
-            );
-        }
-        let t_gp = Instant::now();
-        let (gp_result, gp_fallback) = self.run_gp(gp_cfg, nl, fixed)?;
-        timing.gp = t_gp.elapsed().as_secs_f64();
-        match gp_fallback {
-            Some(GpFallback::ConservativePreset { cause }) => {
-                tel.point(
-                    "degradation",
-                    format!("gp: diverged ({cause}) -> conservative preset completed"),
-                );
-                degradations.record(
-                    FlowStage::Gp,
-                    DegradationTrigger::GpDiverged(cause),
-                    DegradationFallback::ConservativeGpPreset,
-                );
+        let mut machine = FlowMachine::new(self.config.clone(), design);
+        loop {
+            if machine.step()? == FlowState::Done {
+                break;
             }
-            Some(GpFallback::BestSoFar { cause, .. }) => {
-                tel.point(
-                    "degradation",
-                    format!("gp: diverged ({cause}) -> best-so-far placement"),
-                );
-                degradations.record(
-                    FlowStage::Gp,
-                    DegradationTrigger::GpDiverged(cause),
-                    DegradationFallback::BestSoFarPlacement,
-                );
-            }
-            None => {}
         }
-        tel.workspaces(
-            gp_result
-                .stats
-                .exec
-                .workspaces
-                .iter()
-                .map(|(name, w)| (*name, w.uses, w.reuses, w.bytes as u64)),
-        );
-        drop(gp_span);
-        let gp_placement = gp_result.placement;
-        let mut placement = gp_placement.clone();
-        let hpwl_gp = hpwl(nl, &placement).to_f64();
-
-        // --- legalization -------------------------------------------------
-        let lg_span = tel.span(dp_telemetry::SpanKind::Stage, "lg");
-        let t_lg = Instant::now();
-        let mut legalizer = self.config.lg.clone().with_telemetry(tel.clone());
-        if let Some(limit) = self.config.budgets.lg_max_displacement {
-            legalizer = legalizer.with_max_displacement(limit);
-        }
-        let mut lg_stats = legalizer
-            .legalize(nl, &mut placement)
-            .map_err(|error| FlowError::Lg { error, hpwl_gp })?;
-        match lg_stats.fallback {
-            Some(LgFallback::AbacusFailed) => degradations.record(
-                FlowStage::Lg,
-                DegradationTrigger::AbacusFailed,
-                DegradationFallback::TetrisResult,
-            ),
-            Some(LgFallback::DisplacementExceeded) => degradations.record(
-                FlowStage::Lg,
-                DegradationTrigger::DisplacementExceeded,
-                DegradationFallback::TetrisResult,
-            ),
-            None => {}
-        }
-        let report = check_legal(nl, &placement);
-        if !report.is_legal() {
-            // Degradation ladder: the Abacus result failed the audit.
-            // Retry Tetris-only from the GP placement; if even that is
-            // illegal, surface a structured error.
-            let mut retry = gp_placement.clone();
-            let retry_stats = self
-                .config
-                .lg
-                .clone()
-                .with_telemetry(tel.clone())
-                .without_abacus()
-                .legalize(nl, &mut retry)
-                .map_err(|error| FlowError::Lg { error, hpwl_gp })?;
-            let retry_report = check_legal(nl, &retry);
-            if !retry_report.is_legal() {
-                return Err(FlowError::IllegalResult {
-                    overlaps: report.overlaps.max(retry_report.overlaps),
-                    hpwl_legal: hpwl(nl, &retry).to_f64(),
-                });
-            }
-            tel.point(
-                "degradation",
-                format!(
-                    "lg: {} overlaps after abacus -> retried tetris-only from gp placement",
-                    report.overlaps
-                ),
-            );
-            degradations.record(
-                FlowStage::Lg,
-                DegradationTrigger::IllegalAfterLg {
-                    overlaps: report.overlaps,
-                },
-                DegradationFallback::RetryWithoutAbacus,
-            );
-            placement = retry;
-            lg_stats = retry_stats;
-        }
-        timing.lg = t_lg.elapsed().as_secs_f64();
-        drop(lg_span);
-        let hpwl_legal = hpwl(nl, &placement).to_f64();
-
-        // --- detailed placement -------------------------------------------
-        let dp_span = tel.span(dp_telemetry::SpanKind::Stage, "dp");
-        let t_dp = Instant::now();
-        let dp_stats = if self.config.run_dp {
-            Some(match self.config.batched_dp_threads {
-                Some(threads) => {
-                    dp_dplace::BatchedDetailedPlacer::new(threads).run(nl, &mut placement)
-                }
-                None => {
-                    let mut dp = self.config.dp.clone();
-                    dp.telemetry = tel.clone();
-                    dp.hpwl_tolerance = self.config.budgets.dp_hpwl_tolerance;
-                    if let Some(budget) = self.config.budgets.dp_seconds {
-                        dp.max_seconds = Some(match dp.max_seconds {
-                            Some(own) => own.min(budget),
-                            None => budget,
-                        });
-                    }
-                    let (stats, guard) = dp.run_guarded(nl, &mut placement);
-                    for (pass, worsening) in &guard.disabled {
-                        degradations.record(
-                            FlowStage::Dp,
-                            DegradationTrigger::DpPassWorsened {
-                                pass: *pass,
-                                worsening: *worsening,
-                            },
-                            DegradationFallback::DisabledDpPass(*pass),
-                        );
-                    }
-                    if guard.budget_exhausted {
-                        degradations.record(
-                            FlowStage::Dp,
-                            DegradationTrigger::BudgetExhausted,
-                            DegradationFallback::StoppedStageEarly,
-                        );
-                    }
-                    stats
-                }
-            })
-        } else {
-            None
-        };
-        timing.dp = t_dp.elapsed().as_secs_f64();
-        drop(dp_span);
-        let hpwl_final = hpwl(nl, &placement).to_f64();
-
-        // Write the final placement back when IO is being measured.
-        if self.config.io_roundtrip {
-            let _io_span = tel.span(dp_telemetry::SpanKind::Stage, "io");
-            let t_io2 = Instant::now();
-            let dir = std::env::temp_dir().join(format!("dreamplace-io-{}", design.name));
-            dp_bookshelf::write_design(&dir, &format!("{}-final", design.name), nl, &placement)?;
-            timing.io += t_io2.elapsed().as_secs_f64();
-        }
-
-        timing.total = t_total.elapsed().as_secs_f64();
-        Ok(FlowResult {
-            placement,
-            hpwl_gp,
-            hpwl_legal,
-            hpwl_final,
-            gp: gp_result.stats,
-            lg: lg_stats,
-            dp: dp_stats,
-            timing,
-            gp_fallback,
-            sanitize: sanitize_report,
-            degradations,
+        machine.finish().ok_or_else(|| {
+            FlowError::Io(std::io::Error::other(
+                "flow machine completed without a result",
+            ))
         })
-    }
-
-    /// Runs GP with graceful degradation (see [`DreamPlacer::place`]).
-    fn run_gp(
-        &self,
-        gp_cfg: GpConfig<T>,
-        nl: &Netlist<T>,
-        fixed: &Placement<T>,
-    ) -> Result<(GpResult<T>, Option<GpFallback>), FlowError<T>> {
-        let primary = GlobalPlacer::new(gp_cfg.clone()).place(nl, fixed);
-        let err = match primary {
-            Ok(r) => return Ok((r, None)),
-            Err(e) if self.config.gp_fallback => e,
-            Err(e) => return Err(e.into()),
-        };
-        let GpError::Diverged {
-            cause,
-            recoveries,
-            best,
-            best_overflow,
-            exec,
-            ..
-        } = err
-        else {
-            // Transform errors are configuration problems; no preset fixes
-            // them.
-            return Err(err.into());
-        };
-
-        match GlobalPlacer::new(conservative_preset(&gp_cfg, nl)).place_from(
-            nl,
-            (*best).clone(),
-            None,
-        ) {
-            Ok(mut r) => {
-                // Fold the aborted primary attempt's kernel work into the
-                // retry's counters so the run's ExecSummary covers both.
-                r.stats.exec.merge(&exec);
-                Ok((r, Some(GpFallback::ConservativePreset { cause })))
-            }
-            Err(GpError::Diverged {
-                iteration,
-                cause: retry_cause,
-                recoveries: retry_recoveries,
-                best: retry_best,
-                best_overflow: retry_overflow,
-                exec: retry_exec,
-            }) => {
-                // Adopt whichever attempt spread the cells further and let
-                // legalization take it from there.
-                let (placement, overflow, cause) = if retry_overflow < best_overflow {
-                    (*retry_best, retry_overflow, retry_cause)
-                } else {
-                    (*best, best_overflow, cause)
-                };
-                let total_recoveries = recoveries + retry_recoveries;
-                let mut merged_exec = retry_exec;
-                merged_exec.merge(&exec);
-                let stats = GpStats {
-                    iterations: iteration,
-                    final_hpwl: hpwl(nl, &placement).to_f64(),
-                    final_overflow: overflow,
-                    converged: false,
-                    history: Vec::new(),
-                    timing: GpTiming::default(),
-                    recoveries: total_recoveries,
-                    recovery_events: Vec::new(),
-                    exec: merged_exec,
-                };
-                Ok((
-                    GpResult { placement, stats },
-                    Some(GpFallback::BestSoFar {
-                        cause,
-                        recoveries: total_recoveries,
-                    }),
-                ))
-            }
-            Err(e) => Err(e.into()),
-        }
     }
 }
 
@@ -806,7 +479,7 @@ impl<T: Float> DreamPlacer<T> {
 /// quarter-bin learning rate, LSE wirelength, and the paper's default
 /// scheduler knobs (a runaway `mu_max` or `ref_delta_hpwl` override is the
 /// most common way to make the primary configuration diverge).
-fn conservative_preset<T: Float>(gp: &GpConfig<T>, nl: &Netlist<T>) -> GpConfig<T> {
+pub(crate) fn conservative_preset<T: Float>(gp: &GpConfig<T>, nl: &Netlist<T>) -> GpConfig<T> {
     let mut cfg = gp.clone();
     let region = nl.region();
     let bin = (region.width().to_f64() / cfg.bins.0 as f64
@@ -830,6 +503,7 @@ fn conservative_preset<T: Float>(gp: &GpConfig<T>, nl: &Netlist<T>) -> GpConfig<
 mod tests {
     use super::*;
     use dp_gen::GeneratorConfig;
+    use dp_lg::check_legal;
 
     fn design() -> GeneratedDesign<f64> {
         GeneratorConfig::new("flow-test", 300, 330)

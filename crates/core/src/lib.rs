@@ -44,16 +44,23 @@
 // tests opt out module-by-module.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod checkpoint;
 pub mod flow;
+pub mod machine;
 pub mod modes;
 pub mod routability;
 pub mod sanitize;
 pub mod timing_driven;
 pub mod viz;
 
+pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
 pub use flow::{
     DegradationEvent, DegradationFallback, DegradationTrigger, DreamPlacer, FlowConfig,
     FlowDegradations, FlowError, FlowResult, FlowStage, FlowTiming, GpFallback, StageBudgets,
+};
+pub use machine::{
+    CheckpointData, CheckpointPolicy, CheckpointStage, DesignStamp, DurableOutcome,
+    FlowFaultInjection, FlowMachine, FlowState, GpAttemptState,
 };
 pub use modes::ToolMode;
 pub use sanitize::{sanitize_design, SanitizeFinding, SanitizeIssue, SanitizeReport};

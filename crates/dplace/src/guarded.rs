@@ -34,13 +34,19 @@ pub enum DpPass {
 }
 
 impl DpPass {
-    /// Stable index for per-pass bookkeeping.
-    fn index(self) -> usize {
+    /// Stable index for per-pass bookkeeping (also the serialization tag
+    /// used by the durable checkpoint format).
+    pub fn index(self) -> usize {
         match self {
             DpPass::GlobalSwap => 0,
             DpPass::LocalReorder => 1,
             DpPass::IndependentSetMatching => 2,
         }
+    }
+
+    /// Inverse of [`DpPass::index`].
+    pub fn from_index(i: usize) -> Option<Self> {
+        DpPass::ALL.get(i).copied()
     }
 
     /// The three passes in driver order.
@@ -90,6 +96,256 @@ impl DpGuardReport {
     }
 }
 
+/// Plain-data snapshot of a [`GuardedDpRun`] between passes.
+///
+/// Captured by [`GuardedDpRun::state`]; [`GuardedDpRun::resume`] (with the
+/// placement saved alongside) reconstructs a run that continues
+/// bit-identically. The durable checkpoint layer in `dreamplace-core`
+/// persists exactly this struct at DP pass boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpRunState {
+    /// Current round (0-based).
+    pub round: usize,
+    /// Next pass slot to execute within the round (0..=3; 3 means the
+    /// round-boundary check is pending).
+    pub pass_idx: usize,
+    /// Moves committed so far.
+    pub moves: usize,
+    /// Moves committed when the current round started (drives the
+    /// no-progress stopping rule).
+    pub moves_at_round_start: usize,
+    /// Which passes are still enabled, by [`DpPass::index`].
+    pub enabled: [bool; 3],
+    /// Guard report accumulated so far.
+    pub report: DpGuardReport,
+    /// Fault injection not yet consumed.
+    pub injected_pending: Option<DpPass>,
+    /// HPWL when the run began.
+    pub initial_hpwl: f64,
+    /// Wall-clock seconds consumed so far, across all processes.
+    pub consumed_seconds: f64,
+}
+
+/// A guarded detailed-placement run advanced one pass per
+/// [`GuardedDpRun::step`] call; see the [module docs](crate::guarded).
+///
+/// [`DetailedPlacer::run_guarded`] is a thin loop over this driver, so
+/// stepping externally (for checkpointing between passes) yields the
+/// bit-identical pass sequence.
+#[derive(Debug)]
+pub struct GuardedDpRun {
+    round: usize,
+    pass_idx: usize,
+    moves: usize,
+    moves_at_round_start: usize,
+    enabled: [bool; 3],
+    report: DpGuardReport,
+    injected: Option<DpPass>,
+    initial_hpwl: f64,
+    t0: Instant,
+    consumed_before: f64,
+    done: bool,
+}
+
+impl GuardedDpRun {
+    /// Starts a guarded run on a legal placement.
+    pub fn new<T: Float>(placer: &DetailedPlacer, nl: &Netlist<T>, p: &Placement<T>) -> Self {
+        Self {
+            round: 0,
+            pass_idx: 0,
+            moves: 0,
+            moves_at_round_start: 0,
+            enabled: [true; 3],
+            report: DpGuardReport::default(),
+            injected: placer.fault_injection.worsen_pass,
+            initial_hpwl: hpwl(nl, p).to_f64(),
+            t0: Instant::now(),
+            consumed_before: 0.0,
+            done: false,
+        }
+    }
+
+    /// Reconstructs a run mid-flight from a captured [`DpRunState`]. The
+    /// placement must be the one saved at capture time.
+    pub fn resume(state: DpRunState) -> Self {
+        Self {
+            round: state.round,
+            pass_idx: state.pass_idx,
+            moves: state.moves,
+            moves_at_round_start: state.moves_at_round_start,
+            enabled: state.enabled,
+            report: state.report,
+            injected: state.injected_pending,
+            initial_hpwl: state.initial_hpwl,
+            t0: Instant::now(),
+            consumed_before: state.consumed_seconds,
+            done: false,
+        }
+    }
+
+    /// Captures the run's complete state (pair it with a copy of the
+    /// placement).
+    pub fn state(&self) -> DpRunState {
+        DpRunState {
+            round: self.round,
+            pass_idx: self.pass_idx,
+            moves: self.moves,
+            moves_at_round_start: self.moves_at_round_start,
+            enabled: self.enabled,
+            report: self.report.clone(),
+            injected_pending: self.injected,
+            initial_hpwl: self.initial_hpwl,
+            consumed_seconds: self.consumed_seconds(),
+        }
+    }
+
+    /// Wall-clock seconds this run has consumed, across all processes.
+    pub fn consumed_seconds(&self) -> f64 {
+        self.consumed_before + self.t0.elapsed().as_secs_f64()
+    }
+
+    /// The pass [`GuardedDpRun::step`] would execute next, if any — what
+    /// the checkpoint layer reports as the run's position.
+    pub fn next_pass(&self, placer: &DetailedPlacer) -> Option<DpPass> {
+        if self.done {
+            return None;
+        }
+        // Mirror step()'s slot scan without side effects.
+        let mut round = self.round;
+        let mut idx = self.pass_idx;
+        let mut moves_at_start = self.moves_at_round_start;
+        loop {
+            if round >= placer.max_rounds {
+                return None;
+            }
+            if idx == DpPass::ALL.len() {
+                if self.moves == moves_at_start {
+                    return None;
+                }
+                round += 1;
+                idx = 0;
+                moves_at_start = self.moves;
+                continue;
+            }
+            let pass = DpPass::ALL[idx];
+            if !self.enabled[pass.index()] {
+                idx += 1;
+                continue;
+            }
+            return Some(pass);
+        }
+    }
+
+    /// Executes the next enabled pass (one quality-gated operator run).
+    /// Returns `true` when the run is finished — by round convergence,
+    /// the round cap, or the wall-clock budget. Idempotent once done.
+    pub fn step<T: Float>(
+        &mut self,
+        placer: &DetailedPlacer,
+        nl: &Netlist<T>,
+        p: &mut Placement<T>,
+    ) -> bool {
+        if self.done {
+            return true;
+        }
+        // Find the next enabled pass slot, crossing round boundaries with
+        // the same stopping rules as the nested loops in the one-shot
+        // driver: stop when a full round made no progress or the round
+        // cap is reached.
+        let pass = loop {
+            if self.round >= placer.max_rounds {
+                self.done = true;
+                return true;
+            }
+            if self.pass_idx == DpPass::ALL.len() {
+                if self.moves == self.moves_at_round_start {
+                    self.done = true;
+                    return true;
+                }
+                self.round += 1;
+                self.pass_idx = 0;
+                self.moves_at_round_start = self.moves;
+                continue;
+            }
+            let pass = DpPass::ALL[self.pass_idx];
+            if !self.enabled[pass.index()] {
+                self.pass_idx += 1;
+                continue;
+            }
+            break pass;
+        };
+        if let Some(budget) = placer.max_seconds {
+            if self.consumed_seconds() >= budget {
+                self.report.budget_exhausted = true;
+                placer.telemetry.point(
+                    "degradation",
+                    format!("dp: wall-clock budget {budget:.1}s exhausted -> stopped early"),
+                );
+                self.done = true;
+                return true;
+            }
+        }
+        let snapshot = p.clone();
+        let before = hpwl(nl, p).to_f64();
+        let pass_moves = {
+            let _k = placer.telemetry.kernel_span(match pass {
+                DpPass::GlobalSwap => "dp.global_swap",
+                DpPass::LocalReorder => "dp.local_reorder",
+                DpPass::IndependentSetMatching => "dp.ism",
+            });
+            match pass {
+                DpPass::GlobalSwap => global_swap(nl, p),
+                DpPass::LocalReorder => local_reorder(nl, p, placer.window),
+                DpPass::IndependentSetMatching => {
+                    independent_set_matching(nl, p, placer.ism_batch.clamp(2, 16))
+                }
+            }
+        };
+        if self.injected == Some(pass) {
+            self.injected = None;
+            inject_worsening_swaps(nl, p, before * (1.0 + 1e-6) + 1e-6);
+        }
+        let after = hpwl(nl, p).to_f64();
+        let limit = before * (1.0 + placer.hpwl_tolerance) + placer.hpwl_tolerance;
+        // `after > limit` would miss NaN; the gate must also fire
+        // when the pass went non-finite.
+        let within = matches!(
+            after.partial_cmp(&limit),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        );
+        if !within {
+            // Worsened (or went non-finite): revert and disable.
+            *p = snapshot;
+            self.enabled[pass.index()] = false;
+            self.report.reverts += 1;
+            let worsening = (after - before) / before.max(1.0);
+            placer.telemetry.point(
+                "degradation",
+                format!("dp: {pass} worsened hpwl by {worsening:.3e} -> reverted and disabled"),
+            );
+            self.report.disabled.push((pass, worsening));
+        } else {
+            self.moves += pass_moves;
+        }
+        self.pass_idx += 1;
+        false
+    }
+
+    /// Finalizes the run into the `(stats, report)` pair of
+    /// [`DetailedPlacer::run_guarded`].
+    pub fn finish<T: Float>(self, nl: &Netlist<T>, p: &Placement<T>) -> (DpStats, DpGuardReport) {
+        (
+            DpStats {
+                initial_hpwl: self.initial_hpwl,
+                final_hpwl: hpwl(nl, p).to_f64(),
+                moves: self.moves,
+                runtime: self.consumed_seconds(),
+            },
+            self.report,
+        )
+    }
+}
+
 impl DetailedPlacer {
     /// Runs detailed placement with per-pass quality gates; see the
     /// [module docs](crate::guarded). The placement must be legal;
@@ -99,85 +355,9 @@ impl DetailedPlacer {
         nl: &Netlist<T>,
         p: &mut Placement<T>,
     ) -> (DpStats, DpGuardReport) {
-        let t0 = Instant::now();
-        let initial = hpwl(nl, p).to_f64();
-        let mut moves = 0usize;
-        let mut enabled = [true; 3];
-        let mut report = DpGuardReport::default();
-        let mut injected = self.fault_injection.worsen_pass;
-
-        'rounds: for _ in 0..self.max_rounds {
-            let before_moves = moves;
-            for pass in DpPass::ALL {
-                if !enabled[pass.index()] {
-                    continue;
-                }
-                if let Some(budget) = self.max_seconds {
-                    if t0.elapsed().as_secs_f64() >= budget {
-                        report.budget_exhausted = true;
-                        self.telemetry.point(
-                            "degradation",
-                            format!("dp: wall-clock budget {budget:.1}s exhausted -> stopped early"),
-                        );
-                        break 'rounds;
-                    }
-                }
-                let snapshot = p.clone();
-                let before = hpwl(nl, p).to_f64();
-                let pass_moves = {
-                    let _k = self.telemetry.kernel_span(match pass {
-                        DpPass::GlobalSwap => "dp.global_swap",
-                        DpPass::LocalReorder => "dp.local_reorder",
-                        DpPass::IndependentSetMatching => "dp.ism",
-                    });
-                    match pass {
-                        DpPass::GlobalSwap => global_swap(nl, p),
-                        DpPass::LocalReorder => local_reorder(nl, p, self.window),
-                        DpPass::IndependentSetMatching => {
-                            independent_set_matching(nl, p, self.ism_batch.clamp(2, 16))
-                        }
-                    }
-                };
-                if injected == Some(pass) {
-                    injected = None;
-                    inject_worsening_swaps(nl, p, before * (1.0 + 1e-6) + 1e-6);
-                }
-                let after = hpwl(nl, p).to_f64();
-                let limit = before * (1.0 + self.hpwl_tolerance) + self.hpwl_tolerance;
-                // `after > limit` would miss NaN; the gate must also fire
-                // when the pass went non-finite.
-                let within = matches!(
-                    after.partial_cmp(&limit),
-                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
-                );
-                if !within {
-                    // Worsened (or went non-finite): revert and disable.
-                    *p = snapshot;
-                    enabled[pass.index()] = false;
-                    report.reverts += 1;
-                    let worsening = (after - before) / before.max(1.0);
-                    self.telemetry.point(
-                        "degradation",
-                        format!("dp: {pass} worsened hpwl by {worsening:.3e} -> reverted and disabled"),
-                    );
-                    report.disabled.push((pass, worsening));
-                } else {
-                    moves += pass_moves;
-                }
-            }
-            if moves == before_moves {
-                break;
-            }
-        }
-        (
-            DpStats {
-                initial_hpwl: initial,
-                final_hpwl: hpwl(nl, p).to_f64(),
-                moves,
-                runtime: t0.elapsed().as_secs_f64(),
-            },
-            report,
-        )
+        let mut run = GuardedDpRun::new(self, nl, p);
+        while !run.step(self, nl, p) {}
+        run.finish(nl, p)
     }
 }
 
@@ -266,6 +446,88 @@ mod tests {
         // The run survives: other passes keep improving, result stays legal.
         assert!(stats.final_hpwl <= stats.initial_hpwl);
         assert!(check_legal(&nl, &p).is_legal());
+    }
+
+    /// A run captured after each pass and resumed into a fresh driver must
+    /// finish bit-identically to the one-shot run — the contract the
+    /// durable checkpoint layer persists at DP pass boundaries.
+    #[test]
+    fn state_resume_between_passes_is_bit_identical() {
+        let (nl, p0) = legalized_design(24);
+        let placer = DetailedPlacer::new();
+        let mut golden_p = p0.clone();
+        let (golden_stats, golden_report) = placer.run_guarded(&nl, &mut golden_p);
+
+        // Interrupt after each of the first few passes.
+        for stop_after in 1..=4usize {
+            let mut p = p0.clone();
+            let mut run = GuardedDpRun::new(&placer, &nl, &p);
+            let mut done = false;
+            for _ in 0..stop_after {
+                if run.step(&placer, &nl, &mut p) {
+                    done = true;
+                    break;
+                }
+            }
+            let state = run.state();
+            drop(run); // simulated process death (placement saved in `p`)
+            let mut resumed = GuardedDpRun::resume(state);
+            if !done {
+                while !resumed.step(&placer, &nl, &mut p) {}
+            }
+            let (stats, report) = resumed.finish(&nl, &p);
+            assert_eq!(p.x, golden_p.x, "@{stop_after}");
+            assert_eq!(p.y, golden_p.y, "@{stop_after}");
+            assert_eq!(stats.moves, golden_stats.moves, "@{stop_after}");
+            assert_eq!(
+                stats.final_hpwl.to_bits(),
+                golden_stats.final_hpwl.to_bits(),
+                "@{stop_after}"
+            );
+            assert_eq!(report, golden_report, "@{stop_after}");
+        }
+    }
+
+    /// Pending fault injection survives a state round-trip: the guard
+    /// still fires on the injected pass after resume.
+    #[test]
+    fn resume_preserves_pending_fault_injection() {
+        let (nl, p0) = legalized_design(25);
+        let mut placer = DetailedPlacer::new();
+        placer.fault_injection = DpFaultInjection {
+            worsen_pass: Some(DpPass::LocalReorder),
+        };
+        let mut p = p0;
+        let run = GuardedDpRun::new(&placer, &nl, &p);
+        let state = run.state();
+        assert_eq!(state.injected_pending, Some(DpPass::LocalReorder));
+        let mut resumed = GuardedDpRun::resume(state);
+        while !resumed.step(&placer, &nl, &mut p) {}
+        let (_, report) = resumed.finish(&nl, &p);
+        assert!(report
+            .disabled
+            .iter()
+            .any(|(pass, _)| *pass == DpPass::LocalReorder));
+    }
+
+    /// The persisted consumed-seconds counter feeds the wall-clock budget:
+    /// a resumed run whose previous life spent the budget stops before
+    /// running another pass.
+    #[test]
+    fn resume_honors_consumed_budget() {
+        let (nl, p0) = legalized_design(26);
+        let mut placer = DetailedPlacer::new();
+        placer.max_seconds = Some(3600.0);
+        let mut p = p0.clone();
+        let run = GuardedDpRun::new(&placer, &nl, &p);
+        let mut state = run.state();
+        state.consumed_seconds = 3600.0; // previous life spent it all
+        let mut resumed = GuardedDpRun::resume(state);
+        assert!(resumed.step(&placer, &nl, &mut p), "must stop immediately");
+        let (stats, report) = resumed.finish(&nl, &p);
+        assert!(report.budget_exhausted);
+        assert_eq!(stats.moves, 0);
+        assert_eq!(p.x, p0.x);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod reorder;
 pub mod swap;
 
 pub use batched::{batched_global_swap, batched_global_swap_on, BatchedDetailedPlacer};
-pub use guarded::{DpFaultInjection, DpGuardReport, DpPass};
+pub use guarded::{DpFaultInjection, DpGuardReport, DpPass, DpRunState, GuardedDpRun};
 pub use hungarian::hungarian;
 pub use incremental::IncrementalHpwl;
 pub use ism::independent_set_matching;

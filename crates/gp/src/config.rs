@@ -158,6 +158,12 @@ pub enum GpError<T> {
         /// must survive rollback restarts).
         exec: dp_autograd::ExecSummary,
     },
+    /// A checkpointed engine state could not be reinstated (solver kind or
+    /// vector shapes disagree with the configuration/netlist).
+    Resume {
+        /// What was inconsistent.
+        reason: String,
+    },
 }
 
 impl<T> fmt::Display for GpError<T> {
@@ -176,6 +182,9 @@ impl<T> fmt::Display for GpError<T> {
                     "objective diverged at iteration {iteration} ({cause}) \
                      after {recoveries} recoveries; best-so-far overflow {best_overflow}"
                 )
+            }
+            GpError::Resume { reason } => {
+                write!(f, "engine state cannot be resumed: {reason}")
             }
         }
     }

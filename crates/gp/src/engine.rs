@@ -1,4 +1,17 @@
-//! The global placement main loop.
+//! The global placement main loop, structured as a steppable engine.
+//!
+//! [`GpEngine`] owns every piece of loop state (operators, solver, the
+//! scheduler pair, recovery bookkeeping) and advances one kernel iteration
+//! per [`GpEngine::step`] call. [`GlobalPlacer::place_from`] is a thin loop
+//! over `step()`, so a driver that wants to interleave work between
+//! iterations — the flow state machine, a service daemon, a durable
+//! checkpointer — gets the exact same trajectory as the one-shot API.
+//!
+//! [`GpEngine::state`] captures the complete mutable state as a plain-data
+//! [`GpEngineState`] and [`GpEngine::resume`] reinstates it: a run resumed
+//! from a captured state is bit-identical to one that never stopped
+//! (wall-clock phase attribution aside). That contract is what the durable
+//! checkpoint layer in `dreamplace-core` persists to disk.
 
 use std::time::{Duration, Instant};
 
@@ -172,7 +185,8 @@ impl<T: Float> WlOp<T> {
 }
 
 /// Objective adapter: flat params `[x_mov..., y_mov...]` to operators, with
-/// Jacobi preconditioning and per-phase timing.
+/// Jacobi preconditioning and per-phase timing. Borrows all of its state
+/// from the engine so it can be rebuilt (for free) every step.
 struct PlacementObjective<'a, T: Float> {
     nl: &'a Netlist<T>,
     wl: &'a mut WlOp<T>,
@@ -180,19 +194,19 @@ struct PlacementObjective<'a, T: Float> {
     /// The run's execution context: worker pool, workspaces, counters.
     ctx: &'a mut ExecCtx<T>,
     lambda: T,
-    pos: Placement<T>,
-    grad: Gradient<T>,
+    pos: &'a mut Placement<T>,
+    grad: &'a mut Gradient<T>,
     /// Reused density-gradient accumulator (allocated once per run).
-    dgrad: Gradient<T>,
+    dgrad: &'a mut Gradient<T>,
     /// Precomputed `#pins` per movable cell (wirelength preconditioner).
-    pin_counts: Vec<T>,
+    pin_counts: &'a [T],
     /// Precomputed charge per movable cell (density preconditioner).
-    charges: Vec<T>,
+    charges: &'a [T],
     /// Eval indices whose gradient is poisoned (fault injection).
-    faults: Vec<usize>,
-    t_wl: Duration,
-    t_density: Duration,
-    evals: usize,
+    faults: &'a [usize],
+    t_wl: &'a mut Duration,
+    t_density: &'a mut Duration,
+    evals: &'a mut usize,
 }
 
 impl<'a, T: Float> PlacementObjective<'a, T> {
@@ -206,8 +220,8 @@ impl<'a, T: Float> PlacementObjective<'a, T> {
 impl<'a, T: Float> ObjectiveFn<T> for PlacementObjective<'a, T> {
     fn eval(&mut self, params: &[T], grad_out: &mut [T]) -> T {
         let n = self.nl.num_movable();
-        let eval_idx = self.evals;
-        self.evals += 1;
+        let eval_idx = *self.evals;
+        *self.evals += 1;
 
         // A solver that consumed a poisoned gradient may probe a
         // non-finite iterate within the same step, before the engine's
@@ -225,16 +239,16 @@ impl<'a, T: Float> ObjectiveFn<T> for PlacementObjective<'a, T> {
         let t0 = Instant::now();
         let wl_cost = self
             .wl
-            .forward_backward(self.nl, &self.pos, &mut self.grad, self.ctx);
-        self.t_wl += t0.elapsed();
+            .forward_backward(self.nl, self.pos, self.grad, self.ctx);
+        *self.t_wl += t0.elapsed();
 
         let t1 = Instant::now();
         self.dgrad.reset();
         let d_cost = self
             .density
-            .forward_backward(self.nl, &self.pos, &mut self.dgrad, self.ctx);
-        self.grad.axpy(self.lambda, &self.dgrad);
-        self.t_density += t1.elapsed();
+            .forward_backward(self.nl, self.pos, self.dgrad, self.ctx);
+        self.grad.axpy(self.lambda, self.dgrad);
+        *self.t_density += t1.elapsed();
 
         // Jacobi preconditioning: divide by the diagonal Hessian proxy
         // (#pins + lambda * charge), the ePlace/DREAMPlace conditioner.
@@ -250,20 +264,104 @@ impl<'a, T: Float> ObjectiveFn<T> for PlacementObjective<'a, T> {
     }
 }
 
-/// Everything needed to roll the run back to a known-good iterate.
-struct Checkpoint<T> {
+/// Everything needed to roll the run back to a known-good iterate — the
+/// in-memory rollback target of the divergence-recovery tripwire, and part
+/// of the durable [`GpEngineState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpRollbackState<T> {
     /// Iteration count at capture time (0 = initial state).
-    iteration: usize,
-    params: Vec<T>,
-    solver: OptimizerSnapshot<T>,
-    lambda_sched: DensityWeightScheduler<T>,
-    /// `obj.lambda` at capture time (the scheduler may lag it by up to
-    /// `lambda_update_interval` iterations).
-    lambda: T,
-    prev_hpwl: T,
-    history_len: usize,
+    pub iteration: usize,
+    /// Flat parameter vector at capture time.
+    pub params: Vec<T>,
+    /// Solver state at capture time.
+    pub solver: OptimizerSnapshot<T>,
+    /// Lambda-scheduler weight at capture time.
+    pub sched_lambda: T,
+    /// Lambda-scheduler update counter at capture time.
+    pub sched_iteration: usize,
+    /// `lambda` as applied in the objective at capture time (the scheduler
+    /// may lag it by up to `lambda_update_interval` iterations).
+    pub lambda: T,
+    /// HPWL reference for the next scheduler update.
+    pub prev_hpwl: T,
+    /// History length at capture time (rollback truncates to it).
+    pub history_len: usize,
     /// Overflow at capture time (1.0 for the initial checkpoint).
-    overflow: f64,
+    pub overflow: f64,
+}
+
+/// Complete plain-data snapshot of a [`GpEngine`] mid-run.
+///
+/// Captured by [`GpEngine::state`]; [`GpEngine::resume`] reconstructs an
+/// engine that continues bit-identically. The durable checkpoint format in
+/// `dreamplace-core` serializes exactly this struct.
+#[derive(Debug, Clone)]
+pub struct GpEngineState<T> {
+    /// Next iteration index to execute.
+    pub next_iter: usize,
+    /// Iterations executed so far (`k + 1` of the last executed step).
+    pub iterations: usize,
+    /// Objective evaluations performed (drives fault injection replay).
+    pub evals: usize,
+    /// Current flat parameter vector.
+    pub params: Vec<T>,
+    /// Lowest-overflow parameter vector seen.
+    pub best_params: Vec<T>,
+    /// Overflow of `best_params` (`inf` if none measured yet).
+    pub best_overflow: f64,
+    /// Solver state.
+    pub solver: OptimizerSnapshot<T>,
+    /// Density weight currently applied in the objective.
+    pub lambda: T,
+    /// Smoothing gamma currently applied in the wirelength model.
+    pub gamma: T,
+    /// Cumulative gamma relaxation across rollbacks.
+    pub gamma_boost: T,
+    /// Cumulative lambda backoff across rollbacks.
+    pub lambda_cut: T,
+    /// Lambda-scheduler weight.
+    pub sched_lambda: T,
+    /// Lambda-scheduler update counter.
+    pub sched_iteration: usize,
+    /// Reference `Delta HPWL` the scheduler was built with (derived from
+    /// the initial HPWL, which a resumed run can no longer recompute).
+    pub ref_delta: T,
+    /// HPWL reference for the next scheduler update.
+    pub prev_hpwl: T,
+    /// Divergence rollbacks performed.
+    pub recoveries: usize,
+    /// One record per rollback, in order.
+    pub recovery_events: Vec<RecoveryEvent>,
+    /// Per-iteration history up to the capture point.
+    pub history: Vec<IterRecord>,
+    /// The in-run rollback target.
+    pub rollback: GpRollbackState<T>,
+    /// Wall-clock seconds consumed by the run up to the capture point
+    /// (across all processes — feeds the `max_seconds` budget on resume).
+    pub consumed_seconds: f64,
+    /// Cumulative execution-layer counters up to the capture point.
+    pub exec: ExecSummary,
+}
+
+/// What one [`GpEngine::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpStepOutcome {
+    /// One iteration (or one rollback) ran; the run continues.
+    Continue,
+    /// The overflow target was reached; the run is done.
+    Converged,
+    /// The iteration cap was reached; the run is done.
+    IterationCap,
+    /// The wall-clock budget was exhausted; the run is done (a stage
+    /// guard, never an error).
+    BudgetStop,
+}
+
+impl GpStepOutcome {
+    /// True when the run finished (by any stopping rule).
+    pub fn is_done(self) -> bool {
+        !matches!(self, GpStepOutcome::Continue)
+    }
 }
 
 /// Overflow-explosion tripwire: fires when overflow exceeds `factor` times
@@ -282,6 +380,681 @@ fn make_solver<T: Float>(kind: SolverKind, n: usize, initial_step: T) -> Box<dyn
             Box::new(SgdMomentum::new(n, T::from_f64(lr)).with_decay(T::from_f64(decay)))
         }
         SolverKind::ConjugateGradient => Box::new(ConjugateGradient::new(n, initial_step)),
+    }
+}
+
+/// The steppable global placement engine; see the [module docs](self).
+pub struct GpEngine<T: Float> {
+    cfg: GpConfig<T>,
+    ctx: ExecCtx<T>,
+    wl: WlOp<T>,
+    density: DensityModel<T>,
+    gamma_sched: GammaScheduler<T>,
+    lambda_sched: DensityWeightScheduler<T>,
+    ref_delta: T,
+    /// `lambda` as applied in the objective (the scheduler may lag it).
+    lambda: T,
+    /// Gamma currently applied in the wirelength model.
+    gamma_cur: T,
+    gamma_boost: T,
+    lambda_cut: T,
+    /// Position scratch: movable entries overwritten by every unpack,
+    /// fixed entries intact from construction.
+    pos: Placement<T>,
+    grad: Gradient<T>,
+    dgrad: Gradient<T>,
+    pin_counts: Vec<T>,
+    charges: Vec<T>,
+    faults: Vec<usize>,
+    params: Vec<T>,
+    solver: Box<dyn Optimizer<T>>,
+    history: Vec<IterRecord>,
+    prev_hpwl: T,
+    converged: bool,
+    iterations: usize,
+    next_iter: usize,
+    recoveries: usize,
+    recovery_events: Vec<RecoveryEvent>,
+    best_params: Vec<T>,
+    best_overflow: f64,
+    rollback: GpRollbackState<T>,
+    evals: usize,
+    t_wl: Duration,
+    t_density: Duration,
+    prev_op_time: Duration,
+    timing: GpTiming,
+    t_start: Instant,
+    /// Seconds consumed before this process picked the run up (resume).
+    consumed_before: f64,
+    /// Exec counters consumed before this engine's own `ExecCtx` existed:
+    /// a resumed process's prior life, or an aborted primary attempt whose
+    /// counters the fallback run must not lose.
+    base_exec: Option<ExecSummary>,
+    n: usize,
+    finished: Option<GpStepOutcome>,
+}
+
+impl<T: Float> GpEngine<T> {
+    /// Builds the engine from scratch: initial placement, the optional
+    /// wirelength-only stage, and automatic lambda initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::Grid`] for unsupported bin grids.
+    pub fn new(
+        cfg: GpConfig<T>,
+        nl: &Netlist<T>,
+        fixed: &Placement<T>,
+    ) -> Result<Self, GpError<T>> {
+        let pos = initial_placement(nl, fixed, cfg.noise_frac, cfg.seed);
+        Self::from_placement(cfg, nl, pos, None)
+    }
+
+    /// Builds the engine from an existing placement (used by the
+    /// routability loop to restart after cell inflation). `lambda0`
+    /// overrides the automatic density-weight initialization when given.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpEngine::new`].
+    pub fn from_placement(
+        cfg: GpConfig<T>,
+        nl: &Netlist<T>,
+        mut pos: Placement<T>,
+        lambda0: Option<T>,
+    ) -> Result<Self, GpError<T>> {
+        let t_start = Instant::now();
+        let mut timing = GpTiming::default();
+
+        // One persistent executor per run: worker threads spawn here, once,
+        // and every kernel below launches on them. The telemetry sink (if
+        // enabled) receives mirrored kernel timings and pool busy shards.
+        let mut ctx = ExecCtx::with_telemetry(cfg.threads, cfg.telemetry.clone());
+
+        let (grid, bin_size, gamma_sched, mut wl, mut density) = Self::build_operators(&cfg, nl)?;
+        density.bake_fixed(nl, &pos);
+
+        let n = nl.num_movable();
+        let pin_counts: Vec<T> = (0..n)
+            .map(|i| T::from_usize(nl.cell_pins(dp_netlist::CellId::new(i)).len()))
+            .collect();
+        let inv_bin_area = T::ONE / grid.bin_area();
+        let charges: Vec<T> = (0..n)
+            .map(|i| nl.cell_widths()[i] * nl.cell_heights()[i] * inv_bin_area)
+            .collect();
+
+        // --- optional wirelength-only initial stage (RePlAce mode) ------
+        let t_init = Instant::now();
+        if let InitKind::WirelengthOnly { iters } = cfg.init {
+            let mut scratch = pos.clone();
+            let mut grad = Gradient::zeros(pos.len());
+            let mut params = pack(&pos, n);
+            let mut solver = ConjugateGradient::new(2 * n, bin_size);
+            let mut wl_only = |p: &[T], g: &mut [T]| -> T {
+                scratch.x[..n].copy_from_slice(&p[..n]);
+                scratch.y[..n].copy_from_slice(&p[n..]);
+                grad.reset();
+                let c = wl.forward_backward(nl, &scratch, &mut grad, &mut ctx);
+                for i in 0..n {
+                    let pre = pin_counts[i].max(T::ONE);
+                    g[i] = grad.x[i] / pre;
+                    g[n + i] = grad.y[i] / pre;
+                }
+                c
+            };
+            for _ in 0..iters {
+                let _ = solver.step(&mut wl_only, &mut params);
+                clamp_params(&mut params, nl);
+            }
+            unpack_into(&params, &mut pos, n);
+        }
+        timing.init = t_init.elapsed();
+
+        // --- lambda initialization --------------------------------------
+        let mut g_wl = Gradient::zeros(pos.len());
+        let _ = wl.forward_backward(nl, &pos, &mut g_wl, &mut ctx);
+        let mut g_d = Gradient::zeros(pos.len());
+        let _ = density.forward_backward(nl, &pos, &mut g_d, &mut ctx);
+        let wl_norm = g_wl.l1_norm(n);
+        let d_norm_raw = g_d.l1_norm(n);
+        // A zero density gradient (uniform-field mode on degenerate grids,
+        // or an all-zero-area design) must yield lambda = 0, not
+        // wl_norm / MIN_POSITIVE: an astronomically large lambda poisons
+        // the Jacobi preconditioner and freezes the run.
+        let lambda_auto = if d_norm_raw > T::ZERO {
+            wl_norm / d_norm_raw.max(T::MIN_POSITIVE)
+        } else {
+            T::ZERO
+        };
+        let lambda_init = lambda0.unwrap_or(lambda_auto);
+
+        let hpwl0 = hpwl(nl, &pos);
+        let ref_delta = cfg
+            .ref_delta_hpwl
+            .unwrap_or(hpwl0 * T::from_f64(0.005))
+            .max(T::MIN_POSITIVE);
+        let lambda_sched = DensityWeightScheduler::new(
+            lambda_init,
+            cfg.mu_min,
+            cfg.mu_max,
+            ref_delta,
+            cfg.tcad_mu_stabilization,
+        );
+
+        let lambda = lambda_sched.lambda();
+        let params = pack(&pos, n);
+        let solver = make_solver(cfg.solver, 2 * n, bin_size);
+        let best_params = params.clone();
+        let rollback = GpRollbackState {
+            iteration: 0,
+            params: params.clone(),
+            solver: solver.snapshot(),
+            sched_lambda: lambda_sched.lambda(),
+            sched_iteration: lambda_sched.iteration(),
+            lambda,
+            prev_hpwl: hpwl0,
+            history_len: 0,
+            overflow: 1.0,
+        };
+        let gamma_cur = gamma_sched.gamma(T::ONE);
+        let history = Vec::with_capacity(cfg.max_iters.min(1024));
+        let faults = cfg.fault_injection.nan_grad_evals.clone();
+
+        Ok(Self {
+            cfg,
+            ctx,
+            wl,
+            density,
+            gamma_sched,
+            lambda_sched,
+            ref_delta,
+            lambda,
+            gamma_cur,
+            gamma_boost: T::ONE,
+            lambda_cut: T::ONE,
+            grad: Gradient::zeros(pos.len()),
+            dgrad: Gradient::zeros(pos.len()),
+            pos,
+            pin_counts,
+            charges,
+            faults,
+            params,
+            solver,
+            history,
+            prev_hpwl: hpwl0,
+            converged: false,
+            iterations: 0,
+            next_iter: 0,
+            recoveries: 0,
+            recovery_events: Vec::new(),
+            best_params,
+            best_overflow: f64::INFINITY,
+            rollback,
+            evals: 0,
+            t_wl: Duration::ZERO,
+            t_density: Duration::ZERO,
+            prev_op_time: Duration::ZERO,
+            timing,
+            t_start,
+            consumed_before: 0.0,
+            base_exec: None,
+            n,
+        finished: None,
+        })
+    }
+
+    /// Reconstructs an engine mid-run from a captured [`GpEngineState`].
+    ///
+    /// `cfg` and `nl` must be the same configuration and netlist the state
+    /// was captured under (the durable-checkpoint layer validates this);
+    /// `fixed` supplies the fixed-cell coordinates exactly as in
+    /// [`GpEngine::new`]. The resumed engine's trajectory is bit-identical
+    /// to the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::Grid`] as in [`GpEngine::new`], or [`GpError::Resume`]
+    /// when the solver snapshot does not match `cfg.solver`.
+    pub fn resume(
+        cfg: GpConfig<T>,
+        nl: &Netlist<T>,
+        fixed: &Placement<T>,
+        state: GpEngineState<T>,
+    ) -> Result<Self, GpError<T>> {
+        let t_start = Instant::now();
+        let ctx = ExecCtx::with_telemetry(cfg.threads, cfg.telemetry.clone());
+        let (grid, bin_size, gamma_sched, mut wl, mut density) = Self::build_operators(&cfg, nl)?;
+        density.bake_fixed(nl, fixed);
+        wl.set_gamma(state.gamma);
+
+        let n = nl.num_movable();
+        if state.params.len() != 2 * n || state.best_params.len() != 2 * n {
+            return Err(GpError::Resume {
+                reason: format!(
+                    "parameter vector length {} does not match 2 x {n} movable cells",
+                    state.params.len()
+                ),
+            });
+        }
+        let pin_counts: Vec<T> = (0..n)
+            .map(|i| T::from_usize(nl.cell_pins(dp_netlist::CellId::new(i)).len()))
+            .collect();
+        let inv_bin_area = T::ONE / grid.bin_area();
+        let charges: Vec<T> = (0..n)
+            .map(|i| nl.cell_widths()[i] * nl.cell_heights()[i] * inv_bin_area)
+            .collect();
+
+        let mut lambda_sched = DensityWeightScheduler::new(
+            state.sched_lambda,
+            cfg.mu_min,
+            cfg.mu_max,
+            state.ref_delta,
+            cfg.tcad_mu_stabilization,
+        );
+        lambda_sched.set_iteration(state.sched_iteration);
+
+        let mut solver = make_solver(cfg.solver, 2 * n, bin_size);
+        solver
+            .restore(&state.solver)
+            .map_err(|e| GpError::Resume {
+                reason: e.to_string(),
+            })?;
+
+        let faults = cfg.fault_injection.nan_grad_evals.clone();
+        Ok(Self {
+            cfg,
+            ctx,
+            wl,
+            density,
+            gamma_sched,
+            lambda_sched,
+            ref_delta: state.ref_delta,
+            lambda: state.lambda,
+            gamma_cur: state.gamma,
+            gamma_boost: state.gamma_boost,
+            lambda_cut: state.lambda_cut,
+            pos: fixed.clone(),
+            grad: Gradient::zeros(fixed.len()),
+            dgrad: Gradient::zeros(fixed.len()),
+            pin_counts,
+            charges,
+            faults,
+            params: state.params,
+            solver,
+            history: state.history,
+            prev_hpwl: state.prev_hpwl,
+            converged: false,
+            iterations: state.iterations,
+            next_iter: state.next_iter,
+            recoveries: state.recoveries,
+            recovery_events: state.recovery_events,
+            best_params: state.best_params,
+            best_overflow: state.best_overflow,
+            rollback: state.rollback,
+            evals: state.evals,
+            t_wl: Duration::ZERO,
+            t_density: Duration::ZERO,
+            prev_op_time: Duration::ZERO,
+            timing: GpTiming::default(),
+            t_start,
+            consumed_before: state.consumed_seconds,
+            base_exec: Some(state.exec),
+            n,
+            finished: None,
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn build_operators(
+        cfg: &GpConfig<T>,
+        nl: &Netlist<T>,
+    ) -> Result<(BinGrid<T>, T, GammaScheduler<T>, WlOp<T>, DensityModel<T>), GpError<T>> {
+        let grid = BinGrid::new(nl.region(), cfg.bins.0, cfg.bins.1)?;
+        let bin_size = (grid.bin_width() + grid.bin_height()) * T::HALF;
+        let gamma_sched = GammaScheduler::new(bin_size, cfg.gamma_base_bins);
+        let gamma0 = gamma_sched.gamma(T::ONE);
+
+        let wl = match cfg.wirelength {
+            WirelengthModel::Wa(strategy) => WlOp::Wa(WaWirelength::new(strategy, gamma0)),
+            WirelengthModel::Lse => WlOp::Lse(LseWirelength::new(gamma0)),
+        };
+        // Multithreaded float-atomic scatters are order-dependent; the
+        // fixed-point bins keep multi-thread runs bit-reproducible (and
+        // thread-count invariant) at a 2^-24 bin-area quantization. The
+        // config can force either mode (determinism replay compares a
+        // serial run against a multithreaded one, so both must quantize).
+        let deterministic = cfg.deterministic.unwrap_or(cfg.threads > 1);
+        let density = match &cfg.fence {
+            None => DensityModel::Single(
+                DensityOp::with_backend(
+                    grid.clone(),
+                    cfg.density_strategy,
+                    cfg.target_density,
+                    cfg.dct_backend,
+                )?
+                .with_deterministic(deterministic),
+            ),
+            Some(spec) => DensityModel::Fenced(
+                FencedDensityOp::new(
+                    nl,
+                    grid.clone(),
+                    cfg.density_strategy,
+                    cfg.target_density,
+                    cfg.dct_backend,
+                    spec.clone(),
+                )?
+                .with_deterministic(deterministic),
+            ),
+        };
+        Ok((grid, bin_size, gamma_sched, wl, density))
+    }
+
+    /// The configuration this engine runs under.
+    pub fn config(&self) -> &GpConfig<T> {
+        &self.cfg
+    }
+
+    /// Next iteration index [`GpEngine::step`] would execute.
+    pub fn next_iteration(&self) -> usize {
+        self.next_iter
+    }
+
+    /// Wall-clock seconds this run has consumed, across all processes.
+    pub fn consumed_seconds(&self) -> f64 {
+        self.consumed_before + self.t_start.elapsed().as_secs_f64()
+    }
+
+    /// Folds counters from a prior attempt (an aborted primary run whose
+    /// fallback this engine is) into the run's cumulative summary.
+    pub fn absorb_exec(&mut self, prior: ExecSummary) {
+        match &mut self.base_exec {
+            Some(base) => base.merge(&prior),
+            None => self.base_exec = Some(prior),
+        }
+    }
+
+    fn cumulative_exec(&self) -> ExecSummary {
+        let mut exec = self.ctx.summary();
+        if let Some(base) = &self.base_exec {
+            exec.merge(base);
+        }
+        exec
+    }
+
+    /// Captures the complete mutable state; see [`GpEngineState`].
+    pub fn state(&self) -> GpEngineState<T> {
+        GpEngineState {
+            next_iter: self.next_iter,
+            iterations: self.iterations,
+            evals: self.evals,
+            params: self.params.clone(),
+            best_params: self.best_params.clone(),
+            best_overflow: self.best_overflow,
+            solver: self.solver.snapshot(),
+            lambda: self.lambda,
+            gamma: self.gamma_cur,
+            gamma_boost: self.gamma_boost,
+            lambda_cut: self.lambda_cut,
+            sched_lambda: self.lambda_sched.lambda(),
+            sched_iteration: self.lambda_sched.iteration(),
+            ref_delta: self.ref_delta,
+            prev_hpwl: self.prev_hpwl,
+            recoveries: self.recoveries,
+            recovery_events: self.recovery_events.clone(),
+            history: self.history.clone(),
+            rollback: self.rollback.clone(),
+            consumed_seconds: self.consumed_seconds(),
+            exec: self.cumulative_exec(),
+        }
+    }
+
+    /// Runs one kernel iteration (or one divergence rollback).
+    ///
+    /// Idempotent after the run finishes: further calls return the
+    /// terminal outcome without touching any state.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::Diverged`] when the objective diverges and the rollback
+    /// budget is exhausted; the error carries the best placement seen and
+    /// the run's cumulative exec counters.
+    pub fn step(&mut self, nl: &Netlist<T>) -> Result<GpStepOutcome, GpError<T>> {
+        if let Some(done) = self.finished {
+            return Ok(done);
+        }
+        if self.next_iter >= self.cfg.max_iters {
+            self.finished = Some(GpStepOutcome::IterationCap);
+            return Ok(GpStepOutcome::IterationCap);
+        }
+        // Wall-clock stage budget: stop at the current iterate, exactly
+        // like running out of iterations (never an error). A resumed run
+        // counts the seconds its previous lives already spent.
+        if let Some(budget) = self.cfg.max_seconds {
+            if self.consumed_seconds() >= budget {
+                self.finished = Some(GpStepOutcome::BudgetStop);
+                return Ok(GpStepOutcome::BudgetStop);
+            }
+        }
+        let k = self.next_iter;
+        self.next_iter = k + 1;
+        self.iterations = k + 1;
+        let tel = self.cfg.telemetry.clone();
+        let _iter_span = tel.span(dp_telemetry::SpanKind::Iteration, "gp.iter");
+        let t_step = Instant::now();
+
+        let (info, cause, cur_hpwl, overflow_f) = {
+            let mut obj = PlacementObjective {
+                nl,
+                wl: &mut self.wl,
+                density: &mut self.density,
+                ctx: &mut self.ctx,
+                lambda: self.lambda,
+                pos: &mut self.pos,
+                grad: &mut self.grad,
+                dgrad: &mut self.dgrad,
+                pin_counts: &self.pin_counts,
+                charges: &self.charges,
+                faults: &self.faults,
+                t_wl: &mut self.t_wl,
+                t_density: &mut self.t_density,
+                evals: &mut self.evals,
+            };
+            let info = self.solver.step(&mut obj, &mut self.params);
+            clamp_params(&mut self.params, nl);
+
+            // --- divergence tripwire ------------------------------------
+            // Solver health and position finiteness come first: the exact
+            // HPWL/overflow operators assume finite coordinates and must
+            // not see a poisoned iterate.
+            let pre_cause = if !info.cost.is_finite() {
+                Some(DivergenceCause::NonFiniteCost)
+            } else if !info.grad_norm.is_finite() {
+                Some(DivergenceCause::NonFiniteGradient)
+            } else if !self.params.iter().all(|v| v.is_finite()) {
+                Some(DivergenceCause::NonFinitePosition)
+            } else {
+                None
+            };
+            let (cause, cur_hpwl, overflow_f) = match pre_cause {
+                Some(c) => (Some(c), T::ZERO, f64::NAN),
+                None => {
+                    obj.unpack(&self.params);
+                    let h = hpwl(nl, obj.pos);
+                    let o = obj.density.overflow(nl, obj.pos, obj.ctx).to_f64();
+                    let c = if !h.is_finite() || !o.is_finite() {
+                        Some(DivergenceCause::NonFiniteHpwl)
+                    } else if overflow_exploded(
+                        o,
+                        self.best_overflow,
+                        self.cfg.recovery.overflow_explosion,
+                    ) {
+                        Some(DivergenceCause::OverflowExplosion)
+                    } else {
+                        None
+                    };
+                    (c, h, o)
+                }
+            };
+            (info, cause, cur_hpwl, overflow_f)
+        };
+        let _ = info;
+        let step_elapsed = t_step.elapsed();
+
+        // Phase attribution: operator time accumulates inside eval;
+        // whatever remains of the step is solver arithmetic.
+        let op_time = self.t_wl + self.t_density;
+        self.timing.solver += step_elapsed.saturating_sub(op_time.saturating_sub(self.prev_op_time));
+        self.prev_op_time = op_time;
+        self.timing.wirelength = self.t_wl;
+        self.timing.density = self.t_density;
+
+        let t_book = Instant::now();
+        if let Some(cause) = cause {
+            let policy = &self.cfg.recovery;
+            if self.recoveries >= policy.max_recoveries {
+                let mut best = self.pos.clone();
+                unpack_into(&self.best_params, &mut best, self.n);
+                let exec = self.cumulative_exec();
+                return Err(GpError::Diverged {
+                    iteration: k,
+                    cause,
+                    recoveries: self.recoveries,
+                    best: Box::new(best),
+                    best_overflow: self.best_overflow,
+                    exec,
+                });
+            }
+            // Roll back to the checkpoint with a tamer objective:
+            // smaller density weight, smoother wirelength.
+            self.recoveries += 1;
+            self.params.copy_from_slice(&self.rollback.params);
+            if self.solver.restore(&self.rollback.solver).is_err() {
+                self.solver.reset();
+            }
+            let mut sched = DensityWeightScheduler::new(
+                self.rollback.sched_lambda,
+                self.cfg.mu_min,
+                self.cfg.mu_max,
+                self.ref_delta,
+                self.cfg.tcad_mu_stabilization,
+            );
+            sched.set_iteration(self.rollback.sched_iteration);
+            self.lambda_sched = sched;
+            // Like gamma_boost, the backoff compounds across rollbacks:
+            // re-tripping from the same checkpoint must not retry the
+            // same density weight.
+            self.lambda_cut *= T::from_f64(policy.lambda_backoff);
+            let lambda = self.rollback.lambda * self.lambda_cut;
+            self.lambda_sched.set_lambda(lambda);
+            self.lambda = lambda;
+            self.gamma_boost *= T::from_f64(policy.gamma_relax);
+            let gamma =
+                self.gamma_sched.gamma(T::from_f64(self.rollback.overflow)) * self.gamma_boost;
+            self.wl.set_gamma(gamma);
+            self.gamma_cur = gamma;
+            self.prev_hpwl = self.rollback.prev_hpwl;
+            self.history.truncate(self.rollback.history_len);
+            tel.point(
+                "recovery",
+                format!(
+                    "gp: {cause} at iter {k}, rolled back to {} (lambda {:.3e}, gamma x{:.2})",
+                    self.rollback.iteration,
+                    lambda.to_f64(),
+                    self.gamma_boost.to_f64()
+                ),
+            );
+            self.recovery_events.push(RecoveryEvent {
+                iteration: k,
+                resumed_from: self.rollback.iteration,
+                cause,
+                lambda: lambda.to_f64(),
+                gamma_boost: self.gamma_boost.to_f64(),
+            });
+            self.timing.bookkeeping += t_book.elapsed();
+            return Ok(GpStepOutcome::Continue);
+        }
+
+        if overflow_f < self.best_overflow {
+            self.best_overflow = overflow_f;
+            self.best_params.copy_from_slice(&self.params);
+        }
+
+        let gamma = self.gamma_sched.gamma(T::from_f64(overflow_f)) * self.gamma_boost;
+        self.wl.set_gamma(gamma);
+        self.gamma_cur = gamma;
+
+        if (k + 1).is_multiple_of(self.cfg.lambda_update_interval.max(1)) {
+            self.lambda = self.lambda_sched.update(cur_hpwl - self.prev_hpwl);
+        }
+        self.prev_hpwl = cur_hpwl;
+
+        tel.iteration(
+            k,
+            cur_hpwl.to_f64(),
+            overflow_f,
+            self.lambda.to_f64(),
+            gamma.to_f64(),
+        );
+        self.history.push(IterRecord {
+            iteration: k,
+            hpwl: cur_hpwl.to_f64(),
+            overflow: overflow_f,
+            lambda: self.lambda.to_f64(),
+            gamma: gamma.to_f64(),
+        });
+
+        let policy = &self.cfg.recovery;
+        if policy.checkpoint_interval > 0 && (k + 1).is_multiple_of(policy.checkpoint_interval) {
+            self.rollback = GpRollbackState {
+                iteration: k + 1,
+                params: self.params.clone(),
+                solver: self.solver.snapshot(),
+                sched_lambda: self.lambda_sched.lambda(),
+                sched_iteration: self.lambda_sched.iteration(),
+                lambda: self.lambda,
+                prev_hpwl: self.prev_hpwl,
+                history_len: self.history.len(),
+                overflow: overflow_f,
+            };
+        }
+        self.timing.bookkeeping += t_book.elapsed();
+
+        if overflow_f <= self.cfg.target_overflow.to_f64() && k + 1 >= self.cfg.min_iters {
+            self.converged = true;
+            self.finished = Some(GpStepOutcome::Converged);
+            return Ok(GpStepOutcome::Converged);
+        }
+        Ok(GpStepOutcome::Continue)
+    }
+
+    /// Finalizes the run: unpacks the current iterate and assembles
+    /// [`GpResult`] with cumulative statistics.
+    pub fn finish(mut self, nl: &Netlist<T>) -> GpResult<T> {
+        let n = self.n;
+        let mut pos = self.pos;
+        unpack_into(&self.params, &mut pos, n);
+        self.timing.total =
+            Duration::from_secs_f64(self.consumed_before) + self.t_start.elapsed();
+
+        let mut exec = self.ctx.summary();
+        if let Some(base) = &self.base_exec {
+            exec.merge(base);
+        }
+        let stats = GpStats {
+            iterations: self.iterations,
+            final_hpwl: hpwl(nl, &pos).to_f64(),
+            final_overflow: self.history.last().map(|r| r.overflow).unwrap_or(f64::NAN),
+            converged: self.converged,
+            history: self.history,
+            timing: self.timing,
+            recoveries: self.recoveries,
+            recovery_events: self.recovery_events,
+            exec,
+        };
+        GpResult {
+            placement: pos,
+            stats,
+        }
     }
 }
 
@@ -323,363 +1096,12 @@ impl<T: Float> GlobalPlacer<T> {
     pub fn place_from(
         &self,
         nl: &Netlist<T>,
-        mut pos: Placement<T>,
+        pos: Placement<T>,
         lambda0: Option<T>,
     ) -> Result<GpResult<T>, GpError<T>> {
-        let cfg = &self.config;
-        let t_start = Instant::now();
-        let mut timing = GpTiming::default();
-
-        // One persistent executor per run: worker threads spawn here, once,
-        // and every kernel below launches on them. The telemetry sink (if
-        // enabled) receives mirrored kernel timings and pool busy shards.
-        let mut ctx = ExecCtx::with_telemetry(cfg.threads, cfg.telemetry.clone());
-        let tel = cfg.telemetry.clone();
-
-        // --- operators -------------------------------------------------
-        let grid = BinGrid::new(nl.region(), cfg.bins.0, cfg.bins.1)?;
-        let bin_size = (grid.bin_width() + grid.bin_height()) * T::HALF;
-        let gamma_sched = GammaScheduler::new(bin_size, cfg.gamma_base_bins);
-        let gamma0 = gamma_sched.gamma(T::ONE);
-
-        let mut wl = match cfg.wirelength {
-            WirelengthModel::Wa(strategy) => WlOp::Wa(WaWirelength::new(strategy, gamma0)),
-            WirelengthModel::Lse => WlOp::Lse(LseWirelength::new(gamma0)),
-        };
-        // Multithreaded float-atomic scatters are order-dependent; the
-        // fixed-point bins keep multi-thread runs bit-reproducible (and
-        // thread-count invariant) at a 2^-24 bin-area quantization. The
-        // config can force either mode (determinism replay compares a
-        // serial run against a multithreaded one, so both must quantize).
-        let deterministic = cfg.deterministic.unwrap_or(cfg.threads > 1);
-        let mut density = match &cfg.fence {
-            None => DensityModel::Single(
-                DensityOp::with_backend(
-                    grid.clone(),
-                    cfg.density_strategy,
-                    cfg.target_density,
-                    cfg.dct_backend,
-                )?
-                .with_deterministic(deterministic),
-            ),
-            Some(spec) => DensityModel::Fenced(
-                FencedDensityOp::new(
-                    nl,
-                    grid.clone(),
-                    cfg.density_strategy,
-                    cfg.target_density,
-                    cfg.dct_backend,
-                    spec.clone(),
-                )?
-                .with_deterministic(deterministic),
-            ),
-        };
-        density.bake_fixed(nl, &pos);
-
-        let n = nl.num_movable();
-        let pin_counts: Vec<T> = (0..n)
-            .map(|i| T::from_usize(nl.cell_pins(dp_netlist::CellId::new(i)).len()))
-            .collect();
-        let inv_bin_area = T::ONE / grid.bin_area();
-        let charges: Vec<T> = (0..n)
-            .map(|i| nl.cell_widths()[i] * nl.cell_heights()[i] * inv_bin_area)
-            .collect();
-
-        // --- optional wirelength-only initial stage (RePlAce mode) ------
-        let t_init = Instant::now();
-        if let InitKind::WirelengthOnly { iters } = cfg.init {
-            let mut obj = PlacementObjective {
-                nl,
-                wl: &mut wl,
-                density: &mut density,
-                ctx: &mut ctx,
-                lambda: T::ZERO,
-                pos: pos.clone(),
-                grad: Gradient::zeros(pos.len()),
-                dgrad: Gradient::zeros(pos.len()),
-                pin_counts: pin_counts.clone(),
-                charges: charges.clone(),
-                faults: Vec::new(),
-                t_wl: Duration::ZERO,
-                t_density: Duration::ZERO,
-                evals: 0,
-            };
-            // Wirelength-only: skip the density term entirely by evaluating
-            // through a thin closure that zeroes lambda (it already is) but
-            // we also avoid the density forward by using the WA op directly.
-            let mut params = pack(&pos, n);
-            let mut solver = ConjugateGradient::new(2 * n, bin_size);
-            let mut wl_only = |p: &[T], g: &mut [T]| -> T {
-                obj.unpack(p);
-                obj.grad.reset();
-                let c = obj
-                    .wl
-                    .forward_backward(obj.nl, &obj.pos, &mut obj.grad, obj.ctx);
-                for i in 0..n {
-                    let pre = obj.pin_counts[i].max(T::ONE);
-                    g[i] = obj.grad.x[i] / pre;
-                    g[n + i] = obj.grad.y[i] / pre;
-                }
-                c
-            };
-            for _ in 0..iters {
-                let _ = solver.step(&mut wl_only, &mut params);
-                clamp_params(&mut params, nl);
-            }
-            unpack_into(&params, &mut pos, n);
-        }
-        timing.init = t_init.elapsed();
-
-        // --- lambda initialization --------------------------------------
-        let mut g_wl = Gradient::zeros(pos.len());
-        let _ = wl.forward_backward(nl, &pos, &mut g_wl, &mut ctx);
-        let mut g_d = Gradient::zeros(pos.len());
-        let _ = density.forward_backward(nl, &pos, &mut g_d, &mut ctx);
-        let wl_norm = g_wl.l1_norm(n);
-        let d_norm_raw = g_d.l1_norm(n);
-        // A zero density gradient (uniform-field mode on degenerate grids,
-        // or an all-zero-area design) must yield lambda = 0, not
-        // wl_norm / MIN_POSITIVE: an astronomically large lambda poisons
-        // the Jacobi preconditioner and freezes the run.
-        let lambda_auto = if d_norm_raw > T::ZERO {
-            wl_norm / d_norm_raw.max(T::MIN_POSITIVE)
-        } else {
-            T::ZERO
-        };
-        let lambda_init = lambda0.unwrap_or(lambda_auto);
-
-        let hpwl0 = hpwl(nl, &pos);
-        let ref_delta = cfg
-            .ref_delta_hpwl
-            .unwrap_or(hpwl0 * T::from_f64(0.005))
-            .max(T::MIN_POSITIVE);
-        let mut lambda_sched = DensityWeightScheduler::new(
-            lambda_init,
-            cfg.mu_min,
-            cfg.mu_max,
-            ref_delta,
-            cfg.tcad_mu_stabilization,
-        );
-
-        // --- main loop ---------------------------------------------------
-        let mut obj = PlacementObjective {
-            nl,
-            wl: &mut wl,
-            density: &mut density,
-            ctx: &mut ctx,
-            lambda: lambda_sched.lambda(),
-            pos: pos.clone(),
-            grad: Gradient::zeros(pos.len()),
-            dgrad: Gradient::zeros(pos.len()),
-            pin_counts,
-            charges,
-            faults: cfg.fault_injection.nan_grad_evals.clone(),
-            t_wl: Duration::ZERO,
-            t_density: Duration::ZERO,
-            evals: 0,
-        };
-        let mut params = pack(&pos, n);
-        let mut solver = make_solver(cfg.solver, 2 * n, bin_size);
-
-        let mut history = Vec::with_capacity(cfg.max_iters.min(1024));
-        let mut prev_hpwl = hpwl0;
-        let mut converged = false;
-        let mut iterations = 0;
-        let mut prev_op_time = Duration::ZERO;
-
-        // --- recovery state ----------------------------------------------
-        let policy = &cfg.recovery;
-        let mut gamma_boost = T::ONE;
-        let mut lambda_cut = T::ONE;
-        let mut recoveries = 0usize;
-        let mut recovery_events: Vec<RecoveryEvent> = Vec::new();
-        let mut best_params = params.clone();
-        let mut best_overflow = f64::INFINITY;
-        let mut checkpoint = Checkpoint {
-            iteration: 0,
-            params: params.clone(),
-            solver: solver.snapshot(),
-            lambda_sched: lambda_sched.clone(),
-            lambda: obj.lambda,
-            prev_hpwl,
-            history_len: 0,
-            overflow: 1.0,
-        };
-
-        for k in 0..cfg.max_iters {
-            // Wall-clock stage budget: stop at the current iterate, exactly
-            // like running out of iterations (never an error).
-            if let Some(budget) = cfg.max_seconds {
-                if t_start.elapsed().as_secs_f64() >= budget {
-                    break;
-                }
-            }
-            iterations = k + 1;
-            let _iter_span = tel.span(dp_telemetry::SpanKind::Iteration, "gp.iter");
-            let t_step = Instant::now();
-            let info = solver.step(&mut obj, &mut params);
-            clamp_params(&mut params, nl);
-            let step_elapsed = t_step.elapsed();
-
-            // Phase attribution: operator time accumulates inside eval;
-            // whatever remains of the step is solver arithmetic.
-            let op_time = obj.t_wl + obj.t_density;
-            timing.solver += step_elapsed.saturating_sub(op_time.saturating_sub(prev_op_time));
-            prev_op_time = op_time;
-            timing.wirelength = obj.t_wl;
-            timing.density = obj.t_density;
-
-            let t_book = Instant::now();
-
-            // --- divergence tripwire ------------------------------------
-            // Solver health and position finiteness come first: the exact
-            // HPWL/overflow operators assume finite coordinates and must
-            // not see a poisoned iterate.
-            let pre_cause = if !info.cost.is_finite() {
-                Some(DivergenceCause::NonFiniteCost)
-            } else if !info.grad_norm.is_finite() {
-                Some(DivergenceCause::NonFiniteGradient)
-            } else if !params.iter().all(|v| v.is_finite()) {
-                Some(DivergenceCause::NonFinitePosition)
-            } else {
-                None
-            };
-            let (cause, cur_hpwl, overflow_f) = match pre_cause {
-                Some(c) => (Some(c), T::ZERO, f64::NAN),
-                None => {
-                    obj.unpack(&params);
-                    let h = hpwl(nl, &obj.pos);
-                    let o = obj.density.overflow(nl, &obj.pos, obj.ctx).to_f64();
-                    let c = if !h.is_finite() || !o.is_finite() {
-                        Some(DivergenceCause::NonFiniteHpwl)
-                    } else if overflow_exploded(o, best_overflow, policy.overflow_explosion) {
-                        Some(DivergenceCause::OverflowExplosion)
-                    } else {
-                        None
-                    };
-                    (c, h, o)
-                }
-            };
-            if let Some(cause) = cause {
-                if recoveries >= policy.max_recoveries {
-                    unpack_into(&best_params, &mut pos, n);
-                    let exec = obj.ctx.summary();
-                    return Err(GpError::Diverged {
-                        iteration: k,
-                        cause,
-                        recoveries,
-                        best: Box::new(pos),
-                        best_overflow,
-                        exec,
-                    });
-                }
-                // Roll back to the checkpoint with a tamer objective:
-                // smaller density weight, smoother wirelength.
-                recoveries += 1;
-                params.copy_from_slice(&checkpoint.params);
-                if solver.restore(&checkpoint.solver).is_err() {
-                    solver.reset();
-                }
-                lambda_sched = checkpoint.lambda_sched.clone();
-                // Like gamma_boost, the backoff compounds across rollbacks:
-                // re-tripping from the same checkpoint must not retry the
-                // same density weight.
-                lambda_cut *= T::from_f64(policy.lambda_backoff);
-                let lambda = checkpoint.lambda * lambda_cut;
-                lambda_sched.set_lambda(lambda);
-                obj.lambda = lambda;
-                gamma_boost *= T::from_f64(policy.gamma_relax);
-                obj.wl
-                    .set_gamma(gamma_sched.gamma(T::from_f64(checkpoint.overflow)) * gamma_boost);
-                prev_hpwl = checkpoint.prev_hpwl;
-                history.truncate(checkpoint.history_len);
-                tel.point(
-                    "recovery",
-                    format!(
-                        "gp: {cause} at iter {k}, rolled back to {} (lambda {:.3e}, gamma x{:.2})",
-                        checkpoint.iteration,
-                        lambda.to_f64(),
-                        gamma_boost.to_f64()
-                    ),
-                );
-                recovery_events.push(RecoveryEvent {
-                    iteration: k,
-                    resumed_from: checkpoint.iteration,
-                    cause,
-                    lambda: lambda.to_f64(),
-                    gamma_boost: gamma_boost.to_f64(),
-                });
-                timing.bookkeeping += t_book.elapsed();
-                continue;
-            }
-
-            if overflow_f < best_overflow {
-                best_overflow = overflow_f;
-                best_params.copy_from_slice(&params);
-            }
-
-            let gamma = gamma_sched.gamma(T::from_f64(overflow_f)) * gamma_boost;
-            obj.wl.set_gamma(gamma);
-
-            if (k + 1) % cfg.lambda_update_interval.max(1) == 0 {
-                obj.lambda = lambda_sched.update(cur_hpwl - prev_hpwl);
-            }
-            prev_hpwl = cur_hpwl;
-
-            tel.iteration(
-                k,
-                cur_hpwl.to_f64(),
-                overflow_f,
-                obj.lambda.to_f64(),
-                gamma.to_f64(),
-            );
-            history.push(IterRecord {
-                iteration: k,
-                hpwl: cur_hpwl.to_f64(),
-                overflow: overflow_f,
-                lambda: obj.lambda.to_f64(),
-                gamma: gamma.to_f64(),
-            });
-
-            if policy.checkpoint_interval > 0 && (k + 1) % policy.checkpoint_interval == 0 {
-                checkpoint = Checkpoint {
-                    iteration: k + 1,
-                    params: params.clone(),
-                    solver: solver.snapshot(),
-                    lambda_sched: lambda_sched.clone(),
-                    lambda: obj.lambda,
-                    prev_hpwl,
-                    history_len: history.len(),
-                    overflow: overflow_f,
-                };
-            }
-            timing.bookkeeping += t_book.elapsed();
-
-            if overflow_f <= cfg.target_overflow.to_f64() && k + 1 >= cfg.min_iters {
-                converged = true;
-                break;
-            }
-        }
-
-        unpack_into(&params, &mut pos, n);
-        drop(obj);
-        timing.total = t_start.elapsed();
-
-        let stats = GpStats {
-            iterations,
-            final_hpwl: hpwl(nl, &pos).to_f64(),
-            final_overflow: history.last().map(|r| r.overflow).unwrap_or(f64::NAN),
-            converged,
-            history,
-            timing,
-            recoveries,
-            recovery_events,
-            exec: ctx.summary(),
-        };
-        Ok(GpResult {
-            placement: pos,
-            stats,
-        })
+        let mut engine = GpEngine::from_placement(self.config.clone(), nl, pos, lambda0)?;
+        while !engine.step(nl)?.is_done() {}
+        Ok(engine.finish(nl))
     }
 }
 
@@ -976,5 +1398,116 @@ mod tests {
             .place(&d.netlist, &d.fixed_positions)
             .expect("ok");
         assert!(warm.stats.timing.init > plain.stats.timing.init);
+    }
+
+    /// A run snapshotted mid-flight and resumed into a fresh engine must
+    /// finish bit-identically to one that never stopped — the contract the
+    /// durable checkpoint layer builds on.
+    #[test]
+    fn state_resume_is_bit_identical_to_uninterrupted_run() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.deterministic = Some(true);
+        let golden = GlobalPlacer::new(cfg.clone())
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+
+        for stop_at in [1usize, 17, 60] {
+            let pos = initial_placement(&d.netlist, &d.fixed_positions, cfg.noise_frac, cfg.seed);
+            let mut first =
+                GpEngine::from_placement(cfg.clone(), &d.netlist, pos, None).expect("engine");
+            let mut outcome = GpStepOutcome::Continue;
+            while first.next_iteration() < stop_at && !outcome.is_done() {
+                outcome = first.step(&d.netlist).expect("healthy");
+            }
+            let state = first.state();
+            drop(first); // simulated process death
+
+            let mut resumed =
+                GpEngine::resume(cfg.clone(), &d.netlist, &d.fixed_positions, state)
+                    .expect("resume");
+            while !resumed.step(&d.netlist).expect("healthy").is_done() {}
+            let r = resumed.finish(&d.netlist);
+            assert_eq!(r.stats.iterations, golden.stats.iterations, "@{stop_at}");
+            assert_eq!(
+                r.stats.final_hpwl.to_bits(),
+                golden.stats.final_hpwl.to_bits(),
+                "@{stop_at}"
+            );
+            assert_eq!(r.placement.x, golden.placement.x, "@{stop_at}");
+            assert_eq!(r.placement.y, golden.placement.y, "@{stop_at}");
+            assert_eq!(r.stats.history.len(), golden.stats.history.len());
+            // Cumulative exec counters: per-op calls and pool launches add
+            // up exactly across the process boundary (nanos and workspace
+            // first-use counts are wall-clock/lifetime artifacts).
+            assert_eq!(
+                r.stats.exec.pool_runs, golden.stats.exec.pool_runs,
+                "@{stop_at}"
+            );
+            let calls = |s: &GpStats| {
+                s.exec
+                    .ops
+                    .iter()
+                    .map(|(n, c)| (*n, c.calls))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(calls(&r.stats), calls(&golden.stats), "@{stop_at}");
+        }
+    }
+
+    /// Resuming replays fault injection from the persisted eval counter,
+    /// so recovery rollbacks land on the same iterations.
+    #[test]
+    fn state_resume_replays_recovery_identically() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.fault_injection.nan_grad_evals = (60..72).collect();
+        cfg.recovery.max_recoveries = 8;
+        let golden = GlobalPlacer::new(cfg.clone())
+            .place(&d.netlist, &d.fixed_positions)
+            .expect("ok");
+        assert!(golden.stats.recoveries >= 1);
+
+        let pos = initial_placement(&d.netlist, &d.fixed_positions, cfg.noise_frac, cfg.seed);
+        let mut first =
+            GpEngine::from_placement(cfg.clone(), &d.netlist, pos, None).expect("engine");
+        // Stop before the poisoned eval window is reached.
+        while first.next_iteration() < 3 {
+            first.step(&d.netlist).expect("healthy");
+        }
+        let state = first.state();
+        drop(first);
+        let mut resumed = GpEngine::resume(cfg.clone(), &d.netlist, &d.fixed_positions, state)
+            .expect("resume");
+        while !resumed.step(&d.netlist).expect("recovers").is_done() {}
+        let r = resumed.finish(&d.netlist);
+        assert_eq!(r.stats.recoveries, golden.stats.recoveries);
+        assert_eq!(r.stats.recovery_events, golden.stats.recovery_events);
+        assert_eq!(r.placement.x, golden.placement.x);
+    }
+
+    /// The persisted consumed-seconds counter feeds the wall-clock budget:
+    /// a resumed run whose previous life already exceeded the budget stops
+    /// immediately instead of restarting the clock.
+    #[test]
+    fn resume_honors_consumed_budget() {
+        let d = small_design();
+        let mut cfg = quick_config(&d.netlist);
+        cfg.max_seconds = Some(3600.0); // never trips in-process
+        let pos = initial_placement(&d.netlist, &d.fixed_positions, cfg.noise_frac, cfg.seed);
+        let mut first =
+            GpEngine::from_placement(cfg.clone(), &d.netlist, pos, None).expect("engine");
+        for _ in 0..5 {
+            first.step(&d.netlist).expect("healthy");
+        }
+        let mut state = first.state();
+        assert!(state.consumed_seconds > 0.0);
+        state.consumed_seconds = 3600.0; // previous life spent it all
+        let mut resumed =
+            GpEngine::resume(cfg, &d.netlist, &d.fixed_positions, state).expect("resume");
+        let outcome = resumed.step(&d.netlist).expect("budget stop");
+        assert_eq!(outcome, GpStepOutcome::BudgetStop);
+        let r = resumed.finish(&d.netlist);
+        assert_eq!(r.stats.iterations, 5, "no further iterations may run");
     }
 }

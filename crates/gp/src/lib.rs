@@ -50,7 +50,10 @@ pub use config::{
     DivergenceCause, FaultInjection, GpConfig, GpError, InitKind, RecoveryPolicy, SolverKind,
     WirelengthModel,
 };
-pub use engine::{GlobalPlacer, GpResult, GpStats, GpTiming, IterRecord, RecoveryEvent};
+pub use engine::{
+    GlobalPlacer, GpEngine, GpEngineState, GpResult, GpRollbackState, GpStats, GpStepOutcome,
+    GpTiming, IterRecord, RecoveryEvent,
+};
 pub use fence::{FenceSpec, FencedDensityOp};
 pub use init::initial_placement;
 pub use scheduler::{DensityWeightScheduler, GammaScheduler};

@@ -64,6 +64,22 @@ impl<T: Float> DensityWeightScheduler<T> {
         self.lambda = lambda;
     }
 
+    /// Updates performed so far (the `k` of the TCAD decay term).
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Restores the update counter (checkpoint resume: the TCAD decay
+    /// must continue from where the interrupted run left off).
+    pub fn set_iteration(&mut self, iteration: usize) {
+        self.iteration = iteration;
+    }
+
+    /// The reference `Delta HPWL` this scheduler normalizes against.
+    pub fn ref_delta(&self) -> T {
+        self.ref_delta
+    }
+
     /// Applies one update given the HPWL change since the last update, and
     /// returns the new weight.
     pub fn update(&mut self, delta_hpwl: T) -> T {

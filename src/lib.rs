@@ -31,11 +31,15 @@
 //! ```
 
 pub use dreamplace_core::{
-    sanitize_design, DegradationEvent, DegradationFallback, DegradationTrigger, DreamPlacer,
-    FlowConfig, FlowDegradations, FlowError, FlowResult, FlowStage, FlowTiming, GpFallback,
-    RoutabilityConfig, RoutabilityPlacer, RoutabilityResult, SanitizeFinding, SanitizeIssue,
-    SanitizeReport, StageBudgets, TimingDrivenConfig, TimingDrivenPlacer, TimingDrivenResult,
-    TimingSummary, ToolMode,
+    read_checkpoint, sanitize_design, write_checkpoint, CheckpointData, CheckpointError,
+    CheckpointPolicy, CheckpointStage, DegradationEvent, DegradationFallback, DegradationTrigger,
+    DesignStamp,
+    DreamPlacer, DurableOutcome, FlowConfig, FlowDegradations, FlowError, FlowFaultInjection,
+    FlowMachine, FlowResult, FlowStage, FlowState, FlowTiming, GpAttemptState, GpFallback,
+    RoutabilityConfig,
+    RoutabilityPlacer, RoutabilityResult, SanitizeFinding, SanitizeIssue, SanitizeReport,
+    StageBudgets, TimingDrivenConfig, TimingDrivenPlacer, TimingDrivenResult, TimingSummary,
+    ToolMode,
 };
 
 /// Numeric substrate: precision-generic floats, atomics, complex numbers.

@@ -4,9 +4,12 @@
 //! dreamplace place  <design.aux> [--out DIR] [--mode replace|cpu|gpu]
 //!                   [--threads N] [--overflow F] [--svg FILE] [--f32]
 //!                   [--trace FILE]
+//!                   [--checkpoint-dir DIR] [--checkpoint-every N]
+//!                   [--resume DIR | --resume-or-restart DIR] [--die-at STATE]
 //! dreamplace gen    <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]
 //! dreamplace stats  <design.aux>
 //! dreamplace trace-check <trace.jsonl>
+//! dreamplace checkpoint-check <flow.ckpt|DIR>
 //! ```
 //!
 //! `--trace` enables telemetry for the run: the flow writes a JSONL trace
@@ -14,6 +17,15 @@
 //! report. A failed run still writes the partial trace and report before
 //! exiting non-zero. `trace-check` validates a trace against the schema
 //! (balanced spans, per-thread monotone timestamps) via `dp-check`.
+//!
+//! `--checkpoint-dir` makes the run durable: the flow writes an atomic
+//! checkpoint at every stage boundary, every `--checkpoint-every` GP
+//! iterations (default 50), and every completed DP round. `--resume DIR`
+//! continues a killed run from its last checkpoint and fails if the
+//! checkpoint is unusable; `--resume-or-restart DIR` logs the diagnosis
+//! and starts fresh instead. `--die-at gp:40` (etc.) injects a crash for
+//! testing. `checkpoint-check` validates a checkpoint file with the
+//! independent `dp-check` reader (own tokenizer, own CRC).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,9 +42,12 @@ fn usage() -> ExitCode {
          USAGE:\n  dreamplace place <design.aux> [--out DIR] [--mode replace|cpu|gpu]\n\
          \x20                 [--threads N] [--overflow F] [--svg FILE] [--f32] [--no-dp]\n\
          \x20                 [--trace FILE]\n\
+         \x20                 [--checkpoint-dir DIR] [--checkpoint-every N]\n\
+         \x20                 [--resume DIR | --resume-or-restart DIR] [--die-at STATE]\n\
          \x20 dreamplace gen <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]\n\
          \x20 dreamplace stats <design.aux>\n\
-         \x20 dreamplace trace-check <trace.jsonl>"
+         \x20 dreamplace trace-check <trace.jsonl>\n\
+         \x20 dreamplace checkpoint-check <flow.ckpt|DIR>"
     );
     ExitCode::from(2)
 }
@@ -87,6 +102,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args),
         "stats" => cmd_stats(&args),
         "trace-check" => cmd_trace_check(&args),
+        "checkpoint-check" => cmd_checkpoint_check(&args),
         _ => return usage(),
     };
     match result {
@@ -184,12 +200,78 @@ fn cmd_trace_check(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("missing <trace.jsonl>")?;
     let s = dreamplace::check::validate_file(&PathBuf::from(path)).map_err(|e| e.to_string())?;
     println!(
-        "{path}: ok — {} events ({} spans, {} iterations, {} points of which {} degradations, \
-         {} kernels, {} workers, {} workspaces, {} meta)",
-        s.lines, s.spans, s.iters, s.points, s.degradations, s.kernels, s.workers, s.workspaces,
-        s.metas
+        "{path}: ok — {} events ({} spans, {} iterations, {} points of which {} degradations \
+         and {} resumes, {} kernels, {} workers, {} workspaces, {} meta)",
+        s.lines, s.spans, s.iters, s.points, s.degradations, s.resumes, s.kernels, s.workers,
+        s.workspaces, s.metas
     );
     Ok(())
+}
+
+fn cmd_checkpoint_check(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("missing <flow.ckpt|DIR>")?;
+    let s = dreamplace::check::validate_checkpoint_file(&PathBuf::from(path))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{path}: ok — v{} {} checkpoint for {:?} ({} cells / {} movable / {} nets), \
+         {} records, {} floats, {} degradations{}",
+        s.version,
+        s.stage,
+        s.name,
+        s.cells,
+        s.movable,
+        s.nets,
+        s.records,
+        s.floats,
+        s.degradations,
+        match s.gp_next_iteration {
+            Some(k) => format!(", next gp iteration {k}"),
+            None => String::new(),
+        },
+    );
+    Ok(())
+}
+
+/// Parses the durable-run flags into `(resume data, policy, faults)`.
+#[allow(clippy::type_complexity)]
+fn durable_options(
+    args: &Args,
+) -> Result<
+    (
+        Option<dreamplace::CheckpointData<f64>>,
+        Option<dreamplace::CheckpointPolicy>,
+        dreamplace::FlowFaultInjection,
+    ),
+    String,
+> {
+    if args.get("resume").is_some() && args.get("resume-or-restart").is_some() {
+        return Err("--resume and --resume-or-restart are mutually exclusive".into());
+    }
+    let resume_dir = args.get("resume").or_else(|| args.get("resume-or-restart"));
+    let resume_from = match resume_dir {
+        None => None,
+        Some(dir) => match dreamplace::read_checkpoint::<f64>(&PathBuf::from(dir)) {
+            Ok(data) => Some(data),
+            Err(e) if args.get("resume-or-restart").is_some() => {
+                eprintln!("warning: checkpoint unusable, restarting fresh: {e}");
+                None
+            }
+            Err(e) => return Err(format!("checkpoint: {e}")),
+        },
+    };
+    // Checkpointing continues into the resume directory unless overridden.
+    let ckpt_dir = args.get("checkpoint-dir").or(resume_dir);
+    let every = args.get_parse("checkpoint-every", 50usize)?;
+    let policy = ckpt_dir.map(|d| dreamplace::CheckpointPolicy::new(d).every(every));
+    let faults = match args.get("die-at") {
+        None => dreamplace::FlowFaultInjection::default(),
+        Some(s) => dreamplace::FlowFaultInjection::die_at(
+            dreamplace::FlowState::parse(s).ok_or_else(|| {
+                format!("invalid value for --die-at: {s} (want init|sanitize|gp:K|lg|dp:K|finish)")
+            })?,
+        ),
+    };
+    Ok((resume_from, policy, faults))
 }
 
 fn cmd_place(args: &Args) -> Result<(), String> {
@@ -220,9 +302,17 @@ fn cmd_place(args: &Args) -> Result<(), String> {
         // (The library is fully generic; the CLI supports it through IO.)
     }
 
+    let (resume_from, policy, faults) = durable_options(args)?;
+    let resumed = resume_from.is_some();
+
     println!("\nplacing with {} ...", mode.label());
-    let result = match DreamPlacer::new(config).place(&design) {
-        Ok(r) => r,
+    let outcome = match DreamPlacer::new(config).place_durable(
+        &design,
+        resume_from,
+        policy.as_ref(),
+        faults,
+    ) {
+        Ok(o) => o,
         Err(e) => {
             // A failed run still emits its partial trace and report: the
             // spans are RAII so the trace is balanced up to the failure,
@@ -233,6 +323,26 @@ fn cmd_place(args: &Args) -> Result<(), String> {
             return Err(e.diagnosis());
         }
     };
+    let result = match outcome {
+        dreamplace::DurableOutcome::Completed(r) => *r,
+        dreamplace::DurableOutcome::Killed { at } => {
+            // Injected crash (--die-at): the last durable checkpoint is on
+            // disk; a later `--resume` continues from it. Exit cleanly so
+            // crash-test scripts can chain the resume step.
+            finish_trace(&telemetry, trace_path.as_ref())?;
+            match &policy {
+                Some(p) => println!(
+                    "killed before {at} (fault injection); resume with --resume {}",
+                    p.dir.display()
+                ),
+                None => println!("killed before {at} (fault injection); no checkpoint dir"),
+            }
+            return Ok(());
+        }
+    };
+    if resumed {
+        println!("(resumed from checkpoint)");
+    }
     println!(
         "GP {:.2}s ({} iters, overflow {:.3}) | LG {:.2}s | DP {:.2}s | total {:.2}s",
         result.timing.gp,

@@ -1,0 +1,358 @@
+//! Tier-1 crash/resume gate: a run killed at any state boundary (and at
+//! arbitrary mid-GP iterations) and resumed from its last durable
+//! checkpoint must be **bit-identical** to the uninterrupted run — same
+//! final positions, same HPWL trajectory, same degradation timeline, same
+//! merged execution counters.
+//!
+//! Also covers the failure modes around the checkpoint file itself:
+//! corruption is detected by CRC and surfaces as a structured
+//! `FlowError::Checkpoint`, resuming onto the wrong design is refused,
+//! and wall-clock budgets account for time consumed before the crash.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use dp_gp::InitKind;
+use dreamplace::gen::{GeneratedDesign, GeneratorConfig};
+use dreamplace::{
+    read_checkpoint, CheckpointError, CheckpointPolicy, DreamPlacer, DurableOutcome, FlowConfig,
+    FlowError, FlowFaultInjection, FlowResult, FlowState, ToolMode,
+};
+
+const THREADS: usize = 2;
+
+fn design() -> GeneratedDesign<f64> {
+    GeneratorConfig::new("resume-matrix", 420, 460)
+        .with_seed(71)
+        .with_utilization(0.6)
+        .generate::<f64>()
+        .expect("valid generator config")
+}
+
+fn other_design() -> GeneratedDesign<f64> {
+    GeneratorConfig::new("resume-other", 300, 330)
+        .with_seed(72)
+        .with_utilization(0.6)
+        .generate::<f64>()
+        .expect("valid generator config")
+}
+
+fn config(d: &GeneratedDesign<f64>) -> FlowConfig<f64> {
+    let mut cfg = FlowConfig::for_mode(ToolMode::DreamplaceCpu { threads: THREADS }, &d.netlist);
+    cfg.gp.max_iters = 300;
+    cfg.gp.target_overflow = 0.12;
+    cfg.gp.threads = THREADS;
+    // Fixed-point density accumulation: bit-identical regardless of how
+    // the worker pool interleaves (same setting as the golden gate).
+    cfg.gp.deterministic = Some(true);
+    if let InitKind::WirelengthOnly { iters } = cfg.gp.init {
+        cfg.gp.init = InitKind::WirelengthOnly {
+            iters: iters.min(40),
+        };
+    }
+    cfg
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dp-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Kills the flow right before `at`, then resumes from the checkpoint
+/// directory in a second driver invocation (a fresh "process" as far as
+/// the machine is concerned) and runs to completion.
+fn killed_then_resumed(
+    d: &GeneratedDesign<f64>,
+    at: FlowState,
+    tag: &str,
+    telemetry: Option<&dreamplace::telemetry::Telemetry>,
+) -> FlowResult<f64> {
+    let dir = tmp_dir(tag);
+    let policy = CheckpointPolicy::new(&dir).every(10);
+
+    let outcome = DreamPlacer::new(config(d))
+        .place_durable(d, None, Some(&policy), FlowFaultInjection::die_at(at))
+        .expect("killed run");
+    match outcome {
+        DurableOutcome::Killed { at: died } => assert_eq!(died, at, "died at the wrong state"),
+        DurableOutcome::Completed(_) => panic!("kill point {at} was never reached"),
+    }
+
+    // Kills before the first checkpoint (init/sanitize) leave no file;
+    // the resume then degenerates to a fresh run, like the CLI's
+    // `--resume-or-restart`.
+    let resume_from = match read_checkpoint::<f64>(&dir) {
+        Ok(data) => Some(data),
+        Err(CheckpointError::Missing { .. }) => None,
+        Err(e) => panic!("unreadable checkpoint after kill at {at}: {e}"),
+    };
+    let mut cfg = config(d);
+    if let Some(tel) = telemetry {
+        cfg.telemetry = tel.clone();
+    }
+    let outcome = DreamPlacer::new(cfg)
+        .place_durable(d, resume_from, Some(&policy), FlowFaultInjection::default())
+        .expect("resumed run");
+    let _ = std::fs::remove_dir_all(&dir);
+    match outcome {
+        DurableOutcome::Completed(r) => *r,
+        DurableOutcome::Killed { at } => panic!("resumed run died at {at} without injection"),
+    }
+}
+
+/// Everything deterministic must match bit-for-bit; only wall-clock
+/// fields (timings, per-op nanos) are exempt.
+fn assert_bit_identical(golden: &FlowResult<f64>, r: &FlowResult<f64>, tag: &str) {
+    assert_eq!(golden.placement.x, r.placement.x, "{tag}: x positions");
+    assert_eq!(golden.placement.y, r.placement.y, "{tag}: y positions");
+    assert_eq!(
+        golden.hpwl_gp.to_bits(),
+        r.hpwl_gp.to_bits(),
+        "{tag}: hpwl_gp"
+    );
+    assert_eq!(
+        golden.hpwl_legal.to_bits(),
+        r.hpwl_legal.to_bits(),
+        "{tag}: hpwl_legal"
+    );
+    assert_eq!(
+        golden.hpwl_final.to_bits(),
+        r.hpwl_final.to_bits(),
+        "{tag}: hpwl_final"
+    );
+
+    // GP trajectory: every iteration record, recovery, and counter.
+    assert_eq!(golden.gp.iterations, r.gp.iterations, "{tag}: gp iters");
+    assert_eq!(golden.gp.converged, r.gp.converged, "{tag}: gp converged");
+    assert_eq!(golden.gp.history, r.gp.history, "{tag}: gp history");
+    assert_eq!(
+        golden.gp.recovery_events, r.gp.recovery_events,
+        "{tag}: gp recoveries"
+    );
+
+    // Legalization and detailed placement outcomes (runtime excluded).
+    assert_eq!(
+        golden.lg.avg_displacement.to_bits(),
+        r.lg.avg_displacement.to_bits(),
+        "{tag}: lg avg displacement"
+    );
+    assert_eq!(
+        golden.lg.max_displacement.to_bits(),
+        r.lg.max_displacement.to_bits(),
+        "{tag}: lg max displacement"
+    );
+    assert_eq!(golden.lg.fallback, r.lg.fallback, "{tag}: lg fallback");
+    assert_eq!(
+        golden.dp.as_ref().map(|s| (s.moves, s.final_hpwl.to_bits())),
+        r.dp.as_ref().map(|s| (s.moves, s.final_hpwl.to_bits())),
+        "{tag}: dp moves/hpwl"
+    );
+
+    // Degradation timeline and GP fallback state.
+    assert_eq!(golden.gp_fallback, r.gp_fallback, "{tag}: gp fallback");
+    assert_eq!(
+        golden.degradations.events, r.degradations.events,
+        "{tag}: degradation timeline"
+    );
+
+    // Merged execution counters: the resumed process folds the
+    // checkpointed counters into its own, so per-op call counts and pool
+    // runs must land exactly on the uninterrupted totals. (Nanos and
+    // spawn counts are wall-clock noise.)
+    let calls = |res: &FlowResult<f64>| -> Vec<(&'static str, u64)> {
+        res.gp.exec.ops.iter().map(|(n, c)| (*n, c.calls)).collect()
+    };
+    assert_eq!(calls(golden), calls(r), "{tag}: per-op call counts");
+    assert_eq!(
+        golden.gp.exec.pool_runs, r.gp.exec.pool_runs,
+        "{tag}: pool runs"
+    );
+}
+
+#[test]
+fn killed_and_resumed_matches_uninterrupted_at_every_state() {
+    let d = design();
+    let golden = match DreamPlacer::new(config(&d))
+        .place_durable(&d, None, None, FlowFaultInjection::default())
+        .expect("uninterrupted run")
+    {
+        DurableOutcome::Completed(r) => *r,
+        DurableOutcome::Killed { at } => panic!("uninjected run died at {at}"),
+    };
+    assert!(golden.gp.iterations > 40, "matrix assumes a long GP run");
+
+    // Every stage boundary plus mid-GP kills both on and off the
+    // checkpoint cadence (every 10 iterations).
+    let matrix = [
+        FlowState::Init,
+        FlowState::Sanitize,
+        FlowState::Gp { iteration: 0 },
+        FlowState::Gp { iteration: 1 },
+        FlowState::Gp { iteration: 13 },
+        FlowState::Gp { iteration: 40 },
+        FlowState::Lg,
+        FlowState::Dp { pass: 0 },
+        FlowState::Dp { pass: 1 },
+        FlowState::Finish,
+    ];
+    for at in matrix {
+        let tag = format!("kill at {at}");
+        let r = killed_then_resumed(&d, at, &at.to_string().replace(':', "-"), None);
+        assert_bit_identical(&golden, &r, &tag);
+    }
+}
+
+#[test]
+fn resumed_trace_carries_a_resume_point_and_validates() {
+    let d = design();
+    let tel = dreamplace::telemetry::Telemetry::enabled();
+    let r = killed_then_resumed(&d, FlowState::Gp { iteration: 17 }, "traced", Some(&tel));
+    assert!(r.hpwl_final > 0.0);
+    let mut buf = Vec::new();
+    tel.write_jsonl(&mut buf).expect("serialize trace");
+    let text = String::from_utf8(buf).expect("utf8 trace");
+    let summary = dreamplace::check::validate_str(&text).expect("resumed trace validates");
+    assert_eq!(summary.resumes, 1, "resumed run must emit one resume point");
+}
+
+#[test]
+fn corrupt_checkpoint_surfaces_structured_error_and_restart_matches_golden() {
+    let d = design();
+    let dir = tmp_dir("corrupt");
+    let policy = CheckpointPolicy::new(&dir).every(10);
+    DreamPlacer::new(config(&d))
+        .place_durable(
+            &d,
+            None,
+            Some(&policy),
+            FlowFaultInjection::die_at(FlowState::Lg),
+        )
+        .expect("killed run");
+
+    // Truncate the checkpoint to simulate a torn disk.
+    let file = dir.join("flow.ckpt");
+    let text = std::fs::read_to_string(&file).expect("checkpoint");
+    std::fs::write(&file, &text[..text.len() / 3]).expect("truncate");
+
+    let err = read_checkpoint::<f64>(&dir).expect_err("truncated checkpoint must fail");
+    assert!(
+        matches!(err, CheckpointError::CrcMismatch { .. }),
+        "want CrcMismatch, got {err:?}"
+    );
+    // The structured flow error carries a one-line diagnosis.
+    let diag = FlowError::<f64>::Checkpoint(err).diagnosis();
+    assert!(diag.starts_with("checkpoint:"), "diagnosis {diag:?}");
+
+    // `--resume-or-restart` semantics: fall back to a fresh run, which
+    // must match the uninterrupted golden exactly.
+    let golden = match DreamPlacer::new(config(&d))
+        .place_durable(&d, None, None, FlowFaultInjection::default())
+        .expect("golden run")
+    {
+        DurableOutcome::Completed(r) => *r,
+        DurableOutcome::Killed { at } => panic!("uninjected run died at {at}"),
+    };
+    let restarted = match DreamPlacer::new(config(&d))
+        .place_durable(&d, None, Some(&policy), FlowFaultInjection::default())
+        .expect("restarted run")
+    {
+        DurableOutcome::Completed(r) => *r,
+        DurableOutcome::Killed { at } => panic!("uninjected run died at {at}"),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_bit_identical(&golden, &restarted, "restart after corruption");
+}
+
+#[test]
+fn resume_refuses_a_checkpoint_from_a_different_design() {
+    let d = design();
+    let dir = tmp_dir("mismatch");
+    let policy = CheckpointPolicy::new(&dir).every(10);
+    DreamPlacer::new(config(&d))
+        .place_durable(
+            &d,
+            None,
+            Some(&policy),
+            FlowFaultInjection::die_at(FlowState::Lg),
+        )
+        .expect("killed run");
+    let data = read_checkpoint::<f64>(&dir).expect("checkpoint");
+
+    let other = other_design();
+    let err = DreamPlacer::new(config(&other))
+        .place_durable(&other, Some(data), None, FlowFaultInjection::default())
+        .expect_err("resuming onto another design must fail");
+    let _ = std::fs::remove_dir_all(&dir);
+    match err {
+        FlowError::Checkpoint(CheckpointError::DesignMismatch { .. }) => {}
+        other => panic!("want DesignMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn gp_budget_counts_time_consumed_before_the_crash() {
+    let d = design();
+    let dir = tmp_dir("budget");
+    let policy = CheckpointPolicy::new(&dir).every(10);
+    DreamPlacer::new(config(&d))
+        .place_durable(
+            &d,
+            None,
+            Some(&policy),
+            FlowFaultInjection::die_at(FlowState::Gp { iteration: 25 }),
+        )
+        .expect("killed run");
+    let checkpoint = read_checkpoint::<f64>(&dir).expect("checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+    let at_iteration = match checkpoint.state() {
+        FlowState::Gp { iteration } => iteration,
+        other => panic!("expected a GP checkpoint, got {other}"),
+    };
+
+    // Control: with a generous budget the resumed run finishes GP well
+    // past the checkpointed iteration.
+    let mut generous = config(&d);
+    generous.budgets.gp_seconds = Some(3600.0);
+    let r = match DreamPlacer::new(generous)
+        .place_durable(
+            &d,
+            Some(checkpoint.clone()),
+            None,
+            FlowFaultInjection::default(),
+        )
+        .expect("resumed run")
+    {
+        DurableOutcome::Completed(r) => *r,
+        DurableOutcome::Killed { at } => panic!("uninjected run died at {at}"),
+    };
+    assert!(
+        r.gp.iterations > at_iteration,
+        "control run should keep iterating past {at_iteration}"
+    );
+
+    // With the pre-crash wall-clock marked as spent, the same budget is
+    // already exhausted at resume: GP must stop immediately instead of
+    // restarting its clock from zero.
+    let mut spent = checkpoint;
+    if let dreamplace::CheckpointStage::Gp { engine, .. } = &mut spent.stage {
+        engine.consumed_seconds = 3600.0;
+    } else {
+        panic!("expected a GP-stage checkpoint");
+    }
+    let mut cfg = config(&d);
+    cfg.budgets.gp_seconds = Some(3600.0);
+    let r = match DreamPlacer::new(cfg)
+        .place_durable(&d, Some(spent), None, FlowFaultInjection::default())
+        .expect("resumed run under exhausted budget")
+    {
+        DurableOutcome::Completed(r) => *r,
+        DurableOutcome::Killed { at } => panic!("uninjected run died at {at}"),
+    };
+    assert_eq!(
+        r.gp.iterations, at_iteration,
+        "budget must include pre-crash time: no further GP iterations"
+    );
+    assert!(!r.gp.converged, "a budget stop is not convergence");
+}
