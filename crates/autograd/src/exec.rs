@@ -35,7 +35,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dp_num::{Float, WorkerPool};
+use dp_num::{Float, PoolTenant, WorkerPool};
 use dp_telemetry::{KernelTimer, Telemetry};
 
 /// Per-operator call counters (kept cheap: two saturating adds per call).
@@ -124,6 +124,10 @@ impl ExecSummary {
 /// The persistent execution context; see the [module docs](self).
 pub struct ExecCtx<T> {
     pool: Arc<WorkerPool>,
+    /// Shared-pool mode: the job's tenancy handle onto the pool. `None`
+    /// means the classic run-owned model (this ctx's run is the pool's
+    /// only customer).
+    tenant: Option<Arc<PoolTenant>>,
     workspaces: BTreeMap<&'static str, Vec<T>>,
     ws_counters: BTreeMap<&'static str, WorkspaceCounter>,
     ops: BTreeMap<&'static str, OpCounter>,
@@ -150,12 +154,30 @@ impl<T: Float> ExecCtx<T> {
     pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
         Self {
             pool,
+            tenant: None,
             workspaces: BTreeMap::new(),
             ws_counters: BTreeMap::new(),
             ops: BTreeMap::new(),
             telemetry: Telemetry::disabled(),
             timers: BTreeMap::new(),
         }
+    }
+
+    /// A context executing as one tenant of a shared pool (see
+    /// [`dp_num::PoolHost`]). Kernel launches go to the shared pool;
+    /// telemetry shards and launch counters are attributed through the
+    /// tenant so concurrent jobs stay separate. The caller (the scheduler)
+    /// must hold the tenant's [`dp_num::PoolLease`] around every kernel
+    /// launch.
+    pub fn with_tenant(tenant: Arc<PoolTenant>) -> Self {
+        let mut ctx = Self::with_pool(Arc::clone(tenant.pool()));
+        ctx.tenant = Some(tenant);
+        ctx
+    }
+
+    /// The tenancy handle when this ctx runs on a shared pool.
+    pub fn tenant(&self) -> Option<&Arc<PoolTenant>> {
+        self.tenant.as_ref()
     }
 
     /// [`ExecCtx::new`] with a telemetry sink attached; see
@@ -173,7 +195,13 @@ impl<T: Float> ExecCtx<T> {
     /// branch per record.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         if let Some(shards) = telemetry.worker_shards("pool", self.pool.threads()) {
-            self.pool.set_worker_shards(shards);
+            match &self.tenant {
+                // Shared pool: the shards belong to this job only, so they
+                // are parked on the tenant and installed into the pool for
+                // the duration of each lease.
+                Some(tenant) => tenant.set_worker_shards(shards),
+                None => self.pool.set_worker_shards(shards),
+            }
         }
         self.telemetry = telemetry;
         self.timers.clear();
@@ -264,8 +292,17 @@ impl<T: Float> ExecCtx<T> {
     pub fn summary(&self) -> ExecSummary {
         ExecSummary {
             pool_threads: self.pool.threads(),
-            threads_spawned: self.pool.threads_spawned(),
-            pool_runs: self.pool.runs(),
+            // A tenant did not spawn the shared workers, and its launch
+            // count is its own lease-attributed delta — not the pool-wide
+            // total, which includes every other job's kernels.
+            threads_spawned: match &self.tenant {
+                Some(_) => 0,
+                None => self.pool.threads_spawned(),
+            },
+            pool_runs: match &self.tenant {
+                Some(tenant) => tenant.runs(),
+                None => self.pool.runs(),
+            },
             ops: self.ops.iter().map(|(k, v)| (*k, *v)).collect(),
             workspaces: self.ws_counters.iter().map(|(k, v)| (*k, *v)).collect(),
         }
@@ -409,6 +446,35 @@ mod tests {
         let t0 = ctx.op_timer();
         ctx.record_op("wa.forward", t0);
         assert_eq!(ctx.op_counter("wa.forward").calls, 1);
+    }
+
+    #[test]
+    fn tenant_ctx_attributes_runs_and_shards_per_job() {
+        let host = dp_num::PoolHost::new(2);
+        let t_a = host.tenant();
+        let t_b = host.tenant();
+        let mut a = ExecCtx::<f64>::with_tenant(Arc::clone(&t_a));
+        let b = ExecCtx::<f64>::with_tenant(Arc::clone(&t_b));
+        let tel = Telemetry::enabled();
+        a.set_telemetry(tel.clone());
+        {
+            let lease = t_a.lease();
+            lease.pool().run(64, 8, |_| {});
+        }
+        {
+            let lease = t_b.lease();
+            lease.pool().run(64, 8, |_| {});
+            lease.pool().run(64, 8, |_| {});
+        }
+        let sa = a.summary();
+        let sb = b.summary();
+        assert_eq!(sa.pool_runs, 1, "job A sees only its own launches");
+        assert_eq!(sb.pool_runs, 2);
+        assert_eq!(sa.threads_spawned, 0, "tenants spawn nothing");
+        assert_eq!(sa.pool_threads, 2);
+        // Job A's shards saw job A's launch only; job B ran unsharded.
+        let shards = tel.worker_shards("pool", 2).expect("registered");
+        assert_eq!(shards.per_worker()[0].0, 1);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod machine;
 pub mod modes;
 pub mod routability;
 pub mod sanitize;
+pub mod scheduler;
 pub mod timing_driven;
 pub mod viz;
 
@@ -59,10 +60,11 @@ pub use flow::{
     FlowDegradations, FlowError, FlowResult, FlowStage, FlowTiming, GpFallback, StageBudgets,
 };
 pub use machine::{
-    CheckpointData, CheckpointPolicy, CheckpointStage, DesignStamp, DurableOutcome,
+    CheckpointData, CheckpointPolicy, CheckpointStage, DesignHandle, DesignStamp, DurableOutcome,
     FlowFaultInjection, FlowMachine, FlowState, GpAttemptState,
 };
 pub use modes::ToolMode;
+pub use scheduler::{JobId, JobStatus, QosClass, Scheduler};
 pub use sanitize::{sanitize_design, SanitizeFinding, SanitizeIssue, SanitizeReport};
 pub use routability::{RoutabilityConfig, RoutabilityPlacer, RoutabilityResult};
 pub use timing_driven::{

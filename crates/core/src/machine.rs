@@ -324,6 +324,41 @@ impl<T: Float> CheckpointData<T> {
     }
 }
 
+/// How a [`FlowMachine`] holds its design: borrowed for the classic
+/// synchronous `place(&design)` call (zero-cost), or owned behind an `Arc`
+/// so a machine can outlive its creator — the job scheduler and the
+/// `dp-serve` daemon hold `FlowMachine<'static, T>` for designs that
+/// arrive dynamically.
+pub enum DesignHandle<'d, T: Float> {
+    /// The caller keeps ownership; the machine borrows.
+    Borrowed(&'d GeneratedDesign<T>),
+    /// The machine shares ownership; the borrow parameter is free (pick
+    /// `'static`).
+    Owned(std::sync::Arc<GeneratedDesign<T>>),
+}
+
+impl<T: Float> DesignHandle<'_, T> {
+    /// The design itself.
+    pub fn get(&self) -> &GeneratedDesign<T> {
+        match self {
+            DesignHandle::Borrowed(d) => d,
+            DesignHandle::Owned(d) => d,
+        }
+    }
+}
+
+impl<'d, T: Float> From<&'d GeneratedDesign<T>> for DesignHandle<'d, T> {
+    fn from(d: &'d GeneratedDesign<T>) -> Self {
+        DesignHandle::Borrowed(d)
+    }
+}
+
+impl<T: Float> From<std::sync::Arc<GeneratedDesign<T>>> for DesignHandle<'static, T> {
+    fn from(d: std::sync::Arc<GeneratedDesign<T>>) -> Self {
+        DesignHandle::Owned(d)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Internal stage data
 // ---------------------------------------------------------------------------
@@ -346,7 +381,6 @@ struct GpStage<T: Float> {
     engine: GpEngine<T>,
     attempt: GpAttempt<T>,
     span: dp_telemetry::Span,
-    t_stage: Instant,
 }
 
 struct LgStage<T: Float> {
@@ -378,7 +412,6 @@ struct DpStage<T: Float> {
     batched_stats: Option<DpStats>,
     steps: usize,
     span: dp_telemetry::Span,
-    t_stage: Instant,
 }
 
 struct FinishStage<T: Float> {
@@ -412,13 +445,18 @@ enum Stage<T: Float> {
 /// The flow as an explicit state machine; see the [module docs](self).
 pub struct FlowMachine<'d, T: Float> {
     config: FlowConfig<T>,
-    design: &'d GeneratedDesign<T>,
+    design: DesignHandle<'d, T>,
     tel: dp_telemetry::Telemetry,
     flow_span: Option<dp_telemetry::Span>,
     timing: FlowTiming,
     /// Total seconds consumed by prior processes of this run.
     consumed_total: f64,
-    t_machine: Instant,
+    /// Busy seconds accumulated by this process: construction/resume plus
+    /// every completed `step`. Not wall-clock-since-construction — under
+    /// the shared-pool scheduler a machine spends most of its life parked
+    /// between turns, and neither budgets nor reported timing may charge a
+    /// job for other jobs' time.
+    busy: f64,
     degradations: FlowDegradations,
     sanitize: SanitizeReport,
     gp_fallback: Option<GpFallback>,
@@ -430,11 +468,26 @@ type StepResult<T> = Result<(Stage<T>, FlowState), FlowError<T>>;
 impl<'d, T: Float> FlowMachine<'d, T> {
     /// Starts a machine at [`FlowState::Init`].
     pub fn new(config: FlowConfig<T>, design: &'d GeneratedDesign<T>) -> Self {
+        Self::with_handle(config, DesignHandle::Borrowed(design))
+    }
+
+    /// Starts a machine holding shared ownership of the design, so the
+    /// machine is `'static` and can be parked in a scheduler or daemon.
+    pub fn new_owned(
+        config: FlowConfig<T>,
+        design: std::sync::Arc<GeneratedDesign<T>>,
+    ) -> FlowMachine<'static, T> {
+        FlowMachine::with_handle(config, DesignHandle::Owned(design))
+    }
+
+    /// Starts a machine at [`FlowState::Init`] on either design handle.
+    pub fn with_handle(config: FlowConfig<T>, design: DesignHandle<'d, T>) -> Self {
         let tel = config.telemetry.clone();
-        let flow_span = tel.span(dp_telemetry::SpanKind::Flow, design.name.clone());
-        tel.meta("design", &design.name);
-        tel.meta("cells", design.netlist.num_cells());
-        tel.meta("nets", design.netlist.num_nets());
+        let d = design.get();
+        let flow_span = tel.span(dp_telemetry::SpanKind::Flow, d.name.clone());
+        tel.meta("design", &d.name);
+        tel.meta("cells", d.netlist.num_cells());
+        tel.meta("nets", d.netlist.num_nets());
         tel.meta("threads", config.gp.threads);
         Self {
             config,
@@ -443,7 +496,7 @@ impl<'d, T: Float> FlowMachine<'d, T> {
             flow_span: Some(flow_span),
             timing: FlowTiming::default(),
             consumed_total: 0.0,
-            t_machine: Instant::now(),
+            busy: 0.0,
             degradations: FlowDegradations::default(),
             sanitize: SanitizeReport::default(),
             gp_fallback: None,
@@ -469,11 +522,31 @@ impl<'d, T: Float> FlowMachine<'d, T> {
         design: &'d GeneratedDesign<T>,
         data: CheckpointData<T>,
     ) -> Result<Self, FlowError<T>> {
+        Self::resume_with_handle(config, DesignHandle::Borrowed(design), data)
+    }
+
+    /// [`FlowMachine::resume`] holding shared ownership of the design; see
+    /// [`FlowMachine::new_owned`].
+    pub fn resume_owned(
+        config: FlowConfig<T>,
+        design: std::sync::Arc<GeneratedDesign<T>>,
+        data: CheckpointData<T>,
+    ) -> Result<FlowMachine<'static, T>, FlowError<T>> {
+        FlowMachine::resume_with_handle(config, DesignHandle::Owned(design), data)
+    }
+
+    /// [`FlowMachine::resume`] on either design handle.
+    pub fn resume_with_handle(
+        config: FlowConfig<T>,
+        design: DesignHandle<'d, T>,
+        data: CheckpointData<T>,
+    ) -> Result<Self, FlowError<T>> {
+        let t_resume = Instant::now();
         data.design
-            .check(design)
+            .check(design.get())
             .map_err(FlowError::Checkpoint)?;
         let at = data.state();
-        let mut m = Self::new(config, design);
+        let mut m = Self::with_handle(config, design);
         m.timing = data.timing;
         m.consumed_total = data.consumed_total;
         m.degradations = FlowDegradations {
@@ -508,7 +581,6 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                     GpAttempt::Primary => base_cfg.clone(),
                     GpAttempt::Conservative { .. } => conservative_preset(&base_cfg, &nl),
                 };
-                let t_stage = Instant::now();
                 let engine = GpEngine::resume(cfg, &nl, &fixed, engine)?;
                 Stage::Gp(Box::new(GpStage {
                     nl,
@@ -516,7 +588,6 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                     engine,
                     attempt,
                     span,
-                    t_stage,
                 }))
             }
             CheckpointStage::Lg {
@@ -538,7 +609,6 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                 run,
             } => {
                 let span = m.tel.span(dp_telemetry::SpanKind::Stage, "dp");
-                let t_stage = Instant::now();
                 let placer = m.effective_dp_cfg();
                 let run = GuardedDpRun::resume(run);
                 Stage::Dp(Box::new(DpStage {
@@ -552,10 +622,10 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                     batched_stats: None,
                     steps: 0,
                     span,
-                    t_stage,
                 }))
             }
         };
+        m.busy += t_resume.elapsed().as_secs_f64();
         Ok(m)
     }
 
@@ -591,6 +661,7 @@ impl<'d, T: Float> FlowMachine<'d, T> {
     /// Any [`FlowError`]; the machine transitions to
     /// [`FlowState::Failed`].
     pub fn step(&mut self) -> Result<FlowState, FlowError<T>> {
+        let t_step = Instant::now();
         let stage = mem::replace(&mut self.stage, Stage::Failed);
         let outcome = match stage {
             Stage::Init => self.step_init(),
@@ -605,9 +676,21 @@ impl<'d, T: Float> FlowMachine<'d, T> {
         match outcome {
             Ok((next, state)) => {
                 self.stage = next;
+                self.busy += t_step.elapsed().as_secs_f64();
+                // The finish step assembled the result before this step's
+                // own cost was known; patch the totals now that it is.
+                if let Stage::Done(r) = &mut self.stage {
+                    if state == FlowState::Done && r.timing.total < self.consumed_total + self.busy
+                    {
+                        let total = self.consumed_total + self.busy;
+                        self.timing.total = total;
+                        r.timing.total = total;
+                    }
+                }
                 Ok(state)
             }
             Err(e) => {
+                self.busy += t_step.elapsed().as_secs_f64();
                 self.stage = Stage::Failed;
                 Err(e)
             }
@@ -663,16 +746,10 @@ impl<'d, T: Float> FlowMachine<'d, T> {
             },
             _ => return None,
         };
-        let mut timing = self.timing;
-        match &self.stage {
-            Stage::Gp(g) => timing.gp += g.t_stage.elapsed().as_secs_f64(),
-            Stage::Dp(d) => timing.dp += d.t_stage.elapsed().as_secs_f64(),
-            _ => {}
-        }
         Some(CheckpointData {
-            design: DesignStamp::of(self.design),
-            timing,
-            consumed_total: self.consumed_total + self.t_machine.elapsed().as_secs_f64(),
+            design: DesignStamp::of(self.design.get()),
+            timing: self.timing,
+            consumed_total: self.consumed_total + self.busy,
             degradations: self.degradations.events.clone(),
             gp_fallback: self.gp_fallback,
             stage,
@@ -711,28 +788,20 @@ impl<'d, T: Float> FlowMachine<'d, T> {
     fn load_inputs(&mut self) -> Result<(Netlist<T>, Placement<T>), FlowError<T>> {
         let io_span = self.tel.span(dp_telemetry::SpanKind::Stage, "io");
         let t_io = Instant::now();
+        let design = self.design.get();
         let (nl, fixed) = if self.config.io_roundtrip {
-            let dir = std::env::temp_dir().join(format!("dreamplace-io-{}", self.design.name));
-            dp_bookshelf::write_design(
-                &dir,
-                &self.design.name,
-                &self.design.netlist,
-                &self.design.fixed_positions,
-            )?;
-            let parsed =
-                dp_bookshelf::read_design::<T>(&dir.join(format!("{}.aux", self.design.name)))
-                    .map_err(|e| {
-                        FlowError::Io(std::io::Error::new(
-                            std::io::ErrorKind::InvalidData,
-                            e.to_string(),
-                        ))
-                    })?;
+            let dir = std::env::temp_dir().join(format!("dreamplace-io-{}", design.name));
+            dp_bookshelf::write_design(&dir, &design.name, &design.netlist, &design.fixed_positions)?;
+            let parsed = dp_bookshelf::read_design::<T>(&dir.join(format!("{}.aux", design.name)))
+                .map_err(|e| {
+                    FlowError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                })?;
             (parsed.netlist, parsed.positions)
         } else {
-            (
-                self.design.netlist.clone(),
-                self.design.fixed_positions.clone(),
-            )
+            (design.netlist.clone(), design.fixed_positions.clone())
         };
         self.timing.io += t_io.elapsed().as_secs_f64();
         drop(io_span);
@@ -808,8 +877,9 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                 DegradationFallback::UniformFieldDensity,
             );
         }
-        let t_stage = Instant::now();
+        let t_build = Instant::now();
         let engine = GpEngine::new(gp_cfg.clone(), &nl, &fixed)?;
+        self.timing.gp += t_build.elapsed().as_secs_f64();
         let iteration = engine.next_iteration();
         Ok((
             Stage::Gp(Box::new(GpStage {
@@ -818,14 +888,16 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                 engine,
                 attempt: GpAttempt::Primary,
                 span,
-                t_stage,
             })),
             FlowState::Gp { iteration },
         ))
     }
 
     fn step_gp(&mut self, mut gp: Box<GpStage<T>>) -> StepResult<T> {
-        match gp.engine.step(&gp.nl) {
+        let t_iter = Instant::now();
+        let stepped = gp.engine.step(&gp.nl);
+        self.timing.gp += t_iter.elapsed().as_secs_f64();
+        match stepped {
             Ok(outcome) if !outcome.is_done() => {
                 let iteration = gp.engine.next_iteration();
                 Ok((Stage::Gp(gp), FlowState::Gp { iteration }))
@@ -859,7 +931,9 @@ impl<'d, T: Float> FlowMachine<'d, T> {
         match gp.attempt {
             GpAttempt::Primary => {
                 let cfg = conservative_preset(&gp.base_cfg, &gp.nl);
+                let t_build = Instant::now();
                 let mut engine = GpEngine::from_placement(cfg, &gp.nl, (*best).clone(), None)?;
+                self.timing.gp += t_build.elapsed().as_secs_f64();
                 // Fold the aborted primary attempt's kernel work into the
                 // retry's counters so the run's ExecSummary covers both.
                 engine.absorb_exec(exec);
@@ -904,10 +978,8 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                     cause,
                     recoveries: total_recoveries,
                 });
-                let GpStage {
-                    nl, span, t_stage, ..
-                } = *gp;
-                self.leave_gp(nl, placement, stats, span, t_stage)
+                let GpStage { nl, span, .. } = *gp;
+                self.leave_gp(nl, placement, stats, span)
             }
         }
     }
@@ -918,14 +990,15 @@ impl<'d, T: Float> FlowMachine<'d, T> {
             engine,
             attempt,
             span,
-            t_stage,
             ..
         } = gp;
+        let t_fin = Instant::now();
         let result = engine.finish(&nl);
+        self.timing.gp += t_fin.elapsed().as_secs_f64();
         if let GpAttempt::Conservative { cause, .. } = attempt {
             self.gp_fallback = Some(GpFallback::ConservativePreset { cause });
         }
-        self.leave_gp(nl, result.placement, result.stats, span, t_stage)
+        self.leave_gp(nl, result.placement, result.stats, span)
     }
 
     /// Common GP exit: timing, fallback bookkeeping, telemetry, and the
@@ -936,9 +1009,7 @@ impl<'d, T: Float> FlowMachine<'d, T> {
         gp_placement: Placement<T>,
         gp_stats: GpStats,
         span: dp_telemetry::Span,
-        t_stage: Instant,
     ) -> StepResult<T> {
-        self.timing.gp += t_stage.elapsed().as_secs_f64();
         match self.gp_fallback {
             Some(GpFallback::ConservativePreset { cause }) => {
                 self.tel.point(
@@ -1068,7 +1139,6 @@ impl<'d, T: Float> FlowMachine<'d, T> {
         hpwl_legal: f64,
     ) -> StepResult<T> {
         let span = self.tel.span(dp_telemetry::SpanKind::Stage, "dp");
-        let t_stage = Instant::now();
         let driver = if !self.config.run_dp {
             DpDriver::Skipped
         } else if let Some(threads) = self.config.batched_dp_threads {
@@ -1090,13 +1160,13 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                 batched_stats: None,
                 steps: 0,
                 span,
-                t_stage,
             })),
             FlowState::Dp { pass: 0 },
         ))
     }
 
     fn step_dp(&mut self, mut dp: Box<DpStage<T>>) -> StepResult<T> {
+        let t_pass = Instant::now();
         let done = match &mut dp.driver {
             DpDriver::Skipped => true,
             DpDriver::Batched { threads } => {
@@ -1107,6 +1177,7 @@ impl<'d, T: Float> FlowMachine<'d, T> {
             }
             DpDriver::Guarded { placer, run } => run.step(placer, &dp.nl, &mut dp.placement),
         };
+        self.timing.dp += t_pass.elapsed().as_secs_f64();
         if !done {
             dp.steps += 1;
             let pass = dp.steps;
@@ -1127,7 +1198,6 @@ impl<'d, T: Float> FlowMachine<'d, T> {
             batched_stats,
             steps: _,
             span,
-            t_stage,
         } = dp;
         let dp_stats = match driver {
             DpDriver::Skipped => None,
@@ -1154,7 +1224,6 @@ impl<'d, T: Float> FlowMachine<'d, T> {
                 Some(stats)
             }
         };
-        self.timing.dp += t_stage.elapsed().as_secs_f64();
         drop(span);
         Ok((
             Stage::Finish(Box::new(FinishStage {
@@ -1186,18 +1255,16 @@ impl<'d, T: Float> FlowMachine<'d, T> {
         if self.config.io_roundtrip {
             let _io_span = self.tel.span(dp_telemetry::SpanKind::Stage, "io");
             let t_io2 = Instant::now();
-            let dir = std::env::temp_dir().join(format!("dreamplace-io-{}", self.design.name));
-            dp_bookshelf::write_design(
-                &dir,
-                &format!("{}-final", self.design.name),
-                &nl,
-                &placement,
-            )?;
+            let name = format!("{}-final", self.design.get().name);
+            let dir =
+                std::env::temp_dir().join(format!("dreamplace-io-{}", self.design.get().name));
+            dp_bookshelf::write_design(&dir, &name, &nl, &placement)?;
             self.timing.io += t_io2.elapsed().as_secs_f64();
         }
 
         let mut timing = self.timing;
-        timing.total = self.consumed_total + self.t_machine.elapsed().as_secs_f64();
+        // `step` patches this with the finish step's own cost once known.
+        timing.total = self.consumed_total + self.busy;
         self.timing = timing;
         self.flow_span = None;
         Ok((

@@ -1,0 +1,533 @@
+//! The shared-pool job scheduler: many flows, one set of worker threads.
+//!
+//! The classic execution model is run-owned: every [`DreamPlacer::place`]
+//! call spawns its own [`dp_num::WorkerPool`] and keeps it for the run's
+//! lifetime. That is the wrong shape for a placement *service* — the
+//! RL-tuning loops the paper motivates need fleets of runs per design, and
+//! N concurrent runs would oversubscribe the machine with N×threads
+//! workers. The [`Scheduler`] inverts the ownership: one long-lived pool
+//! lives in a [`PoolHost`], each job is a [`FlowMachine`] executing as a
+//! [`dp_num::PoolTenant`], and the scheduler round-robins the machines,
+//! holding the job's [`dp_num::PoolLease`] only for the duration of its
+//! turn. Yield points are the machine's steps — one GP iteration, one DP
+//! pass, one LG stage — so a huge job cannot starve a small one for longer
+//! than a single step.
+//!
+//! # Determinism
+//!
+//! Sharing the pool changes no bits. A kernel launch's chunking depends
+//! only on the thread count, which the scheduler pins to the host's width
+//! for every job (`cfg.gp.threads = host.threads()`); the lease installs
+//! the job's own telemetry shards and attributes launch counters, so even
+//! observability stays per-job. Every job's placement, HPWL, and trace
+//! convergence points are bit-identical to a standalone `place` run of the
+//! same configuration at the same thread count — the tier-1 interleaving
+//! test drives K jobs through one scheduler and compares against
+//! sequential runs.
+//!
+//! # QoS
+//!
+//! [`QosClass`] maps onto the per-job [`StageBudgets`] of the flow config:
+//! tightly budgeted jobs are latency-sensitive and get short turns
+//! (frequent yields), unbudgeted bulk jobs get long turns (less scheduling
+//! overhead). Budgets themselves are enforced *inside* the job by the
+//! engines, and since PR 7 they charge busy time — a parked job is never
+//! billed for its neighbors' turns.
+//!
+//! # Eviction and migration
+//!
+//! [`Scheduler::evict`] captures a job's durable [`CheckpointData`] and
+//! removes it from the run queue; the data can be resubmitted later — to
+//! the same scheduler, a different one, or a plain `place_durable` driver —
+//! via [`Scheduler::submit_resume`], with bit-identical results.
+//!
+//! [`DreamPlacer::place`]: crate::flow::DreamPlacer::place
+
+use std::sync::Arc;
+
+use dp_gen::GeneratedDesign;
+use dp_gp::ExecBinding;
+use dp_num::{Float, PoolHost, PoolTenant};
+use dp_telemetry::Telemetry;
+
+use crate::flow::{FlowConfig, FlowError, FlowResult, StageBudgets};
+use crate::machine::{CheckpointData, FlowMachine, FlowState};
+
+/// Scheduling class: how many machine steps a job gets per round.
+///
+/// The quantum trades fairness against scheduling overhead. One machine
+/// step is already a meaningful unit (a whole GP iteration), so even
+/// `Interactive` makes progress every turn; `Bulk` amortizes the
+/// lease/unlease bookkeeping over long turns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosClass {
+    /// Latency-sensitive: yield after every step.
+    Interactive,
+    /// The default: a handful of steps per turn.
+    Batch,
+    /// Throughput-oriented: long turns, minimal scheduling overhead.
+    Bulk,
+}
+
+impl QosClass {
+    /// Steps per scheduler turn.
+    pub fn quantum(self) -> usize {
+        match self {
+            QosClass::Interactive => 1,
+            QosClass::Batch => 8,
+            QosClass::Bulk => 32,
+        }
+    }
+
+    /// Derives a class from the job's stage budgets: a job that bounded
+    /// any stage's seconds is treated as latency-sensitive, a job with no
+    /// budgets at all as bulk work.
+    pub fn from_budgets(budgets: &StageBudgets) -> Self {
+        match (budgets.gp_seconds, budgets.dp_seconds) {
+            (Some(gp), _) if gp <= 10.0 => QosClass::Interactive,
+            (_, Some(dp)) if dp <= 10.0 => QosClass::Interactive,
+            (Some(_), _) | (_, Some(_)) => QosClass::Batch,
+            (None, None) => QosClass::Bulk,
+        }
+    }
+}
+
+/// Identifier of a submitted job, unique within one scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Externally visible lifecycle position of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// In the run queue; `state` is the machine's pending flow state.
+    Running {
+        /// The machine's pending state.
+        state: FlowState,
+    },
+    /// Completed; the result waits in [`Scheduler::take_result`].
+    Done,
+    /// Failed; the error waits in [`Scheduler::take_result`].
+    Failed,
+    /// Evicted via [`Scheduler::evict`]; the checkpoint was handed to the
+    /// caller and the job no longer occupies a queue slot.
+    Evicted,
+}
+
+struct Job<T: Float> {
+    id: JobId,
+    name: String,
+    qos: QosClass,
+    tenant: Arc<PoolTenant>,
+    /// `None` once the machine has been consumed (done/failed/evicted).
+    machine: Option<FlowMachine<'static, T>>,
+    outcome: Option<Result<Box<FlowResult<T>>, FlowError<T>>>,
+    evicted: bool,
+}
+
+impl<T: Float> Job<T> {
+    fn status(&self) -> JobStatus {
+        if self.evicted {
+            JobStatus::Evicted
+        } else if let Some(m) = &self.machine {
+            JobStatus::Running { state: m.state() }
+        } else {
+            match &self.outcome {
+                Some(Ok(_)) | None => JobStatus::Done,
+                Some(Err(_)) => JobStatus::Failed,
+            }
+        }
+    }
+}
+
+/// The round-robin shared-pool scheduler; see the [module docs](self).
+pub struct Scheduler<T: Float> {
+    host: PoolHost,
+    jobs: Vec<Job<T>>,
+    next_id: u64,
+    /// Round-robin cursor into `jobs` (index of the next turn).
+    cursor: usize,
+}
+
+impl<T: Float> Scheduler<T> {
+    /// A scheduler around an existing host.
+    pub fn new(host: PoolHost) -> Self {
+        Self {
+            host,
+            jobs: Vec::new(),
+            next_id: 0,
+            cursor: 0,
+        }
+    }
+
+    /// A scheduler owning a fresh pool of `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(PoolHost::new(threads))
+    }
+
+    /// The shared pool host.
+    pub fn host(&self) -> &PoolHost {
+        &self.host
+    }
+
+    /// Rewrites a job's config for shared execution: the job's telemetry
+    /// handle is attached, the thread count is pinned to the host's width
+    /// (launch chunking — and thus bit-identity — depends on it), and the
+    /// GP engine is bound to the job's tenant.
+    fn bind(&self, mut config: FlowConfig<T>, telemetry: Telemetry, tenant: &Arc<PoolTenant>) -> FlowConfig<T> {
+        config.telemetry = telemetry;
+        config.gp.threads = self.host.threads();
+        config.gp.exec = ExecBinding::Shared(Arc::clone(tenant));
+        config
+    }
+
+    /// Submits a fresh job. `telemetry` is the job's own sink (pass
+    /// [`Telemetry::disabled`] to opt out); `qos` defaults from the
+    /// config's stage budgets when `None`.
+    pub fn submit(
+        &mut self,
+        config: FlowConfig<T>,
+        design: Arc<GeneratedDesign<T>>,
+        telemetry: Telemetry,
+        qos: Option<QosClass>,
+    ) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let qos = qos.unwrap_or_else(|| QosClass::from_budgets(&config.budgets));
+        let tenant = self.host.tenant();
+        let config = self.bind(config, telemetry, &tenant);
+        let name = design.name.clone();
+        // Machine construction does no kernel work (the engine is built
+        // lazily inside the GP entry step), so no lease is needed here.
+        let machine = FlowMachine::new_owned(config, design);
+        self.jobs.push(Job {
+            id,
+            name,
+            qos,
+            tenant,
+            machine: Some(machine),
+            outcome: None,
+            evicted: false,
+        });
+        id
+    }
+
+    /// Submits a job resuming from a captured checkpoint (an evicted or
+    /// migrated job, or a durable checkpoint from a previous process).
+    ///
+    /// # Errors
+    ///
+    /// Any [`FlowError`] of [`FlowMachine::resume`] — design mismatch,
+    /// unrestorable engine state, or input-replay failures.
+    pub fn submit_resume(
+        &mut self,
+        config: FlowConfig<T>,
+        design: Arc<GeneratedDesign<T>>,
+        data: CheckpointData<T>,
+        telemetry: Telemetry,
+        qos: Option<QosClass>,
+    ) -> Result<JobId, FlowError<T>> {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let qos = qos.unwrap_or_else(|| QosClass::from_budgets(&config.budgets));
+        let tenant = self.host.tenant();
+        let config = self.bind(config, telemetry, &tenant);
+        let name = design.name.clone();
+        // Resume rebuilds the GP engine, which launches kernels — the
+        // job's lease must be held.
+        let machine = {
+            let _lease = tenant.lease();
+            FlowMachine::resume_owned(config, design, data)?
+        };
+        self.jobs.push(Job {
+            id,
+            name,
+            qos,
+            tenant,
+            machine: Some(machine),
+            outcome: None,
+            evicted: false,
+        });
+        Ok(id)
+    }
+
+    /// Number of jobs still in the run queue.
+    pub fn running(&self) -> usize {
+        self.jobs.iter().filter(|j| j.machine.is_some()).count()
+    }
+
+    /// The job's lifecycle status, `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.jobs.iter().find(|j| j.id == id).map(Job::status)
+    }
+
+    /// The design name a job was submitted with, `None` for an unknown id.
+    pub fn job_name(&self, id: JobId) -> Option<&str> {
+        self.jobs
+            .iter()
+            .find(|j| j.id == id)
+            .map(|j| j.name.as_str())
+    }
+
+    /// Ids of all jobs ever submitted, in submission order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.iter().map(|j| j.id).collect()
+    }
+
+    /// Runs one round-robin turn: the next running job in queue order is
+    /// stepped up to its QoS quantum (its pool lease held for the whole
+    /// turn). Returns the job stepped, or `None` when no job is runnable.
+    pub fn step_turn(&mut self) -> Option<JobId> {
+        let n = self.jobs.len();
+        if n == 0 {
+            return None;
+        }
+        for probe in 0..n {
+            let idx = (self.cursor + probe) % n;
+            if self.jobs[idx].machine.is_some() {
+                self.cursor = (idx + 1) % n;
+                let id = self.jobs[idx].id;
+                self.run_turn(idx);
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Steps every running job one turn (one full round-robin sweep).
+    /// Returns the number of jobs still running afterwards.
+    pub fn step_round(&mut self) -> usize {
+        let ids: Vec<usize> = (0..self.jobs.len())
+            .filter(|&i| self.jobs[i].machine.is_some())
+            .collect();
+        for idx in ids {
+            self.run_turn(idx);
+        }
+        self.running()
+    }
+
+    /// Runs rounds until every job has completed or failed.
+    pub fn run_all(&mut self) {
+        while self.step_round() > 0 {}
+    }
+
+    /// One job's turn: lease the pool, step up to the quantum, release.
+    fn run_turn(&mut self, idx: usize) {
+        let job = &mut self.jobs[idx];
+        let Some(machine) = &mut job.machine else {
+            return;
+        };
+        let quantum = job.qos.quantum().max(1);
+        let lease = job.tenant.lease();
+        for _ in 0..quantum {
+            match machine.step() {
+                Ok(FlowState::Done) => {
+                    drop(lease);
+                    let m = match job.machine.take() {
+                        Some(m) => m,
+                        None => return,
+                    };
+                    job.outcome = m
+                        .finish()
+                        .map(|r| Ok(Box::new(r)))
+                        .or(Some(Err(FlowError::Io(std::io::Error::other(
+                            "flow machine completed without a result",
+                        )))));
+                    return;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    drop(lease);
+                    job.machine = None;
+                    job.outcome = Some(Err(e));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Evicts a running job: captures its durable checkpoint, drops the
+    /// machine, and frees its queue slot. Returns `None` when the job is
+    /// unknown, not running, or currently in a state with nothing durable
+    /// to capture (inputs not loaded yet, mid-LG, batched/skipped DP) — in
+    /// that case the job keeps running; step it further and retry.
+    pub fn evict(&mut self, id: JobId) -> Option<CheckpointData<T>> {
+        let job = self.jobs.iter_mut().find(|j| j.id == id)?;
+        let machine = job.machine.as_mut()?;
+        let data = machine.capture()?;
+        job.machine = None;
+        job.evicted = true;
+        Some(data)
+    }
+
+    /// Takes a finished job's outcome (once). `None` while the job is
+    /// still running, already taken, evicted, or unknown.
+    pub fn take_result(&mut self, id: JobId) -> Option<Result<Box<FlowResult<T>>, FlowError<T>>> {
+        let job = self.jobs.iter_mut().find(|j| j.id == id)?;
+        job.outcome.take()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowConfig;
+    use crate::modes::ToolMode;
+    use dp_gen::GeneratorConfig;
+
+    fn small_design(seed: u64) -> Arc<GeneratedDesign<f64>> {
+        Arc::new(
+            GeneratorConfig::new(format!("sched-{seed}"), 120, 130)
+                .with_seed(seed)
+                .generate::<f64>()
+                .expect("valid generator config"),
+        )
+    }
+
+    fn small_config(design: &GeneratedDesign<f64>, threads: usize) -> FlowConfig<f64> {
+        let mut cfg = FlowConfig::for_mode(ToolMode::DreamplaceGpuSim, &design.netlist);
+        cfg.gp.max_iters = 30;
+        cfg.gp.min_iters = 5;
+        cfg.gp.threads = threads;
+        cfg
+    }
+
+    #[test]
+    fn scheduled_jobs_match_standalone_runs_bitwise() {
+        let threads = 2;
+        let designs: Vec<_> = (0..3).map(small_design).collect();
+
+        // Standalone baseline at the same thread count.
+        let baseline: Vec<_> = designs
+            .iter()
+            .map(|d| {
+                let cfg = small_config(d, threads);
+                crate::flow::DreamPlacer::new(cfg)
+                    .place(d)
+                    .expect("baseline run")
+            })
+            .collect();
+
+        let mut sched = Scheduler::with_threads(threads);
+        let ids: Vec<_> = designs
+            .iter()
+            .map(|d| {
+                sched.submit(
+                    small_config(d, threads),
+                    Arc::clone(d),
+                    Telemetry::disabled(),
+                    Some(QosClass::Interactive),
+                )
+            })
+            .collect();
+        sched.run_all();
+
+        for (id, base) in ids.iter().zip(&baseline) {
+            let got = sched
+                .take_result(*id)
+                .expect("job finished")
+                .expect("job succeeded");
+            assert_eq!(got.hpwl_final.to_bits(), base.hpwl_final.to_bits());
+            assert_eq!(got.placement.x, base.placement.x);
+            assert_eq!(got.placement.y, base.placement.y);
+        }
+    }
+
+    #[test]
+    fn evict_and_resume_mid_interleave_is_bit_identical() {
+        let threads = 2;
+        let d0 = small_design(10);
+        let d1 = small_design(11);
+
+        let base = {
+            let cfg = small_config(&d0, threads);
+            crate::flow::DreamPlacer::new(cfg)
+                .place(&d0)
+                .expect("baseline")
+        };
+
+        let mut sched = Scheduler::<f64>::with_threads(threads);
+        let id0 = sched.submit(
+            small_config(&d0, threads),
+            Arc::clone(&d0),
+            Telemetry::disabled(),
+            Some(QosClass::Interactive),
+        );
+        let _id1 = sched.submit(
+            small_config(&d1, threads),
+            Arc::clone(&d1),
+            Telemetry::disabled(),
+            Some(QosClass::Interactive),
+        );
+        // Interleave a few rounds, then evict job 0 mid-GP.
+        for _ in 0..10 {
+            sched.step_round();
+        }
+        let data = sched.evict(id0).expect("capturable mid-gp");
+        assert!(matches!(sched.status(id0), Some(JobStatus::Evicted)));
+        // Migrate it back in while job 1 keeps running.
+        let id0b = sched
+            .submit_resume(
+                small_config(&d0, threads),
+                Arc::clone(&d0),
+                data,
+                Telemetry::disabled(),
+                Some(QosClass::Interactive),
+            )
+            .expect("resubmit");
+        sched.run_all();
+        let got = sched
+            .take_result(id0b)
+            .expect("finished")
+            .expect("succeeded");
+        assert_eq!(got.hpwl_final.to_bits(), base.hpwl_final.to_bits());
+        assert_eq!(got.placement.x, base.placement.x);
+        assert_eq!(got.placement.y, base.placement.y);
+    }
+
+    #[test]
+    fn qos_defaults_follow_budgets() {
+        let tight = StageBudgets {
+            gp_seconds: Some(2.0),
+            ..StageBudgets::default()
+        };
+        let loose = StageBudgets {
+            gp_seconds: Some(3600.0),
+            ..StageBudgets::default()
+        };
+        assert_eq!(QosClass::from_budgets(&tight), QosClass::Interactive);
+        assert_eq!(QosClass::from_budgets(&loose), QosClass::Batch);
+        assert_eq!(
+            QosClass::from_budgets(&StageBudgets::default()),
+            QosClass::Bulk
+        );
+        assert!(QosClass::Bulk.quantum() > QosClass::Interactive.quantum());
+    }
+
+    #[test]
+    fn take_result_is_once_and_status_tracks_lifecycle() {
+        let d = small_design(42);
+        let mut sched = Scheduler::with_threads(1);
+        let id = sched.submit(
+            small_config(&d, 1),
+            Arc::clone(&d),
+            Telemetry::disabled(),
+            None,
+        );
+        assert!(matches!(
+            sched.status(id),
+            Some(JobStatus::Running { state: FlowState::Init })
+        ));
+        sched.run_all();
+        assert_eq!(sched.status(id), Some(JobStatus::Done));
+        assert!(sched.take_result(id).is_some());
+        assert!(sched.take_result(id).is_none(), "result is taken once");
+        assert_eq!(sched.status(JobId(99)), None);
+    }
+}

@@ -142,7 +142,11 @@ pub struct GuardedDpRun {
     report: DpGuardReport,
     injected: Option<DpPass>,
     initial_hpwl: f64,
-    t0: Instant,
+    /// Busy time accumulated across completed `step` calls. Not
+    /// wall-clock-since-construction: under the shared-pool scheduler the
+    /// run is parked between turns and the budget must not charge a job
+    /// for other jobs' time.
+    busy: f64,
     consumed_before: f64,
     done: bool,
 }
@@ -159,7 +163,7 @@ impl GuardedDpRun {
             report: DpGuardReport::default(),
             injected: placer.fault_injection.worsen_pass,
             initial_hpwl: hpwl(nl, p).to_f64(),
-            t0: Instant::now(),
+            busy: 0.0,
             consumed_before: 0.0,
             done: false,
         }
@@ -177,7 +181,7 @@ impl GuardedDpRun {
             report: state.report,
             injected: state.injected_pending,
             initial_hpwl: state.initial_hpwl,
-            t0: Instant::now(),
+            busy: 0.0,
             consumed_before: state.consumed_seconds,
             done: false,
         }
@@ -199,9 +203,11 @@ impl GuardedDpRun {
         }
     }
 
-    /// Wall-clock seconds this run has consumed, across all processes.
+    /// Busy seconds this run has consumed across all processes: the sum
+    /// of completed steps plus any resumed lives, never the time spent
+    /// parked between scheduler turns.
     pub fn consumed_seconds(&self) -> f64 {
-        self.consumed_before + self.t0.elapsed().as_secs_f64()
+        self.consumed_before + self.busy
     }
 
     /// The pass [`GuardedDpRun::step`] would execute next, if any — what
@@ -285,6 +291,7 @@ impl GuardedDpRun {
                 return true;
             }
         }
+        let t_busy = Instant::now();
         let snapshot = p.clone();
         let before = hpwl(nl, p).to_f64();
         let pass_moves = {
@@ -328,6 +335,7 @@ impl GuardedDpRun {
             self.moves += pass_moves;
         }
         self.pass_idx += 1;
+        self.busy += t_busy.elapsed().as_secs_f64();
         false
     }
 

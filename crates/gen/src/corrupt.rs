@@ -181,6 +181,7 @@ fn rebuild<T: Float>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -238,8 +238,7 @@ impl GeneratorConfig {
                 let m = rng.gen_range(0..macro_handles.len());
                 pins.push((macro_handles[m], T::ZERO, T::ZERO));
             }
-            b.add_net(T::ONE, pins)
-                .expect("degenerate nets are allowed");
+            b.add_net(T::ONE, pins)?;
         }
 
         let netlist = b.build()?;
@@ -259,6 +258,7 @@ impl GeneratorConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -28,6 +28,8 @@
 //! assert!(design.netlist.num_nets() > 450);
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod adversarial;
 pub mod corrupt;
 pub mod generator;

@@ -129,6 +129,7 @@ pub fn dac2012_suite() -> Vec<DesignPreset> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -204,6 +204,55 @@ impl<T> From<dp_dct::TransformError> for GpError<T> {
     }
 }
 
+/// How the engine obtains its execution context (worker pool ownership).
+///
+/// The original model is [`ExecBinding::Owned`]: every run spawns its own
+/// [`dp_num::WorkerPool`] of [`GpConfig::threads`] workers and keeps it for
+/// the run's lifetime. Under the shared-pool scheduler the run instead
+/// executes as one tenant of a host-owned pool ([`ExecBinding::Shared`]):
+/// kernels launch on the same OS threads as every other job, with the
+/// scheduler holding the tenant's [`dp_num::PoolLease`] around each step.
+/// Sharing changes no bits — the launch chunking depends only on the
+/// thread count, so [`GpConfig::threads`] must equal the shared pool's
+/// width (the scheduler enforces this).
+#[derive(Clone, Default)]
+pub enum ExecBinding {
+    /// The run spawns and owns its pool (the classic model).
+    #[default]
+    Owned,
+    /// The run executes as a tenant of a shared pool.
+    Shared(std::sync::Arc<dp_num::PoolTenant>),
+}
+
+impl fmt::Debug for ExecBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecBinding::Owned => write!(f, "Owned"),
+            ExecBinding::Shared(t) => write!(f, "Shared(threads={})", t.threads()),
+        }
+    }
+}
+
+impl ExecBinding {
+    /// Builds the engine's execution context for this binding: a fresh
+    /// pool of `threads` workers when owned, a tenant context on the
+    /// shared pool otherwise. The telemetry sink is attached either way.
+    pub fn make_ctx<T: Float>(
+        &self,
+        threads: usize,
+        telemetry: dp_telemetry::Telemetry,
+    ) -> dp_autograd::ExecCtx<T> {
+        match self {
+            ExecBinding::Owned => dp_autograd::ExecCtx::with_telemetry(threads, telemetry),
+            ExecBinding::Shared(tenant) => {
+                let mut ctx = dp_autograd::ExecCtx::with_tenant(std::sync::Arc::clone(tenant));
+                ctx.set_telemetry(telemetry);
+                ctx
+            }
+        }
+    }
+}
+
 /// Full configuration of the global placer.
 ///
 /// Use [`GpConfig::auto`] for sensible defaults derived from the design
@@ -275,6 +324,8 @@ pub struct GpConfig<T> {
     /// Telemetry sink for spans, convergence traces, and kernel timers.
     /// Disabled by default; never touches the numerics either way.
     pub telemetry: dp_telemetry::Telemetry,
+    /// Worker-pool ownership: run-owned (default) or shared-pool tenant.
+    pub exec: ExecBinding,
 }
 
 impl<T: Float> GpConfig<T> {
@@ -308,6 +359,7 @@ impl<T: Float> GpConfig<T> {
             fault_injection: FaultInjection::default(),
             deterministic: None,
             telemetry: dp_telemetry::Telemetry::disabled(),
+            exec: ExecBinding::default(),
         }
     }
 

@@ -423,7 +423,12 @@ pub struct GpEngine<T: Float> {
     t_density: Duration,
     prev_op_time: Duration,
     timing: GpTiming,
-    t_start: Instant,
+    /// Busy time this engine has accumulated: construction plus every
+    /// completed `step`. Deliberately *not* wall-clock-since-construction:
+    /// under the shared-pool scheduler an engine spends most of its life
+    /// parked between turns, and budget accounting must not charge a job
+    /// for other jobs' time.
+    busy: Duration,
     /// Seconds consumed before this process picked the run up (resume).
     consumed_before: f64,
     /// Exec counters consumed before this engine's own `ExecCtx` existed:
@@ -466,10 +471,12 @@ impl<T: Float> GpEngine<T> {
         let t_start = Instant::now();
         let mut timing = GpTiming::default();
 
-        // One persistent executor per run: worker threads spawn here, once,
-        // and every kernel below launches on them. The telemetry sink (if
-        // enabled) receives mirrored kernel timings and pool busy shards.
-        let mut ctx = ExecCtx::with_telemetry(cfg.threads, cfg.telemetry.clone());
+        // The persistent executor: under ExecBinding::Owned worker threads
+        // spawn here, once, and every kernel below launches on them; under
+        // ExecBinding::Shared the kernels launch on the host's long-lived
+        // pool as this run's tenant. The telemetry sink (if enabled)
+        // receives mirrored kernel timings and pool busy shards.
+        let mut ctx = cfg.exec.make_ctx(cfg.threads, cfg.telemetry.clone());
 
         let (grid, bin_size, gamma_sched, mut wl, mut density) = Self::build_operators(&cfg, nl)?;
         density.bake_fixed(nl, &pos);
@@ -595,7 +602,7 @@ impl<T: Float> GpEngine<T> {
             t_density: Duration::ZERO,
             prev_op_time: Duration::ZERO,
             timing,
-            t_start,
+            busy: t_start.elapsed(),
             consumed_before: 0.0,
             base_exec: None,
             n,
@@ -622,7 +629,7 @@ impl<T: Float> GpEngine<T> {
         state: GpEngineState<T>,
     ) -> Result<Self, GpError<T>> {
         let t_start = Instant::now();
-        let ctx = ExecCtx::with_telemetry(cfg.threads, cfg.telemetry.clone());
+        let ctx = cfg.exec.make_ctx(cfg.threads, cfg.telemetry.clone());
         let (grid, bin_size, gamma_sched, mut wl, mut density) = Self::build_operators(&cfg, nl)?;
         density.bake_fixed(nl, fixed);
         wl.set_gamma(state.gamma);
@@ -696,7 +703,7 @@ impl<T: Float> GpEngine<T> {
             t_density: Duration::ZERO,
             prev_op_time: Duration::ZERO,
             timing: GpTiming::default(),
-            t_start,
+            busy: t_start.elapsed(),
             consumed_before: state.consumed_seconds,
             base_exec: Some(state.exec),
             n,
@@ -759,9 +766,11 @@ impl<T: Float> GpEngine<T> {
         self.next_iter
     }
 
-    /// Wall-clock seconds this run has consumed, across all processes.
+    /// Busy seconds this run has consumed, across all processes: the sum
+    /// of construction and completed steps (plus any resumed lives), never
+    /// the time spent parked between scheduler turns.
     pub fn consumed_seconds(&self) -> f64 {
-        self.consumed_before + self.t_start.elapsed().as_secs_f64()
+        self.consumed_before + self.busy.as_secs_f64()
     }
 
     /// Folds counters from a prior attempt (an aborted primary run whose
@@ -835,6 +844,14 @@ impl<T: Float> GpEngine<T> {
                 return Ok(GpStepOutcome::BudgetStop);
             }
         }
+        let t_busy = Instant::now();
+        let result = self.step_core(nl);
+        self.busy += t_busy.elapsed();
+        result
+    }
+
+    /// The body of one iteration; `step` wraps it to accumulate busy time.
+    fn step_core(&mut self, nl: &Netlist<T>) -> Result<GpStepOutcome, GpError<T>> {
         let k = self.next_iter;
         self.next_iter = k + 1;
         self.iterations = k + 1;
@@ -1033,8 +1050,7 @@ impl<T: Float> GpEngine<T> {
         let n = self.n;
         let mut pos = self.pos;
         unpack_into(&self.params, &mut pos, n);
-        self.timing.total =
-            Duration::from_secs_f64(self.consumed_before) + self.t_start.elapsed();
+        self.timing.total = Duration::from_secs_f64(self.consumed_before) + self.busy;
 
         let mut exec = self.ctx.summary();
         if let Some(base) = &self.base_exec {

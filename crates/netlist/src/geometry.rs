@@ -109,6 +109,7 @@ impl<T: Float> Rect<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

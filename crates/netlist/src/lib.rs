@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod geometry;
 pub mod netlist;
 pub mod placement;

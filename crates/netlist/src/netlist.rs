@@ -522,6 +522,7 @@ impl<T: Float> NetlistBuilder<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -97,6 +97,7 @@ pub fn hpwl<T: Float>(netlist: &Netlist<T>, placement: &Placement<T>) -> T {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::netlist::NetlistBuilder;

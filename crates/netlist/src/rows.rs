@@ -89,7 +89,9 @@ impl<T: Float> RowGrid<T> {
     /// Panics if `rows` is empty.
     pub fn from_rows(mut rows: Vec<Row<T>>) -> Self {
         assert!(!rows.is_empty(), "row list must be non-empty");
-        rows.sort_by(|a, b| a.y.partial_cmp(&b.y).expect("finite row coordinates"));
+        // NaN coordinates compare equal (stable order) rather than panic;
+        // the sanitizer upstream rejects non-finite geometry anyway.
+        rows.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal));
         let row_height = rows[0].height;
         let yl = rows[0].y;
         Self {
@@ -129,6 +131,7 @@ impl<T: Float> RowGrid<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

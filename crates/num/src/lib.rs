@@ -37,4 +37,6 @@ pub use atomic::{AtomicF32, AtomicF64, AtomicFloat, FixedPointCell};
 pub use complex::Complex;
 pub use float::Float;
 pub use parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
-pub use pool::{default_threads, reduce_chunk_size, PoolPanicked, WorkerPool};
+pub use pool::{
+    default_threads, reduce_chunk_size, PoolHost, PoolLease, PoolPanicked, PoolTenant, WorkerPool,
+};

@@ -236,6 +236,15 @@ impl WorkerPool {
         self.shared.has_shards.store(true, Ordering::Relaxed);
     }
 
+    /// Removes the installed telemetry shards (the inverse of
+    /// [`WorkerPool::set_worker_shards`]). Used by the leasing layer: a
+    /// shared pool serves many tenants, each with its own shards, so the
+    /// registration lives only for the duration of a [`PoolLease`].
+    pub fn clear_worker_shards(&self) {
+        self.shared.has_shards.store(false, Ordering::Relaxed);
+        *lock(&self.shared.shards) = None;
+    }
+
     /// Runs `work(range)` over `0..items` in dynamically scheduled chunks,
     /// exactly like [`parallel_for_chunks`](crate::parallel_for_chunks)
     /// but without spawning threads.
@@ -402,6 +411,163 @@ impl WorkerPool {
             }
         }
         acc
+    }
+}
+
+/// A shared, long-lived [`WorkerPool`] that many independent runs borrow
+/// per-step instead of each spawning their own.
+///
+/// This inverts the original ownership model (one pool per run): the host
+/// owns the only pool, hands out [`PoolTenant`] handles — one per job —
+/// and each tenant *leases* the pool for the duration of one step via
+/// [`PoolTenant::lease`]. The lease installs the tenant's telemetry shards
+/// and attributes pool launches to the tenant, so per-job `ExecSummary`
+/// counters and per-worker busy shards stay separate even though every job
+/// executes on the same OS threads.
+///
+/// Leases must be serialized by the caller (the scheduler steps one job at
+/// a time); the pool itself is oblivious to tenancy and its launch
+/// protocol — and therefore every kernel's chunking and reduction order —
+/// is bit-identical to a run-owned pool with the same thread count.
+#[derive(Clone)]
+pub struct PoolHost {
+    pool: Arc<WorkerPool>,
+}
+
+impl PoolHost {
+    /// A host around a freshly spawned pool of `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: Arc::new(WorkerPool::new(threads)),
+        }
+    }
+
+    /// Wraps an existing pool.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Self { pool }
+    }
+
+    /// Worker count of the shared pool (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The shared pool itself.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Creates a tenant handle for one job. Cheap; does not lease.
+    pub fn tenant(&self) -> Arc<PoolTenant> {
+        Arc::new(PoolTenant {
+            pool: Arc::clone(&self.pool),
+            runs: AtomicU64::new(0),
+            base: AtomicU64::new(u64::MAX),
+            shards: Mutex::new(None),
+        })
+    }
+}
+
+/// One job's handle onto a shared [`WorkerPool`] (see [`PoolHost`]).
+///
+/// Holds the job's launch counter and its telemetry shards; both are only
+/// active while a [`PoolLease`] is held, so concurrent jobs never observe
+/// each other's counters.
+pub struct PoolTenant {
+    pool: Arc<WorkerPool>,
+    /// Launches attributed to this tenant across completed leases.
+    runs: AtomicU64,
+    /// `pool.runs()` at lease acquisition; `u64::MAX` while unleased.
+    base: AtomicU64,
+    /// The tenant's shards, installed into the pool for each lease.
+    shards: Mutex<Option<Arc<WorkerShards>>>,
+}
+
+impl PoolTenant {
+    /// The underlying shared pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Worker count of the shared pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Registers the tenant's per-worker telemetry shards. They are
+    /// installed into the pool only while a lease is held (and removed on
+    /// release), replacing the run-owned
+    /// [`WorkerPool::set_worker_shards`] call.
+    pub fn set_worker_shards(&self, shards: Arc<WorkerShards>) {
+        *lock(&self.shards) = Some(shards);
+    }
+
+    /// Pool launches attributed to this tenant so far (including the live
+    /// delta of a currently held lease).
+    pub fn runs(&self) -> u64 {
+        let folded = self.runs.load(Ordering::Relaxed);
+        let base = self.base.load(Ordering::Relaxed);
+        if base == u64::MAX {
+            folded
+        } else {
+            folded + self.pool.runs().saturating_sub(base)
+        }
+    }
+
+    /// Acquires the pool for this tenant until the returned guard drops.
+    ///
+    /// Installs the tenant's shards and snapshots the pool's launch
+    /// counter so the delta can be attributed on release. Re-leasing while
+    /// already leased returns a nested no-op guard (the outer lease keeps
+    /// ownership). The caller must ensure no *other* tenant holds a lease
+    /// concurrently — the scheduler serializes steps.
+    pub fn lease(self: &Arc<Self>) -> PoolLease {
+        let snapshot = self.pool.runs();
+        let outer = self
+            .base
+            .compare_exchange(u64::MAX, snapshot, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if outer {
+            if let Some(shards) = lock(&self.shards).clone() {
+                self.pool.set_worker_shards(shards);
+            }
+        }
+        PoolLease {
+            tenant: Arc::clone(self),
+            outer,
+        }
+    }
+}
+
+/// RAII guard for one tenant's turn on the shared pool (see
+/// [`PoolTenant::lease`]). Dropping it folds the launch delta into the
+/// tenant's counter and removes the tenant's shards from the pool.
+pub struct PoolLease {
+    tenant: Arc<PoolTenant>,
+    /// False for a nested re-lease: the guard releases nothing.
+    outer: bool,
+}
+
+impl PoolLease {
+    /// The leased pool, for the duration of this guard.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.tenant.pool
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        if !self.outer {
+            return;
+        }
+        let base = self.tenant.base.swap(u64::MAX, Ordering::AcqRel);
+        if base != u64::MAX {
+            let delta = self.tenant.pool.runs().saturating_sub(base);
+            self.tenant.runs.fetch_add(delta, Ordering::Relaxed);
+        }
+        if lock(&self.tenant.shards).is_some() {
+            self.tenant.pool.clear_worker_shards();
+        }
     }
 }
 
@@ -656,6 +822,66 @@ mod tests {
         pool.set_worker_shards(Arc::clone(&shards));
         pool.run(16, 4, |_| {});
         assert_eq!(shards.per_worker()[0].0, 1);
+    }
+
+    #[test]
+    fn tenant_runs_are_attributed_per_lease() {
+        let host = PoolHost::new(2);
+        let a = host.tenant();
+        let b = host.tenant();
+        {
+            let lease = a.lease();
+            lease.pool().run(64, 8, |_| {});
+            lease.pool().run(64, 8, |_| {});
+            // Live delta is visible while leased.
+            assert_eq!(a.runs(), 2);
+        }
+        {
+            let lease = b.lease();
+            lease.pool().run(64, 8, |_| {});
+        }
+        assert_eq!(a.runs(), 2);
+        assert_eq!(b.runs(), 1);
+        // A second lease keeps accumulating onto the same tenant.
+        {
+            let lease = a.lease();
+            lease.pool().run(64, 8, |_| {});
+        }
+        assert_eq!(a.runs(), 3);
+        assert_eq!(host.pool().runs(), 4);
+    }
+
+    #[test]
+    fn nested_lease_is_a_no_op_guard() {
+        let host = PoolHost::new(1);
+        let t = host.tenant();
+        let outer = t.lease();
+        {
+            let inner = t.lease();
+            inner.pool().run(8, 4, |_| {});
+        }
+        // The inner drop must not release the outer lease.
+        outer.pool().run(8, 4, |_| {});
+        drop(outer);
+        assert_eq!(t.runs(), 2);
+    }
+
+    #[test]
+    fn lease_installs_and_clears_tenant_shards() {
+        let host = PoolHost::new(2);
+        let t = host.tenant();
+        let shards = Arc::new(WorkerShards::new(host.threads()));
+        t.set_worker_shards(Arc::clone(&shards));
+        {
+            let lease = t.lease();
+            lease.pool().run(64, 8, |_| {});
+        }
+        // The tenant's shards saw the launch...
+        assert!(shards.per_worker()[0].0 >= 1);
+        let seen = shards.per_worker()[0].0;
+        // ...and are no longer installed once the lease is released.
+        host.pool().run(64, 8, |_| {});
+        assert_eq!(shards.per_worker()[0].0, seen);
     }
 
     #[test]

@@ -144,6 +144,7 @@ impl<T: Float> Optimizer<T> for Adam<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -175,6 +175,7 @@ impl<T: Float> Optimizer<T> for ConjugateGradient<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

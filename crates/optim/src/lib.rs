@@ -42,6 +42,8 @@
 //! assert!((params[2] - 2.0).abs() < 1e-3);
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod adam;
 pub mod cg;
 pub mod nesterov;
@@ -53,6 +55,7 @@ pub use nesterov::NesterovOptimizer;
 pub use sgd::SgdMomentum;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod snapshot_tests;
 
 use dp_num::Float;
@@ -237,6 +240,7 @@ pub(crate) fn l2_norm<T: Float>(v: &[T]) -> T {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -213,6 +213,7 @@ fn distance<T: Float>(a: &[T], b: &[T]) -> T {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -122,6 +122,7 @@ impl<T: Float> Optimizer<T> for SgdMomentum<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

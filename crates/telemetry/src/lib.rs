@@ -465,6 +465,24 @@ impl Telemetry {
         events
     }
 
+    /// Timeline events from index `from` onward, rendered as JSON lines,
+    /// plus the cursor to pass on the next poll. Unlike
+    /// [`Telemetry::snapshot`] this does **not** append the merged
+    /// kernel/worker totals — those are end-of-run aggregates and would be
+    /// re-emitted (with ever-growing counts) on every poll. The timeline
+    /// is append-only, so successive polls with the returned cursor stream
+    /// each event exactly once, in order. `dp-serve` uses this to forward
+    /// a live job's progress to its client.
+    pub fn events_since(&self, from: usize) -> (usize, Vec<String>) {
+        let Some(inner) = &self.inner else {
+            return (from, Vec::new());
+        };
+        let events = lock(&inner.events);
+        let start = from.min(events.len());
+        let lines = events[start..].iter().map(jsonl::to_json_line).collect();
+        (events.len(), lines)
+    }
+
     /// Records workspace counters (one [`TraceEvent::Workspace`] per entry).
     /// Callers pass the *merged* summary of a run so restarts do not
     /// double-count.
@@ -599,6 +617,37 @@ mod tests {
         assert!(tel.report().is_none());
         assert!(tel.kernel_timer("k", 2).is_none());
         assert!(tel.worker_shards("p", 2).is_none());
+    }
+
+    #[test]
+    fn events_since_streams_each_event_once_in_order() {
+        let tel = Telemetry::enabled();
+        tel.meta("design", "a");
+        let (cur, first) = tel.events_since(0);
+        assert_eq!(first.len(), 1);
+        assert!(first[0].contains("design"));
+        // No new events: same cursor, nothing streamed.
+        let (cur2, none) = tel.events_since(cur);
+        assert_eq!(cur2, cur);
+        assert!(none.is_empty());
+        tel.iteration(1, 2.0, 0.5, 0.1, 3.0);
+        tel.point("degradation", "lg");
+        let (cur3, next) = tel.events_since(cur2);
+        assert_eq!(next.len(), 2);
+        assert!(next[0].contains("\"iter\""));
+        assert!(next[1].contains("degradation"));
+        assert_eq!(cur3, cur2 + 2);
+        // Kernel totals stay out of the incremental stream (end-of-run
+        // aggregates), but still land in the full snapshot.
+        tel.record_kernel("wirelength", 7);
+        let (_, after_kernel) = tel.events_since(cur3);
+        assert!(after_kernel.is_empty());
+        assert!(tel
+            .snapshot()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Kernel { .. })));
+        // A disabled handle never advances.
+        assert_eq!(Telemetry::disabled().events_since(5), (5, Vec::new()));
     }
 
     #[test]

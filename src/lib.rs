@@ -36,11 +36,15 @@ pub use dreamplace_core::{
     DesignStamp,
     DreamPlacer, DurableOutcome, FlowConfig, FlowDegradations, FlowError, FlowFaultInjection,
     FlowMachine, FlowResult, FlowStage, FlowState, FlowTiming, GpAttemptState, GpFallback,
-    RoutabilityConfig,
+    JobId, JobStatus, QosClass, RoutabilityConfig,
     RoutabilityPlacer, RoutabilityResult, SanitizeFinding, SanitizeIssue, SanitizeReport,
-    StageBudgets, TimingDrivenConfig, TimingDrivenPlacer, TimingDrivenResult, TimingSummary,
-    ToolMode,
+    Scheduler, StageBudgets, TimingDrivenConfig, TimingDrivenPlacer, TimingDrivenResult,
+    TimingSummary, ToolMode,
 };
+
+/// `dp-serve`: the placement-as-a-service daemon (line-delimited JSON
+/// protocol, shared-pool scheduler). See the `serve` subcommand.
+pub mod serve;
 
 /// Numeric substrate: precision-generic floats, atomics, complex numbers.
 pub mod num {

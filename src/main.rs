@@ -8,6 +8,8 @@
 //!                   [--resume DIR | --resume-or-restart DIR] [--die-at STATE]
 //! dreamplace gen    <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]
 //! dreamplace stats  <design.aux>
+//! dreamplace serve  [--threads N] [--jobs N] [--trace-dir DIR]
+//!                   [--listen ADDR [--once]]
 //! dreamplace trace-check <trace.jsonl>
 //! dreamplace checkpoint-check <flow.ckpt|DIR>
 //! ```
@@ -17,6 +19,13 @@
 //! report. A failed run still writes the partial trace and report before
 //! exiting non-zero. `trace-check` validates a trace against the schema
 //! (balanced spans, per-thread monotone timestamps) via `dp-check`.
+//!
+//! `serve` starts the `dp-serve` daemon: a line-delimited JSON job queue
+//! (protocol in `dreamplace::serve`) over stdio, or over TCP with
+//! `--listen ADDR` (one client session at a time; `--once` exits after the
+//! first). Up to `--jobs` flows share one `--threads`-wide worker pool via
+//! the round-robin scheduler; `--trace-dir` persists each job's JSONL
+//! trace as `job-N.jsonl` for `trace-check`.
 //!
 //! `--checkpoint-dir` makes the run durable: the flow writes an atomic
 //! checkpoint at every stage boundary, every `--checkpoint-every` GP
@@ -46,6 +55,7 @@ fn usage() -> ExitCode {
          \x20                 [--resume DIR | --resume-or-restart DIR] [--die-at STATE]\n\
          \x20 dreamplace gen <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]\n\
          \x20 dreamplace stats <design.aux>\n\
+         \x20 dreamplace serve [--threads N] [--jobs N] [--trace-dir DIR] [--listen ADDR [--once]]\n\
          \x20 dreamplace trace-check <trace.jsonl>\n\
          \x20 dreamplace checkpoint-check <flow.ckpt|DIR>"
     );
@@ -101,6 +111,7 @@ fn main() -> ExitCode {
         "place" => cmd_place(&args),
         "gen" => cmd_gen(&args),
         "stats" => cmd_stats(&args),
+        "serve" => cmd_serve(&args),
         "trace-check" => cmd_trace_check(&args),
         "checkpoint-check" => cmd_checkpoint_check(&args),
         _ => return usage(),
@@ -194,6 +205,48 @@ fn finish_trace(
         println!("\n{}", report.render());
     }
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let opts = dreamplace::serve::ServeOptions {
+        threads: args.get_parse("threads", 2usize)?,
+        slots: args.get_parse("jobs", 4usize)?,
+        trace_dir: args.get("trace-dir").map(PathBuf::from),
+    };
+    if let Some(dir) = &opts.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let report = |stats: dreamplace::serve::ServeStats| {
+        eprintln!(
+            "session done: {} completed, {} failed, {} rejected",
+            stats.completed, stats.failed, stats.rejected
+        );
+    };
+    match args.get("listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("binding {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("dp-serve listening on {local}");
+            for stream in listener.incoming() {
+                let stream = stream.map_err(|e| e.to_string())?;
+                let reader =
+                    std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                let mut writer = stream;
+                report(dreamplace::serve::serve(reader, &mut writer, &opts)?);
+                if args.get("once").is_some() {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        None => {
+            let reader = std::io::BufReader::new(std::io::stdin());
+            let mut writer = std::io::stdout();
+            report(dreamplace::serve::serve(reader, &mut writer, &opts)?);
+            Ok(())
+        }
+    }
 }
 
 fn cmd_trace_check(args: &Args) -> Result<(), String> {

@@ -1,0 +1,822 @@
+//! `dp-serve`: placement-as-a-service on the shared-pool scheduler.
+//!
+//! The daemon speaks a line-delimited JSON protocol over stdio (or a TCP
+//! socket via `--listen`): each request is one JSON object per line, each
+//! response/event is one JSON object per line. Up to `slots` flows run
+//! concurrently on one [`Scheduler`] sharing one worker pool; further
+//! submissions queue. Because the scheduler pins every job to the host's
+//! thread count and leases the pool per turn, every job's placement is
+//! bit-identical to a standalone `place` run of the same config.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"cmd":"submit","aux":"designs/adaptec-ish.aux"}
+//! {"cmd":"submit","preset":"small","seed":7,"max_iters":120}
+//! {"cmd":"submit","cells":500,"nets":520,"seed":3,"qos":"interactive"}
+//! {"cmd":"status","job":0}
+//! {"cmd":"drain"}
+//! ```
+//!
+//! `submit` accepts either a Bookshelf `aux` path or a generated design
+//! (`preset` = `tiny`/`small`/`medium`, or explicit `cells`/`nets`), plus
+//! optional `seed`, `name`, `max_iters`, `overflow`, `qos`
+//! (`interactive`/`batch`/`bulk`), and `gp_seconds`/`dp_seconds` stage
+//! budgets (which also derive the QoS class when `qos` is absent).
+//! `drain` stops accepting work and exits once the queue empties; closing
+//! stdin has the same effect.
+//!
+//! # Events
+//!
+//! ```text
+//! {"event":"hello","threads":2,"slots":4}
+//! {"event":"accepted","job":0,"name":"small-7","qos":"batch"}
+//! {"event":"state","job":0,"state":"gp:12"}
+//! {"event":"trace","job":0,"data":{"ev":"iter",...}}
+//! {"event":"done","job":0,"hpwl":1.234e5,"iterations":87,"overflow":0.069,
+//!  "seconds":0.41,"trace_path":"traces/job-0.jsonl"}
+//! {"event":"failed","job":1,"error":"..."}
+//! {"event":"bye","completed":2,"failed":0}
+//! ```
+//!
+//! Per-job events are ordered: `accepted`, then interleaved `state`/`trace`
+//! progress, then exactly one `done` or `failed`. `trace` events embed the
+//! job's raw JSONL trace lines (the same schema `trace-check` validates)
+//! as they are produced, so a client watches convergence live; with
+//! `trace_dir` set, the full trace (including the end-of-run kernel and
+//! worker totals) is also written to `trace_dir/job-N.jsonl`.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::bookshelf::read_design;
+use crate::gen::{GeneratedDesign, GeneratorConfig};
+use crate::telemetry::Telemetry;
+use crate::{FlowConfig, FlowState, JobId, QosClass, Scheduler, ToolMode};
+
+// ---------------------------------------------------------------------------
+// Wire format: a deliberately tiny flat-JSON reader and writer. The build
+// is offline (vendored `serde` is a stub), so like `dp_telemetry::jsonl`
+// and `dp_check::trace` this speaks JSON by hand; requests are flat
+// objects with string/number/boolean values only.
+// ---------------------------------------------------------------------------
+
+/// A value in a flat request object.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && n >= 0.0 && n <= usize::MAX as f64 {
+            Some(n as usize)
+        } else {
+            None
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses one `{"key":value,...}` line with string/number/bool values.
+fn parse_flat(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    let skip_ws = |bytes: &[u8], i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(bytes, &mut i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return Err("expected '{'".into());
+    }
+    i += 1;
+    loop {
+        skip_ws(bytes, &mut i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            i += 1;
+            break;
+        }
+        let key = parse_string(bytes, &mut i)?;
+        skip_ws(bytes, &mut i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i += 1;
+        skip_ws(bytes, &mut i);
+        let value = if i < bytes.len() && bytes[i] == b'"' {
+            Value::Str(parse_string(bytes, &mut i)?)
+        } else if bytes[i..].starts_with(b"true") {
+            i += 4;
+            Value::Bool(true)
+        } else if bytes[i..].starts_with(b"false") {
+            i += 5;
+            Value::Bool(false)
+        } else {
+            let start = i;
+            while i < bytes.len() && matches!(bytes[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                i += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..i]).map_err(|_| "bad utf8")?;
+            Value::Num(text.parse().map_err(|_| format!("bad number {text:?}"))?)
+        };
+        out.push((key, value));
+        skip_ws(bytes, &mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                break;
+            }
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    skip_ws(bytes, &mut i);
+    if i != bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(out)
+}
+
+/// Parses a `"..."` string with the JSON escapes at `bytes[*i]`.
+fn parse_string(bytes: &[u8], i: &mut usize) -> Result<String, String> {
+    if *i >= bytes.len() || bytes[*i] != b'"' {
+        return Err("expected string".into());
+    }
+    *i += 1;
+    let mut out = String::new();
+    while *i < bytes.len() {
+        match bytes[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match bytes.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    _ => return Err("unsupported escape".into()),
+                }
+                *i += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*i..]).map_err(|_| "bad utf8")?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *i += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// `s` JSON-escaped and quoted.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// What a submitted job should place.
+#[derive(Debug, Clone)]
+enum Source {
+    /// A Bookshelf `.aux` on the daemon's filesystem.
+    Aux(String),
+    /// A `dp-gen` design: `(name, cells, nets, seed)`.
+    Gen(String, usize, usize, u64),
+}
+
+/// A parsed `submit` request.
+#[derive(Debug, Clone)]
+struct JobSpec {
+    source: Source,
+    max_iters: Option<usize>,
+    overflow: Option<f64>,
+    qos: Option<QosClass>,
+    gp_seconds: Option<f64>,
+    dp_seconds: Option<f64>,
+}
+
+enum Request {
+    Submit(Box<JobSpec>),
+    Status(u64),
+    Drain,
+    /// A line that did not parse; the payload is the diagnosis.
+    Bad(String),
+}
+
+/// Built-in generated-design sizes for `"preset"`.
+fn preset_dims(name: &str) -> Option<(usize, usize)> {
+    match name {
+        "tiny" => Some((60, 70)),
+        "small" => Some((200, 220)),
+        "medium" => Some((800, 850)),
+        _ => None,
+    }
+}
+
+fn parse_request(line: &str) -> Request {
+    let fields = match parse_flat(line) {
+        Ok(f) => f,
+        Err(e) => return Request::Bad(format!("malformed request: {e}")),
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let cmd = match get("cmd").and_then(Value::as_str) {
+        Some(c) => c,
+        None => return Request::Bad("missing \"cmd\"".into()),
+    };
+    match cmd {
+        "drain" | "shutdown" => Request::Drain,
+        "status" => match get("job").and_then(Value::as_u64) {
+            Some(job) => Request::Status(job),
+            None => Request::Bad("status needs a numeric \"job\"".into()),
+        },
+        "submit" => {
+            let seed = get("seed").and_then(Value::as_u64).unwrap_or(1);
+            let source = if let Some(aux) = get("aux").and_then(Value::as_str) {
+                Source::Aux(aux.to_string())
+            } else if let Some(preset) = get("preset").and_then(Value::as_str) {
+                let Some((cells, nets)) = preset_dims(preset) else {
+                    return Request::Bad(format!(
+                        "unknown preset {preset:?} (want tiny|small|medium)"
+                    ));
+                };
+                let name = get("name")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{preset}-{seed}"));
+                Source::Gen(name, cells, nets, seed)
+            } else if let Some(cells) = get("cells").and_then(Value::as_usize) {
+                let nets = get("nets")
+                    .and_then(Value::as_usize)
+                    .unwrap_or(cells + cells / 20);
+                let name = get("name")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("gen-{cells}-{seed}"));
+                Source::Gen(name, cells, nets, seed)
+            } else {
+                return Request::Bad("submit needs \"aux\", \"preset\", or \"cells\"".into());
+            };
+            let qos = match get("qos").and_then(Value::as_str) {
+                None => None,
+                Some("interactive") => Some(QosClass::Interactive),
+                Some("batch") => Some(QosClass::Batch),
+                Some("bulk") => Some(QosClass::Bulk),
+                Some(other) => {
+                    return Request::Bad(format!(
+                        "unknown qos {other:?} (want interactive|batch|bulk)"
+                    ))
+                }
+            };
+            Request::Submit(Box::new(JobSpec {
+                source,
+                max_iters: get("max_iters").and_then(Value::as_usize),
+                overflow: get("overflow").and_then(Value::as_f64),
+                qos,
+                gp_seconds: get("gp_seconds").and_then(Value::as_f64),
+                dp_seconds: get("dp_seconds").and_then(Value::as_f64),
+            }))
+        }
+        other => Request::Bad(format!("unknown cmd {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The daemon
+// ---------------------------------------------------------------------------
+
+/// Daemon configuration (CLI flags of `dreamplace serve`).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads in the one shared pool.
+    pub threads: usize,
+    /// Maximum flows placed concurrently; further submissions queue.
+    pub slots: usize,
+    /// Directory for per-job JSONL traces (`job-N.jsonl`). Traces stream
+    /// to the client either way; this also persists them for `trace-check`.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            slots: 4,
+            trace_dir: None,
+        }
+    }
+}
+
+/// End-of-session tallies, also emitted as the `bye` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Jobs that finished with a placement.
+    pub completed: usize,
+    /// Jobs that errored (flow failures, unreadable designs).
+    pub failed: usize,
+    /// Lines rejected before becoming jobs.
+    pub rejected: usize,
+}
+
+/// One accepted job, from admission to its `done`/`failed` event.
+struct ServeJob {
+    /// Protocol-visible id (`"job"` in every event).
+    id: u64,
+    name: String,
+    design: Arc<GeneratedDesign<f64>>,
+    config: Option<FlowConfig<f64>>,
+    qos: Option<QosClass>,
+    telemetry: Telemetry,
+    /// Cursor into the job's telemetry timeline (events already streamed).
+    cursor: usize,
+    /// Scheduler id once admitted to a slot.
+    sched: Option<JobId>,
+    last_state: Option<FlowState>,
+}
+
+/// Runs the daemon over an arbitrary connection until the client drains
+/// it. `input` runs on a reader thread (so job stepping never blocks on a
+/// slow client); events are written to `output` as they happen.
+///
+/// # Errors
+///
+/// Returns an error when the output stream fails; a malformed *request*
+/// is answered with a `rejected` event instead.
+pub fn serve<R, W>(input: R, output: &mut W, opts: &ServeOptions) -> Result<ServeStats, String>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    let (tx, rx) = mpsc::channel::<Request>();
+    let reader = std::thread::spawn(move || {
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if tx.send(parse_request(&line)).is_err() {
+                break;
+            }
+        }
+        // Dropping `tx` signals EOF; the main loop treats it as `drain`.
+    });
+
+    let mut emit = |line: String| -> Result<(), String> {
+        writeln!(output, "{line}").map_err(|e| format!("client write: {e}"))?;
+        output.flush().map_err(|e| format!("client write: {e}"))
+    };
+
+    let mut sched = Scheduler::<f64>::with_threads(opts.threads);
+    let mut pending: VecDeque<ServeJob> = VecDeque::new();
+    let mut active: Vec<ServeJob> = Vec::new();
+    let mut stats = ServeStats::default();
+    let mut next_job = 0u64;
+    let mut draining = false;
+
+    emit(format!(
+        "{{\"event\":\"hello\",\"threads\":{},\"slots\":{}}}",
+        sched.host().threads(),
+        opts.slots
+    ))?;
+
+    let mut handle = |req: Request,
+                      pending: &mut VecDeque<ServeJob>,
+                      active: &Vec<ServeJob>,
+                      draining: &mut bool,
+                      stats: &mut ServeStats,
+                      emit: &mut dyn FnMut(String) -> Result<(), String>|
+     -> Result<(), String> {
+        match req {
+            Request::Drain => {
+                *draining = true;
+                emit("{\"event\":\"draining\"}".to_string())
+            }
+            Request::Bad(why) => {
+                stats.rejected += 1;
+                emit(format!("{{\"event\":\"rejected\",\"error\":{}}}", quote(&why)))
+            }
+            Request::Status(id) => {
+                let place = active
+                    .iter()
+                    .find(|j| j.id == id)
+                    .map(|j| ("running", j.last_state))
+                    .or_else(|| pending.iter().find(|j| j.id == id).map(|_| ("queued", None)));
+                match place {
+                    Some((phase, state)) => emit(format!(
+                        "{{\"event\":\"status\",\"job\":{id},\"phase\":{}{}}}",
+                        quote(phase),
+                        match state {
+                            Some(s) => format!(",\"state\":{}", quote(&s.to_string())),
+                            None => String::new(),
+                        }
+                    )),
+                    None => emit(format!(
+                        "{{\"event\":\"status\",\"job\":{id},\"phase\":\"unknown\"}}"
+                    )),
+                }
+            }
+            Request::Submit(spec) => {
+                if *draining {
+                    stats.rejected += 1;
+                    return emit(
+                        "{\"event\":\"rejected\",\"error\":\"daemon is draining\"}".to_string(),
+                    );
+                }
+                let built = build_job(&spec, next_job);
+                match built {
+                    Err(why) => {
+                        stats.rejected += 1;
+                        emit(format!(
+                            "{{\"event\":\"rejected\",\"error\":{}}}",
+                            quote(&why)
+                        ))
+                    }
+                    Ok(job) => {
+                        let qos_label = match job.qos {
+                            Some(QosClass::Interactive) => "interactive",
+                            Some(QosClass::Batch) => "batch",
+                            Some(QosClass::Bulk) => "bulk",
+                            None => "auto",
+                        };
+                        let line = format!(
+                            "{{\"event\":\"accepted\",\"job\":{},\"name\":{},\"qos\":{}}}",
+                            job.id,
+                            quote(&job.name),
+                            quote(qos_label)
+                        );
+                        next_job += 1;
+                        pending.push_back(job);
+                        emit(line)
+                    }
+                }
+            }
+        }
+    };
+
+    loop {
+        // 1. Ingest every waiting request without blocking the jobs.
+        loop {
+            match rx.try_recv() {
+                Ok(req) => handle(
+                    req,
+                    &mut pending,
+                    &active,
+                    &mut draining,
+                    &mut stats,
+                    &mut emit,
+                )?,
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    draining = true;
+                    break;
+                }
+            }
+        }
+
+        // 2. Admit queued jobs into free slots.
+        while active.len() < opts.slots.max(1) {
+            let Some(mut job) = pending.pop_front() else {
+                break;
+            };
+            let config = match job.config.take() {
+                Some(c) => c,
+                None => continue,
+            };
+            let id = sched.submit(
+                config,
+                Arc::clone(&job.design),
+                job.telemetry.clone(),
+                job.qos,
+            );
+            job.sched = Some(id);
+            active.push(job);
+        }
+
+        // 3. Idle: block for the next request, or exit once drained.
+        if active.is_empty() {
+            if draining && pending.is_empty() {
+                break;
+            }
+            match rx.recv() {
+                Ok(req) => {
+                    handle(
+                        req,
+                        &mut pending,
+                        &active,
+                        &mut draining,
+                        &mut stats,
+                        &mut emit,
+                    )?;
+                    continue;
+                }
+                Err(_) => {
+                    draining = true;
+                    continue;
+                }
+            }
+        }
+
+        // 4. One fair round: every active job gets its quantum.
+        sched.step_round();
+
+        // 5. Stream progress and retire finished jobs.
+        let mut still = Vec::with_capacity(active.len());
+        for mut job in active {
+            let Some(sid) = job.sched else { continue };
+            let (cursor, lines) = job.telemetry.events_since(job.cursor);
+            job.cursor = cursor;
+            for data in lines {
+                emit(format!(
+                    "{{\"event\":\"trace\",\"job\":{},\"data\":{data}}}",
+                    job.id
+                ))?;
+            }
+            match sched.status(sid) {
+                Some(crate::JobStatus::Running { state }) => {
+                    if job.last_state != Some(state) {
+                        job.last_state = Some(state);
+                        emit(format!(
+                            "{{\"event\":\"state\",\"job\":{},\"state\":{}}}",
+                            job.id,
+                            quote(&state.to_string())
+                        ))?;
+                    }
+                    still.push(job);
+                }
+                _ => {
+                    let outcome = sched.take_result(sid);
+                    let trace_path = save_trace(&job, opts);
+                    match outcome {
+                        Some(Ok(r)) => {
+                            stats.completed += 1;
+                            emit(format!(
+                                "{{\"event\":\"done\",\"job\":{},\"hpwl\":{:e},\"iterations\":{},\
+                                 \"overflow\":{:e},\"seconds\":{:.3}{}}}",
+                                job.id,
+                                r.hpwl_final,
+                                r.gp.iterations,
+                                r.gp.final_overflow,
+                                r.timing.total,
+                                match &trace_path {
+                                    Some(p) => format!(
+                                        ",\"trace_path\":{}",
+                                        quote(&p.display().to_string())
+                                    ),
+                                    None => String::new(),
+                                }
+                            ))?;
+                        }
+                        Some(Err(e)) => {
+                            stats.failed += 1;
+                            emit(format!(
+                                "{{\"event\":\"failed\",\"job\":{},\"error\":{}}}",
+                                job.id,
+                                quote(&e.diagnosis())
+                            ))?;
+                        }
+                        None => {
+                            stats.failed += 1;
+                            emit(format!(
+                                "{{\"event\":\"failed\",\"job\":{},\"error\":\"job vanished\"}}",
+                                job.id
+                            ))?;
+                        }
+                    }
+                }
+            }
+        }
+        active = still;
+    }
+
+    emit(format!(
+        "{{\"event\":\"bye\",\"completed\":{},\"failed\":{},\"rejected\":{}}}",
+        stats.completed, stats.failed, stats.rejected
+    ))?;
+    drop(rx);
+    let _ = reader.join();
+    Ok(stats)
+}
+
+/// Loads/generates the design and builds the job's flow config.
+fn build_job(spec: &JobSpec, id: u64) -> Result<ServeJob, String> {
+    let design: Arc<GeneratedDesign<f64>> = match &spec.source {
+        Source::Aux(path) => {
+            let parsed = read_design::<f64>(&PathBuf::from(path))
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            Arc::new(GeneratedDesign {
+                name: parsed.name,
+                netlist: parsed.netlist,
+                fixed_positions: parsed.positions,
+            })
+        }
+        Source::Gen(name, cells, nets, seed) => Arc::new(
+            GeneratorConfig::new(name.clone(), *cells, *nets)
+                .with_seed(*seed)
+                .generate::<f64>()
+                .map_err(|e| format!("generating {name}: {e}"))?,
+        ),
+    };
+    let mut config = FlowConfig::for_mode(ToolMode::DreamplaceGpuSim, &design.netlist);
+    if let Some(iters) = spec.max_iters {
+        config.gp.max_iters = iters;
+        config.gp.min_iters = config.gp.min_iters.min(iters);
+    }
+    if let Some(overflow) = spec.overflow {
+        config.gp.target_overflow = overflow;
+    }
+    config.budgets.gp_seconds = spec.gp_seconds;
+    config.budgets.dp_seconds = spec.dp_seconds;
+    Ok(ServeJob {
+        id,
+        name: design.name.clone(),
+        design,
+        config: Some(config),
+        qos: spec.qos,
+        telemetry: Telemetry::enabled(),
+        cursor: 0,
+        sched: None,
+        last_state: None,
+    })
+}
+
+/// Persists the job's full trace (with merged kernel/worker totals) when a
+/// trace directory is configured. Failures are reported inline as a meta
+/// line rather than killing the daemon.
+fn save_trace(job: &ServeJob, opts: &ServeOptions) -> Option<PathBuf> {
+    let dir = opts.trace_dir.as_ref()?;
+    let path = dir.join(format!("job-{}.jsonl", job.id));
+    match job.telemetry.save_jsonl(&path) {
+        Ok(_) => Some(path),
+        Err(e) => {
+            eprintln!("warning: writing {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn flat_parser_roundtrips_requests() {
+        let fields =
+            parse_flat(r#"{"cmd":"submit","preset":"tiny","seed":3,"overflow":0.25}"#).unwrap();
+        assert_eq!(fields[0], ("cmd".into(), Value::Str("submit".into())));
+        assert_eq!(fields[2], ("seed".into(), Value::Num(3.0)));
+        assert!(parse_flat("not json").is_err());
+        assert!(parse_flat(r#"{"a":1} extra"#).is_err());
+        assert!(matches!(
+            parse_request(r#"{"cmd":"submit","preset":"nope"}"#),
+            Request::Bad(_)
+        ));
+        assert!(matches!(parse_request(r#"{"cmd":"drain"}"#), Request::Drain));
+        // Escapes survive the round trip through quote + parse_string.
+        let quoted = quote("a\"b\\c\nd");
+        let mut i = 0;
+        assert_eq!(parse_string(quoted.as_bytes(), &mut i).unwrap(), "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn serve_session_orders_events_per_job() {
+        let input = Cursor::new(
+            [
+                r#"{"cmd":"submit","preset":"tiny","seed":5,"max_iters":20,"qos":"interactive"}"#,
+                r#"{"cmd":"submit","cells":80,"nets":90,"seed":6,"max_iters":20}"#,
+                r#"{"cmd":"bogus"}"#,
+                r#"{"cmd":"drain"}"#,
+            ]
+            .join("\n"),
+        );
+        let mut out = Vec::new();
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 2,
+            trace_dir: None,
+        };
+        let stats = serve(input, &mut out, &opts).expect("serve runs");
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.rejected, 1);
+
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.first().unwrap().contains("\"event\":\"hello\""));
+        assert!(lines.last().unwrap().contains("\"event\":\"bye\""));
+        // Per job: accepted strictly before any progress, progress before done.
+        for job in [0, 1] {
+            let accepted = lines
+                .iter()
+                .position(|l| l.contains("\"event\":\"accepted\"") && l.contains(&format!("\"job\":{job},")))
+                .expect("accepted event");
+            let job_key = format!("\"job\":{job}");
+            let first_progress = lines
+                .iter()
+                .position(|l| {
+                    (l.contains("\"event\":\"state\"") || l.contains("\"event\":\"trace\""))
+                        && l.contains(&job_key)
+                })
+                .expect("progress events");
+            let done = lines
+                .iter()
+                .position(|l| l.contains("\"event\":\"done\"") && l.contains(&job_key))
+                .expect("done event");
+            assert!(accepted < first_progress && first_progress < done);
+        }
+        // The stream carries real trace lines (iteration events).
+        assert!(text.contains("\"event\":\"trace\""));
+        assert!(text.contains("\"ev\":\"iter\""));
+    }
+
+    #[test]
+    fn served_result_is_bit_identical_to_standalone() {
+        // The defining property of the shared pool, end to end through the
+        // wire protocol: the streamed HPWL equals a standalone run's bits.
+        let design = GeneratorConfig::new("wire-7", 120, 130)
+            .with_seed(7)
+            .generate::<f64>()
+            .unwrap();
+        let mut config = FlowConfig::for_mode(ToolMode::DreamplaceGpuSim, &design.netlist);
+        config.gp.max_iters = 25;
+        config.gp.min_iters = config.gp.min_iters.min(25);
+        config.gp.threads = 2;
+        let base = crate::DreamPlacer::new(config).place(&design).unwrap();
+
+        let input = Cursor::new(
+            [
+                r#"{"cmd":"submit","cells":120,"nets":130,"seed":7,"name":"wire-7","max_iters":25}"#,
+                r#"{"cmd":"drain"}"#,
+            ]
+            .join("\n"),
+        );
+        let mut out = Vec::new();
+        let opts = ServeOptions {
+            threads: 2,
+            slots: 1,
+            trace_dir: None,
+        };
+        serve(input, &mut out, &opts).expect("serve runs");
+        let text = String::from_utf8(out).unwrap();
+        let needle = format!("\"hpwl\":{:e}", base.hpwl_final);
+        assert!(
+            text.contains(&needle),
+            "served HPWL differs from standalone: wanted {needle}"
+        );
+    }
+}
