@@ -264,7 +264,13 @@ impl<T: Float> ExecCtx<T> {
     /// Records one operator invocation of `name` that started at `t0`.
     pub fn record_op(&mut self, name: &'static str, t0: Instant) {
         let elapsed: Duration = t0.elapsed();
-        let nanos = elapsed.as_nanos() as u64;
+        self.record_op_nanos(name, elapsed.as_nanos() as u64);
+    }
+
+    /// Records one invocation of `name` whose duration was measured by the
+    /// caller (e.g. phase timers accumulated inside a kernel sweep and
+    /// mirrored here afterwards).
+    pub fn record_op_nanos(&mut self, name: &'static str, nanos: u64) {
         let counter = self.ops.entry(name).or_default();
         counter.calls += 1;
         counter.nanos = counter.nanos.saturating_add(nanos);

@@ -1,0 +1,285 @@
+//! Tracks the batched-DCT perf trajectory: transform micro-kernels
+//! (unbatched plan vs batched scalar vs batched blocked), the spectral
+//! field solve (Direct2d vs Batched backends), and the density-op share
+//! of full golden / table2-scale flows with the batched path off vs on.
+//!
+//! ```text
+//! cargo run -p dp-bench --release --bin dct_batch [-- --json PATH]
+//! ```
+//!
+//! With `--json PATH` (or `DP_JSON=PATH`) a machine-readable summary is
+//! written for CI's perf-trajectory artifact.
+
+use std::fmt::Write as _;
+
+use dp_bench::{best_of, fmt_secs, hr, scale};
+use dp_dct::dct2d::Dct2dWork;
+use dp_dct::{BatchStrategy, Dct2dPlan, DctBatch, DctBatchWork, TransformPhases};
+use dp_density::{BinGrid, DctBackendKind, ElectroField};
+use dp_gp::InitKind;
+use dp_netlist::Rect;
+use dp_telemetry::{RunReport, Telemetry};
+use dreamplace_core::{DreamPlacer, FlowConfig, ToolMode};
+
+const THREADS: usize = 2;
+
+struct MicroRow {
+    grid: usize,
+    kernel: &'static str,
+    seconds: f64,
+}
+
+struct FlowArm {
+    design: String,
+    backend: DctBackendKind,
+    gp_seconds: f64,
+    density_nanos: u64,
+    density_share: f64,
+    phases: TransformPhases,
+}
+
+/// One full transform cycle (forward + inverse + both mixed transforms),
+/// the exact per-iteration workload of the spectral solve.
+fn cycle_plan(plan: &Dct2dPlan<f64>, x: &[f64], work: &mut Dct2dWork<f64>, buf: &mut Vec<f64>) {
+    plan.dct2_with(x, work, buf);
+    plan.idct2_with(x, work, buf);
+    plan.idxst_idct_with(x, work, buf);
+    plan.idct_idxst_with(x, work, buf);
+}
+
+fn cycle_batch(plan: &DctBatch<f64>, x: &[f64], work: &mut DctBatchWork<f64>, buf: &mut Vec<f64>) {
+    plan.dct2_with(x, work, buf);
+    plan.idct2_with(x, work, buf);
+    plan.idxst_idct_with(x, work, buf);
+    plan.idct_idxst_with(x, work, buf);
+}
+
+fn micro(grids: &[usize], reps: usize) -> Vec<MicroRow> {
+    let mut rows = Vec::new();
+    for &m in grids {
+        let x: Vec<f64> = (0..m * m).map(|i| (i as f64 * 0.13).sin()).collect();
+        let plan = Dct2dPlan::new(m, m).expect("pow2 grid");
+        let mut dwork = Dct2dWork::new();
+        let mut buf = Vec::new();
+        rows.push(MicroRow {
+            grid: m,
+            kernel: "plan_direct2d",
+            seconds: best_of(reps, || cycle_plan(&plan, &x, &mut dwork, &mut buf)),
+        });
+        for (name, strategy) in [
+            ("batch_scalar", BatchStrategy::Scalar),
+            ("batch_blocked", BatchStrategy::Blocked),
+        ] {
+            let batch = DctBatch::with_strategy(m, m, strategy).expect("pow2 grid");
+            let mut bwork = DctBatchWork::new();
+            rows.push(MicroRow {
+                grid: m,
+                kernel: name,
+                seconds: best_of(reps, || cycle_batch(&batch, &x, &mut bwork, &mut buf)),
+            });
+        }
+        for (name, backend) in [
+            ("solve_direct2d", DctBackendKind::Direct2d),
+            ("solve_batched", DctBackendKind::Batched),
+        ] {
+            let grid =
+                BinGrid::new(Rect::new(0.0f64, 0.0, 1024.0, 1024.0), m, m).expect("pow2 grid");
+            let mut solver = ElectroField::new(&grid, backend).expect("pow2 grid");
+            let rho: Vec<f64> = (0..m * m).map(|i| (i as f64 * 0.31).cos()).collect();
+            let mut sol = Default::default();
+            rows.push(MicroRow {
+                grid: m,
+                kernel: name,
+                seconds: best_of(reps, || solver.solve_into(&rho, &mut sol)),
+            });
+        }
+    }
+    rows
+}
+
+fn density_kernel_nanos(report: &RunReport) -> u64 {
+    report
+        .kernels
+        .iter()
+        .filter(|(name, _, _)| {
+            // The solve/scatter/gather ops, excluding the phase mirrors
+            // (which subdivide time already counted in density.forward).
+            name.starts_with("density.") && !name.starts_with("density.dct.")
+        })
+        .map(|(_, _, nanos)| *nanos)
+        .sum()
+}
+
+fn phase_nanos(report: &RunReport, phase: &str) -> u64 {
+    let key = format!("density.dct.{phase}");
+    report
+        .kernels
+        .iter()
+        .find(|(name, _, _)| *name == key)
+        .map_or(0, |(_, _, nanos)| *nanos)
+}
+
+fn run_arm(design: &dp_gen::GeneratedDesign<f64>, backend: DctBackendKind) -> FlowArm {
+    let tel = Telemetry::enabled();
+    let mut cfg =
+        FlowConfig::for_mode(ToolMode::DreamplaceCpu { threads: THREADS }, &design.netlist);
+    cfg.gp.max_iters = 300;
+    cfg.gp.target_overflow = 0.12;
+    cfg.gp.threads = THREADS;
+    cfg.gp.deterministic = Some(true);
+    cfg.gp.dct_backend = backend;
+    cfg.run_dp = true;
+    if let InitKind::WirelengthOnly { iters } = cfg.gp.init {
+        cfg.gp.init = InitKind::WirelengthOnly {
+            iters: iters.min(40),
+        };
+    }
+    cfg.telemetry = tel.clone();
+    let _ = DreamPlacer::new(cfg)
+        .place(design)
+        .unwrap_or_else(|e| panic!("flow failed on {}: {e}", design.name));
+    let report = tel.report().expect("enabled telemetry yields a report");
+    let gp_seconds = report
+        .stages
+        .iter()
+        .find(|s| s.name == "gp")
+        .map_or(0.0, |s| s.seconds);
+    let density_nanos = density_kernel_nanos(&report);
+    let density_share = if gp_seconds > 0.0 {
+        density_nanos as f64 / 1e9 / gp_seconds
+    } else {
+        0.0
+    };
+    FlowArm {
+        design: design.name.clone(),
+        backend,
+        gp_seconds,
+        density_nanos,
+        density_share,
+        phases: TransformPhases {
+            transpose_nanos: phase_nanos(&report, "transpose"),
+            butterfly_nanos: phase_nanos(&report, "butterfly"),
+            twiddle_nanos: phase_nanos(&report, "twiddle"),
+        },
+    }
+}
+
+fn json_summary(micro_rows: &[MicroRow], arms: &[FlowArm]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"dct_batch\",\n  \"micro\": [\n");
+    for (i, r) in micro_rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"grid\": {}, \"kernel\": \"{}\", \"seconds\": {:e}}}{}",
+            r.grid,
+            r.kernel,
+            r.seconds,
+            if i + 1 < micro_rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"flows\": [\n");
+    for (i, a) in arms.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"design\": \"{}\", \"backend\": \"{}\", \"gp_seconds\": {:e}, \
+             \"density_nanos\": {}, \"density_share\": {:e}, \
+             \"phases\": {{\"transpose\": {}, \"butterfly\": {}, \"twiddle\": {}}}}}{}",
+            a.design,
+            a.backend,
+            a.gp_seconds,
+            a.density_nanos,
+            a.density_share,
+            a.phases.transpose_nanos,
+            a.phases.butterfly_nanos,
+            a.phases.twiddle_nanos,
+            if i + 1 < arms.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn json_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(k) = args.iter().position(|a| a == "--json") {
+        return args.get(k + 1).cloned();
+    }
+    std::env::var("DP_JSON").ok()
+}
+
+fn main() {
+    let reps: usize = std::env::var("DP_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    // 32 is the auto_bins grid of the 420-cell golden design; 256 is the
+    // table2-scale grid the ISPD-sized runs use.
+    println!("Batched DCT micro-kernels (full 4-transform cycle, best of {reps})");
+    hr(52);
+    println!("{:<6} | {:<16} | {:>12}", "grid", "kernel", "time");
+    hr(52);
+    let micro_rows = micro(&[32, 256], reps);
+    for r in &micro_rows {
+        println!(
+            "{:<6} | {:<16} | {:>12}",
+            r.grid,
+            r.kernel,
+            fmt_secs(r.seconds)
+        );
+    }
+
+    println!();
+    println!(
+        "Density-op share of GP, batched off vs on (golden + table2 at 1/{} scale)",
+        scale()
+    );
+    hr(72);
+    println!(
+        "{:<16} | {:<10} | {:>9} | {:>12} | {:>7}",
+        "design", "backend", "gp", "density", "share"
+    );
+    hr(72);
+    let golden = dp_gen::GeneratorConfig::new("golden", 420, 460)
+        .with_seed(71)
+        .with_utilization(0.6)
+        .generate::<f64>()
+        .expect("golden design generates");
+    let table2 = dp_gen::ispd2005_suite()[0]
+        .clone()
+        .scaled_down(scale())
+        .config
+        .generate::<f64>()
+        .expect("table2 preset generates");
+    let mut arms = Vec::new();
+    for design in [&golden, &table2] {
+        for backend in [DctBackendKind::Direct2d, DctBackendKind::Batched] {
+            let arm = run_arm(design, backend);
+            println!(
+                "{:<16} | {:<10} | {:>9} | {:>12} | {:>6.1}%",
+                arm.design,
+                arm.backend.to_string(),
+                fmt_secs(arm.gp_seconds),
+                fmt_secs(arm.density_nanos as f64 / 1e9),
+                arm.density_share * 100.0
+            );
+            arms.push(arm);
+        }
+    }
+    for a in arms.iter().filter(|a| a.backend == DctBackendKind::Batched) {
+        let t = a.phases.total_nanos().max(1) as f64;
+        println!(
+            "  {} phase split: transpose {:.0}% butterfly {:.0}% twiddle {:.0}%",
+            a.design,
+            a.phases.transpose_nanos as f64 / t * 100.0,
+            a.phases.butterfly_nanos as f64 / t * 100.0,
+            a.phases.twiddle_nanos as f64 / t * 100.0
+        );
+    }
+
+    if let Some(path) = json_path() {
+        let json = json_summary(&micro_rows, &arms);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nJSON summary written to {path}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Differential suite: batched SIMD-blocked DCT kernels vs direct `O(n^2)`
+//! oracles.
+//!
+//! [`DctBatch`] must reproduce the defining cosine sums for every kernel
+//! strategy, for all four transforms, across power-of-two shapes (fast
+//! path) and the non-power-of-two-adjacent shapes (1xN, Nx1, 2x2,
+//! tall/wide rectangles) served by the fallback — and the batched density
+//! backend must match the field oracle at every thread count.
+
+use dp_autograd::{ExecCtx, Gradient, Operator};
+use dp_check::{
+    charge_map_oracle, dct2_oracle, field_oracle, idct2_oracle, idct_idxst_oracle,
+    idxst_idct_oracle, movable_map_oracle, OracleGrid,
+};
+use dp_dct::{BatchStrategy, Dct2dPlan, DctBatch};
+use dp_density::{BinGrid, DctBackendKind, DensityOp, DensityStrategy, ElectroField};
+use dp_gen::GeneratorConfig;
+use dp_netlist::{Netlist, Placement};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(n1: usize, n2: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n1 * n2).map(|_| rng.gen_range(-2.0..2.0)).collect()
+}
+
+fn assert_close(tag: &str, fast: &[f64], oracle: &[f64], tol: f64) {
+    assert_eq!(fast.len(), oracle.len(), "{tag}: length mismatch");
+    let scale = oracle.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    for (b, (f, o)) in fast.iter().zip(oracle).enumerate() {
+        assert!(
+            (f - o).abs() / scale < tol,
+            "{tag}: bin {b} fast {f} vs oracle {o} (scale {scale})"
+        );
+    }
+}
+
+/// Power-of-two shapes (batched fast path) plus the fallback shapes the
+/// satellite calls out: 1xN, Nx1, 2x2, tall and wide rectangles.
+const SHAPES: [(usize, usize); 12] = [
+    (1, 1),
+    (1, 8),
+    (8, 1),
+    (2, 2),
+    (3, 7),
+    (5, 4),
+    (2, 4),
+    (4, 4),
+    (32, 8),
+    (8, 32),
+    (16, 16),
+    (64, 16),
+];
+
+const STRATEGIES: [BatchStrategy; 2] = [BatchStrategy::Scalar, BatchStrategy::Blocked];
+
+#[test]
+fn batched_dct2_matches_direct_sum_all_strategies() {
+    for strategy in STRATEGIES {
+        for (k, &(n1, n2)) in SHAPES.iter().enumerate() {
+            let x = random_matrix(n1, n2, 500 + k as u64);
+            let plan: DctBatch<f64> = DctBatch::with_strategy(n1, n2, strategy).expect("shape");
+            assert_close(
+                &format!("dct2 {strategy} {n1}x{n2}"),
+                &plan.dct2(&x),
+                &dct2_oracle(&x, n1, n2),
+                1e-12,
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_idct2_matches_direct_sum_all_strategies() {
+    for strategy in STRATEGIES {
+        for (k, &(n1, n2)) in SHAPES.iter().enumerate() {
+            let x = random_matrix(n1, n2, 600 + k as u64);
+            let plan: DctBatch<f64> = DctBatch::with_strategy(n1, n2, strategy).expect("shape");
+            assert_close(
+                &format!("idct2 {strategy} {n1}x{n2}"),
+                &plan.idct2(&x),
+                &idct2_oracle(&x, n1, n2),
+                1e-12,
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_mixed_transforms_match_direct_sums_all_strategies() {
+    for strategy in STRATEGIES {
+        for (k, &(n1, n2)) in SHAPES.iter().enumerate() {
+            let x = random_matrix(n1, n2, 700 + k as u64);
+            let plan: DctBatch<f64> = DctBatch::with_strategy(n1, n2, strategy).expect("shape");
+            assert_close(
+                &format!("idct_idxst {strategy} {n1}x{n2}"),
+                &plan.idct_idxst(&x),
+                &idct_idxst_oracle(&x, n1, n2),
+                1e-12,
+            );
+            assert_close(
+                &format!("idxst_idct {strategy} {n1}x{n2}"),
+                &plan.idxst_idct(&x),
+                &idxst_idct_oracle(&x, n1, n2),
+                1e-12,
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_strategies_agree_bitwise_with_each_other_and_the_plan() {
+    // On fast-path shapes both strategies must also match the unbatched
+    // Dct2dPlan bit for bit (same arithmetic, different sweep structure).
+    for (k, &(n1, n2)) in SHAPES.iter().enumerate() {
+        let x = random_matrix(n1, n2, 800 + k as u64);
+        let scalar = DctBatch::with_strategy(n1, n2, BatchStrategy::Scalar).expect("shape");
+        let blocked = DctBatch::with_strategy(n1, n2, BatchStrategy::Blocked).expect("shape");
+        let a = scalar.dct2(&x);
+        let b = blocked.dct2(&x);
+        for (i, (p, q)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "strategy divergence at {n1}x{n2} idx {i}"
+            );
+        }
+        if scalar.is_fast() {
+            let direct = Dct2dPlan::new(n1, n2).expect("pow2");
+            let want = direct.dct2(&x);
+            for (i, (p, w)) in a.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    p.to_bits(),
+                    w.to_bits(),
+                    "batched vs plan divergence at {n1}x{n2} idx {i}"
+                );
+            }
+        }
+    }
+}
+
+const MX: usize = 8;
+const MY: usize = 8;
+
+fn design(seed: u64) -> (Netlist<f64>, Placement<f64>) {
+    let d = GeneratorConfig::new("dct-batch-diff", 80, 90)
+        .with_seed(seed)
+        .generate::<f64>()
+        .expect("valid design");
+    let region = d.netlist.region();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ff);
+    let mut p = d.fixed_positions.clone();
+    for c in 0..d.netlist.num_movable() {
+        p.x[c] = region.xl + rng.gen_range(0.08..0.92) * region.width();
+        p.y[c] = region.yl + rng.gen_range(0.08..0.92) * region.height();
+    }
+    (d.netlist, p)
+}
+
+#[test]
+fn batched_field_solve_matches_oracle() {
+    let (nl, p) = design(31);
+    let grid = BinGrid::new(nl.region(), MX, MY).expect("supported grid");
+    let og = OracleGrid::from_region(nl.region(), MX, MY);
+    let movable = movable_map_oracle(&nl, &p, &og);
+    let rho = charge_map_oracle(&movable, None, &og);
+    let oracle = field_oracle(&rho, MX, MY);
+    let mut solver = ElectroField::<f64>::new(&grid, DctBackendKind::Batched).expect("grid");
+    let sol = solver.solve(&rho);
+    assert_close("batched potential", &sol.potential, &oracle.potential, 1e-9);
+    assert_close("batched field_x", &sol.field_x, &oracle.field_x, 1e-9);
+    assert_close("batched field_y", &sol.field_y, &oracle.field_y, 1e-9);
+    let scale = oracle.energy.abs().max(1e-12);
+    assert!(
+        (sol.energy - oracle.energy).abs() / scale < 1e-9,
+        "energy {} vs oracle {}",
+        sol.energy,
+        oracle.energy
+    );
+}
+
+#[test]
+fn batched_density_op_matches_direct_backend_bitwise_across_threads() {
+    let (nl, p) = design(32);
+    let grid = BinGrid::new(nl.region(), MX, MY).expect("supported grid");
+    for threads in [1usize, 2, 4] {
+        let mut reference_grad = Gradient::zeros(nl.num_cells());
+        let mut batched_grad = Gradient::zeros(nl.num_cells());
+        let mut direct = DensityOp::with_backend(
+            grid.clone(),
+            DensityStrategy::Sorted,
+            1.0,
+            DctBackendKind::Direct2d,
+        )
+        .expect("grid");
+        let mut batched = DensityOp::with_backend(
+            grid.clone(),
+            DensityStrategy::Sorted,
+            1.0,
+            DctBackendKind::Batched,
+        )
+        .expect("grid");
+        let mut ctx = ExecCtx::new(threads);
+        let e_direct = direct.forward_backward(&nl, &p, &mut reference_grad, &mut ctx);
+        let e_batched = batched.forward_backward(&nl, &p, &mut batched_grad, &mut ctx);
+        assert_eq!(
+            e_direct.to_bits(),
+            e_batched.to_bits(),
+            "threads {threads}: energy differs"
+        );
+        for c in 0..nl.num_movable() {
+            assert_eq!(
+                reference_grad.x[c].to_bits(),
+                batched_grad.x[c].to_bits(),
+                "threads {threads}: grad_x cell {c}"
+            );
+            assert_eq!(
+                reference_grad.y[c].to_bits(),
+                batched_grad.y[c].to_bits(),
+                "threads {threads}: grad_y cell {c}"
+            );
+        }
+    }
+}

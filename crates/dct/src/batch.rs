@@ -1,0 +1,727 @@
+//! Batched 2-D DCT transforms: multiple rows per sweep, one shared twiddle
+//! table, SIMD-friendly lane kernels.
+//!
+//! [`DctBatch`] computes the same four transforms as [`Dct2dPlan`] but
+//! restructures the work for memory locality and autovectorization:
+//!
+//! * **Row pass** — [`LANES`] rows are packed lane-interleaved (element `k`
+//!   of lane `l` at `k * lanes + l`) and swept by the `*_lanes` kernels of
+//!   [`crate::FftPlan`], so each butterfly loads its twiddle once and
+//!   applies it to the whole lane run.
+//! * **Column pass** — the one-sided spectrum is already lane-interleaved
+//!   when read column-major (stride `n2/2 + 1`), so the column FFTs run
+//!   *in place* over strided lane windows with no transpose at all.
+//! * **Pack/unpack** — the remaining data movement goes through the
+//!   cache-blocked tiled transpose shared with [`Dct2dPlan`].
+//!
+//! Every step is a permutation, an elementwise map, or an independent
+//! per-lane FFT — there are no cross-element reductions — so the batched
+//! path is **bitwise identical** to [`Dct2dPlan`] on supported shapes, for
+//! both [`BatchStrategy`] flavors. Shapes the fast path cannot serve
+//! (non-power-of-two, `1xN`, `Nx1`, `2x2`-with-short-rows) transparently
+//! fall back to the `O(n^2)` definition oracles in [`crate::naive`], so a
+//! `DctBatch` exists for every non-empty shape.
+//!
+//! Each sweep also charges its wall-clock into a [`TransformPhases`]
+//! accumulator on the work object, splitting transform time into
+//! transpose / butterfly / twiddle phases for the run report.
+
+use std::time::Instant;
+
+use dp_num::{Complex, Float};
+
+use crate::dct2d::{transpose_tiled, Dct2dPlan};
+use crate::naive::{naive_dct2, naive_idct2, naive_idct_idxst, naive_idxst_idct};
+use crate::{BatchStrategy, TransformError};
+
+/// Rows (or columns) processed per batched sweep.
+///
+/// Eight f64 lanes are 64 bytes of reals — one cache line — per packed
+/// element, and give the unrolled kernels two full `f64x4` blocks; wider
+/// sweeps grow the lane scratch past L1 for placement-sized grids without
+/// further amortizing the (already per-sweep) twiddle loads.
+pub const LANES: usize = 8;
+
+/// Wall-clock split of batched transform time, in nanoseconds.
+///
+/// * `transpose` — packing/unpacking, tiled transposes, permutations;
+/// * `butterfly` — the FFT butterfly sweeps themselves;
+/// * `twiddle` — pre/post-processing that multiplies by phase tables
+///   (Makhoul untangling, the `W1`/`W2` DCT factors, sign flips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransformPhases {
+    /// Nanoseconds spent moving data (packs, transposes, permutations).
+    pub transpose_nanos: u64,
+    /// Nanoseconds spent in FFT butterfly sweeps.
+    pub butterfly_nanos: u64,
+    /// Nanoseconds spent in phase-table multiplies and sign fixups.
+    pub twiddle_nanos: u64,
+}
+
+impl TransformPhases {
+    /// Sum of all three phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.transpose_nanos + self.butterfly_nanos + self.twiddle_nanos
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: TransformPhases) {
+        self.transpose_nanos += other.transpose_nanos;
+        self.butterfly_nanos += other.butterfly_nanos;
+        self.twiddle_nanos += other.twiddle_nanos;
+    }
+}
+
+fn nanos_since(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos() as u64
+}
+
+/// Reusable scratch for [`DctBatch`] transforms, plus the per-phase timer
+/// accumulator.
+///
+/// Buffers grow on demand and are fully reset by each call, so one work
+/// object can serve batches of different shapes.
+#[derive(Debug, Clone, Default)]
+pub struct DctBatchWork<T> {
+    /// Real-valued `n1 * n2` scratch (permuted / flipped input).
+    real: Vec<T>,
+    /// Secondary real scratch for the mixed transforms' flip step.
+    real2: Vec<T>,
+    /// One-sided spectrum, `n1 * (n2/2 + 1)`.
+    spec: Vec<Complex<T>>,
+    /// Lane-interleaved half-FFT scratch, `(n2/2) * LANES`.
+    lanes: Vec<Complex<T>>,
+    /// Lane-interleaved untangle scratch, `(n2/2 + 1) * LANES`.
+    lanes2: Vec<Complex<T>>,
+    phases: TransformPhases,
+}
+
+impl<T: Float> DctBatchWork<T> {
+    /// Creates an empty work object (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes of scratch currently held (for workspace counters).
+    pub fn bytes(&self) -> usize {
+        (self.real.capacity() + self.real2.capacity()) * std::mem::size_of::<T>()
+            + (self.spec.capacity() + self.lanes.capacity() + self.lanes2.capacity())
+                * std::mem::size_of::<Complex<T>>()
+    }
+
+    /// The phase timers accumulated so far.
+    pub fn phases(&self) -> TransformPhases {
+        self.phases
+    }
+
+    /// Drains the phase timers, returning the accumulated split and
+    /// resetting the counters to zero.
+    pub fn take_phases(&mut self) -> TransformPhases {
+        std::mem::take(&mut self.phases)
+    }
+}
+
+enum Inner<T> {
+    /// Power-of-two shapes with `n2 >= 4`: batched sweeps over the
+    /// [`Dct2dPlan`] tables (twiddles, reorder maps, `W1`/`W2` phases are
+    /// shared with the unbatched plan, so nothing is stored twice).
+    Fast(Box<Dct2dPlan<T>>),
+    /// Everything else: the `O(n^2)` cosine-sum definitions.
+    Naive,
+}
+
+/// Batched 2-D DCT/IDCT/IDCT·IDXST/IDXST·IDCT transform plan.
+///
+/// On power-of-two shapes the batched path is bitwise identical to
+/// [`Dct2dPlan`] (see the module docs for why); on other shapes it
+/// evaluates the transform definitions directly. The inner-kernel
+/// [`BatchStrategy`] is fixed at construction.
+///
+/// # Examples
+///
+/// ```
+/// use dp_dct::{DctBatch, DctBatchWork};
+///
+/// # fn main() -> Result<(), dp_dct::TransformError> {
+/// let plan: DctBatch<f64> = DctBatch::new(8, 16)?;
+/// let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.05).sin()).collect();
+/// let mut work = DctBatchWork::new();
+/// let mut c = Vec::new();
+/// let mut back = Vec::new();
+/// plan.dct2_with(&x, &mut work, &mut c);
+/// plan.idct2_with(&c, &mut work, &mut back);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-10);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct DctBatch<T> {
+    n1: usize,
+    n2: usize,
+    strategy: BatchStrategy,
+    inner: Inner<T>,
+}
+
+impl<T: Float> DctBatch<T> {
+    /// Creates a batched plan for `n1 x n2` matrices with the
+    /// [`BatchStrategy::auto`] kernel flavor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NonPowerOfTwo`] only when a dimension is
+    /// zero; every other shape is served (via the naive fallback when the
+    /// fast path cannot apply).
+    pub fn new(n1: usize, n2: usize) -> Result<Self, TransformError> {
+        Self::with_strategy(n1, n2, BatchStrategy::auto())
+    }
+
+    /// [`DctBatch::new`] with an explicit kernel strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NonPowerOfTwo`] when a dimension is zero.
+    pub fn with_strategy(
+        n1: usize,
+        n2: usize,
+        strategy: BatchStrategy,
+    ) -> Result<Self, TransformError> {
+        if n1 == 0 {
+            return Err(TransformError::NonPowerOfTwo { n: n1 });
+        }
+        if n2 == 0 {
+            return Err(TransformError::NonPowerOfTwo { n: n2 });
+        }
+        let inner = match Dct2dPlan::new(n1, n2) {
+            Ok(plan) => Inner::Fast(Box::new(plan)),
+            Err(_) => Inner::Naive,
+        };
+        Ok(Self {
+            n1,
+            n2,
+            strategy,
+            inner,
+        })
+    }
+
+    /// Matrix shape `(n1, n2)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// The inner-kernel strategy fixed at construction.
+    pub fn strategy(&self) -> BatchStrategy {
+        self.strategy
+    }
+
+    /// `true` when the batched fast path serves this shape, `false` when
+    /// transforms go through the `O(n^2)` definition fallback.
+    pub fn is_fast(&self) -> bool {
+        matches!(self.inner, Inner::Fast(_))
+    }
+
+    /// Forward 2-D DCT into `out`, reusing `work`'s buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn dct2_with(&self, x: &[T], work: &mut DctBatchWork<T>, out: &mut Vec<T>) {
+        assert_eq!(x.len(), self.n1 * self.n2, "matrix shape mismatch");
+        match &self.inner {
+            Inner::Fast(plan) => self.dct2_fast(plan, x, work, out),
+            Inner::Naive => Self::naive_into(work, out, naive_dct2(x, self.n1, self.n2)),
+        }
+    }
+
+    /// Inverse 2-D DCT into `out`; exact inverse of [`DctBatch::dct2_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != n1 * n2`.
+    pub fn idct2_with(&self, c: &[T], work: &mut DctBatchWork<T>, out: &mut Vec<T>) {
+        assert_eq!(c.len(), self.n1 * self.n2, "matrix shape mismatch");
+        match &self.inner {
+            Inner::Fast(plan) => self.idct2_fast(plan, c, work, out),
+            Inner::Naive => Self::naive_into(work, out, naive_idct2(c, self.n1, self.n2)),
+        }
+    }
+
+    /// IDCT along dimension 1, IDXST along dimension 2 into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idct_idxst_with(&self, x: &[T], work: &mut DctBatchWork<T>, out: &mut Vec<T>) {
+        assert_eq!(x.len(), self.n1 * self.n2, "matrix shape mismatch");
+        match &self.inner {
+            Inner::Fast(plan) => self.idct_idxst_fast(plan, x, work, out),
+            Inner::Naive => Self::naive_into(work, out, naive_idct_idxst(x, self.n1, self.n2)),
+        }
+    }
+
+    /// IDXST along dimension 1, IDCT along dimension 2 into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idxst_idct_with(&self, x: &[T], work: &mut DctBatchWork<T>, out: &mut Vec<T>) {
+        assert_eq!(x.len(), self.n1 * self.n2, "matrix shape mismatch");
+        match &self.inner {
+            Inner::Fast(plan) => self.idxst_idct_fast(plan, x, work, out),
+            Inner::Naive => Self::naive_into(work, out, naive_idxst_idct(x, self.n1, self.n2)),
+        }
+    }
+
+    /// [`DctBatch::dct2_with`] returning a fresh buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn dct2(&self, x: &[T]) -> Vec<T> {
+        let mut work = DctBatchWork::new();
+        let mut out = Vec::new();
+        self.dct2_with(x, &mut work, &mut out);
+        out
+    }
+
+    /// [`DctBatch::idct2_with`] returning a fresh buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != n1 * n2`.
+    pub fn idct2(&self, c: &[T]) -> Vec<T> {
+        let mut work = DctBatchWork::new();
+        let mut out = Vec::new();
+        self.idct2_with(c, &mut work, &mut out);
+        out
+    }
+
+    /// [`DctBatch::idct_idxst_with`] returning a fresh buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idct_idxst(&self, x: &[T]) -> Vec<T> {
+        let mut work = DctBatchWork::new();
+        let mut out = Vec::new();
+        self.idct_idxst_with(x, &mut work, &mut out);
+        out
+    }
+
+    /// [`DctBatch::idxst_idct_with`] returning a fresh buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n1 * n2`.
+    pub fn idxst_idct(&self, x: &[T]) -> Vec<T> {
+        let mut work = DctBatchWork::new();
+        let mut out = Vec::new();
+        self.idxst_idct_with(x, &mut work, &mut out);
+        out
+    }
+
+    fn naive_into(work: &mut DctBatchWork<T>, out: &mut Vec<T>, result: Vec<T>) {
+        let t0 = Instant::now();
+        out.clear();
+        out.extend_from_slice(&result);
+        work.phases.butterfly_nanos += nanos_since(t0);
+    }
+
+    /// Batched analogue of `Dct2dPlan::dct2_with`: same permutation, same
+    /// 2-D real FFT arithmetic (restructured into lane sweeps), same
+    /// postprocess — bitwise identical output.
+    fn dct2_fast(&self, plan: &Dct2dPlan<T>, x: &[T], work: &mut DctBatchWork<T>, out: &mut Vec<T>) {
+        let (n1, n2) = (plan.n1, plan.n2);
+        // Preprocess (Eq. 10): the even/odd reorder on both axes.
+        let t0 = Instant::now();
+        work.real.clear();
+        work.real.resize(n1 * n2, T::ZERO);
+        for (i, &src_i) in plan.r1.iter().enumerate() {
+            for (j, &src_j) in plan.r2.iter().enumerate() {
+                work.real[i * n2 + j] = x[src_i * n2 + src_j];
+            }
+        }
+        work.phases.transpose_nanos += nanos_since(t0);
+        self.rfft2_batched(plan, work);
+        // Postprocess (Eq. 11): W1/W2 phase factors over the wrapped spectrum.
+        let t0 = Instant::now();
+        let scale = T::TWO / T::from_usize(n1 * n2);
+        out.clear();
+        out.resize(n1 * n2, T::ZERO);
+        for k1 in 0..n1 {
+            for k2 in 0..n2 {
+                let v = plan.spec_at(&work.spec, k1, k2);
+                let vr = plan.spec_at(&work.spec, k1, (n2 - k2) % n2);
+                let inner = plan.w2[k2] * v + plan.w2[k2].conj() * vr;
+                out[k1 * n2 + k2] = (plan.w1[k1] * inner).re * scale;
+            }
+        }
+        work.phases.twiddle_nanos += nanos_since(t0);
+    }
+
+    /// Batched analogue of `Dct2dPlan::idct2_with`.
+    fn idct2_fast(
+        &self,
+        plan: &Dct2dPlan<T>,
+        c: &[T],
+        work: &mut DctBatchWork<T>,
+        out: &mut Vec<T>,
+    ) {
+        let (n1, n2) = (plan.n1, plan.n2);
+        let n2h = n2 / 2 + 1;
+        // Preprocess (Eq. 12): build the one-sided spectrum from the
+        // coefficients (zero padding past the data edges, not wraparound).
+        let t0 = Instant::now();
+        let quarter = T::from_usize(n1 * n2) * T::from_f64(0.25);
+        let at = |k1: usize, k2: usize| -> T {
+            if k1 >= n1 || k2 >= n2 {
+                T::ZERO
+            } else {
+                c[k1 * n2 + k2]
+            }
+        };
+        work.spec.clear();
+        work.spec.resize(n1 * n2h, Complex::zero());
+        for k1 in 0..n1 {
+            for k2 in 0..n2h {
+                let a = at(k1, k2);
+                let b = at(n1 - k1, n2 - k2);
+                let p = at(n1 - k1, k2);
+                let q = at(k1, n2 - k2);
+                let bracket = Complex::new(a - b, -(p + q));
+                let w = plan.w1[k1].conj() * plan.w2[k2].conj();
+                work.spec[k1 * n2h + k2] = (w * bracket).scale(quarter);
+            }
+        }
+        work.phases.twiddle_nanos += nanos_since(t0);
+        self.irfft2_batched(plan, work);
+        // Postprocess (Eq. 13): inverse of the Eq. 10 permutation.
+        let t0 = Instant::now();
+        out.clear();
+        out.resize(n1 * n2, T::ZERO);
+        for (i, &dst_i) in plan.r1.iter().enumerate() {
+            for (j, &dst_j) in plan.r2.iter().enumerate() {
+                out[dst_i * n2 + dst_j] = work.real[i * n2 + j];
+            }
+        }
+        work.phases.transpose_nanos += nanos_since(t0);
+    }
+
+    /// Batched analogue of `Dct2dPlan::idct_idxst_with`.
+    fn idct_idxst_fast(
+        &self,
+        plan: &Dct2dPlan<T>,
+        x: &[T],
+        work: &mut DctBatchWork<T>,
+        out: &mut Vec<T>,
+    ) {
+        let (n1, n2) = (plan.n1, plan.n2);
+        // Preprocess (Eq. 14): flip dimension 2 with x(n1, 0) -> 0.
+        let t0 = Instant::now();
+        let mut flipped = std::mem::take(&mut work.real2);
+        flipped.clear();
+        flipped.resize(n1 * n2, T::ZERO);
+        for i in 0..n1 {
+            for j in 1..n2 {
+                flipped[i * n2 + j] = x[i * n2 + (n2 - j)];
+            }
+        }
+        work.phases.transpose_nanos += nanos_since(t0);
+        self.idct2_fast(plan, &flipped, work, out);
+        work.real2 = flipped;
+        // Postprocess (Eq. 15): alternate signs along dimension 2.
+        let t0 = Instant::now();
+        for i in 0..n1 {
+            for j in (1..n2).step_by(2) {
+                out[i * n2 + j] = -out[i * n2 + j];
+            }
+        }
+        work.phases.twiddle_nanos += nanos_since(t0);
+    }
+
+    /// Batched analogue of `Dct2dPlan::idxst_idct_with`.
+    fn idxst_idct_fast(
+        &self,
+        plan: &Dct2dPlan<T>,
+        x: &[T],
+        work: &mut DctBatchWork<T>,
+        out: &mut Vec<T>,
+    ) {
+        let (n1, n2) = (plan.n1, plan.n2);
+        // Preprocess (Eq. 16): flip dimension 1 with x(0, n2) -> 0.
+        let t0 = Instant::now();
+        let mut flipped = std::mem::take(&mut work.real2);
+        flipped.clear();
+        flipped.resize(n1 * n2, T::ZERO);
+        for i in 1..n1 {
+            flipped[i * n2..(i + 1) * n2].copy_from_slice(&x[(n1 - i) * n2..(n1 - i + 1) * n2]);
+        }
+        work.phases.transpose_nanos += nanos_since(t0);
+        self.idct2_fast(plan, &flipped, work, out);
+        work.real2 = flipped;
+        // Postprocess (Eq. 17): alternate signs along dimension 1.
+        let t0 = Instant::now();
+        for i in (1..n1).step_by(2) {
+            for j in 0..n2 {
+                out[i * n2 + j] = -out[i * n2 + j];
+            }
+        }
+        work.phases.twiddle_nanos += nanos_since(t0);
+    }
+
+    /// Batched 2-D real FFT of `work.real` into `work.spec`, rows then
+    /// columns, bitwise identical to `Dct2dPlan::rfft2_into`.
+    fn rfft2_batched(&self, plan: &Dct2dPlan<T>, work: &mut DctBatchWork<T>) {
+        let (n1, n2) = (plan.n1, plan.n2);
+        let n2h = n2 / 2 + 1;
+        let m = n2 / 2;
+        let half = plan.row_rfft.half_plan();
+        let phases = plan.row_rfft.untangle_phases();
+        work.spec.clear();
+        work.spec.resize(n1 * n2h, Complex::zero());
+        work.lanes.clear();
+        work.lanes.resize(m * LANES, Complex::zero());
+        work.lanes2.clear();
+        work.lanes2.resize(n2h * LANES, Complex::zero());
+        // Row pass: LANES rows per sweep, lane-interleaved so every
+        // butterfly's twiddle load is shared across the whole sweep.
+        let mut r0 = 0;
+        while r0 < n1 {
+            let b = LANES.min(n1 - r0);
+            // Pack pairs lane-interleaved: z[k][l] = x[2k] + i x[2k+1] of
+            // row r0 + l (Makhoul packing, batched).
+            let t0 = Instant::now();
+            for k in 0..m {
+                for l in 0..b {
+                    let row = (r0 + l) * n2;
+                    work.lanes[k * b + l] =
+                        Complex::new(work.real[row + 2 * k], work.real[row + 2 * k + 1]);
+                }
+            }
+            work.phases.transpose_nanos += nanos_since(t0);
+            let t0 = Instant::now();
+            half.forward_lanes(&mut work.lanes[..m * b], b, b, self.strategy);
+            work.phases.butterfly_nanos += nanos_since(t0);
+            // Untangle all lanes with the shared phase table.
+            let t0 = Instant::now();
+            for (k, &phase) in phases.iter().enumerate().take(n2h) {
+                let kk = if k == m { 0 } else { k };
+                let km = (m - k) % m;
+                for l in 0..b {
+                    let zk = work.lanes[kk * b + l];
+                    let zmk = work.lanes[km * b + l];
+                    let e = (zk + zmk.conj()).scale(T::HALF);
+                    let o = (zk - zmk.conj()).scale(T::HALF).mul_i().scale(-T::ONE);
+                    work.lanes2[k * b + l] = e + phase * o;
+                }
+            }
+            work.phases.twiddle_nanos += nanos_since(t0);
+            // Scatter the lane block back to row-major spectrum rows.
+            let t0 = Instant::now();
+            transpose_tiled(
+                &work.lanes2[..n2h * b],
+                n2h,
+                b,
+                &mut work.spec[r0 * n2h..(r0 + b) * n2h],
+            );
+            work.phases.transpose_nanos += nanos_since(t0);
+            r0 += b;
+        }
+        // Column pass: the row-major spectrum read column-wise IS a lane
+        // window (stride n2h), so the column FFTs run in place — no
+        // transpose, and `lanes <= stride` holds by construction.
+        let t0 = Instant::now();
+        let mut c0 = 0;
+        while c0 < n2h {
+            let b = LANES.min(n2h - c0);
+            let view = &mut work.spec[c0..];
+            plan.col_fft.forward_lanes(view, n2h, b, self.strategy);
+            c0 += b;
+        }
+        work.phases.butterfly_nanos += nanos_since(t0);
+    }
+
+    /// Batched inverse of [`DctBatch::rfft2_batched`] with full
+    /// `1/(n1 n2)` normalization, bitwise identical to
+    /// `Dct2dPlan::irfft2_into`.
+    fn irfft2_batched(&self, plan: &Dct2dPlan<T>, work: &mut DctBatchWork<T>) {
+        let (n1, n2) = (plan.n1, plan.n2);
+        let n2h = n2 / 2 + 1;
+        let m = n2 / 2;
+        let half = plan.row_rfft.half_plan();
+        let phases = plan.row_rfft.untangle_phases();
+        // Column pass first (in place, strided lane windows).
+        let t0 = Instant::now();
+        let mut c0 = 0;
+        while c0 < n2h {
+            let b = LANES.min(n2h - c0);
+            let view = &mut work.spec[c0..];
+            plan.col_fft.inverse_lanes(view, n2h, b, self.strategy);
+            c0 += b;
+        }
+        work.phases.butterfly_nanos += nanos_since(t0);
+        work.real.clear();
+        work.real.resize(n1 * n2, T::ZERO);
+        work.lanes.clear();
+        work.lanes.resize(m * LANES, Complex::zero());
+        work.lanes2.clear();
+        work.lanes2.resize(n2h * LANES, Complex::zero());
+        let mut r0 = 0;
+        while r0 < n1 {
+            let b = LANES.min(n1 - r0);
+            // Gather the spectrum rows lane-interleaved.
+            let t0 = Instant::now();
+            transpose_tiled(
+                &work.spec[r0 * n2h..(r0 + b) * n2h],
+                b,
+                n2h,
+                &mut work.lanes2[..n2h * b],
+            );
+            work.phases.transpose_nanos += nanos_since(t0);
+            // Repack E/O with the shared conjugate phase table.
+            let t0 = Instant::now();
+            for (k, &phase) in phases.iter().enumerate().take(m) {
+                for l in 0..b {
+                    let xk = work.lanes2[k * b + l];
+                    let xmk = work.lanes2[(m - k) * b + l].conj();
+                    let e = (xk + xmk).scale(T::HALF);
+                    let o = (xk - xmk).scale(T::HALF) * phase.conj();
+                    work.lanes[k * b + l] = e + o.mul_i();
+                }
+            }
+            work.phases.twiddle_nanos += nanos_since(t0);
+            let t0 = Instant::now();
+            half.inverse_lanes(&mut work.lanes[..m * b], b, b, self.strategy);
+            work.phases.butterfly_nanos += nanos_since(t0);
+            // Interleave back to real rows.
+            let t0 = Instant::now();
+            for k in 0..m {
+                for l in 0..b {
+                    let z = work.lanes[k * b + l];
+                    let row = (r0 + l) * n2;
+                    work.real[row + 2 * k] = z.re;
+                    work.real[row + 2 * k + 1] = z.im;
+                }
+            }
+            work.phases.transpose_nanos += nanos_since(t0);
+            r0 += b;
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::dct2d::Dct2dWork;
+
+    fn matrix(n1: usize, n2: usize) -> Vec<f64> {
+        (0..n1 * n2)
+            .map(|i| (i as f64 * 0.13).sin() + 0.01 * i as f64)
+            .collect()
+    }
+
+    #[test]
+    fn batched_is_bitwise_identical_to_direct_plan() {
+        for strategy in [BatchStrategy::Scalar, BatchStrategy::Blocked] {
+            for (n1, n2) in [(2, 4), (4, 4), (8, 16), (16, 8), (32, 32), (2, 8)] {
+                let x = matrix(n1, n2);
+                let direct = Dct2dPlan::new(n1, n2).expect("pow2");
+                let batch = DctBatch::with_strategy(n1, n2, strategy).expect("shape");
+                assert!(batch.is_fast(), "({n1},{n2}) should take the fast path");
+                let mut dwork = Dct2dWork::new();
+                let mut bwork = DctBatchWork::new();
+                let mut want = Vec::new();
+                let mut got = Vec::new();
+                type Pair = (
+                    &'static str,
+                    fn(&Dct2dPlan<f64>, &[f64], &mut Dct2dWork<f64>, &mut Vec<f64>),
+                    fn(&DctBatch<f64>, &[f64], &mut DctBatchWork<f64>, &mut Vec<f64>),
+                );
+                let pairs: [Pair; 4] = [
+                    ("dct2", Dct2dPlan::dct2_with, DctBatch::dct2_with),
+                    ("idct2", Dct2dPlan::idct2_with, DctBatch::idct2_with),
+                    (
+                        "idct_idxst",
+                        Dct2dPlan::idct_idxst_with,
+                        DctBatch::idct_idxst_with,
+                    ),
+                    (
+                        "idxst_idct",
+                        Dct2dPlan::idxst_idct_with,
+                        DctBatch::idxst_idct_with,
+                    ),
+                ];
+                for (name, direct_f, batch_f) in pairs {
+                    direct_f(&direct, &x, &mut dwork, &mut want);
+                    batch_f(&batch, &x, &mut bwork, &mut got);
+                    assert_eq!(got.len(), want.len());
+                    for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "{name} {strategy} ({n1},{n2}) idx {k}: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_fallback_serves_any_shape() {
+        for (n1, n2) in [(1, 1), (1, 8), (8, 1), (2, 2), (3, 7), (5, 4), (4, 2)] {
+            let batch = DctBatch::<f64>::new(n1, n2).expect("non-empty shape");
+            assert!(!batch.is_fast(), "({n1},{n2}) must use the fallback");
+            let x = matrix(n1, n2);
+            let back = batch.idct2(&batch.dct2(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "round trip failed on ({n1},{n2}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dimension_is_rejected() {
+        assert!(DctBatch::<f64>::new(0, 8).is_err());
+        assert!(DctBatch::<f64>::new(8, 0).is_err());
+    }
+
+    #[test]
+    fn phase_counters_accumulate_and_drain() {
+        let batch = DctBatch::<f64>::new(32, 32).expect("pow2");
+        let mut work = DctBatchWork::new();
+        let mut out = Vec::new();
+        let x = matrix(32, 32);
+        batch.dct2_with(&x, &mut work, &mut out);
+        let phases = work.phases();
+        assert!(phases.total_nanos() > 0, "phases should record time");
+        assert!(phases.butterfly_nanos > 0, "butterfly sweeps take time");
+        let drained = work.take_phases();
+        assert_eq!(drained, phases);
+        assert_eq!(work.phases(), TransformPhases::default());
+    }
+
+    #[test]
+    fn work_reuse_across_shapes_is_bitwise_clean() {
+        // One DctBatchWork alternating between fast and fallback shapes of
+        // different sizes must match fresh-work results bitwise: no stale
+        // lane from a larger sweep may leak into a later transform.
+        let shapes = [(32usize, 8usize), (3, 7), (8, 32), (4, 4), (16, 16)];
+        let mut shared = DctBatchWork::new();
+        for &(n1, n2) in &shapes {
+            let batch = DctBatch::<f64>::new(n1, n2).expect("shape");
+            let x = matrix(n1, n2);
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            batch.idxst_idct_with(&x, &mut shared, &mut got);
+            batch.idxst_idct_with(&x, &mut DctBatchWork::new(), &mut want);
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "shape ({n1},{n2})");
+            }
+        }
+    }
+}

@@ -186,8 +186,11 @@ pub struct Dct2dWork<T> {
     real2: Vec<T>,
     /// One-sided spectrum scratch, `n1 * (n2/2 + 1)`.
     spec: Vec<Complex<T>>,
-    /// Column scratch, `n1`.
-    col: Vec<Complex<T>>,
+    /// Transposed spectrum scratch, `(n2/2 + 1) * n1`, filled by the tiled
+    /// transpose so the column FFTs run over contiguous memory.
+    spec_t: Vec<Complex<T>>,
+    /// Per-row complex scratch, `n2/2`, for the real-FFT packing step.
+    row_scratch: Vec<Complex<T>>,
 }
 
 impl<T: Float> Dct2dWork<T> {
@@ -199,7 +202,40 @@ impl<T: Float> Dct2dWork<T> {
     /// Bytes of scratch currently held (for workspace counters).
     pub fn bytes(&self) -> usize {
         (self.real.capacity() + self.real2.capacity()) * std::mem::size_of::<T>()
-            + (self.spec.capacity() + self.col.capacity()) * std::mem::size_of::<Complex<T>>()
+            + (self.spec.capacity() + self.spec_t.capacity() + self.row_scratch.capacity())
+                * std::mem::size_of::<Complex<T>>()
+    }
+}
+
+/// Edge length of the square tiles used by [`transpose_tiled`].
+///
+/// 16 complex-f64 elements per tile row is 256 bytes — four cache lines —
+/// so a 16×16 tile touches 64 lines on each side, well within L1, while a
+/// whole-matrix column walk at placement-grid sizes would miss on every
+/// element.
+pub(crate) const TRANSPOSE_TILE: usize = 16;
+
+/// Cache-blocked out-of-place transpose: `dst[c * rows + r] = src[r * cols + c]`.
+///
+/// `src` is `rows x cols` row-major; `dst` becomes `cols x rows` row-major.
+/// Pure memory movement — callers rely on this being bitwise exact.
+///
+/// # Panics
+///
+/// Panics if either slice is shorter than `rows * cols`.
+pub(crate) fn transpose_tiled<U: Copy>(src: &[U], rows: usize, cols: usize, dst: &mut [U]) {
+    assert!(src.len() >= rows * cols, "transpose source too short");
+    assert!(dst.len() >= rows * cols, "transpose destination too short");
+    for r0 in (0..rows).step_by(TRANSPOSE_TILE) {
+        let r1 = (r0 + TRANSPOSE_TILE).min(rows);
+        for c0 in (0..cols).step_by(TRANSPOSE_TILE) {
+            let c1 = (c0 + TRANSPOSE_TILE).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
     }
 }
 
@@ -227,17 +263,17 @@ impl<T: Float> Dct2dWork<T> {
 /// # }
 /// ```
 pub struct Dct2dPlan<T> {
-    n1: usize,
-    n2: usize,
-    row_rfft: RfftPlan<T>,
-    col_fft: FftPlan<T>,
+    pub(crate) n1: usize,
+    pub(crate) n2: usize,
+    pub(crate) row_rfft: RfftPlan<T>,
+    pub(crate) col_fft: FftPlan<T>,
     /// `e^{-i pi k / (2 n1)}` for `k = 0..n1`.
-    w1: Vec<Complex<T>>,
+    pub(crate) w1: Vec<Complex<T>>,
     /// `e^{-i pi k / (2 n2)}` for `k = 0..n2`.
-    w2: Vec<Complex<T>>,
+    pub(crate) w2: Vec<Complex<T>>,
     /// Precomputed even/odd reorder maps (Algorithm 3) for both axes.
-    r1: Vec<usize>,
-    r2: Vec<usize>,
+    pub(crate) r1: Vec<usize>,
+    pub(crate) r2: Vec<usize>,
 }
 
 impl<T: Float> Dct2dPlan<T> {
@@ -281,22 +317,26 @@ impl<T: Float> Dct2dPlan<T> {
         let n2h = n2 / 2 + 1;
         work.spec.clear();
         work.spec.resize(n1 * n2h, Complex::zero());
+        work.row_scratch.clear();
+        work.row_scratch.resize(n2 / 2, Complex::zero());
         for r in 0..n1 {
-            let row = self.row_rfft.forward(&work.real[r * n2..(r + 1) * n2]);
-            work.spec[r * n2h..(r + 1) * n2h].copy_from_slice(&row);
+            self.row_rfft.forward_into(
+                &work.real[r * n2..(r + 1) * n2],
+                &mut work.spec[r * n2h..(r + 1) * n2h],
+                &mut work.row_scratch,
+            );
         }
-        work.col.clear();
-        work.col.resize(n1, Complex::zero());
-        let (spec, col) = (&mut work.spec, &mut work.col);
+        // Column FFTs over contiguous memory: tiled transpose in, transform
+        // each length-n1 row of the transpose, tiled transpose back. The
+        // transposes are pure memory movement, so this is bitwise identical
+        // to the per-column strided gather it replaces.
+        work.spec_t.clear();
+        work.spec_t.resize(n1 * n2h, Complex::zero());
+        transpose_tiled(&work.spec, n1, n2h, &mut work.spec_t);
         for c in 0..n2h {
-            for r in 0..n1 {
-                col[r] = spec[r * n2h + c];
-            }
-            self.col_fft.forward(col);
-            for r in 0..n1 {
-                spec[r * n2h + c] = col[r];
-            }
+            self.col_fft.forward(&mut work.spec_t[c * n1..(c + 1) * n1]);
         }
+        transpose_tiled(&work.spec_t, n2h, n1, &mut work.spec);
     }
 
     /// Inverse of [`Dct2dPlan::rfft2_into`] with full `1/(n1 n2)`
@@ -305,30 +345,30 @@ impl<T: Float> Dct2dPlan<T> {
     fn irfft2_into(&self, work: &mut Dct2dWork<T>) {
         let (n1, n2) = (self.n1, self.n2);
         let n2h = n2 / 2 + 1;
-        work.col.clear();
-        work.col.resize(n1, Complex::zero());
-        let (spec, col) = (&mut work.spec, &mut work.col);
+        work.spec_t.clear();
+        work.spec_t.resize(n1 * n2h, Complex::zero());
+        transpose_tiled(&work.spec, n1, n2h, &mut work.spec_t);
         for c in 0..n2h {
-            for r in 0..n1 {
-                col[r] = spec[r * n2h + c];
-            }
-            self.col_fft.inverse(col);
-            for r in 0..n1 {
-                spec[r * n2h + c] = col[r];
-            }
+            self.col_fft.inverse(&mut work.spec_t[c * n1..(c + 1) * n1]);
         }
+        transpose_tiled(&work.spec_t, n2h, n1, &mut work.spec);
         work.real.clear();
         work.real.resize(n1 * n2, T::ZERO);
+        work.row_scratch.clear();
+        work.row_scratch.resize(n2 / 2, Complex::zero());
         for r in 0..n1 {
-            let row = self.row_rfft.inverse(&work.spec[r * n2h..(r + 1) * n2h]);
-            work.real[r * n2..(r + 1) * n2].copy_from_slice(&row);
+            self.row_rfft.inverse_into(
+                &work.spec[r * n2h..(r + 1) * n2h],
+                &mut work.real[r * n2..(r + 1) * n2],
+                &mut work.row_scratch,
+            );
         }
     }
 
     /// Reads the full (wrapped) 2-D spectrum from one-sided storage using
     /// Hermitian symmetry `V(k1, k2) = conj(V((n1-k1)%n1, n2-k2))`.
     #[inline]
-    fn spec_at(&self, spec: &[Complex<T>], k1: usize, k2: usize) -> Complex<T> {
+    pub(crate) fn spec_at(&self, spec: &[Complex<T>], k1: usize, k2: usize) -> Complex<T> {
         let n2h = self.n2 / 2 + 1;
         if k2 < n2h {
             spec[k1 * n2h + k2]
@@ -635,6 +675,51 @@ mod tests {
         let b = rc.idxst_idct(&x);
         for (p, q) in a.iter().zip(&b) {
             assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_tiled_round_trips_odd_shapes() {
+        // Shapes straddling the tile edge, including the n2h = n2/2 + 1
+        // odd column counts the spectrum buffers actually use.
+        for (rows, cols) in [(1, 1), (1, 9), (9, 1), (16, 16), (17, 5), (32, 17)] {
+            let src: Vec<u32> = (0..rows * cols).map(|i| i as u32).collect();
+            let mut t = vec![0u32; rows * cols];
+            let mut back = vec![0u32; rows * cols];
+            transpose_tiled(&src, rows, cols, &mut t);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(t[c * rows + r], src[r * cols + c]);
+                }
+            }
+            transpose_tiled(&t, cols, rows, &mut back);
+            assert_eq!(back, src);
+        }
+    }
+
+    #[test]
+    fn work_reuse_across_overlapping_shapes_is_bitwise_clean() {
+        // One Dct2dWork serving plans of different (overlapping) shapes must
+        // produce outputs bitwise identical to a fresh work per call: stale
+        // lanes from a previous, larger shape must never leak into a later
+        // transform's sweep.
+        let shapes = [(32usize, 8usize), (8, 32), (4, 4), (16, 16)];
+        let mut shared = Dct2dWork::new();
+        for &(n1, n2) in &shapes {
+            let plan = Dct2dPlan::<f64>::new(n1, n2).expect("pow2");
+            let x = matrix(n1, n2);
+            let mut out_shared = Vec::new();
+            let mut out_fresh = Vec::new();
+            plan.dct2_with(&x, &mut shared, &mut out_shared);
+            plan.dct2_with(&x, &mut Dct2dWork::new(), &mut out_fresh);
+            for (a, b) in out_shared.iter().zip(&out_fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dct2 shape ({n1},{n2})");
+            }
+            plan.idxst_idct_with(&x, &mut shared, &mut out_shared);
+            plan.idxst_idct_with(&x, &mut Dct2dWork::new(), &mut out_fresh);
+            for (a, b) in out_shared.iter().zip(&out_fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "idxst_idct shape ({n1},{n2})");
+            }
         }
     }
 

@@ -75,6 +75,18 @@ impl<T: Float> RfftPlan<T> {
         self.n == 0
     }
 
+    /// The half-length complex plan backing this real transform (shared
+    /// with the batched 2-D kernels so one twiddle table serves every row
+    /// of a sweep).
+    pub(crate) fn half_plan(&self) -> &FftPlan<T> {
+        &self.half
+    }
+
+    /// The untangling phases `e^{-2 pi i k / n}` for `k = 0..=n/2`.
+    pub(crate) fn untangle_phases(&self) -> &[Complex<T>] {
+        &self.phases
+    }
+
     /// Forward one-sided real DFT (unnormalized): returns `n/2 + 1` bins
     /// `X[k] = sum_n x[n] e^{-2 pi i n k / N}` for `k = 0..=n/2`.
     ///
@@ -82,25 +94,40 @@ impl<T: Float> RfftPlan<T> {
     ///
     /// Panics if `x.len()` differs from the plan length.
     pub fn forward(&self, x: &[T]) -> Vec<Complex<T>> {
+        let m = self.n / 2;
+        let mut scratch = vec![Complex::zero(); m];
+        let mut out = vec![Complex::zero(); m + 1];
+        self.forward_into(x, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free [`RfftPlan::forward`]: packs pairs into `scratch`
+    /// (length `n/2`), runs the half-length FFT there, and untangles into
+    /// `out` (length `n/2 + 1`). Bitwise identical to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any length mismatch.
+    pub fn forward_into(&self, x: &[T], out: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
         assert_eq!(x.len(), self.n, "buffer length must match plan length");
         let m = self.n / 2;
+        assert_eq!(out.len(), m + 1, "spectrum length must be n/2 + 1");
+        assert_eq!(scratch.len(), m, "scratch length must be n/2");
         // Pack adjacent pairs into complex numbers: z[k] = x[2k] + i x[2k+1].
-        let mut z: Vec<Complex<T>> = (0..m)
-            .map(|k| Complex::new(x[2 * k], x[2 * k + 1]))
-            .collect();
-        self.half.forward(&mut z);
+        for (k, z) in scratch.iter_mut().enumerate() {
+            *z = Complex::new(x[2 * k], x[2 * k + 1]);
+        }
+        self.half.forward(scratch);
         // Untangle: with E/O the DFTs of even/odd subsequences,
         //   Z[k] = E[k] + i O[k],  conj(Z[m-k]) = E[k] - i O[k]
         // and X[k] = E[k] + e^{-2 pi i k / N} O[k].
-        let mut out = Vec::with_capacity(m + 1);
-        for k in 0..=m {
-            let zk = if k == m { z[0] } else { z[k] };
-            let zmk = z[(m - k) % m];
+        for (k, o_slot) in out.iter_mut().enumerate() {
+            let zk = if k == m { scratch[0] } else { scratch[k] };
+            let zmk = scratch[(m - k) % m];
             let e = (zk + zmk.conj()).scale(T::HALF);
             let o = (zk - zmk.conj()).scale(T::HALF).mul_i().scale(-T::ONE); // -i*(..)/1 => O[k]
-            out.push(e + self.phases[k] * o);
+            *o_slot = e + self.phases[k] * o;
         }
-        out
     }
 
     /// Inverse one-sided real DFT with `1/n` normalization: consumes the
@@ -111,31 +138,45 @@ impl<T: Float> RfftPlan<T> {
     ///
     /// Panics if `spec.len() != n/2 + 1`.
     pub fn inverse(&self, spec: &[Complex<T>]) -> Vec<T> {
+        let m = self.n / 2;
+        let mut scratch = vec![Complex::zero(); m];
+        let mut out = vec![T::ZERO; self.n];
+        self.inverse_into(spec, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free [`RfftPlan::inverse`]: repacks into `scratch`
+    /// (length `n/2`), runs the half-length inverse FFT there, and
+    /// interleaves into `out` (length `n`). Bitwise identical to the
+    /// allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any length mismatch.
+    pub fn inverse_into(&self, spec: &[Complex<T>], out: &mut [T], scratch: &mut [Complex<T>]) {
         assert_eq!(
             spec.len(),
             self.n / 2 + 1,
             "spectrum length must be n/2 + 1"
         );
         let m = self.n / 2;
+        assert_eq!(out.len(), self.n, "buffer length must match plan length");
+        assert_eq!(scratch.len(), m, "scratch length must be n/2");
         // Repack: E[k] = (X[k] + conj(X[m-k]))/2,
         //         O[k] = (X[k] - conj(X[m-k]))/2 * e^{+2 pi i k / N},
         //         Z[k] = E[k] + i O[k].
-        let mut z: Vec<Complex<T>> = (0..m)
-            .map(|k| {
-                let xk = spec[k];
-                let xmk = spec[m - k].conj();
-                let e = (xk + xmk).scale(T::HALF);
-                let o = (xk - xmk).scale(T::HALF) * self.phases[k].conj();
-                e + o.mul_i()
-            })
-            .collect();
-        self.half.inverse(&mut z);
-        let mut out = Vec::with_capacity(self.n);
-        for zk in z {
-            out.push(zk.re);
-            out.push(zk.im);
+        for (k, z) in scratch.iter_mut().enumerate() {
+            let xk = spec[k];
+            let xmk = spec[m - k].conj();
+            let e = (xk + xmk).scale(T::HALF);
+            let o = (xk - xmk).scale(T::HALF) * self.phases[k].conj();
+            *z = e + o.mul_i();
         }
-        out
+        self.half.inverse(scratch);
+        for (k, z) in scratch.iter().enumerate() {
+            out[2 * k] = z.re;
+            out[2 * k + 1] = z.im;
+        }
     }
 }
 

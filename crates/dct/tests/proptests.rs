@@ -2,7 +2,7 @@
 
 use dp_dct::dct2d::{Dct1dTier, RowColumnDct2d};
 use dp_dct::naive::{naive_dct, naive_idct, naive_idxst};
-use dp_dct::{Dct2dPlan, FftPlan, RfftPlan};
+use dp_dct::{BatchStrategy, Dct2dPlan, DctBatch, FftPlan, RfftPlan};
 use dp_num::Complex;
 use proptest::prelude::*;
 
@@ -12,6 +12,15 @@ fn signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
 
 fn pow2(max_log: u32) -> impl Strategy<Value = usize> {
     (2u32..=max_log).prop_map(|k| 1usize << k)
+}
+
+/// The batched-transform size ladder of the spec: degenerate edges
+/// {1, 2, 3, 4}, one small power of two, and 32 — the bin-grid edge
+/// `auto_bins` picks for the 420-cell golden design.
+const BATCH_SIZES: [usize; 6] = [1, 2, 3, 4, 8, 32];
+
+fn batch_dim() -> impl Strategy<Value = usize> {
+    (0usize..BATCH_SIZES.len()).prop_map(|i| BATCH_SIZES[i])
 }
 
 proptest! {
@@ -118,4 +127,94 @@ proptest! {
             prop_assert!((a - b).abs() < 1e-9);
         }
     }
+
+    /// The batched transform is linear for every shape in the size ladder:
+    /// dct2(a*x + y) = a*dct2(x) + dct2(y).
+    #[test]
+    fn batched_dct2_linearity(
+        n1 in batch_dim(),
+        n2 in batch_dim(),
+        a in -5.0f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let len = n1 * n2;
+        let x = pseudo(seed, len);
+        let y = pseudo(seed ^ 0x5bd1e995, len);
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
+        let plan = DctBatch::new(n1, n2).expect("non-empty");
+        let fx = plan.dct2(&x);
+        let fy = plan.dct2(&y);
+        let fc = plan.dct2(&combo);
+        for k in 0..len {
+            let want = a * fx[k] + fy[k];
+            prop_assert!((fc[k] - want).abs() < 1e-7 * want.abs().max(1.0));
+        }
+    }
+
+    /// idct2(dct2(x)) == x through the batched path on every shape in the
+    /// size ladder, fast path and fallback alike.
+    #[test]
+    fn batched_round_trip(n1 in batch_dim(), n2 in batch_dim(), seed in any::<u64>()) {
+        let x = pseudo(seed, n1 * n2);
+        let plan = DctBatch::new(n1, n2).expect("non-empty");
+        let back = plan.idct2(&plan.dct2(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    /// Parseval-style energy bound: under the library's `2/N`-per-axis
+    /// normalization the 2-D coefficient energy (with the 1-D identity's
+    /// DC weights applied per axis) equals the sample energy.
+    #[test]
+    fn batched_energy_identity(n1 in batch_dim(), n2 in batch_dim(), seed in any::<u64>()) {
+        let x = pseudo(seed, n1 * n2);
+        let plan = DctBatch::new(n1, n2).expect("non-empty");
+        let c = plan.dct2(&x);
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        let (m1, m2) = (n1 as f64, n2 as f64);
+        let mut freq = 0.0;
+        for k1 in 0..n1 {
+            let w1 = if k1 == 0 { m1 / 4.0 } else { m1 / 2.0 };
+            for k2 in 0..n2 {
+                let w2 = if k2 == 0 { m2 / 4.0 } else { m2 / 2.0 };
+                let v = c[k1 * n2 + k2];
+                freq += w1 * w2 * v * v;
+            }
+        }
+        prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0));
+    }
+
+    /// Batched vs unbatched bitwise agreement on fast-path shapes, and
+    /// Scalar vs Blocked bitwise agreement everywhere, under seeded random
+    /// inputs across the size ladder.
+    #[test]
+    fn batched_bitwise_agreement(n1 in batch_dim(), n2 in batch_dim(), seed in any::<u64>()) {
+        let x = pseudo(seed, n1 * n2);
+        let scalar = DctBatch::with_strategy(n1, n2, BatchStrategy::Scalar).expect("non-empty");
+        let blocked = DctBatch::with_strategy(n1, n2, BatchStrategy::Blocked).expect("non-empty");
+        let a = scalar.idxst_idct(&x);
+        let b = blocked.idxst_idct(&x);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+        if let Ok(direct) = Dct2dPlan::new(n1, n2) {
+            prop_assert!(scalar.is_fast());
+            let want = direct.idxst_idct(&x);
+            for (p, w) in a.iter().zip(&want) {
+                prop_assert_eq!(p.to_bits(), w.to_bits());
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random fill so shrinking stays meaningful for the
+/// shape parameters.
+fn pseudo(seed: u64, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let v = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            ((v % 2000) as f64) / 10.0 - 100.0
+        })
+        .collect()
 }

@@ -416,18 +416,22 @@ impl<T: Float> WaWirelength<T> {
             }
         });
 
-        // a+/a- kernel: per-pin stabilized exponentials.
+        // a+/a- kernel: per-pin stabilized exponentials. The kernel is
+        // purely elementwise (no cross-pin reduction), so the 4-wide unroll
+        // below changes neither results nor rounding — each pin's value is
+        // computed by the exact same expression in the same order — it only
+        // hands the autovectorizer four independent chains per block.
         {
             let a_plus = DisjointSlice::new(&mut cache.a_plus);
             let a_minus = DisjointSlice::new(&mut cache.a_minus);
             pool.run(pins, pin_chunk, |range| {
-                for p in range {
+                let pin_exp = |p: usize| {
                     let net = nl.pin_net(dp_netlist::PinId::new(p));
                     let e = net.index();
                     // Pins of degenerate nets get `a = 0` so the backward
                     // pass yields exact-zero gradients for them.
                     if nl.net_degree(net) < 2 {
-                        continue;
+                        return;
                     }
                     let v = coords[p];
                     // SAFETY: pin index `p` is unique to this chunk.
@@ -435,6 +439,17 @@ impl<T: Float> WaWirelength<T> {
                         a_plus.write(p, ((v - hi[e].load()) / gamma).exp());
                         a_minus.write(p, (-(v - lo[e].load()) / gamma).exp());
                     }
+                };
+                let mut p = range.start;
+                while p + 4 <= range.end {
+                    pin_exp(p);
+                    pin_exp(p + 1);
+                    pin_exp(p + 2);
+                    pin_exp(p + 3);
+                    p += 4;
+                }
+                for q in p..range.end {
+                    pin_exp(q);
                 }
             });
         }

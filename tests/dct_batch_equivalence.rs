@@ -1,0 +1,133 @@
+//! Tier-1 regression: the batched DCT path is a pure re-execution of the
+//! Direct2d arithmetic, so forcing it on must not move the flow at all.
+//!
+//! Three locks, matching the transform-layer contract:
+//!
+//! 1. a batched-off run still matches the committed golden record
+//!    (`results/golden/golden-flat.json`) — the rework of the unbatched
+//!    plan (tiled transposes, allocation-free row FFTs) changed memory
+//!    movement only, never arithmetic;
+//! 2. a batched-on run is bit-identical to the batched-off run: final
+//!    HPWLs, placements, and every per-iteration convergence point in the
+//!    JSONL trace (compared through the independent `dp-check` reader's
+//!    schema, timestamps stripped);
+//! 3. both traces pass the `dp-check` trace validator, and the batched
+//!    run's report carries the new transform phase kernels.
+
+use std::path::PathBuf;
+
+use dp_density::DctBackendKind;
+use dreamplace::gen::{GeneratedDesign, GeneratorConfig};
+use dreamplace::telemetry::Telemetry;
+use dreamplace::{DreamPlacer, FlowConfig, FlowResult, ToolMode};
+use dp_check::{GoldenRecord, GoldenTolerance};
+use dp_gp::InitKind;
+
+const THREADS: usize = 2;
+
+fn build() -> GeneratedDesign<f64> {
+    // Exactly the golden-flat scenario of tests/differential.rs.
+    GeneratorConfig::new("golden-flat", 420, 460)
+        .with_seed(71)
+        .with_utilization(0.6)
+        .generate::<f64>()
+        .expect("valid generator config")
+}
+
+fn run(d: &GeneratedDesign<f64>, backend: DctBackendKind, telemetry: Telemetry) -> FlowResult<f64> {
+    let mut cfg = FlowConfig::for_mode(ToolMode::DreamplaceCpu { threads: THREADS }, &d.netlist);
+    cfg.gp.max_iters = 300;
+    cfg.gp.target_overflow = 0.12;
+    cfg.gp.threads = THREADS;
+    cfg.gp.deterministic = Some(true);
+    cfg.gp.dct_backend = backend;
+    cfg.run_dp = true;
+    if let InitKind::WirelengthOnly { iters } = cfg.gp.init {
+        cfg.gp.init = InitKind::WirelengthOnly {
+            iters: iters.min(40),
+        };
+    }
+    cfg.telemetry = telemetry;
+    DreamPlacer::new(cfg).place(d).expect("flow completes")
+}
+
+fn trace_of(tel: &Telemetry) -> String {
+    let mut buf = Vec::new();
+    tel.write_jsonl(&mut buf).expect("serialize trace");
+    String::from_utf8(buf).expect("trace is utf-8")
+}
+
+/// The convergence points of a trace: for each `iter` event, the exact
+/// decimal payload from the iteration counter up to (excluding) the
+/// timestamp. The JSONL writer emits f64s as round-trip-exact `{:.17e}`,
+/// so substring equality here is bit equality of hpwl/overflow/lambda/
+/// gamma, while span ids and timestamps (which legitimately differ between
+/// runs) are excluded.
+fn convergence_points(trace: &str) -> Vec<String> {
+    trace
+        .lines()
+        .filter(|l| l.contains("\"ev\":\"iter\""))
+        .map(|l| {
+            let start = l.find("\"k\":").expect("iter event has a k field");
+            let end = l.find(",\"t\":").expect("iter event has a timestamp");
+            l[start..end].to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn batched_on_and_off_are_bit_identical_through_the_full_flow() {
+    let d = build();
+
+    let tel_off = Telemetry::enabled();
+    let off = run(&d, DctBackendKind::Direct2d, tel_off.clone());
+    let tel_on = Telemetry::enabled();
+    let on = run(&d, DctBackendKind::Batched, tel_on.clone());
+
+    // Lock 1: batched-off still matches the committed golden record.
+    let actual = GoldenRecord::from_flow("golden-flat", 71, THREADS, &off);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results/golden/golden-flat.json");
+    let expected = GoldenRecord::load(&path).expect("committed golden record");
+    if let Err(errs) = expected.compare(&actual, &GoldenTolerance::default()) {
+        panic!("batched-off run drifted from the golden: {}", errs.join("; "));
+    }
+
+    // Lock 2: batched-on is bit-identical to batched-off.
+    assert_eq!(off.hpwl_gp.to_bits(), on.hpwl_gp.to_bits());
+    assert_eq!(off.hpwl_legal.to_bits(), on.hpwl_legal.to_bits());
+    assert_eq!(off.hpwl_final.to_bits(), on.hpwl_final.to_bits());
+    assert_eq!(off.gp.iterations, on.gp.iterations);
+    assert_eq!(off.placement.x, on.placement.x);
+    assert_eq!(off.placement.y, on.placement.y);
+
+    // Lock 3: both traces satisfy the independent validator...
+    let trace_off = trace_of(&tel_off);
+    let trace_on = trace_of(&tel_on);
+    let sum_off = dreamplace::check::validate_str(&trace_off).expect("batched-off trace valid");
+    let sum_on = dreamplace::check::validate_str(&trace_on).expect("batched-on trace valid");
+    assert_eq!(sum_off.iters, off.gp.iterations);
+    assert_eq!(sum_on.iters, on.gp.iterations);
+
+    // ...and their per-iteration convergence points agree exactly.
+    let points_off = convergence_points(&trace_off);
+    let points_on = convergence_points(&trace_on);
+    assert_eq!(
+        points_off.len(),
+        points_on.len(),
+        "iteration counts diverged"
+    );
+    assert!(!points_off.is_empty(), "trace carries no iter events");
+    for (k, (a, b)) in points_off.iter().zip(&points_on).enumerate() {
+        assert_eq!(a, b, "convergence point {k} diverged");
+    }
+
+    // The batched run (and only it) reports the transform phase split.
+    assert!(
+        trace_on.contains("density.dct.butterfly"),
+        "batched trace must carry the phase kernels"
+    );
+    assert!(
+        !trace_off.contains("density.dct.butterfly"),
+        "unbatched trace must not carry phase kernels"
+    );
+}
