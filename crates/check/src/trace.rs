@@ -74,6 +74,10 @@ pub struct TraceSummary {
     /// Checkpoint-resume points among them (name == "resume"); a trace
     /// from a `--resume` run carries one per process restart.
     pub resumes: usize,
+    /// Scheduler retry points among them (name == "retry"); a trace from
+    /// a job that panicked or timed out and was retried from its last
+    /// checkpoint carries one per attempt after the first.
+    pub retries: usize,
     /// Kernel counter summaries.
     pub kernels: usize,
     /// Per-worker pool summaries.
@@ -434,6 +438,9 @@ pub fn validate_str(text: &str) -> Result<TraceSummary, TraceError> {
                 }
                 if name == "resume" {
                     summary.resumes += 1;
+                }
+                if name == "retry" {
+                    summary.retries += 1;
                 }
                 summary.points += 1;
             }

@@ -64,7 +64,10 @@ pub use machine::{
     FlowFaultInjection, FlowMachine, FlowState, GpAttemptState,
 };
 pub use modes::ToolMode;
-pub use scheduler::{JobId, JobStatus, QosClass, Scheduler};
+pub use scheduler::{
+    JobId, JobOptions, JobOutcome, JobStatus, QosClass, RetryPolicy, Scheduler, SchedulerHealth,
+    ServeFaultInjection,
+};
 pub use sanitize::{sanitize_design, SanitizeFinding, SanitizeIssue, SanitizeReport};
 pub use routability::{RoutabilityConfig, RoutabilityPlacer, RoutabilityResult};
 pub use timing_driven::{

@@ -651,6 +651,20 @@ impl<'d, T: Float> FlowMachine<'d, T> {
         matches!(self.stage, Stage::Done(_))
     }
 
+    /// Busy seconds this process has spent inside the machine
+    /// (construction/resume plus every completed step). Parked time under
+    /// a scheduler is not charged.
+    pub fn busy(&self) -> f64 {
+        self.busy
+    }
+
+    /// Total busy seconds of the run including prior processes of a
+    /// resumed checkpoint (the number deadlines and budgets compare
+    /// against).
+    pub fn consumed(&self) -> f64 {
+        self.consumed_total + self.busy
+    }
+
     /// Executes one state transition and returns the new pending state.
     ///
     /// Stepping a `Done` or `Failed` machine is a no-op returning the

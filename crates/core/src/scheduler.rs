@@ -43,14 +43,16 @@
 //!
 //! [`DreamPlacer::place`]: crate::flow::DreamPlacer::place
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dp_gen::GeneratedDesign;
 use dp_gp::ExecBinding;
-use dp_num::{Float, PoolHost, PoolTenant};
+use dp_num::{Float, PoolHealth, PoolHost, PoolTenant};
 use dp_telemetry::Telemetry;
 
-use crate::flow::{FlowConfig, FlowError, FlowResult, StageBudgets};
+use crate::flow::{conservative_preset, FlowConfig, FlowError, FlowResult, StageBudgets};
 use crate::machine::{CheckpointData, FlowMachine, FlowState};
 
 /// Scheduling class: how many machine steps a job gets per round.
@@ -92,6 +94,177 @@ impl QosClass {
     }
 }
 
+/// Retry policy for panicked or timed-out jobs (jobs that *fail* with a
+/// structured [`FlowError`] are never retried — the flow's own degradation
+/// ladder already exhausted its options before erroring).
+///
+/// Attempts count the initial run: `max_attempts == 1` means no retries.
+/// Retries resume from the job's most recent durable checkpoint when one
+/// was captured, restarting fresh otherwise, and wait out an exponential
+/// backoff (`backoff_seconds * 2^(attempt-2)`) before readmission. With
+/// `conservative_final`, the last attempt abandons the checkpoint and
+/// restarts fresh under the conservative GP preset — the same last-resort
+/// rung the flow itself uses for diverging runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Base backoff before the second attempt; doubles per retry.
+    pub backoff_seconds: f64,
+    /// Restart the final attempt fresh under the conservative GP preset.
+    pub conservative_final: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first panic or timeout is terminal.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff_seconds: 0.0,
+            conservative_final: false,
+        }
+    }
+
+    /// The service default: three attempts, short doubling backoff, and a
+    /// conservative-preset final attempt.
+    pub fn standard() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_seconds: 0.05,
+            conservative_final: true,
+        }
+    }
+
+    /// Backoff to wait before the given (1-based) attempt runs.
+    fn backoff_for(&self, attempt: u32) -> f64 {
+        if attempt <= 1 {
+            return 0.0;
+        }
+        self.backoff_seconds * f64::from(1u32 << (attempt - 2).min(16))
+    }
+}
+
+/// Deterministic fault injection for the service layer, in the style of
+/// `LgFaultInjection`/`DpFaultInjection`: each knob fires at most once,
+/// when the job's pending [`FlowState`] matches, so chaos tests can place
+/// a failure at an exact step (`gp:12`, `dp:1`, ...).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeFaultInjection {
+    /// Panic right before executing this state (contained by the
+    /// scheduler's `catch_unwind`, exactly like a kernel panic).
+    pub panic_at: Option<FlowState>,
+    /// Sleep `stall_seconds` before executing this state, simulating a
+    /// wedged step so deadline enforcement can be tested deterministically.
+    pub stall_at: Option<FlowState>,
+    /// Stall duration for `stall_at`.
+    pub stall_seconds: f64,
+    /// Suppress end-of-turn checkpoint capture, forcing a retry to restart
+    /// from scratch (simulates checkpoint-write failure).
+    pub fail_capture: bool,
+}
+
+impl ServeFaultInjection {
+    /// Inject a panic right before `state` executes.
+    pub fn panic_at(state: FlowState) -> Self {
+        Self {
+            panic_at: Some(state),
+            ..Self::default()
+        }
+    }
+
+    /// Inject a `seconds`-long stall right before `state` executes.
+    pub fn stall_at(state: FlowState, seconds: f64) -> Self {
+        Self {
+            stall_at: Some(state),
+            stall_seconds: seconds,
+            ..Self::default()
+        }
+    }
+}
+
+/// Submission options for [`Scheduler::submit_with`].
+#[derive(Debug, Clone, Default)]
+pub struct JobOptions {
+    /// Scheduling class; defaults from the config's stage budgets.
+    pub qos: Option<QosClass>,
+    /// Per-attempt busy-time deadline in seconds. `None` derives one from
+    /// the stage budgets / QoS class (see [`JobOptions::derive_deadline`]);
+    /// pass `Some(f64::INFINITY)` for no deadline at all.
+    pub deadline_seconds: Option<f64>,
+    /// Retry policy for panics and timeouts.
+    pub retry: RetryPolicy,
+    /// Chaos injection (testing only; default = no faults).
+    pub faults: ServeFaultInjection,
+}
+
+impl JobOptions {
+    /// The default deadline ladder: an explicit stage budget implies the
+    /// job expects to finish within roughly its budgets (doubled, plus
+    /// slack for LG and bookkeeping); otherwise the QoS class picks a
+    /// conventional bound, with Bulk jobs unbounded.
+    pub fn derive_deadline(budgets: &StageBudgets, qos: QosClass) -> Option<f64> {
+        match (budgets.gp_seconds, budgets.dp_seconds) {
+            (None, None) => match qos {
+                QosClass::Interactive => Some(60.0),
+                QosClass::Batch => Some(600.0),
+                QosClass::Bulk => None,
+            },
+            (gp, dp) => Some((gp.unwrap_or(0.0) + dp.unwrap_or(0.0)) * 2.0 + 30.0),
+        }
+    }
+}
+
+/// Terminal outcome of a job, surfaced by [`Scheduler::take_outcome`].
+#[derive(Debug)]
+pub enum JobOutcome<T: Float> {
+    /// The flow completed.
+    Completed(Box<FlowResult<T>>),
+    /// The flow returned a structured error (not retried).
+    Failed(FlowError<T>),
+    /// A panic escaped the flow on every allowed attempt; the scheduler
+    /// contained each one and neighbors kept running.
+    Panicked {
+        /// The (last) panic payload, stringified.
+        message: String,
+        /// Pending state of the step that panicked.
+        at: FlowState,
+        /// Attempts consumed (== the policy's `max_attempts`).
+        attempts: u32,
+    },
+    /// The job exceeded its per-attempt deadline on every allowed attempt.
+    TimedOut {
+        /// The deadline that was exceeded, in busy seconds.
+        deadline_seconds: f64,
+        /// Pending state when the deadline tripped.
+        at: FlowState,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// Aggregate fault counters of a scheduler plus its pool's health; the
+/// service layer reports these in its `status` response.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerHealth {
+    /// Point-in-time health of the shared worker pool.
+    pub pool: PoolHealth,
+    /// Job panics contained by the turn's `catch_unwind`.
+    pub panics_contained: u64,
+    /// Per-attempt deadline expirations.
+    pub timeouts: u64,
+    /// Retry attempts scheduled (panics + timeouts that had attempts
+    /// left).
+    pub retries: u64,
+    /// Dead pool workers replaced after contained panics.
+    pub workers_respawned: u64,
+}
+
 /// Identifier of a submitted job, unique within one scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
@@ -117,6 +290,21 @@ pub enum JobStatus {
     /// Evicted via [`Scheduler::evict`]; the checkpoint was handed to the
     /// caller and the job no longer occupies a queue slot.
     Evicted,
+    /// Cancelled via [`Scheduler::cancel`]; no outcome will be produced.
+    Cancelled,
+    /// Waiting out retry backoff after a contained panic or a deadline
+    /// expiry; `attempt` is the 1-based attempt about to run.
+    Retrying {
+        /// The attempt number about to run.
+        attempt: u32,
+    },
+}
+
+/// Why a retry was scheduled (internal bookkeeping between the failing
+/// turn and the terminal outcome once attempts run out).
+enum FailKind {
+    Panicked { message: String },
+    TimedOut { deadline_seconds: f64 },
 }
 
 struct Job<T: Float> {
@@ -124,25 +312,66 @@ struct Job<T: Float> {
     name: String,
     qos: QosClass,
     tenant: Arc<PoolTenant>,
-    /// `None` once the machine has been consumed (done/failed/evicted).
+    /// The bound config (telemetry attached, threads pinned, exec shared),
+    /// kept so retries can rebuild the machine.
+    config: FlowConfig<T>,
+    design: Arc<GeneratedDesign<T>>,
+    /// `None` once the machine has been consumed (done/failed/evicted) or
+    /// while the job waits out retry backoff.
     machine: Option<FlowMachine<'static, T>>,
-    outcome: Option<Result<Box<FlowResult<T>>, FlowError<T>>>,
+    outcome: Option<JobOutcome<T>>,
     evicted: bool,
+    cancelled: bool,
+    /// Per-attempt busy-seconds deadline (scheduler-side accounting).
+    deadline: Option<f64>,
+    retry: RetryPolicy,
+    faults: ServeFaultInjection,
+    /// 1-based attempt counter.
+    attempt: u32,
+    /// Busy seconds of the current attempt (sum of this job's turn
+    /// durations — parked time is never charged).
+    elapsed: f64,
+    /// Most recent durable checkpoint, refreshed at end of turn while a
+    /// retry policy is active; what a retry resumes from.
+    checkpoint: Option<CheckpointData<T>>,
+    /// Set while waiting out retry backoff: earliest readmission time.
+    retry_at: Option<Instant>,
 }
 
 impl<T: Float> Job<T> {
     fn status(&self) -> JobStatus {
         if self.evicted {
             JobStatus::Evicted
+        } else if self.cancelled {
+            JobStatus::Cancelled
         } else if let Some(m) = &self.machine {
             JobStatus::Running { state: m.state() }
+        } else if self.retry_at.is_some() {
+            JobStatus::Retrying {
+                attempt: self.attempt,
+            }
         } else {
             match &self.outcome {
-                Some(Ok(_)) | None => JobStatus::Done,
-                Some(Err(_)) => JobStatus::Failed,
+                Some(JobOutcome::Completed(_)) | None => JobStatus::Done,
+                Some(_) => JobStatus::Failed,
             }
         }
     }
+
+    /// True while the job still occupies a run-queue slot (live machine or
+    /// a pending retry).
+    fn live(&self) -> bool {
+        self.machine.is_some() || self.retry_at.is_some()
+    }
+}
+
+/// Cumulative fault counters (see [`SchedulerHealth`]).
+#[derive(Debug, Default, Clone, Copy)]
+struct FaultCounters {
+    panics_contained: u64,
+    timeouts: u64,
+    retries: u64,
+    workers_respawned: u64,
 }
 
 /// The round-robin shared-pool scheduler; see the [module docs](self).
@@ -152,6 +381,7 @@ pub struct Scheduler<T: Float> {
     next_id: u64,
     /// Round-robin cursor into `jobs` (index of the next turn).
     cursor: usize,
+    counters: FaultCounters,
 }
 
 impl<T: Float> Scheduler<T> {
@@ -162,6 +392,7 @@ impl<T: Float> Scheduler<T> {
             jobs: Vec::new(),
             next_id: 0,
             cursor: 0,
+            counters: FaultCounters::default(),
         }
     }
 
@@ -188,7 +419,8 @@ impl<T: Float> Scheduler<T> {
 
     /// Submits a fresh job. `telemetry` is the job's own sink (pass
     /// [`Telemetry::disabled`] to opt out); `qos` defaults from the
-    /// config's stage budgets when `None`.
+    /// config's stage budgets when `None`. No deadline, no retries, no
+    /// fault injection — use [`Scheduler::submit_with`] for those.
     pub fn submit(
         &mut self,
         config: FlowConfig<T>,
@@ -196,23 +428,62 @@ impl<T: Float> Scheduler<T> {
         telemetry: Telemetry,
         qos: Option<QosClass>,
     ) -> JobId {
+        self.submit_with(
+            config,
+            design,
+            telemetry,
+            JobOptions {
+                qos,
+                // Plain submissions keep the pre-service contract: jobs run
+                // to completion or structured failure, never to a deadline.
+                deadline_seconds: Some(f64::INFINITY),
+                ..JobOptions::default()
+            },
+        )
+    }
+
+    /// Submits a fresh job with explicit service options (deadline, retry
+    /// policy, fault injection).
+    pub fn submit_with(
+        &mut self,
+        config: FlowConfig<T>,
+        design: Arc<GeneratedDesign<T>>,
+        telemetry: Telemetry,
+        opts: JobOptions,
+    ) -> JobId {
         let id = JobId(self.next_id);
         self.next_id += 1;
-        let qos = qos.unwrap_or_else(|| QosClass::from_budgets(&config.budgets));
+        let qos = opts
+            .qos
+            .unwrap_or_else(|| QosClass::from_budgets(&config.budgets));
+        let deadline = opts
+            .deadline_seconds
+            .or_else(|| JobOptions::derive_deadline(&config.budgets, qos))
+            .filter(|d| d.is_finite());
         let tenant = self.host.tenant();
         let config = self.bind(config, telemetry, &tenant);
         let name = design.name.clone();
         // Machine construction does no kernel work (the engine is built
         // lazily inside the GP entry step), so no lease is needed here.
-        let machine = FlowMachine::new_owned(config, design);
+        let machine = FlowMachine::new_owned(config.clone(), Arc::clone(&design));
         self.jobs.push(Job {
             id,
             name,
             qos,
             tenant,
+            config,
+            design,
             machine: Some(machine),
             outcome: None,
             evicted: false,
+            cancelled: false,
+            deadline,
+            retry: opts.retry,
+            faults: opts.faults,
+            attempt: 1,
+            elapsed: 0.0,
+            checkpoint: None,
+            retry_at: None,
         });
         id
     }
@@ -242,23 +513,45 @@ impl<T: Float> Scheduler<T> {
         // job's lease must be held.
         let machine = {
             let _lease = tenant.lease();
-            FlowMachine::resume_owned(config, design, data)?
+            FlowMachine::resume_owned(config.clone(), Arc::clone(&design), data)?
         };
         self.jobs.push(Job {
             id,
             name,
             qos,
             tenant,
+            config,
+            design,
             machine: Some(machine),
             outcome: None,
             evicted: false,
+            cancelled: false,
+            deadline: None,
+            retry: RetryPolicy::none(),
+            faults: ServeFaultInjection::default(),
+            attempt: 1,
+            elapsed: 0.0,
+            checkpoint: None,
+            retry_at: None,
         });
         Ok(id)
     }
 
-    /// Number of jobs still in the run queue.
+    /// Number of jobs still in the run queue (live machines plus jobs
+    /// waiting out retry backoff).
     pub fn running(&self) -> usize {
-        self.jobs.iter().filter(|j| j.machine.is_some()).count()
+        self.jobs.iter().filter(|j| j.live()).count()
+    }
+
+    /// Aggregate fault counters plus the shared pool's health.
+    pub fn health(&self) -> SchedulerHealth {
+        SchedulerHealth {
+            pool: self.host.pool().health(),
+            panics_contained: self.counters.panics_contained,
+            timeouts: self.counters.timeouts,
+            retries: self.counters.retries,
+            workers_respawned: self.counters.workers_respawned,
+        }
     }
 
     /// The job's lifecycle status, `None` for an unknown id.
@@ -289,7 +582,7 @@ impl<T: Float> Scheduler<T> {
         }
         for probe in 0..n {
             let idx = (self.cursor + probe) % n;
-            if self.jobs[idx].machine.is_some() {
+            if self.jobs[idx].live() {
                 self.cursor = (idx + 1) % n;
                 let id = self.jobs[idx].id;
                 self.run_turn(idx);
@@ -302,51 +595,270 @@ impl<T: Float> Scheduler<T> {
     /// Steps every running job one turn (one full round-robin sweep).
     /// Returns the number of jobs still running afterwards.
     pub fn step_round(&mut self) -> usize {
-        let ids: Vec<usize> = (0..self.jobs.len())
-            .filter(|&i| self.jobs[i].machine.is_some())
-            .collect();
-        for idx in ids {
-            self.run_turn(idx);
-        }
+        self.sweep_round();
         self.running()
     }
 
-    /// Runs rounds until every job has completed or failed.
+    /// One sweep over all live jobs; true when at least one made progress
+    /// (a job waiting out retry backoff makes none).
+    fn sweep_round(&mut self) -> bool {
+        let ids: Vec<usize> = (0..self.jobs.len())
+            .filter(|&i| self.jobs[i].live())
+            .collect();
+        let mut progressed = false;
+        for idx in ids {
+            progressed |= self.run_turn(idx);
+        }
+        progressed
+    }
+
+    /// Runs rounds until every job has completed or failed. Rounds where
+    /// every live job is waiting out retry backoff park briefly instead of
+    /// spinning.
     pub fn run_all(&mut self) {
-        while self.step_round() > 0 {}
+        while self.running() > 0 {
+            if !self.sweep_round() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
     }
 
     /// One job's turn: lease the pool, step up to the quantum, release.
-    fn run_turn(&mut self, idx: usize) {
+    /// Returns true when the job made progress (stepped, finished, failed,
+    /// or scheduled a retry); false when it only waited on backoff.
+    fn run_turn(&mut self, idx: usize) -> bool {
+        if let Some(at) = self.jobs[idx].retry_at {
+            if Instant::now() < at {
+                return false;
+            }
+            if !self.readmit(idx) {
+                // Readmission itself failed; the terminal outcome is
+                // recorded — that still counts as progress.
+                return true;
+            }
+        }
         let job = &mut self.jobs[idx];
-        let Some(machine) = &mut job.machine else {
-            return;
+        let Some(mut machine) = job.machine.take() else {
+            return false;
         };
         let quantum = job.qos.quantum().max(1);
         let lease = job.tenant.lease();
+        let t_turn = Instant::now();
+
+        enum Verdict<T: Float> {
+            Parked,
+            Done,
+            Errored(FlowError<T>),
+            Panicked { message: String, at: FlowState },
+            TimedOut { deadline: f64, at: FlowState },
+        }
+        let mut verdict = Verdict::Parked;
         for _ in 0..quantum {
-            match machine.step() {
-                Ok(FlowState::Done) => {
-                    drop(lease);
-                    let m = match job.machine.take() {
-                        Some(m) => m,
-                        None => return,
+            let pending = machine.state();
+            if job.faults.stall_at == Some(pending) {
+                // Fire-once stall: wedge this step for the configured time
+                // without touching the machine's computational state.
+                job.faults.stall_at = None;
+                std::thread::sleep(Duration::from_secs_f64(job.faults.stall_seconds.max(0.0)));
+            }
+            let inject_panic = job.faults.panic_at == Some(pending);
+            if inject_panic {
+                job.faults.panic_at = None;
+            }
+            // The containment boundary. A panic mid-step leaves the machine
+            // in its `Failed` stage (`step` swaps the stage out before
+            // executing), so the unwound machine is safe to drop; the pool
+            // itself already catches panics per-launch, so workers survive.
+            let step = catch_unwind(AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("injected service panic at {pending}");
+                }
+                machine.step()
+            }));
+            match step {
+                Err(payload) => {
+                    verdict = Verdict::Panicked {
+                        message: panic_message(payload),
+                        at: pending,
                     };
-                    job.outcome = m
-                        .finish()
-                        .map(|r| Ok(Box::new(r)))
-                        .or(Some(Err(FlowError::Io(std::io::Error::other(
-                            "flow machine completed without a result",
-                        )))));
-                    return;
+                    break;
                 }
-                Ok(_) => {}
-                Err(e) => {
-                    drop(lease);
-                    job.machine = None;
-                    job.outcome = Some(Err(e));
-                    return;
+                Ok(Ok(FlowState::Done)) => {
+                    verdict = Verdict::Done;
+                    break;
                 }
+                Ok(Err(e)) => {
+                    verdict = Verdict::Errored(e);
+                    break;
+                }
+                Ok(Ok(state)) => {
+                    if let Some(deadline) = job.deadline {
+                        if job.elapsed + t_turn.elapsed().as_secs_f64() > deadline {
+                            verdict = Verdict::TimedOut {
+                                deadline,
+                                at: state,
+                            };
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        job.elapsed += t_turn.elapsed().as_secs_f64();
+
+        match verdict {
+            Verdict::Parked => {
+                // Refresh the retry checkpoint at the turn boundary so a
+                // later panic can resume close to where it struck. Capture
+                // clones engine state, so only pay for it when a retry
+                // policy is active (and the chaos knob lets it through).
+                if job.retry.max_attempts > 1 && !job.faults.fail_capture {
+                    if let Some(cp) = machine.capture() {
+                        job.checkpoint = Some(cp);
+                    }
+                }
+                job.machine = Some(machine);
+                drop(lease);
+            }
+            Verdict::Done => {
+                drop(lease);
+                job.outcome = Some(match machine.finish() {
+                    Some(r) => JobOutcome::Completed(Box::new(r)),
+                    None => JobOutcome::Failed(FlowError::Io(std::io::Error::other(
+                        "flow machine completed without a result",
+                    ))),
+                });
+            }
+            Verdict::Errored(e) => {
+                drop(lease);
+                job.outcome = Some(JobOutcome::Failed(e));
+            }
+            Verdict::Panicked { message, at } => {
+                // Dropping the failed machine balances its telemetry spans.
+                drop(machine);
+                drop(lease);
+                self.counters.panics_contained += 1;
+                let job = &mut self.jobs[idx];
+                job.config
+                    .telemetry
+                    .point("panic", format!("contained panic at {at}: {message}"));
+                // A panic that escaped a worker's own catch_unwind (it
+                // normally cannot) leaves a dead thread; repair in place so
+                // the next job's launches see a full-width pool.
+                let pool = self.host.pool();
+                if !pool.health().all_workers_alive() {
+                    let n = pool.respawn_dead() as u64;
+                    self.counters.workers_respawned += n;
+                    job.config
+                        .telemetry
+                        .point("pool_respawn", format!("respawned {n} dead worker(s)"));
+                }
+                self.fail_or_retry(idx, at, FailKind::Panicked { message });
+            }
+            Verdict::TimedOut { deadline, at } => {
+                // The machine is healthy — capture a fresh checkpoint right
+                // here so the retry loses as little work as possible.
+                if !job.faults.fail_capture {
+                    if let Some(cp) = machine.capture() {
+                        job.checkpoint = Some(cp);
+                    }
+                }
+                drop(machine);
+                drop(lease);
+                self.counters.timeouts += 1;
+                let job = &mut self.jobs[idx];
+                job.config.telemetry.point(
+                    "timeout",
+                    format!("deadline {deadline:.3}s exceeded at {at}"),
+                );
+                self.fail_or_retry(
+                    idx,
+                    at,
+                    FailKind::TimedOut {
+                        deadline_seconds: deadline,
+                    },
+                );
+            }
+        }
+        true
+    }
+
+    /// Records a panic/timeout: schedules a retry when attempts remain,
+    /// otherwise writes the terminal outcome.
+    fn fail_or_retry(&mut self, idx: usize, at: FlowState, kind: FailKind) {
+        let job = &mut self.jobs[idx];
+        job.machine = None;
+        if job.attempt < job.retry.max_attempts {
+            job.attempt += 1;
+            self.counters.retries += 1;
+            let backoff = job.retry.backoff_for(job.attempt);
+            job.retry_at = Some(Instant::now() + Duration::from_secs_f64(backoff));
+            let cause = match &kind {
+                FailKind::Panicked { .. } => "panic",
+                FailKind::TimedOut { .. } => "timeout",
+            };
+            job.config.telemetry.point(
+                "retry",
+                format!(
+                    "attempt {}/{} scheduled after {cause} at {at} (backoff {backoff:.3}s)",
+                    job.attempt, job.retry.max_attempts
+                ),
+            );
+        } else {
+            job.retry_at = None;
+            job.outcome = Some(match kind {
+                FailKind::Panicked { message } => JobOutcome::Panicked {
+                    message,
+                    at,
+                    attempts: job.attempt,
+                },
+                FailKind::TimedOut { deadline_seconds } => JobOutcome::TimedOut {
+                    deadline_seconds,
+                    at,
+                    attempts: job.attempt,
+                },
+            });
+        }
+    }
+
+    /// Rebuilds the machine of a job whose backoff has elapsed: resume
+    /// from the stored checkpoint when one exists, restart fresh
+    /// otherwise; the final attempt optionally restarts fresh under the
+    /// conservative GP preset. Returns false when the rebuild itself
+    /// failed (terminal outcome recorded).
+    fn readmit(&mut self, idx: usize) -> bool {
+        let job = &mut self.jobs[idx];
+        job.retry_at = None;
+        job.elapsed = 0.0;
+        let final_attempt = job.attempt >= job.retry.max_attempts;
+        let conservative = final_attempt && job.retry.conservative_final;
+        let mut config = job.config.clone();
+        let machine = {
+            let _lease = job.tenant.lease();
+            if conservative {
+                config.telemetry.point(
+                    "retry",
+                    format!(
+                        "final attempt {} restarting fresh under the conservative preset",
+                        job.attempt
+                    ),
+                );
+                config.gp = conservative_preset(&config.gp, &job.design.netlist);
+                Ok(FlowMachine::new_owned(config, Arc::clone(&job.design)))
+            } else if let Some(cp) = job.checkpoint.clone() {
+                FlowMachine::resume_owned(config, Arc::clone(&job.design), cp)
+            } else {
+                Ok(FlowMachine::new_owned(config, Arc::clone(&job.design)))
+            }
+        };
+        match machine {
+            Ok(m) => {
+                job.machine = Some(m);
+                true
+            }
+            Err(e) => {
+                job.outcome = Some(JobOutcome::Failed(e));
+                false
             }
         }
     }
@@ -365,11 +877,67 @@ impl<T: Float> Scheduler<T> {
         Some(data)
     }
 
-    /// Takes a finished job's outcome (once). `None` while the job is
-    /// still running, already taken, evicted, or unknown.
-    pub fn take_result(&mut self, id: JobId) -> Option<Result<Box<FlowResult<T>>, FlowError<T>>> {
+    /// Cancels a live job (running or awaiting retry): the machine and any
+    /// stored checkpoint are dropped and no outcome is produced. Returns
+    /// false when the job is unknown or already terminal.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        let Some(job) = self.jobs.iter_mut().find(|j| j.id == id) else {
+            return false;
+        };
+        if !job.live() {
+            return false;
+        }
+        job.machine = None;
+        job.retry_at = None;
+        job.checkpoint = None;
+        job.cancelled = true;
+        job.config
+            .telemetry
+            .point("cancel", "job cancelled by the service layer");
+        true
+    }
+
+    /// Takes a finished job's structured outcome (once). `None` while the
+    /// job is still running or retrying, already taken, evicted,
+    /// cancelled, or unknown.
+    pub fn take_outcome(&mut self, id: JobId) -> Option<JobOutcome<T>> {
         let job = self.jobs.iter_mut().find(|j| j.id == id)?;
         job.outcome.take()
+    }
+
+    /// [`Scheduler::take_outcome`] flattened to the pre-service result
+    /// shape: panics and timeouts surface as `Err(FlowError::Io)`.
+    pub fn take_result(&mut self, id: JobId) -> Option<Result<Box<FlowResult<T>>, FlowError<T>>> {
+        self.take_outcome(id).map(|outcome| match outcome {
+            JobOutcome::Completed(r) => Ok(r),
+            JobOutcome::Failed(e) => Err(e),
+            JobOutcome::Panicked {
+                message,
+                at,
+                attempts,
+            } => Err(FlowError::Io(std::io::Error::other(format!(
+                "job panicked at {at} after {attempts} attempt(s): {message}"
+            )))),
+            JobOutcome::TimedOut {
+                deadline_seconds,
+                at,
+                attempts,
+            } => Err(FlowError::Io(std::io::Error::other(format!(
+                "job exceeded its {deadline_seconds:.3}s deadline at {at} after {attempts} attempt(s)"
+            )))),
+        })
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` cases cover every
+/// `panic!` in this workspace).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 

@@ -32,10 +32,12 @@
 
 pub mod adversarial;
 pub mod corrupt;
+pub mod fuzz;
 pub mod generator;
 pub mod presets;
 
 pub use adversarial::{adversarial_design, AdversarialCase, AdversarialDesign};
 pub use corrupt::{corrupt_design, CorruptKind};
+pub use fuzz::protocol_lines;
 pub use generator::{GeneratedDesign, GeneratorConfig};
 pub use presets::{dac2012_suite, industrial_suite, ispd2005_suite, DesignPreset, RoutingHints};

@@ -38,5 +38,6 @@ pub use complex::Complex;
 pub use float::Float;
 pub use parallel::{paper_chunk_size, parallel_for_chunks, DisjointSlice};
 pub use pool::{
-    default_threads, reduce_chunk_size, PoolHost, PoolLease, PoolPanicked, PoolTenant, WorkerPool,
+    default_threads, reduce_chunk_size, PoolHealth, PoolHost, PoolLease, PoolPanicked, PoolTenant,
+    WorkerPool,
 };

@@ -22,6 +22,7 @@
 //! counts*, provided the chunk size itself does not depend on the thread
 //! count (use [`reduce_chunk_size`]).
 
+use std::mem;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -98,6 +99,42 @@ struct Job {
     chunk: usize,
 }
 
+/// A point-in-time health report of a [`WorkerPool`] (see
+/// [`WorkerPool::health`]). The counters are cumulative over the pool's
+/// lifetime; a service layer polls them after a contained job panic to
+/// decide whether the pool needs [`WorkerPool::respawn_dead`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Worker count a launch is spread over (including the caller).
+    pub threads: usize,
+    /// OS threads this pool is supposed to keep parked (`threads - 1`).
+    pub workers_spawned: usize,
+    /// Spawned workers whose thread is still running.
+    pub workers_alive: usize,
+    /// Launches dispatched so far.
+    pub launches: u64,
+    /// Launches in which at least one participating thread panicked.
+    pub panicked_launches: u64,
+    /// Individual thread panics observed (a single launch can panic on
+    /// several workers at once).
+    pub thread_panics: u64,
+    /// Launches dispatched since the most recent poisoned launch; `None`
+    /// when no launch ever panicked.
+    pub launches_since_poison: Option<u64>,
+}
+
+impl PoolHealth {
+    /// Workers that died and need [`WorkerPool::respawn_dead`].
+    pub fn dead_workers(&self) -> usize {
+        self.workers_spawned.saturating_sub(self.workers_alive)
+    }
+
+    /// True when every worker is alive.
+    pub fn all_workers_alive(&self) -> bool {
+        self.dead_workers() == 0
+    }
+}
+
 /// State shared between the caller and the parked workers.
 struct PoolState {
     job: Option<Job>,
@@ -116,6 +153,17 @@ struct PoolShared {
     work_done: Condvar,
     /// Dynamic-scheduling cursor; reset under the state lock per launch.
     cursor: AtomicUsize,
+    /// Cumulative launches that saw at least one panic.
+    panicked_launches: AtomicU64,
+    /// Cumulative individual thread panics.
+    thread_panics: AtomicU64,
+    /// `runs` value at the most recent poisoned launch (`u64::MAX` =
+    /// never poisoned).
+    last_poison_run: AtomicU64,
+    /// Chaos/testing hook: workers claim one unit each and exit their
+    /// loop, simulating worker-thread death (see
+    /// [`WorkerPool::debug_exit_workers`]).
+    exit_requests: AtomicUsize,
     /// Fast flag for the telemetry shards below: one relaxed load per
     /// launch participation when telemetry is disabled (the default).
     has_shards: AtomicBool,
@@ -131,6 +179,13 @@ impl PoolShared {
             return None;
         }
         lock(&self.shards).clone()
+    }
+
+    /// Folds one poisoned launch into the cumulative health counters.
+    fn record_poison(&self, thread_panics: u64, at_run: u64) {
+        self.panicked_launches.fetch_add(1, Ordering::Relaxed);
+        self.thread_panics.fetch_add(thread_panics, Ordering::Relaxed);
+        self.last_poison_run.store(at_run, Ordering::Relaxed);
     }
 }
 
@@ -155,7 +210,10 @@ impl PoolShared {
 /// ```
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Spawned worker handles; slot `i` is the worker with shard index
+    /// `i + 1`. Behind a mutex so [`WorkerPool::respawn_dead`] can replace
+    /// dead workers in place through `&self`.
+    workers: Mutex<Vec<JoinHandle<()>>>,
     threads: usize,
     /// Launch is in progress (used to run nested launches serially instead
     /// of deadlocking on the single job slot).
@@ -180,6 +238,10 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
             cursor: AtomicUsize::new(0),
+            panicked_launches: AtomicU64::new(0),
+            thread_panics: AtomicU64::new(0),
+            last_poison_run: AtomicU64::new(u64::MAX),
+            exit_requests: AtomicUsize::new(0),
             has_shards: AtomicBool::new(false),
             shards: Mutex::new(None),
         });
@@ -191,7 +253,7 @@ impl WorkerPool {
             .collect();
         Self {
             shared,
-            workers,
+            workers: Mutex::new(workers),
             threads,
             busy: AtomicBool::new(false),
             generation: AtomicU64::new(0),
@@ -210,9 +272,71 @@ impl WorkerPool {
     }
 
     /// Number of OS threads this pool spawned (== `threads() - 1`; constant
-    /// for the pool's lifetime — the spawn-once guarantee).
+    /// for the pool's lifetime — the spawn-once guarantee;
+    /// [`WorkerPool::respawn_dead`] replaces dead workers in place without
+    /// changing this count).
     pub fn threads_spawned(&self) -> usize {
-        self.workers.len()
+        lock(&self.workers).len()
+    }
+
+    /// A point-in-time health report: how many workers are alive, how many
+    /// launches panicked, and how long ago the pool was last poisoned.
+    pub fn health(&self) -> PoolHealth {
+        let workers = lock(&self.workers);
+        let workers_alive = workers.iter().filter(|h| !h.is_finished()).count();
+        let workers_spawned = workers.len();
+        drop(workers);
+        let launches = self.runs();
+        let last_poison = self.shared.last_poison_run.load(Ordering::Relaxed);
+        PoolHealth {
+            threads: self.threads,
+            workers_spawned,
+            workers_alive,
+            launches,
+            panicked_launches: self.shared.panicked_launches.load(Ordering::Relaxed),
+            thread_panics: self.shared.thread_panics.load(Ordering::Relaxed),
+            launches_since_poison: (last_poison != u64::MAX)
+                .then(|| launches.saturating_sub(last_poison)),
+        }
+    }
+
+    /// Replaces every dead worker thread with a freshly spawned one, in
+    /// place (the replacement takes over the dead worker's shard index).
+    /// Returns the number of workers respawned — 0 on a healthy pool, so
+    /// calling this after every contained panic is cheap.
+    ///
+    /// Must not be called while a launch is in flight on another thread;
+    /// the service layer invokes it between scheduler turns, where the
+    /// pool is quiescent by construction.
+    pub fn respawn_dead(&self) -> usize {
+        let mut workers = lock(&self.workers);
+        let mut respawned = 0;
+        for (slot, handle) in workers.iter_mut().enumerate() {
+            if !handle.is_finished() {
+                continue;
+            }
+            let shared = Arc::clone(&self.shared);
+            let index = slot + 1;
+            let fresh = std::thread::spawn(move || worker_loop(&shared, index));
+            // Joining a finished thread cannot block; a panicked worker's
+            // join error carries no information beyond "it died".
+            let _ = mem::replace(handle, fresh).join();
+            respawned += 1;
+        }
+        respawned
+    }
+
+    /// Chaos/testing hook: asks `n` parked workers to exit their loop,
+    /// simulating worker-thread death (the failure mode
+    /// [`WorkerPool::respawn_dead`] repairs — in production a worker only
+    /// dies when a panic escapes its `catch_unwind`, e.g. a panicking
+    /// panic payload). Each exiting worker claims one request; workers
+    /// busy in a launch exit after finishing it.
+    pub fn debug_exit_workers(&self, n: usize) {
+        self.shared.exit_requests.fetch_add(n, Ordering::Relaxed);
+        // Wake parked workers so they observe the request promptly.
+        let _state = lock(&self.shared.state);
+        self.shared.work_ready.notify_all();
     }
 
     /// Number of launches ([`WorkerPool::run`]/[`WorkerPool::try_run`]/
@@ -302,6 +426,9 @@ impl WorkerPool {
             if let (Some(shards), Some(t0)) = (shards, t0) {
                 shards.record(0, t0.elapsed().as_nanos() as u64);
             }
+            if r.is_err() {
+                self.shared.record_poison(1, self.runs());
+            }
             return r.map_err(|_| PoolPanicked);
         }
         let result = self.launch(items, chunk, &work);
@@ -352,9 +479,11 @@ impl WorkerPool {
             state = wait(&self.shared.work_done, state);
         }
         state.job = None;
-        let worker_panicked = state.panicked > 0;
+        let worker_panics = state.panicked as u64;
         drop(state);
-        if caller_panicked || worker_panicked {
+        if caller_panicked || worker_panics > 0 {
+            self.shared
+                .record_poison(worker_panics + u64::from(caller_panicked), self.runs());
             Err(PoolPanicked)
         } else {
             Ok(())
@@ -578,7 +707,8 @@ impl Drop for WorkerPool {
             state.shutdown = true;
             self.shared.work_ready.notify_all();
         }
-        for handle in self.workers.drain(..) {
+        let workers = mem::take(&mut *lock(&self.workers));
+        for handle in workers {
             // A worker can only terminate by observing `shutdown` or by a
             // panic escaping `worker_loop`, which it cannot (the closure is
             // run under `catch_unwind`); join errors are unreachable, and
@@ -593,6 +723,17 @@ fn worker_loop(shared: &PoolShared, index: usize) {
     let mut state = lock(&shared.state);
     loop {
         if state.shutdown {
+            return;
+        }
+        // Chaos hook: claim one pending exit request and die, simulating a
+        // worker-thread death for `respawn_dead` tests. Checked only while
+        // idle so a busy worker always finishes its launch first.
+        if state.job.is_none()
+            && shared
+                .exit_requests
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        {
             return;
         }
         let job = match state.job.as_ref() {
@@ -882,6 +1023,88 @@ mod tests {
         // ...and are no longer installed once the lease is released.
         host.pool().run(64, 8, |_| {});
         assert_eq!(shards.per_worker()[0].0, seen);
+    }
+
+    #[test]
+    fn health_reports_poisoned_launches() {
+        let pool = WorkerPool::new(4);
+        let h = pool.health();
+        assert_eq!(h.threads, 4);
+        assert_eq!(h.workers_spawned, 3);
+        assert_eq!(h.workers_alive, 3);
+        assert_eq!(h.panicked_launches, 0);
+        assert_eq!(h.launches_since_poison, None);
+        assert!(h.all_workers_alive());
+
+        let r = pool.try_run(100, 1, |range| {
+            if range.start == 42 {
+                panic!("injected");
+            }
+        });
+        assert_eq!(r, Err(PoolPanicked));
+        let h = pool.health();
+        assert_eq!(h.panicked_launches, 1);
+        assert!(h.thread_panics >= 1);
+        assert_eq!(h.launches_since_poison, Some(0));
+        // Workers catch panics in their loop: the pool stays fully alive.
+        assert!(h.all_workers_alive());
+
+        // Clean launches move the poison further into the past.
+        pool.run(16, 4, |_| {});
+        pool.run(16, 4, |_| {});
+        let h = pool.health();
+        assert_eq!(h.panicked_launches, 1);
+        assert_eq!(h.launches_since_poison, Some(2));
+    }
+
+    #[test]
+    fn serial_pool_poison_is_counted_too() {
+        let pool = WorkerPool::serial();
+        let r = pool.try_run(10, 1, |range| {
+            if range.start == 5 {
+                panic!("injected");
+            }
+        });
+        assert_eq!(r, Err(PoolPanicked));
+        let h = pool.health();
+        assert_eq!(h.panicked_launches, 1);
+        assert_eq!(h.thread_panics, 1);
+        assert_eq!(h.launches_since_poison, Some(0));
+    }
+
+    #[test]
+    fn respawn_replaces_dead_workers_and_clean_launch_works() {
+        let pool = WorkerPool::new(4);
+        pool.run(64, 4, |_| {});
+        // Kill two workers, then wait for their threads to wind down.
+        pool.debug_exit_workers(2);
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while pool.health().dead_workers() < 2 {
+            assert!(Instant::now() < deadline, "workers never exited");
+            std::thread::yield_now();
+        }
+        let h = pool.health();
+        assert_eq!(h.workers_spawned, 3);
+        assert_eq!(h.workers_alive, 1);
+        assert_eq!(h.dead_workers(), 2);
+
+        assert_eq!(pool.respawn_dead(), 2);
+        let h = pool.health();
+        assert!(h.all_workers_alive(), "{h:?}");
+        assert_eq!(pool.threads_spawned(), 3);
+
+        // The repaired pool still covers every item exactly once.
+        let n = 1003;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, 13, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+
+        // And a healthy pool respawn is a no-op.
+        assert_eq!(pool.respawn_dead(), 0);
     }
 
     #[test]

@@ -36,10 +36,10 @@ pub use dreamplace_core::{
     DesignStamp,
     DreamPlacer, DurableOutcome, FlowConfig, FlowDegradations, FlowError, FlowFaultInjection,
     FlowMachine, FlowResult, FlowStage, FlowState, FlowTiming, GpAttemptState, GpFallback,
-    JobId, JobStatus, QosClass, RoutabilityConfig,
+    JobId, JobOptions, JobOutcome, JobStatus, QosClass, RetryPolicy, RoutabilityConfig,
     RoutabilityPlacer, RoutabilityResult, SanitizeFinding, SanitizeIssue, SanitizeReport,
-    Scheduler, StageBudgets, TimingDrivenConfig, TimingDrivenPlacer, TimingDrivenResult,
-    TimingSummary, ToolMode,
+    Scheduler, SchedulerHealth, ServeFaultInjection, StageBudgets, TimingDrivenConfig,
+    TimingDrivenPlacer, TimingDrivenResult, TimingSummary, ToolMode,
 };
 
 /// `dp-serve`: the placement-as-a-service daemon (line-delimited JSON

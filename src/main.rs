@@ -9,7 +9,10 @@
 //! dreamplace gen    <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]
 //! dreamplace stats  <design.aux>
 //! dreamplace serve  [--threads N] [--jobs N] [--trace-dir DIR]
-//!                   [--listen ADDR [--once]]
+//!                   [--queue-cap N] [--max-attempts N] [--backoff SECS]
+//!                   [--idle-timeout SECS] [--on-disconnect detach|cancel]
+//!                   [--chaos] [--listen ADDR [--once]]
+//! dreamplace fuzz-lines [--seed S] [--count N]
 //! dreamplace trace-check <trace.jsonl>
 //! dreamplace checkpoint-check <flow.ckpt|DIR>
 //! ```
@@ -22,10 +25,19 @@
 //!
 //! `serve` starts the `dp-serve` daemon: a line-delimited JSON job queue
 //! (protocol in `dreamplace::serve`) over stdio, or over TCP with
-//! `--listen ADDR` (one client session at a time; `--once` exits after the
-//! first). Up to `--jobs` flows share one `--threads`-wide worker pool via
-//! the round-robin scheduler; `--trace-dir` persists each job's JSONL
-//! trace as `job-N.jsonl` for `trace-check`.
+//! `--listen ADDR` (every connection is its own session; `--once` exits
+//! after the first client is done). Up to `--jobs` flows share one
+//! `--threads`-wide worker pool via the round-robin scheduler;
+//! `--trace-dir` persists each job's JSONL trace as `job-N.jsonl` for
+//! `trace-check`. Panicked and timed-out jobs are contained and retried
+//! from their last checkpoint (`--max-attempts`, `--backoff`); admission
+//! queues are bounded (`--queue-cap`) with lowest-priority-first shedding;
+//! idle sessions close after `--idle-timeout` seconds, and a disconnected
+//! client's jobs are detached or cancelled per `--on-disconnect`.
+//! `--chaos` unlocks deterministic fault injection in requests
+//! (`chaos_panic_at`, `chaos_stall_at`, `chaos_no_checkpoint`,
+//! `{"cmd":"chaos","drop_after_events":N}`); `fuzz-lines` prints a seeded
+//! stream of valid/malformed protocol lines for robustness testing.
 //!
 //! `--checkpoint-dir` makes the run durable: the flow writes an atomic
 //! checkpoint at every stage boundary, every `--checkpoint-every` GP
@@ -55,7 +67,10 @@ fn usage() -> ExitCode {
          \x20                 [--resume DIR | --resume-or-restart DIR] [--die-at STATE]\n\
          \x20 dreamplace gen <cells> [--nets N] [--seed S] [--out DIR] [--name NAME]\n\
          \x20 dreamplace stats <design.aux>\n\
-         \x20 dreamplace serve [--threads N] [--jobs N] [--trace-dir DIR] [--listen ADDR [--once]]\n\
+         \x20 dreamplace serve [--threads N] [--jobs N] [--trace-dir DIR] [--queue-cap N]\n\
+         \x20                 [--max-attempts N] [--backoff SECS] [--idle-timeout SECS]\n\
+         \x20                 [--on-disconnect detach|cancel] [--chaos] [--listen ADDR [--once]]\n\
+         \x20 dreamplace fuzz-lines [--seed S] [--count N]\n\
          \x20 dreamplace trace-check <trace.jsonl>\n\
          \x20 dreamplace checkpoint-check <flow.ckpt|DIR>"
     );
@@ -112,6 +127,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args),
         "stats" => cmd_stats(&args),
         "serve" => cmd_serve(&args),
+        "fuzz-lines" => cmd_fuzz_lines(&args),
         "trace-check" => cmd_trace_check(&args),
         "checkpoint-check" => cmd_checkpoint_check(&args),
         _ => return usage(),
@@ -208,18 +224,44 @@ fn finish_trace(
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    let retry_default = dreamplace::RetryPolicy::standard();
     let opts = dreamplace::serve::ServeOptions {
         threads: args.get_parse("threads", 2usize)?,
         slots: args.get_parse("jobs", 4usize)?,
         trace_dir: args.get("trace-dir").map(PathBuf::from),
+        queue_cap: args.get_parse("queue-cap", 16usize)?,
+        retry: dreamplace::RetryPolicy {
+            max_attempts: args
+                .get_parse("max-attempts", retry_default.max_attempts)?
+                .max(1),
+            backoff_seconds: args.get_parse("backoff", retry_default.backoff_seconds)?,
+            conservative_final: retry_default.conservative_final,
+        },
+        allow_chaos: args.get("chaos").is_some(),
+        idle_timeout: match args.get("idle-timeout") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --idle-timeout: {v}"))?,
+            ),
+        },
+        on_disconnect: match args.get("on-disconnect").unwrap_or("detach") {
+            "detach" => dreamplace::serve::DisconnectPolicy::Detach,
+            "cancel" => dreamplace::serve::DisconnectPolicy::Cancel,
+            other => {
+                return Err(format!(
+                    "unknown --on-disconnect {other} (want detach|cancel)"
+                ))
+            }
+        },
     };
     if let Some(dir) = &opts.trace_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
     let report = |stats: dreamplace::serve::ServeStats| {
         eprintln!(
-            "session done: {} completed, {} failed, {} rejected",
-            stats.completed, stats.failed, stats.rejected
+            "daemon done: {} completed, {} failed, {} rejected, {} malformed, {} shed, {} retries",
+            stats.completed, stats.failed, stats.rejected, stats.errors, stats.shed, stats.retries
         );
     };
     match args.get("listen") {
@@ -228,16 +270,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("binding {addr}: {e}"))?;
             let local = listener.local_addr().map_err(|e| e.to_string())?;
             eprintln!("dp-serve listening on {local}");
-            for stream in listener.incoming() {
-                let stream = stream.map_err(|e| e.to_string())?;
-                let reader =
-                    std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-                let mut writer = stream;
-                report(dreamplace::serve::serve(reader, &mut writer, &opts)?);
-                if args.get("once").is_some() {
-                    break;
-                }
-            }
+            report(dreamplace::serve::serve_tcp(
+                listener,
+                &opts,
+                args.get("once").is_some(),
+            )?);
             Ok(())
         }
         None => {
@@ -249,14 +286,25 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Prints `--count` seeded protocol lines (valid, malformed, and hostile)
+/// for fuzzing the dp-serve request parser; same seed, same lines.
+fn cmd_fuzz_lines(args: &Args) -> Result<(), String> {
+    let seed = args.get_parse("seed", 1u64)?;
+    let count = args.get_parse("count", 100usize)?;
+    for line in dreamplace::gen::fuzz::protocol_lines(seed, count) {
+        println!("{line}");
+    }
+    Ok(())
+}
+
 fn cmd_trace_check(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("missing <trace.jsonl>")?;
     let s = dreamplace::check::validate_file(&PathBuf::from(path)).map_err(|e| e.to_string())?;
     println!(
-        "{path}: ok — {} events ({} spans, {} iterations, {} points of which {} degradations \
-         and {} resumes, {} kernels, {} workers, {} workspaces, {} meta)",
-        s.lines, s.spans, s.iters, s.points, s.degradations, s.resumes, s.kernels, s.workers,
-        s.workspaces, s.metas
+        "{path}: ok — {} events ({} spans, {} iterations, {} points of which {} degradations, \
+         {} resumes and {} retries, {} kernels, {} workers, {} workspaces, {} meta)",
+        s.lines, s.spans, s.iters, s.points, s.degradations, s.resumes, s.retries, s.kernels,
+        s.workers, s.workspaces, s.metas
     );
     Ok(())
 }

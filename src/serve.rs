@@ -1,61 +1,95 @@
 //! `dp-serve`: placement-as-a-service on the shared-pool scheduler.
 //!
 //! The daemon speaks a line-delimited JSON protocol over stdio (or a TCP
-//! socket via `--listen`): each request is one JSON object per line, each
-//! response/event is one JSON object per line. Up to `slots` flows run
-//! concurrently on one [`Scheduler`] sharing one worker pool; further
-//! submissions queue. Because the scheduler pins every job to the host's
-//! thread count and leases the pool per turn, every job's placement is
-//! bit-identical to a standalone `place` run of the same config.
+//! socket via `--listen`, where every connection is an independent
+//! session): each request is one JSON object per line, each response/event
+//! is one JSON object per line. Up to `slots` flows run concurrently on
+//! one [`Scheduler`] sharing one worker pool; further submissions queue in
+//! bounded per-QoS admission queues. Because the scheduler pins every job
+//! to the host's thread count and leases the pool per turn, every job's
+//! placement is bit-identical to a standalone `place` run of the same
+//! config.
+//!
+//! # Fault model (see DESIGN.md §15)
+//!
+//! * A job that panics mid-step is contained by the scheduler's
+//!   `catch_unwind`; neighbors keep running and the daemon never exits.
+//! * Panicked and timed-out jobs are retried from their most recent
+//!   durable checkpoint (up to `max_attempts`, exponential backoff); every
+//!   retry is a timeline event in the job's trace.
+//! * A malformed request line is answered with a structured `error` event
+//!   (carrying the line number) and the session stays alive; the daemon
+//!   exits non-zero only on transport errors of the primary stream.
+//! * When the admission queues are full, the lowest-priority newest job is
+//!   shed with an `overloaded` event and a `retry_after_seconds` hint
+//!   (Bulk first, then Batch, then Interactive).
+//! * A disconnected client's jobs are either detached (finish anyway,
+//!   traces still saved) or cancelled, per `--on-disconnect`.
 //!
 //! # Requests
 //!
 //! ```text
 //! {"cmd":"submit","aux":"designs/adaptec-ish.aux"}
 //! {"cmd":"submit","preset":"small","seed":7,"max_iters":120}
-//! {"cmd":"submit","cells":500,"nets":520,"seed":3,"qos":"interactive"}
+//! {"cmd":"submit","cells":500,"nets":520,"seed":3,"qos":"interactive","deadline_seconds":30}
 //! {"cmd":"status","job":0}
+//! {"cmd":"status"}
+//! {"cmd":"cancel","job":0}
 //! {"cmd":"drain"}
 //! ```
 //!
 //! `submit` accepts either a Bookshelf `aux` path or a generated design
 //! (`preset` = `tiny`/`small`/`medium`, or explicit `cells`/`nets`), plus
 //! optional `seed`, `name`, `max_iters`, `overflow`, `qos`
-//! (`interactive`/`batch`/`bulk`), and `gp_seconds`/`dp_seconds` stage
-//! budgets (which also derive the QoS class when `qos` is absent).
-//! `drain` stops accepting work and exits once the queue empties; closing
-//! stdin has the same effect.
+//! (`interactive`/`batch`/`bulk`), `gp_seconds`/`dp_seconds` stage budgets
+//! (which also derive the QoS class when `qos` is absent), and the service
+//! knobs `deadline_seconds`, `max_attempts`, `backoff_seconds`,
+//! `conservative_final`. With `--chaos`, deterministic fault injection
+//! rides along: `chaos_panic_at`/`chaos_stall_at` (a flow state such as
+//! `"gp:3"`), `chaos_stall_seconds`, `chaos_no_checkpoint`, and the
+//! session-level `{"cmd":"chaos","drop_after_events":N}` connection drop.
+//! `status` without a `job` reports daemon-wide health (uptime, queue
+//! depths, pool health, fault counters). `drain` stops accepting work and
+//! exits once the queues empty; closing stdin has the same effect.
 //!
 //! # Events
 //!
 //! ```text
-//! {"event":"hello","threads":2,"slots":4}
+//! {"event":"hello","threads":2,"slots":4,"session":0,"queue_cap":16}
 //! {"event":"accepted","job":0,"name":"small-7","qos":"batch"}
 //! {"event":"state","job":0,"state":"gp:12"}
 //! {"event":"trace","job":0,"data":{"ev":"iter",...}}
+//! {"event":"retrying","job":0,"attempt":2}
+//! {"event":"overloaded","job":3,"qos":"bulk","retry_after_seconds":12.0,...}
+//! {"event":"error","line":4,"error":"malformed request: ..."}
 //! {"event":"done","job":0,"hpwl":1.234e5,"iterations":87,"overflow":0.069,
 //!  "seconds":0.41,"trace_path":"traces/job-0.jsonl"}
-//! {"event":"failed","job":1,"error":"..."}
-//! {"event":"bye","completed":2,"failed":0}
+//! {"event":"failed","job":1,"error":"...","kind":"panic","at":"gp:3","attempts":3}
+//! {"event":"bye","completed":2,"failed":0,"rejected":0,"errors":0,"shed":0,"retries":0}
 //! ```
 //!
-//! Per-job events are ordered: `accepted`, then interleaved `state`/`trace`
-//! progress, then exactly one `done` or `failed`. `trace` events embed the
-//! job's raw JSONL trace lines (the same schema `trace-check` validates)
-//! as they are produced, so a client watches convergence live; with
-//! `trace_dir` set, the full trace (including the end-of-run kernel and
-//! worker totals) is also written to `trace_dir/job-N.jsonl`.
+//! Per-job events are ordered: `accepted`, then interleaved `state`/
+//! `trace`/`retrying` progress, then exactly one terminal `done`/`failed`
+//! (or `overloaded` for a shed job). `trace` events embed the job's raw
+//! JSONL trace lines (the same schema `trace-check` validates) as they are
+//! produced; with `trace_dir` set, the full trace is also written to
+//! `trace_dir/job-N.jsonl`.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::bookshelf::read_design;
 use crate::gen::{GeneratedDesign, GeneratorConfig};
 use crate::telemetry::Telemetry;
-use crate::{FlowConfig, FlowState, JobId, QosClass, Scheduler, ToolMode};
+use crate::{
+    FlowConfig, FlowState, JobId, JobOptions, JobOutcome, JobStatus, QosClass, RetryPolicy,
+    Scheduler, ServeFaultInjection, ToolMode,
+};
 
 // ---------------------------------------------------------------------------
 // Wire format: a deliberately tiny flat-JSON reader and writer. The build
@@ -87,6 +121,13 @@ impl Value {
         }
     }
 
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     fn as_usize(&self) -> Option<usize> {
         let n = self.as_f64()?;
         if n.fract() == 0.0 && n >= 0.0 && n <= usize::MAX as f64 {
@@ -103,6 +144,10 @@ impl Value {
         } else {
             None
         }
+    }
+
+    fn as_u32(&self) -> Option<u32> {
+        u32::try_from(self.as_u64()?).ok()
     }
 }
 
@@ -248,13 +293,26 @@ struct JobSpec {
     qos: Option<QosClass>,
     gp_seconds: Option<f64>,
     dp_seconds: Option<f64>,
+    /// Per-attempt busy-time deadline override (`None` derives one from the
+    /// budgets / QoS class inside the scheduler).
+    deadline_seconds: Option<f64>,
+    max_attempts: Option<u32>,
+    backoff_seconds: Option<f64>,
+    conservative_final: Option<bool>,
+    /// Chaos knobs (only honored when the daemon runs with `--chaos`).
+    faults: ServeFaultInjection,
 }
 
 enum Request {
     Submit(Box<JobSpec>),
-    Status(u64),
+    /// `None` asks for daemon-wide status, `Some(id)` for one job's.
+    Status(Option<u64>),
+    Cancel(u64),
+    /// Simulated connection drop after N more events (chaos only).
+    Chaos { drop_after_events: usize },
     Drain,
-    /// A line that did not parse; the payload is the diagnosis.
+    /// A line that parsed as JSON but is not a valid request; the payload
+    /// is the diagnosis (answered with a `rejected` event).
     Bad(String),
 }
 
@@ -268,21 +326,27 @@ fn preset_dims(name: &str) -> Option<(usize, usize)> {
     }
 }
 
-fn parse_request(line: &str) -> Request {
-    let fields = match parse_flat(line) {
-        Ok(f) => f,
-        Err(e) => return Request::Bad(format!("malformed request: {e}")),
-    };
+/// Parses one request line. `Err` means the line is not even JSON (the
+/// session answers with an `error` event and stays alive); `Ok(Bad)` means
+/// it is JSON but not a valid request (answered with `rejected`).
+fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = parse_flat(line)?;
     let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
-    let cmd = match get("cmd").and_then(Value::as_str) {
-        Some(c) => c,
-        None => return Request::Bad("missing \"cmd\"".into()),
+    let Some(cmd) = get("cmd").and_then(Value::as_str) else {
+        return Ok(Request::Bad("missing \"cmd\"".into()));
     };
-    match cmd {
+    Ok(match cmd {
         "drain" | "shutdown" => Request::Drain,
-        "status" => match get("job").and_then(Value::as_u64) {
-            Some(job) => Request::Status(job),
-            None => Request::Bad("status needs a numeric \"job\"".into()),
+        "status" => Request::Status(get("job").and_then(Value::as_u64)),
+        "cancel" => match get("job").and_then(Value::as_u64) {
+            Some(job) => Request::Cancel(job),
+            None => Request::Bad("cancel needs a numeric \"job\"".into()),
+        },
+        "chaos" => match get("drop_after_events").and_then(Value::as_usize) {
+            Some(n) => Request::Chaos {
+                drop_after_events: n,
+            },
+            None => Request::Bad("chaos needs a numeric \"drop_after_events\"".into()),
         },
         "submit" => {
             let seed = get("seed").and_then(Value::as_u64).unwrap_or(1);
@@ -290,9 +354,9 @@ fn parse_request(line: &str) -> Request {
                 Source::Aux(aux.to_string())
             } else if let Some(preset) = get("preset").and_then(Value::as_str) {
                 let Some((cells, nets)) = preset_dims(preset) else {
-                    return Request::Bad(format!(
+                    return Ok(Request::Bad(format!(
                         "unknown preset {preset:?} (want tiny|small|medium)"
-                    ));
+                    )));
                 };
                 let name = get("name")
                     .and_then(Value::as_str)
@@ -309,7 +373,9 @@ fn parse_request(line: &str) -> Request {
                     .unwrap_or_else(|| format!("gen-{cells}-{seed}"));
                 Source::Gen(name, cells, nets, seed)
             } else {
-                return Request::Bad("submit needs \"aux\", \"preset\", or \"cells\"".into());
+                return Ok(Request::Bad(
+                    "submit needs \"aux\", \"preset\", or \"cells\"".into(),
+                ));
             };
             let qos = match get("qos").and_then(Value::as_str) {
                 None => None,
@@ -317,11 +383,34 @@ fn parse_request(line: &str) -> Request {
                 Some("batch") => Some(QosClass::Batch),
                 Some("bulk") => Some(QosClass::Bulk),
                 Some(other) => {
-                    return Request::Bad(format!(
+                    return Ok(Request::Bad(format!(
                         "unknown qos {other:?} (want interactive|batch|bulk)"
-                    ))
+                    )))
                 }
             };
+            let mut faults = ServeFaultInjection::default();
+            if let Some(s) = get("chaos_panic_at").and_then(Value::as_str) {
+                let Some(state) = FlowState::parse(s) else {
+                    return Ok(Request::Bad(format!(
+                        "bad chaos_panic_at {s:?} (want a flow state like \"gp:3\")"
+                    )));
+                };
+                faults.panic_at = Some(state);
+            }
+            if let Some(s) = get("chaos_stall_at").and_then(Value::as_str) {
+                let Some(state) = FlowState::parse(s) else {
+                    return Ok(Request::Bad(format!(
+                        "bad chaos_stall_at {s:?} (want a flow state like \"gp:3\")"
+                    )));
+                };
+                faults.stall_at = Some(state);
+                faults.stall_seconds = get("chaos_stall_seconds")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.5);
+            }
+            if get("chaos_no_checkpoint").and_then(Value::as_bool) == Some(true) {
+                faults.fail_capture = true;
+            }
             Request::Submit(Box::new(JobSpec {
                 source,
                 max_iters: get("max_iters").and_then(Value::as_usize),
@@ -329,15 +418,30 @@ fn parse_request(line: &str) -> Request {
                 qos,
                 gp_seconds: get("gp_seconds").and_then(Value::as_f64),
                 dp_seconds: get("dp_seconds").and_then(Value::as_f64),
+                deadline_seconds: get("deadline_seconds").and_then(Value::as_f64),
+                max_attempts: get("max_attempts").and_then(Value::as_u32),
+                backoff_seconds: get("backoff_seconds").and_then(Value::as_f64),
+                conservative_final: get("conservative_final").and_then(Value::as_bool),
+                faults,
             }))
         }
         other => Request::Bad(format!("unknown cmd {other:?}")),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
 // The daemon
 // ---------------------------------------------------------------------------
+
+/// What to do with a session's jobs when its connection drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DisconnectPolicy {
+    /// Jobs finish anyway; events are discarded, traces still saved.
+    #[default]
+    Detach,
+    /// Running jobs are cancelled, queued jobs dropped.
+    Cancel,
+}
 
 /// Daemon configuration (CLI flags of `dreamplace serve`).
 #[derive(Debug, Clone)]
@@ -349,6 +453,18 @@ pub struct ServeOptions {
     /// Directory for per-job JSONL traces (`job-N.jsonl`). Traces stream
     /// to the client either way; this also persists them for `trace-check`.
     pub trace_dir: Option<PathBuf>,
+    /// Bound on *queued* (admitted but not yet running) jobs across all
+    /// QoS classes; beyond it the lowest-priority newest job is shed.
+    pub queue_cap: usize,
+    /// Default retry policy for panicked/timed-out jobs (per-job
+    /// `max_attempts`/`backoff_seconds`/`conservative_final` override it).
+    pub retry: RetryPolicy,
+    /// Honor chaos knobs in requests (`--chaos`; off by default).
+    pub allow_chaos: bool,
+    /// Close sessions with no requests and no jobs for this many seconds.
+    pub idle_timeout: Option<f64>,
+    /// What happens to a disconnected session's jobs.
+    pub on_disconnect: DisconnectPolicy,
 }
 
 impl Default for ServeOptions {
@@ -357,6 +473,11 @@ impl Default for ServeOptions {
             threads: 2,
             slots: 4,
             trace_dir: None,
+            queue_cap: 16,
+            retry: RetryPolicy::standard(),
+            allow_chaos: false,
+            idle_timeout: None,
+            on_disconnect: DisconnectPolicy::Detach,
         }
     }
 }
@@ -366,293 +487,945 @@ impl Default for ServeOptions {
 pub struct ServeStats {
     /// Jobs that finished with a placement.
     pub completed: usize,
-    /// Jobs that errored (flow failures, unreadable designs).
+    /// Jobs that errored (flow failures, unreadable designs, exhausted
+    /// retries after panics/timeouts).
     pub failed: usize,
-    /// Lines rejected before becoming jobs.
+    /// Valid-JSON lines rejected before becoming jobs.
     pub rejected: usize,
+    /// Malformed (non-JSON) lines answered with `error` events.
+    pub errors: usize,
+    /// Jobs shed by overload control (`overloaded` events).
+    pub shed: usize,
+    /// Retry attempts observed (`retrying` events).
+    pub retries: usize,
 }
 
-/// One accepted job, from admission to its `done`/`failed` event.
+fn bye_line(s: &ServeStats) -> String {
+    format!(
+        "{{\"event\":\"bye\",\"completed\":{},\"failed\":{},\"rejected\":{},\"errors\":{},\"shed\":{},\"retries\":{}}}",
+        s.completed, s.failed, s.rejected, s.errors, s.shed, s.retries
+    )
+}
+
+fn qos_label(class: QosClass) -> &'static str {
+    match class {
+        QosClass::Interactive => "interactive",
+        QosClass::Batch => "batch",
+        QosClass::Bulk => "bulk",
+    }
+}
+
+/// Queue index by priority: 0 = Interactive (highest), 2 = Bulk (lowest,
+/// shed first).
+fn class_rank(class: QosClass) -> usize {
+    match class {
+        QosClass::Interactive => 0,
+        QosClass::Batch => 1,
+        QosClass::Bulk => 2,
+    }
+}
+
+/// One client connection (stdio is session 0 and `critical`: a write
+/// failure there is a transport error that fails the whole serve call,
+/// whereas a TCP session's write failure just disconnects that session).
+struct Session<'w> {
+    id: u64,
+    out: Box<dyn Write + 'w>,
+    /// Writes still flow; flips false on write failure / transport error /
+    /// chaos drop, after which the disconnect policy applies.
+    alive: bool,
+    /// The client closed its input; no more requests will arrive.
+    eof: bool,
+    critical: bool,
+    last_activity: Instant,
+    stats: ServeStats,
+    /// Chaos: drop the connection after this many more events.
+    drop_after_events: Option<usize>,
+}
+
+/// One accepted job, from admission to its terminal event.
 struct ServeJob {
     /// Protocol-visible id (`"job"` in every event).
     id: u64,
+    /// Owning session (where its events go).
+    session: u64,
     name: String,
     design: Arc<GeneratedDesign<f64>>,
     config: Option<FlowConfig<f64>>,
-    qos: Option<QosClass>,
+    class: QosClass,
+    options: JobOptions,
     telemetry: Telemetry,
     /// Cursor into the job's telemetry timeline (events already streamed).
     cursor: usize,
     /// Scheduler id once admitted to a slot.
     sched: Option<JobId>,
     last_state: Option<FlowState>,
+    /// Last attempt number announced with a `retrying` event.
+    last_attempt: u32,
 }
 
-/// Runs the daemon over an arbitrary connection until the client drains
+/// What reader/acceptor threads feed the daemon loop.
+enum Inbound {
+    /// A new TCP connection (TCP mode only).
+    Conn(TcpStream),
+    Line {
+        session: u64,
+        line_no: u64,
+        line: String,
+    },
+    Eof {
+        session: u64,
+    },
+    /// The session's input stream failed mid-read.
+    Transport {
+        session: u64,
+        error: String,
+    },
+}
+
+/// Reads a session's input line by line on its own thread. Uses
+/// `read_until` + lossy UTF-8 so invalid bytes become a malformed-request
+/// *line* (answered with an `error` event) instead of killing the session,
+/// which `BufRead::lines` would.
+fn spawn_reader<R: BufRead + Send + 'static>(mut input: R, session: u64, tx: mpsc::Sender<Inbound>) {
+    std::thread::spawn(move || {
+        let mut line_no = 0u64;
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            match input.read_until(b'\n', &mut buf) {
+                Ok(0) => {
+                    let _ = tx.send(Inbound::Eof { session });
+                    return;
+                }
+                Ok(_) => {
+                    line_no += 1;
+                    let text = String::from_utf8_lossy(&buf);
+                    let line = text.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let msg = Inbound::Line {
+                        session,
+                        line_no,
+                        line: line.to_string(),
+                    };
+                    if tx.send(msg).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Inbound::Transport {
+                        session,
+                        error: e.to_string(),
+                    });
+                    return;
+                }
+            }
+        }
+    });
+}
+
+struct Daemon<'w> {
+    opts: ServeOptions,
+    started: Instant,
+    sched: Scheduler<f64>,
+    sessions: Vec<Session<'w>>,
+    /// Bounded admission queues, indexed by [`class_rank`].
+    queues: [VecDeque<ServeJob>; 3],
+    active: Vec<ServeJob>,
+    stats: ServeStats,
+    next_job: u64,
+    draining: bool,
+    once: bool,
+    sessions_started: u64,
+    /// EMA of completed-job wall seconds, for `retry_after_seconds` hints.
+    ema_seconds: f64,
+    /// Present in TCP mode so new connections can get reader threads.
+    reader_tx: Option<mpsc::Sender<Inbound>>,
+}
+
+impl<'w> Daemon<'w> {
+    fn new(opts: ServeOptions, once: bool, reader_tx: Option<mpsc::Sender<Inbound>>) -> Self {
+        let threads = opts.threads;
+        Self {
+            opts,
+            started: Instant::now(),
+            sched: Scheduler::with_threads(threads),
+            sessions: Vec::new(),
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            active: Vec::new(),
+            stats: ServeStats::default(),
+            next_job: 0,
+            draining: false,
+            once,
+            sessions_started: 0,
+            ema_seconds: 5.0,
+            reader_tx,
+        }
+    }
+
+    /// Writes one event line to a session. Dead sessions swallow events
+    /// (detached jobs keep running); a write failure on the critical
+    /// (stdio) session is the one fatal transport error.
+    fn emit(&mut self, sid: u64, line: &str) -> Result<(), String> {
+        let Some(pos) = self
+            .sessions
+            .iter()
+            .position(|s| s.id == sid && s.alive)
+        else {
+            return Ok(());
+        };
+        let mut drop_now = false;
+        {
+            let s = &mut self.sessions[pos];
+            match writeln!(s.out, "{line}").and_then(|_| s.out.flush()) {
+                Err(e) => {
+                    s.alive = false;
+                    if s.critical {
+                        return Err(format!("client write: {e}"));
+                    }
+                }
+                Ok(()) => {
+                    if let Some(n) = s.drop_after_events {
+                        if n <= 1 {
+                            s.drop_after_events = None;
+                            drop_now = true;
+                        } else {
+                            s.drop_after_events = Some(n - 1);
+                        }
+                    }
+                }
+            }
+        }
+        if drop_now {
+            self.kill_session(sid);
+        }
+        Ok(())
+    }
+
+    /// Marks a session disconnected; the per-loop sweep applies the
+    /// disconnect policy to its jobs.
+    fn kill_session(&mut self, sid: u64) {
+        if let Some(s) = self.sessions.iter_mut().find(|s| s.id == sid) {
+            s.alive = false;
+        }
+    }
+
+    fn session_stats(&mut self, sid: u64) -> Option<&mut ServeStats> {
+        self.sessions
+            .iter_mut()
+            .find(|s| s.id == sid)
+            .map(|s| &mut s.stats)
+    }
+
+    fn session_has_jobs(&self, sid: u64) -> bool {
+        self.active.iter().any(|j| j.session == sid)
+            || self
+                .queues
+                .iter()
+                .any(|q| q.iter().any(|j| j.session == sid))
+    }
+
+    fn queued_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn hello(&mut self, sid: u64) -> Result<(), String> {
+        let line = format!(
+            "{{\"event\":\"hello\",\"threads\":{},\"slots\":{},\"session\":{sid},\"queue_cap\":{}}}",
+            self.sched.host().threads(),
+            self.opts.slots,
+            self.opts.queue_cap
+        );
+        self.emit(sid, &line)
+    }
+
+    /// Load-shedding hint: expected seconds until a freed slot, from the
+    /// completed-job EMA scaled by the backlog.
+    fn retry_after(&self) -> f64 {
+        let backlog = (self.queued_total() + self.active.len()).max(1) as f64;
+        (self.ema_seconds * backlog / self.opts.slots.max(1) as f64).clamp(1.0, 600.0)
+    }
+
+    fn reject(&mut self, sid: u64, why: &str) -> Result<(), String> {
+        self.stats.rejected += 1;
+        if let Some(st) = self.session_stats(sid) {
+            st.rejected += 1;
+        }
+        self.emit(sid, &format!("{{\"event\":\"rejected\",\"error\":{}}}", quote(why)))
+    }
+
+    /// Emits `accepted` and enqueues the job (eager admission follows).
+    fn accept(&mut self, job: ServeJob) -> Result<(), String> {
+        let line = format!(
+            "{{\"event\":\"accepted\",\"job\":{},\"name\":{},\"qos\":{}}}",
+            job.id,
+            quote(&job.name),
+            quote(qos_label(job.class))
+        );
+        let sid = job.session;
+        self.next_job += 1;
+        self.queues[class_rank(job.class)].push_back(job);
+        self.emit(sid, &line)?;
+        self.admit();
+        Ok(())
+    }
+
+    /// Moves queued jobs into free scheduler slots, highest priority first.
+    fn admit(&mut self) {
+        while self.active.len() < self.opts.slots.max(1) {
+            let Some(mut job) = self
+                .queues
+                .iter_mut()
+                .find_map(VecDeque::pop_front)
+            else {
+                break;
+            };
+            let Some(config) = job.config.take() else {
+                continue;
+            };
+            let id = self.sched.submit_with(
+                config,
+                Arc::clone(&job.design),
+                job.telemetry.clone(),
+                job.options.clone(),
+            );
+            job.sched = Some(id);
+            self.active.push(job);
+        }
+    }
+
+    fn dispatch(&mut self, inbound: Inbound) -> Result<(), String> {
+        match inbound {
+            Inbound::Conn(stream) => {
+                let sid = self.sessions_started;
+                self.sessions_started += 1;
+                let Ok(reader) = stream.try_clone() else {
+                    return Ok(());
+                };
+                self.sessions.push(Session {
+                    id: sid,
+                    out: Box::new(stream),
+                    alive: true,
+                    eof: false,
+                    critical: false,
+                    last_activity: Instant::now(),
+                    stats: ServeStats::default(),
+                    drop_after_events: None,
+                });
+                if let Some(tx) = &self.reader_tx {
+                    spawn_reader(BufReader::new(reader), sid, tx.clone());
+                }
+                self.hello(sid)
+            }
+            Inbound::Line {
+                session,
+                line_no,
+                line,
+            } => {
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.id == session) {
+                    s.last_activity = Instant::now();
+                }
+                match parse_request(&line) {
+                    Err(e) => {
+                        // Malformed line: structured error, session lives.
+                        self.stats.errors += 1;
+                        if let Some(st) = self.session_stats(session) {
+                            st.errors += 1;
+                        }
+                        self.emit(
+                            session,
+                            &format!(
+                                "{{\"event\":\"error\",\"line\":{line_no},\"error\":{}}}",
+                                quote(&format!("malformed request: {e}"))
+                            ),
+                        )
+                    }
+                    Ok(req) => self.handle(session, req),
+                }
+            }
+            Inbound::Eof { session } => {
+                let critical = self
+                    .sessions
+                    .iter_mut()
+                    .find(|s| s.id == session)
+                    .map(|s| {
+                        s.eof = true;
+                        s.critical
+                    })
+                    .unwrap_or(false);
+                if critical {
+                    // stdio: end of input means drain, like before.
+                    self.draining = true;
+                }
+                Ok(())
+            }
+            Inbound::Transport { session, error } => {
+                let critical = self
+                    .sessions
+                    .iter()
+                    .find(|s| s.id == session)
+                    .map(|s| s.critical)
+                    .unwrap_or(false);
+                if critical {
+                    // stdin went away mid-read; treat as end of input.
+                    if let Some(s) = self.sessions.iter_mut().find(|s| s.id == session) {
+                        s.eof = true;
+                    }
+                    self.draining = true;
+                } else {
+                    eprintln!("warning: session {session} transport: {error}");
+                    self.kill_session(session);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn handle(&mut self, sid: u64, req: Request) -> Result<(), String> {
+        match req {
+            Request::Drain => {
+                self.draining = true;
+                self.emit(sid, "{\"event\":\"draining\"}")
+            }
+            Request::Bad(why) => self.reject(sid, &why),
+            Request::Chaos { drop_after_events } => {
+                if !self.opts.allow_chaos {
+                    return self.reject(
+                        sid,
+                        "chaos injection is disabled (start the daemon with --chaos)",
+                    );
+                }
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.id == sid) {
+                    s.drop_after_events = Some(drop_after_events);
+                }
+                self.emit(
+                    sid,
+                    &format!("{{\"event\":\"chaos\",\"drop_after_events\":{drop_after_events}}}"),
+                )
+            }
+            Request::Status(None) => {
+                let h = self.sched.health();
+                let line = format!(
+                    "{{\"event\":\"status\",\"uptime_seconds\":{:.3},\"slots\":{},\"active\":{},\
+                     \"queued\":{},\"sessions\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\
+                     \"errors\":{},\"shed\":{},\"workers_alive\":{},\"workers_spawned\":{},\
+                     \"panics_contained\":{},\"timeouts\":{},\"retries\":{},\"workers_respawned\":{}}}",
+                    self.started.elapsed().as_secs_f64(),
+                    self.opts.slots,
+                    self.active.len(),
+                    self.queued_total(),
+                    self.sessions.len(),
+                    self.stats.completed,
+                    self.stats.failed,
+                    self.stats.rejected,
+                    self.stats.errors,
+                    self.stats.shed,
+                    h.pool.workers_alive,
+                    h.pool.workers_spawned,
+                    h.panics_contained,
+                    h.timeouts,
+                    h.retries,
+                    h.workers_respawned,
+                );
+                self.emit(sid, &line)
+            }
+            Request::Status(Some(id)) => {
+                let line = if let Some(j) = self.active.iter().find(|j| j.id == id) {
+                    match j.sched.and_then(|s| self.sched.status(s)) {
+                        Some(JobStatus::Running { state }) => format!(
+                            "{{\"event\":\"status\",\"job\":{id},\"phase\":\"running\",\"state\":{}}}",
+                            quote(&state.to_string())
+                        ),
+                        Some(JobStatus::Retrying { attempt }) => format!(
+                            "{{\"event\":\"status\",\"job\":{id},\"phase\":\"retrying\",\"attempt\":{attempt}}}"
+                        ),
+                        _ => format!(
+                            "{{\"event\":\"status\",\"job\":{id},\"phase\":\"finishing\"}}"
+                        ),
+                    }
+                } else if self.queues.iter().any(|q| q.iter().any(|j| j.id == id)) {
+                    format!("{{\"event\":\"status\",\"job\":{id},\"phase\":\"queued\"}}")
+                } else {
+                    format!("{{\"event\":\"status\",\"job\":{id},\"phase\":\"unknown\"}}")
+                };
+                self.emit(sid, &line)
+            }
+            Request::Cancel(id) => {
+                if let Some(sched_id) = self.active.iter().find(|j| j.id == id).map(|j| j.sched) {
+                    if let Some(s) = sched_id {
+                        self.sched.cancel(s);
+                    }
+                    // The pump reaps the cancelled job from the run queue.
+                    self.emit(sid, &format!("{{\"event\":\"cancelled\",\"job\":{id}}}"))
+                } else {
+                    let mut found = false;
+                    for q in &mut self.queues {
+                        if let Some(pos) = q.iter().position(|j| j.id == id) {
+                            q.remove(pos);
+                            found = true;
+                            break;
+                        }
+                    }
+                    if found {
+                        self.emit(sid, &format!("{{\"event\":\"cancelled\",\"job\":{id}}}"))
+                    } else {
+                        self.emit(
+                            sid,
+                            &format!("{{\"event\":\"status\",\"job\":{id},\"phase\":\"unknown\"}}"),
+                        )
+                    }
+                }
+            }
+            Request::Submit(spec) => {
+                if self.draining {
+                    return self.reject(sid, "daemon is draining");
+                }
+                if spec.faults != ServeFaultInjection::default() && !self.opts.allow_chaos {
+                    return self.reject(
+                        sid,
+                        "chaos injection is disabled (start the daemon with --chaos)",
+                    );
+                }
+                match build_job(&spec, self.next_job, sid, &self.opts) {
+                    Err(why) => self.reject(sid, &why),
+                    Ok(job) => self.submit_or_shed(sid, job),
+                }
+            }
+        }
+    }
+
+    /// Overload control: when the slots are busy and the admission queues
+    /// are at capacity, shed the newest job of the lowest-priority
+    /// non-empty queue — or the incoming job itself if nothing queued is
+    /// lower-priority than it.
+    fn submit_or_shed(&mut self, sid: u64, job: ServeJob) -> Result<(), String> {
+        let queued = self.queued_total();
+        let slots_full = self.active.len() >= self.opts.slots.max(1);
+        if !(slots_full && queued >= self.opts.queue_cap) {
+            return self.accept(job);
+        }
+        let retry_after = self.retry_after();
+        let lowest = (0..self.queues.len())
+            .rev()
+            .find(|&r| !self.queues[r].is_empty());
+        match lowest.filter(|&l| class_rank(job.class) < l) {
+            Some(l) => {
+                // The incoming job outranks the queue's tail: shed that.
+                if let Some(victim) = self.queues[l].pop_back() {
+                    self.stats.shed += 1;
+                    if let Some(st) = self.session_stats(victim.session) {
+                        st.shed += 1;
+                    }
+                    self.emit(
+                        victim.session,
+                        &format!(
+                            "{{\"event\":\"overloaded\",\"job\":{},\"qos\":{},\
+                             \"retry_after_seconds\":{retry_after:.1},\
+                             \"error\":\"shed for a higher-priority submission\"}}",
+                            victim.id,
+                            quote(qos_label(victim.class)),
+                        ),
+                    )?;
+                }
+                self.accept(job)
+            }
+            None => {
+                // The incoming job is the lowest priority around: reject it
+                // (no `accepted` event was emitted yet).
+                self.stats.shed += 1;
+                if let Some(st) = self.session_stats(sid) {
+                    st.shed += 1;
+                }
+                self.emit(
+                    sid,
+                    &format!(
+                        "{{\"event\":\"overloaded\",\"qos\":{},\"queued\":{queued},\
+                         \"retry_after_seconds\":{retry_after:.1},\"error\":\"queue full\"}}",
+                        quote(qos_label(job.class)),
+                    ),
+                )
+            }
+        }
+    }
+
+    /// One scheduler round plus event streaming and job retirement.
+    fn pump(&mut self) -> Result<(), String> {
+        self.sched.step_round();
+        let jobs = std::mem::take(&mut self.active);
+        let mut still = Vec::with_capacity(jobs.len());
+        for mut job in jobs {
+            let Some(sid) = job.sched else { continue };
+            let (cursor, lines) = job.telemetry.events_since(job.cursor);
+            job.cursor = cursor;
+            for data in lines {
+                self.emit(
+                    job.session,
+                    &format!("{{\"event\":\"trace\",\"job\":{},\"data\":{data}}}", job.id),
+                )?;
+            }
+            match self.sched.status(sid) {
+                Some(JobStatus::Running { state }) => {
+                    if job.last_state != Some(state) {
+                        job.last_state = Some(state);
+                        self.emit(
+                            job.session,
+                            &format!(
+                                "{{\"event\":\"state\",\"job\":{},\"state\":{}}}",
+                                job.id,
+                                quote(&state.to_string())
+                            ),
+                        )?;
+                    }
+                    still.push(job);
+                }
+                Some(JobStatus::Retrying { attempt }) => {
+                    if job.last_attempt != attempt {
+                        job.last_attempt = attempt;
+                        self.stats.retries += 1;
+                        if let Some(st) = self.session_stats(job.session) {
+                            st.retries += 1;
+                        }
+                        self.emit(
+                            job.session,
+                            &format!(
+                                "{{\"event\":\"retrying\",\"job\":{},\"attempt\":{attempt}}}",
+                                job.id
+                            ),
+                        )?;
+                    }
+                    still.push(job);
+                }
+                Some(JobStatus::Cancelled) => {
+                    // Terminal event (`cancelled`) already went out when the
+                    // cancel was requested; keep the trace for forensics.
+                    save_trace(&job, &self.opts);
+                }
+                _ => self.retire(job, sid)?,
+            }
+        }
+        self.active = still;
+        Ok(())
+    }
+
+    /// Emits a finished job's terminal `done`/`failed` event.
+    fn retire(&mut self, job: ServeJob, sid: JobId) -> Result<(), String> {
+        let outcome = self.sched.take_outcome(sid);
+        let trace_path = save_trace(&job, &self.opts);
+        let session = job.session;
+        match outcome {
+            Some(JobOutcome::Completed(r)) => {
+                self.stats.completed += 1;
+                if let Some(st) = self.session_stats(session) {
+                    st.completed += 1;
+                }
+                self.ema_seconds = 0.7 * self.ema_seconds + 0.3 * r.timing.total;
+                self.emit(
+                    session,
+                    &format!(
+                        "{{\"event\":\"done\",\"job\":{},\"hpwl\":{:e},\"iterations\":{},\
+                         \"overflow\":{:e},\"seconds\":{:.3}{}}}",
+                        job.id,
+                        r.hpwl_final,
+                        r.gp.iterations,
+                        r.gp.final_overflow,
+                        r.timing.total,
+                        match &trace_path {
+                            Some(p) => format!(",\"trace_path\":{}", quote(&p.display().to_string())),
+                            None => String::new(),
+                        }
+                    ),
+                )
+            }
+            Some(JobOutcome::Failed(e)) => {
+                self.stats.failed += 1;
+                if let Some(st) = self.session_stats(session) {
+                    st.failed += 1;
+                }
+                self.emit(
+                    session,
+                    &format!(
+                        "{{\"event\":\"failed\",\"job\":{},\"error\":{}}}",
+                        job.id,
+                        quote(&e.diagnosis())
+                    ),
+                )
+            }
+            Some(JobOutcome::Panicked {
+                message,
+                at,
+                attempts,
+            }) => {
+                self.stats.failed += 1;
+                if let Some(st) = self.session_stats(session) {
+                    st.failed += 1;
+                }
+                self.emit(
+                    session,
+                    &format!(
+                        "{{\"event\":\"failed\",\"job\":{},\"error\":{},\"kind\":\"panic\",\
+                         \"at\":{},\"attempts\":{attempts}}}",
+                        job.id,
+                        quote(&format!("contained panic: {message}")),
+                        quote(&at.to_string()),
+                    ),
+                )
+            }
+            Some(JobOutcome::TimedOut {
+                deadline_seconds,
+                at,
+                attempts,
+            }) => {
+                self.stats.failed += 1;
+                if let Some(st) = self.session_stats(session) {
+                    st.failed += 1;
+                }
+                self.emit(
+                    session,
+                    &format!(
+                        "{{\"event\":\"failed\",\"job\":{},\"error\":{},\"kind\":\"timeout\",\
+                         \"at\":{},\"attempts\":{attempts}}}",
+                        job.id,
+                        quote(&format!(
+                            "exceeded its {deadline_seconds:.3}s deadline"
+                        )),
+                        quote(&at.to_string()),
+                    ),
+                )
+            }
+            None => {
+                self.stats.failed += 1;
+                if let Some(st) = self.session_stats(session) {
+                    st.failed += 1;
+                }
+                self.emit(
+                    session,
+                    &format!(
+                        "{{\"event\":\"failed\",\"job\":{},\"error\":\"job vanished\"}}",
+                        job.id
+                    ),
+                )
+            }
+        }
+    }
+
+    /// Session hygiene, once per loop: idle timeouts, disconnect-policy
+    /// enforcement (idempotent), and retirement of finished sessions.
+    fn sweep_sessions(&mut self) -> Result<(), String> {
+        if let Some(t) = self.opts.idle_timeout {
+            let idle: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|s| {
+                    s.alive
+                        && !s.eof
+                        && !s.critical
+                        && s.last_activity.elapsed().as_secs_f64() > t
+                })
+                .map(|s| s.id)
+                .collect();
+            for sid in idle {
+                if self.session_has_jobs(sid) {
+                    continue;
+                }
+                self.emit(sid, &format!("{{\"event\":\"idle_timeout\",\"seconds\":{t}}}"))?;
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.id == sid) {
+                    s.eof = true;
+                }
+            }
+        }
+        if self.opts.on_disconnect == DisconnectPolicy::Cancel {
+            let dead: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|s| !s.alive)
+                .map(|s| s.id)
+                .collect();
+            for sid in dead {
+                let ids: Vec<JobId> = self
+                    .active
+                    .iter()
+                    .filter(|j| j.session == sid)
+                    .filter_map(|j| j.sched)
+                    .collect();
+                for id in ids {
+                    self.sched.cancel(id);
+                }
+                for q in &mut self.queues {
+                    q.retain(|j| j.session != sid);
+                }
+            }
+        }
+        let finished: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|s| {
+                !s.alive || (s.eof && !s.critical && !self.session_has_jobs(s.id))
+            })
+            .map(|s| s.id)
+            .collect();
+        for sid in finished {
+            self.finish_session(sid)?;
+        }
+        Ok(())
+    }
+
+    /// Says goodbye (when the session can still hear it) and removes it.
+    fn finish_session(&mut self, sid: u64) -> Result<(), String> {
+        let stats = match self.sessions.iter().find(|s| s.id == sid) {
+            Some(s) if s.alive => Some(s.stats),
+            Some(_) => None,
+            None => return Ok(()),
+        };
+        if let Some(st) = stats {
+            self.emit(sid, &bye_line(&st))?;
+        }
+        if let Some(pos) = self.sessions.iter().position(|s| s.id == sid) {
+            self.sessions.remove(pos);
+        }
+        Ok(())
+    }
+
+    fn should_exit(&self, disconnected: bool) -> bool {
+        self.draining
+            || disconnected
+            || (self.once && self.sessions_started > 0 && self.sessions.is_empty())
+    }
+
+    fn run(&mut self, rx: &mpsc::Receiver<Inbound>) -> Result<(), String> {
+        loop {
+            // 1. Ingest every waiting request without blocking the jobs.
+            let mut disconnected = false;
+            loop {
+                match rx.try_recv() {
+                    Ok(inb) => self.dispatch(inb)?,
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+            // 2. Admit queued jobs into free slots; session hygiene.
+            self.admit();
+            self.sweep_sessions()?;
+            // 3. Idle: block for the next request, or exit once drained.
+            if self.active.is_empty() && self.queued_total() == 0 {
+                if self.should_exit(disconnected) {
+                    break;
+                }
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(inb) => self.dispatch(inb)?,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+                continue;
+            }
+            // 4. One fair round; stream progress and retire finished jobs.
+            self.pump()?;
+            // All live jobs waiting out retry backoff: park briefly.
+            let any_running = self.active.iter().any(|j| {
+                matches!(
+                    j.sched.and_then(|s| self.sched.status(s)),
+                    Some(JobStatus::Running { .. })
+                )
+            });
+            if !self.active.is_empty() && !any_running {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        Ok(())
+    }
+
+    /// Final goodbyes to every session still around at shutdown.
+    fn shutdown(&mut self) -> Result<(), String> {
+        let ids: Vec<u64> = self.sessions.iter().map(|s| s.id).collect();
+        for sid in ids {
+            self.finish_session(sid)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the daemon over one connection (stdio) until the client drains
 /// it. `input` runs on a reader thread (so job stepping never blocks on a
 /// slow client); events are written to `output` as they happen.
 ///
 /// # Errors
 ///
-/// Returns an error when the output stream fails; a malformed *request*
-/// is answered with a `rejected` event instead.
+/// Returns an error only when the output stream fails (a transport
+/// error); a malformed request line is answered with an `error` event and
+/// an invalid one with `rejected`, both leaving the daemon running.
 pub fn serve<R, W>(input: R, output: &mut W, opts: &ServeOptions) -> Result<ServeStats, String>
 where
     R: BufRead + Send + 'static,
     W: Write,
 {
-    let (tx, rx) = mpsc::channel::<Request>();
-    let reader = std::thread::spawn(move || {
-        for line in input.lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
-            }
-            if tx.send(parse_request(&line)).is_err() {
-                break;
-            }
-        }
-        // Dropping `tx` signals EOF; the main loop treats it as `drain`.
+    let (tx, rx) = mpsc::channel::<Inbound>();
+    spawn_reader(input, 0, tx);
+    let mut daemon = Daemon::new(opts.clone(), false, None);
+    daemon.sessions.push(Session {
+        id: 0,
+        out: Box::new(output),
+        alive: true,
+        eof: false,
+        critical: true,
+        last_activity: Instant::now(),
+        stats: ServeStats::default(),
+        drop_after_events: None,
     });
-
-    let mut emit = |line: String| -> Result<(), String> {
-        writeln!(output, "{line}").map_err(|e| format!("client write: {e}"))?;
-        output.flush().map_err(|e| format!("client write: {e}"))
-    };
-
-    let mut sched = Scheduler::<f64>::with_threads(opts.threads);
-    let mut pending: VecDeque<ServeJob> = VecDeque::new();
-    let mut active: Vec<ServeJob> = Vec::new();
-    let mut stats = ServeStats::default();
-    let mut next_job = 0u64;
-    let mut draining = false;
-
-    emit(format!(
-        "{{\"event\":\"hello\",\"threads\":{},\"slots\":{}}}",
-        sched.host().threads(),
-        opts.slots
-    ))?;
-
-    let mut handle = |req: Request,
-                      pending: &mut VecDeque<ServeJob>,
-                      active: &Vec<ServeJob>,
-                      draining: &mut bool,
-                      stats: &mut ServeStats,
-                      emit: &mut dyn FnMut(String) -> Result<(), String>|
-     -> Result<(), String> {
-        match req {
-            Request::Drain => {
-                *draining = true;
-                emit("{\"event\":\"draining\"}".to_string())
-            }
-            Request::Bad(why) => {
-                stats.rejected += 1;
-                emit(format!("{{\"event\":\"rejected\",\"error\":{}}}", quote(&why)))
-            }
-            Request::Status(id) => {
-                let place = active
-                    .iter()
-                    .find(|j| j.id == id)
-                    .map(|j| ("running", j.last_state))
-                    .or_else(|| pending.iter().find(|j| j.id == id).map(|_| ("queued", None)));
-                match place {
-                    Some((phase, state)) => emit(format!(
-                        "{{\"event\":\"status\",\"job\":{id},\"phase\":{}{}}}",
-                        quote(phase),
-                        match state {
-                            Some(s) => format!(",\"state\":{}", quote(&s.to_string())),
-                            None => String::new(),
-                        }
-                    )),
-                    None => emit(format!(
-                        "{{\"event\":\"status\",\"job\":{id},\"phase\":\"unknown\"}}"
-                    )),
-                }
-            }
-            Request::Submit(spec) => {
-                if *draining {
-                    stats.rejected += 1;
-                    return emit(
-                        "{\"event\":\"rejected\",\"error\":\"daemon is draining\"}".to_string(),
-                    );
-                }
-                let built = build_job(&spec, next_job);
-                match built {
-                    Err(why) => {
-                        stats.rejected += 1;
-                        emit(format!(
-                            "{{\"event\":\"rejected\",\"error\":{}}}",
-                            quote(&why)
-                        ))
-                    }
-                    Ok(job) => {
-                        let qos_label = match job.qos {
-                            Some(QosClass::Interactive) => "interactive",
-                            Some(QosClass::Batch) => "batch",
-                            Some(QosClass::Bulk) => "bulk",
-                            None => "auto",
-                        };
-                        let line = format!(
-                            "{{\"event\":\"accepted\",\"job\":{},\"name\":{},\"qos\":{}}}",
-                            job.id,
-                            quote(&job.name),
-                            quote(qos_label)
-                        );
-                        next_job += 1;
-                        pending.push_back(job);
-                        emit(line)
-                    }
-                }
-            }
-        }
-    };
-
-    loop {
-        // 1. Ingest every waiting request without blocking the jobs.
-        loop {
-            match rx.try_recv() {
-                Ok(req) => handle(
-                    req,
-                    &mut pending,
-                    &active,
-                    &mut draining,
-                    &mut stats,
-                    &mut emit,
-                )?,
-                Err(mpsc::TryRecvError::Empty) => break,
-                Err(mpsc::TryRecvError::Disconnected) => {
-                    draining = true;
-                    break;
-                }
-            }
-        }
-
-        // 2. Admit queued jobs into free slots.
-        while active.len() < opts.slots.max(1) {
-            let Some(mut job) = pending.pop_front() else {
-                break;
-            };
-            let config = match job.config.take() {
-                Some(c) => c,
-                None => continue,
-            };
-            let id = sched.submit(
-                config,
-                Arc::clone(&job.design),
-                job.telemetry.clone(),
-                job.qos,
-            );
-            job.sched = Some(id);
-            active.push(job);
-        }
-
-        // 3. Idle: block for the next request, or exit once drained.
-        if active.is_empty() {
-            if draining && pending.is_empty() {
-                break;
-            }
-            match rx.recv() {
-                Ok(req) => {
-                    handle(
-                        req,
-                        &mut pending,
-                        &active,
-                        &mut draining,
-                        &mut stats,
-                        &mut emit,
-                    )?;
-                    continue;
-                }
-                Err(_) => {
-                    draining = true;
-                    continue;
-                }
-            }
-        }
-
-        // 4. One fair round: every active job gets its quantum.
-        sched.step_round();
-
-        // 5. Stream progress and retire finished jobs.
-        let mut still = Vec::with_capacity(active.len());
-        for mut job in active {
-            let Some(sid) = job.sched else { continue };
-            let (cursor, lines) = job.telemetry.events_since(job.cursor);
-            job.cursor = cursor;
-            for data in lines {
-                emit(format!(
-                    "{{\"event\":\"trace\",\"job\":{},\"data\":{data}}}",
-                    job.id
-                ))?;
-            }
-            match sched.status(sid) {
-                Some(crate::JobStatus::Running { state }) => {
-                    if job.last_state != Some(state) {
-                        job.last_state = Some(state);
-                        emit(format!(
-                            "{{\"event\":\"state\",\"job\":{},\"state\":{}}}",
-                            job.id,
-                            quote(&state.to_string())
-                        ))?;
-                    }
-                    still.push(job);
-                }
-                _ => {
-                    let outcome = sched.take_result(sid);
-                    let trace_path = save_trace(&job, opts);
-                    match outcome {
-                        Some(Ok(r)) => {
-                            stats.completed += 1;
-                            emit(format!(
-                                "{{\"event\":\"done\",\"job\":{},\"hpwl\":{:e},\"iterations\":{},\
-                                 \"overflow\":{:e},\"seconds\":{:.3}{}}}",
-                                job.id,
-                                r.hpwl_final,
-                                r.gp.iterations,
-                                r.gp.final_overflow,
-                                r.timing.total,
-                                match &trace_path {
-                                    Some(p) => format!(
-                                        ",\"trace_path\":{}",
-                                        quote(&p.display().to_string())
-                                    ),
-                                    None => String::new(),
-                                }
-                            ))?;
-                        }
-                        Some(Err(e)) => {
-                            stats.failed += 1;
-                            emit(format!(
-                                "{{\"event\":\"failed\",\"job\":{},\"error\":{}}}",
-                                job.id,
-                                quote(&e.diagnosis())
-                            ))?;
-                        }
-                        None => {
-                            stats.failed += 1;
-                            emit(format!(
-                                "{{\"event\":\"failed\",\"job\":{},\"error\":\"job vanished\"}}",
-                                job.id
-                            ))?;
-                        }
-                    }
-                }
-            }
-        }
-        active = still;
-    }
-
-    emit(format!(
-        "{{\"event\":\"bye\",\"completed\":{},\"failed\":{},\"rejected\":{}}}",
-        stats.completed, stats.failed, stats.rejected
-    ))?;
-    drop(rx);
-    let _ = reader.join();
-    Ok(stats)
+    daemon.sessions_started = 1;
+    daemon.hello(0)?;
+    daemon.run(&rx)?;
+    daemon.shutdown()?;
+    Ok(daemon.stats)
 }
 
-/// Loads/generates the design and builds the job's flow config.
-fn build_job(spec: &JobSpec, id: u64) -> Result<ServeJob, String> {
+/// Runs the daemon as a multi-client TCP service: every accepted
+/// connection is an independent session feeding the one shared scheduler.
+/// With `once`, the listener stops after the first connection and the
+/// daemon exits when that client is done; otherwise it runs until a
+/// client sends `drain`.
+///
+/// # Errors
+///
+/// Returns an error when the daemon's internal state fails irrecoverably;
+/// individual client failures only end their own sessions.
+pub fn serve_tcp(
+    listener: TcpListener,
+    opts: &ServeOptions,
+    once: bool,
+) -> Result<ServeStats, String> {
+    let (tx, rx) = mpsc::channel::<Inbound>();
+    let acceptor_tx = tx.clone();
+    std::thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if acceptor_tx.send(Inbound::Conn(stream)).is_err() {
+                    return;
+                }
+                if once {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    });
+    let mut daemon = Daemon::new(opts.clone(), once, Some(tx));
+    daemon.run(&rx)?;
+    daemon.shutdown()?;
+    Ok(daemon.stats)
+}
+
+/// Loads/generates the design and builds the job, folding the request's
+/// service knobs over the daemon's defaults.
+fn build_job(
+    spec: &JobSpec,
+    id: u64,
+    session: u64,
+    defaults: &ServeOptions,
+) -> Result<ServeJob, String> {
     let design: Arc<GeneratedDesign<f64>> = match &spec.source {
         Source::Aux(path) => {
             let parsed = read_design::<f64>(&PathBuf::from(path))
@@ -680,16 +1453,38 @@ fn build_job(spec: &JobSpec, id: u64) -> Result<ServeJob, String> {
     }
     config.budgets.gp_seconds = spec.gp_seconds;
     config.budgets.dp_seconds = spec.dp_seconds;
+    let class = spec
+        .qos
+        .unwrap_or_else(|| QosClass::from_budgets(&config.budgets));
+    let retry = RetryPolicy {
+        max_attempts: spec.max_attempts.unwrap_or(defaults.retry.max_attempts).max(1),
+        backoff_seconds: spec
+            .backoff_seconds
+            .unwrap_or(defaults.retry.backoff_seconds)
+            .max(0.0),
+        conservative_final: spec
+            .conservative_final
+            .unwrap_or(defaults.retry.conservative_final),
+    };
+    let options = JobOptions {
+        qos: Some(class),
+        deadline_seconds: spec.deadline_seconds,
+        retry,
+        faults: spec.faults,
+    };
     Ok(ServeJob {
         id,
+        session,
         name: design.name.clone(),
         design,
         config: Some(config),
-        qos: spec.qos,
+        class,
+        options,
         telemetry: Telemetry::enabled(),
         cursor: 0,
         sched: None,
         last_state: None,
+        last_attempt: 1,
     })
 }
 
@@ -713,6 +1508,41 @@ fn save_trace(job: &ServeJob, opts: &ServeOptions) -> Option<PathBuf> {
 mod tests {
     use super::*;
     use std::io::Cursor;
+    use std::sync::Mutex;
+
+    /// A `Write` sink whose contents stay readable after being boxed into
+    /// a session.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    fn test_session(id: u64, buf: &SharedBuf) -> Session<'static> {
+        Session {
+            id,
+            out: Box::new(buf.clone()),
+            alive: true,
+            eof: false,
+            critical: true,
+            last_activity: Instant::now(),
+            stats: ServeStats::default(),
+            drop_after_events: None,
+        }
+    }
 
     #[test]
     fn flat_parser_roundtrips_requests() {
@@ -722,11 +1552,41 @@ mod tests {
         assert_eq!(fields[2], ("seed".into(), Value::Num(3.0)));
         assert!(parse_flat("not json").is_err());
         assert!(parse_flat(r#"{"a":1} extra"#).is_err());
+        // Not JSON at all: a malformed line, not a Bad request.
+        assert!(parse_request("not json").is_err());
+        // Valid JSON, invalid request: Bad.
         assert!(matches!(
             parse_request(r#"{"cmd":"submit","preset":"nope"}"#),
-            Request::Bad(_)
+            Ok(Request::Bad(_))
         ));
-        assert!(matches!(parse_request(r#"{"cmd":"drain"}"#), Request::Drain));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"drain"}"#),
+            Ok(Request::Drain)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"status"}"#),
+            Ok(Request::Status(None))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"cancel","job":4}"#),
+            Ok(Request::Cancel(4))
+        ));
+        // Chaos knobs parse into the scheduler's injection struct.
+        let req = parse_request(
+            r#"{"cmd":"submit","preset":"tiny","chaos_panic_at":"gp:3","max_attempts":2}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Submit(spec) => {
+                assert_eq!(spec.faults.panic_at, FlowState::parse("gp:3"));
+                assert_eq!(spec.max_attempts, Some(2));
+            }
+            _ => panic!("expected submit"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"cmd":"submit","preset":"tiny","chaos_panic_at":"nope"}"#),
+            Ok(Request::Bad(_))
+        ));
         // Escapes survive the round trip through quote + parse_string.
         let quoted = quote("a\"b\\c\nd");
         let mut i = 0;
@@ -748,12 +1608,13 @@ mod tests {
         let opts = ServeOptions {
             threads: 1,
             slots: 2,
-            trace_dir: None,
+            ..ServeOptions::default()
         };
         let stats = serve(input, &mut out, &opts).expect("serve runs");
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.errors, 0);
 
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -809,7 +1670,7 @@ mod tests {
         let opts = ServeOptions {
             threads: 2,
             slots: 1,
-            trace_dir: None,
+            ..ServeOptions::default()
         };
         serve(input, &mut out, &opts).expect("serve runs");
         let text = String::from_utf8(out).unwrap();
@@ -818,5 +1679,189 @@ mod tests {
             text.contains(&needle),
             "served HPWL differs from standalone: wanted {needle}"
         );
+    }
+
+    #[test]
+    fn malformed_line_emits_error_and_session_survives() {
+        let input = Cursor::new(
+            [
+                "this is not json",
+                r#"{"cmd":"submit","preset":"tiny","seed":5,"max_iters":15}"#,
+                r#"{"cmd":"drain"}"#,
+            ]
+            .join("\n"),
+        );
+        let mut out = Vec::new();
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 1,
+            ..ServeOptions::default()
+        };
+        let stats = serve(input, &mut out, &opts).expect("serve survives garbage");
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.completed, 1, "the session kept working after the error");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"event\":\"error\",\"line\":1,"));
+        assert!(text.contains("malformed request"));
+        assert!(text.contains("\"errors\":1"));
+    }
+
+    #[test]
+    fn daemon_status_reports_health() {
+        let input = Cursor::new([r#"{"cmd":"status"}"#, r#"{"cmd":"drain"}"#].join("\n"));
+        let mut out = Vec::new();
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 3,
+            ..ServeOptions::default()
+        };
+        serve(input, &mut out, &opts).expect("serve runs");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"event\":\"status\",\"uptime_seconds\":"));
+        assert!(text.contains("\"slots\":3"));
+        assert!(text.contains("\"workers_alive\":"));
+        assert!(text.contains("\"panics_contained\":0"));
+    }
+
+    #[test]
+    fn chaos_knobs_are_rejected_without_the_flag() {
+        let input = Cursor::new(
+            [
+                r#"{"cmd":"submit","preset":"tiny","chaos_panic_at":"gp:3"}"#,
+                r#"{"cmd":"chaos","drop_after_events":2}"#,
+                r#"{"cmd":"drain"}"#,
+            ]
+            .join("\n"),
+        );
+        let mut out = Vec::new();
+        let stats = serve(input, &mut out, &ServeOptions::default()).expect("serve runs");
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.completed, 0);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("chaos injection is disabled"));
+    }
+
+    #[test]
+    fn injected_panic_retries_from_checkpoint_and_completes() {
+        let input = Cursor::new(
+            [
+                concat!(
+                    r#"{"cmd":"submit","cells":80,"nets":90,"seed":6,"max_iters":20,"#,
+                    r#""qos":"interactive","chaos_panic_at":"gp:3","max_attempts":2,"#,
+                    r#""backoff_seconds":0.01,"conservative_final":false}"#
+                ),
+                r#"{"cmd":"drain"}"#,
+            ]
+            .join("\n"),
+        );
+        let mut out = Vec::new();
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 1,
+            allow_chaos: true,
+            ..ServeOptions::default()
+        };
+        let stats = serve(input, &mut out, &opts).expect("serve runs");
+        assert_eq!(stats.completed, 1, "the retried job finished");
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.retries, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"event\":\"retrying\",\"job\":0,\"attempt\":2"));
+        // The contained panic and the retry are timeline events in the trace.
+        assert!(text.contains("injected service panic"));
+        assert!(text.contains("\"event\":\"done\",\"job\":0,"));
+    }
+
+    #[test]
+    fn overload_sheds_bulk_first_then_rejects_the_newest() {
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 1,
+            queue_cap: 1,
+            ..ServeOptions::default()
+        };
+        let mut d = Daemon::new(opts, false, None);
+        let buf = SharedBuf::default();
+        d.sessions.push(test_session(0, &buf));
+        let submit = |d: &mut Daemon<'static>, line: &str| {
+            d.handle(0, parse_request(line).unwrap()).unwrap();
+        };
+        // Job 0 takes the slot; job 1 queues (Bulk).
+        submit(&mut d, r#"{"cmd":"submit","preset":"tiny","seed":1,"qos":"bulk"}"#);
+        submit(&mut d, r#"{"cmd":"submit","preset":"tiny","seed":2,"qos":"bulk"}"#);
+        assert_eq!(d.active.len(), 1);
+        assert_eq!(d.queues[2].len(), 1);
+        // An interactive arrival sheds the queued Bulk job...
+        submit(
+            &mut d,
+            r#"{"cmd":"submit","preset":"tiny","seed":3,"qos":"interactive"}"#,
+        );
+        assert!(d.queues[2].is_empty());
+        assert_eq!(d.queues[0].len(), 1);
+        // ...and a second interactive is itself rejected (nothing queued is
+        // lower-priority than it).
+        submit(
+            &mut d,
+            r#"{"cmd":"submit","preset":"tiny","seed":4,"qos":"interactive"}"#,
+        );
+        assert_eq!(d.queues[0].len(), 1);
+        assert_eq!(d.stats.shed, 2);
+        assert_eq!(d.next_job, 3, "the rejected submission consumed no job id");
+        let text = buf.text();
+        assert!(text.contains("\"event\":\"overloaded\",\"job\":1,"));
+        assert!(text.contains("\"retry_after_seconds\":"));
+        assert!(text.contains("\"error\":\"queue full\""));
+        // Cancelling the queued job frees its slot.
+        d.handle(0, parse_request(r#"{"cmd":"cancel","job":2}"#).unwrap())
+            .unwrap();
+        assert!(d.queues[0].is_empty());
+        assert!(buf.text().contains("\"event\":\"cancelled\",\"job\":2}"));
+    }
+
+    #[test]
+    fn tcp_serves_multiple_clients_concurrently() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        use std::net::TcpStream;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 2,
+            ..ServeOptions::default()
+        };
+        let daemon = std::thread::spawn(move || serve_tcp(listener, &opts, false));
+
+        let client = move |seed: u64, drain: bool| {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(
+                conn,
+                "{{\"cmd\":\"submit\",\"preset\":\"tiny\",\"seed\":{seed},\"max_iters\":15}}"
+            )
+            .unwrap();
+            if drain {
+                writeln!(conn, "{{\"cmd\":\"drain\"}}").unwrap();
+            }
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut lines = Vec::new();
+            for line in BufReader::new(conn).lines() {
+                let Ok(line) = line else { break };
+                lines.push(line);
+            }
+            lines
+        };
+        let c1 = std::thread::spawn(move || client(21, false));
+        let lines1 = c1.join().unwrap();
+        // Second client drains the daemon once its own job is done.
+        let lines2 = client(22, true);
+
+        for lines in [&lines1, &lines2] {
+            assert!(lines.iter().any(|l| l.contains("\"event\":\"hello\"")));
+            assert!(lines.iter().any(|l| l.contains("\"event\":\"done\"")));
+            assert!(lines.last().unwrap().contains("\"event\":\"bye\""));
+        }
+        let stats = daemon.join().unwrap().expect("daemon exits cleanly");
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
     }
 }
