@@ -43,6 +43,7 @@
 //!
 //! [`DreamPlacer::place`]: crate::flow::DreamPlacer::place
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -320,8 +321,6 @@ struct Job<T: Float> {
     /// while the job waits out retry backoff.
     machine: Option<FlowMachine<'static, T>>,
     outcome: Option<JobOutcome<T>>,
-    evicted: bool,
-    cancelled: bool,
     /// Per-attempt busy-seconds deadline (scheduler-side accounting).
     deadline: Option<f64>,
     retry: RetryPolicy,
@@ -331,20 +330,20 @@ struct Job<T: Float> {
     /// Busy seconds of the current attempt (sum of this job's turn
     /// durations — parked time is never charged).
     elapsed: f64,
-    /// Most recent durable checkpoint, refreshed at end of turn while a
-    /// retry policy is active; what a retry resumes from.
+    /// Most recent durable checkpoint, refreshed at turn boundaries
+    /// (throttled, see [`PASSIVE_CHECKPOINT_TURNS`]) while a retry policy
+    /// is active; what a retry resumes from. Dropped the moment the job
+    /// reaches a terminal state.
     checkpoint: Option<CheckpointData<T>>,
+    /// Parked turns since the retry checkpoint was last refreshed.
+    turns_since_capture: u32,
     /// Set while waiting out retry backoff: earliest readmission time.
     retry_at: Option<Instant>,
 }
 
 impl<T: Float> Job<T> {
     fn status(&self) -> JobStatus {
-        if self.evicted {
-            JobStatus::Evicted
-        } else if self.cancelled {
-            JobStatus::Cancelled
-        } else if let Some(m) = &self.machine {
+        if let Some(m) = &self.machine {
             JobStatus::Running { state: m.state() }
         } else if self.retry_at.is_some() {
             JobStatus::Retrying {
@@ -374,10 +373,37 @@ struct FaultCounters {
     workers_respawned: u64,
 }
 
+/// Parked turns between passive retry-checkpoint refreshes. Capturing
+/// clones engine state, so doing it every turn would tax every served job
+/// even when no fault ever occurs; a retry merely resumes a few steps
+/// earlier instead (bit-identity is unaffected — resuming from any
+/// checkpoint replays to the same answer).
+const PASSIVE_CHECKPOINT_TURNS: u32 = 8;
+
+/// Terminal jobs kept as queryable tombstones. A long-running daemon
+/// serves unbounded job counts, so the scheduler cannot remember every job
+/// forever; beyond this many retirements the oldest tombstones are
+/// forgotten and their ids answer like unknown jobs.
+const RETIRED_CAP: usize = 1024;
+
+/// What remains of a retired job: enough to answer [`Scheduler::status`] /
+/// [`Scheduler::job_name`] without retaining its config, design, or
+/// checkpoint.
+struct Retired {
+    id: JobId,
+    name: String,
+    status: JobStatus,
+}
+
 /// The round-robin shared-pool scheduler; see the [module docs](self).
 pub struct Scheduler<T: Float> {
     host: PoolHost,
+    /// Live jobs plus terminal jobs whose outcome has not been taken yet;
+    /// fully terminal jobs move to `retired` so the vector stays bounded
+    /// by the number of jobs in flight.
     jobs: Vec<Job<T>>,
+    /// Capped tombstones of retired jobs, oldest first.
+    retired: VecDeque<Retired>,
     next_id: u64,
     /// Round-robin cursor into `jobs` (index of the next turn).
     cursor: usize,
@@ -390,6 +416,7 @@ impl<T: Float> Scheduler<T> {
         Self {
             host,
             jobs: Vec::new(),
+            retired: VecDeque::new(),
             next_id: 0,
             cursor: 0,
             counters: FaultCounters::default(),
@@ -475,14 +502,13 @@ impl<T: Float> Scheduler<T> {
             design,
             machine: Some(machine),
             outcome: None,
-            evicted: false,
-            cancelled: false,
             deadline,
             retry: opts.retry,
             faults: opts.faults,
             attempt: 1,
             elapsed: 0.0,
             checkpoint: None,
+            turns_since_capture: 0,
             retry_at: None,
         });
         id
@@ -524,14 +550,13 @@ impl<T: Float> Scheduler<T> {
             design,
             machine: Some(machine),
             outcome: None,
-            evicted: false,
-            cancelled: false,
             deadline: None,
             retry: RetryPolicy::none(),
             faults: ServeFaultInjection::default(),
             attempt: 1,
             elapsed: 0.0,
             checkpoint: None,
+            turns_since_capture: 0,
             retry_at: None,
         });
         Ok(id)
@@ -554,9 +579,19 @@ impl<T: Float> Scheduler<T> {
         }
     }
 
-    /// The job's lifecycle status, `None` for an unknown id.
+    /// The job's lifecycle status, `None` for an unknown id (including
+    /// jobs retired past the tombstone cap).
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        self.jobs.iter().find(|j| j.id == id).map(Job::status)
+        self.jobs
+            .iter()
+            .find(|j| j.id == id)
+            .map(Job::status)
+            .or_else(|| {
+                self.retired
+                    .iter()
+                    .find(|r| r.id == id)
+                    .map(|r| r.status)
+            })
     }
 
     /// The design name a job was submitted with, `None` for an unknown id.
@@ -565,11 +600,48 @@ impl<T: Float> Scheduler<T> {
             .iter()
             .find(|j| j.id == id)
             .map(|j| j.name.as_str())
+            .or_else(|| {
+                self.retired
+                    .iter()
+                    .find(|r| r.id == id)
+                    .map(|r| r.name.as_str())
+            })
     }
 
-    /// Ids of all jobs ever submitted, in submission order.
+    /// Ids of all remembered jobs in submission order: every job still in
+    /// the run queue or awaiting [`Scheduler::take_outcome`], plus retired
+    /// jobs up to the tombstone cap.
     pub fn job_ids(&self) -> Vec<JobId> {
-        self.jobs.iter().map(|j| j.id).collect()
+        let mut ids: Vec<JobId> = self
+            .retired
+            .iter()
+            .map(|r| r.id)
+            .chain(self.jobs.iter().map(|j| j.id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Retires the job at `idx`: its config, design reference, telemetry
+    /// handle, and checkpoint are dropped and only a capped tombstone
+    /// remains, so a long-running daemon's memory stays bounded by the
+    /// jobs in flight rather than the jobs ever served.
+    fn forget(&mut self, idx: usize, status: JobStatus) {
+        let job = self.jobs.remove(idx);
+        if idx < self.cursor {
+            self.cursor -= 1;
+        }
+        if self.cursor >= self.jobs.len() {
+            self.cursor = 0;
+        }
+        self.retired.push_back(Retired {
+            id: job.id,
+            name: job.name,
+            status,
+        });
+        while self.retired.len() > RETIRED_CAP {
+            self.retired.pop_front();
+        }
     }
 
     /// Runs one round-robin turn: the next running job in queue order is
@@ -711,10 +783,18 @@ impl<T: Float> Scheduler<T> {
                 // Refresh the retry checkpoint at the turn boundary so a
                 // later panic can resume close to where it struck. Capture
                 // clones engine state, so only pay for it when a retry
-                // policy is active (and the chaos knob lets it through).
-                if job.retry.max_attempts > 1 && !job.faults.fail_capture {
+                // policy is active (and the chaos knob lets it through) and
+                // only every few turns — a retry from a slightly older
+                // checkpoint just replays a few more steps, bit-identically.
+                job.turns_since_capture = job.turns_since_capture.saturating_add(1);
+                if job.retry.max_attempts > 1
+                    && !job.faults.fail_capture
+                    && (job.checkpoint.is_none()
+                        || job.turns_since_capture >= PASSIVE_CHECKPOINT_TURNS)
+                {
                     if let Some(cp) = machine.capture() {
                         job.checkpoint = Some(cp);
+                        job.turns_since_capture = 0;
                     }
                 }
                 job.machine = Some(machine);
@@ -722,6 +802,7 @@ impl<T: Float> Scheduler<T> {
             }
             Verdict::Done => {
                 drop(lease);
+                job.checkpoint = None;
                 job.outcome = Some(match machine.finish() {
                     Some(r) => JobOutcome::Completed(Box::new(r)),
                     None => JobOutcome::Failed(FlowError::Io(std::io::Error::other(
@@ -731,6 +812,7 @@ impl<T: Float> Scheduler<T> {
             }
             Verdict::Errored(e) => {
                 drop(lease);
+                job.checkpoint = None;
                 job.outcome = Some(JobOutcome::Failed(e));
             }
             Verdict::Panicked { message, at } => {
@@ -806,6 +888,7 @@ impl<T: Float> Scheduler<T> {
             );
         } else {
             job.retry_at = None;
+            job.checkpoint = None;
             job.outcome = Some(match kind {
                 FailKind::Panicked { message } => JobOutcome::Panicked {
                     message,
@@ -864,45 +947,51 @@ impl<T: Float> Scheduler<T> {
     }
 
     /// Evicts a running job: captures its durable checkpoint, drops the
-    /// machine, and frees its queue slot. Returns `None` when the job is
+    /// machine, and frees its queue slot (only a tombstone remains; the
+    /// caller owns the checkpoint). Returns `None` when the job is
     /// unknown, not running, or currently in a state with nothing durable
     /// to capture (inputs not loaded yet, mid-LG, batched/skipped DP) — in
     /// that case the job keeps running; step it further and retry.
     pub fn evict(&mut self, id: JobId) -> Option<CheckpointData<T>> {
-        let job = self.jobs.iter_mut().find(|j| j.id == id)?;
-        let machine = job.machine.as_mut()?;
-        let data = machine.capture()?;
-        job.machine = None;
-        job.evicted = true;
+        let idx = self.jobs.iter().position(|j| j.id == id)?;
+        let data = self.jobs[idx].machine.as_mut()?.capture()?;
+        self.forget(idx, JobStatus::Evicted);
         Some(data)
     }
 
     /// Cancels a live job (running or awaiting retry): the machine and any
-    /// stored checkpoint are dropped and no outcome is produced. Returns
-    /// false when the job is unknown or already terminal.
+    /// stored checkpoint are dropped, no outcome is produced, and only a
+    /// tombstone remains. Returns false when the job is unknown or already
+    /// terminal.
     pub fn cancel(&mut self, id: JobId) -> bool {
-        let Some(job) = self.jobs.iter_mut().find(|j| j.id == id) else {
+        let Some(idx) = self.jobs.iter().position(|j| j.id == id) else {
             return false;
         };
-        if !job.live() {
+        if !self.jobs[idx].live() {
             return false;
         }
-        job.machine = None;
-        job.retry_at = None;
-        job.checkpoint = None;
-        job.cancelled = true;
-        job.config
+        self.jobs[idx]
+            .config
             .telemetry
             .point("cancel", "job cancelled by the service layer");
+        self.forget(idx, JobStatus::Cancelled);
         true
     }
 
-    /// Takes a finished job's structured outcome (once). `None` while the
-    /// job is still running or retrying, already taken, evicted,
-    /// cancelled, or unknown.
+    /// Takes a finished job's structured outcome (once); the job is then
+    /// retired to a tombstone (its status keeps answering `Done`/`Failed`)
+    /// so the scheduler does not accumulate state for every job ever
+    /// served. `None` while the job is still running or retrying, already
+    /// taken, evicted, cancelled, or unknown.
     pub fn take_outcome(&mut self, id: JobId) -> Option<JobOutcome<T>> {
-        let job = self.jobs.iter_mut().find(|j| j.id == id)?;
-        job.outcome.take()
+        let idx = self.jobs.iter().position(|j| j.id == id)?;
+        let outcome = self.jobs[idx].outcome.take()?;
+        let status = match &outcome {
+            JobOutcome::Completed(_) => JobStatus::Done,
+            _ => JobStatus::Failed,
+        };
+        self.forget(idx, status);
+        Some(outcome)
     }
 
     /// [`Scheduler::take_outcome`] flattened to the pre-service result
@@ -1076,6 +1165,40 @@ mod tests {
             QosClass::Bulk
         );
         assert!(QosClass::Bulk.quantum() > QosClass::Interactive.quantum());
+    }
+
+    #[test]
+    fn terminal_jobs_are_retired_to_tombstones() {
+        let d = small_design(77);
+        let mut sched = Scheduler::with_threads(1);
+        let id = sched.submit(
+            small_config(&d, 1),
+            Arc::clone(&d),
+            Telemetry::disabled(),
+            None,
+        );
+        sched.run_all();
+        assert_eq!(sched.jobs.len(), 1, "outcome not taken yet: job retained");
+        assert!(sched.take_result(id).is_some());
+        assert!(
+            sched.jobs.is_empty(),
+            "taking the outcome retires the job's config/design/checkpoint"
+        );
+        // The tombstone keeps answering queries...
+        assert_eq!(sched.status(id), Some(JobStatus::Done));
+        assert_eq!(sched.job_name(id), Some("sched-77"));
+        assert_eq!(sched.job_ids(), vec![id]);
+        // ...and cancellation retires the job immediately.
+        let id2 = sched.submit(
+            small_config(&d, 1),
+            Arc::clone(&d),
+            Telemetry::disabled(),
+            None,
+        );
+        assert!(sched.cancel(id2));
+        assert!(sched.jobs.is_empty());
+        assert_eq!(sched.status(id2), Some(JobStatus::Cancelled));
+        assert!(!sched.cancel(id2), "a retired job cannot be re-cancelled");
     }
 
     #[test]

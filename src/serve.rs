@@ -20,6 +20,14 @@
 //! * A malformed request line is answered with a structured `error` event
 //!   (carrying the line number) and the session stays alive; the daemon
 //!   exits non-zero only on transport errors of the primary stream.
+//! * A request line longer than 1 MiB is discarded in capped chunks (the
+//!   reader never buffers it whole) and answered with an `error` event.
+//! * Per-job `status` and `cancel` are session-scoped: another tenant's
+//!   job id answers `unknown`, and only the owning session can cancel its
+//!   jobs.
+//! * Event writes to TCP sessions carry a short timeout, so one stalled
+//!   client is disconnected instead of wedging the daemon loop for every
+//!   other tenant.
 //! * When the admission queues are full, the lowest-priority newest job is
 //!   shed with an `overloaded` event and a `retry_after_seconds` hint
 //!   (Bulk first, then Batch, then Interactive).
@@ -433,6 +441,13 @@ fn parse_request(line: &str) -> Result<Request, String> {
 // The daemon
 // ---------------------------------------------------------------------------
 
+/// Upper bound on one event write to a TCP session. The daemon loop
+/// writes events synchronously, so without it a single stalled client
+/// (full socket send buffer) would block `emit` indefinitely and wedge
+/// the scheduler for every other tenant; with it the write errors, which
+/// disconnects only the slow session.
+const TCP_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// What to do with a session's jobs when its connection drops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DisconnectPolicy {
@@ -573,6 +588,12 @@ enum Inbound {
         line_no: u64,
         line: String,
     },
+    /// A request line longer than [`MAX_LINE_BYTES`]; the excess was
+    /// discarded by the reader and the line never buffered whole.
+    Oversize {
+        session: u64,
+        line_no: u64,
+    },
     Eof {
         session: u64,
     },
@@ -583,20 +604,55 @@ enum Inbound {
     },
 }
 
+/// Longest accepted request line. A client that streams bytes without
+/// ever sending a newline must not grow the reader's buffer without
+/// bound, so past this cap the rest of the line is discarded chunk by
+/// chunk and answered with a structured `error` event.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
 /// Reads a session's input line by line on its own thread. Uses
 /// `read_until` + lossy UTF-8 so invalid bytes become a malformed-request
 /// *line* (answered with an `error` event) instead of killing the session,
-/// which `BufRead::lines` would.
-fn spawn_reader<R: BufRead + Send + 'static>(mut input: R, session: u64, tx: mpsc::Sender<Inbound>) {
+/// which `BufRead::lines` would. Line length is capped at
+/// [`MAX_LINE_BYTES`] (see [`Inbound::Oversize`]).
+fn spawn_reader<R: BufRead + Send + 'static>(input: R, session: u64, tx: mpsc::Sender<Inbound>) {
     std::thread::spawn(move || {
+        let mut input = input.take(0);
         let mut line_no = 0u64;
         let mut buf = Vec::new();
         loop {
             buf.clear();
+            // One extra byte so a line of exactly MAX_LINE_BYTES plus its
+            // newline still fits.
+            input.set_limit(MAX_LINE_BYTES as u64 + 1);
             match input.read_until(b'\n', &mut buf) {
                 Ok(0) => {
                     let _ = tx.send(Inbound::Eof { session });
                     return;
+                }
+                Ok(_) if buf.len() > MAX_LINE_BYTES && !buf.ends_with(b"\n") => {
+                    line_no += 1;
+                    // Discard the rest of the oversized line in capped
+                    // chunks; the buffer never exceeds the limit.
+                    loop {
+                        buf.clear();
+                        input.set_limit(MAX_LINE_BYTES as u64);
+                        match input.read_until(b'\n', &mut buf) {
+                            Ok(0) => break,
+                            Ok(_) if buf.ends_with(b"\n") => break,
+                            Ok(_) => continue,
+                            Err(e) => {
+                                let _ = tx.send(Inbound::Transport {
+                                    session,
+                                    error: e.to_string(),
+                                });
+                                return;
+                            }
+                        }
+                    }
+                    if tx.send(Inbound::Oversize { session, line_no }).is_err() {
+                        return;
+                    }
                 }
                 Ok(_) => {
                     line_no += 1;
@@ -804,6 +860,11 @@ impl<'w> Daemon<'w> {
                 let Ok(reader) = stream.try_clone() else {
                     return Ok(());
                 };
+                // A stalled client whose socket send buffer fills must not
+                // wedge the single daemon loop (and every other tenant)
+                // behind a blocking write: bound each write, and let the
+                // resulting error disconnect just this session.
+                let _ = stream.set_write_timeout(Some(TCP_WRITE_TIMEOUT));
                 self.sessions.push(Session {
                     id: sid,
                     out: Box::new(stream),
@@ -844,6 +905,22 @@ impl<'w> Daemon<'w> {
                     }
                     Ok(req) => self.handle(session, req),
                 }
+            }
+            Inbound::Oversize { session, line_no } => {
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.id == session) {
+                    s.last_activity = Instant::now();
+                }
+                self.stats.errors += 1;
+                if let Some(st) = self.session_stats(session) {
+                    st.errors += 1;
+                }
+                self.emit(
+                    session,
+                    &format!(
+                        "{{\"event\":\"error\",\"line\":{line_no},\"error\":\
+                         \"request line exceeds {MAX_LINE_BYTES} bytes\"}}"
+                    ),
+                )
             }
             Inbound::Eof { session } => {
                 let critical = self
@@ -932,7 +1009,12 @@ impl<'w> Daemon<'w> {
                 self.emit(sid, &line)
             }
             Request::Status(Some(id)) => {
-                let line = if let Some(j) = self.active.iter().find(|j| j.id == id) {
+                // Jobs are session-scoped: another tenant's job answers
+                // `unknown`, exactly like a job that never existed, so ids
+                // leak nothing across connections.
+                let line = if let Some(j) =
+                    self.active.iter().find(|j| j.id == id && j.session == sid)
+                {
                     match j.sched.and_then(|s| self.sched.status(s)) {
                         Some(JobStatus::Running { state }) => format!(
                             "{{\"event\":\"status\",\"job\":{id},\"phase\":\"running\",\"state\":{}}}",
@@ -945,7 +1027,11 @@ impl<'w> Daemon<'w> {
                             "{{\"event\":\"status\",\"job\":{id},\"phase\":\"finishing\"}}"
                         ),
                     }
-                } else if self.queues.iter().any(|q| q.iter().any(|j| j.id == id)) {
+                } else if self
+                    .queues
+                    .iter()
+                    .any(|q| q.iter().any(|j| j.id == id && j.session == sid))
+                {
                     format!("{{\"event\":\"status\",\"job\":{id},\"phase\":\"queued\"}}")
                 } else {
                     format!("{{\"event\":\"status\",\"job\":{id},\"phase\":\"unknown\"}}")
@@ -953,7 +1039,16 @@ impl<'w> Daemon<'w> {
                 self.emit(sid, &line)
             }
             Request::Cancel(id) => {
-                if let Some(sched_id) = self.active.iter().find(|j| j.id == id).map(|j| j.sched) {
+                // Only the owning session may cancel a job — any client
+                // could otherwise guess the small sequential ids and kill
+                // other tenants' work. The owner's `cancelled` event is its
+                // job's one terminal event.
+                if let Some(sched_id) = self
+                    .active
+                    .iter()
+                    .find(|j| j.id == id && j.session == sid)
+                    .map(|j| j.sched)
+                {
                     if let Some(s) = sched_id {
                         self.sched.cancel(s);
                     }
@@ -962,7 +1057,7 @@ impl<'w> Daemon<'w> {
                 } else {
                     let mut found = false;
                     for q in &mut self.queues {
-                        if let Some(pos) = q.iter().position(|j| j.id == id) {
+                        if let Some(pos) = q.iter().position(|j| j.id == id && j.session == sid) {
                             q.remove(pos);
                             found = true;
                             break;
@@ -1816,6 +1911,82 @@ mod tests {
             .unwrap();
         assert!(d.queues[0].is_empty());
         assert!(buf.text().contains("\"event\":\"cancelled\",\"job\":2}"));
+    }
+
+    #[test]
+    fn cancel_and_status_are_session_scoped() {
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 1,
+            ..ServeOptions::default()
+        };
+        let mut d = Daemon::new(opts, false, None);
+        let b0 = SharedBuf::default();
+        let b1 = SharedBuf::default();
+        d.sessions.push(test_session(0, &b0));
+        d.sessions.push(test_session(1, &b1));
+        // Session 0 owns job 0 (running) and job 1 (queued; slots=1).
+        for line in [
+            r#"{"cmd":"submit","preset":"tiny","seed":1}"#,
+            r#"{"cmd":"submit","preset":"tiny","seed":2}"#,
+        ] {
+            d.handle(0, parse_request(line).unwrap()).unwrap();
+        }
+        assert_eq!(d.active.len(), 1);
+        assert_eq!(d.queues[2].len(), 1);
+        // A stranger can neither see nor cancel either job.
+        for line in [
+            r#"{"cmd":"cancel","job":0}"#,
+            r#"{"cmd":"cancel","job":1}"#,
+            r#"{"cmd":"status","job":0}"#,
+        ] {
+            d.handle(1, parse_request(line).unwrap()).unwrap();
+        }
+        assert_eq!(d.active.len(), 1, "running job survives a foreign cancel");
+        assert_eq!(d.queues[2].len(), 1, "queued job survives a foreign cancel");
+        assert!(matches!(
+            d.active[0].sched.and_then(|s| d.sched.status(s)),
+            Some(JobStatus::Running { .. })
+        ));
+        let t1 = b1.text();
+        assert!(!t1.contains("\"event\":\"cancelled\""));
+        assert_eq!(t1.matches("\"phase\":\"unknown\"").count(), 3);
+        // The owner can do both.
+        d.handle(0, parse_request(r#"{"cmd":"status","job":0}"#).unwrap())
+            .unwrap();
+        d.handle(0, parse_request(r#"{"cmd":"cancel","job":0}"#).unwrap())
+            .unwrap();
+        let t0 = b0.text();
+        assert!(t0.contains("\"phase\":\"running\""));
+        assert!(t0.contains("\"event\":\"cancelled\",\"job\":0}"));
+    }
+
+    #[test]
+    fn oversized_line_is_bounded_and_answered_with_an_error() {
+        // An un-terminated megabyte-plus line must not grow the reader's
+        // buffer without bound or kill the session: it is discarded, the
+        // client gets a structured error, and the next request still works.
+        let mut script = vec![b'x'; MAX_LINE_BYTES + MAX_LINE_BYTES / 2];
+        script.push(b'\n');
+        script.extend_from_slice(
+            [
+                r#"{"cmd":"submit","preset":"tiny","seed":5,"max_iters":15}"#,
+                r#"{"cmd":"drain"}"#,
+            ]
+            .join("\n")
+            .as_bytes(),
+        );
+        let mut out = Vec::new();
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 1,
+            ..ServeOptions::default()
+        };
+        let stats = serve(Cursor::new(script), &mut out, &opts).expect("serve survives");
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.completed, 1, "the session kept working after the flood");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(&format!("request line exceeds {MAX_LINE_BYTES} bytes")));
     }
 
     #[test]
