@@ -1,0 +1,85 @@
+//! Measures the metrics-registry overhead of a scheduler-driven run on
+//! the 420-cell golden design — the budget DESIGN.md §16 commits to
+//! (< 2% wall-clock with every counter, gauge, and histogram live).
+//!
+//! ```text
+//! cargo run -p dp-bench --release --bin metrics_overhead
+//! ```
+//!
+//! The instrumented arm goes through [`Scheduler::set_metrics`] so the
+//! scheduler *and* worker-pool instruments are both hot, and renders a
+//! full Prometheus exposition per run — the scrape cost is part of the
+//! budget, exactly like the JSONL sink is for `trace_overhead`.
+
+use std::sync::Arc;
+
+use dp_bench::best_of;
+use dp_telemetry::metrics::Metrics;
+use dp_telemetry::Telemetry;
+use dreamplace_core::{FlowConfig, JobOutcome, JobStatus, Scheduler, ToolMode};
+
+const THREADS: usize = 2;
+
+fn config(design: &dp_gen::GeneratedDesign<f64>) -> FlowConfig<f64> {
+    let mut cfg = FlowConfig::for_mode(ToolMode::DreamplaceCpu { threads: THREADS }, &design.netlist);
+    cfg.gp.max_iters = 300;
+    cfg.gp.target_overflow = 0.12;
+    cfg.gp.threads = THREADS;
+    cfg.gp.deterministic = Some(true);
+    cfg.run_dp = true;
+    cfg
+}
+
+/// One full scheduler-driven placement; `metrics` optionally instruments
+/// the scheduler + pool layers.
+fn run_once(design: &Arc<dp_gen::GeneratedDesign<f64>>, metrics: Option<&Metrics>) {
+    let mut sched = Scheduler::with_threads(THREADS);
+    if let Some(m) = metrics {
+        sched.set_metrics(m);
+    }
+    let id = sched.submit(config(design), Arc::clone(design), Telemetry::disabled(), None);
+    loop {
+        sched.step_round();
+        match sched.status(id) {
+            Some(JobStatus::Running { .. }) | Some(JobStatus::Retrying { .. }) => continue,
+            _ => break,
+        }
+    }
+    sched.health();
+    match sched.take_outcome(id) {
+        Some(JobOutcome::Completed(_)) => {}
+        _ => panic!("golden job did not complete"),
+    }
+}
+
+fn main() {
+    let design = Arc::new(
+        dp_gen::GeneratorConfig::new("overhead", 420, 460)
+            .with_seed(71)
+            .with_utilization(0.6)
+            .generate::<f64>()
+            .expect("presets always generate"),
+    );
+    let reps: usize = std::env::var("DP_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+
+    // Warm-up so both arms see hot caches and a grown heap.
+    run_once(&design, None);
+
+    let off = best_of(reps, || run_once(&design, None));
+    let on = best_of(reps, || {
+        let metrics = Metrics::enabled();
+        run_once(&design, Some(&metrics));
+        // The budget covers exposition too: render the full scrape text
+        // like the `--metrics-listen` endpoint does.
+        metrics.render().len()
+    });
+
+    let overhead = (on / off - 1.0) * 100.0;
+    println!("420-cell golden design, scheduler-driven, best of {reps} runs each:");
+    println!("  metrics disabled         {:>8.1}ms", off * 1e3);
+    println!("  metrics enabled + scrape {:>8.1}ms", on * 1e3);
+    println!("  overhead                 {overhead:>+8.1}%  (budget < 2%)");
+}

@@ -64,4 +64,7 @@ pub use replay::{
     ReplayReport, StageReplay,
 };
 pub use checkpoint::{validate_checkpoint_file, validate_checkpoint_str, CkptError, CkptSummary};
-pub use trace::{validate_file, validate_str, TraceError, TraceSummary};
+pub use trace::{
+    validate_file, validate_postmortem_file, validate_postmortem_str, validate_str,
+    PostmortemSummary, TraceError, TraceSummary, POSTMORTEM_EVENT_CAP,
+};

@@ -78,6 +78,11 @@ pub struct TraceSummary {
     /// a job that panicked or timed out and was retried from its last
     /// checkpoint carries one per attempt after the first.
     pub retries: usize,
+    /// Contained-panic points among them (name == "panic"); the scheduler
+    /// records one per attempt that died inside `catch_unwind`.
+    pub panics: usize,
+    /// Deadline-timeout points among them (name == "timeout").
+    pub timeouts: usize,
     /// Kernel counter summaries.
     pub kernels: usize,
     /// Per-worker pool summaries.
@@ -442,6 +447,12 @@ pub fn validate_str(text: &str) -> Result<TraceSummary, TraceError> {
                 if name == "retry" {
                     summary.retries += 1;
                 }
+                if name == "panic" {
+                    summary.panics += 1;
+                }
+                if name == "timeout" {
+                    summary.timeouts += 1;
+                }
                 summary.points += 1;
             }
             "kernel" => {
@@ -499,6 +510,145 @@ pub fn validate_str(text: &str) -> Result<TraceSummary, TraceError> {
 /// [`TraceError::Io`] if unreadable, otherwise the first violation.
 pub fn validate_file(path: &Path) -> Result<TraceSummary, TraceError> {
     validate_str(&std::fs::read_to_string(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// Postmortem (flight recorder) dumps
+// ---------------------------------------------------------------------------
+
+/// The dp-serve flight recorder keeps at most this many trace events per
+/// job; a `job-N.postmortem.jsonl` dump is that window plus one terminal
+/// `postmortem` marker point, so its line count is bounded by this + 1.
+/// Mirrors `dreamplace::serve::POSTMORTEM_EVENTS` (asserted equal by the
+/// tier-1 metrics smoke test, since the crates must not depend on each
+/// other just to share one constant).
+pub const POSTMORTEM_EVENT_CAP: usize = 64;
+
+/// What a valid postmortem dump contained, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostmortemSummary {
+    /// Non-empty lines validated (recorded events + the marker).
+    pub lines: usize,
+    /// Timeline `point` events, the marker included.
+    pub points: usize,
+    /// Contained-panic points (name == "panic").
+    pub panics: usize,
+    /// Deadline-timeout points (name == "timeout").
+    pub timeouts: usize,
+    /// Retry points (name == "retry").
+    pub retries: usize,
+}
+
+/// Required keys per event kind, for the windowed (per-line) check.
+fn event_keys(ev: &str) -> Option<&'static [&'static str]> {
+    match ev {
+        "begin" => Some(&["id", "parent", "kind", "name", "t", "tid"]),
+        "end" => Some(&["id", "t", "tid"]),
+        "iter" => Some(&["span", "k", "hpwl", "overflow", "lambda", "gamma", "t", "tid"]),
+        "point" => Some(&["span", "name", "detail", "t", "tid"]),
+        "kernel" => Some(&["name", "calls", "nanos"]),
+        "ws" => Some(&["name", "uses", "reuses", "bytes"]),
+        "worker" => Some(&["pool", "worker", "launches", "nanos"]),
+        "meta" => Some(&["key", "value"]),
+        _ => None,
+    }
+}
+
+/// Per-key type in the trace schema.
+fn key_type_ok(key: &str, value: &Value) -> bool {
+    match key {
+        "kind" | "name" | "detail" | "key" | "value" | "pool" | "ev" => value.as_str().is_some(),
+        "hpwl" | "overflow" | "lambda" | "gamma" => value.as_f64().is_some(),
+        _ => value.as_u64().is_some(),
+    }
+}
+
+/// Validates a flight-recorder dump held in memory.
+///
+/// A postmortem is a *window* over a live trace, so the whole-trace
+/// invariants (balanced spans, open-parent references) cannot apply: the
+/// window may start mid-span. What must hold instead:
+///
+/// 1. every line is a flat JSON object matching one event kind's exact
+///    key set, with the right value types (same per-line schema as
+///    [`validate_str`]);
+/// 2. the dump is bounded: at most [`POSTMORTEM_EVENT_CAP`] recorded
+///    events plus the marker;
+/// 3. the last line — and only the last — is a `point` named
+///    `postmortem`, proving the dump was terminated deliberately rather
+///    than truncated by a crash.
+///
+/// # Errors
+///
+/// The first violated rule, with its line number where applicable.
+pub fn validate_postmortem_str(text: &str) -> Result<PostmortemSummary, TraceError> {
+    let mut summary = PostmortemSummary::default();
+    let mut last_marker = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let err = |msg: String| TraceError::Line { line: line_no, msg };
+        if last_marker {
+            return Err(err("events after the terminal `postmortem` marker".into()));
+        }
+        let fields = parse_flat_object(raw).map_err(err)?;
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let ev = get("ev")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing string key `ev`".into()))?
+            .to_string();
+        let expected = event_keys(&ev).ok_or_else(|| err(format!("unknown ev `{ev}`")))?;
+        for key in expected {
+            let value = get(key).ok_or_else(|| err(format!("missing key `{key}`")))?;
+            if !key_type_ok(key, value) {
+                return Err(err(format!("`{key}` has the wrong type for ev `{ev}`")));
+            }
+        }
+        for (k, _) in &fields {
+            if k != "ev" && !expected.contains(&k.as_str()) {
+                return Err(err(format!("unknown key `{k}` for ev `{ev}`")));
+            }
+        }
+        if ev == "point" {
+            summary.points += 1;
+            match get("name").and_then(Value::as_str) {
+                Some("panic") => summary.panics += 1,
+                Some("timeout") => summary.timeouts += 1,
+                Some("retry") => summary.retries += 1,
+                Some("postmortem") => last_marker = true,
+                _ => {}
+            }
+        }
+        summary.lines += 1;
+    }
+    if summary.lines == 0 {
+        return Err(TraceError::Eof("empty postmortem".to_string()));
+    }
+    if !last_marker {
+        return Err(TraceError::Eof(
+            "missing terminal `postmortem` marker point".to_string(),
+        ));
+    }
+    if summary.lines > POSTMORTEM_EVENT_CAP + 1 {
+        return Err(TraceError::Eof(format!(
+            "{} lines exceed the flight-recorder bound of {} events + marker",
+            summary.lines,
+            POSTMORTEM_EVENT_CAP
+        )));
+    }
+    Ok(summary)
+}
+
+/// Reads and validates a `job-N.postmortem.jsonl` flight-recorder dump.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] if unreadable, otherwise the first violation.
+pub fn validate_postmortem_file(path: &Path) -> Result<PostmortemSummary, TraceError> {
+    validate_postmortem_str(&std::fs::read_to_string(path)?)
 }
 
 #[cfg(test)]
@@ -603,6 +753,80 @@ mod tests {
         assert_eq!(s.metas, 1);
         assert!(validate_str("{\"ev\":\"meta\",\"key\":\"k\",\"value\":{}}\n").is_err());
         assert!(validate_str("not json\n").is_err());
+    }
+
+    fn marker_line(t: u64) -> String {
+        format!(
+            "{{\"ev\":\"point\",\"span\":0,\"name\":\"postmortem\",\"detail\":\"d\",\"t\":{t},\"tid\":0}}"
+        )
+    }
+
+    #[test]
+    fn postmortem_accepts_a_bounded_window_and_counts_faults() {
+        let text = concat!(
+            // A window may start mid-span: this `end` has no `begin`.
+            "{\"ev\":\"end\",\"id\":9,\"t\":3,\"tid\":0}\n",
+            "{\"ev\":\"point\",\"span\":0,\"name\":\"panic\",\"detail\":\"boom\",\"t\":4,\"tid\":0}\n",
+            "{\"ev\":\"point\",\"span\":0,\"name\":\"retry\",\"detail\":\"attempt 2\",\"t\":5,\"tid\":0}\n",
+            "{\"ev\":\"point\",\"span\":0,\"name\":\"timeout\",\"detail\":\"late\",\"t\":6,\"tid\":0}\n",
+        )
+        .to_string()
+            + &marker_line(6)
+            + "\n";
+        let s = validate_postmortem_str(&text).expect("valid postmortem");
+        assert_eq!(s.lines, 5);
+        assert_eq!(s.panics, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.retries, 1);
+        // The same window fails whole-trace validation (unbalanced spans),
+        // which is exactly why postmortems get their own validator.
+        assert!(validate_str(&text).is_err());
+    }
+
+    #[test]
+    fn postmortem_requires_the_terminal_marker_last() {
+        // No marker at all: truncated dump.
+        let no_marker =
+            "{\"ev\":\"point\",\"span\":0,\"name\":\"panic\",\"detail\":\"x\",\"t\":1,\"tid\":0}\n";
+        let err = validate_postmortem_str(no_marker).unwrap_err();
+        assert!(err.to_string().contains("marker"), "{err}");
+        // Events after the marker: corrupt dump.
+        let trailing = marker_line(1)
+            + "\n{\"ev\":\"point\",\"span\":0,\"name\":\"n\",\"detail\":\"d\",\"t\":2,\"tid\":0}\n";
+        let err = validate_postmortem_str(&trailing).unwrap_err();
+        assert!(err.to_string().contains("after the terminal"), "{err}");
+        // Schema still applies per line.
+        let bad = "{\"ev\":\"bogus\"}\n".to_string() + &marker_line(1) + "\n";
+        assert!(validate_postmortem_str(&bad).is_err());
+    }
+
+    #[test]
+    fn postmortem_rejects_an_oversized_dump() {
+        let mut text = String::new();
+        for t in 0..POSTMORTEM_EVENT_CAP + 1 {
+            text.push_str(&format!(
+                "{{\"ev\":\"point\",\"span\":0,\"name\":\"n\",\"detail\":\"d\",\"t\":{t},\"tid\":0}}\n"
+            ));
+        }
+        text.push_str(&marker_line(POSTMORTEM_EVENT_CAP as u64 + 1));
+        text.push('\n');
+        let err = validate_postmortem_str(&text).unwrap_err();
+        assert!(err.to_string().contains("exceed"), "{err}");
+    }
+
+    #[test]
+    fn trace_summary_counts_panic_and_timeout_points() {
+        let text = concat!(
+            "{\"ev\":\"begin\",\"id\":1,\"parent\":0,\"kind\":\"flow\",\"name\":\"t\",\"t\":0,\"tid\":0}\n",
+            "{\"ev\":\"point\",\"span\":1,\"name\":\"panic\",\"detail\":\"boom\",\"t\":1,\"tid\":0}\n",
+            "{\"ev\":\"point\",\"span\":1,\"name\":\"retry\",\"detail\":\"a2\",\"t\":2,\"tid\":0}\n",
+            "{\"ev\":\"point\",\"span\":1,\"name\":\"timeout\",\"detail\":\"late\",\"t\":3,\"tid\":0}\n",
+            "{\"ev\":\"end\",\"id\":1,\"t\":4,\"tid\":0}\n",
+        );
+        let s = validate_str(text).expect("valid");
+        assert_eq!(s.panics, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.retries, 1);
     }
 
     #[test]

@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 use dp_gen::GeneratedDesign;
 use dp_gp::ExecBinding;
 use dp_num::{Float, PoolHealth, PoolHost, PoolTenant};
+use dp_telemetry::metrics::{Counter, Histogram, Metrics, LATENCY_BUCKETS};
 use dp_telemetry::Telemetry;
 
 use crate::flow::{conservative_preset, FlowConfig, FlowError, FlowResult, StageBudgets};
@@ -373,6 +374,122 @@ struct FaultCounters {
     workers_respawned: u64,
 }
 
+/// Coarse stage label of a pending [`FlowState`] for the per-stage
+/// step-latency histograms (iteration/pass indices collapse into one
+/// series per stage).
+fn stage_label(state: FlowState) -> &'static str {
+    match state {
+        FlowState::Init => "init",
+        FlowState::Sanitize => "sanitize",
+        FlowState::Gp { .. } => "gp",
+        FlowState::Lg => "lg",
+        FlowState::Dp { .. } => "dp",
+        FlowState::Finish => "finish",
+        FlowState::Done | FlowState::Failed => "terminal",
+    }
+}
+
+/// The six stage labels [`stage_label`] can produce for a *pending*
+/// (steppable) state, in flow order.
+const STAGE_LABELS: [&str; 6] = ["init", "sanitize", "gp", "lg", "dp", "finish"];
+
+/// The scheduler's slice of the service metrics plane: cached instrument
+/// handles (see [`Scheduler::set_metrics`]). Every record call is a relaxed
+/// atomic; nothing here feeds back into the numerics, so instrumented runs
+/// stay bit-identical.
+struct SchedMetrics {
+    /// `dp_sched_jobs_total{outcome=...}` — jobs by terminal outcome.
+    completed: Counter,
+    failed: Counter,
+    panicked: Counter,
+    timed_out: Counter,
+    cancelled: Counter,
+    evicted: Counter,
+    /// `dp_sched_jobs_submitted_total`.
+    submitted: Counter,
+    /// Fault-path counters (mirror [`FaultCounters`]).
+    panics_contained: Counter,
+    timeouts: Counter,
+    retries: Counter,
+    workers_respawned: Counter,
+    /// `dp_sched_turns_total{kind="busy"|"idle"}` — turn utilization.
+    turns_busy: Counter,
+    turns_idle: Counter,
+    /// `dp_sched_step_seconds{stage=...}` — per-stage step latency.
+    steps: [Histogram; STAGE_LABELS.len()],
+    /// Fallback series for steps observed at a terminal state (defensive;
+    /// normally unreachable).
+    steps_other: Histogram,
+}
+
+impl SchedMetrics {
+    fn new(metrics: &Metrics) -> Self {
+        let outcome = |o: &str| {
+            metrics.counter_with(
+                "dp_sched_jobs_total",
+                "Jobs retired by terminal outcome.",
+                &[("outcome", o)],
+            )
+        };
+        let step_hist = |stage: &str| {
+            metrics.histogram_with(
+                "dp_sched_step_seconds",
+                "Latency of one flow-machine step, by stage.",
+                &LATENCY_BUCKETS,
+                &[("stage", stage)],
+            )
+        };
+        Self {
+            completed: outcome("completed"),
+            failed: outcome("failed"),
+            panicked: outcome("panicked"),
+            timed_out: outcome("timed_out"),
+            cancelled: outcome("cancelled"),
+            evicted: outcome("evicted"),
+            submitted: metrics.counter(
+                "dp_sched_jobs_submitted_total",
+                "Jobs accepted into the run queue (fresh and resumed).",
+            ),
+            panics_contained: metrics.counter(
+                "dp_sched_panics_contained_total",
+                "Job panics contained by the turn's catch_unwind.",
+            ),
+            timeouts: metrics.counter(
+                "dp_sched_timeouts_total",
+                "Per-attempt busy-time deadline expirations.",
+            ),
+            retries: metrics.counter(
+                "dp_sched_retries_total",
+                "Retry attempts scheduled after contained panics or timeouts.",
+            ),
+            workers_respawned: metrics.counter(
+                "dp_sched_workers_respawned_total",
+                "Dead pool workers replaced after contained panics.",
+            ),
+            turns_busy: metrics.counter_with(
+                "dp_sched_turns_total",
+                "Scheduler turns by utilization (busy = the job progressed).",
+                &[("kind", "busy")],
+            ),
+            turns_idle: metrics.counter_with(
+                "dp_sched_turns_total",
+                "Scheduler turns by utilization (busy = the job progressed).",
+                &[("kind", "idle")],
+            ),
+            steps: STAGE_LABELS.map(step_hist),
+            steps_other: step_hist("other"),
+        }
+    }
+
+    fn step_histogram(&self, state: FlowState) -> &Histogram {
+        let label = stage_label(state);
+        STAGE_LABELS
+            .iter()
+            .position(|s| *s == label)
+            .map_or(&self.steps_other, |i| &self.steps[i])
+    }
+}
+
 /// Parked turns between passive retry-checkpoint refreshes. Capturing
 /// clones engine state, so doing it every turn would tax every served job
 /// even when no fault ever occurs; a retry merely resumes a few steps
@@ -408,6 +525,8 @@ pub struct Scheduler<T: Float> {
     /// Round-robin cursor into `jobs` (index of the next turn).
     cursor: usize,
     counters: FaultCounters,
+    /// Service metrics instruments; `None` until [`Scheduler::set_metrics`].
+    metrics: Option<SchedMetrics>,
 }
 
 impl<T: Float> Scheduler<T> {
@@ -420,7 +539,30 @@ impl<T: Float> Scheduler<T> {
             next_id: 0,
             cursor: 0,
             counters: FaultCounters::default(),
+            metrics: None,
         }
+    }
+
+    /// Registers this scheduler (and its shared pool) with the service
+    /// metrics plane: jobs by terminal outcome, fault counters, per-stage
+    /// step-latency histograms, and busy-vs-idle turn counters, all under
+    /// `dp_sched_*` (pool instruments under `dp_pool_*`). Instrument
+    /// handles are cached, so record calls on the turn path are relaxed
+    /// atomics — no registry lock, no change to any placement bit. A
+    /// disabled registry leaves the scheduler unregistered.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let m = SchedMetrics::new(metrics);
+        // Seed the fault counters with faults contained before
+        // registration so scrape deltas line up with `health()`.
+        m.panics_contained.add(self.counters.panics_contained);
+        m.timeouts.add(self.counters.timeouts);
+        m.retries.add(self.counters.retries);
+        m.workers_respawned.add(self.counters.workers_respawned);
+        self.metrics = Some(m);
+        self.host.pool().set_metrics(metrics);
     }
 
     /// A scheduler owning a fresh pool of `threads` workers.
@@ -511,6 +653,9 @@ impl<T: Float> Scheduler<T> {
             turns_since_capture: 0,
             retry_at: None,
         });
+        if let Some(m) = &self.metrics {
+            m.submitted.inc();
+        }
         id
     }
 
@@ -559,6 +704,9 @@ impl<T: Float> Scheduler<T> {
             turns_since_capture: 0,
             retry_at: None,
         });
+        if let Some(m) = &self.metrics {
+            m.submitted.inc();
+        }
         Ok(id)
     }
 
@@ -701,16 +849,25 @@ impl<T: Float> Scheduler<T> {
     fn run_turn(&mut self, idx: usize) -> bool {
         if let Some(at) = self.jobs[idx].retry_at {
             if Instant::now() < at {
+                if let Some(m) = &self.metrics {
+                    m.turns_idle.inc();
+                }
                 return false;
             }
             if !self.readmit(idx) {
                 // Readmission itself failed; the terminal outcome is
                 // recorded — that still counts as progress.
+                if let Some(m) = &self.metrics {
+                    m.turns_busy.inc();
+                }
                 return true;
             }
         }
         let job = &mut self.jobs[idx];
         let Some(mut machine) = job.machine.take() else {
+            if let Some(m) = &self.metrics {
+                m.turns_idle.inc();
+            }
             return false;
         };
         let quantum = job.qos.quantum().max(1);
@@ -741,12 +898,17 @@ impl<T: Float> Scheduler<T> {
             // in its `Failed` stage (`step` swaps the stage out before
             // executing), so the unwound machine is safe to drop; the pool
             // itself already catches panics per-launch, so workers survive.
+            let t_step = self.metrics.as_ref().map(|_| Instant::now());
             let step = catch_unwind(AssertUnwindSafe(|| {
                 if inject_panic {
                     panic!("injected service panic at {pending}");
                 }
                 machine.step()
             }));
+            if let (Some(m), Some(t0)) = (&self.metrics, t_step) {
+                m.step_histogram(pending)
+                    .observe(t0.elapsed().as_secs_f64());
+            }
             match step {
                 Err(payload) => {
                     verdict = Verdict::Panicked {
@@ -809,17 +971,29 @@ impl<T: Float> Scheduler<T> {
                         "flow machine completed without a result",
                     ))),
                 });
+                if let Some(m) = &self.metrics {
+                    match &job.outcome {
+                        Some(JobOutcome::Completed(_)) => m.completed.inc(),
+                        _ => m.failed.inc(),
+                    }
+                }
             }
             Verdict::Errored(e) => {
                 drop(lease);
                 job.checkpoint = None;
                 job.outcome = Some(JobOutcome::Failed(e));
+                if let Some(m) = &self.metrics {
+                    m.failed.inc();
+                }
             }
             Verdict::Panicked { message, at } => {
                 // Dropping the failed machine balances its telemetry spans.
                 drop(machine);
                 drop(lease);
                 self.counters.panics_contained += 1;
+                if let Some(m) = &self.metrics {
+                    m.panics_contained.inc();
+                }
                 let job = &mut self.jobs[idx];
                 job.config
                     .telemetry
@@ -831,6 +1005,9 @@ impl<T: Float> Scheduler<T> {
                 if !pool.health().all_workers_alive() {
                     let n = pool.respawn_dead() as u64;
                     self.counters.workers_respawned += n;
+                    if let Some(m) = &self.metrics {
+                        m.workers_respawned.add(n);
+                    }
                     job.config
                         .telemetry
                         .point("pool_respawn", format!("respawned {n} dead worker(s)"));
@@ -848,6 +1025,9 @@ impl<T: Float> Scheduler<T> {
                 drop(machine);
                 drop(lease);
                 self.counters.timeouts += 1;
+                if let Some(m) = &self.metrics {
+                    m.timeouts.inc();
+                }
                 let job = &mut self.jobs[idx];
                 job.config.telemetry.point(
                     "timeout",
@@ -862,6 +1042,9 @@ impl<T: Float> Scheduler<T> {
                 );
             }
         }
+        if let Some(m) = &self.metrics {
+            m.turns_busy.inc();
+        }
         true
     }
 
@@ -873,6 +1056,9 @@ impl<T: Float> Scheduler<T> {
         if job.attempt < job.retry.max_attempts {
             job.attempt += 1;
             self.counters.retries += 1;
+            if let Some(m) = &self.metrics {
+                m.retries.inc();
+            }
             let backoff = job.retry.backoff_for(job.attempt);
             job.retry_at = Some(Instant::now() + Duration::from_secs_f64(backoff));
             let cause = match &kind {
@@ -889,6 +1075,12 @@ impl<T: Float> Scheduler<T> {
         } else {
             job.retry_at = None;
             job.checkpoint = None;
+            if let Some(m) = &self.metrics {
+                match &kind {
+                    FailKind::Panicked { .. } => m.panicked.inc(),
+                    FailKind::TimedOut { .. } => m.timed_out.inc(),
+                }
+            }
             job.outcome = Some(match kind {
                 FailKind::Panicked { message } => JobOutcome::Panicked {
                     message,
@@ -941,6 +1133,9 @@ impl<T: Float> Scheduler<T> {
             }
             Err(e) => {
                 job.outcome = Some(JobOutcome::Failed(e));
+                if let Some(m) = &self.metrics {
+                    m.failed.inc();
+                }
                 false
             }
         }
@@ -956,6 +1151,9 @@ impl<T: Float> Scheduler<T> {
         let idx = self.jobs.iter().position(|j| j.id == id)?;
         let data = self.jobs[idx].machine.as_mut()?.capture()?;
         self.forget(idx, JobStatus::Evicted);
+        if let Some(m) = &self.metrics {
+            m.evicted.inc();
+        }
         Some(data)
     }
 
@@ -975,6 +1173,9 @@ impl<T: Float> Scheduler<T> {
             .telemetry
             .point("cancel", "job cancelled by the service layer");
         self.forget(idx, JobStatus::Cancelled);
+        if let Some(m) = &self.metrics {
+            m.cancelled.inc();
+        }
         true
     }
 
@@ -1220,5 +1421,52 @@ mod tests {
         assert!(sched.take_result(id).is_some());
         assert!(sched.take_result(id).is_none(), "result is taken once");
         assert_eq!(sched.status(JobId(99)), None);
+    }
+
+    #[test]
+    fn metrics_track_outcomes_faults_and_step_latency() {
+        let d = small_design(55);
+        let metrics = Metrics::enabled();
+        let mut sched = Scheduler::with_threads(1);
+        sched.set_metrics(&metrics);
+        let ok = sched.submit(
+            small_config(&d, 1),
+            Arc::clone(&d),
+            Telemetry::disabled(),
+            None,
+        );
+        let bad = sched.submit_with(
+            small_config(&d, 1),
+            Arc::clone(&d),
+            Telemetry::disabled(),
+            JobOptions {
+                deadline_seconds: Some(f64::INFINITY),
+                faults: ServeFaultInjection::panic_at(FlowState::Gp { iteration: 2 }),
+                ..JobOptions::default()
+            },
+        );
+        sched.run_all();
+        assert!(sched.take_result(ok).unwrap().is_ok());
+        assert!(sched.take_result(bad).unwrap().is_err());
+        let text = metrics.render();
+        assert!(text.contains("dp_sched_jobs_total{outcome=\"completed\"} 1"), "{text}");
+        assert!(text.contains("dp_sched_jobs_total{outcome=\"panicked\"} 1"), "{text}");
+        assert!(text.contains("dp_sched_panics_contained_total 1"), "{text}");
+        assert!(text.contains("dp_sched_jobs_submitted_total 2"), "{text}");
+        assert!(text.contains("dp_sched_step_seconds_count{stage=\"gp\"}"), "{text}");
+        assert!(text.contains("dp_sched_turns_total{kind=\"busy\"}"), "{text}");
+        // The shared pool registered alongside the scheduler.
+        assert!(text.contains("dp_pool_launches_total"), "{text}");
+        // Cancellation lands in the outcome counters too.
+        let c = sched.submit(
+            small_config(&d, 1),
+            Arc::clone(&d),
+            Telemetry::disabled(),
+            None,
+        );
+        assert!(sched.cancel(c));
+        assert!(metrics
+            .render()
+            .contains("dp_sched_jobs_total{outcome=\"cancelled\"} 1"));
     }
 }

@@ -30,6 +30,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use dp_telemetry::metrics::{Counter, Gauge, Metrics};
 use dp_telemetry::WorkerShards;
 
 use crate::parallel::{paper_chunk_size, DisjointSlice};
@@ -170,6 +171,23 @@ struct PoolShared {
     /// Per-worker busy totals (shard 0 = the calling thread, shard `i` =
     /// spawned worker `i`). Installed by [`WorkerPool::set_worker_shards`].
     shards: Mutex<Option<Arc<WorkerShards>>>,
+    /// Fast flag for the service metrics below (same discipline as
+    /// `has_shards`): one relaxed load per launch when unset.
+    has_metrics: AtomicBool,
+    /// Service-metrics instruments, installed by [`WorkerPool::set_metrics`].
+    metrics: Mutex<Option<Arc<PoolMetrics>>>,
+}
+
+/// The pool's slice of the service metrics plane (see
+/// [`WorkerPool::set_metrics`]): cached instrument handles so the launch
+/// hot path never touches the registry.
+struct PoolMetrics {
+    launches: Counter,
+    poisoned_launches: Counter,
+    thread_panics: Counter,
+    respawns: Counter,
+    workers_alive: Gauge,
+    workers_spawned: Gauge,
 }
 
 impl PoolShared {
@@ -181,11 +199,24 @@ impl PoolShared {
         lock(&self.shards).clone()
     }
 
+    /// The installed service metrics, if any (checks the flag before
+    /// locking).
+    fn metrics(&self) -> Option<Arc<PoolMetrics>> {
+        if !self.has_metrics.load(Ordering::Relaxed) {
+            return None;
+        }
+        lock(&self.metrics).clone()
+    }
+
     /// Folds one poisoned launch into the cumulative health counters.
     fn record_poison(&self, thread_panics: u64, at_run: u64) {
         self.panicked_launches.fetch_add(1, Ordering::Relaxed);
         self.thread_panics.fetch_add(thread_panics, Ordering::Relaxed);
         self.last_poison_run.store(at_run, Ordering::Relaxed);
+        if let Some(m) = self.metrics() {
+            m.poisoned_launches.inc();
+            m.thread_panics.add(thread_panics);
+        }
     }
 }
 
@@ -244,6 +275,8 @@ impl WorkerPool {
             exit_requests: AtomicUsize::new(0),
             has_shards: AtomicBool::new(false),
             shards: Mutex::new(None),
+            has_metrics: AtomicBool::new(false),
+            metrics: Mutex::new(None),
         });
         let workers = (1..threads)
             .map(|index| {
@@ -279,13 +312,72 @@ impl WorkerPool {
         lock(&self.workers).len()
     }
 
+    /// Registers this pool with the service metrics plane: cumulative
+    /// launch/poison/respawn counters plus live-worker gauges
+    /// (`dp_pool_*`). Instrument handles are cached in the pool, so after
+    /// this call the launch hot path pays one relaxed flag load plus one
+    /// uncontended lock per *launch* (not per chunk) — the same cost class
+    /// as [`WorkerPool::set_worker_shards`]. A disabled registry leaves
+    /// the pool unregistered.
+    pub fn set_metrics(&self, metrics: &Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let m = Arc::new(PoolMetrics {
+            launches: metrics.counter(
+                "dp_pool_launches_total",
+                "Kernel launches dispatched by the worker pool.",
+            ),
+            poisoned_launches: metrics.counter(
+                "dp_pool_poisoned_launches_total",
+                "Launches in which at least one participating thread panicked.",
+            ),
+            thread_panics: metrics.counter(
+                "dp_pool_thread_panics_total",
+                "Individual worker-thread panics observed.",
+            ),
+            respawns: metrics.counter(
+                "dp_pool_workers_respawned_total",
+                "Dead worker threads replaced by respawn_dead.",
+            ),
+            workers_alive: metrics.gauge(
+                "dp_pool_workers_alive",
+                "Spawned worker threads currently running.",
+            ),
+            workers_spawned: metrics.gauge(
+                "dp_pool_workers_spawned",
+                "Worker threads this pool keeps parked (threads - 1).",
+            ),
+        });
+        // Seed the cumulative counters with launches dispatched before
+        // registration so a scrape never shows a pool younger than its
+        // health report.
+        m.launches.add(self.runs());
+        m.poisoned_launches
+            .add(self.shared.panicked_launches.load(Ordering::Relaxed));
+        m.thread_panics
+            .add(self.shared.thread_panics.load(Ordering::Relaxed));
+        let health = self.health();
+        m.workers_alive.set(health.workers_alive as f64);
+        m.workers_spawned.set(health.workers_spawned as f64);
+        *lock(&self.shared.metrics) = Some(m);
+        self.shared.has_metrics.store(true, Ordering::Relaxed);
+    }
+
     /// A point-in-time health report: how many workers are alive, how many
     /// launches panicked, and how long ago the pool was last poisoned.
+    /// Also refreshes the live-worker gauge when metrics are installed
+    /// (the service layer polls health between turns, which keeps the
+    /// scrape current).
     pub fn health(&self) -> PoolHealth {
         let workers = lock(&self.workers);
         let workers_alive = workers.iter().filter(|h| !h.is_finished()).count();
         let workers_spawned = workers.len();
         drop(workers);
+        if let Some(m) = self.shared.metrics() {
+            m.workers_alive.set(workers_alive as f64);
+            m.workers_spawned.set(workers_spawned as f64);
+        }
         let launches = self.runs();
         let last_poison = self.shared.last_poison_run.load(Ordering::Relaxed);
         PoolHealth {
@@ -322,6 +414,12 @@ impl WorkerPool {
             // join error carries no information beyond "it died".
             let _ = mem::replace(handle, fresh).join();
             respawned += 1;
+        }
+        let alive = workers.iter().filter(|h| !h.is_finished()).count();
+        drop(workers);
+        if let Some(m) = self.shared.metrics() {
+            m.respawns.add(respawned as u64);
+            m.workers_alive.set(alive as f64);
         }
         respawned
     }
@@ -400,6 +498,9 @@ impl WorkerPool {
         F: Fn(Range<usize>) + Sync,
     {
         self.runs.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.shared.metrics() {
+            m.launches.inc();
+        }
         if items == 0 {
             return Ok(());
         }

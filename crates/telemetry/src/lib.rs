@@ -54,9 +54,11 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod jsonl;
+pub mod metrics;
 pub mod report;
 pub mod shard;
 
+pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use report::{RunReport, StageRow};
 pub use shard::{KernelTimer, WorkerShards};
 

@@ -12,9 +12,11 @@
 //!                   [--queue-cap N] [--max-attempts N] [--backoff SECS]
 //!                   [--idle-timeout SECS] [--on-disconnect detach|cancel]
 //!                   [--chaos] [--listen ADDR [--once]]
+//!                   [--metrics-listen ADDR]
 //! dreamplace fuzz-lines [--seed S] [--count N]
 //! dreamplace trace-check <trace.jsonl>
 //! dreamplace checkpoint-check <flow.ckpt|DIR>
+//! dreamplace metrics-dump [--cells N] [--seed S] [--threads N]
 //! ```
 //!
 //! `--trace` enables telemetry for the run: the flow writes a JSONL trace
@@ -38,6 +40,11 @@
 //! (`chaos_panic_at`, `chaos_stall_at`, `chaos_no_checkpoint`,
 //! `{"cmd":"chaos","drop_after_events":N}`); `fuzz-lines` prints a seeded
 //! stream of valid/malformed protocol lines for robustness testing.
+//! `--metrics-listen ADDR` additionally serves the daemon's Prometheus
+//! text exposition over TCP (the same payload a `{"cmd":"metrics"}`
+//! request returns in-protocol); `metrics-dump` runs one generated design
+//! through the scheduler with metrics on and prints the exposition, for
+//! eyeballing series names without standing up a daemon.
 //!
 //! `--checkpoint-dir` makes the run durable: the flow writes an atomic
 //! checkpoint at every stage boundary, every `--checkpoint-every` GP
@@ -70,9 +77,11 @@ fn usage() -> ExitCode {
          \x20 dreamplace serve [--threads N] [--jobs N] [--trace-dir DIR] [--queue-cap N]\n\
          \x20                 [--max-attempts N] [--backoff SECS] [--idle-timeout SECS]\n\
          \x20                 [--on-disconnect detach|cancel] [--chaos] [--listen ADDR [--once]]\n\
+         \x20                 [--metrics-listen ADDR]\n\
          \x20 dreamplace fuzz-lines [--seed S] [--count N]\n\
          \x20 dreamplace trace-check <trace.jsonl>\n\
-         \x20 dreamplace checkpoint-check <flow.ckpt|DIR>"
+         \x20 dreamplace checkpoint-check <flow.ckpt|DIR>\n\
+         \x20 dreamplace metrics-dump [--cells N] [--seed S] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -130,6 +139,7 @@ fn main() -> ExitCode {
         "fuzz-lines" => cmd_fuzz_lines(&args),
         "trace-check" => cmd_trace_check(&args),
         "checkpoint-check" => cmd_checkpoint_check(&args),
+        "metrics-dump" => cmd_metrics_dump(&args),
         _ => return usage(),
     };
     match result {
@@ -254,6 +264,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 ))
             }
         },
+        metrics_listen: args.get("metrics-listen").map(str::to_string),
     };
     if let Some(dir) = &opts.trace_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -299,13 +310,77 @@ fn cmd_fuzz_lines(args: &Args) -> Result<(), String> {
 
 fn cmd_trace_check(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("missing <trace.jsonl>")?;
+    // Flight-recorder dumps (`job-N.postmortem.jsonl`) carry the stricter
+    // postmortem contract (bounded length, terminal marker last) on top of
+    // the trace schema, so they get the dedicated validator.
+    if path.ends_with(".postmortem.jsonl") {
+        let s = dreamplace::check::validate_postmortem_file(&PathBuf::from(path))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{path}: ok — postmortem of {} events ({} panics, {} timeouts, {} retries)",
+            s.lines - 1,
+            s.panics,
+            s.timeouts,
+            s.retries,
+        );
+        return Ok(());
+    }
     let s = dreamplace::check::validate_file(&PathBuf::from(path)).map_err(|e| e.to_string())?;
     println!(
         "{path}: ok — {} events ({} spans, {} iterations, {} points of which {} degradations, \
-         {} resumes and {} retries, {} kernels, {} workers, {} workspaces, {} meta)",
-        s.lines, s.spans, s.iters, s.points, s.degradations, s.resumes, s.retries, s.kernels,
-        s.workers, s.workspaces, s.metas
+         {} resumes, {} retries, {} panics and {} timeouts, {} kernels, {} workers, \
+         {} workspaces, {} meta)",
+        s.lines, s.spans, s.iters, s.points, s.degradations, s.resumes, s.retries, s.panics,
+        s.timeouts, s.kernels, s.workers, s.workspaces, s.metas
     );
+    Ok(())
+}
+
+/// Runs one generated design through the scheduler with metrics enabled
+/// and prints the Prometheus-style exposition: a one-shot way to see the
+/// scheduler/pool series (names, labels, buckets) without a daemon.
+fn cmd_metrics_dump(args: &Args) -> Result<(), String> {
+    use dreamplace::telemetry::metrics::Metrics;
+    use dreamplace::telemetry::Telemetry;
+    let cells = args.get_parse("cells", 420usize)?;
+    let nets = args.get_parse("nets", cells + cells / 10)?;
+    let seed = args.get_parse("seed", 71u64)?;
+    let threads = args.get_parse("threads", 2usize)?;
+    let design = std::sync::Arc::new(
+        GeneratorConfig::new(format!("metrics-dump-{cells}"), cells, nets)
+            .with_seed(seed)
+            .generate::<f64>()
+            .map_err(|e| e.to_string())?,
+    );
+    let mut config = FlowConfig::for_mode(ToolMode::DreamplaceCpu { threads }, &design.netlist);
+    config.gp.max_iters = args.get_parse("max-iters", 300usize)?;
+    config.gp.target_overflow = args.get_parse("overflow", 0.12)?;
+    let metrics = Metrics::enabled();
+    let mut sched = dreamplace::Scheduler::with_threads(threads);
+    sched.set_metrics(&metrics);
+    let id = sched.submit(config, design, Telemetry::disabled(), None);
+    loop {
+        sched.step_round();
+        match sched.status(id) {
+            Some(dreamplace::JobStatus::Running { .. })
+            | Some(dreamplace::JobStatus::Retrying { .. }) => continue,
+            _ => break,
+        }
+    }
+    match sched.take_outcome(id) {
+        Some(dreamplace::JobOutcome::Completed(r)) => {
+            eprintln!(
+                "placed {cells} cells in {:.2}s (HPWL {:.6e})",
+                r.timing.total, r.hpwl_final
+            );
+        }
+        Some(dreamplace::JobOutcome::Failed(e)) => {
+            eprintln!("warning: job failed: {}", e.diagnosis());
+        }
+        _ => eprintln!("warning: job ended without a placement"),
+    }
+    sched.health(); // refresh the pool gauges before the render
+    print!("{}", metrics.render());
     Ok(())
 }
 

@@ -93,6 +93,7 @@ use std::time::{Duration, Instant};
 
 use crate::bookshelf::read_design;
 use crate::gen::{GeneratedDesign, GeneratorConfig};
+use crate::telemetry::metrics::{Counter, Gauge, Histogram, Metrics, LATENCY_BUCKETS};
 use crate::telemetry::Telemetry;
 use crate::{
     FlowConfig, FlowState, JobId, JobOptions, JobOutcome, JobStatus, QosClass, RetryPolicy,
@@ -315,6 +316,8 @@ enum Request {
     Submit(Box<JobSpec>),
     /// `None` asks for daemon-wide status, `Some(id)` for one job's.
     Status(Option<u64>),
+    /// Full Prometheus-style exposition as a `metrics` event.
+    Metrics,
     Cancel(u64),
     /// Simulated connection drop after N more events (chaos only).
     Chaos { drop_after_events: usize },
@@ -346,6 +349,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
     Ok(match cmd {
         "drain" | "shutdown" => Request::Drain,
         "status" => Request::Status(get("job").and_then(Value::as_u64)),
+        "metrics" => Request::Metrics,
         "cancel" => match get("job").and_then(Value::as_u64) {
             Some(job) => Request::Cancel(job),
             None => Request::Bad("cancel needs a numeric \"job\"".into()),
@@ -480,6 +484,12 @@ pub struct ServeOptions {
     pub idle_timeout: Option<f64>,
     /// What happens to a disconnected session's jobs.
     pub on_disconnect: DisconnectPolicy,
+    /// Bind address for the Prometheus-style metrics endpoint
+    /// (`--metrics-listen`); `None` leaves the exposition reachable only
+    /// via the `{"cmd":"metrics"}` protocol request. The registry itself
+    /// is always on — it is how `status` and `bye` source their numbers —
+    /// and costs relaxed atomics only.
+    pub metrics_listen: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -493,6 +503,7 @@ impl Default for ServeOptions {
             allow_chaos: false,
             idle_timeout: None,
             on_disconnect: DisconnectPolicy::Detach,
+            metrics_listen: None,
         }
     }
 }
@@ -515,10 +526,17 @@ pub struct ServeStats {
     pub retries: usize,
 }
 
-fn bye_line(s: &ServeStats) -> String {
+/// The `bye` summary. The daemon-wide fields (uptime, queue depths, the
+/// `retry_after_seconds` hint) are read from the metrics registry, not
+/// recomputed, so the protocol and the exposition can never disagree.
+fn bye_line(s: &ServeStats, uptime: f64, queued: [u64; 3], retry_after: f64) -> String {
     format!(
-        "{{\"event\":\"bye\",\"completed\":{},\"failed\":{},\"rejected\":{},\"errors\":{},\"shed\":{},\"retries\":{}}}",
-        s.completed, s.failed, s.rejected, s.errors, s.shed, s.retries
+        "{{\"event\":\"bye\",\"completed\":{},\"failed\":{},\"rejected\":{},\"errors\":{},\
+         \"shed\":{},\"retries\":{},\"uptime_seconds\":{uptime:.3},\
+         \"queued_interactive\":{},\"queued_batch\":{},\"queued_bulk\":{},\
+         \"retry_after_seconds\":{retry_after:.1}}}",
+        s.completed, s.failed, s.rejected, s.errors, s.shed, s.retries,
+        queued[0], queued[1], queued[2],
     )
 }
 
@@ -537,6 +555,111 @@ fn class_rank(class: QosClass) -> usize {
         QosClass::Interactive => 0,
         QosClass::Batch => 1,
         QosClass::Bulk => 2,
+    }
+}
+
+/// Capacity of the per-job flight-recorder ring: the last this-many trace
+/// events are kept in memory and dumped as `job-N.postmortem.jsonl` when
+/// the job ends in a contained panic or a deadline timeout.
+pub const POSTMORTEM_EVENTS: usize = 64;
+
+/// Window over which `dp_serve_placements_per_hour` is computed (recent
+/// completions are extrapolated to an hourly rate).
+const RATE_WINDOW: Duration = Duration::from_secs(600);
+
+/// Cached instrument handles for the serve layer. Handles are resolved
+/// once at daemon startup so the hot paths (event writes, admissions)
+/// touch relaxed atomics only, never the registry lock.
+struct ServeMetrics {
+    sessions_total: Counter,
+    sessions_open: Gauge,
+    admissions: [Counter; 3],
+    sheds: Counter,
+    rejected: Counter,
+    malformed: Counter,
+    bytes_streamed: Counter,
+    queue_depth: [Gauge; 3],
+    queue_wait: [Histogram; 3],
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    postmortems: Counter,
+    placements_per_hour: Gauge,
+    retry_after: Gauge,
+}
+
+impl ServeMetrics {
+    fn new(metrics: &Metrics) -> Self {
+        let admission = |qos| {
+            metrics.counter_with(
+                "dp_serve_admissions_total",
+                "Jobs accepted into the admission queues.",
+                &[("qos", qos)],
+            )
+        };
+        let depth = |qos| {
+            metrics.gauge_with(
+                "dp_serve_queue_depth",
+                "Jobs waiting in the admission queue.",
+                &[("qos", qos)],
+            )
+        };
+        let wait = |qos| {
+            metrics.histogram_with(
+                "dp_serve_queue_wait_seconds",
+                "Seconds from acceptance to a scheduler slot.",
+                &LATENCY_BUCKETS,
+                &[("qos", qos)],
+            )
+        };
+        Self {
+            sessions_total: metrics.counter(
+                "dp_serve_sessions_total",
+                "Client sessions ever started.",
+            ),
+            sessions_open: metrics.gauge(
+                "dp_serve_sessions_open",
+                "Client sessions currently connected.",
+            ),
+            admissions: [admission("interactive"), admission("batch"), admission("bulk")],
+            sheds: metrics.counter(
+                "dp_serve_sheds_total",
+                "Jobs shed by overload control (overloaded events).",
+            ),
+            rejected: metrics.counter(
+                "dp_serve_rejected_total",
+                "Valid-JSON request lines rejected before becoming jobs.",
+            ),
+            malformed: metrics.counter(
+                "dp_serve_malformed_lines_total",
+                "Request lines that were not valid JSON (or oversized).",
+            ),
+            bytes_streamed: metrics.counter(
+                "dp_serve_bytes_streamed_total",
+                "Event bytes written to client sessions, newlines included.",
+            ),
+            queue_depth: [depth("interactive"), depth("batch"), depth("bulk")],
+            queue_wait: [wait("interactive"), wait("batch"), wait("bulk")],
+            jobs_completed: metrics.counter(
+                "dp_serve_jobs_completed_total",
+                "Jobs that finished with a placement.",
+            ),
+            jobs_failed: metrics.counter(
+                "dp_serve_jobs_failed_total",
+                "Jobs that ended without a placement (error, panic, timeout).",
+            ),
+            postmortems: metrics.counter(
+                "dp_serve_postmortems_total",
+                "Flight-recorder dumps written for panicked/timed-out jobs.",
+            ),
+            placements_per_hour: metrics.gauge(
+                "dp_serve_placements_per_hour",
+                "Completions over the last 10 minutes, extrapolated hourly.",
+            ),
+            retry_after: metrics.gauge(
+                "dp_serve_retry_after_seconds",
+                "Current back-pressure hint sent with overloaded events.",
+            ),
+        }
     }
 }
 
@@ -577,6 +700,11 @@ struct ServeJob {
     last_state: Option<FlowState>,
     /// Last attempt number announced with a `retrying` event.
     last_attempt: u32,
+    /// When the job was accepted; queue-wait and retry samples key off it.
+    admitted_at: Instant,
+    /// Flight recorder: the last [`POSTMORTEM_EVENTS`] trace lines, dumped
+    /// to `job-N.postmortem.jsonl` if the job panics or times out.
+    ring: VecDeque<String>,
 }
 
 /// What reader/acceptor threads feed the daemon loop.
@@ -695,19 +823,33 @@ struct Daemon<'w> {
     draining: bool,
     once: bool,
     sessions_started: u64,
-    /// EMA of completed-job wall seconds, for `retry_after_seconds` hints.
+    /// EMA of observed job wall seconds (completed, timed-out, and
+    /// retried attempts all feed it), for `retry_after_seconds` hints.
     ema_seconds: f64,
     /// Present in TCP mode so new connections can get reader threads.
     reader_tx: Option<mpsc::Sender<Inbound>>,
+    /// The service-wide metrics registry. Always on — `status` and `bye`
+    /// read their daemon-wide numbers from it — and exposed over
+    /// `{"cmd":"metrics"}` and (optionally) `--metrics-listen`.
+    metrics: Metrics,
+    /// Cached serve-layer instruments (see [`ServeMetrics`]).
+    m: ServeMetrics,
+    /// Completion timestamps within [`RATE_WINDOW`], for the
+    /// `placements_per_hour` gauge.
+    completions: VecDeque<Instant>,
 }
 
 impl<'w> Daemon<'w> {
     fn new(opts: ServeOptions, once: bool, reader_tx: Option<mpsc::Sender<Inbound>>) -> Self {
         let threads = opts.threads;
+        let metrics = Metrics::enabled();
+        let m = ServeMetrics::new(&metrics);
+        let mut sched = Scheduler::with_threads(threads);
+        sched.set_metrics(&metrics);
         Self {
             opts,
             started: Instant::now(),
-            sched: Scheduler::with_threads(threads),
+            sched,
             sessions: Vec::new(),
             queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             active: Vec::new(),
@@ -718,7 +860,38 @@ impl<'w> Daemon<'w> {
             sessions_started: 0,
             ema_seconds: 5.0,
             reader_tx,
+            metrics,
+            m,
+            completions: VecDeque::new(),
         }
+    }
+
+    /// Refreshes the registry's sampled gauges (queue depths, open
+    /// sessions, the throughput window, the back-pressure hint) so a
+    /// scrape — or a `status`/`bye` read — sees current values.
+    fn refresh_gauges(&mut self) {
+        for (rank, q) in self.queues.iter().enumerate() {
+            self.m.queue_depth[rank].set(q.len() as f64);
+        }
+        self.m
+            .sessions_open
+            .set(self.sessions.iter().filter(|s| s.alive).count() as f64);
+        while let Some(t) = self.completions.front() {
+            if t.elapsed() > RATE_WINDOW {
+                self.completions.pop_front();
+            } else {
+                break;
+            }
+        }
+        let span = RATE_WINDOW
+            .as_secs_f64()
+            .min(self.started.elapsed().as_secs_f64())
+            .max(1.0);
+        self.m
+            .placements_per_hour
+            .set(self.completions.len() as f64 * 3600.0 / span);
+        // retry_after() updates its own gauge as a side effect.
+        let _ = self.retry_after();
     }
 
     /// Writes one event line to a session. Dead sessions swallow events
@@ -743,6 +916,7 @@ impl<'w> Daemon<'w> {
                     }
                 }
                 Ok(()) => {
+                    self.m.bytes_streamed.add(line.len() as u64 + 1);
                     if let Some(n) = s.drop_after_events {
                         if n <= 1 {
                             s.drop_after_events = None;
@@ -798,14 +972,20 @@ impl<'w> Daemon<'w> {
     }
 
     /// Load-shedding hint: expected seconds until a freed slot, from the
-    /// completed-job EMA scaled by the backlog.
+    /// job-seconds EMA scaled by the backlog. Every computation also
+    /// lands in the `dp_serve_retry_after_seconds` gauge, so the hint a
+    /// client saw and the hint a scrape shows are the same number.
     fn retry_after(&self) -> f64 {
         let backlog = (self.queued_total() + self.active.len()).max(1) as f64;
-        (self.ema_seconds * backlog / self.opts.slots.max(1) as f64).clamp(1.0, 600.0)
+        let hint =
+            (self.ema_seconds * backlog / self.opts.slots.max(1) as f64).clamp(1.0, 600.0);
+        self.m.retry_after.set(hint);
+        hint
     }
 
     fn reject(&mut self, sid: u64, why: &str) -> Result<(), String> {
         self.stats.rejected += 1;
+        self.m.rejected.inc();
         if let Some(st) = self.session_stats(sid) {
             st.rejected += 1;
         }
@@ -822,7 +1002,9 @@ impl<'w> Daemon<'w> {
         );
         let sid = job.session;
         self.next_job += 1;
-        self.queues[class_rank(job.class)].push_back(job);
+        let rank = class_rank(job.class);
+        self.m.admissions[rank].inc();
+        self.queues[rank].push_back(job);
         self.emit(sid, &line)?;
         self.admit();
         Ok(())
@@ -841,6 +1023,8 @@ impl<'w> Daemon<'w> {
             let Some(config) = job.config.take() else {
                 continue;
             };
+            self.m.queue_wait[class_rank(job.class)]
+                .observe(job.admitted_at.elapsed().as_secs_f64());
             let id = self.sched.submit_with(
                 config,
                 Arc::clone(&job.design),
@@ -849,6 +1033,9 @@ impl<'w> Daemon<'w> {
             );
             job.sched = Some(id);
             self.active.push(job);
+        }
+        for (rank, q) in self.queues.iter().enumerate() {
+            self.m.queue_depth[rank].set(q.len() as f64);
         }
     }
 
@@ -875,6 +1062,10 @@ impl<'w> Daemon<'w> {
                     stats: ServeStats::default(),
                     drop_after_events: None,
                 });
+                self.m.sessions_total.inc();
+                self.m.sessions_open.set(
+                    self.sessions.iter().filter(|s| s.alive).count() as f64,
+                );
                 if let Some(tx) = &self.reader_tx {
                     spawn_reader(BufReader::new(reader), sid, tx.clone());
                 }
@@ -892,6 +1083,7 @@ impl<'w> Daemon<'w> {
                     Err(e) => {
                         // Malformed line: structured error, session lives.
                         self.stats.errors += 1;
+                        self.m.malformed.inc();
                         if let Some(st) = self.session_stats(session) {
                             st.errors += 1;
                         }
@@ -911,6 +1103,7 @@ impl<'w> Daemon<'w> {
                     s.last_activity = Instant::now();
                 }
                 self.stats.errors += 1;
+                self.m.malformed.inc();
                 if let Some(st) = self.session_stats(session) {
                     st.errors += 1;
                 }
@@ -984,15 +1177,26 @@ impl<'w> Daemon<'w> {
             }
             Request::Status(None) => {
                 let h = self.sched.health();
+                // Daemon-wide numbers come from the metrics registry (the
+                // same cells a scrape renders), so the two views agree.
+                self.refresh_gauges();
+                let queued: [u64; 3] =
+                    std::array::from_fn(|r| self.m.queue_depth[r].get() as u64);
                 let line = format!(
                     "{{\"event\":\"status\",\"uptime_seconds\":{:.3},\"slots\":{},\"active\":{},\
-                     \"queued\":{},\"sessions\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\
+                     \"queued\":{},\"queued_interactive\":{},\"queued_batch\":{},\
+                     \"queued_bulk\":{},\"retry_after_seconds\":{:.1},\
+                     \"sessions\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\
                      \"errors\":{},\"shed\":{},\"workers_alive\":{},\"workers_spawned\":{},\
                      \"panics_contained\":{},\"timeouts\":{},\"retries\":{},\"workers_respawned\":{}}}",
-                    self.started.elapsed().as_secs_f64(),
+                    self.metrics.uptime_seconds(),
                     self.opts.slots,
                     self.active.len(),
-                    self.queued_total(),
+                    queued.iter().sum::<u64>(),
+                    queued[0],
+                    queued[1],
+                    queued[2],
+                    self.m.retry_after.get(),
                     self.sessions.len(),
                     self.stats.completed,
                     self.stats.failed,
@@ -1007,6 +1211,12 @@ impl<'w> Daemon<'w> {
                     h.workers_respawned,
                 );
                 self.emit(sid, &line)
+            }
+            Request::Metrics => {
+                self.refresh_gauges();
+                self.sched.health(); // refreshes the pool gauges
+                let payload = quote(&self.metrics.render());
+                self.emit(sid, &format!("{{\"event\":\"metrics\",\"data\":{payload}}}"))
             }
             Request::Status(Some(id)) => {
                 // Jobs are session-scoped: another tenant's job answers
@@ -1110,6 +1320,7 @@ impl<'w> Daemon<'w> {
                 // The incoming job outranks the queue's tail: shed that.
                 if let Some(victim) = self.queues[l].pop_back() {
                     self.stats.shed += 1;
+                    self.m.sheds.inc();
                     if let Some(st) = self.session_stats(victim.session) {
                         st.shed += 1;
                     }
@@ -1130,6 +1341,7 @@ impl<'w> Daemon<'w> {
                 // The incoming job is the lowest priority around: reject it
                 // (no `accepted` event was emitted yet).
                 self.stats.shed += 1;
+                self.m.sheds.inc();
                 if let Some(st) = self.session_stats(sid) {
                     st.shed += 1;
                 }
@@ -1155,6 +1367,10 @@ impl<'w> Daemon<'w> {
             let (cursor, lines) = job.telemetry.events_since(job.cursor);
             job.cursor = cursor;
             for data in lines {
+                if job.ring.len() == POSTMORTEM_EVENTS {
+                    job.ring.pop_front();
+                }
+                job.ring.push_back(data.clone());
                 self.emit(
                     job.session,
                     &format!("{{\"event\":\"trace\",\"job\":{},\"data\":{data}}}", job.id),
@@ -1179,6 +1395,12 @@ impl<'w> Daemon<'w> {
                     if job.last_attempt != attempt {
                         job.last_attempt = attempt;
                         self.stats.retries += 1;
+                        // A retried attempt consumed real wall time without
+                        // freeing a slot: feed it into the back-pressure EMA
+                        // so the retry_after hint reflects faulty workloads
+                        // too, not only clean completions.
+                        let spent = job.admitted_at.elapsed().as_secs_f64();
+                        self.ema_seconds = 0.7 * self.ema_seconds + 0.3 * spent;
                         if let Some(st) = self.session_stats(job.session) {
                             st.retries += 1;
                         }
@@ -1212,6 +1434,8 @@ impl<'w> Daemon<'w> {
         match outcome {
             Some(JobOutcome::Completed(r)) => {
                 self.stats.completed += 1;
+                self.m.jobs_completed.inc();
+                self.completions.push_back(Instant::now());
                 if let Some(st) = self.session_stats(session) {
                     st.completed += 1;
                 }
@@ -1235,6 +1459,7 @@ impl<'w> Daemon<'w> {
             }
             Some(JobOutcome::Failed(e)) => {
                 self.stats.failed += 1;
+                self.m.jobs_failed.inc();
                 if let Some(st) = self.session_stats(session) {
                     st.failed += 1;
                 }
@@ -1253,17 +1478,20 @@ impl<'w> Daemon<'w> {
                 attempts,
             }) => {
                 self.stats.failed += 1;
+                self.m.jobs_failed.inc();
                 if let Some(st) = self.session_stats(session) {
                     st.failed += 1;
                 }
+                let postmortem = self.save_postmortem(&job);
                 self.emit(
                     session,
                     &format!(
                         "{{\"event\":\"failed\",\"job\":{},\"error\":{},\"kind\":\"panic\",\
-                         \"at\":{},\"attempts\":{attempts}}}",
+                         \"at\":{},\"attempts\":{attempts}{}}}",
                         job.id,
                         quote(&format!("contained panic: {message}")),
                         quote(&at.to_string()),
+                        postmortem_field(&postmortem),
                     ),
                 )
             }
@@ -1273,24 +1501,32 @@ impl<'w> Daemon<'w> {
                 attempts,
             }) => {
                 self.stats.failed += 1;
+                self.m.jobs_failed.inc();
+                // Satellite: a timed-out job held a slot for at least its
+                // deadline — feed that into the back-pressure EMA so the
+                // retry_after hint does not understate a stalling workload.
+                self.ema_seconds = 0.7 * self.ema_seconds + 0.3 * deadline_seconds;
                 if let Some(st) = self.session_stats(session) {
                     st.failed += 1;
                 }
+                let postmortem = self.save_postmortem(&job);
                 self.emit(
                     session,
                     &format!(
                         "{{\"event\":\"failed\",\"job\":{},\"error\":{},\"kind\":\"timeout\",\
-                         \"at\":{},\"attempts\":{attempts}}}",
+                         \"at\":{},\"attempts\":{attempts}{}}}",
                         job.id,
                         quote(&format!(
                             "exceeded its {deadline_seconds:.3}s deadline"
                         )),
                         quote(&at.to_string()),
+                        postmortem_field(&postmortem),
                     ),
                 )
             }
             None => {
                 self.stats.failed += 1;
+                self.m.jobs_failed.inc();
                 if let Some(st) = self.session_stats(session) {
                     st.failed += 1;
                 }
@@ -1301,6 +1537,64 @@ impl<'w> Daemon<'w> {
                         job.id
                     ),
                 )
+            }
+        }
+    }
+
+    /// Dumps a panicked/timed-out job's flight recorder — the last
+    /// [`POSTMORTEM_EVENTS`] trace lines plus one terminal `postmortem`
+    /// point — to `trace_dir/job-N.postmortem.jsonl`. Failures degrade to
+    /// a warning; the terminal event still goes out.
+    fn save_postmortem(&self, job: &ServeJob) -> Option<PathBuf> {
+        let dir = self.opts.trace_dir.as_ref()?;
+        // Anything recorded since the last pump drain (the terminal turn's
+        // own points, e.g. the panic itself) belongs in the recording.
+        let (_, rest) = job.telemetry.events_since(job.cursor);
+        let mut ring: Vec<&str> = job.ring.iter().map(String::as_str).collect();
+        for line in &rest {
+            ring.push(line);
+        }
+        while ring.len() > POSTMORTEM_EVENTS {
+            ring.remove(0);
+        }
+        // The marker reuses the last event's timestamp so the timeline
+        // stays monotone for validators.
+        let t_last = ring
+            .last()
+            .and_then(|line| {
+                let idx = line.rfind("\"t\":")?;
+                let digits: String = line[idx + 4..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect();
+                digits.parse::<u64>().ok()
+            })
+            .unwrap_or(0);
+        let mut text = String::new();
+        for line in &ring {
+            text.push_str(line);
+            text.push('\n');
+        }
+        text.push_str(&format!(
+            "{{\"ev\":\"point\",\"span\":0,\"name\":\"postmortem\",\"detail\":{},\
+             \"t\":{t_last},\"tid\":0}}\n",
+            quote(&format!(
+                "job {} ({}) flight recorder: last {} of {} events",
+                job.id,
+                job.name,
+                ring.len(),
+                job.cursor + rest.len(),
+            )),
+        ));
+        let path = dir.join(format!("job-{}.postmortem.jsonl", job.id));
+        match std::fs::write(&path, text) {
+            Ok(()) => {
+                self.m.postmortems.inc();
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: writing {}: {e}", path.display());
+                None
             }
         }
     }
@@ -1374,11 +1668,23 @@ impl<'w> Daemon<'w> {
             None => return Ok(()),
         };
         if let Some(st) = stats {
-            self.emit(sid, &bye_line(&st))?;
+            self.refresh_gauges();
+            let queued: [u64; 3] =
+                std::array::from_fn(|r| self.m.queue_depth[r].get() as u64);
+            let line = bye_line(
+                &st,
+                self.metrics.uptime_seconds(),
+                queued,
+                self.m.retry_after.get(),
+            );
+            self.emit(sid, &line)?;
         }
         if let Some(pos) = self.sessions.iter().position(|s| s.id == sid) {
             self.sessions.remove(pos);
         }
+        self.m
+            .sessions_open
+            .set(self.sessions.iter().filter(|s| s.alive).count() as f64);
         Ok(())
     }
 
@@ -1402,9 +1708,12 @@ impl<'w> Daemon<'w> {
                     }
                 }
             }
-            // 2. Admit queued jobs into free slots; session hygiene.
+            // 2. Admit queued jobs into free slots; session hygiene. The
+            // sampled gauges refresh here too so an out-of-band scrape
+            // (the --metrics-listen thread) is at most one tick stale.
             self.admit();
             self.sweep_sessions()?;
+            self.refresh_gauges();
             // 3. Idle: block for the next request, or exit once drained.
             if self.active.is_empty() && self.queued_total() == 0 {
                 if self.should_exit(disconnected) {
@@ -1460,6 +1769,7 @@ where
     let (tx, rx) = mpsc::channel::<Inbound>();
     spawn_reader(input, 0, tx);
     let mut daemon = Daemon::new(opts.clone(), false, None);
+    start_metrics_listener(&daemon)?;
     daemon.sessions.push(Session {
         id: 0,
         out: Box::new(output),
@@ -1471,6 +1781,8 @@ where
         drop_after_events: None,
     });
     daemon.sessions_started = 1;
+    daemon.m.sessions_total.inc();
+    daemon.m.sessions_open.set(1.0);
     daemon.hello(0)?;
     daemon.run(&rx)?;
     daemon.shutdown()?;
@@ -1508,9 +1820,71 @@ pub fn serve_tcp(
         }
     });
     let mut daemon = Daemon::new(opts.clone(), once, Some(tx));
+    start_metrics_listener(&daemon)?;
     daemon.run(&rx)?;
     daemon.shutdown()?;
     Ok(daemon.stats)
+}
+
+/// Binds `opts.metrics_listen` (when set) and serves the exposition from
+/// a dedicated thread. Failing to bind is a startup error — an operator
+/// who asked for a scrape endpoint should not silently run without one.
+fn start_metrics_listener(daemon: &Daemon<'_>) -> Result<(), String> {
+    let Some(addr) = &daemon.opts.metrics_listen else {
+        return Ok(());
+    };
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("metrics-listen {addr}: {e}"))?;
+    if let Ok(local) = listener.local_addr() {
+        eprintln!("metrics: listening on {local}");
+    }
+    spawn_metrics_listener(listener, daemon.metrics.clone());
+    Ok(())
+}
+
+/// Serves the Prometheus text exposition on `listener`, one short-lived
+/// connection at a time, from its own thread. Speaks just enough HTTP for
+/// a scraper (`GET <anything>` gets a 200 with headers); a client that
+/// sends a blank line (or closes its write side) gets the raw text, which
+/// keeps `nc`-style scrapes in shell scripts trivial.
+pub fn spawn_metrics_listener(listener: TcpListener, metrics: Metrics) {
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(TCP_WRITE_TIMEOUT));
+            let mut first = String::new();
+            {
+                let mut reader = BufReader::new(&mut stream);
+                if reader.read_line(&mut first).is_err() {
+                    continue;
+                }
+                // Drain the request headers (until the blank line) so the
+                // client never sees a reset from unread data.
+                if first.starts_with("GET ") || first.starts_with("HEAD ") {
+                    let mut header = String::new();
+                    while reader.read_line(&mut header).is_ok()
+                        && !header.trim_end().is_empty()
+                    {
+                        header.clear();
+                    }
+                }
+            }
+            let body = metrics.render();
+            let response = if first.starts_with("GET ") || first.starts_with("HEAD ") {
+                format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    if first.starts_with("HEAD ") { "" } else { body.as_str() }
+                )
+            } else {
+                body
+            };
+            let _ = stream.write_all(response.as_bytes());
+            let _ = stream.flush();
+        }
+    });
 }
 
 /// Loads/generates the design and builds the job, folding the request's
@@ -1580,7 +1954,18 @@ fn build_job(
         sched: None,
         last_state: None,
         last_attempt: 1,
+        admitted_at: Instant::now(),
+        ring: VecDeque::new(),
     })
+}
+
+/// `,"postmortem_path":"…"` when a flight-recorder dump was written,
+/// empty otherwise (appended to the terminal `failed` event).
+fn postmortem_field(path: &Option<PathBuf>) -> String {
+    match path {
+        Some(p) => format!(",\"postmortem_path\":{}", quote(&p.display().to_string())),
+        None => String::new(),
+    }
 }
 
 /// Persists the job's full trace (with merged kernel/worker totals) when a
@@ -2034,5 +2419,178 @@ mod tests {
         let stats = daemon.join().unwrap().expect("daemon exits cleanly");
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn metrics_request_exposes_all_three_layers() {
+        let input = Cursor::new(
+            [
+                r#"{"cmd":"submit","preset":"tiny","seed":5,"max_iters":15,"qos":"interactive"}"#,
+                "not json at all",
+                r#"{"cmd":"metrics"}"#,
+                r#"{"cmd":"drain"}"#,
+            ]
+            .join("\n"),
+        );
+        let mut out = Vec::new();
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 1,
+            ..ServeOptions::default()
+        };
+        serve(input, &mut out, &opts).expect("serve runs");
+        let text = String::from_utf8(out).unwrap();
+        let metrics_line = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"metrics\""))
+            .expect("metrics event");
+        // One scrape covers serve, scheduler, and pool series. The payload
+        // is a JSON string, so series text appears with \n escapes around
+        // it — substring checks still hold.
+        for needle in [
+            "dp_serve_sessions_total 1",
+            "dp_serve_admissions_total{qos=\\\"interactive\\\"} 1",
+            "dp_serve_malformed_lines_total 1",
+            "dp_serve_bytes_streamed_total",
+            "dp_sched_jobs_submitted_total 1",
+            "dp_sched_step_seconds_bucket",
+            "dp_pool_launches_total",
+            "dp_pool_workers_alive",
+            "dp_uptime_seconds",
+        ] {
+            assert!(metrics_line.contains(needle), "missing {needle} in scrape");
+        }
+        // The metrics request may race job completion within the final
+        // round, but the enriched status/bye fields must be present.
+        assert!(text.contains("\"queued_interactive\":"));
+        assert!(text.contains("\"retry_after_seconds\":"));
+        let bye = text.lines().last().unwrap();
+        assert!(bye.contains("\"event\":\"bye\""));
+        assert!(bye.contains("\"uptime_seconds\":"));
+        assert!(bye.contains("\"queued_bulk\":0"));
+    }
+
+    #[test]
+    fn terminal_panic_dumps_a_validated_postmortem() {
+        let dir = std::env::temp_dir().join(format!(
+            "dp-serve-postmortem-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = Cursor::new(
+            [
+                // max_attempts 1: the contained panic is terminal.
+                concat!(
+                    r#"{"cmd":"submit","cells":80,"nets":90,"seed":6,"max_iters":20,"#,
+                    r#""chaos_panic_at":"gp:3","max_attempts":1}"#
+                ),
+                r#"{"cmd":"drain"}"#,
+            ]
+            .join("\n"),
+        );
+        let mut out = Vec::new();
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 1,
+            allow_chaos: true,
+            trace_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        let stats = serve(input, &mut out, &opts).expect("serve runs");
+        assert_eq!(stats.failed, 1);
+        let text = String::from_utf8(out).unwrap();
+        let failed = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"failed\""))
+            .expect("failed event");
+        assert!(failed.contains("\"kind\":\"panic\""));
+        assert!(
+            failed.contains("\"postmortem_path\":"),
+            "terminal event must point at the dump: {failed}"
+        );
+        let path = dir.join("job-0.postmortem.jsonl");
+        let dump = std::fs::read_to_string(&path).expect("postmortem written");
+        // The dump passes the independent dp-check validator: bounded,
+        // schema-clean, terminated by the marker point.
+        let s = crate::check::validate_postmortem_str(&dump).expect("valid postmortem");
+        assert!(s.lines <= POSTMORTEM_EVENTS + 1);
+        assert_eq!(s.panics, 1, "the contained panic is in the recording");
+        assert!(dump.lines().last().unwrap().contains("\"name\":\"postmortem\""));
+        // The two crates pin the same window size.
+        assert_eq!(POSTMORTEM_EVENTS, crate::check::POSTMORTEM_EVENT_CAP);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timed_out_jobs_feed_the_backpressure_ema() {
+        let opts = ServeOptions {
+            threads: 1,
+            slots: 1,
+            allow_chaos: true,
+            ..ServeOptions::default()
+        };
+        let mut d = Daemon::new(opts, false, None);
+        let buf = SharedBuf::default();
+        d.sessions.push(test_session(0, &buf));
+        let before = d.ema_seconds;
+        // A stalling job with a tight deadline and no retries times out.
+        d.handle(
+            0,
+            parse_request(concat!(
+                r#"{"cmd":"submit","preset":"tiny","seed":3,"max_iters":30,"#,
+                r#""chaos_stall_at":"gp:2","chaos_stall_seconds":0.05,"#,
+                r#""deadline_seconds":0.01,"max_attempts":1}"#
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        for _ in 0..2000 {
+            d.pump().unwrap();
+            if d.active.is_empty() {
+                break;
+            }
+        }
+        assert!(d.active.is_empty(), "the stalled job timed out");
+        assert_eq!(d.stats.failed, 1);
+        assert!(
+            (d.ema_seconds - before).abs() > 1e-12,
+            "a timed-out job updates the EMA (was {before}, still {})",
+            d.ema_seconds
+        );
+        assert!(buf.text().contains("\"kind\":\"timeout\""));
+    }
+
+    #[test]
+    fn metrics_listener_speaks_http_and_raw() {
+        use std::io::{Read as _, Write as _};
+        use std::net::TcpStream;
+
+        let metrics = Metrics::enabled();
+        metrics
+            .counter("dp_test_listener_total", "listener test counter")
+            .add(7);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        spawn_metrics_listener(listener, metrics);
+
+        // HTTP scrape: headers + body.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("Content-Type: text/plain"));
+        assert!(response.contains("dp_test_listener_total 7"));
+        assert!(response.contains("# TYPE dp_test_listener_total counter"));
+
+        // Raw scrape: a blank line gets the bare exposition.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"\n").unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("# HELP"), "raw mode has no headers: {response}");
+        assert!(response.contains("dp_test_listener_total 7"));
     }
 }
